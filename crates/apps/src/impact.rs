@@ -1,0 +1,114 @@
+//! Deriving an [`ImpactProfile`] from an application's situations.
+//!
+//! The impact-aware drop-bad extension (paper §5.1/§7 future work) needs
+//! to know which contexts the application's situations can observe. That
+//! is statically readable from the situation formulas: the kinds their
+//! quantifiers range over, and the subjects `subject_eq(var, "name")`
+//! predicates pin down.
+
+use ctxres_constraint::{Constraint, Formula, Term};
+use ctxres_context::ContextKind;
+use ctxres_core::strategies::ImpactProfile;
+
+/// Builds the impact profile of a situation set.
+///
+/// ```
+/// use ctxres_apps::call_forwarding::CallForwarding;
+/// use ctxres_apps::{impact_profile, PervasiveApp};
+/// use ctxres_context::{Context, ContextKind};
+///
+/// let app = CallForwarding::new();
+/// let profile = impact_profile(&app.situations());
+/// let peter = Context::builder(ContextKind::new("badge"), "peter").build();
+/// let aux = Context::builder(ContextKind::new("sensor"), "x").build();
+/// assert!(profile.impact_of(&peter) > profile.impact_of(&aux));
+/// ```
+pub fn impact_profile(situations: &[Constraint]) -> ImpactProfile {
+    let mut profile = ImpactProfile::new();
+    for situation in situations {
+        collect(situation.formula(), &mut Vec::new(), &mut profile);
+    }
+    profile
+}
+
+fn collect(f: &Formula, env: &mut Vec<(String, ContextKind)>, profile: &mut ImpactProfile) {
+    match f {
+        Formula::Quant { var, kind, body, .. } => {
+            profile.watch_kind(kind.clone());
+            env.push((var.clone(), kind.clone()));
+            collect(body, env, profile);
+            env.pop();
+        }
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+            collect(a, env, profile);
+            collect(b, env, profile);
+        }
+        Formula::Not(a) => collect(a, env, profile),
+        Formula::Pred(call) if call.name == "subject_eq" => {
+            if let [Term::Var(var), Term::Const(value)] = call.args.as_slice() {
+                if let Some(subject) = value.as_text() {
+                    if let Some((_, kind)) = env.iter().rev().find(|(v, _)| v == var) {
+                        profile.watch_subject(kind.clone(), subject);
+                    }
+                }
+            }
+        }
+        Formula::Pred(_) | Formula::True | Formula::False => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rfid_anomalies::RfidAnomalies;
+    use crate::PervasiveApp;
+    use ctxres_constraint::parse_constraints;
+    use ctxres_context::Context;
+
+    #[test]
+    fn extracts_kinds_and_named_subjects() {
+        let situations = parse_constraints(
+            "constraint s1: exists b: badge . subject_eq(b, \"peter\") and eq(b.room, \"office\")
+             constraint s2: exists r: rfid_read . eq(r.zone, \"shelf-1\")",
+        )
+        .unwrap();
+        let p = impact_profile(&situations);
+        let peter = Context::builder(ContextKind::new("badge"), "peter").build();
+        let mary = Context::builder(ContextKind::new("badge"), "mary").build();
+        let read = Context::builder(ContextKind::new("rfid_read"), "tag-9").build();
+        let other = Context::builder(ContextKind::new("temperature"), "room").build();
+        assert_eq!(p.impact_of(&peter), 2);
+        assert_eq!(p.impact_of(&mary), 1);
+        assert_eq!(p.impact_of(&read), 1);
+        assert_eq!(p.impact_of(&other), 0);
+    }
+
+    #[test]
+    fn subject_eq_under_negation_still_counts_as_watched() {
+        // `not eq(...)`-style situations still reference the subject;
+        // the profile is about observability, not polarity.
+        let situations = parse_constraints(
+            "constraint s: exists r: rfid_read .
+               subject_eq(r, \"tag-0\") and not eq(r.zone, \"shelf-1\")",
+        )
+        .unwrap();
+        let p = impact_profile(&situations);
+        let promo = Context::builder(ContextKind::new("rfid_read"), "tag-0").build();
+        assert_eq!(p.impact_of(&promo), 2);
+    }
+
+    #[test]
+    fn application_situations_produce_nontrivial_profiles() {
+        let app = RfidAnomalies::new();
+        let p = impact_profile(&app.situations());
+        let promo = Context::builder(RfidAnomalies::kind(), "tag-0").build();
+        assert_eq!(p.impact_of(&promo), 2, "tag-0 is named by two situations");
+    }
+
+    #[test]
+    fn empty_situations_score_everything_zero() {
+        let p = impact_profile(&[]);
+        let c = Context::builder(ContextKind::new("badge"), "peter").build();
+        assert_eq!(p.impact_of(&c), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's subject applications and illustrative scenarios.
+//!
+//! The ICDCS'08 experiments use two context-aware applications "adapted
+//! from Call Forwarding [Want et al.] and RFID data anomalies [Rao et
+//! al.]", each with **five consistency constraints** and **three
+//! situations** (§4.1), plus the location-tracking running example of
+//! §2–3. This crate implements all three, each as a [`PervasiveApp`]:
+//!
+//! * [`LocationTracking`](location_tracking::LocationTracking) — Peter's
+//!   walk, tracked by the `ctxres-landmarc` simulator, with the
+//!   velocity/region constraints of §2.1;
+//! * [`CallForwarding`](call_forwarding::CallForwarding) — Active-Badge
+//!   style badge sightings over a room graph; calls follow people;
+//! * [`RfidAnomalies`](rfid_anomalies::RfidAnomalies) — shelf/checkout
+//!   RFID reads with ghost-read and cross-read anomalies;
+//! * [`scenarios`] — the exact five-context traces of Figures 1–5,
+//!   which the integration tests replay against every strategy.
+//!
+//! Each application supplies its constraint set, its situations, the
+//! custom predicates they need, and a seeded workload generator with the
+//! controlled `err_rate` knob of §4.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod call_forwarding;
+mod impact;
+pub mod location_tracking;
+pub mod rfid_anomalies;
+mod rooms;
+pub mod scenarios;
+pub mod smart_ringer;
+
+pub use impact::impact_profile;
+pub use rooms::RoomGraph;
+
+use ctxres_constraint::{Constraint, ContextSchema, PredicateRegistry};
+use ctxres_context::Context;
+
+/// A pervasive-computing application as the experiments see it: a named
+/// workload with constraints, situations and custom predicates.
+pub trait PervasiveApp {
+    /// The application's display name.
+    fn name(&self) -> &'static str;
+
+    /// The consistency constraints the application deploys.
+    fn constraints(&self) -> Vec<Constraint>;
+
+    /// The situations whose activation the application reacts to.
+    fn situations(&self) -> Vec<Constraint>;
+
+    /// A predicate registry containing the builtins plus the
+    /// application's domain predicates.
+    fn registry(&self) -> PredicateRegistry;
+
+    /// The context schema this application produces — used to validate
+    /// its constraints and situations at deploy time
+    /// (`ctxres_constraint::validate`).
+    fn schema(&self) -> ContextSchema;
+
+    /// Generates a workload trace of `len` contexts with the given
+    /// corruption probability, deterministically from `seed`.
+    fn generate(&self, err_rate: f64, seed: u64, len: usize) -> Vec<Context>;
+
+    /// The middleware time window this workload is calibrated for: long
+    /// enough for drop-bad to gather count evidence from each subject's
+    /// next couple of contexts, short enough that contexts are used well
+    /// within their lifespans.
+    fn recommended_window(&self) -> u64 {
+        12
+    }
+}

@@ -1,0 +1,177 @@
+//! A small named-node adjacency graph, shared by the badge and RFID
+//! applications (rooms on a floor; shelf zones in a store).
+
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// An undirected graph over string-named nodes with hop-distance
+/// queries — the topology that makes "Peter cannot jump from the office
+/// to the lobby in one step" checkable.
+#[derive(Debug, Clone, Default)]
+pub struct RoomGraph {
+    adjacency: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl RoomGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        RoomGraph::default()
+    }
+
+    /// Builds a graph from an edge list, adding nodes implicitly.
+    pub fn from_edges<'a>(edges: impl IntoIterator<Item = (&'a str, &'a str)>) -> Self {
+        let mut g = RoomGraph::new();
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Adds an undirected edge (and its endpoints).
+    pub fn add_edge(&mut self, a: &str, b: &str) {
+        self.adjacency.entry(a.to_owned()).or_default().insert(b.to_owned());
+        self.adjacency.entry(b.to_owned()).or_default().insert(a.to_owned());
+    }
+
+    /// The node names, sorted.
+    pub fn rooms(&self) -> Vec<&str> {
+        self.adjacency.keys().map(String::as_str).collect()
+    }
+
+    /// Whether `name` is a node.
+    pub fn contains(&self, name: &str) -> bool {
+        self.adjacency.contains_key(name)
+    }
+
+    /// Whether `a` and `b` are the same node or share an edge.
+    pub fn adjacent(&self, a: &str, b: &str) -> bool {
+        a == b
+            || self
+                .adjacency
+                .get(a)
+                .map(|n| n.contains(b))
+                .unwrap_or(false)
+    }
+
+    /// Hop distance between two nodes (`None` if disconnected or
+    /// unknown).
+    pub fn distance(&self, a: &str, b: &str) -> Option<usize> {
+        if !self.contains(a) || !self.contains(b) {
+            return None;
+        }
+        if a == b {
+            return Some(0);
+        }
+        let mut seen: BTreeSet<&str> = BTreeSet::from([a]);
+        let mut queue: VecDeque<(&str, usize)> = VecDeque::from([(a, 0)]);
+        while let Some((node, d)) = queue.pop_front() {
+            for next in &self.adjacency[node] {
+                if next == b {
+                    return Some(d + 1);
+                }
+                if seen.insert(next) {
+                    queue.push_back((next, d + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `b` is reachable from `a` within `hops` edges.
+    pub fn within_hops(&self, a: &str, b: &str, hops: usize) -> bool {
+        self.distance(a, b).map(|d| d <= hops).unwrap_or(false)
+    }
+
+    /// A uniformly random neighbour of `room` (staying put excluded);
+    /// `None` for isolated or unknown nodes.
+    pub fn random_neighbor(&self, room: &str, rng: &mut impl Rng) -> Option<String> {
+        let neighbors: Vec<&String> = self.adjacency.get(room)?.iter().collect();
+        if neighbors.is_empty() {
+            return None;
+        }
+        Some(neighbors[rng.gen_range(0..neighbors.len())].clone())
+    }
+
+    /// A uniformly random node at hop distance `>= min_hops` from
+    /// `room` — the shape of a corrupted sighting (a badge cannot jump
+    /// there). `None` when no such node exists.
+    pub fn random_far_room(&self, room: &str, min_hops: usize, rng: &mut impl Rng) -> Option<String> {
+        let far: Vec<&str> = self
+            .adjacency
+            .keys()
+            .map(String::as_str)
+            .filter(|r| self.distance(room, r).map(|d| d >= min_hops).unwrap_or(false))
+            .collect();
+        if far.is_empty() {
+            None
+        } else {
+            Some(far[rng.gen_range(0..far.len())].to_owned())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line() -> RoomGraph {
+        // a - b - c - d
+        RoomGraph::from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_reflexive() {
+        let g = line();
+        assert!(g.adjacent("a", "b"));
+        assert!(g.adjacent("b", "a"));
+        assert!(g.adjacent("a", "a"));
+        assert!(!g.adjacent("a", "c"));
+    }
+
+    #[test]
+    fn distances_follow_the_line() {
+        let g = line();
+        assert_eq!(g.distance("a", "a"), Some(0));
+        assert_eq!(g.distance("a", "b"), Some(1));
+        assert_eq!(g.distance("a", "d"), Some(3));
+        assert_eq!(g.distance("a", "zzz"), None);
+    }
+
+    #[test]
+    fn within_hops_bounds() {
+        let g = line();
+        assert!(g.within_hops("a", "c", 2));
+        assert!(!g.within_hops("a", "d", 2));
+    }
+
+    #[test]
+    fn random_neighbor_is_adjacent() {
+        let g = line();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let n = g.random_neighbor("b", &mut rng).unwrap();
+            assert!(g.adjacent("b", &n) && n != "b");
+        }
+    }
+
+    #[test]
+    fn random_far_room_respects_min_hops() {
+        let g = line();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let far = g.random_far_room("a", 2, &mut rng).unwrap();
+            assert!(g.distance("a", &far).unwrap() >= 2);
+        }
+        assert_eq!(g.random_far_room("a", 10, &mut rng), None);
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_distance() {
+        let mut g = line();
+        g.add_edge("x", "y");
+        assert_eq!(g.distance("a", "x"), None);
+        assert!(!g.within_hops("a", "x", 100));
+    }
+}

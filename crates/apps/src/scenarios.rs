@@ -1,0 +1,146 @@
+//! The exact five-context traces of the paper's Figures 1–5.
+//!
+//! Peter walks at `v = 1` m/tick along the x axis; the application
+//! requires that his estimated velocity stay below `150 % · v` (§2.1).
+//! Five locations `d1 … d5` are tracked; `d3` is corrupted:
+//!
+//! * **Scenario A** (Fig. 1): `d3` deviates so far that both adjacent
+//!   pairs `(d2,d3)` and `(d3,d4)` violate the constraint; with the
+//!   refined gap-2 constraint (Fig. 5), `(d1,d3)` and `(d3,d5)` violate
+//!   too — `count(d3) = 4`;
+//! * **Scenario B** (Fig. 2): `d3` sits closer to `d2`, so only
+//!   `(d3,d4)` violates the adjacent constraint; the refined constraint
+//!   adds `(d3,d5)` — `count(d3) = 2`.
+//!
+//! These traces drive the paper-shape integration tests: drop-latest
+//! resolves Scenario A correctly but discards the *correct* `d4` in
+//! Scenario B; drop-all loses correct contexts in both; drop-bad
+//! discards exactly `d3` in both (given the refined constraints).
+
+use ctxres_constraint::{parse_constraints, Constraint};
+use ctxres_context::{Context, ContextKind, LogicalTime, Point, TruthTag};
+
+/// The context kind used by the scenario traces.
+pub fn location_kind() -> ContextKind {
+    ContextKind::new("location")
+}
+
+fn trace(points: [(f64, f64); 5]) -> Vec<Context> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, (x, y))| {
+            Context::builder(location_kind(), "peter")
+                .attr("pos", Point::new(*x, *y))
+                .attr("seq", i as i64)
+                .stamp(LogicalTime::new(i as u64))
+                .truth(if i == 2 { TruthTag::Corrupted } else { TruthTag::Expected })
+                .build()
+        })
+        .collect()
+}
+
+/// Scenario A (Fig. 1): `d3 = (2, 3)` deviates sharply.
+pub fn scenario_a() -> Vec<Context> {
+    trace([(0.0, 0.0), (1.0, 0.0), (2.0, 3.0), (3.0, 0.0), (4.0, 0.0)])
+}
+
+/// Scenario B (Fig. 2): `d3 = (1.2, 1.4)` slips past the adjacent check.
+pub fn scenario_b() -> Vec<Context> {
+    trace([(0.0, 0.0), (1.0, 0.0), (1.2, 1.4), (3.0, 0.0), (4.0, 0.0)])
+}
+
+/// The adjacent-pair velocity constraint of §2.1 (gap 1, limit
+/// `150 % · v`).
+pub fn adjacent_constraint() -> Constraint {
+    parse_constraints(
+        "constraint velocity_gap1:
+           forall a: location, b: location .
+             (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)",
+    )
+    .unwrap()
+    .remove(0)
+}
+
+/// The refined gap-2 constraint of §3.1 (pairs separated by one
+/// intermediate location, same 150 % velocity limit over two ticks).
+pub fn gap2_constraint() -> Constraint {
+    parse_constraints(
+        "constraint velocity_gap2:
+           forall a: location, b: location .
+             (same_subject(a, b) and seq_gap(a, b, 2)) implies velocity_le(a, b, 1.5)",
+    )
+    .unwrap()
+    .remove(0)
+}
+
+/// Both constraints, as deployed for Fig. 5.
+pub fn refined_constraints() -> Vec<Constraint> {
+    vec![adjacent_constraint(), gap2_constraint()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_constraint::{Evaluator, PredicateRegistry};
+    use ctxres_context::ContextPool;
+    use std::collections::BTreeSet;
+
+    fn violations(trace: Vec<Context>, constraints: &[Constraint]) -> BTreeSet<Vec<u64>> {
+        let pool: ContextPool = trace.into_iter().collect();
+        let reg = PredicateRegistry::with_builtins();
+        let eval = Evaluator::new(&reg);
+        let mut out = BTreeSet::new();
+        for c in constraints {
+            let outcome = eval.check(c, &pool, LogicalTime::new(10)).unwrap();
+            for link in outcome.violations {
+                out.insert(link.iter().map(|id| id.raw()).collect());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn scenario_a_adjacent_detects_d2d3_and_d3d4() {
+        // Fig. 1: Δ = {(d2,d3), (d3,d4)} — 0-based ids 1,2,3.
+        let v = violations(scenario_a(), &[adjacent_constraint()]);
+        assert_eq!(v, BTreeSet::from([vec![1, 2], vec![2, 3]]));
+    }
+
+    #[test]
+    fn scenario_a_refined_detects_four_inconsistencies() {
+        // Fig. 5 left: Δ = {(d1,d3),(d2,d3),(d3,d4),(d3,d5)}.
+        let v = violations(scenario_a(), &refined_constraints());
+        assert_eq!(
+            v,
+            BTreeSet::from([vec![0, 2], vec![1, 2], vec![2, 3], vec![2, 4]])
+        );
+    }
+
+    #[test]
+    fn scenario_b_adjacent_detects_only_d3d4() {
+        // Fig. 2 right: Δ = {(d3,d4)}.
+        let v = violations(scenario_b(), &[adjacent_constraint()]);
+        assert_eq!(v, BTreeSet::from([vec![2, 3]]));
+    }
+
+    #[test]
+    fn scenario_b_refined_detects_two_inconsistencies() {
+        // Fig. 5 right: Δ = {(d3,d4),(d3,d5)}.
+        let v = violations(scenario_b(), &refined_constraints());
+        assert_eq!(v, BTreeSet::from([vec![2, 3], vec![2, 4]]));
+    }
+
+    #[test]
+    fn only_d3_is_corrupted() {
+        for trace in [scenario_a(), scenario_b()] {
+            let corrupted: Vec<usize> = trace
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.truth().is_corrupted())
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(corrupted, vec![2]);
+        }
+    }
+}

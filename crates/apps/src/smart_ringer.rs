@@ -1,0 +1,445 @@
+//! The smart-phone ringer — the paper's opening example (§1): "a smart
+//! phone would vibrate rather than beep in a concert hall to avoid
+//! disturbing an ongoing performance, but would roar loudly in a
+//! foot-ball match".
+//!
+//! Two context kinds feed the ringer policy: `venue` fixes (where the
+//! phone is) and `noise` samples (ambient level in dB). Unlike the other
+//! applications, the key consistency constraint is **cross-kind**: a
+//! reported venue must be coherent with the concurrently measured noise
+//! floor — a "concert hall" fix while the microphone reads 95 dB is
+//! corrupt. This exercises the §3.4 claim that drop-bad handles
+//! inconsistencies "caused by different types and numbers of contexts".
+
+use crate::rooms::RoomGraph;
+use crate::PervasiveApp;
+use ctxres_constraint::{parse_constraints, Constraint, EvalError, PredicateRegistry};
+use ctxres_context::{Context, ContextKind, Lifespan, LogicalTime, Ticks, TruthTag};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The ambient-noise band (dB) expected at a venue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseBand {
+    /// Lower edge of the plausible band.
+    pub low: f64,
+    /// Upper edge of the plausible band.
+    pub high: f64,
+}
+
+/// The smart-ringer application.
+#[derive(Debug, Clone)]
+pub struct SmartRinger {
+    venues: Arc<RoomGraph>,
+    bands: Arc<BTreeMap<String, NoiseBand>>,
+    ttl: Ticks,
+    stay_probability: f64,
+}
+
+impl SmartRinger {
+    /// The venue-fix context kind.
+    pub fn venue_kind() -> ContextKind {
+        ContextKind::new("venue")
+    }
+
+    /// The noise-sample context kind.
+    pub fn noise_kind() -> ContextKind {
+        ContextKind::new("noise")
+    }
+
+    /// Creates the application with the default city block.
+    pub fn new() -> Self {
+        let venues = RoomGraph::from_edges([
+            ("street", "concert-hall"),
+            ("street", "stadium"),
+            ("street", "office"),
+            ("street", "cafe"),
+            ("stadium", "parking"),
+        ]);
+        let bands: BTreeMap<String, NoiseBand> = [
+            ("concert-hall", NoiseBand { low: 25.0, high: 55.0 }),
+            ("stadium", NoiseBand { low: 80.0, high: 110.0 }),
+            ("office", NoiseBand { low: 35.0, high: 60.0 }),
+            ("cafe", NoiseBand { low: 55.0, high: 75.0 }),
+            ("street", NoiseBand { low: 60.0, high: 85.0 }),
+            ("parking", NoiseBand { low: 45.0, high: 70.0 }),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect();
+        SmartRinger {
+            venues: Arc::new(venues),
+            bands: Arc::new(bands),
+            ttl: Ticks::new(5),
+            stay_probability: 0.5,
+        }
+    }
+
+    /// The venue adjacency graph.
+    pub fn venues(&self) -> &RoomGraph {
+        &self.venues
+    }
+
+    /// The noise band expected at `venue`.
+    pub fn band(&self, venue: &str) -> Option<NoiseBand> {
+        self.bands.get(venue).copied()
+    }
+}
+
+impl Default for SmartRinger {
+    fn default() -> Self {
+        SmartRinger::new()
+    }
+}
+
+impl PervasiveApp for SmartRinger {
+    fn name(&self) -> &'static str {
+        "smart-ringer"
+    }
+
+    fn constraints(&self) -> Vec<Constraint> {
+        parse_constraints(
+            "# the phone cannot jump between non-adjacent venues
+             constraint venue_adjacent:
+               forall a: venue, b: venue .
+                 (same_subject(a, b) and seq_gap(a, b, 1)) implies venue_edge(a, b)
+             # fixes one apart stay within two hops
+             constraint venue_within2:
+               forall a: venue, b: venue .
+                 (same_subject(a, b) and seq_gap(a, b, 2)) implies venue_within2(a, b)
+             # cross-kind: a venue fix must be coherent with concurrent
+             # noise samples from the same phone
+             constraint venue_noise_coherent:
+               forall v: venue, n: noise .
+                 (same_subject(v, n) and time_gap_le(v, n, 0)) implies noise_matches_venue(v, n)
+             # microphones report physical levels
+             constraint noise_physical:
+               forall n: noise . ge(n.level, 10.0) and le(n.level, 130.0)
+             # ambient noise does not jump more than a venue change can
+             # explain (office 35 dB to stadium 110 dB is the widest
+             # legitimate transition)
+             constraint noise_smooth:
+               forall a: noise, b: noise .
+                 (same_subject(a, b) and seq_gap(a, b, 1)) implies level_delta_le(a, b, 80.0)",
+        )
+        .expect("builtin constraints parse")
+    }
+
+    fn situations(&self) -> Vec<Constraint> {
+        parse_constraints(
+            "# vibrate: the phone is in the concert hall
+             constraint silent_mode:
+               exists v: venue . eq(v.place, \"concert-hall\")
+             # roar: the phone is at the match
+             constraint loud_mode:
+               exists v: venue . eq(v.place, \"stadium\")
+             # quiet hours at the office with low measured noise
+             constraint office_quiet:
+               exists v: venue, n: noise .
+                 same_subject(v, n) and eq(v.place, \"office\") and lt(n.level, 55.0)",
+        )
+        .expect("builtin situations parse")
+    }
+
+    fn registry(&self) -> PredicateRegistry {
+        let mut reg = PredicateRegistry::with_builtins();
+        let place_of = |args: &[ctxres_constraint::Resolved<'_>], i: usize, pred: &str| {
+            args[i]
+                .ctx()
+                .and_then(|(c, _)| c.text("place").map(str::to_owned))
+                .ok_or_else(|| EvalError::Type {
+                    name: pred.to_owned(),
+                    detail: format!("argument {i} must be a venue context with a place"),
+                })
+        };
+        let venues = Arc::clone(&self.venues);
+        reg.register("venue_edge", 2, move |args| {
+            let a = place_of(args, 0, "venue_edge")?;
+            let b = place_of(args, 1, "venue_edge")?;
+            Ok(venues.adjacent(&a, &b))
+        });
+        let venues = Arc::clone(&self.venues);
+        reg.register("venue_within2", 2, move |args| {
+            let a = place_of(args, 0, "venue_within2")?;
+            let b = place_of(args, 1, "venue_within2")?;
+            Ok(venues.within_hops(&a, &b, 2))
+        });
+        let bands = Arc::clone(&self.bands);
+        reg.register("noise_matches_venue", 2, move |args| {
+            let place = place_of(args, 0, "noise_matches_venue")?;
+            let (noise, _) = args[1].ctx().ok_or_else(|| EvalError::Type {
+                name: "noise_matches_venue".into(),
+                detail: "argument 1 must be a noise context".into(),
+            })?;
+            let level = noise.number("level").ok_or_else(|| EvalError::Type {
+                name: "noise_matches_venue".into(),
+                detail: "noise context lacks a level".into(),
+            })?;
+            // Bands widen by a tolerance: transient sounds should not
+            // raise false inconsistencies (Rule 1).
+            Ok(bands
+                .get(&place)
+                .map(|b| level >= b.low - 10.0 && level <= b.high + 10.0)
+                .unwrap_or(false))
+        });
+        reg.register("level_delta_le", 3, |args| {
+            let level = |i: usize| {
+                args[i]
+                    .ctx()
+                    .and_then(|(c, _)| c.number("level"))
+                    .ok_or_else(|| EvalError::Type {
+                        name: "level_delta_le".into(),
+                        detail: format!("argument {i} must be a noise context with a level"),
+                    })
+            };
+            let bound = args[2]
+                .value()
+                .and_then(ctxres_context::ContextValue::as_f64)
+                .ok_or_else(|| EvalError::Type {
+                    name: "level_delta_le".into(),
+                    detail: "argument 2 must be numeric".into(),
+                })?;
+            Ok((level(0)? - level(1)?).abs() <= bound)
+        });
+        reg
+    }
+
+    fn schema(&self) -> ctxres_constraint::ContextSchema {
+        use ctxres_constraint::AttrType;
+        let mut schema = ctxres_constraint::ContextSchema::new();
+        schema
+            .kind("venue")
+            .attr("place", AttrType::Text)
+            .attr("seq", AttrType::Int);
+        schema
+            .kind("noise")
+            .attr("level", AttrType::Float)
+            .attr("seq", AttrType::Int);
+        schema
+    }
+
+    fn recommended_window(&self) -> u64 {
+        3
+    }
+
+    fn generate(&self, err_rate: f64, seed: u64, len: usize) -> Vec<Context> {
+        assert!((0.0..=1.0).contains(&err_rate), "err_rate must be a probability");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut place = "office".to_owned();
+        let mut venue_seq = 0i64;
+        let mut noise_seq = 0i64;
+        let mut out = Vec::with_capacity(len);
+        // Each tick emits a venue fix and a noise sample; `len` counts
+        // contexts, so the run spans len/2 ticks.
+        for i in 0..len {
+            let tick = (i / 2) as u64;
+            let stamp = LogicalTime::new(tick);
+            if i % 2 == 0 {
+                // Venue fix.
+                if rng.gen_bool(1.0 - self.stay_probability) {
+                    if let Some(next) = self.venues.random_neighbor(&place, &mut rng) {
+                        place = next;
+                    }
+                }
+                let corrupted = rng.gen_bool(err_rate);
+                let reported = if corrupted {
+                    // A wrong venue — far when one exists, otherwise any
+                    // other venue (from the street hub everything is
+                    // adjacent, so the error is subtle there).
+                    self.venues
+                        .random_far_room(&place, 2, &mut rng)
+                        .or_else(|| {
+                            let others: Vec<&str> = self
+                                .venues
+                                .rooms()
+                                .iter()
+                                .copied()
+                                .filter(|r| *r != place)
+                                .collect();
+                            (!others.is_empty())
+                                .then(|| others[rng.gen_range(0..others.len())].to_owned())
+                        })
+                        .unwrap_or_else(|| place.clone())
+                } else {
+                    place.clone()
+                };
+                out.push(
+                    Context::builder(Self::venue_kind(), "phone")
+                        .attr("place", reported.as_str())
+                        .attr("seq", venue_seq)
+                        .stamp(stamp)
+                        .lifespan(Lifespan::with_ttl(stamp, self.ttl))
+                        .truth(if corrupted { TruthTag::Corrupted } else { TruthTag::Expected })
+                        .build(),
+                );
+                venue_seq += 1;
+            } else {
+                // Noise sample from the *true* venue's band.
+                let band = self.bands[&place];
+                let corrupted = rng.gen_bool(err_rate / 2.0);
+                let level = if corrupted {
+                    // A phantom spike or dropout.
+                    if rng.gen_bool(0.5) {
+                        band.high + rng.gen_range(45.0..60.0)
+                    } else {
+                        (band.low - rng.gen_range(45.0..60.0)).max(11.0)
+                    }
+                } else {
+                    rng.gen_range(band.low..band.high)
+                };
+                out.push(
+                    Context::builder(Self::noise_kind(), "phone")
+                        .attr("level", level)
+                        .attr("seq", noise_seq)
+                        .stamp(stamp)
+                        .lifespan(Lifespan::with_ttl(stamp, self.ttl))
+                        .truth(if corrupted { TruthTag::Corrupted } else { TruthTag::Expected })
+                        .build(),
+                );
+                noise_seq += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_constraint::{validate, Evaluator};
+    use ctxres_context::ContextPool;
+    use std::collections::BTreeSet;
+
+    fn all_violations(app: &SmartRinger, trace: Vec<Context>) -> Vec<ctxres_constraint::Link> {
+        let pool: ContextPool = trace.into_iter().collect();
+        let reg = app.registry();
+        let eval = Evaluator::new(&reg);
+        let mut links = Vec::new();
+        for c in app.constraints() {
+            links.extend(eval.check(&c, &pool, LogicalTime::new(0)).unwrap().violations);
+        }
+        links
+    }
+
+    #[test]
+    fn clean_traces_are_consistent() {
+        let app = SmartRinger::new();
+        let trace = app.generate(0.0, 3, 300);
+        let v = all_violations(&app, trace);
+        assert!(v.is_empty(), "false positives: {v:?}");
+    }
+
+    #[test]
+    fn corrupted_venues_conflict_with_noise() {
+        // With only the cross-kind constraint deployed, corrupted venue
+        // fixes are still caught: the noise stream betrays them.
+        let app = SmartRinger::new();
+        let trace = app.generate(0.3, 7, 300);
+        let corrupted_venues: BTreeSet<u64> = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind() == &SmartRinger::venue_kind() && c.truth().is_corrupted())
+            .map(|(i, _)| i as u64)
+            .collect();
+        let pool: ContextPool = trace.into_iter().collect();
+        let reg = app.registry();
+        let eval = Evaluator::new(&reg);
+        let coherence = app
+            .constraints()
+            .into_iter()
+            .find(|c| c.name() == "venue_noise_coherent")
+            .unwrap();
+        let out = eval.check(&coherence, &pool, LogicalTime::new(0)).unwrap();
+        let blamed: BTreeSet<u64> = out
+            .violations
+            .iter()
+            .flat_map(|l| l.iter().map(|id| id.raw()))
+            .collect();
+        let caught = corrupted_venues.intersection(&blamed).count();
+        // The coherence channel alone cannot separate acoustically
+        // similar venues (office vs concert hall) — a realistic partial
+        // detector; it must still catch a solid share on its own.
+        assert!(
+            caught as f64 > corrupted_venues.len() as f64 * 0.3,
+            "cross-kind recall {caught}/{}",
+            corrupted_venues.len()
+        );
+        // All channels together catch most corrupted venue fixes.
+        let mut all_blamed: BTreeSet<u64> = BTreeSet::new();
+        for c in app.constraints() {
+            for link in eval.check(&c, &pool, LogicalTime::new(0)).unwrap().violations {
+                all_blamed.extend(link.iter().map(|id| id.raw()));
+            }
+        }
+        let caught_all = corrupted_venues.intersection(&all_blamed).count();
+        assert!(
+            caught_all as f64 > corrupted_venues.len() as f64 * 0.75,
+            "overall recall {caught_all}/{}",
+            corrupted_venues.len()
+        );
+    }
+
+    #[test]
+    fn cross_kind_links_span_both_kinds() {
+        let app = SmartRinger::new();
+        let trace = app.generate(0.4, 5, 200);
+        let pool: ContextPool = trace.into_iter().collect();
+        let reg = app.registry();
+        let eval = Evaluator::new(&reg);
+        let coherence = app
+            .constraints()
+            .into_iter()
+            .find(|c| c.name() == "venue_noise_coherent")
+            .unwrap();
+        let out = eval.check(&coherence, &pool, LogicalTime::new(0)).unwrap();
+        assert!(!out.violations.is_empty());
+        let spans_kinds = out.violations.iter().any(|link| {
+            let kinds: BTreeSet<&str> = link
+                .iter()
+                .filter_map(|id| pool.get(*id))
+                .map(|c| c.kind().name())
+                .collect();
+            kinds.len() == 2
+        });
+        assert!(spans_kinds, "expected a violation naming both kinds");
+    }
+
+    #[test]
+    fn schema_validates() {
+        let app = SmartRinger::new();
+        let mut all = app.constraints();
+        all.extend(app.situations());
+        let violations = validate(&all, &app.schema(), &app.registry());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn five_constraints_three_situations() {
+        let app = SmartRinger::new();
+        assert_eq!(app.constraints().len(), 5);
+        assert_eq!(app.situations().len(), 3);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let app = SmartRinger::new();
+        assert_eq!(app.generate(0.2, 9, 80), app.generate(0.2, 9, 80));
+    }
+
+    #[test]
+    fn emits_both_kinds_alternating() {
+        let app = SmartRinger::new();
+        let trace = app.generate(0.0, 1, 6);
+        let kinds: Vec<&str> = trace.iter().map(|c| c.kind().name()).collect();
+        assert_eq!(kinds, vec!["venue", "noise", "venue", "noise", "venue", "noise"]);
+    }
+
+    #[test]
+    fn bands_are_exposed() {
+        let app = SmartRinger::new();
+        assert!(app.band("stadium").unwrap().low > app.band("concert-hall").unwrap().high);
+        assert!(app.band("nowhere").is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! Every application's constraints and situations must validate against
+//! its declared schema and registry — the deploy-time check a real
+//! installation would run.
+
+use ctxres_apps::call_forwarding::CallForwarding;
+use ctxres_apps::location_tracking::LocationTracking;
+use ctxres_apps::rfid_anomalies::RfidAnomalies;
+use ctxres_apps::PervasiveApp;
+use ctxres_constraint::validate;
+
+fn assert_valid(app: &dyn PervasiveApp) {
+    let schema = app.schema();
+    let registry = app.registry();
+    let mut all = app.constraints();
+    all.extend(app.situations());
+    let violations = validate(&all, &schema, &registry);
+    assert!(
+        violations.is_empty(),
+        "{}: {:?}",
+        app.name(),
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn call_forwarding_validates() {
+    assert_valid(&CallForwarding::new());
+}
+
+#[test]
+fn rfid_anomalies_validates() {
+    assert_valid(&RfidAnomalies::new());
+}
+
+#[test]
+fn location_tracking_validates() {
+    assert_valid(&LocationTracking::new());
+}
+
+#[test]
+fn a_typo_would_be_caught() {
+    use ctxres_constraint::parse_constraints;
+    let app = CallForwarding::new();
+    let broken = parse_constraints("constraint typo: forall a: badge . eq(a.rom, \"office\")").unwrap();
+    let violations = validate(&broken, &app.schema(), &app.registry());
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].to_string().contains("rom"));
+}

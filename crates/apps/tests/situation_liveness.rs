@@ -1,0 +1,78 @@
+//! Guards against dead situations: every application's situations must
+//! actually activate on its own clean workloads (otherwise the
+//! `sitActRate` experiments would be dividing by zero epochs).
+
+use ctxres_apps::call_forwarding::CallForwarding;
+use ctxres_apps::location_tracking::LocationTracking;
+use ctxres_apps::rfid_anomalies::RfidAnomalies;
+use ctxres_apps::smart_ringer::SmartRinger;
+use ctxres_apps::PervasiveApp;
+use ctxres_context::Ticks;
+use ctxres_core::strategies::Oracle;
+use ctxres_middleware::{Middleware, MiddlewareConfig};
+
+fn activations(app: &dyn PervasiveApp, err_rate: f64, len: usize) -> (u64, u64) {
+    let mut mw = Middleware::builder()
+        .constraints(app.constraints())
+        .situations(app.situations())
+        .registry(app.registry())
+        .strategy(Box::new(Oracle::new()))
+        .config(MiddlewareConfig {
+            window: Ticks::new(app.recommended_window()),
+            track_ground_truth: true,
+            retention: None,
+        })
+        .build();
+    for ctx in app.generate(err_rate, 31, len) {
+        mw.submit(ctx);
+    }
+    mw.drain();
+    (mw.stats().situation_activations, mw.matched_activations())
+}
+
+#[test]
+fn call_forwarding_situations_are_live() {
+    let (raw, matched) = activations(&CallForwarding::new(), 0.0, 600);
+    assert!(raw >= 10, "raw {raw}");
+    assert!(matched >= 10, "matched {matched}");
+}
+
+#[test]
+fn rfid_situations_are_live() {
+    // Per-tag situations on a 100-tick clean run fire sparsely but must
+    // fire: zero epochs would make sitActRate meaningless.
+    let (raw, matched) = activations(&RfidAnomalies::new(), 0.0, 600);
+    assert!(raw >= 2, "raw {raw}");
+    assert!(matched >= 2, "matched {matched}");
+}
+
+#[test]
+fn location_tracking_situations_are_live() {
+    let (raw, matched) = activations(&LocationTracking::new(), 0.0, 600);
+    assert!(raw >= 3, "raw {raw}");
+    assert!(matched >= 3, "matched {matched}");
+}
+
+#[test]
+fn smart_ringer_situations_are_live() {
+    let (raw, matched) = activations(&SmartRinger::new(), 0.0, 600);
+    assert!(raw >= 10, "raw {raw}");
+    assert!(matched >= 10, "matched {matched}");
+}
+
+#[test]
+fn oracle_covers_epochs_on_clean_traces() {
+    // With no corruption the oracle's view is complete: it must cover a
+    // healthy number of ground-truth epochs. (matched can legitimately
+    // exceed raw rising edges: the eager oracle's availability starts at
+    // submit and one continuous active interval can cover several
+    // ground-truth epochs.)
+    for app in [
+        Box::new(CallForwarding::new()) as Box<dyn PervasiveApp>,
+        Box::new(RfidAnomalies::new()),
+        Box::new(SmartRinger::new()),
+    ] {
+        let (raw, matched) = activations(app.as_ref(), 0.0, 450);
+        assert!(raw > 0 && matched > 0, "{}: raw {raw} matched {matched}", app.name());
+    }
+}

@@ -1,0 +1,25 @@
+//! §5.3 window-ablation bench: drop-bad at three window sizes (0
+//! degenerates into drop-latest) on the Call Forwarding workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctxres_apps::call_forwarding::CallForwarding;
+use ctxres_core::strategies::DropBad;
+use ctxres_experiments::runner::run_with;
+use std::hint::black_box;
+
+fn window_ablation(c: &mut Criterion) {
+    let app = CallForwarding::new();
+    let mut group = c.benchmark_group("ablation_window");
+    group.sample_size(10);
+    for window in [0u64, 3, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                black_box(run_with(&app, Box::new(DropBad::new()), 0.3, 1, 300, w))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, window_ablation);
+criterion_main!(benches);

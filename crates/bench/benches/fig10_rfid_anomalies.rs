@@ -1,0 +1,22 @@
+//! Figure 10 regeneration bench: the RFID data anomalies comparison,
+//! one timed pipeline per strategy at the middle error rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctxres_apps::rfid_anomalies::RfidAnomalies;
+use ctxres_bench::bench_cell;
+use std::hint::black_box;
+
+fn fig10(c: &mut Criterion) {
+    let app = RfidAnomalies::new();
+    let mut group = c.benchmark_group("fig10_rfid_anomalies");
+    group.sample_size(10);
+    for strategy in ["opt-r", "d-bad", "d-lat", "d-all"] {
+        group.bench_with_input(BenchmarkId::from_parameter(strategy), strategy, |b, s| {
+            b.iter(|| black_box(bench_cell(&app, s, 0.3, 300)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 9 regeneration bench: the Call Forwarding comparison, one
+//! timed pipeline per strategy at the middle error rate. Criterion's
+//! report doubles as a smoke-check that every strategy runs the paper's
+//! workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctxres_apps::call_forwarding::CallForwarding;
+use ctxres_bench::bench_cell;
+use std::hint::black_box;
+
+fn fig9(c: &mut Criterion) {
+    let app = CallForwarding::new();
+    let mut group = c.benchmark_group("fig9_call_forwarding");
+    group.sample_size(10);
+    for strategy in ["opt-r", "d-bad", "d-lat", "d-all"] {
+        group.bench_with_input(BenchmarkId::from_parameter(strategy), strategy, |b, s| {
+            b.iter(|| black_box(bench_cell(&app, s, 0.3, 300)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

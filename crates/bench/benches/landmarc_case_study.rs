@@ -1,0 +1,28 @@
+//! §5.2 case-study bench: LANDMARC fixes through the drop-bad pipeline
+//! (simulation + estimation + checking + resolution), plus the raw
+//! estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctxres_apps::location_tracking::LocationTracking;
+use ctxres_bench::bench_cell;
+use ctxres_landmarc::{LandmarcConfig, LandmarcSim};
+use std::hint::black_box;
+
+fn case_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("landmarc_case_study");
+    group.sample_size(10);
+    let app = LocationTracking::new();
+    group.bench_function("drop_bad_pipeline_300_fixes", |b| {
+        b.iter(|| black_box(bench_cell(&app, "d-bad", 0.2, 300)));
+    });
+    group.bench_function("knn_estimation_300_fixes", |b| {
+        b.iter(|| {
+            let sim = LandmarcSim::new(LandmarcConfig::default(), 7);
+            black_box(sim.take(300).count())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, case_study);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benches for the `ctxres` workspace.
+//!
+//! One bench target per paper artifact (`fig9_call_forwarding`,
+//! `fig10_rfid_anomalies`, `landmarc_case_study`, `ablation_window`)
+//! times the regeneration pipeline per strategy/parameter, and `micro`
+//! covers the substrate hot paths (pool operations, full vs incremental
+//! checking, the drop-bad decision procedure, the DSL parser).
+//!
+//! Run with `cargo bench --workspace`. Shared helpers live here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ctxres_apps::PervasiveApp;
+use ctxres_experiments::metrics::RunMetrics;
+use ctxres_experiments::runner::run_named;
+
+/// Runs one (strategy, error-rate) experiment cell at bench scale.
+pub fn bench_cell(app: &dyn PervasiveApp, strategy: &str, err_rate: f64, len: usize) -> RunMetrics {
+    run_named(app, strategy, err_rate, 1, len, app.recommended_window())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_apps::call_forwarding::CallForwarding;
+
+    #[test]
+    fn bench_cell_runs() {
+        let m = bench_cell(&CallForwarding::new(), "d-bad", 0.2, 60);
+        assert_eq!(m.strategy, "d-bad");
+    }
+}

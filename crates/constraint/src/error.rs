@@ -1,0 +1,116 @@
+//! Errors for parsing and evaluating constraints.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while parsing the constraint DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was noticed.
+    pub offset: usize,
+    /// 1-based line of the offending token (0 when unlocated).
+    pub line: usize,
+    /// 1-based column of the offending token (0 when unlocated).
+    pub column: usize,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError { message: message.into(), offset, line: 0, column: 0 }
+    }
+
+    /// Fills in line/column from the original input (the parser does
+    /// this before returning; exposed for custom front-ends).
+    pub fn locate(mut self, input: &str) -> Self {
+        let upto = &input[..self.offset.min(input.len())];
+        self.line = upto.bytes().filter(|b| *b == b'\n').count() + 1;
+        self.column = upto.bytes().rev().take_while(|b| *b != b'\n').count() + 1;
+        self
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "parse error at line {}, column {}: {}", self.line, self.column, self.message)
+        } else {
+            write!(f, "parse error at byte {}: {}", self.offset, self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// An error raised while evaluating a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// A predicate name is not in the registry.
+    UnknownPredicate(String),
+    /// A predicate was applied to the wrong number of arguments.
+    Arity {
+        /// Predicate name.
+        name: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Actual argument count.
+        actual: usize,
+    },
+    /// A predicate received an argument of an unusable type.
+    Type {
+        /// Predicate name.
+        name: String,
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A term referenced a variable not bound by any enclosing quantifier.
+    UnboundVariable(String),
+    /// A term referenced an attribute missing from the bound context.
+    MissingAttr {
+        /// The variable whose context lacked the attribute.
+        var: String,
+        /// The attribute name.
+        attr: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownPredicate(name) => write!(f, "unknown predicate {name:?}"),
+            EvalError::Arity { name, expected, actual } => {
+                write!(f, "predicate {name:?} expects {expected} arguments, got {actual}")
+            }
+            EvalError::Type { name, detail } => write!(f, "predicate {name:?} type error: {detail}"),
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable {v:?}"),
+            EvalError::MissingAttr { var, attr } => {
+                write!(f, "context bound to {var:?} has no attribute {attr:?}")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ParseError>();
+        assert_err::<EvalError>();
+    }
+
+    #[test]
+    fn display_mentions_specifics() {
+        let e = EvalError::Arity { name: "eq".into(), expected: 2, actual: 3 };
+        assert!(e.to_string().contains("eq"));
+        assert!(e.to_string().contains('3'));
+        let p = ParseError::new("expected ident", 12);
+        assert!(p.to_string().contains("12"));
+    }
+}

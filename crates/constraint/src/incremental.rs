@@ -1,0 +1,323 @@
+//! Incremental inconsistency detection (ICSE'06 style).
+//!
+//! When a context arrives, only the constraints quantifying over its kind
+//! can newly be violated, and — within the universal-positive fragment —
+//! only through bindings that include the new context. The checker
+//! therefore re-evaluates each affected constraint once per quantifier of
+//! the matching kind, with that quantifier's domain *pinned* to the new
+//! context. Constraints outside the fragment fall back to full
+//! re-evaluation with link diffing.
+
+use crate::constraint::ConstraintSet;
+use crate::error::EvalError;
+use crate::eval::{Evaluator, Link};
+use crate::predicate::PredicateRegistry;
+use ctxres_context::{ContextId, ContextKind, ContextPool, LogicalTime};
+use std::collections::{BTreeSet, HashMap};
+
+/// One newly detected context inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// Name of the violated constraint.
+    pub constraint: String,
+    /// The contexts forming the inconsistency.
+    pub link: Link,
+}
+
+/// Counters for instrumentation and the incremental-vs-full benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckerStats {
+    /// Pinned (incremental) constraint evaluations performed.
+    pub pinned_evals: u64,
+    /// Full constraint evaluations performed (fallback path).
+    pub full_evals: u64,
+    /// Total detections returned.
+    pub detections: u64,
+}
+
+/// Stateful incremental checker over a deployed [`ConstraintSet`].
+///
+/// ```
+/// use ctxres_constraint::{parse_constraints, IncrementalChecker, PredicateRegistry};
+/// use ctxres_context::{Context, ContextKind, ContextPool, LogicalTime, Point};
+///
+/// let constraints = parse_constraints(
+///     "constraint region: forall a: location . within(a, 0.0, 0.0, 10.0, 10.0)",
+/// )?;
+/// let mut checker = IncrementalChecker::new(constraints.into_iter().collect());
+/// let registry = PredicateRegistry::with_builtins();
+/// let mut pool = ContextPool::new();
+///
+/// let id = pool.insert(
+///     Context::builder(ContextKind::new("location"), "peter")
+///         .attr("pos", Point::new(50.0, 50.0))
+///         .build(),
+/// );
+/// let found = checker.on_added(&registry, &pool, LogicalTime::new(1), id)?;
+/// assert_eq!(found.len(), 1);
+/// assert!(found[0].link.contains(&id));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct IncrementalChecker {
+    constraints: ConstraintSet,
+    known: HashMap<String, BTreeSet<Link>>,
+    stats: CheckerStats,
+}
+
+impl IncrementalChecker {
+    /// Creates a checker for the given constraints.
+    pub fn new(constraints: ConstraintSet) -> Self {
+        IncrementalChecker { constraints, known: HashMap::new(), stats: CheckerStats::default() }
+    }
+
+    /// The deployed constraints.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Whether contexts of `kind` are relevant to any constraint.
+    pub fn is_relevant(&self, kind: &ContextKind) -> bool {
+        self.constraints.any_relevant_to(kind)
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> CheckerStats {
+        self.stats
+    }
+
+    /// Detects the inconsistencies newly introduced by context `id`
+    /// (already inserted into `pool`).
+    ///
+    /// Universal-positive constraints are checked by pinning; others by
+    /// full re-evaluation diffed against the previous violation set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from predicate evaluation.
+    pub fn on_added(
+        &mut self,
+        registry: &PredicateRegistry,
+        pool: &ContextPool,
+        now: LogicalTime,
+        id: ContextId,
+    ) -> Result<Vec<Detection>, EvalError> {
+        let Some(ctx) = pool.get(id) else {
+            return Ok(Vec::new());
+        };
+        let kind = ctx.kind().clone();
+        let evaluator = Evaluator::new(registry);
+        let mut out = Vec::new();
+        // Collect names first to appease the borrow checker (stats are
+        // updated while iterating).
+        let relevant: Vec<String> = self
+            .constraints
+            .relevant_to(&kind)
+            .map(|c| c.name().to_owned())
+            .collect();
+        for name in relevant {
+            let constraint = self.constraints.get(&name).expect("constraint exists").clone();
+            if constraint.is_universal_positive() {
+                let mut links: BTreeSet<Link> = BTreeSet::new();
+                for qid in constraint.quantifiers_over(&kind) {
+                    self.stats.pinned_evals += 1;
+                    let outcome = evaluator.check_pinned(&constraint, pool, now, qid, id)?;
+                    links.extend(outcome.violations);
+                }
+                for link in links {
+                    out.push(Detection { constraint: name.clone(), link });
+                }
+            } else {
+                self.stats.full_evals += 1;
+                let outcome = evaluator.check(&constraint, pool, now)?;
+                let seen = self.known.entry(name.clone()).or_default();
+                let fresh: Vec<Link> = outcome
+                    .violations
+                    .iter()
+                    .filter(|l| !seen.contains(*l))
+                    .cloned()
+                    .collect();
+                *seen = outcome.violations.into_iter().collect();
+                for link in fresh {
+                    out.push(Detection { constraint: name.clone(), link });
+                }
+            }
+        }
+        self.stats.detections += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Fully checks every constraint (the non-incremental baseline; used
+    /// by tests and the ablation bench).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from predicate evaluation.
+    pub fn check_all(
+        &mut self,
+        registry: &PredicateRegistry,
+        pool: &ContextPool,
+        now: LogicalTime,
+    ) -> Result<Vec<Detection>, EvalError> {
+        let evaluator = Evaluator::new(registry);
+        let mut out = Vec::new();
+        for constraint in self.constraints.iter() {
+            self.stats.full_evals += 1;
+            let outcome = evaluator.check(constraint, pool, now)?;
+            for link in outcome.violations {
+                out.push(Detection { constraint: constraint.name().to_owned(), link });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_constraints;
+    use ctxres_context::{Context, ContextState, Point};
+
+    fn checker(src: &str) -> IncrementalChecker {
+        IncrementalChecker::new(parse_constraints(src).unwrap().into_iter().collect())
+    }
+
+    fn add_loc(pool: &mut ContextPool, subject: &str, seq: i64, x: f64, y: f64) -> ContextId {
+        pool.insert(
+            Context::builder(ContextKind::new("location"), subject)
+                .attr("pos", Point::new(x, y))
+                .attr("seq", seq)
+                .stamp(LogicalTime::new(seq as u64))
+                .build(),
+        )
+    }
+
+    const SPEED: &str = "constraint speed:
+        forall a: location, b: location .
+          (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+
+    #[test]
+    fn detects_violation_on_arrival() {
+        let mut ch = checker(SPEED);
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        let a = add_loc(&mut pool, "p", 0, 0.0, 0.0);
+        assert!(ch.on_added(&reg, &pool, LogicalTime::new(0), a).unwrap().is_empty());
+        let b = add_loc(&mut pool, "p", 1, 0.5, 0.0);
+        assert!(ch.on_added(&reg, &pool, LogicalTime::new(1), b).unwrap().is_empty());
+        let c = add_loc(&mut pool, "p", 2, 9.0, 9.0);
+        let found = ch.on_added(&reg, &pool, LogicalTime::new(2), c).unwrap();
+        assert_eq!(found.len(), 1);
+        assert!(found[0].link.contains(&b));
+        assert!(found[0].link.contains(&c));
+    }
+
+    #[test]
+    fn irrelevant_kind_triggers_nothing() {
+        let mut ch = checker(SPEED);
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        let id = pool.insert(Context::builder(ContextKind::new("rfid"), "tag").build());
+        assert!(!ch.is_relevant(&ContextKind::new("rfid")));
+        assert!(ch.on_added(&reg, &pool, LogicalTime::new(0), id).unwrap().is_empty());
+        assert_eq!(ch.stats().pinned_evals, 0);
+    }
+
+    #[test]
+    fn detections_deduplicate_across_quantifiers() {
+        // Both quantifiers range over `location`; a self-violating pair
+        // must still be reported once.
+        let mut ch = checker(SPEED);
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        add_loc(&mut pool, "p", 0, 0.0, 0.0);
+        let b = add_loc(&mut pool, "p", 1, 9.0, 9.0);
+        let found = ch.on_added(&reg, &pool, LogicalTime::new(1), b).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(ch.stats().pinned_evals, 2, "one pinned eval per quantifier");
+    }
+
+    #[test]
+    fn multiple_new_inconsistencies_reported_together() {
+        // Paper Fig. 5 shape: gap-1 and gap-2 constraints; a bad context
+        // violates against several predecessors at once.
+        let mut ch = checker(
+            "constraint gap1:
+               forall a: location, b: location .
+                 (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)
+             constraint gap2:
+               forall a: location, b: location .
+                 (same_subject(a, b) and seq_gap(a, b, 2)) implies velocity_le(a, b, 1.5)",
+        );
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        add_loc(&mut pool, "p", 0, 0.0, 0.0);
+        add_loc(&mut pool, "p", 1, 0.5, 0.0);
+        let c = add_loc(&mut pool, "p", 2, 9.0, 9.0);
+        let found = ch.on_added(&reg, &pool, LogicalTime::new(2), c).unwrap();
+        // (b,c) under gap1 and (a,c) under gap2.
+        assert_eq!(found.len(), 2);
+        let names: BTreeSet<&str> = found.iter().map(|d| d.constraint.as_str()).collect();
+        assert_eq!(names.len(), 2);
+    }
+
+    #[test]
+    fn fallback_path_diffs_full_checks() {
+        // `exists` in positive polarity forces the fallback path.
+        let mut ch = checker("constraint anchored: exists a: location . subject_eq(a, \"anchor\")");
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        let a = add_loc(&mut pool, "p", 0, 0.0, 0.0);
+        let found = ch.on_added(&reg, &pool, LogicalTime::new(0), a).unwrap();
+        assert_eq!(found.len(), 1, "no anchor context yet: violated");
+        assert!(ch.stats().full_evals >= 1);
+        // Adding a second non-anchor context: the violation link changes
+        // (the exists evidence now covers both), so it is re-reported;
+        // adding the anchor resolves it.
+        let b = add_loc(&mut pool, "p", 1, 1.0, 0.0);
+        let _ = ch.on_added(&reg, &pool, LogicalTime::new(1), b).unwrap();
+        let anchor = pool.insert(
+            Context::builder(ContextKind::new("location"), "anchor")
+                .attr("pos", Point::new(0.0, 0.0))
+                .attr("seq", 2i64)
+                .build(),
+        );
+        let found = ch.on_added(&reg, &pool, LogicalTime::new(2), anchor).unwrap();
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn discarded_context_cannot_recreate_detections() {
+        let mut ch = checker(SPEED);
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        add_loc(&mut pool, "p", 0, 0.0, 0.0);
+        let b = add_loc(&mut pool, "p", 1, 9.0, 9.0);
+        pool.set_state(b, ContextState::Inconsistent).unwrap();
+        let c = add_loc(&mut pool, "p", 2, 9.5, 9.0);
+        let found = ch.on_added(&reg, &pool, LogicalTime::new(2), c).unwrap();
+        // (b,c) would violate but b is discarded; (a,c) is gap 2, not 1.
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn check_all_matches_incremental_accumulation() {
+        let mut ch = checker(SPEED);
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        let mut incremental: BTreeSet<Link> = BTreeSet::new();
+        for (i, (x, y)) in [(0.0, 0.0), (9.0, 9.0), (0.5, 0.0), (1.0, 0.0)].iter().enumerate() {
+            let id = add_loc(&mut pool, "p", i as i64, *x, *y);
+            for d in ch.on_added(&reg, &pool, LogicalTime::new(i as u64), id).unwrap() {
+                incremental.insert(d.link);
+            }
+        }
+        let full: BTreeSet<Link> = ch
+            .check_all(&reg, &pool, LogicalTime::new(10))
+            .unwrap()
+            .into_iter()
+            .map(|d| d.link)
+            .collect();
+        assert_eq!(incremental, full);
+    }
+}

@@ -1,0 +1,456 @@
+//! Predicate registry: the extensible atoms of the constraint language.
+
+use crate::error::EvalError;
+use ctxres_context::{Context, ContextId, ContextValue, Point};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A predicate argument after variable/attribute resolution.
+#[derive(Debug, Clone)]
+pub enum Resolved<'a> {
+    /// A whole context bound by a quantifier (`Term::Var`).
+    Ctx(ContextId, &'a Context),
+    /// A plain value (`Term::Attr` or `Term::Const`).
+    Value(ContextValue),
+}
+
+impl<'a> Resolved<'a> {
+    /// The context, when the argument is one.
+    pub fn ctx(&self) -> Option<(&'a Context, ContextId)> {
+        match self {
+            Resolved::Ctx(id, c) => Some((c, *id)),
+            Resolved::Value(_) => None,
+        }
+    }
+
+    /// The value, when the argument is one.
+    pub fn value(&self) -> Option<&ContextValue> {
+        match self {
+            Resolved::Value(v) => Some(v),
+            Resolved::Ctx(..) => None,
+        }
+    }
+
+    /// Context ids referenced by this argument (used for link evidence).
+    pub fn referenced_id(&self) -> Option<ContextId> {
+        match self {
+            Resolved::Ctx(id, _) => Some(*id),
+            Resolved::Value(_) => None,
+        }
+    }
+}
+
+type PredicateFn = Box<dyn Fn(&[Resolved<'_>]) -> Result<bool, EvalError> + Send + Sync>;
+
+struct Entry {
+    arity: usize,
+    func: PredicateFn,
+}
+
+/// Registry mapping predicate names to their implementations.
+///
+/// Applications extend the language by registering domain predicates;
+/// [`PredicateRegistry::with_builtins`] provides the standard library
+/// listed in the crate docs (comparisons, topology, velocity, …).
+///
+/// ```
+/// use ctxres_constraint::{PredicateRegistry, Resolved};
+/// use ctxres_context::ContextValue;
+///
+/// let mut reg = PredicateRegistry::with_builtins();
+/// reg.register("always", 0, |_| Ok(true));
+/// let ok = reg.eval("always", &[]).unwrap();
+/// assert!(ok);
+/// let two = [
+///     Resolved::Value(ContextValue::Int(1)),
+///     Resolved::Value(ContextValue::Int(2)),
+/// ];
+/// assert!(reg.eval("lt", &two).unwrap());
+/// ```
+#[derive(Default)]
+pub struct PredicateRegistry {
+    entries: HashMap<String, Entry>,
+}
+
+impl fmt::Debug for PredicateRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("PredicateRegistry").field("predicates", &names).finish()
+    }
+}
+
+impl PredicateRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        PredicateRegistry::default()
+    }
+
+    /// Creates a registry pre-populated with the builtin predicates.
+    ///
+    /// | name | args | meaning |
+    /// |------|------|---------|
+    /// | `eq, ne, lt, le, gt, ge` | v, v | value comparison (numeric across int/float, text, bool) |
+    /// | `same_subject` | c, c | the two contexts concern the same subject |
+    /// | `subject_eq` | c, text | the context's subject equals the text |
+    /// | `distinct` | c, c | the two bound contexts are different contexts |
+    /// | `before` | c, c | first context's stamp strictly precedes the second's |
+    /// | `time_gap_le` | c, c, n | stamps differ by at most `n` ticks |
+    /// | `seq_gap` | c, c, n | `b.seq - a.seq == n` (stream position gap) |
+    /// | `seq_gap_le` | c, c, n | `0 < b.seq - a.seq <= n` |
+    /// | `dist_le` | c, c, d | Euclidean distance of `pos` attrs ≤ `d` |
+    /// | `velocity_le` | c, c, v | implied speed between the `pos` attrs ≤ `v` per tick |
+    /// | `within` | c, x0, y0, x1, y1 | `pos` lies in the axis-aligned rectangle |
+    /// | `has_attr` | c, text | the context defines the named attribute |
+    pub fn with_builtins() -> Self {
+        let mut reg = PredicateRegistry::new();
+        reg.register_comparison("eq", |o| o == Ordering::Equal, false);
+        reg.register_comparison("ne", |o| o == Ordering::Equal, true);
+        reg.register_comparison("lt", |o| o == Ordering::Less, false);
+        reg.register_comparison("le", |o| o != Ordering::Greater, false);
+        reg.register_comparison("gt", |o| o == Ordering::Greater, false);
+        reg.register_comparison("ge", |o| o != Ordering::Less, false);
+
+        reg.register("same_subject", 2, |args| {
+            let (a, _) = ctx_arg("same_subject", args, 0)?;
+            let (b, _) = ctx_arg("same_subject", args, 1)?;
+            Ok(a.subject() == b.subject())
+        });
+        reg.register("subject_eq", 2, |args| {
+            let (a, _) = ctx_arg("subject_eq", args, 0)?;
+            let name = text_arg("subject_eq", args, 1)?;
+            Ok(a.subject() == name)
+        });
+        reg.register("distinct", 2, |args| {
+            let (_, ia) = ctx_arg("distinct", args, 0)?;
+            let (_, ib) = ctx_arg("distinct", args, 1)?;
+            Ok(ia != ib)
+        });
+        reg.register("before", 2, |args| {
+            let (a, _) = ctx_arg("before", args, 0)?;
+            let (b, _) = ctx_arg("before", args, 1)?;
+            Ok(a.stamp() < b.stamp())
+        });
+        reg.register("time_gap_le", 3, |args| {
+            let (a, _) = ctx_arg("time_gap_le", args, 0)?;
+            let (b, _) = ctx_arg("time_gap_le", args, 1)?;
+            let n = num_arg("time_gap_le", args, 2)?;
+            let gap = if a.stamp() <= b.stamp() {
+                (b.stamp() - a.stamp()).count()
+            } else {
+                (a.stamp() - b.stamp()).count()
+            };
+            Ok((gap as f64) <= n)
+        });
+        reg.register("seq_gap", 3, |args| {
+            let sa = seq_of("seq_gap", args, 0)?;
+            let sb = seq_of("seq_gap", args, 1)?;
+            let n = num_arg("seq_gap", args, 2)?;
+            Ok((sb - sa - n).abs() < f64::EPSILON)
+        });
+        reg.register("seq_gap_le", 3, |args| {
+            let sa = seq_of("seq_gap_le", args, 0)?;
+            let sb = seq_of("seq_gap_le", args, 1)?;
+            let n = num_arg("seq_gap_le", args, 2)?;
+            let gap = sb - sa;
+            Ok(gap > 0.0 && gap <= n)
+        });
+        reg.register("dist_le", 3, |args| {
+            let pa = pos_of("dist_le", args, 0)?;
+            let pb = pos_of("dist_le", args, 1)?;
+            let d = num_arg("dist_le", args, 2)?;
+            Ok(pa.distance(pb) <= d)
+        });
+        reg.register("velocity_le", 3, |args| {
+            let (a, _) = ctx_arg("velocity_le", args, 0)?;
+            let (b, _) = ctx_arg("velocity_le", args, 1)?;
+            let pa = pos_of("velocity_le", args, 0)?;
+            let pb = pos_of("velocity_le", args, 1)?;
+            let vmax = num_arg("velocity_le", args, 2)?;
+            let dt = if a.stamp() <= b.stamp() {
+                (b.stamp() - a.stamp()).count()
+            } else {
+                (a.stamp() - b.stamp()).count()
+            } as f64;
+            let dist = pa.distance(pb);
+            if dt == 0.0 {
+                // Two estimates for the same instant: any separation is an
+                // infinite implied speed.
+                Ok(dist == 0.0)
+            } else {
+                Ok(dist / dt <= vmax)
+            }
+        });
+        reg.register("within", 5, |args| {
+            let p = pos_of("within", args, 0)?;
+            let x0 = num_arg("within", args, 1)?;
+            let y0 = num_arg("within", args, 2)?;
+            let x1 = num_arg("within", args, 3)?;
+            let y1 = num_arg("within", args, 4)?;
+            Ok(p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1)
+        });
+        reg.register("has_attr", 2, |args| {
+            let (a, _) = ctx_arg("has_attr", args, 0)?;
+            let name = text_arg("has_attr", args, 1)?;
+            Ok(a.attr(name).is_some())
+        });
+        reg
+    }
+
+    /// Registers (or replaces) a predicate.
+    pub fn register(
+        &mut self,
+        name: &str,
+        arity: usize,
+        func: impl Fn(&[Resolved<'_>]) -> Result<bool, EvalError> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.entries.insert(name.to_owned(), Entry { arity, func: Box::new(func) });
+        self
+    }
+
+    fn register_comparison(&mut self, name: &'static str, accept: fn(Ordering) -> bool, negate: bool) {
+        self.register(name, 2, move |args| {
+            let a = value_arg(name, args, 0)?;
+            let b = value_arg(name, args, 1)?;
+            match a.partial_cmp_value(b) {
+                Some(o) => Ok(accept(o) != negate),
+                None => Err(EvalError::Type {
+                    name: name.to_owned(),
+                    detail: format!("cannot compare {} with {}", a.type_name(), b.type_name()),
+                }),
+            }
+        });
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Evaluates predicate `name` on resolved arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::UnknownPredicate`] for unregistered names,
+    /// [`EvalError::Arity`] on argument-count mismatch, and whatever the
+    /// predicate itself raises.
+    pub fn eval(&self, name: &str, args: &[Resolved<'_>]) -> Result<bool, EvalError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| EvalError::UnknownPredicate(name.to_owned()))?;
+        if entry.arity != args.len() {
+            return Err(EvalError::Arity {
+                name: name.to_owned(),
+                expected: entry.arity,
+                actual: args.len(),
+            });
+        }
+        (entry.func)(args)
+    }
+}
+
+fn ctx_arg<'a>(name: &str, args: &[Resolved<'a>], i: usize) -> Result<(&'a Context, ContextId), EvalError> {
+    args[i].ctx().ok_or_else(|| EvalError::Type {
+        name: name.to_owned(),
+        detail: format!("argument {i} must be a context variable"),
+    })
+}
+
+fn value_arg<'r, 'a>(name: &str, args: &'r [Resolved<'a>], i: usize) -> Result<&'r ContextValue, EvalError> {
+    args[i].value().ok_or_else(|| EvalError::Type {
+        name: name.to_owned(),
+        detail: format!("argument {i} must be a value, not a bare context"),
+    })
+}
+
+fn num_arg(name: &str, args: &[Resolved<'_>], i: usize) -> Result<f64, EvalError> {
+    value_arg(name, args, i)?.as_f64().ok_or_else(|| EvalError::Type {
+        name: name.to_owned(),
+        detail: format!("argument {i} must be numeric"),
+    })
+}
+
+fn text_arg<'r>(name: &str, args: &'r [Resolved<'_>], i: usize) -> Result<&'r str, EvalError> {
+    value_arg(name, args, i)?.as_text().ok_or_else(|| EvalError::Type {
+        name: name.to_owned(),
+        detail: format!("argument {i} must be text"),
+    })
+}
+
+fn pos_of(name: &str, args: &[Resolved<'_>], i: usize) -> Result<Point, EvalError> {
+    let (c, _) = ctx_arg(name, args, i)?;
+    c.point("pos").ok_or_else(|| EvalError::Type {
+        name: name.to_owned(),
+        detail: format!("context argument {i} lacks a point attribute \"pos\""),
+    })
+}
+
+fn seq_of(name: &str, args: &[Resolved<'_>], i: usize) -> Result<f64, EvalError> {
+    let (c, _) = ctx_arg(name, args, i)?;
+    c.number("seq").ok_or_else(|| EvalError::Type {
+        name: name.to_owned(),
+        detail: format!("context argument {i} lacks a numeric attribute \"seq\""),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_context::{Context, ContextKind, LogicalTime};
+
+    fn loc(subject: &str, seq: i64, t: u64, x: f64, y: f64) -> Context {
+        Context::builder(ContextKind::new("location"), subject)
+            .attr("pos", Point::new(x, y))
+            .attr("seq", seq)
+            .stamp(LogicalTime::new(t))
+            .build()
+    }
+
+    fn rc(ctx: &Context, id: u64) -> Resolved<'_> {
+        Resolved::Ctx(ContextId::from_raw(id), ctx)
+    }
+
+    fn v(val: impl Into<ContextValue>) -> Resolved<'static> {
+        Resolved::Value(val.into())
+    }
+
+    #[test]
+    fn comparisons_work_numerically() {
+        let reg = PredicateRegistry::with_builtins();
+        assert!(reg.eval("eq", &[v(2i64), v(2.0)]).unwrap());
+        assert!(reg.eval("ne", &[v(2i64), v(3i64)]).unwrap());
+        assert!(reg.eval("lt", &[v(2i64), v(2.5)]).unwrap());
+        assert!(reg.eval("le", &[v(2i64), v(2i64)]).unwrap());
+        assert!(reg.eval("gt", &[v("b"), v("a")]).unwrap());
+        assert!(reg.eval("ge", &[v(true), v(false)]).unwrap());
+    }
+
+    #[test]
+    fn comparison_type_error_is_reported() {
+        let reg = PredicateRegistry::with_builtins();
+        let err = reg.eval("lt", &[v("text"), v(1i64)]).unwrap_err();
+        assert!(matches!(err, EvalError::Type { .. }));
+    }
+
+    #[test]
+    fn same_subject_and_distinct() {
+        let reg = PredicateRegistry::with_builtins();
+        let a = loc("peter", 0, 0, 0.0, 0.0);
+        let b = loc("peter", 1, 1, 1.0, 0.0);
+        let c = loc("mary", 2, 2, 0.0, 1.0);
+        assert!(reg.eval("same_subject", &[rc(&a, 0), rc(&b, 1)]).unwrap());
+        assert!(!reg.eval("same_subject", &[rc(&a, 0), rc(&c, 2)]).unwrap());
+        assert!(reg.eval("distinct", &[rc(&a, 0), rc(&b, 1)]).unwrap());
+        assert!(!reg.eval("distinct", &[rc(&a, 0), rc(&a, 0)]).unwrap());
+    }
+
+    #[test]
+    fn velocity_le_uses_stamp_gap() {
+        let reg = PredicateRegistry::with_builtins();
+        let a = loc("p", 0, 0, 0.0, 0.0);
+        let b = loc("p", 1, 2, 2.0, 0.0); // 2 m over 2 ticks = 1 m/tick
+        assert!(reg.eval("velocity_le", &[rc(&a, 0), rc(&b, 1), v(1.0)]).unwrap());
+        assert!(!reg.eval("velocity_le", &[rc(&a, 0), rc(&b, 1), v(0.5)]).unwrap());
+    }
+
+    #[test]
+    fn velocity_le_zero_dt_requires_zero_distance() {
+        let reg = PredicateRegistry::with_builtins();
+        let a = loc("p", 0, 5, 0.0, 0.0);
+        let b = loc("p", 1, 5, 1.0, 0.0);
+        let c = loc("p", 2, 5, 0.0, 0.0);
+        assert!(!reg.eval("velocity_le", &[rc(&a, 0), rc(&b, 1), v(100.0)]).unwrap());
+        assert!(reg.eval("velocity_le", &[rc(&a, 0), rc(&c, 2), v(0.1)]).unwrap());
+    }
+
+    #[test]
+    fn seq_gap_exact_and_bounded() {
+        let reg = PredicateRegistry::with_builtins();
+        let a = loc("p", 3, 0, 0.0, 0.0);
+        let b = loc("p", 5, 1, 0.0, 0.0);
+        assert!(reg.eval("seq_gap", &[rc(&a, 0), rc(&b, 1), v(2i64)]).unwrap());
+        assert!(!reg.eval("seq_gap", &[rc(&a, 0), rc(&b, 1), v(1i64)]).unwrap());
+        assert!(reg.eval("seq_gap_le", &[rc(&a, 0), rc(&b, 1), v(2i64)]).unwrap());
+        assert!(!reg.eval("seq_gap_le", &[rc(&b, 1), rc(&a, 0), v(2i64)]).unwrap());
+    }
+
+    #[test]
+    fn within_rectangle() {
+        let reg = PredicateRegistry::with_builtins();
+        let a = loc("p", 0, 0, 2.0, 3.0);
+        assert!(reg
+            .eval("within", &[rc(&a, 0), v(0.0), v(0.0), v(5.0), v(5.0)])
+            .unwrap());
+        assert!(!reg
+            .eval("within", &[rc(&a, 0), v(0.0), v(0.0), v(1.0), v(1.0)])
+            .unwrap());
+    }
+
+    #[test]
+    fn dist_le_measures_euclidean() {
+        let reg = PredicateRegistry::with_builtins();
+        let a = loc("p", 0, 0, 0.0, 0.0);
+        let b = loc("p", 1, 1, 3.0, 4.0);
+        assert!(reg.eval("dist_le", &[rc(&a, 0), rc(&b, 1), v(5.0)]).unwrap());
+        assert!(!reg.eval("dist_le", &[rc(&a, 0), rc(&b, 1), v(4.9)]).unwrap());
+    }
+
+    #[test]
+    fn subject_eq_and_has_attr() {
+        let reg = PredicateRegistry::with_builtins();
+        let a = loc("peter", 0, 0, 0.0, 0.0);
+        assert!(reg.eval("subject_eq", &[rc(&a, 0), v("peter")]).unwrap());
+        assert!(!reg.eval("subject_eq", &[rc(&a, 0), v("mary")]).unwrap());
+        assert!(reg.eval("has_attr", &[rc(&a, 0), v("pos")]).unwrap());
+        assert!(!reg.eval("has_attr", &[rc(&a, 0), v("temperature")]).unwrap());
+    }
+
+    #[test]
+    fn unknown_predicate_and_arity_errors() {
+        let reg = PredicateRegistry::with_builtins();
+        assert!(matches!(
+            reg.eval("no_such", &[]).unwrap_err(),
+            EvalError::UnknownPredicate(_)
+        ));
+        assert!(matches!(
+            reg.eval("eq", &[v(1i64)]).unwrap_err(),
+            EvalError::Arity { expected: 2, actual: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn custom_predicates_extend_the_language() {
+        let mut reg = PredicateRegistry::with_builtins();
+        reg.register("is_peter", 1, |args| {
+            let (c, _) = args[0].ctx().ok_or(EvalError::Type {
+                name: "is_peter".into(),
+                detail: "need a context".into(),
+            })?;
+            Ok(c.subject() == "peter")
+        });
+        let a = loc("peter", 0, 0, 0.0, 0.0);
+        assert!(reg.eval("is_peter", &[rc(&a, 0)]).unwrap());
+        assert!(reg.contains("is_peter"));
+    }
+
+    #[test]
+    fn before_orders_by_stamp() {
+        let reg = PredicateRegistry::with_builtins();
+        let a = loc("p", 0, 1, 0.0, 0.0);
+        let b = loc("p", 1, 2, 0.0, 0.0);
+        assert!(reg.eval("before", &[rc(&a, 0), rc(&b, 1)]).unwrap());
+        assert!(!reg.eval("before", &[rc(&b, 1), rc(&a, 0)]).unwrap());
+    }
+
+    #[test]
+    fn time_gap_le_is_symmetric() {
+        let reg = PredicateRegistry::with_builtins();
+        let a = loc("p", 0, 1, 0.0, 0.0);
+        let b = loc("p", 1, 4, 0.0, 0.0);
+        assert!(reg.eval("time_gap_le", &[rc(&a, 0), rc(&b, 1), v(3i64)]).unwrap());
+        assert!(reg.eval("time_gap_le", &[rc(&b, 1), rc(&a, 0), v(3i64)]).unwrap());
+        assert!(!reg.eval("time_gap_le", &[rc(&a, 0), rc(&b, 1), v(2i64)]).unwrap());
+    }
+}

@@ -1,0 +1,125 @@
+//! Formula simplification: constant folding and structural cleanups.
+//!
+//! Authored constraints often contain redundancies — guards that fold to
+//! constants, double negations from macro-style composition. The
+//! simplifier normalizes them, which both speeds evaluation (fewer nodes
+//! per binding) and makes deployed constraint sets easier to audit.
+//!
+//! Rewrites (all truth-preserving, verified by property tests):
+//!
+//! * `not not f` → `f`
+//! * `true and f` → `f`, `false and f` → `false` (and symmetric)
+//! * `true or f` → `true`, `false or f` → `f` (and symmetric)
+//! * `true implies f` → `f`, `false implies f` → `true`,
+//!   `f implies true` → `true`
+//! * `not true` → `false`, `not false` → `true`
+//! * quantifiers over a constant body keep the quantifier only when it
+//!   matters: `forall x: k . true` → `true`, `exists x: k . false` →
+//!   `false` (the other two combinations depend on domain emptiness and
+//!   are kept).
+
+use crate::ast::{Formula, Quantifier};
+
+/// Simplifies a formula to a fixpoint. The result evaluates to the same
+/// truth value over every pool.
+pub fn simplify(f: Formula) -> Formula {
+    let mut current = f;
+    loop {
+        let next = pass(current.clone());
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+fn pass(f: Formula) -> Formula {
+    match f {
+        Formula::Not(inner) => match pass(*inner) {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner2) => *inner2,
+            other => other.not(),
+        },
+        Formula::And(a, b) => match (pass(*a), pass(*b)) {
+            (Formula::True, x) | (x, Formula::True) => x,
+            (Formula::False, _) | (_, Formula::False) => Formula::False,
+            (x, y) => x.and(y),
+        },
+        Formula::Or(a, b) => match (pass(*a), pass(*b)) {
+            (Formula::False, x) | (x, Formula::False) => x,
+            (Formula::True, _) | (_, Formula::True) => Formula::True,
+            (x, y) => x.or(y),
+        },
+        Formula::Implies(a, b) => match (pass(*a), pass(*b)) {
+            (Formula::True, x) => x,
+            (Formula::False, _) => Formula::True,
+            (_, Formula::True) => Formula::True,
+            (x, Formula::False) => pass(x.not()),
+            (x, y) => x.implies(y),
+        },
+        Formula::Quant { q, var, kind, qid, body } => match (q, pass(*body)) {
+            // Vacuous: true under every binding, including none.
+            (Quantifier::Forall, Formula::True) => Formula::True,
+            // Unsatisfiable under every binding, including none.
+            (Quantifier::Exists, Formula::False) => Formula::False,
+            // `forall x . false` is true on an empty domain and
+            // `exists x . true` is false on one: both must stay.
+            (q, body) => Formula::Quant { q, var, kind, qid, body: Box::new(body) },
+        },
+        leaf @ (Formula::Pred(_) | Formula::True | Formula::False) => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn simp(src: &str) -> String {
+        simplify(parse_formula(src).unwrap()).to_string()
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(simp("true and p()"), "p()");
+        assert_eq!(simp("p() and false"), "false");
+        assert_eq!(simp("false or p()"), "p()");
+        assert_eq!(simp("p() or true"), "true");
+        assert_eq!(simp("not true"), "false");
+        assert_eq!(simp("not not p()"), "p()");
+    }
+
+    #[test]
+    fn implication_rules() {
+        assert_eq!(simp("true implies p()"), "p()");
+        assert_eq!(simp("false implies p()"), "true");
+        assert_eq!(simp("p() implies true"), "true");
+        assert_eq!(simp("p() implies false"), "not p()");
+    }
+
+    #[test]
+    fn quantifier_rules_respect_empty_domains() {
+        assert_eq!(simp("forall a: k . true"), "true");
+        assert_eq!(simp("exists a: k . false"), "false");
+        // These two depend on whether the domain is empty: untouched.
+        assert_eq!(simp("forall a: k . false"), "(forall a: k . false)");
+        assert_eq!(simp("exists a: k . true"), "(exists a: k . true)");
+    }
+
+    #[test]
+    fn nested_cleanup_reaches_fixpoint() {
+        assert_eq!(simp("not not (true and (false or p()))"), "p()");
+        assert_eq!(
+            simp("forall a: k . (true implies (p(a) and true))"),
+            "(forall a: k . p(a))"
+        );
+        assert_eq!(simp("forall a: k . (false implies p(a))"), "true");
+    }
+
+    #[test]
+    fn irreducible_formulas_are_untouched() {
+        let src = "(forall a: k . (p(a) implies q(a)))";
+        assert_eq!(simp(src), src);
+    }
+}

@@ -1,0 +1,254 @@
+//! Property-based tests for the constraint language:
+//!
+//! * the printer and parser are mutual inverses on the formula AST;
+//! * incremental (pinned) detection accumulates exactly the violations a
+//!   full check finds, on randomized context streams;
+//! * evaluation is deterministic.
+
+use ctxres_constraint::{
+    parse_constraints, parse_formula, simplify, Constraint, Evaluator, Formula,
+    IncrementalChecker, Link, PredicateRegistry, Quantifier, Term,
+};
+use ctxres_context::{Context, ContextKind, ContextPool, ContextValue, LogicalTime, Point};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "forall" | "exists" | "and" | "or" | "implies" | "not" | "true" | "false" | "constraint"
+        )
+    })
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        ident().prop_map(Term::Var),
+        (ident(), ident()).prop_map(|(v, a)| Term::Attr(v, a)),
+        any::<i32>().prop_map(|n| Term::Const(ContextValue::Int(i64::from(n)))),
+        (-1000i32..1000, 1u32..1000)
+            .prop_map(|(a, b)| Term::Const(ContextValue::Float(f64::from(a) + 1.0 / f64::from(b)))),
+        "[a-z ]{0,8}".prop_map(|s| Term::Const(ContextValue::Text(s))),
+        any::<bool>().prop_map(|b| Term::Const(ContextValue::Bool(b))),
+    ]
+}
+
+fn formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (ident(), proptest::collection::vec(term(), 0..4))
+            .prop_map(|(name, args)| Formula::pred(&name, args)),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            inner.clone().prop_map(Formula::not),
+            (ident(), ident(), inner.clone())
+                .prop_map(|(v, k, body)| Formula::forall(&v, k.as_str(), body)),
+            (ident(), ident(), inner).prop_map(|(v, k, body)| Formula::exists(&v, k.as_str(), body)),
+        ]
+    })
+}
+
+proptest! {
+    /// print ∘ parse = id on formulas.
+    #[test]
+    fn parser_inverts_printer(f in formula()) {
+        let printed = f.to_string();
+        let reparsed = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(&reparsed, &f, "printed: {}", printed);
+        // And printing again is a fixpoint.
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    /// Constraint analysis (qids, kinds, polarity) never panics and is
+    /// self-consistent.
+    #[test]
+    fn constraint_analysis_is_consistent(f in formula()) {
+        let c = Constraint::new("p", f);
+        prop_assert_eq!(c.quantifier_count(), c.formula().quantifiers().len());
+        for kind in c.kinds() {
+            prop_assert!(c.is_relevant_to(kind));
+            prop_assert!(!c.quantifiers_over(kind).is_empty());
+        }
+    }
+}
+
+/// Abstract interpreter for the simplifier equivalence check: predicate
+/// atoms are propositions keyed by name (arguments ignored, which is
+/// exactly the abstraction level the simplifier works at), and
+/// quantifier domains are uniformly empty or uniformly singleton.
+fn abstract_eval(f: &Formula, truth: &dyn Fn(&str) -> bool, empty_domains: bool) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Not(a) => !abstract_eval(a, truth, empty_domains),
+        Formula::And(a, b) => {
+            abstract_eval(a, truth, empty_domains) && abstract_eval(b, truth, empty_domains)
+        }
+        Formula::Or(a, b) => {
+            abstract_eval(a, truth, empty_domains) || abstract_eval(b, truth, empty_domains)
+        }
+        Formula::Implies(a, b) => {
+            !abstract_eval(a, truth, empty_domains) || abstract_eval(b, truth, empty_domains)
+        }
+        Formula::Quant { q, body, .. } => match (q, empty_domains) {
+            (Quantifier::Forall, true) => true,
+            (Quantifier::Exists, true) => false,
+            (_, false) => abstract_eval(body, truth, empty_domains),
+        },
+        Formula::Pred(call) => truth(&call.name),
+    }
+}
+
+proptest! {
+    /// Simplification preserves truth under every propositional
+    /// assignment and both domain regimes, and never grows the formula.
+    #[test]
+    fn simplify_preserves_truth(f in formula(), seed in any::<u64>()) {
+        let simplified = simplify(f.clone());
+        let truth = move |name: &str| {
+            // A deterministic pseudo-random assignment derived from the
+            // predicate name and the seed.
+            let mut h = seed;
+            for b in name.bytes() {
+                h = h.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b));
+            }
+            h.count_ones() % 2 == 0
+        };
+        for empty in [false, true] {
+            prop_assert_eq!(
+                abstract_eval(&f, &truth, empty),
+                abstract_eval(&simplified, &truth, empty),
+                "formula {} vs simplified {} (empty domains: {})",
+                f,
+                simplified,
+                empty
+            );
+        }
+        prop_assert!(simplified.to_string().len() <= f.to_string().len() + 2);
+        // Simplification is idempotent.
+        prop_assert_eq!(simplify(simplified.clone()), simplified);
+    }
+}
+
+/// A randomized walk with teleport outliers; returns the pool.
+fn walk_pool(positions: &[(i8, bool)]) -> ContextPool {
+    let mut pool = ContextPool::new();
+    let mut x = 0.0;
+    for (i, (step, outlier)) in positions.iter().enumerate() {
+        x += f64::from(*step) / 128.0; // |step| < 1: always legal
+        let pos = if *outlier { Point::new(x + 50.0, 50.0) } else { Point::new(x, 0.0) };
+        pool.insert(
+            Context::builder(ContextKind::new("location"), "p")
+                .attr("pos", pos)
+                .attr("seq", i as i64)
+                .stamp(LogicalTime::new(i as u64))
+                .build(),
+        );
+    }
+    pool
+}
+
+const SPEED: &str = "constraint gap1:
+    forall a: location, b: location .
+      (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)
+ constraint gap2:
+    forall a: location, b: location .
+      (same_subject(a, b) and seq_gap(a, b, 2)) implies velocity_le(a, b, 1.5)";
+
+proptest! {
+    /// The lexer/parser never panic, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,120}") {
+        let _ = parse_formula(&input);
+        let _ = parse_constraints(&input);
+    }
+
+    /// Incremental detection over a stream accumulates exactly the full
+    /// check's violations.
+    #[test]
+    fn incremental_equals_full(
+        positions in proptest::collection::vec((any::<i8>(), proptest::bool::weighted(0.2)), 1..40)
+    ) {
+        let registry = PredicateRegistry::with_builtins();
+        let constraints = parse_constraints(SPEED).unwrap();
+        let mut checker = IncrementalChecker::new(constraints.clone().into_iter().collect());
+
+        // Stream the contexts through the incremental checker.
+        let mut pool = ContextPool::new();
+        let mut incremental: BTreeSet<(String, Link)> = BTreeSet::new();
+        let full_pool = walk_pool(&positions);
+        for (id, ctx) in full_pool.iter() {
+            let new_id = pool.insert(ctx.clone());
+            prop_assert_eq!(new_id, id);
+            for d in checker
+                .on_added(&registry, &pool, ctx.stamp(), new_id)
+                .unwrap()
+            {
+                incremental.insert((d.constraint, d.link));
+            }
+        }
+
+        // Full evaluation over the final pool.
+        let evaluator = Evaluator::new(&registry);
+        let now = LogicalTime::new(positions.len() as u64);
+        let mut full: BTreeSet<(String, Link)> = BTreeSet::new();
+        for c in &constraints {
+            for link in evaluator.check(c, &pool, now).unwrap().violations {
+                full.insert((c.name().to_owned(), link));
+            }
+        }
+        prop_assert_eq!(incremental, full);
+    }
+
+    /// Checking is deterministic.
+    #[test]
+    fn checking_is_deterministic(
+        positions in proptest::collection::vec((any::<i8>(), proptest::bool::weighted(0.3)), 1..25)
+    ) {
+        let registry = PredicateRegistry::with_builtins();
+        let constraints = parse_constraints(SPEED).unwrap();
+        let pool = walk_pool(&positions);
+        let evaluator = Evaluator::new(&registry);
+        let now = LogicalTime::new(positions.len() as u64);
+        for c in &constraints {
+            let a = evaluator.check(c, &pool, now).unwrap();
+            let b = evaluator.check(c, &pool, now).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Every violation link names only contexts that exist in the pool,
+    /// and outliers are the only walks that violate.
+    #[test]
+    fn violations_are_well_formed(
+        positions in proptest::collection::vec((any::<i8>(), proptest::bool::weighted(0.25)), 2..30)
+    ) {
+        let registry = PredicateRegistry::with_builtins();
+        let constraints = parse_constraints(SPEED).unwrap();
+        let pool = walk_pool(&positions);
+        let evaluator = Evaluator::new(&registry);
+        let now = LogicalTime::new(positions.len() as u64);
+        let any_outlier = positions.iter().any(|(_, o)| *o);
+        let mut violated = false;
+        for c in &constraints {
+            let outcome = evaluator.check(c, &pool, now).unwrap();
+            violated |= !outcome.satisfied;
+            for link in &outcome.violations {
+                prop_assert!(!link.is_empty());
+                for id in link {
+                    prop_assert!(pool.contains(*id));
+                }
+            }
+        }
+        if !any_outlier {
+            prop_assert!(!violated, "clean walk must satisfy the velocity constraints");
+        }
+    }
+}

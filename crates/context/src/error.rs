@@ -1,0 +1,59 @@
+//! Error types for the context model.
+
+use crate::context::ContextId;
+use crate::state::ContextState;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the context model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ContextError {
+    /// A life-cycle transition not allowed by Fig. 8 was attempted.
+    IllegalTransition {
+        /// The state the context was in.
+        from: ContextState,
+        /// The state the transition attempted to reach.
+        to: ContextState,
+    },
+    /// The referenced context is not (or no longer) in the pool.
+    UnknownContext(ContextId),
+    /// The referenced context exists but has expired.
+    Expired(ContextId),
+}
+
+impl fmt::Display for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextError::IllegalTransition { from, to } => {
+                write!(f, "illegal context state transition from {from} to {to}")
+            }
+            ContextError::UnknownContext(id) => write!(f, "unknown context {id}"),
+            ContextError::Expired(id) => write!(f, "context {id} has expired"),
+        }
+    }
+}
+
+impl Error for ContextError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_punctuation() {
+        let e = ContextError::IllegalTransition {
+            from: ContextState::Consistent,
+            to: ContextState::Bad,
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("illegal"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ContextError>();
+    }
+}

@@ -1,0 +1,454 @@
+//! The context pool: indexed storage of managed contexts.
+
+use crate::context::{Context, ContextId, ContextKind};
+use crate::error::ContextError;
+use crate::state::ContextState;
+use crate::time::LogicalTime;
+use std::collections::{BTreeMap, HashMap};
+
+/// Counters describing a pool's contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Total contexts ever inserted.
+    pub inserted: u64,
+    /// Contexts currently stored (any state).
+    pub stored: usize,
+    /// Contexts in the `Consistent` state.
+    pub consistent: usize,
+    /// Contexts in the `Undecided` state.
+    pub undecided: usize,
+    /// Contexts in the `Bad` state.
+    pub bad: usize,
+    /// Contexts in the `Inconsistent` (discarded) state.
+    pub inconsistent: usize,
+}
+
+/// Indexed storage for the contexts a middleware manages.
+///
+/// The pool assigns [`ContextId`]s in arrival order and maintains
+/// secondary indexes by kind and by `(kind, subject)`. Discarded
+/// (`Inconsistent`) contexts stay stored for post-mortem metrics but are
+/// excluded from the live views that constraints quantify over.
+///
+/// ```
+/// use ctxres_context::{Context, ContextKind, ContextPool, LogicalTime};
+///
+/// let mut pool = ContextPool::new();
+/// let kind = ContextKind::new("location");
+/// let id = pool.insert(Context::builder(kind.clone(), "peter").stamp(LogicalTime::new(1)).build());
+/// assert_eq!(pool.of_kind(&kind).count(), 1);
+/// assert_eq!(pool.get(id).unwrap().subject(), "peter");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ContextPool {
+    entries: BTreeMap<ContextId, Context>,
+    by_kind: HashMap<ContextKind, Vec<ContextId>>,
+    by_kind_subject: HashMap<(ContextKind, String), Vec<ContextId>>,
+    next_id: u64,
+    inserted: u64,
+}
+
+impl ContextPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ContextPool::default()
+    }
+
+    /// Inserts a context, assigning it the next arrival-ordered id.
+    pub fn insert(&mut self, ctx: Context) -> ContextId {
+        let id = ContextId::from_raw(self.next_id);
+        self.next_id += 1;
+        self.inserted += 1;
+        self.by_kind.entry(ctx.kind().clone()).or_default().push(id);
+        self.by_kind_subject
+            .entry((ctx.kind().clone(), ctx.subject().to_owned()))
+            .or_default()
+            .push(id);
+        self.entries.insert(id, ctx);
+        id
+    }
+
+    /// Looks up a context by id.
+    pub fn get(&self, id: ContextId) -> Option<&Context> {
+        self.entries.get(&id)
+    }
+
+    /// Looks up a context mutably by id.
+    pub fn get_mut(&mut self, id: ContextId) -> Option<&mut Context> {
+        self.entries.get_mut(&id)
+    }
+
+    /// Whether `id` refers to a stored context.
+    pub fn contains(&self, id: ContextId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Number of stored contexts (any state).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool stores no contexts.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all stored contexts in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (ContextId, &Context)> {
+        self.entries.iter().map(|(id, c)| (*id, c))
+    }
+
+    /// Iterates over *live* contexts of `kind` in arrival order.
+    ///
+    /// Live means: not discarded (`Inconsistent`). Constraints quantify
+    /// over this view. Expired contexts are skipped by
+    /// [`ContextPool::of_kind_live_at`]; this method ignores expiry.
+    pub fn of_kind<'a>(&'a self, kind: &ContextKind) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
+        self.by_kind
+            .get(kind)
+            .into_iter()
+            .flatten()
+            .filter_map(move |id| {
+                let c = &self.entries[id];
+                (c.state() != ContextState::Inconsistent).then_some((*id, c))
+            })
+    }
+
+    /// Iterates over live, unexpired contexts of `kind` at instant `now`.
+    pub fn of_kind_live_at<'a>(
+        &'a self,
+        kind: &ContextKind,
+        now: LogicalTime,
+    ) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
+        self.of_kind(kind).filter(move |(_, c)| c.is_live(now))
+    }
+
+    /// Iterates over live contexts of `kind` about `subject`, in arrival
+    /// order.
+    pub fn of_subject<'a>(
+        &'a self,
+        kind: &ContextKind,
+        subject: &str,
+    ) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
+        self.by_kind_subject
+            .get(&(kind.clone(), subject.to_owned()))
+            .into_iter()
+            .flatten()
+            .filter_map(move |id| {
+                let c = &self.entries[id];
+                (c.state() != ContextState::Inconsistent).then_some((*id, c))
+            })
+    }
+
+    /// Iterates over the contexts currently *available* to applications
+    /// (`Consistent` and unexpired).
+    pub fn available_at<'a>(&'a self, now: LogicalTime) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(_, c)| c.state().is_available() && c.is_live(now))
+            .map(|(id, c)| (*id, c))
+    }
+
+    /// The most recent available context of `kind` about `subject`.
+    pub fn latest_available(
+        &self,
+        kind: &ContextKind,
+        subject: &str,
+        now: LogicalTime,
+    ) -> Option<(ContextId, &Context)> {
+        self.of_subject(kind, subject)
+            .filter(|(_, c)| c.state().is_available() && c.is_live(now))
+            .last()
+    }
+
+    /// Transitions a context's state, enforcing the life cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`ContextError::UnknownContext`] when `id` is absent;
+    /// [`ContextError::IllegalTransition`] when the life cycle forbids it.
+    pub fn set_state(&mut self, id: ContextId, next: ContextState) -> Result<(), ContextError> {
+        let ctx = self.entries.get_mut(&id).ok_or(ContextError::UnknownContext(id))?;
+        ctx.set_state(next)
+    }
+
+    /// Discards a context unconditionally, setting it `Inconsistent`
+    /// regardless of its current state.
+    ///
+    /// The four-state life cycle of Fig. 8 belongs to the drop-bad
+    /// strategy; the eager baseline strategies (drop-all in particular)
+    /// discard contexts that were already delivered (`Consistent`), a
+    /// transition the strict [`ContextPool::set_state`] rejects. This
+    /// method is their escape hatch. Idempotent on already-discarded
+    /// contexts.
+    ///
+    /// # Errors
+    ///
+    /// [`ContextError::UnknownContext`] when `id` is absent.
+    pub fn discard(&mut self, id: ContextId) -> Result<(), ContextError> {
+        let ctx = self.entries.get_mut(&id).ok_or(ContextError::UnknownContext(id))?;
+        ctx.force_state(ContextState::Inconsistent);
+        Ok(())
+    }
+
+    /// Compacts the pool for long-running deployments: physically
+    /// removes contexts stamped before `horizon` that are no longer
+    /// useful — discarded (`Inconsistent`) ones and expired ones. Live
+    /// and undecided recent contexts are untouched. Returns how many
+    /// were removed.
+    pub fn compact(&mut self, horizon: LogicalTime) -> usize {
+        let doomed: Vec<ContextId> = self
+            .entries
+            .iter()
+            .filter(|(_, c)| {
+                c.stamp() < horizon
+                    && (c.state() == ContextState::Inconsistent || !c.is_live(horizon))
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &doomed {
+            self.remove(*id);
+        }
+        doomed.len()
+    }
+
+    /// Removes expired contexts from the pool and returns how many were
+    /// dropped. Discarded contexts are kept regardless (for metrics).
+    pub fn sweep_expired(&mut self, now: LogicalTime) -> usize {
+        let doomed: Vec<ContextId> = self
+            .entries
+            .iter()
+            .filter(|(_, c)| !c.is_live(now) && c.state() != ContextState::Inconsistent)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &doomed {
+            self.remove(*id);
+        }
+        doomed.len()
+    }
+
+    /// Physically removes a context and its index entries.
+    pub fn remove(&mut self, id: ContextId) -> Option<Context> {
+        let ctx = self.entries.remove(&id)?;
+        if let Some(v) = self.by_kind.get_mut(ctx.kind()) {
+            v.retain(|i| *i != id);
+        }
+        if let Some(v) = self
+            .by_kind_subject
+            .get_mut(&(ctx.kind().clone(), ctx.subject().to_owned()))
+        {
+            v.retain(|i| *i != id);
+        }
+        Some(ctx)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PoolStats {
+        let mut s = PoolStats {
+            inserted: self.inserted,
+            stored: self.entries.len(),
+            ..PoolStats::default()
+        };
+        for c in self.entries.values() {
+            match c.state() {
+                ContextState::Undecided => s.undecided += 1,
+                ContextState::Consistent => s.consistent += 1,
+                ContextState::Bad => s.bad += 1,
+                ContextState::Inconsistent => s.inconsistent += 1,
+            }
+        }
+        s
+    }
+}
+
+impl Extend<Context> for ContextPool {
+    fn extend<T: IntoIterator<Item = Context>>(&mut self, iter: T) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+impl FromIterator<Context> for ContextPool {
+    fn from_iter<T: IntoIterator<Item = Context>>(iter: T) -> Self {
+        let mut pool = ContextPool::new();
+        pool.extend(iter);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Lifespan, Ticks};
+
+    fn loc(subject: &str, t: u64) -> Context {
+        Context::builder(ContextKind::new("location"), subject)
+            .stamp(LogicalTime::new(t))
+            .build()
+    }
+
+    #[test]
+    fn insert_assigns_monotonic_ids() {
+        let mut pool = ContextPool::new();
+        let a = pool.insert(loc("p", 1));
+        let b = pool.insert(loc("p", 2));
+        assert!(a < b);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn kind_index_filters_by_kind() {
+        let mut pool = ContextPool::new();
+        pool.insert(loc("p", 1));
+        pool.insert(Context::builder(ContextKind::new("rfid"), "tag").build());
+        assert_eq!(pool.of_kind(&ContextKind::new("location")).count(), 1);
+        assert_eq!(pool.of_kind(&ContextKind::new("rfid")).count(), 1);
+        assert_eq!(pool.of_kind(&ContextKind::new("nope")).count(), 0);
+    }
+
+    #[test]
+    fn subject_index_filters_by_subject() {
+        let mut pool = ContextPool::new();
+        pool.insert(loc("peter", 1));
+        pool.insert(loc("mary", 2));
+        pool.insert(loc("peter", 3));
+        let kind = ContextKind::new("location");
+        assert_eq!(pool.of_subject(&kind, "peter").count(), 2);
+        assert_eq!(pool.of_subject(&kind, "mary").count(), 1);
+    }
+
+    #[test]
+    fn discarded_contexts_leave_live_views() {
+        let mut pool = ContextPool::new();
+        let id = pool.insert(loc("p", 1));
+        pool.set_state(id, ContextState::Inconsistent).unwrap();
+        let kind = ContextKind::new("location");
+        assert_eq!(pool.of_kind(&kind).count(), 0);
+        assert_eq!(pool.of_subject(&kind, "p").count(), 0);
+        assert!(pool.contains(id), "kept for metrics");
+    }
+
+    #[test]
+    fn available_view_requires_consistent_and_live() {
+        let mut pool = ContextPool::new();
+        let now = LogicalTime::new(10);
+        let fresh = pool.insert(loc("p", 9));
+        let stale = pool.insert(
+            Context::builder(ContextKind::new("location"), "p")
+                .stamp(LogicalTime::new(1))
+                .lifespan(Lifespan::with_ttl(LogicalTime::new(1), Ticks::new(2)))
+                .build(),
+        );
+        pool.set_state(fresh, ContextState::Consistent).unwrap();
+        pool.set_state(stale, ContextState::Consistent).unwrap();
+        let avail: Vec<ContextId> = pool.available_at(now).map(|(id, _)| id).collect();
+        assert_eq!(avail, vec![fresh]);
+    }
+
+    #[test]
+    fn latest_available_picks_newest() {
+        let mut pool = ContextPool::new();
+        let a = pool.insert(loc("p", 1));
+        let b = pool.insert(loc("p", 2));
+        pool.set_state(a, ContextState::Consistent).unwrap();
+        pool.set_state(b, ContextState::Consistent).unwrap();
+        let kind = ContextKind::new("location");
+        let (latest, _) = pool.latest_available(&kind, "p", LogicalTime::new(5)).unwrap();
+        assert_eq!(latest, b);
+    }
+
+    #[test]
+    fn sweep_expired_removes_dead_contexts() {
+        let mut pool = ContextPool::new();
+        pool.insert(
+            Context::builder(ContextKind::new("location"), "p")
+                .stamp(LogicalTime::new(0))
+                .lifespan(Lifespan::with_ttl(LogicalTime::new(0), Ticks::new(3)))
+                .build(),
+        );
+        pool.insert(loc("p", 1));
+        assert_eq!(pool.sweep_expired(LogicalTime::new(10)), 1);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn set_state_unknown_context_errors() {
+        let mut pool = ContextPool::new();
+        let err = pool.set_state(ContextId::from_raw(99), ContextState::Consistent);
+        assert_eq!(err, Err(ContextError::UnknownContext(ContextId::from_raw(99))));
+    }
+
+    #[test]
+    fn remove_cleans_indexes() {
+        let mut pool = ContextPool::new();
+        let id = pool.insert(loc("p", 1));
+        assert!(pool.remove(id).is_some());
+        assert!(pool.remove(id).is_none());
+        assert_eq!(pool.of_kind(&ContextKind::new("location")).count(), 0);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn stats_count_states() {
+        let mut pool = ContextPool::new();
+        let a = pool.insert(loc("p", 1));
+        let b = pool.insert(loc("p", 2));
+        pool.insert(loc("p", 3));
+        pool.set_state(a, ContextState::Consistent).unwrap();
+        pool.set_state(b, ContextState::Bad).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.inserted, 3);
+        assert_eq!(s.stored, 3);
+        assert_eq!(s.consistent, 1);
+        assert_eq!(s.bad, 1);
+        assert_eq!(s.undecided, 1);
+        assert_eq!(s.inconsistent, 0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let pool: ContextPool = (0..4).map(|t| loc("p", t)).collect();
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn compact_removes_only_old_dead_contexts() {
+        let mut pool = ContextPool::new();
+        let discarded_old = pool.insert(loc("p", 1));
+        pool.discard(discarded_old).unwrap();
+        let expired_old = pool.insert(
+            Context::builder(ContextKind::new("location"), "p")
+                .stamp(LogicalTime::new(2))
+                .lifespan(Lifespan::with_ttl(LogicalTime::new(2), Ticks::new(3)))
+                .build(),
+        );
+        let live_old = pool.insert(loc("p", 3)); // lives forever
+        let recent = pool.insert(loc("p", 90));
+        let discarded_recent = pool.insert(loc("p", 95));
+        pool.discard(discarded_recent).unwrap();
+
+        let removed = pool.compact(LogicalTime::new(50));
+        assert_eq!(removed, 2);
+        assert!(!pool.contains(discarded_old));
+        assert!(!pool.contains(expired_old));
+        assert!(pool.contains(live_old), "undiscarded forever-contexts stay");
+        assert!(pool.contains(recent));
+        assert!(pool.contains(discarded_recent), "recent discards stay for metrics");
+    }
+
+    #[test]
+    fn of_kind_live_at_skips_expired() {
+        let mut pool = ContextPool::new();
+        pool.insert(
+            Context::builder(ContextKind::new("location"), "p")
+                .stamp(LogicalTime::new(0))
+                .lifespan(Lifespan::with_ttl(LogicalTime::new(0), Ticks::new(2)))
+                .build(),
+        );
+        pool.insert(loc("p", 1));
+        let kind = ContextKind::new("location");
+        assert_eq!(pool.of_kind_live_at(&kind, LogicalTime::new(1)).count(), 2);
+        assert_eq!(pool.of_kind_live_at(&kind, LogicalTime::new(5)).count(), 1);
+    }
+}

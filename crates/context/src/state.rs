@@ -1,0 +1,138 @@
+//! The four-state context life cycle (paper Fig. 8).
+
+use crate::error::ContextError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Life-cycle state of a context (paper §3.3, Fig. 8).
+///
+/// * `Undecided` — the initial state: the context is relevant to some
+///   consistency constraint and sits in the middleware buffer waiting for
+///   a decision.
+/// * `Consistent` — decided correct; available to applications.
+/// * `Bad` — marked for eventual discard: some inconsistency it
+///   participates in was resolved in favour of another context, so this
+///   one *will* be set `Inconsistent` when it is eventually used. The
+///   deferral lets the middleware keep collecting count-value evidence.
+/// * `Inconsistent` — decided corrupted and discarded.
+///
+/// Legal transitions:
+///
+/// ```text
+/// Undecided ──► Consistent
+/// Undecided ──► Bad ──► Inconsistent
+/// Undecided ──► Inconsistent
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ContextState {
+    /// Initial state; awaiting a resolution decision.
+    #[default]
+    Undecided,
+    /// Decided correct; usable by applications.
+    Consistent,
+    /// Scheduled to be discarded when used (deferred `Inconsistent`).
+    Bad,
+    /// Decided corrupted; discarded.
+    Inconsistent,
+}
+
+impl ContextState {
+    /// Whether a context in this state may be delivered to applications.
+    pub fn is_available(self) -> bool {
+        matches!(self, ContextState::Consistent)
+    }
+
+    /// Whether this state is terminal (no further transitions).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, ContextState::Consistent | ContextState::Inconsistent)
+    }
+
+    /// Checks that a transition from `self` to `next` follows Fig. 8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContextError::IllegalTransition`] for any transition not
+    /// in the life-cycle diagram (including self-loops from terminal
+    /// states).
+    pub fn transition(self, next: ContextState) -> Result<ContextState, ContextError> {
+        use ContextState::*;
+        let ok = matches!(
+            (self, next),
+            (Undecided, Consistent) | (Undecided, Bad) | (Undecided, Inconsistent) | (Bad, Inconsistent)
+        );
+        if ok {
+            Ok(next)
+        } else {
+            Err(ContextError::IllegalTransition { from: self, to: next })
+        }
+    }
+}
+
+impl fmt::Display for ContextState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ContextState::Undecided => "undecided",
+            ContextState::Consistent => "consistent",
+            ContextState::Bad => "bad",
+            ContextState::Inconsistent => "inconsistent",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ContextState::*;
+
+    #[test]
+    fn legal_transitions_follow_fig8() {
+        assert_eq!(Undecided.transition(Consistent).unwrap(), Consistent);
+        assert_eq!(Undecided.transition(Bad).unwrap(), Bad);
+        assert_eq!(Undecided.transition(Inconsistent).unwrap(), Inconsistent);
+        assert_eq!(Bad.transition(Inconsistent).unwrap(), Inconsistent);
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        for (from, to) in [
+            (Consistent, Bad),
+            (Consistent, Inconsistent),
+            (Consistent, Undecided),
+            (Inconsistent, Consistent),
+            (Bad, Consistent),
+            (Bad, Undecided),
+            (Undecided, Undecided),
+            (Bad, Bad),
+        ] {
+            assert!(from.transition(to).is_err(), "{from} -> {to} must be illegal");
+        }
+    }
+
+    #[test]
+    fn availability_only_when_consistent() {
+        assert!(Consistent.is_available());
+        for s in [Undecided, Bad, Inconsistent] {
+            assert!(!s.is_available());
+        }
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(Consistent.is_terminal());
+        assert!(Inconsistent.is_terminal());
+        assert!(!Undecided.is_terminal());
+        assert!(!Bad.is_terminal());
+    }
+
+    #[test]
+    fn default_is_undecided() {
+        assert_eq!(ContextState::default(), Undecided);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Undecided.to_string(), "undecided");
+        assert_eq!(Bad.to_string(), "bad");
+    }
+}

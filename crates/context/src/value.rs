@@ -1,0 +1,282 @@
+//! Attribute values carried by contexts.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A planar point, used for location contexts.
+///
+/// ```
+/// use ctxres_context::Point;
+/// let origin = Point::new(0.0, 0.0);
+/// assert!((origin.distance(Point::new(3.0, 4.0)) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate, in metres.
+    pub x: f64,
+    /// Vertical coordinate, in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+/// A typed attribute value of a context.
+///
+/// Contexts are heterogeneous (locations, RFID reads, user actions), so
+/// attributes carry one of a small set of value types. Comparison
+/// predicates in the constraint language operate over these.
+///
+/// ```
+/// use ctxres_context::ContextValue;
+/// let v = ContextValue::from(42i64);
+/// assert_eq!(v.as_f64(), Some(42.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ContextValue {
+    /// A boolean flag.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A text value (room names, tag ids, …).
+    Text(String),
+    /// A planar point (location estimates).
+    Point(Point),
+}
+
+impl ContextValue {
+    /// Returns the value as an `f64` when it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ContextValue::Int(i) => Some(*i as f64),
+            ContextValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `i64` when it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ContextValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a boolean when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ContextValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as text when it is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            ContextValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a point when it is one.
+    pub fn as_point(&self) -> Option<Point> {
+        match self {
+            ContextValue::Point(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ContextValue::Bool(_) => "bool",
+            ContextValue::Int(_) => "int",
+            ContextValue::Float(_) => "float",
+            ContextValue::Text(_) => "text",
+            ContextValue::Point(_) => "point",
+        }
+    }
+
+    /// Compares two values when they are comparable.
+    ///
+    /// Numeric values compare numerically across `Int`/`Float`; text
+    /// compares lexicographically; booleans compare with `false < true`.
+    /// Points and mixed incomparable types return `None`.
+    pub fn partial_cmp_value(&self, other: &ContextValue) -> Option<Ordering> {
+        use ContextValue::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl fmt::Display for ContextValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextValue::Bool(b) => write!(f, "{b}"),
+            ContextValue::Int(i) => write!(f, "{i}"),
+            // Debug formatting keeps a decimal point on integral
+            // values ("4.0", not "4"), so printing a float never
+            // re-parses as an integer.
+            ContextValue::Float(x) => write!(f, "{x:?}"),
+            ContextValue::Text(s) => write!(f, "{s:?}"),
+            ContextValue::Point(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl From<bool> for ContextValue {
+    fn from(b: bool) -> Self {
+        ContextValue::Bool(b)
+    }
+}
+
+impl From<i64> for ContextValue {
+    fn from(i: i64) -> Self {
+        ContextValue::Int(i)
+    }
+}
+
+impl From<i32> for ContextValue {
+    fn from(i: i32) -> Self {
+        ContextValue::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for ContextValue {
+    fn from(i: u32) -> Self {
+        ContextValue::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for ContextValue {
+    fn from(f: f64) -> Self {
+        ContextValue::Float(f)
+    }
+}
+
+impl From<&str> for ContextValue {
+    fn from(s: &str) -> Self {
+        ContextValue::Text(s.to_owned())
+    }
+}
+
+impl From<String> for ContextValue {
+    fn from(s: String) -> Self {
+        ContextValue::Text(s)
+    }
+}
+
+impl From<Point> for ContextValue {
+    fn from(p: Point) -> Self {
+        ContextValue::Point(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_halves() {
+        let m = Point::new(0.0, 0.0).midpoint(Point::new(2.0, 4.0));
+        assert_eq!(m, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn numeric_coercion_crosses_int_float() {
+        assert_eq!(ContextValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(ContextValue::Float(3.5).as_f64(), Some(3.5));
+        assert_eq!(ContextValue::Text("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        let v = ContextValue::from("room-a");
+        assert_eq!(v.as_text(), Some("room-a"));
+        assert_eq!(v.as_bool(), None);
+        assert_eq!(v.as_i64(), None);
+        assert_eq!(v.as_point(), None);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        let a = ContextValue::Int(2);
+        let b = ContextValue::Float(2.5);
+        assert_eq!(a.partial_cmp_value(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp_value(&a), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn incomparable_types_return_none() {
+        let a = ContextValue::from(Point::new(0.0, 0.0));
+        let b = ContextValue::Int(1);
+        assert_eq!(a.partial_cmp_value(&b), None);
+        assert_eq!(ContextValue::from("a").partial_cmp_value(&b), None);
+    }
+
+    #[test]
+    fn text_comparison_is_lexicographic() {
+        let a = ContextValue::from("alpha");
+        let b = ContextValue::from("beta");
+        assert_eq!(a.partial_cmp_value(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn type_names_are_stable() {
+        assert_eq!(ContextValue::Bool(true).type_name(), "bool");
+        assert_eq!(ContextValue::Int(0).type_name(), "int");
+        assert_eq!(ContextValue::Float(0.0).type_name(), "float");
+        assert_eq!(ContextValue::Text(String::new()).type_name(), "text");
+        assert_eq!(ContextValue::Point(Point::default()).type_name(), "point");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for v in [
+            ContextValue::Bool(false),
+            ContextValue::Int(1),
+            ContextValue::Float(1.5),
+            ContextValue::Text("t".into()),
+            ContextValue::Point(Point::new(1.0, 2.0)),
+        ] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the context pool and life cycle.
+
+use ctxres_context::{
+    Context, ContextId, ContextKind, ContextPool, ContextState, Lifespan, LogicalTime, Ticks,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { kind: u8, subject: u8, ttl: Option<u8> },
+    SetState { target: u8, state: ContextState },
+    Discard { target: u8 },
+    Remove { target: u8 },
+    Sweep { at: u8 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, 0u8..3, proptest::option::of(0u8..10))
+            .prop_map(|(kind, subject, ttl)| Op::Insert { kind, subject, ttl }),
+        (any::<u8>(), prop_oneof![
+            Just(ContextState::Consistent),
+            Just(ContextState::Bad),
+            Just(ContextState::Inconsistent),
+        ])
+            .prop_map(|(target, state)| Op::SetState { target, state }),
+        any::<u8>().prop_map(|target| Op::Discard { target }),
+        any::<u8>().prop_map(|target| Op::Remove { target }),
+        (0u8..30).prop_map(|at| Op::Sweep { at }),
+    ]
+}
+
+fn kind_name(k: u8) -> ContextKind {
+    ContextKind::new(&format!("kind{k}"))
+}
+
+proptest! {
+    /// Pool invariants hold under arbitrary operation sequences:
+    /// index views agree with a straight scan, discarded contexts leave
+    /// live views, available contexts are exactly the consistent live
+    /// ones, and state transitions never corrupt storage.
+    #[test]
+    fn pool_invariants_under_random_ops(ops in proptest::collection::vec(op(), 1..60)) {
+        let mut pool = ContextPool::new();
+        let mut clock = LogicalTime::ZERO;
+        let mut inserted: Vec<ContextId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert { kind, subject, ttl } => {
+                    clock.advance();
+                    let mut builder = Context::builder(kind_name(kind), &format!("s{subject}"))
+                        .stamp(clock);
+                    if let Some(t) = ttl {
+                        builder = builder.lifespan(Lifespan::with_ttl(clock, Ticks::new(u64::from(t))));
+                    }
+                    let id = pool.insert(builder.build());
+                    prop_assert!(inserted.last().map(|last| *last < id).unwrap_or(true),
+                        "ids must be monotonic");
+                    inserted.push(id);
+                }
+                Op::SetState { target, state } => {
+                    if let Some(id) = inserted.get(usize::from(target) % inserted.len().max(1)) {
+                        let before = pool.get(*id).map(|c| c.state());
+                        let result = pool.set_state(*id, state);
+                        if let Some(before) = before {
+                            // Result agrees with the life-cycle table.
+                            prop_assert_eq!(result.is_ok(), before.transition(state).is_ok());
+                        }
+                    }
+                }
+                Op::Discard { target } => {
+                    if let Some(id) = inserted.get(usize::from(target) % inserted.len().max(1)) {
+                        if pool.contains(*id) {
+                            pool.discard(*id).unwrap();
+                            prop_assert_eq!(pool.get(*id).unwrap().state(), ContextState::Inconsistent);
+                        }
+                    }
+                }
+                Op::Remove { target } => {
+                    if let Some(id) = inserted.get(usize::from(target) % inserted.len().max(1)) {
+                        pool.remove(*id);
+                        prop_assert!(pool.get(*id).is_none());
+                    }
+                }
+                Op::Sweep { at } => {
+                    let now = LogicalTime::new(u64::from(at));
+                    pool.sweep_expired(now);
+                    // After a sweep at `now >= clock`, no live-at-now view
+                    // may contain expired contexts (trivially true since
+                    // they were removed).
+                    for k in 0..3u8 {
+                        for (_, c) in pool.of_kind_live_at(&kind_name(k), now) {
+                            prop_assert!(c.is_live(now));
+                        }
+                    }
+                }
+            }
+
+            // Global invariants after every operation.
+            let scan: Vec<ContextId> = pool.iter().map(|(id, _)| id).collect();
+            prop_assert_eq!(scan.len(), pool.len());
+            for k in 0..3u8 {
+                let kind = kind_name(k);
+                for (id, c) in pool.of_kind(&kind) {
+                    prop_assert_eq!(c.kind(), &kind);
+                    prop_assert!(c.state() != ContextState::Inconsistent);
+                    prop_assert!(pool.contains(id));
+                }
+            }
+            for (id, c) in pool.available_at(clock) {
+                prop_assert_eq!(c.state(), ContextState::Consistent);
+                prop_assert!(c.is_live(clock));
+                prop_assert!(pool.contains(id));
+            }
+            let stats = pool.stats();
+            prop_assert_eq!(
+                stats.consistent + stats.undecided + stats.bad + stats.inconsistent,
+                stats.stored
+            );
+        }
+    }
+
+    /// The four-state machine: any sequence of transitions keeps every
+    /// context on a legal Fig. 8 path (at most one bad detour, ending in
+    /// a terminal state or still undecided).
+    #[test]
+    fn life_cycle_paths_are_legal(
+        steps in proptest::collection::vec(
+            prop_oneof![
+                Just(ContextState::Consistent),
+                Just(ContextState::Bad),
+                Just(ContextState::Inconsistent),
+            ],
+            0..6,
+        )
+    ) {
+        let mut ctx = Context::builder(ContextKind::new("k"), "s").build();
+        let mut path = vec![ctx.state()];
+        for next in steps {
+            if ctx.set_state(next).is_ok() {
+                path.push(next);
+            }
+        }
+        // Legal paths: U, U-C, U-B, U-I, U-B-I.
+        let rendered: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+        let p = rendered.join("-");
+        prop_assert!(
+            matches!(
+                p.as_str(),
+                "undecided"
+                    | "undecided-consistent"
+                    | "undecided-bad"
+                    | "undecided-inconsistent"
+                    | "undecided-bad-inconsistent"
+            ),
+            "illegal path {p}"
+        );
+    }
+}

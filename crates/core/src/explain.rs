@@ -1,0 +1,163 @@
+//! Discard explanations: why did drop-bad throw a context away?
+//!
+//! The paper's §5.1 lessons note that eager strategies fail opaquely —
+//! their assumptions are implicit. Drop-bad's decisions, by contrast,
+//! are *explainable*: each discard follows from concrete count values
+//! over concrete inconsistencies. This module captures that evidence at
+//! decision time so operators (and the test suite) can audit every
+//! discard after the fact.
+
+use crate::inconsistency::Inconsistency;
+use ctxres_context::{ContextId, LogicalTime};
+use std::fmt;
+
+/// Why a context was discarded (or marked bad).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscardReason {
+    /// The context carried the largest count value in this inconsistency
+    /// when it was used.
+    LargestCount {
+        /// The deciding inconsistency.
+        inconsistency: Inconsistency,
+        /// The context's count value at decision time.
+        count: usize,
+    },
+    /// The context had been marked bad earlier and was discarded on use.
+    WasBad,
+    /// The context was marked bad while resolving an inconsistency in
+    /// another context's favour.
+    MarkedBad {
+        /// The inconsistency being resolved.
+        inconsistency: Inconsistency,
+        /// The context that was being used (and delivered).
+        resolved_for: ContextId,
+        /// The marked context's count value at that time.
+        count: usize,
+    },
+}
+
+/// One audited decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explanation {
+    /// The context the decision concerns.
+    pub context: ContextId,
+    /// When the decision was taken.
+    pub at: LogicalTime,
+    /// The evidence.
+    pub reason: DiscardReason,
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            DiscardReason::LargestCount { inconsistency, count } => write!(
+                f,
+                "{} discarded at {}: largest count value {count} in {inconsistency}",
+                self.context, self.at
+            ),
+            DiscardReason::WasBad => {
+                write!(f, "{} discarded at {}: previously marked bad", self.context, self.at)
+            }
+            DiscardReason::MarkedBad { inconsistency, resolved_for, count } => write!(
+                f,
+                "{} marked bad at {} (count {count}) while {inconsistency} was resolved in favour of {resolved_for}",
+                self.context, self.at
+            ),
+        }
+    }
+}
+
+/// A journal of explanations.
+///
+/// ```
+/// use ctxres_core::strategies::DropBad;
+/// use ctxres_core::{Inconsistency, ResolutionStrategy};
+/// use ctxres_context::{Context, ContextKind, ContextPool, LogicalTime};
+///
+/// let mut pool = ContextPool::new();
+/// let kind = ContextKind::new("location");
+/// let a = pool.insert(Context::builder(kind.clone(), "p").build());
+/// let b = pool.insert(Context::builder(kind.clone(), "p").build());
+/// let c = pool.insert(Context::builder(kind, "p").build());
+///
+/// let mut strategy = DropBad::new().with_explanations();
+/// let now = LogicalTime::ZERO;
+/// strategy.on_addition(&mut pool, now, b, &[Inconsistency::pair("v", a, b, now)]);
+/// strategy.on_addition(&mut pool, now, c, &[Inconsistency::pair("v", b, c, now)]);
+/// strategy.on_use(&mut pool, now, b); // count 2: discarded
+///
+/// let log = strategy.explanations().unwrap();
+/// assert!(log.entries()[0].to_string().contains("largest count value 2"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExplanationLog {
+    entries: Vec<Explanation>,
+}
+
+impl ExplanationLog {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        ExplanationLog::default()
+    }
+
+    /// The recorded explanations, oldest first.
+    pub fn entries(&self) -> &[Explanation] {
+        &self.entries
+    }
+
+    /// Explanations concerning one context.
+    pub fn for_context(&self, id: ContextId) -> impl Iterator<Item = &Explanation> + '_ {
+        self.entries.iter().filter(move |e| e.context == id)
+    }
+
+    pub(crate) fn record(&mut self, e: Explanation) {
+        self.entries.push(e);
+    }
+
+    /// Clears the journal.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> ContextId {
+        ContextId::from_raw(n)
+    }
+
+    #[test]
+    fn explanations_render_their_evidence() {
+        let inc = Inconsistency::pair("velocity", id(2), id(3), LogicalTime::new(1));
+        let e = Explanation {
+            context: id(3),
+            at: LogicalTime::new(5),
+            reason: DiscardReason::LargestCount { inconsistency: inc, count: 4 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("ctx#3"));
+        assert!(s.contains("count value 4"));
+        assert!(s.contains("velocity"));
+    }
+
+    #[test]
+    fn log_filters_by_context() {
+        let mut log = ExplanationLog::new();
+        log.record(Explanation {
+            context: id(1),
+            at: LogicalTime::ZERO,
+            reason: DiscardReason::WasBad,
+        });
+        log.record(Explanation {
+            context: id(2),
+            at: LogicalTime::ZERO,
+            reason: DiscardReason::WasBad,
+        });
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.for_context(id(1)).count(), 1);
+        log.clear();
+        assert!(log.entries().is_empty());
+    }
+}

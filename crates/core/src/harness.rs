@@ -1,0 +1,177 @@
+//! A deterministic head-to-head harness for strategies.
+//!
+//! Given one *script* — an interleaving of addition changes (with their
+//! detected inconsistencies) and use requests — the harness replays it
+//! against two strategies on independent pools and reports the first
+//! step where their externally visible behaviour diverges. Exactly the
+//! tool one reaches for when asking "where does drop-bad start doing
+//! something drop-latest would not?" (and what this repository's own
+//! calibration debugging was done with, mechanized).
+
+use crate::inconsistency::Inconsistency;
+use crate::strategy::ResolutionStrategy;
+use ctxres_context::{Context, ContextId, ContextKind, ContextPool, LogicalTime};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One scripted event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptStep {
+    /// A context is added; detection reported these inconsistencies
+    /// (indices refer to previously added contexts; the new context is
+    /// implicitly a member).
+    Add {
+        /// Indices of earlier contexts this one conflicts with.
+        conflicts: Vec<usize>,
+    },
+    /// The application uses the `index`-th added context.
+    Use(usize),
+}
+
+/// What a strategy visibly did at one step.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StepOutcome {
+    /// Contexts discarded at this step.
+    pub discarded: BTreeSet<ContextId>,
+    /// Whether a `Use` step delivered its context.
+    pub delivered: Option<bool>,
+}
+
+/// The first step where two strategies disagreed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Zero-based script position.
+    pub step: usize,
+    /// The step that diverged.
+    pub at: ScriptStep,
+    /// First strategy's outcome.
+    pub left: StepOutcome,
+    /// Second strategy's outcome.
+    pub right: StepOutcome,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {} ({:?}): left {:?} vs right {:?}",
+            self.step, self.at, self.left, self.right
+        )
+    }
+}
+
+fn replay(strategy: &mut dyn ResolutionStrategy, script: &[ScriptStep]) -> Vec<StepOutcome> {
+    let mut pool = ContextPool::new();
+    let mut ids: Vec<ContextId> = Vec::new();
+    let now = LogicalTime::ZERO;
+    let mut outcomes = Vec::with_capacity(script.len());
+    for step in script {
+        let outcome = match step {
+            ScriptStep::Add { conflicts } => {
+                let id = pool.insert(Context::builder(ContextKind::new("k"), "s").build());
+                let fresh: Vec<Inconsistency> = conflicts
+                    .iter()
+                    .filter_map(|j| ids.get(*j))
+                    .map(|earlier| Inconsistency::pair("c", *earlier, id, now))
+                    .collect();
+                let out = strategy.on_addition(&mut pool, now, id, &fresh);
+                ids.push(id);
+                StepOutcome { discarded: out.discarded.into_iter().collect(), delivered: None }
+            }
+            ScriptStep::Use(index) => match ids.get(*index) {
+                Some(id) => {
+                    let out = strategy.on_use(&mut pool, now, *id);
+                    StepOutcome {
+                        discarded: out.discarded.into_iter().collect(),
+                        delivered: Some(out.delivered),
+                    }
+                }
+                None => StepOutcome::default(),
+            },
+        };
+        outcomes.push(outcome);
+    }
+    outcomes
+}
+
+/// Replays `script` against both strategies and returns the first
+/// divergence, or `None` when they behave identically throughout.
+pub fn first_divergence(
+    left: &mut dyn ResolutionStrategy,
+    right: &mut dyn ResolutionStrategy,
+    script: &[ScriptStep],
+) -> Option<Divergence> {
+    let a = replay(left, script);
+    let b = replay(right, script);
+    a.into_iter()
+        .zip(b)
+        .enumerate()
+        .find(|(_, (l, r))| l != r)
+        .map(|(step, (left, right))| Divergence {
+            step,
+            at: script[step].clone(),
+            left,
+            right,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{DropAll, DropBad, DropLatest};
+
+    /// The paper's Scenario B as a script: d3 (index 2) slips in
+    /// cleanly, d4 (index 3) conflicts with it, d5 (index 4) conflicts
+    /// with it too (gap-2 refinement); contexts are then used in order.
+    fn scenario_b() -> Vec<ScriptStep> {
+        vec![
+            ScriptStep::Add { conflicts: vec![] },        // d1
+            ScriptStep::Add { conflicts: vec![] },        // d2
+            ScriptStep::Add { conflicts: vec![] },        // d3 (corrupted, undetected)
+            ScriptStep::Add { conflicts: vec![2] },       // d4 vs d3
+            ScriptStep::Add { conflicts: vec![2] },       // d5 vs d3
+            ScriptStep::Use(0),
+            ScriptStep::Use(1),
+            ScriptStep::Use(2),
+            ScriptStep::Use(3),
+            ScriptStep::Use(4),
+        ]
+    }
+
+    #[test]
+    fn identical_strategies_never_diverge() {
+        let mut a = DropBad::new();
+        let mut b = DropBad::new();
+        assert_eq!(first_divergence(&mut a, &mut b, &scenario_b()), None);
+    }
+
+    #[test]
+    fn drop_bad_and_drop_latest_diverge_where_the_paper_says() {
+        let mut bad = DropBad::new();
+        let mut lat = DropLatest::new();
+        let d = first_divergence(&mut bad, &mut lat, &scenario_b()).expect("must diverge");
+        // Drop-latest acts at d4's addition (discards d4); drop-bad
+        // defers — the divergence is exactly that addition step.
+        assert_eq!(d.step, 3);
+        assert!(d.left.discarded.is_empty(), "drop-bad defers");
+        assert_eq!(d.right.discarded.len(), 1, "drop-latest discards d4");
+    }
+
+    #[test]
+    fn drop_all_diverges_from_drop_latest_on_the_same_step() {
+        let mut all = DropAll::new();
+        let mut lat = DropLatest::new();
+        let d = first_divergence(&mut all, &mut lat, &scenario_b()).expect("must diverge");
+        assert_eq!(d.step, 3);
+        assert_eq!(d.left.discarded.len(), 2, "drop-all discards both");
+        assert!(d.to_string().contains("step 3"));
+    }
+
+    #[test]
+    fn use_of_unknown_index_is_a_noop() {
+        let mut a = DropBad::new();
+        let mut b = DropLatest::new();
+        let script = vec![ScriptStep::Use(7)];
+        assert_eq!(first_divergence(&mut a, &mut b, &script), None);
+    }
+}

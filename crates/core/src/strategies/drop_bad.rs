@@ -1,0 +1,554 @@
+//! The drop-bad strategy — the paper's contribution (§3).
+
+use crate::explain::{DiscardReason, Explanation, ExplanationLog};
+use crate::inconsistency::Inconsistency;
+use crate::strategy::{AdditionOutcome, ResolutionStrategy, TieBreak, TiePolicy, UseOutcome};
+use crate::tracked::TrackedSet;
+use ctxres_context::{ContextId, ContextPool, ContextState, LogicalTime};
+
+/// Drop-bad (`D-BAD`): heuristics-based deferred resolution driven by
+/// count values (paper §3, Figs. 6–8).
+///
+/// Unlike the eager baselines, drop-bad **tolerates** detected
+/// inconsistencies: it records them in the tracked set Δ and defers the
+/// discard decision for each context until an application actually uses
+/// it. At that point (Fig. 7, Part 2):
+///
+/// 1. if the context is `Bad`, or carries the **largest count value**
+///    within one of its tracked inconsistencies, it is set
+///    `Inconsistent` and discarded;
+/// 2. otherwise it is set `Consistent` and delivered;
+/// 3. in either case, for every tracked inconsistency the context
+///    participated in, the member carrying the largest count value (if
+///    it is a different context) is marked `Bad` — a deferred discard
+///    that lets the middleware keep collecting count evidence;
+/// 4. all inconsistencies involving the used context leave Δ.
+///
+/// The underlying heuristic: *a context that participates more
+/// frequently in inconsistencies is likelier to be incorrect* (§3.1).
+/// Under heuristic Rules 1+2 (or the relaxed 1+2′, see
+/// [`crate::theory`]), every discarded context is indeed corrupted
+/// (Theorems 1 and 2) — validated by this crate's property-test suite.
+///
+/// Two points the paper's Fig. 7 pseudocode leaves open are resolved as
+/// follows (rationale in DESIGN.md):
+///
+/// * **Ties** (§5.1): governed by [`TiePolicy`]. Under the default
+///   `DoomUsed`, a context tying for the maximal count value counts as
+///   "largest" and is discarded when used; under `BlamePeer` it is
+///   delivered and a tied *undecided* rival (picked by [`TieBreak`]) is
+///   marked bad instead. Ties against rivals that were already
+///   delivered always doom the used context — that is what reduces
+///   drop-bad to drop-latest at a zero window (§5.3);
+/// * **Bad members**: an inconsistency that already contains a `Bad`
+///   context is treated as having its discard decided; it neither dooms
+///   nor bad-marks its other members. Without this, marking a context
+///   bad could cause a peer's discard that an immediate discard would
+///   not have — contradicting §3.3's "no negative effect" argument.
+#[derive(Debug, Clone, Default)]
+pub struct DropBad {
+    delta: TrackedSet,
+    tie: TieBreak,
+    tie_policy: TiePolicy,
+    explain: Option<ExplanationLog>,
+}
+
+impl DropBad {
+    /// Creates the strategy with the default tie handling (`DoomUsed`
+    /// policy, `Latest` tie-breaker).
+    pub fn new() -> Self {
+        DropBad::default()
+    }
+
+    /// Creates the strategy with an explicit tie-breaking preference for
+    /// choosing which rival to mark bad.
+    pub fn with_tie_break(tie: TieBreak) -> Self {
+        DropBad { tie, ..DropBad::default() }
+    }
+
+    /// Creates the strategy with an explicit §5.1 tie policy.
+    pub fn with_tie_policy(tie_policy: TiePolicy) -> Self {
+        DropBad { tie_policy, ..DropBad::default() }
+    }
+
+    /// Enables the explanation journal: every discard and bad-marking is
+    /// recorded with the count-value evidence that justified it.
+    pub fn with_explanations(mut self) -> Self {
+        self.explain = Some(ExplanationLog::new());
+        self
+    }
+
+    /// The explanation journal, when enabled.
+    pub fn explanations(&self) -> Option<&ExplanationLog> {
+        self.explain.as_ref()
+    }
+
+    /// Read access to the tracked set Δ (diagnostics, experiments, and
+    /// the heuristic-rule monitors in `ctxres-experiments`).
+    pub fn tracked(&self) -> &TrackedSet {
+        &self.delta
+    }
+}
+
+impl ResolutionStrategy for DropBad {
+    fn name(&self) -> &'static str {
+        "d-bad"
+    }
+
+    fn defers_decision(&self) -> bool {
+        true
+    }
+
+    fn on_addition(
+        &mut self,
+        _pool: &mut ContextPool,
+        _now: LogicalTime,
+        _id: ContextId,
+        fresh: &[Inconsistency],
+    ) -> AdditionOutcome {
+        // Context addition change (Fig. 6): track the new
+        // inconsistencies; the context stays buffered (`Undecided`).
+        for inc in fresh {
+            self.delta.add(inc.clone());
+        }
+        AdditionOutcome { discarded: Vec::new(), accepted: true }
+    }
+
+    fn on_use(&mut self, pool: &mut ContextPool, now: LogicalTime, id: ContextId) -> UseOutcome {
+        let Some(ctx) = pool.get(id) else {
+            return UseOutcome::default();
+        };
+        match ctx.state() {
+            // Already decided earlier (e.g. delivered once before).
+            ContextState::Consistent => {
+                return UseOutcome {
+                    delivered: ctx.is_live(now),
+                    discarded: Vec::new(),
+                    marked_bad: Vec::new(),
+                };
+            }
+            ContextState::Inconsistent => return UseOutcome::default(),
+            ContextState::Undecided | ContextState::Bad => {}
+        }
+        let was_bad = ctx.state() == ContextState::Bad;
+        let live = ctx.is_live(now);
+
+        // Snapshot the inconsistencies involving `id` and decide with the
+        // *current* count values, before Δ shrinks.
+        //
+        // An inconsistency that already contains a `Bad` member is
+        // destined to be resolved by that member's discard; it must not
+        // doom anyone else, or marking a context bad would have the
+        // "negative effect" §3.3 argues it cannot have.
+        let involving: Vec<Inconsistency> = self.delta.involving(id).cloned().collect();
+        let bad_member: Vec<bool> = involving
+            .iter()
+            .map(|inc| {
+                inc.contexts().iter().any(|cid| {
+                    *cid != id && pool.get(*cid).map(|c| c.state()) == Some(ContextState::Bad)
+                })
+            })
+            .collect();
+        // "Has the largest count value" (Fig. 7): the used context is
+        // doomed by an inconsistency when it is the maximum there and no
+        // *undecided* rival ties with it — a tied rival that is still
+        // buffered can take the blame instead (it gets marked bad below),
+        // whereas rivals that were already delivered cannot, so the used
+        // context is the only way to resolve that inconsistency. The
+        // latter case is what makes a zero window degenerate into
+        // drop-latest (§5.3).
+        let tied_rival_undecided = |inc: &Inconsistency| {
+            let mine = self.delta.counts().get(id);
+            inc.contexts().iter().any(|cid| {
+                *cid != id
+                    && self.delta.counts().get(*cid) == mine
+                    && pool.get(*cid).map(|c| c.state()) == Some(ContextState::Undecided)
+            })
+        };
+        let dooming_inc = involving
+            .iter()
+            .zip(&bad_member)
+            .find(|(inc, has_bad)| {
+                self.delta.is_max_in(id, inc)
+                    && !**has_bad
+                    && (self.tie_policy == TiePolicy::DoomUsed || !tied_rival_undecided(inc))
+            })
+            .map(|(inc, _)| inc.clone());
+        let doomed = was_bad || dooming_inc.is_some();
+        if let Some(log) = &mut self.explain {
+            if was_bad {
+                log.record(Explanation { context: id, at: now, reason: DiscardReason::WasBad });
+            } else if let Some(inc) = &dooming_inc {
+                log.record(Explanation {
+                    context: id,
+                    at: now,
+                    reason: DiscardReason::LargestCount {
+                        inconsistency: inc.clone(),
+                        count: self.delta.counts().get(id),
+                    },
+                });
+            }
+        }
+
+        // Fig. 7 Part 2, closing loop: for each inconsistency the used
+        // context participates in, mark the largest-count member bad
+        // (deferring its discard so more count evidence can accumulate).
+        let mut marked_bad = Vec::new();
+        for (inc, has_bad) in involving.iter().zip(&bad_member) {
+            if *has_bad {
+                continue; // already has a destined discard
+            }
+            let mut members = self.delta.max_count_members(inc);
+            if members.contains(&id) {
+                if doomed {
+                    // d' = d: discarding the used context resolves it.
+                    continue;
+                }
+                // The used context ties at the top but was delivered; the
+                // blame falls on a tied peer.
+                members.retain(|m| *m != id);
+            }
+            let culprit = self.tie.pick(&members);
+            if let Some(culprit) = culprit {
+                if pool.get(culprit).map(|c| c.state()) == Some(ContextState::Undecided) {
+                    let _ = pool.set_state(culprit, ContextState::Bad);
+                    marked_bad.push(culprit);
+                    if let Some(log) = &mut self.explain {
+                        log.record(Explanation {
+                            context: culprit,
+                            at: now,
+                            reason: DiscardReason::MarkedBad {
+                                inconsistency: inc.clone(),
+                                resolved_for: id,
+                                count: self.delta.counts().get(culprit),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+
+        // Context deletion change (Fig. 6): the resolved inconsistencies
+        // leave Δ.
+        self.delta.resolve_involving(id);
+
+        if doomed {
+            let _ = pool.set_state(id, ContextState::Inconsistent);
+            UseOutcome { delivered: false, discarded: vec![id], marked_bad }
+        } else {
+            let _ = pool.set_state(id, ContextState::Consistent);
+            UseOutcome { delivered: live, discarded: Vec::new(), marked_bad }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.delta.clear();
+        if let Some(log) = &mut self.explain {
+            log.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_context::{Context, ContextKind};
+
+    /// Builds a pool with `n` location contexts, ids in arrival order.
+    fn pool_with(n: usize) -> (ContextPool, Vec<ContextId>) {
+        let mut pool = ContextPool::new();
+        let ids = (0..n)
+            .map(|i| {
+                pool.insert(
+                    Context::builder(ContextKind::new("location"), "p")
+                        .stamp(LogicalTime::new(i as u64))
+                        .build(),
+                )
+            })
+            .collect();
+        (pool, ids)
+    }
+
+    fn pair(a: ContextId, b: ContextId) -> Inconsistency {
+        Inconsistency::pair("v", a, b, LogicalTime::ZERO)
+    }
+
+    /// Paper Fig. 5, Scenario A: d3 conflicts with d1, d2, d4, d5
+    /// (ids 1-based shifted to 0-based: d1..d5 = ids[0..5]).
+    fn scenario_a() -> (ContextPool, Vec<ContextId>, DropBad) {
+        let (mut pool, ids) = pool_with(5);
+        let mut s = DropBad::new();
+        let t = LogicalTime::ZERO;
+        s.on_addition(&mut pool, t, ids[2], &[pair(ids[0], ids[2]), pair(ids[1], ids[2])]);
+        s.on_addition(&mut pool, t, ids[3], &[pair(ids[2], ids[3])]);
+        s.on_addition(&mut pool, t, ids[4], &[pair(ids[2], ids[4])]);
+        (pool, ids, s)
+    }
+
+    #[test]
+    fn addition_only_tracks_never_discards() {
+        let (pool, ids, s) = scenario_a();
+        assert_eq!(s.tracked().len(), 4);
+        assert_eq!(s.tracked().counts().get(ids[2]), 4);
+        for &id in &ids {
+            assert_eq!(pool.get(id).unwrap().state(), ContextState::Undecided);
+        }
+    }
+
+    #[test]
+    fn hub_context_discarded_when_used() {
+        let (mut pool, ids, mut s) = scenario_a();
+        let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[2]);
+        assert!(!out.delivered);
+        assert_eq!(out.discarded, vec![ids[2]]);
+        assert_eq!(pool.get(ids[2]).unwrap().state(), ContextState::Inconsistent);
+        assert!(s.tracked().is_empty(), "all four inconsistencies resolved");
+        // The other contexts then deliver cleanly.
+        for &id in &[ids[0], ids[1], ids[3], ids[4]] {
+            assert!(s.on_use(&mut pool, LogicalTime::ZERO, id).delivered);
+        }
+    }
+
+    #[test]
+    fn low_count_context_delivered_and_hub_marked_bad() {
+        // Paper §3.3 Case 2: using d1 (count 1 < d3's 4) delivers d1 and
+        // marks d3 bad.
+        let (mut pool, ids, mut s) = scenario_a();
+        let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[0]);
+        assert!(out.delivered);
+        assert_eq!(out.marked_bad, vec![ids[2]]);
+        assert_eq!(pool.get(ids[2]).unwrap().state(), ContextState::Bad);
+        // (d1,d3) left Δ; the other three remain.
+        assert_eq!(s.tracked().len(), 3);
+        assert_eq!(s.tracked().counts().get(ids[2]), 3);
+        // When d3 is eventually used, bad => inconsistent.
+        let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[2]);
+        assert!(!out.delivered);
+        assert_eq!(pool.get(ids[2]).unwrap().state(), ContextState::Inconsistent);
+    }
+
+    #[test]
+    fn unconflicted_context_delivers() {
+        let (mut pool, ids) = pool_with(1);
+        let mut s = DropBad::new();
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[0], &[]);
+        let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[0]);
+        assert!(out.delivered);
+        assert_eq!(pool.get(ids[0]).unwrap().state(), ContextState::Consistent);
+    }
+
+    #[test]
+    fn tie_case_default_policy_dooms_first_used() {
+        // Scenario B before refinement (Fig. 4): single inconsistency
+        // (d3,d4), both count 1 — "one cannot dig out more useful
+        // information to distinguish" (§3.1). Under the default DoomUsed
+        // policy the first context used is discarded.
+        let (mut pool, ids) = pool_with(2);
+        let mut s = DropBad::new();
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[1], &[pair(ids[0], ids[1])]);
+        let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[0]);
+        assert!(!out.delivered);
+        assert_eq!(out.discarded, vec![ids[0]]);
+        assert!(s.on_use(&mut pool, LogicalTime::ZERO, ids[1]).delivered);
+    }
+
+    #[test]
+    fn tie_case_blame_peer_policy_delivers_first_used() {
+        let (mut pool, ids) = pool_with(2);
+        let mut s = DropBad::with_tie_policy(TiePolicy::BlamePeer);
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[1], &[pair(ids[0], ids[1])]);
+        let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[0]);
+        assert!(out.delivered);
+        assert_eq!(out.marked_bad, vec![ids[1]]);
+        assert!(!s.on_use(&mut pool, LogicalTime::ZERO, ids[1]).delivered);
+    }
+
+    #[test]
+    fn tie_against_delivered_rival_dooms_the_used_context() {
+        // §5.3 window-zero shape: the rival was already delivered, so
+        // only the used context can resolve the inconsistency — exactly
+        // drop-latest's decision.
+        let (mut pool, ids) = pool_with(2);
+        let mut s = DropBad::new();
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[0], &[]);
+        assert!(s.on_use(&mut pool, LogicalTime::ZERO, ids[0]).delivered);
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[1], &[pair(ids[0], ids[1])]);
+        let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[1]);
+        assert!(!out.delivered);
+        assert_eq!(out.discarded, vec![ids[1]]);
+    }
+
+    #[test]
+    fn scenario_b_refined_keeps_d4_and_d5() {
+        // Fig. 5 Scenario B: Δ = {(d3,d4),(d3,d5)}; count(d3)=2 others 1.
+        let (mut pool, ids) = pool_with(5);
+        let mut s = DropBad::new();
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[3], &[pair(ids[2], ids[3])]);
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[4], &[pair(ids[2], ids[4])]);
+        assert!(s.on_use(&mut pool, LogicalTime::ZERO, ids[3]).delivered);
+        // d3 was marked bad while resolving (d3,d4).
+        assert_eq!(pool.get(ids[2]).unwrap().state(), ContextState::Bad);
+        assert!(!s.on_use(&mut pool, LogicalTime::ZERO, ids[2]).delivered);
+        assert!(s.on_use(&mut pool, LogicalTime::ZERO, ids[4]).delivered);
+    }
+
+    #[test]
+    fn reuse_of_delivered_context_stays_delivered() {
+        let (mut pool, ids) = pool_with(1);
+        let mut s = DropBad::new();
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[0], &[]);
+        assert!(s.on_use(&mut pool, LogicalTime::ZERO, ids[0]).delivered);
+        assert!(s.on_use(&mut pool, LogicalTime::ZERO, ids[0]).delivered);
+    }
+
+    #[test]
+    fn expired_context_resolves_but_does_not_deliver() {
+        use ctxres_context::{Lifespan, Ticks};
+        let mut pool = ContextPool::new();
+        let id = pool.insert(
+            Context::builder(ContextKind::new("location"), "p")
+                .lifespan(Lifespan::with_ttl(LogicalTime::ZERO, Ticks::new(1)))
+                .build(),
+        );
+        let mut s = DropBad::new();
+        s.on_addition(&mut pool, LogicalTime::ZERO, id, &[]);
+        let out = s.on_use(&mut pool, LogicalTime::new(5), id);
+        assert!(!out.delivered, "expired contexts are not delivered");
+        assert!(out.discarded.is_empty(), "but not blamed as inconsistent either");
+    }
+
+    #[test]
+    fn bad_marking_skips_already_decided_contexts() {
+        // A context that was already delivered (Consistent) can appear in
+        // later inconsistencies; it must not be re-marked bad.
+        let (mut pool, ids) = pool_with(3);
+        let mut s = DropBad::new();
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[0], &[]);
+        assert!(s.on_use(&mut pool, LogicalTime::ZERO, ids[0]).delivered);
+        // New context conflicts with the delivered one twice (two
+        // constraints), then a third conflicts with it once.
+        s.on_addition(
+            &mut pool,
+            LogicalTime::ZERO,
+            ids[1],
+            &[
+                Inconsistency::pair("c1", ids[0], ids[1], LogicalTime::ZERO),
+                Inconsistency::pair("c2", ids[0], ids[1], LogicalTime::ZERO),
+            ],
+        );
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[2], &[pair(ids[1], ids[2])]);
+        // Using ids[2]: ids[1] carries the largest count (3) -> bad; the
+        // Consistent ids[0] is never touched.
+        let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[2]);
+        assert!(out.delivered);
+        assert_eq!(out.marked_bad, vec![ids[1]]);
+        assert_eq!(pool.get(ids[0]).unwrap().state(), ContextState::Consistent);
+    }
+
+    #[test]
+    fn reset_clears_delta() {
+        let (_, _, mut s) = scenario_a();
+        assert!(!s.tracked().is_empty());
+        s.reset();
+        assert!(s.tracked().is_empty());
+    }
+
+    #[test]
+    fn defers_decision() {
+        assert!(DropBad::new().defers_decision());
+    }
+
+    #[test]
+    fn inconsistency_with_bad_member_dooms_nobody_else() {
+        // Star: corrupted hub c (ids[0]) conflicts with leaves e1, e2.
+        // Using e1 marks c bad and removes (c,e1); the residual (c,e2)
+        // then ties c=1, e2=1 — but c being bad already settles it, so
+        // e2 must deliver.
+        let (mut pool, ids) = pool_with(3);
+        let (c, e1, e2) = (ids[0], ids[1], ids[2]);
+        let mut s = DropBad::new();
+        s.on_addition(&mut pool, LogicalTime::ZERO, e1, &[pair(c, e1)]);
+        s.on_addition(&mut pool, LogicalTime::ZERO, e2, &[pair(c, e2)]);
+        assert!(s.on_use(&mut pool, LogicalTime::ZERO, e1).delivered);
+        assert_eq!(pool.get(c).unwrap().state(), ContextState::Bad);
+        assert!(
+            s.on_use(&mut pool, LogicalTime::ZERO, e2).delivered,
+            "bad member already resolves the residual inconsistency"
+        );
+        assert!(!s.on_use(&mut pool, LogicalTime::ZERO, c).delivered);
+    }
+
+    #[test]
+    fn earliest_tiebreak_changes_bad_marking() {
+        // Two contexts tie at max count within an inconsistency resolved
+        // by a third, lower-count context... requires a 3-ary
+        // inconsistency.
+        let (mut pool, ids) = pool_with(3);
+        let mut s = DropBad::with_tie_break(TieBreak::Earliest);
+        let tri = Inconsistency::new("t", [ids[0], ids[1], ids[2]], LogicalTime::ZERO);
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[2], &[tri]);
+        // Give ids[1] and ids[2] an extra count each via another
+        // inconsistency pair between them.
+        s.on_addition(&mut pool, LogicalTime::ZERO, ids[2], &[pair(ids[1], ids[2])]);
+        // Use ids[0] (count 1 < 2): delivered; culprits tie {1,2} -> earliest = ids[1].
+        let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[0]);
+        assert!(out.delivered);
+        assert_eq!(out.marked_bad, vec![ids[1]]);
+    }
+}
+
+#[cfg(test)]
+mod explanation_tests {
+    use super::*;
+    use ctxres_context::{Context, ContextKind};
+
+    fn pair(a: ContextId, b: ContextId) -> Inconsistency {
+        Inconsistency::pair("v", a, b, LogicalTime::ZERO)
+    }
+
+    #[test]
+    fn every_discard_is_explained() {
+        let mut pool = ContextPool::new();
+        let ids: Vec<ContextId> = (0..5)
+            .map(|_| pool.insert(Context::builder(ContextKind::new("location"), "p").build()))
+            .collect();
+        let mut s = DropBad::new().with_explanations();
+        let t = LogicalTime::ZERO;
+        // Scenario A: hub ids[2].
+        s.on_addition(&mut pool, t, ids[2], &[pair(ids[0], ids[2]), pair(ids[1], ids[2])]);
+        s.on_addition(&mut pool, t, ids[3], &[pair(ids[2], ids[3])]);
+        s.on_addition(&mut pool, t, ids[4], &[pair(ids[2], ids[4])]);
+        // Using a leaf delivers it and marks the hub bad (explained);
+        // using the hub then discards it (explained as WasBad).
+        assert!(s.on_use(&mut pool, t, ids[0]).delivered);
+        assert!(!s.on_use(&mut pool, t, ids[2]).delivered);
+        let log = s.explanations().unwrap();
+        assert_eq!(log.for_context(ids[2]).count(), 2, "marked bad, then discarded");
+        let rendered: Vec<String> = log.entries().iter().map(ToString::to_string).collect();
+        assert!(rendered.iter().any(|e| e.contains("marked bad")), "{rendered:?}");
+        assert!(rendered.iter().any(|e| e.contains("previously marked bad")), "{rendered:?}");
+    }
+
+    #[test]
+    fn direct_discard_cites_the_inconsistency_and_count() {
+        let mut pool = ContextPool::new();
+        let ids: Vec<ContextId> = (0..3)
+            .map(|_| pool.insert(Context::builder(ContextKind::new("location"), "p").build()))
+            .collect();
+        let mut s = DropBad::new().with_explanations();
+        let t = LogicalTime::ZERO;
+        s.on_addition(&mut pool, t, ids[2], &[pair(ids[0], ids[2]), pair(ids[1], ids[2])]);
+        assert!(!s.on_use(&mut pool, t, ids[2]).delivered);
+        let log = s.explanations().unwrap();
+        let e = log.for_context(ids[2]).next().unwrap();
+        assert!(matches!(
+            &e.reason,
+            crate::explain::DiscardReason::LargestCount { count: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn explanations_off_by_default() {
+        assert!(DropBad::new().explanations().is_none());
+    }
+}

@@ -1,0 +1,65 @@
+//! The concrete resolution strategies.
+//!
+//! See the crate docs for the mapping to the paper's sections. All
+//! strategies implement [`crate::ResolutionStrategy`]; the
+//! [`by_name`] factory builds the four the experiments compare.
+
+mod drop_all;
+mod drop_bad;
+mod drop_latest;
+mod drop_random;
+mod impact_aware;
+mod oracle;
+mod user_policy;
+
+pub use drop_all::DropAll;
+pub use drop_bad::DropBad;
+pub use drop_latest::DropLatest;
+pub use drop_random::DropRandom;
+pub use impact_aware::{ImpactAwareDropBad, ImpactProfile};
+pub use oracle::Oracle;
+pub use user_policy::{PolicyRule, UserPolicy};
+
+use crate::strategy::ResolutionStrategy;
+
+/// Builds one of the experiment strategies by its paper name.
+///
+/// Recognized names (case-insensitive): `opt-r`, `d-bad`, `d-lat`,
+/// `d-all`, `d-rand`. Returns `None` for anything else.
+///
+/// ```
+/// use ctxres_core::strategies::by_name;
+/// assert_eq!(by_name("D-BAD", 42).unwrap().name(), "d-bad");
+/// assert!(by_name("nonsense", 0).is_none());
+/// ```
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn ResolutionStrategy + Send>> {
+    match name.to_ascii_lowercase().as_str() {
+        "opt-r" => Some(Box::new(Oracle::new())),
+        "d-bad" => Some(Box::new(DropBad::new())),
+        "d-lat" => Some(Box::new(DropLatest::new())),
+        "d-all" => Some(Box::new(DropAll::new())),
+        "d-rand" => Some(Box::new(DropRandom::new(seed))),
+        _ => None,
+    }
+}
+
+/// The strategy names compared in the paper's experiments (§4), in
+/// presentation order.
+pub const EXPERIMENT_STRATEGIES: [&str; 4] = ["opt-r", "d-bad", "d-lat", "d-all"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_covers_all_experiment_strategies() {
+        for name in EXPERIMENT_STRATEGIES {
+            assert_eq!(by_name(name, 1).unwrap().name(), name);
+        }
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("d-what", 1).is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! Checkable forms of the paper's heuristic rules (§3.4).
+//!
+//! The drop-bad strategy's reliability rests on two heuristic rules over
+//! a set of inconsistencies and the (unknowable in practice) ground
+//! truth partition of contexts into *corrupted* and *expected*:
+//!
+//! * **Rule 1** — a set of expected contexts does not form any
+//!   inconsistency (consistency constraints never raise false reports);
+//! * **Rule 2** — in every inconsistency, *every* corrupted context has a
+//!   larger count value than *any* expected context in that set;
+//! * **Rule 2′** (relaxed) — in every inconsistency, *at least one*
+//!   corrupted context has a larger count value than any expected one.
+//!
+//! Theorems 1 and 2: with Rules 1+2 (resp. 1+2′) holding, every context
+//! drop-bad discards is corrupted. The property tests in
+//! `tests/theorems.rs` machine-check this; the §5.2 case study measures
+//! how often the rules hold on Landmarc traces (paper: Rule 1 always,
+//! Rule 2′ in 91.7 % of cases).
+
+use crate::inconsistency::Inconsistency;
+use crate::tracked::CountMap;
+use ctxres_context::ContextId;
+use std::collections::BTreeMap;
+
+/// Computes count values over an arbitrary inconsistency collection
+/// (outside any [`crate::TrackedSet`] bookkeeping).
+pub fn counts_of(incs: &[Inconsistency]) -> CountMap {
+    let mut tracked = crate::tracked::TrackedSet::new();
+    for inc in incs {
+        tracked.add(inc.clone());
+    }
+    tracked.counts().clone()
+}
+
+/// Rule 1: no inconsistency consists purely of expected contexts.
+///
+/// `is_corrupted` is the ground-truth oracle.
+///
+/// ```
+/// use ctxres_core::theory::rule1_holds;
+/// use ctxres_core::Inconsistency;
+/// use ctxres_context::{ContextId, LogicalTime};
+///
+/// let d2 = ContextId::from_raw(2);
+/// let d3 = ContextId::from_raw(3); // corrupted
+/// let incs = vec![Inconsistency::pair("v", d2, d3, LogicalTime::ZERO)];
+/// assert!(rule1_holds(&incs, |id| id == d3));
+/// assert!(!rule1_holds(&incs, |_| false), "no corrupted member anywhere");
+/// ```
+pub fn rule1_holds(incs: &[Inconsistency], is_corrupted: impl Fn(ContextId) -> bool) -> bool {
+    incs.iter().all(|inc| inc.contexts().iter().any(|id| is_corrupted(*id)))
+}
+
+/// Rule 2: in every inconsistency, every corrupted context's count
+/// exceeds every expected context's count.
+pub fn rule2_holds(incs: &[Inconsistency], is_corrupted: impl Fn(ContextId) -> bool) -> bool {
+    let counts = counts_of(incs);
+    incs.iter().all(|inc| {
+        let max_expected = inc
+            .contexts()
+            .iter()
+            .filter(|id| !is_corrupted(**id))
+            .map(|id| counts.get(*id))
+            .max();
+        match max_expected {
+            None => true, // all corrupted: vacuously fine
+            Some(me) => inc
+                .contexts()
+                .iter()
+                .filter(|id| is_corrupted(**id))
+                .all(|id| counts.get(*id) > me),
+        }
+    })
+}
+
+/// Rule 2′ (relaxed): in every inconsistency, at least one corrupted
+/// context's count exceeds every expected context's count.
+pub fn rule2_relaxed_holds(incs: &[Inconsistency], is_corrupted: impl Fn(ContextId) -> bool) -> bool {
+    let counts = counts_of(incs);
+    incs.iter().all(|inc| {
+        let max_expected = inc
+            .contexts()
+            .iter()
+            .filter(|id| !is_corrupted(**id))
+            .map(|id| counts.get(*id))
+            .max();
+        match max_expected {
+            None => true,
+            Some(me) => inc
+                .contexts()
+                .iter()
+                .filter(|id| is_corrupted(**id))
+                .any(|id| counts.get(*id) > me),
+        }
+    })
+}
+
+/// Per-inconsistency rule evaluation for the §5.2 case-study monitor:
+/// returns, for each inconsistency, whether Rule 2 and Rule 2′ hold on
+/// it (Rule 1 is a property of the detection, reported separately).
+pub fn rule_report(
+    incs: &[Inconsistency],
+    is_corrupted: impl Fn(ContextId) -> bool,
+) -> Vec<RuleVerdict> {
+    let counts = counts_of(incs);
+    incs.iter()
+        .map(|inc| {
+            let max_expected = inc
+                .contexts()
+                .iter()
+                .filter(|id| !is_corrupted(**id))
+                .map(|id| counts.get(*id))
+                .max();
+            let (rule2, rule2_relaxed) = match max_expected {
+                None => (true, true),
+                Some(me) => {
+                    let corrupted_counts: Vec<usize> = inc
+                        .contexts()
+                        .iter()
+                        .filter(|id| is_corrupted(**id))
+                        .map(|id| counts.get(*id))
+                        .collect();
+                    (
+                        !corrupted_counts.is_empty() && corrupted_counts.iter().all(|c| *c > me),
+                        corrupted_counts.iter().any(|c| *c > me),
+                    )
+                }
+            };
+            RuleVerdict {
+                rule1: inc.contexts().iter().any(|id| is_corrupted(*id)),
+                rule2,
+                rule2_relaxed,
+            }
+        })
+        .collect()
+}
+
+/// Whether the heuristic rules held for one inconsistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleVerdict {
+    /// The inconsistency contains at least one corrupted context.
+    pub rule1: bool,
+    /// Every corrupted member out-counts every expected member.
+    pub rule2: bool,
+    /// Some corrupted member out-counts every expected member.
+    pub rule2_relaxed: bool,
+}
+
+/// Aggregates rule verdicts into hold rates (fractions in `[0, 1]`).
+pub fn hold_rates(verdicts: &[RuleVerdict]) -> (f64, f64, f64) {
+    if verdicts.is_empty() {
+        return (1.0, 1.0, 1.0);
+    }
+    let n = verdicts.len() as f64;
+    let frac = |sel: fn(&RuleVerdict) -> bool| verdicts.iter().filter(|v| sel(v)).count() as f64 / n;
+    (
+        frac(|v| v.rule1),
+        frac(|v| v.rule2),
+        frac(|v| v.rule2_relaxed),
+    )
+}
+
+/// Ground-truth table mapping context ids to corruption flags, the shape
+/// property tests and workload ledgers use.
+pub type TruthTable = BTreeMap<ContextId, bool>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_context::LogicalTime;
+
+    fn id(n: u64) -> ContextId {
+        ContextId::from_raw(n)
+    }
+
+    fn pair(a: u64, b: u64) -> Inconsistency {
+        Inconsistency::pair("v", id(a), id(b), LogicalTime::ZERO)
+    }
+
+    /// Scenario A of Fig. 5: d3 (id 3) corrupted, conflicting with four
+    /// expected neighbours.
+    fn scenario_a() -> Vec<Inconsistency> {
+        vec![pair(1, 3), pair(2, 3), pair(3, 4), pair(3, 5)]
+    }
+
+    fn corrupted_is_3(cid: ContextId) -> bool {
+        cid == id(3)
+    }
+
+    #[test]
+    fn scenario_a_satisfies_all_rules() {
+        let incs = scenario_a();
+        assert!(rule1_holds(&incs, corrupted_is_3));
+        assert!(rule2_holds(&incs, corrupted_is_3));
+        assert!(rule2_relaxed_holds(&incs, corrupted_is_3));
+    }
+
+    #[test]
+    fn rule1_fails_on_expected_only_inconsistency() {
+        let incs = vec![pair(1, 2)];
+        assert!(!rule1_holds(&incs, corrupted_is_3));
+    }
+
+    #[test]
+    fn rule2_fails_when_corrupted_does_not_dominate() {
+        // Single inconsistency (3,4): both count 1, so the corrupted d3
+        // does not strictly exceed the expected d4.
+        let incs = vec![pair(3, 4)];
+        assert!(rule1_holds(&incs, corrupted_is_3));
+        assert!(!rule2_holds(&incs, corrupted_is_3));
+        assert!(!rule2_relaxed_holds(&incs, corrupted_is_3));
+    }
+
+    #[test]
+    fn relaxed_rule_is_weaker_than_rule2() {
+        // Two corrupted contexts 3 and 6; 3 dominates, 6 does not.
+        let corrupted = |cid: ContextId| cid == id(3) || cid == id(6);
+        let incs = vec![
+            pair(1, 3),
+            pair(2, 3),
+            Inconsistency::new("t", [id(3), id(6), id(4)], LogicalTime::ZERO),
+        ];
+        // counts: 3 -> 3, 6 -> 1, 4 -> 1, 1 -> 1, 2 -> 1.
+        assert!(!rule2_holds(&incs, corrupted), "6 ties with expected 4");
+        assert!(rule2_relaxed_holds(&incs, corrupted), "3 dominates");
+    }
+
+    #[test]
+    fn all_corrupted_inconsistency_is_vacuous() {
+        let corrupted = |_: ContextId| true;
+        let incs = vec![pair(1, 2)];
+        assert!(rule2_holds(&incs, corrupted));
+        assert!(rule2_relaxed_holds(&incs, corrupted));
+    }
+
+    #[test]
+    fn rule_report_and_hold_rates() {
+        let incs = vec![pair(1, 3), pair(2, 3), pair(4, 5)];
+        let verdicts = rule_report(&incs, corrupted_is_3);
+        assert_eq!(verdicts.len(), 3);
+        assert!(verdicts[0].rule1 && verdicts[0].rule2);
+        assert!(!verdicts[2].rule1, "(4,5) has no corrupted member");
+        let (r1, _r2, r2p) = hold_rates(&verdicts);
+        assert!((r1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!(r2p < 1.0);
+    }
+
+    #[test]
+    fn empty_verdicts_hold_trivially() {
+        assert_eq!(hold_rates(&[]), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn counts_of_matches_tracked_set() {
+        let counts = counts_of(&scenario_a());
+        assert_eq!(counts.get(id(3)), 4);
+        assert_eq!(counts.get(id(1)), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the eager baselines: decision-at-addition
+//! invariants that hold on arbitrary inconsistency batches.
+
+use ctxres_context::{Context, ContextId, ContextKind, ContextPool, LogicalTime};
+use ctxres_core::strategies::{DropAll, DropLatest, DropRandom};
+use ctxres_core::{Inconsistency, ResolutionStrategy};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random sequence of addition changes: each step adds a context and
+/// reports fresh inconsistencies pairing it with earlier survivors.
+#[derive(Debug, Clone)]
+struct Additions {
+    /// For each new context: indices (into earlier contexts) it
+    /// conflicts with.
+    conflicts: Vec<Vec<usize>>,
+}
+
+fn additions() -> impl Strategy<Value = Additions> {
+    proptest::collection::vec(proptest::collection::vec(0usize..8, 0..3), 1..20)
+        .prop_map(|conflicts| Additions { conflicts })
+}
+
+fn drive(strategy: &mut dyn ResolutionStrategy, w: &Additions) -> (ContextPool, BTreeSet<ContextId>) {
+    let mut pool = ContextPool::new();
+    let mut discarded = BTreeSet::new();
+    let now = LogicalTime::ZERO;
+    let mut ids: Vec<ContextId> = Vec::new();
+    for conflicts in &w.conflicts {
+        let id = pool.insert(Context::builder(ContextKind::new("k"), "s").build());
+        // The same detector report goes to every strategy (no feedback
+        // from earlier discards), so cross-strategy set comparisons are
+        // meaningful; the strategies themselves skip already-discarded
+        // members.
+        let fresh: Vec<Inconsistency> = conflicts
+            .iter()
+            .filter_map(|j| ids.get(*j))
+            .map(|earlier| Inconsistency::pair("c", *earlier, id, now))
+            .collect();
+        let out = strategy.on_addition(&mut pool, now, id, &fresh);
+        discarded.extend(out.discarded);
+        ids.push(id);
+    }
+    (pool, discarded)
+}
+
+proptest! {
+    /// Eager strategies never leave a context undecided: after each
+    /// addition everything is Consistent or Inconsistent.
+    #[test]
+    fn eager_strategies_decide_immediately(w in additions()) {
+        for strategy in [
+            Box::new(DropLatest::new()) as Box<dyn ResolutionStrategy>,
+            Box::new(DropAll::new()),
+            Box::new(DropRandom::new(7)),
+        ] {
+            let mut s = strategy;
+            let (pool, _) = drive(s.as_mut(), &w);
+            for (id, c) in pool.iter() {
+                prop_assert!(
+                    c.state().is_terminal(),
+                    "{}: {id} left {}",
+                    s.name(),
+                    c.state()
+                );
+            }
+        }
+    }
+
+    /// Drop-all discards a superset of drop-latest on identical input:
+    /// the latest member of every fresh inconsistency is among "all of
+    /// them".
+    #[test]
+    fn drop_all_discards_superset_of_drop_latest(w in additions()) {
+        let mut lat = DropLatest::new();
+        let mut all = DropAll::new();
+        let (_, lat_discarded) = drive(&mut lat, &w);
+        let (_, all_discarded) = drive(&mut all, &w);
+        prop_assert!(
+            lat_discarded.is_subset(&all_discarded),
+            "d-lat {lat_discarded:?} not within d-all {all_discarded:?}"
+        );
+    }
+
+    /// Drop-random discards exactly one member per fresh unresolved
+    /// inconsistency, so it never discards more than drop-all.
+    #[test]
+    fn drop_random_bounded_by_drop_all(w in additions(), seed in any::<u64>()) {
+        let mut rnd = DropRandom::new(seed);
+        let mut all = DropAll::new();
+        let (_, rnd_discarded) = drive(&mut rnd, &w);
+        let (_, all_discarded) = drive(&mut all, &w);
+        prop_assert!(rnd_discarded.len() <= all_discarded.len());
+    }
+
+    /// The discard decision is pure: same workload, same outcome (for
+    /// the deterministic strategies and for a fixed random seed).
+    #[test]
+    fn eager_decisions_are_deterministic(w in additions(), seed in any::<u64>()) {
+        let run = |mut s: Box<dyn ResolutionStrategy>| drive(s.as_mut(), &w).1;
+        prop_assert_eq!(run(Box::new(DropLatest::new())), run(Box::new(DropLatest::new())));
+        prop_assert_eq!(run(Box::new(DropAll::new())), run(Box::new(DropAll::new())));
+        prop_assert_eq!(
+            run(Box::new(DropRandom::new(seed))),
+            run(Box::new(DropRandom::new(seed)))
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based validation of the paper's Theorems 1 and 2 (§3.4).
+//!
+//! *Theorem 1*: with heuristic Rules 1 and 2 holding, the drop-bad
+//! strategy is always reliable — each discarded context is corrupted.
+//! *Theorem 2*: likewise with Rules 1 and 2′ (relaxed).
+//!
+//! The paper omits the proofs (they live in technical report
+//! HKUST-CS07-11); here we machine-check the claims. We read the rules
+//! as invariants of the tracked set Δ at each resolution instant: the
+//! harness replays a randomized use order and, at every step where the
+//! rules held on the residual Δ, asserts that whatever drop-bad
+//! discarded is corrupted ground truth.
+//!
+//! Generators produce *star hypergraphs* — corrupted hubs each
+//! conflicting with ≥ 2 expected leaves, plus optional
+//! corrupted-corrupted edges — the natural family satisfying the rules
+//! at detection time (a corrupted context participates in more
+//! inconsistencies than its expected neighbours, §3.1).
+
+use ctxres_context::{Context, ContextId, ContextKind, ContextPool, LogicalTime, TruthTag};
+use ctxres_core::strategies::DropBad;
+use ctxres_core::theory::{rule1_holds, rule2_holds, rule2_relaxed_holds};
+use ctxres_core::{Inconsistency, ResolutionStrategy};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A generated workload: contexts with ground truth, their
+/// inconsistencies, and a use order.
+#[derive(Debug, Clone)]
+struct StarWorkload {
+    /// corrupted[i] == true iff context i is corrupted.
+    corrupted: Vec<bool>,
+    /// Inconsistencies as index sets.
+    incs: Vec<Vec<usize>>,
+    /// Permutation of context indices giving the use order.
+    use_order: Vec<usize>,
+}
+
+fn star_workload() -> impl Strategy<Value = StarWorkload> {
+    // 1..=3 hubs, each with 2..=4 leaves; optionally link hub pairs.
+    (1usize..=3, proptest::collection::vec(2usize..=4, 3), any::<bool>(), any::<u64>()).prop_map(
+        |(hubs, leaf_counts, link_hubs, shuffle_seed)| {
+            let mut corrupted = Vec::new();
+            let mut incs = Vec::new();
+            let mut hub_ids = Vec::new();
+            for &leaves in leaf_counts.iter().take(hubs) {
+                let hub = corrupted.len();
+                corrupted.push(true);
+                hub_ids.push(hub);
+                for _ in 0..leaves {
+                    let leaf = corrupted.len();
+                    corrupted.push(false);
+                    incs.push(vec![hub, leaf]);
+                }
+            }
+            if link_hubs && hub_ids.len() >= 2 {
+                incs.push(vec![hub_ids[0], hub_ids[1]]);
+            }
+            // Deterministic Fisher-Yates driven by the seed.
+            let n = corrupted.len();
+            let mut order: Vec<usize> = (0..n).collect();
+            let mut state = shuffle_seed | 1;
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                order.swap(i, j);
+            }
+            StarWorkload { corrupted, incs, use_order: order }
+        },
+    )
+}
+
+/// Replays a workload through drop-bad, asserting theorem compliance at
+/// every step where `rules_hold` is true on the residual Δ.
+fn replay(w: &StarWorkload, rules_hold: impl Fn(&[Inconsistency]) -> bool) {
+    let mut pool = ContextPool::new();
+    let ids: Vec<ContextId> = w
+        .corrupted
+        .iter()
+        .enumerate()
+        .map(|(i, corr)| {
+            pool.insert(
+                Context::builder(ContextKind::new("x"), &format!("s{i}"))
+                    .truth(if *corr { TruthTag::Corrupted } else { TruthTag::Expected })
+                    .stamp(LogicalTime::new(i as u64))
+                    .build(),
+            )
+        })
+        .collect();
+    let truth = |id: ContextId| w.corrupted[id.raw() as usize];
+
+    let mut strategy = DropBad::new();
+    let now = LogicalTime::new(100);
+    for inc in &w.incs {
+        let members: Vec<ContextId> = inc.iter().map(|i| ids[*i]).collect();
+        let latest = *members.iter().max().unwrap();
+        let inc = Inconsistency::new("c", members, now);
+        strategy.on_addition(&mut pool, now, latest, &[inc]);
+    }
+
+    // Rule 1 is about detection and must hold throughout by construction.
+    let all: Vec<Inconsistency> = strategy.tracked().iter().cloned().collect();
+    assert!(rule1_holds(&all, truth));
+
+    // The rules are read as invariants: assertions apply while they have
+    // held at every resolution instant so far (a later bad-marked
+    // discard traces back to the round that marked it).
+    let mut held_so_far = true;
+    for &idx in &w.use_order {
+        let residual: Vec<Inconsistency> = strategy.tracked().iter().cloned().collect();
+        held_so_far = held_so_far && rules_hold(&residual);
+        let out = strategy.on_use(&mut pool, now, ids[idx]);
+        if held_so_far {
+            for discarded in &out.discarded {
+                assert!(
+                    truth(*discarded),
+                    "drop-bad discarded expected context {discarded} while the rules held;\n\
+                     workload: {w:?}\nresidual Δ: {residual:?}"
+                );
+            }
+        }
+        // Regardless of the rules: delivered and discarded are disjoint.
+        if out.delivered {
+            assert!(!out.discarded.contains(&ids[idx]));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Theorem 1: under Rules 1+2 (checked as residual invariants),
+    /// every discard is corrupted.
+    #[test]
+    fn theorem1_discards_only_corrupted(w in star_workload()) {
+        let corrupted = w.corrupted.clone();
+        replay(&w, move |residual| {
+            rule1_holds(residual, |id| corrupted[id.raw() as usize])
+                && rule2_holds(residual, |id| corrupted[id.raw() as usize])
+        });
+    }
+
+    /// Theorem 2: the relaxed Rule 2′ suffices.
+    #[test]
+    fn theorem2_relaxed_rule_suffices(w in star_workload()) {
+        let corrupted = w.corrupted.clone();
+        replay(&w, move |residual| {
+            rule1_holds(residual, |id| corrupted[id.raw() as usize])
+                && rule2_relaxed_holds(residual, |id| corrupted[id.raw() as usize])
+        });
+    }
+
+    /// Liveness: every context is eventually decided (delivered or
+    /// discarded), and Δ drains completely once everything was used.
+    #[test]
+    fn every_context_is_decided_and_delta_drains(w in star_workload()) {
+        let mut pool = ContextPool::new();
+        let ids: Vec<ContextId> = w
+            .corrupted
+            .iter()
+            .enumerate()
+            .map(|(i, corr)| {
+                pool.insert(
+                    Context::builder(ContextKind::new("x"), &format!("s{i}"))
+                        .truth(if *corr { TruthTag::Corrupted } else { TruthTag::Expected })
+                        .build(),
+                )
+            })
+            .collect();
+        let mut strategy = DropBad::new();
+        let now = LogicalTime::ZERO;
+        for inc in &w.incs {
+            let members: Vec<ContextId> = inc.iter().map(|i| ids[*i]).collect();
+            let latest = *members.iter().max().unwrap();
+            strategy.on_addition(&mut pool, now, latest, &[Inconsistency::new("c", members, now)]);
+        }
+        for &idx in &w.use_order {
+            let out = strategy.on_use(&mut pool, now, ids[idx]);
+            prop_assert!(out.delivered || out.discarded.contains(&ids[idx]));
+        }
+        prop_assert!(strategy.tracked().is_empty());
+        let undecided: BTreeSet<ContextId> = pool
+            .iter()
+            .filter(|(_, c)| !c.state().is_terminal())
+            .map(|(id, _)| id)
+            .collect();
+        prop_assert!(undecided.is_empty(), "left undecided: {undecided:?}");
+    }
+
+    /// The corrupted hub of a pure star is always caught, whatever the
+    /// use order (it dominates every inconsistency it is in).
+    #[test]
+    fn star_hub_is_always_caught(
+        leaves in 2usize..=5,
+        seed in any::<u64>(),
+    ) {
+        let mut pool = ContextPool::new();
+        let kind = ContextKind::new("x");
+        let hub = pool.insert(
+            Context::builder(kind.clone(), "hub").truth(TruthTag::Corrupted).build(),
+        );
+        let leaf_ids: Vec<ContextId> = (0..leaves)
+            .map(|i| pool.insert(Context::builder(kind.clone(), &format!("l{i}")).build()))
+            .collect();
+        let mut strategy = DropBad::new();
+        let now = LogicalTime::ZERO;
+        for &leaf in &leaf_ids {
+            strategy.on_addition(&mut pool, now, leaf, &[Inconsistency::pair("c", hub, leaf, now)]);
+        }
+        let mut order: Vec<ContextId> = std::iter::once(hub).chain(leaf_ids.iter().copied()).collect();
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut hub_discarded = false;
+        let mut expected_lost = false;
+        for id in order {
+            let out = strategy.on_use(&mut pool, now, id);
+            if out.discarded.contains(&hub) {
+                hub_discarded = true;
+            }
+            if out.discarded.iter().any(|d| *d != hub) {
+                expected_lost = true;
+            }
+        }
+        prop_assert!(hub_discarded, "the corrupted hub must be discarded");
+        prop_assert!(!expected_lost, "no expected leaf may be discarded");
+    }
+}

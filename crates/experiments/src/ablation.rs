@@ -1,0 +1,245 @@
+//! Ablations: the §5.3 time-window sweep and the §5.1 tie-breaker
+//! comparison.
+
+use crate::metrics::RunMetrics;
+use crate::runner::run_with;
+use ctxres_apps::PervasiveApp;
+use ctxres_core::strategies::{DropBad, DropLatest};
+use ctxres_core::{TieBreak, TiePolicy};
+use serde::{Deserialize, Serialize};
+
+/// One point of the window sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowPoint {
+    /// The middleware window, in ticks.
+    pub window: u64,
+    /// Mean expected contexts used by drop-bad at this window.
+    pub used_expected: f64,
+    /// Mean survival rate.
+    pub survival: f64,
+    /// Mean removal precision.
+    pub precision: f64,
+}
+
+/// Result of the window ablation: drop-bad across windows, plus the
+/// drop-latest reference the zero window must degenerate to (§5.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowAblation {
+    /// Swept points, ascending window.
+    pub points: Vec<WindowPoint>,
+    /// Drop-latest at the same workload (reference line).
+    pub drop_latest_used_expected: f64,
+    /// Error rate used.
+    pub err_rate: f64,
+}
+
+/// Sweeps the drop-bad time window over `windows` (paper §5.3: "the
+/// study of impact of time window on the effectiveness of the drop-bad
+/// resolution strategy would deserve exploring" — this is that study).
+pub fn window_sweep(
+    app: &dyn PervasiveApp,
+    windows: &[u64],
+    err_rate: f64,
+    runs: usize,
+    len: usize,
+) -> WindowAblation {
+    let mut points = Vec::new();
+    for &window in windows {
+        let mut used = 0.0;
+        let mut survival = 0.0;
+        let mut precision = 0.0;
+        for seed in 0..runs as u64 {
+            let m = run_with(app, Box::new(DropBad::new()), err_rate, seed, len, window);
+            used += m.used_expected as f64;
+            survival += m.survival;
+            precision += m.precision;
+        }
+        let n = runs as f64;
+        points.push(WindowPoint {
+            window,
+            used_expected: used / n,
+            survival: survival / n,
+            precision: precision / n,
+        });
+    }
+    let mut lat_used = 0.0;
+    for seed in 0..runs as u64 {
+        let m = run_with(app, Box::new(DropLatest::new()), err_rate, seed, len, 0);
+        lat_used += m.used_expected as f64;
+    }
+    WindowAblation {
+        points,
+        drop_latest_used_expected: lat_used / runs as f64,
+        err_rate,
+    }
+}
+
+/// Picks the window maximizing drop-bad's expected-context throughput
+/// for a workload — how the per-application
+/// [`PervasiveApp::recommended_window`] values in `ctxres-apps` were
+/// chosen. Returns `(best_window, its mean used_expected)`.
+pub fn calibrate_window(
+    app: &dyn PervasiveApp,
+    candidates: &[u64],
+    err_rate: f64,
+    runs: usize,
+    len: usize,
+) -> (u64, f64) {
+    let sweep = window_sweep(app, candidates, err_rate, runs, len);
+    sweep
+        .points
+        .into_iter()
+        .map(|p| (p.window, p.used_expected))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one candidate window")
+}
+
+/// Compares drop-bad tie-breaking policies (§5.1's open tie case).
+pub fn tie_break_comparison(
+    app: &dyn PervasiveApp,
+    err_rate: f64,
+    runs: usize,
+    len: usize,
+    window: u64,
+) -> Vec<(String, Vec<RunMetrics>)> {
+    [TieBreak::Latest, TieBreak::Earliest]
+        .into_iter()
+        .map(|tie| {
+            let metrics: Vec<RunMetrics> = (0..runs as u64)
+                .map(|seed| {
+                    run_with(
+                        app,
+                        Box::new(DropBad::with_tie_break(tie)),
+                        err_rate,
+                        seed,
+                        len,
+                        window,
+                    )
+                })
+                .collect();
+            (format!("{tie:?}").to_lowercase(), metrics)
+        })
+        .collect()
+}
+
+/// One aggregated row of the tie-policy ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiePolicyPoint {
+    /// Policy name (`doomused` / `blamepeer`).
+    pub policy: String,
+    /// Error rate.
+    pub err_rate: f64,
+    /// Mean expected contexts used.
+    pub used_expected: f64,
+    /// Mean survival rate.
+    pub survival: f64,
+    /// Mean removal precision.
+    pub precision: f64,
+}
+
+/// Compares the two §5.1 tie *policies* (what to do when the used
+/// context ties at the maximal count value): discard it, or deliver it
+/// and mark a tied rival bad.
+pub fn tie_policy_comparison(
+    app: &dyn PervasiveApp,
+    err_rates: &[f64],
+    runs: usize,
+    len: usize,
+    window: u64,
+) -> Vec<TiePolicyPoint> {
+    let mut out = Vec::new();
+    for &err_rate in err_rates {
+        for policy in [TiePolicy::DoomUsed, TiePolicy::BlamePeer] {
+            let mut used = 0.0;
+            let mut survival = 0.0;
+            let mut precision = 0.0;
+            for seed in 0..runs as u64 {
+                let m = run_with(
+                    app,
+                    Box::new(DropBad::with_tie_policy(policy)),
+                    err_rate,
+                    seed,
+                    len,
+                    window,
+                );
+                used += m.used_expected as f64;
+                survival += m.survival;
+                precision += m.precision;
+            }
+            let n = runs as f64;
+            out.push(TiePolicyPoint {
+                policy: format!("{policy:?}").to_lowercase(),
+                err_rate,
+                used_expected: used / n,
+                survival: survival / n,
+                precision: precision / n,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_apps::call_forwarding::CallForwarding;
+
+    #[test]
+    fn zero_window_matches_drop_latest() {
+        let app = CallForwarding::new();
+        let ab = window_sweep(&app, &[0, 3], 0.3, 2, 180);
+        let zero = &ab.points[0];
+        assert_eq!(zero.window, 0);
+        assert!(
+            (zero.used_expected - ab.drop_latest_used_expected).abs() < 1e-9,
+            "window 0 drop-bad {} vs drop-latest {}",
+            zero.used_expected,
+            ab.drop_latest_used_expected
+        );
+    }
+
+    #[test]
+    fn wider_window_recovers_expected_contexts() {
+        // §5.3: the window is what lets drop-bad outperform drop-latest;
+        // with it, fewer expected contexts are lost.
+        let app = CallForwarding::new();
+        let ab = window_sweep(&app, &[0, 3], 0.3, 2, 180);
+        assert!(
+            ab.points[1].used_expected > ab.points[0].used_expected,
+            "window 12 used {} not above window 0 {}",
+            ab.points[1].used_expected,
+            ab.points[0].used_expected
+        );
+    }
+
+    #[test]
+    fn calibration_recovers_the_recommended_window() {
+        let app = CallForwarding::new();
+        let (best, used) = calibrate_window(&app, &[0, 2, 3, 4], 0.3, 3, 240);
+        assert!(used > 0.0);
+        let recommended = app.recommended_window();
+        assert!(
+            (best as i64 - recommended as i64).abs() <= 1,
+            "calibrated {best} vs recommended {recommended}"
+        );
+    }
+
+    #[test]
+    fn tie_policy_comparison_covers_grid() {
+        let app = CallForwarding::new();
+        let points = tie_policy_comparison(&app, &[0.2, 0.4], 1, 90, 3);
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().any(|p| p.policy == "doomused"));
+        assert!(points.iter().any(|p| p.policy == "blamepeer"));
+    }
+
+    #[test]
+    fn tie_break_comparison_runs_both_policies() {
+        let app = CallForwarding::new();
+        let cmp = tie_break_comparison(&app, 0.2, 1, 90, 3);
+        assert_eq!(cmp.len(), 2);
+        assert_eq!(cmp[0].0, "latest");
+        assert_eq!(cmp[1].0, "earliest");
+        assert_eq!(cmp[0].1.len(), 1);
+    }
+}

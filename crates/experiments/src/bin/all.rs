@@ -1,0 +1,45 @@
+//! Runs every experiment in sequence (the full reproduction pass used
+//! to fill EXPERIMENTS.md).
+//!
+//! Usage: `all [--quick]`.
+
+use ctxres_apps::call_forwarding::CallForwarding;
+use ctxres_apps::rfid_anomalies::RfidAnomalies;
+use ctxres_experiments::ablation::window_sweep;
+use ctxres_experiments::case_study::run_case_study;
+use ctxres_experiments::figures::figure_for;
+use ctxres_experiments::render::{
+    render_case_study, render_figure, render_window_ablation, write_json,
+};
+use ctxres_experiments::{RUNS_PER_POINT, TRACE_LEN};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (runs, len) = if quick { (3, 240) } else { (RUNS_PER_POINT, TRACE_LEN) };
+
+    eprintln!("[1/4] figure 9 (call forwarding) …");
+    let fig9 = figure_for(&CallForwarding::new(), runs, len);
+    println!("{}", render_figure(&fig9));
+    let _ = write_json("figure9", &fig9);
+
+    eprintln!("[2/4] figure 10 (rfid data anomalies) …");
+    let fig10 = figure_for(&RfidAnomalies::new(), runs, len);
+    println!("{}", render_figure(&fig10));
+    let _ = write_json("figure10", &fig10);
+
+    eprintln!("[3/4] §5.2 case study …");
+    let cs = run_case_study(0.2, if quick { 3 } else { 10 }, if quick { 200 } else { 600 });
+    println!("{}", render_case_study(&cs));
+    let _ = write_json("case_study", &cs);
+
+    eprintln!("[4/4] §5.3 window ablation …");
+    let ab = window_sweep(
+        &CallForwarding::new(),
+        &[0, 1, 2, 3, 4],
+        0.3,
+        if quick { 2 } else { 10 },
+        if quick { 180 } else { 600 },
+    );
+    println!("{}", render_window_ablation(&ab));
+    let _ = write_json("ablation_window", &ab);
+}

@@ -1,0 +1,31 @@
+//! Runs the **latency/accuracy dial** (paper §3.3's unquantified
+//! trade-off): drop-bad across use windows, reporting total activation
+//! latency next to the accuracy metrics, on both subject applications.
+//!
+//! Usage: `latency [--quick]`.
+
+use ctxres_apps::call_forwarding::CallForwarding;
+use ctxres_apps::rfid_anomalies::RfidAnomalies;
+use ctxres_apps::PervasiveApp;
+use ctxres_experiments::latency::{latency_window_tradeoff, render_latency};
+use ctxres_experiments::render::write_json;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (runs, len) = if quick { (3, 240) } else { (10, 600) };
+    let windows = [0u64, 1, 2, 3, 4];
+    let mut all = Vec::new();
+    for app in [
+        Box::new(CallForwarding::new()) as Box<dyn PervasiveApp>,
+        Box::new(RfidAnomalies::new()),
+    ] {
+        eprintln!("latency dial: {} …", app.name());
+        let points = latency_window_tradeoff(app.as_ref(), 0.3, &windows, runs, len);
+        println!("{}", render_latency(&points, app.name(), 0.3));
+        all.push((app.name().to_owned(), points));
+    }
+    match write_json("latency", &all) {
+        Ok(path) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write results json: {e}"),
+    }
+}

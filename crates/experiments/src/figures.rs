@@ -1,0 +1,124 @@
+//! Assembling Figures 9 and 10: strategy-vs-error-rate grids.
+
+use crate::metrics::{normalize_against_oracle, FigurePoint, RunMetrics};
+use crate::runner::run_named;
+use crate::{ERROR_RATES, RUNS_PER_POINT, TRACE_LEN};
+use ctxres_apps::PervasiveApp;
+use ctxres_core::strategies::EXPERIMENT_STRATEGIES;
+use serde::{Deserialize, Serialize};
+
+/// A regenerated figure: every (strategy, error-rate) point of one
+/// application's comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Which application the figure is about.
+    pub application: String,
+    /// All points, strategy-major in presentation order.
+    pub points: Vec<FigurePoint>,
+    /// Trace length per run.
+    pub trace_len: usize,
+    /// Seeds per point.
+    pub runs_per_point: usize,
+}
+
+impl Figure {
+    /// The point for a strategy at an error rate.
+    pub fn point(&self, strategy: &str, err_rate: f64) -> Option<&FigurePoint> {
+        self.points
+            .iter()
+            .find(|p| p.strategy == strategy && (p.err_rate - err_rate).abs() < 1e-9)
+    }
+}
+
+/// Runs the full grid for one application (Figure 9 for Call
+/// Forwarding, Figure 10 for RFID data anomalies).
+///
+/// `runs` seeds per point; the paper uses 20 ([`RUNS_PER_POINT`]). Every
+/// strategy is paired per-seed against the OPT-R run with the same seed
+/// and workload.
+pub fn figure_for(app: &dyn PervasiveApp, runs: usize, len: usize) -> Figure {
+    let window = app.recommended_window();
+    let mut points = Vec::new();
+    for &err_rate in &ERROR_RATES {
+        let oracle_runs: Vec<RunMetrics> = (0..runs)
+            .map(|i| run_named(app, "opt-r", err_rate, seed_for(err_rate, i), len, window))
+            .collect();
+        for strategy in EXPERIMENT_STRATEGIES {
+            let strategy_runs: Vec<RunMetrics> = if strategy == "opt-r" {
+                oracle_runs.clone()
+            } else {
+                (0..runs)
+                    .map(|i| {
+                        run_named(app, strategy, err_rate, seed_for(err_rate, i), len, window)
+                    })
+                    .collect()
+            };
+            points.push(normalize_against_oracle(strategy, err_rate, &strategy_runs, &oracle_runs));
+        }
+    }
+    Figure {
+        application: app.name().to_owned(),
+        points,
+        trace_len: len,
+        runs_per_point: runs,
+    }
+}
+
+/// Figure 9: Call Forwarding, at paper scale.
+pub fn figure9() -> Figure {
+    figure_for(
+        &ctxres_apps::call_forwarding::CallForwarding::new(),
+        RUNS_PER_POINT,
+        TRACE_LEN,
+    )
+}
+
+/// Figure 10: RFID data anomalies, at paper scale.
+pub fn figure10() -> Figure {
+    figure_for(
+        &ctxres_apps::rfid_anomalies::RfidAnomalies::new(),
+        RUNS_PER_POINT,
+        TRACE_LEN,
+    )
+}
+
+fn seed_for(err_rate: f64, run: usize) -> u64 {
+    // Distinct, stable seeds per (rate, run index).
+    (err_rate * 1000.0) as u64 * 10_000 + run as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_apps::call_forwarding::CallForwarding;
+
+    /// A reduced-scale grid still shows the paper's ordering:
+    /// OPT-R ≥ D-BAD > D-LAT, D-ALL; D-ALL worst.
+    #[test]
+    fn small_grid_reproduces_strategy_ordering() {
+        let app = CallForwarding::new();
+        let fig = figure_for(&app, 3, 240);
+        for &err in &[0.2, 0.3] {
+            let opt = fig.point("opt-r", err).unwrap();
+            let bad = fig.point("d-bad", err).unwrap();
+            let lat = fig.point("d-lat", err).unwrap();
+            let all = fig.point("d-all", err).unwrap();
+            assert!((opt.ctx_use_rate - 1.0).abs() < 1e-9);
+            assert!(bad.ctx_use_rate > lat.ctx_use_rate, "err {err}: d-bad {} vs d-lat {}", bad.ctx_use_rate, lat.ctx_use_rate);
+            assert!(bad.ctx_use_rate > all.ctx_use_rate, "err {err}: d-bad {} vs d-all {}", bad.ctx_use_rate, all.ctx_use_rate);
+            assert!(lat.ctx_use_rate > all.ctx_use_rate, "err {err}: d-lat {} vs d-all {}", lat.ctx_use_rate, all.ctx_use_rate);
+        }
+    }
+
+    #[test]
+    fn points_cover_the_full_grid() {
+        let app = CallForwarding::new();
+        let fig = figure_for(&app, 1, 60);
+        assert_eq!(fig.points.len(), 16);
+        for &err in &crate::ERROR_RATES {
+            for s in ctxres_core::strategies::EXPERIMENT_STRATEGIES {
+                assert!(fig.point(s, err).is_some(), "missing ({s}, {err})");
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The accuracy-vs-latency trade-off (paper §3.3).
+//!
+//! Drop-bad's deferral "enables the middleware to use the additional
+//! time to collect more count value information" — that additional time
+//! is a real cost the paper does not quantify. Under this middleware the
+//! cost is the use window: every context (and hence every situation
+//! activation) lags the physical event by the window, plus any residual
+//! delay when an epoch's first supporting context was withheld and
+//! coverage had to wait for a later one. This experiment sweeps the
+//! window for drop-bad and reports **total activation latency**
+//! (window + residual, in ticks) next to the accuracy metrics — making
+//! the §5.3 window choice a visible latency/accuracy dial.
+
+use crate::runner::run_with;
+use ctxres_apps::PervasiveApp;
+use ctxres_core::strategies::DropBad;
+use serde::{Deserialize, Serialize};
+
+/// One window setting's latency/accuracy summary for drop-bad.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPoint {
+    /// The middleware window, ticks.
+    pub window: u64,
+    /// Total mean activation latency: window + residual coverage delay.
+    pub total_latency: f64,
+    /// Mean expected contexts used.
+    pub used_expected: f64,
+    /// Mean survival rate.
+    pub survival: f64,
+    /// Mean removal precision.
+    pub precision: f64,
+}
+
+/// Sweeps drop-bad's window, measuring the latency/accuracy dial.
+pub fn latency_window_tradeoff(
+    app: &dyn PervasiveApp,
+    err_rate: f64,
+    windows: &[u64],
+    runs: usize,
+    len: usize,
+) -> Vec<LatencyPoint> {
+    windows
+        .iter()
+        .map(|&window| {
+            let mut residuals = Vec::new();
+            let mut used = 0.0;
+            let mut survival = 0.0;
+            let mut precision = 0.0;
+            for seed in 0..runs as u64 {
+                let m = run_with(app, Box::new(DropBad::new()), err_rate, seed, len, window);
+                if let Some(l) = m.activation_latency {
+                    residuals.push(l);
+                }
+                used += m.used_expected as f64;
+                survival += m.survival;
+                precision += m.precision;
+            }
+            let residual = if residuals.is_empty() {
+                0.0
+            } else {
+                residuals.iter().sum::<f64>() / residuals.len() as f64
+            };
+            LatencyPoint {
+                window,
+                total_latency: window as f64 + residual,
+                used_expected: used / runs as f64,
+                survival: survival / runs as f64,
+                precision: precision / runs as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the trade-off table.
+pub fn render_latency(points: &[LatencyPoint], app: &str, err_rate: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "drop-bad latency/accuracy dial — {app} at err_rate {:.0}%",
+        err_rate * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:>8}{:>18}{:>16}{:>11}{:>11}",
+        "window", "latency (ticks)", "used_expected", "survival", "precision"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>8}{:>18.2}{:>16.1}{:>10.1}%{:>10.1}%",
+            p.window,
+            p.total_latency,
+            p.used_expected,
+            p.survival * 100.0,
+            p.precision * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_apps::call_forwarding::CallForwarding;
+
+    #[test]
+    fn latency_grows_with_the_window_while_accuracy_improves() {
+        let app = CallForwarding::new();
+        let points = latency_window_tradeoff(&app, 0.3, &[0, 3], 3, 240);
+        assert!(points[1].total_latency > points[0].total_latency);
+        assert!(points[1].precision > points[0].precision);
+        assert!(points[1].used_expected > points[0].used_expected);
+    }
+
+    #[test]
+    fn rendering_includes_every_window() {
+        let app = CallForwarding::new();
+        let points = latency_window_tradeoff(&app, 0.2, &[0, 2], 1, 90);
+        let s = render_latency(&points, app.name(), 0.2);
+        assert_eq!(s.lines().count(), 2 + points.len());
+    }
+}

@@ -1,0 +1,129 @@
+//! Driving one application trace through one middleware configuration.
+
+use crate::metrics::RunMetrics;
+use ctxres_apps::PervasiveApp;
+use ctxres_context::Ticks;
+use ctxres_core::strategies::by_name;
+use ctxres_core::ResolutionStrategy;
+use ctxres_middleware::{Middleware, MiddlewareConfig};
+
+/// The middleware time window used by the figure experiments: long
+/// enough for drop-bad to accumulate count evidence across each
+/// subject's next few contexts (subjects emit every 3–6 ticks).
+pub const DEFAULT_WINDOW: u64 = 12;
+
+/// Runs `app`'s workload through a freshly built middleware using the
+/// given strategy instance, and harvests metrics.
+pub fn run_with(
+    app: &dyn PervasiveApp,
+    strategy: Box<dyn ResolutionStrategy + Send>,
+    err_rate: f64,
+    seed: u64,
+    len: usize,
+    window: u64,
+) -> RunMetrics {
+    let name = strategy.name().to_owned();
+    let mut mw = Middleware::builder()
+        .constraints(app.constraints())
+        .situations(app.situations())
+        .registry(app.registry())
+        .strategy(strategy)
+        .config(MiddlewareConfig { window: Ticks::new(window), track_ground_truth: true, retention: None })
+        .build();
+    for ctx in app.generate(err_rate, seed, len) {
+        mw.submit(ctx);
+    }
+    mw.drain();
+    let stats = *mw.stats();
+    RunMetrics {
+        strategy: name,
+        err_rate,
+        seed,
+        used_expected: stats.delivered_expected,
+        used_corrupted: stats.delivered_corrupted,
+        matched_activations: mw.matched_activations(),
+        raw_activations: stats.situation_activations,
+        discarded: stats.discarded,
+        discarded_expected: stats.discarded_expected,
+        discarded_corrupted: stats.discarded_corrupted,
+        inconsistencies: stats.inconsistencies,
+        survival: stats.survival_rate(),
+        precision: stats.removal_precision(),
+        activation_latency: mw.mean_activation_latency(),
+    }
+}
+
+/// [`run_with`] for a strategy identified by its paper name.
+///
+/// # Panics
+///
+/// Panics on an unknown strategy name (the experiment grids only use
+/// the fixed set of §4).
+pub fn run_named(
+    app: &dyn PervasiveApp,
+    strategy: &str,
+    err_rate: f64,
+    seed: u64,
+    len: usize,
+    window: u64,
+) -> RunMetrics {
+    let strategy = by_name(strategy, seed).unwrap_or_else(|| panic!("unknown strategy {strategy:?}"));
+    run_with(app, strategy, err_rate, seed, len, window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_apps::call_forwarding::CallForwarding;
+    use ctxres_apps::rfid_anomalies::RfidAnomalies;
+
+    #[test]
+    fn oracle_run_has_perfect_rates() {
+        let app = CallForwarding::new();
+        let m = run_named(&app, "opt-r", 0.2, 7, 120, app.recommended_window());
+        assert_eq!(m.used_corrupted, 0);
+        assert_eq!(m.discarded_expected, 0);
+        assert_eq!(m.survival, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert!(m.used_expected > 0);
+    }
+
+    #[test]
+    fn drop_bad_beats_drop_all_on_used_contexts() {
+        let app = CallForwarding::new();
+        let bad = run_named(&app, "d-bad", 0.3, 3, 200, app.recommended_window());
+        let all = run_named(&app, "d-all", 0.3, 3, 200, app.recommended_window());
+        assert!(
+            bad.used_expected > all.used_expected,
+            "d-bad {} vs d-all {}",
+            bad.used_expected,
+            all.used_expected
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let app = RfidAnomalies::new();
+        let a = run_named(&app, "d-bad", 0.2, 5, 150, app.recommended_window());
+        let b = run_named(&app, "d-bad", 0.2, 5, 150, app.recommended_window());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_error_rate_all_strategies_agree_with_oracle() {
+        let app = RfidAnomalies::new();
+        let oracle = run_named(&app, "opt-r", 0.0, 9, 150, app.recommended_window());
+        for s in ["d-bad", "d-lat", "d-all"] {
+            let m = run_named(&app, s, 0.0, 9, 150, app.recommended_window());
+            assert_eq!(m.used_expected, oracle.used_expected, "{s}");
+            assert_eq!(m.discarded, 0, "{s} discarded on a clean trace");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown strategy")]
+    fn unknown_strategy_panics() {
+        let app = CallForwarding::new();
+        let _ = run_named(&app, "d-nope", 0.1, 1, 10, DEFAULT_WINDOW);
+    }
+}

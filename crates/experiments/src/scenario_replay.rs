@@ -1,0 +1,120 @@
+//! Replaying the Figure 1–5 scenario traces against each strategy.
+
+use ctxres_apps::scenarios;
+use ctxres_constraint::Constraint;
+use ctxres_context::{ContextState, Ticks};
+use ctxres_core::strategies::by_name;
+use ctxres_middleware::{Middleware, MiddlewareConfig};
+use serde::{Deserialize, Serialize};
+
+/// The fate of the five scenario contexts under one strategy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Strategy name.
+    pub strategy: String,
+    /// Final state of each of `d1 … d5` (as lowercase strings).
+    pub states: Vec<String>,
+    /// Which contexts (1-based, as in the paper) were discarded.
+    pub discarded: Vec<usize>,
+}
+
+impl ScenarioOutcome {
+    /// Whether the resolution was *correct*: exactly the corrupted `d3`
+    /// was discarded.
+    pub fn is_correct(&self) -> bool {
+        self.discarded == vec![3]
+    }
+}
+
+/// Replays a scenario trace (from [`ctxres_apps::scenarios`]) under the
+/// named strategy with the given constraints.
+///
+/// # Panics
+///
+/// Panics on an unknown strategy name.
+pub fn replay(trace_name: &str, constraints: Vec<Constraint>, strategy: &str) -> ScenarioOutcome {
+    let trace = match trace_name {
+        "A" => scenarios::scenario_a(),
+        "B" => scenarios::scenario_b(),
+        other => panic!("unknown scenario {other:?} (use \"A\" or \"B\")"),
+    };
+    let mut mw = Middleware::builder()
+        .constraints(constraints)
+        .strategy(by_name(strategy, 0).unwrap_or_else(|| panic!("unknown strategy {strategy:?}")))
+        .config(MiddlewareConfig { window: Ticks::new(10), track_ground_truth: true, retention: None })
+        .build();
+    for ctx in trace {
+        mw.submit(ctx);
+    }
+    mw.drain();
+    let states: Vec<String> = mw.pool().iter().map(|(_, c)| c.state().to_string()).collect();
+    let discarded: Vec<usize> = mw
+        .pool()
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, c))| c.state() == ContextState::Inconsistent)
+        .map(|(i, _)| i + 1)
+        .collect();
+    ScenarioOutcome { strategy: strategy.to_owned(), states, discarded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_apps::scenarios::{adjacent_constraint, refined_constraints};
+
+    #[test]
+    fn scenario_a_drop_latest_is_correct() {
+        // §2.2: "the strategy correctly discards d3 for Scenario A".
+        let out = replay("A", vec![adjacent_constraint()], "d-lat");
+        assert_eq!(out.discarded, vec![3]);
+        assert!(out.is_correct());
+    }
+
+    #[test]
+    fn scenario_b_drop_latest_discards_the_wrong_context() {
+        // §2.2: "context d4 instead of d3 is discarded … an incorrect
+        // resolution".
+        let out = replay("B", vec![adjacent_constraint()], "d-lat");
+        assert_eq!(out.discarded, vec![4]);
+        assert!(!out.is_correct());
+    }
+
+    #[test]
+    fn scenario_a_drop_all_loses_d2_as_well() {
+        // §2.3 / Fig. 3: both d2 and d3 are discarded.
+        let out = replay("A", vec![adjacent_constraint()], "d-all");
+        assert_eq!(out.discarded, vec![2, 3]);
+    }
+
+    #[test]
+    fn scenario_b_drop_all_loses_d4_as_well() {
+        // Fig. 3 right: both d3 and d4 discarded.
+        let out = replay("B", vec![adjacent_constraint()], "d-all");
+        assert_eq!(out.discarded, vec![3, 4]);
+    }
+
+    #[test]
+    fn drop_bad_is_correct_in_both_scenarios_with_refined_constraints() {
+        // §3.1 / Fig. 5: with gap-2 refinement, d3 carries the largest
+        // count in both scenarios and is the only discard.
+        for scenario in ["A", "B"] {
+            let out = replay(scenario, refined_constraints(), "d-bad");
+            assert!(out.is_correct(), "scenario {scenario}: discarded {:?}", out.discarded);
+        }
+    }
+
+    #[test]
+    fn oracle_is_always_correct() {
+        for scenario in ["A", "B"] {
+            let out = replay(scenario, vec![adjacent_constraint()], "opt-r");
+            assert!(out.is_correct());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario")]
+    fn unknown_scenario_panics() {
+        let _ = replay("C", vec![], "d-bad");
+    }
+}

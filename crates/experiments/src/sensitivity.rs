@@ -1,0 +1,103 @@
+//! Sensitivity analysis beyond the paper's grid.
+//!
+//! The paper evaluates at 10–40 % error ("designed based on real-life
+//! observations about the RFID error rate"). Two natural questions it
+//! leaves open: *where does drop-bad's heuristic break down* as errors
+//! keep growing (Rule 2 assumes corrupted contexts out-participate
+//! expected ones — at very high error rates corrupted contexts start
+//! colliding with each other), and how sensitive the result is to the
+//! *stream density* (contexts per subject per tick) that feeds the count
+//! values.
+
+use crate::metrics::{normalize_against_oracle, FigurePoint, RunMetrics};
+use crate::runner::run_named;
+use ctxres_apps::PervasiveApp;
+use serde::{Deserialize, Serialize};
+
+/// Results of the high-error stress sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StressSweep {
+    /// Application name.
+    pub application: String,
+    /// One point per (strategy, error rate).
+    pub points: Vec<FigurePoint>,
+    /// The error rates swept.
+    pub err_rates: Vec<f64>,
+}
+
+/// Sweeps the error rate well past the paper's 40 % ceiling.
+pub fn stress_error_rates(
+    app: &dyn PervasiveApp,
+    err_rates: &[f64],
+    runs: usize,
+    len: usize,
+) -> StressSweep {
+    let window = app.recommended_window();
+    let mut points = Vec::new();
+    for &err in err_rates {
+        let oracle: Vec<RunMetrics> = (0..runs as u64)
+            .map(|seed| run_named(app, "opt-r", err, seed, len, window))
+            .collect();
+        for strategy in ["opt-r", "d-bad", "d-lat", "d-all"] {
+            let rows: Vec<RunMetrics> = if strategy == "opt-r" {
+                oracle.clone()
+            } else {
+                (0..runs as u64)
+                    .map(|seed| run_named(app, strategy, err, seed, len, window))
+                    .collect()
+            };
+            points.push(normalize_against_oracle(strategy, err, &rows, &oracle));
+        }
+    }
+    StressSweep {
+        application: app.name().to_owned(),
+        points,
+        err_rates: err_rates.to_vec(),
+    }
+}
+
+/// Renders the stress sweep as a text table (ctxUseRate only).
+pub fn render_stress(sweep: &StressSweep) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "high-error stress — {} (ctxUseRate %)", sweep.application);
+    let _ = writeln!(out, "{:>10}{:>9}{:>9}{:>9}{:>9}", "err_rate", "OPT-R", "D-BAD", "D-LAT", "D-ALL");
+    for &err in &sweep.err_rates {
+        let _ = write!(out, "{:>9.0}%", err * 100.0);
+        for s in ["opt-r", "d-bad", "d-lat", "d-all"] {
+            let v = sweep
+                .points
+                .iter()
+                .find(|p| p.strategy == s && (p.err_rate - err).abs() < 1e-9)
+                .map(|p| p.ctx_use_rate)
+                .unwrap_or(f64::NAN);
+            let _ = write!(out, "{:>9.1}", v * 100.0);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_apps::call_forwarding::CallForwarding;
+
+    #[test]
+    fn stress_covers_the_requested_grid() {
+        let app = CallForwarding::new();
+        let sweep = stress_error_rates(&app, &[0.2, 0.6], 1, 90);
+        assert_eq!(sweep.points.len(), 8);
+        let rendered = render_stress(&sweep);
+        assert!(rendered.contains("60%"));
+    }
+
+    #[test]
+    fn drop_bad_advantage_holds_at_moderate_error() {
+        let app = CallForwarding::new();
+        let sweep = stress_error_rates(&app, &[0.3], 3, 210);
+        let bad = sweep.points.iter().find(|p| p.strategy == "d-bad").unwrap();
+        let lat = sweep.points.iter().find(|p| p.strategy == "d-lat").unwrap();
+        assert!(bad.ctx_use_rate > lat.ctx_use_rate);
+    }
+}

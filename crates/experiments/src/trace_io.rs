@@ -1,0 +1,100 @@
+//! Trace persistence: save and reload workload traces as JSON Lines.
+//!
+//! The paper's experiments replay recorded context streams; this module
+//! gives the harness the same capability — generate once, share the
+//! exact trace, replay anywhere. One JSON object per line, one line per
+//! context, in stream order.
+
+use ctxres_context::Context;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Serializes a trace to JSON Lines.
+///
+/// # Errors
+///
+/// Returns a string describing any I/O or serialization failure.
+pub fn save_trace(path: &Path, trace: &[Context]) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    for ctx in trace {
+        let line = serde_json::to_string(ctx).map_err(|e| e.to_string())?;
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Loads a JSON Lines trace.
+///
+/// # Errors
+///
+/// Returns a string describing any I/O or parse failure (with the line
+/// number).
+pub fn load_trace(path: &Path) -> Result<Vec<Context>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ctx: Context =
+            serde_json::from_str(&line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(ctx);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_apps::call_forwarding::CallForwarding;
+    use ctxres_apps::PervasiveApp;
+
+    #[test]
+    fn round_trip_preserves_the_trace() {
+        let app = CallForwarding::new();
+        let trace = app.generate(0.3, 5, 60);
+        let dir = std::env::temp_dir().join("ctxres-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        save_trace(&path, &trace).unwrap();
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(trace, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_reports_bad_lines() {
+        let dir = std::env::temp_dir().join("ctxres-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{not json}\n").unwrap();
+        let err = load_trace(&path).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_trace(Path::new("/definitely/not/here.jsonl")).is_err());
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let app = CallForwarding::new();
+        let trace = app.generate(0.0, 1, 3);
+        let dir = std::env::temp_dir().join("ctxres-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gaps.jsonl");
+        let mut body = String::new();
+        for c in &trace {
+            body.push_str(&serde_json::to_string(c).unwrap());
+            body.push_str("\n\n");
+        }
+        std::fs::write(&path, body).unwrap();
+        assert_eq!(load_trace(&path).unwrap(), trace);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,109 @@
+//! Reader and reference-tag layout.
+
+use crate::geom::Rect;
+use ctxres_context::Point;
+use serde::{Deserialize, Serialize};
+
+/// A floor layout: RF readers around the area and a regular grid of
+/// reference tags inside it (LANDMARC §3: readers on the perimeter,
+/// reference tags one per grid cell).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    area: Rect,
+    readers: Vec<Point>,
+    reference_tags: Vec<Point>,
+}
+
+impl Floorplan {
+    /// Builds a floorplan: `readers_per_side` readers evenly spaced on
+    /// each of the four walls, and reference tags on a grid with the
+    /// given `spacing` (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spacing` is not positive or `readers_per_side` is 0.
+    pub fn grid(area: Rect, spacing: f64, readers_per_side: usize) -> Self {
+        assert!(spacing > 0.0, "spacing must be positive");
+        assert!(readers_per_side > 0, "need at least one reader per side");
+        let mut readers = Vec::new();
+        for i in 0..readers_per_side {
+            let t = (i as f64 + 0.5) / readers_per_side as f64;
+            let x = area.min.x + t * area.width();
+            let y = area.min.y + t * area.height();
+            readers.push(Point::new(x, area.min.y)); // south wall
+            readers.push(Point::new(x, area.max.y)); // north wall
+            readers.push(Point::new(area.min.x, y)); // west wall
+            readers.push(Point::new(area.max.x, y)); // east wall
+        }
+        let mut reference_tags = Vec::new();
+        let mut y = area.min.y + spacing / 2.0;
+        while y < area.max.y {
+            let mut x = area.min.x + spacing / 2.0;
+            while x < area.max.x {
+                reference_tags.push(Point::new(x, y));
+                x += spacing;
+            }
+            y += spacing;
+        }
+        Floorplan { area, readers, reference_tags }
+    }
+
+    /// The floor area.
+    pub fn area(&self) -> Rect {
+        self.area
+    }
+
+    /// Reader positions.
+    pub fn readers(&self) -> &[Point] {
+        &self.readers
+    }
+
+    /// Reference-tag positions.
+    pub fn reference_tags(&self) -> &[Point] {
+        &self.reference_tags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_places_tags_inside_area() {
+        let plan = Floorplan::grid(Rect::new(0.0, 0.0, 10.0, 8.0), 2.0, 1);
+        assert!(!plan.reference_tags().is_empty());
+        for tag in plan.reference_tags() {
+            assert!(plan.area().contains(*tag));
+        }
+        // 10/2 columns x 8/2 rows.
+        assert_eq!(plan.reference_tags().len(), 5 * 4);
+    }
+
+    #[test]
+    fn readers_sit_on_the_walls() {
+        let area = Rect::new(0.0, 0.0, 10.0, 8.0);
+        let plan = Floorplan::grid(area, 2.0, 2);
+        assert_eq!(plan.readers().len(), 8);
+        for r in plan.readers() {
+            let on_wall = r.x == area.min.x
+                || r.x == area.max.x
+                || r.y == area.min.y
+                || r.y == area.max.y;
+            assert!(on_wall, "{r} is not on a wall");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing")]
+    fn zero_spacing_panics() {
+        let _ = Floorplan::grid(Rect::new(0.0, 0.0, 1.0, 1.0), 0.0, 1);
+    }
+
+    #[test]
+    fn finer_spacing_means_more_tags() {
+        let area = Rect::new(0.0, 0.0, 20.0, 20.0);
+        let coarse = Floorplan::grid(area, 4.0, 1).reference_tags().len();
+        let fine = Floorplan::grid(area, 2.0, 1).reference_tags().len();
+        assert!(fine > 2 * coarse);
+    }
+}

@@ -1,0 +1,105 @@
+//! Planar geometry helpers.
+
+use ctxres_context::Point;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle (the floor area).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corners are not ordered (`x0 <= x1 && y0 <= y1`).
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x0 <= x1 && y0 <= y1, "rect corners must be ordered");
+        Rect { min: Point::new(x0, y0), max: Point::new(x1, y1) }
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps `p` into the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+
+    /// Samples a uniform point inside the rectangle.
+    pub fn sample(&self, rng: &mut impl Rng) -> Point {
+        Point::new(
+            rng.gen_range(self.min.x..=self.max.x),
+            rng.gen_range(self.min.y..=self.max.y),
+        )
+    }
+
+    /// The rectangle's centre.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dimensions() {
+        let r = Rect::new(0.0, 0.0, 40.0, 30.0);
+        assert_eq!(r.width(), 40.0);
+        assert_eq!(r.height(), 30.0);
+        assert_eq!(r.center(), Point::new(20.0, 15.0));
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains(Point::new(5.0, 5.0)));
+        assert!(r.contains(Point::new(0.0, 10.0)), "boundary inclusive");
+        assert!(!r.contains(Point::new(-0.1, 5.0)));
+        assert_eq!(r.clamp(Point::new(-5.0, 20.0)), Point::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn sample_stays_inside() {
+        let r = Rect::new(2.0, 3.0, 4.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(r.contains(r.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_corners_panic() {
+        let _ = Rect::new(10.0, 0.0, 0.0, 10.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The LANDMARC k-NN / weighted-centroid estimator.
+
+use crate::floorplan::Floorplan;
+use crate::radio::PathLossModel;
+use ctxres_context::Point;
+use rand::Rng;
+
+/// The published LANDMARC estimation pipeline.
+///
+/// For a tracked tag with per-reader signal vector `S` and reference
+/// tags with vectors `θᵢ`, compute the Euclidean signal-space distance
+/// `Eᵢ = ‖S − θᵢ‖`, select the `k` smallest, and estimate the position
+/// as the centroid of those reference tags weighted by `wᵢ ∝ 1/Eᵢ²`
+/// (Ni et al., §3.3; they report `k = 4` as the sweet spot).
+#[derive(Debug, Clone)]
+pub struct KnnEstimator {
+    plan: Floorplan,
+    model: PathLossModel,
+    k: usize,
+}
+
+impl KnnEstimator {
+    /// Creates an estimator over a floorplan and radio model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the number of reference tags.
+    pub fn new(plan: Floorplan, model: PathLossModel, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            k <= plan.reference_tags().len(),
+            "k ({k}) exceeds the number of reference tags ({})",
+            plan.reference_tags().len()
+        );
+        KnnEstimator { plan, model, k }
+    }
+
+    /// The floorplan in use.
+    pub fn plan(&self) -> &Floorplan {
+        &self.plan
+    }
+
+    /// Measures the noisy signal vector of a tag at `pos`.
+    pub fn measure(&self, pos: Point, rng: &mut impl Rng) -> Vec<f64> {
+        self.plan
+            .readers()
+            .iter()
+            .map(|r| self.model.sample_rssi(r.distance(pos), rng))
+            .collect()
+    }
+
+    /// The *noise-free* signal map of every reference tag.
+    ///
+    /// LANDMARC continuously re-measures reference tags; over a window
+    /// their averaged vectors approach the mean model, which is what we
+    /// use (the tracked tag's single-shot vector keeps its noise).
+    pub fn reference_map(&self) -> Vec<Vec<f64>> {
+        self.plan
+            .reference_tags()
+            .iter()
+            .map(|t| {
+                self.plan
+                    .readers()
+                    .iter()
+                    .map(|r| self.model.mean_rssi(r.distance(*t)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Estimates a position from a measured signal vector.
+    pub fn estimate(&self, signal: &[f64], reference_map: &[Vec<f64>]) -> Point {
+        let mut dists: Vec<(f64, usize)> = reference_map
+            .iter()
+            .enumerate()
+            .map(|(i, theta)| {
+                let e: f64 = signal
+                    .iter()
+                    .zip(theta)
+                    .map(|(s, t)| (s - t).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                (e, i)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let nearest = &dists[..self.k];
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        let mut wsum = 0.0;
+        for (e, i) in nearest {
+            let w = 1.0 / (e * e).max(1e-9);
+            let p = self.plan.reference_tags()[*i];
+            wx += w * p.x;
+            wy += w * p.y;
+            wsum += w;
+        }
+        Point::new(wx / wsum, wy / wsum)
+    }
+
+    /// Convenience: measure at the true position and estimate in one
+    /// step, as the simulator does each tick.
+    pub fn locate(&self, true_pos: Point, reference_map: &[Vec<f64>], rng: &mut impl Rng) -> Point {
+        let signal = self.measure(true_pos, rng);
+        self.estimate(&signal, reference_map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn estimator() -> KnnEstimator {
+        let plan = Floorplan::grid(Rect::new(0.0, 0.0, 20.0, 20.0), 2.0, 2);
+        KnnEstimator::new(plan, PathLossModel::default(), 4)
+    }
+
+    #[test]
+    fn noise_free_estimate_is_close() {
+        let est = estimator();
+        let map = est.reference_map();
+        // Zero-noise model: measure with sigma 0.
+        let quiet = KnnEstimator::new(
+            est.plan().clone(),
+            PathLossModel { sigma: 0.0, ..PathLossModel::default() },
+            4,
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let truth = Point::new(7.3, 11.2);
+        let p = quiet.locate(truth, &map, &mut rng);
+        assert!(p.distance(truth) < 2.0, "error {}", p.distance(truth));
+    }
+
+    #[test]
+    fn noisy_estimates_have_bounded_median_error() {
+        let est = estimator();
+        let map = est.reference_map();
+        let mut rng = StdRng::seed_from_u64(9);
+        let truth = Point::new(10.0, 10.0);
+        let mut errors: Vec<f64> = (0..200)
+            .map(|_| est.locate(truth, &map, &mut rng).distance(truth))
+            .collect();
+        errors.sort_by(f64::total_cmp);
+        let median = errors[errors.len() / 2];
+        // LANDMARC reports ~1-2 m median error on a 2 m grid.
+        assert!(median < 4.0, "median error {median}");
+    }
+
+    #[test]
+    fn estimate_stays_in_the_convex_hull_of_tags() {
+        let est = estimator();
+        let map = est.reference_map();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let truth = est.plan().area().sample(&mut rng);
+            let p = est.locate(truth, &map, &mut rng);
+            assert!(est.plan().area().contains(p), "{p} outside the floor");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let plan = Floorplan::grid(Rect::new(0.0, 0.0, 10.0, 10.0), 2.0, 1);
+        let _ = KnnEstimator::new(plan, PathLossModel::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn excessive_k_panics() {
+        let plan = Floorplan::grid(Rect::new(0.0, 0.0, 4.0, 4.0), 2.0, 1);
+        let _ = KnnEstimator::new(plan, PathLossModel::default(), 100);
+    }
+
+    #[test]
+    fn k1_snaps_to_a_reference_tag() {
+        let plan = Floorplan::grid(Rect::new(0.0, 0.0, 10.0, 10.0), 2.0, 1);
+        let est = KnnEstimator::new(plan, PathLossModel { sigma: 0.0, ..Default::default() }, 1);
+        let map = est.reference_map();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = est.locate(Point::new(3.1, 3.1), &map, &mut rng);
+        let snapped = est
+            .plan()
+            .reference_tags()
+            .iter()
+            .any(|t| t.distance(p) < 1e-9);
+        assert!(snapped, "k=1 estimate must be a reference tag, got {p}");
+    }
+}

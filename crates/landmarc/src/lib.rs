@@ -1,0 +1,57 @@
+//! LANDMARC indoor-localization simulator.
+//!
+//! The paper's running example and §5.2 case study track locations with
+//! the LANDMARC algorithm (Ni, Liu, Lau, Patil — *LANDMARC: Indoor
+//! Location Sensing Using Active RFID*): fixed **reference tags** at
+//! known positions serve as calibration landmarks; a tracked tag's
+//! position is estimated as the weighted centroid of its *k* nearest
+//! reference tags in **signal space** (per-reader RSSI vectors).
+//!
+//! The original system ran on physical active-RFID hardware we do not
+//! have, so this crate simulates the full pipeline (substitution
+//! documented in DESIGN.md):
+//!
+//! * a **log-distance path-loss radio model** with lognormal shadowing
+//!   ([`PathLossModel`]) produces per-reader RSSI readings;
+//! * [`Floorplan`] lays out readers and a reference-tag grid;
+//! * [`KnnEstimator`] implements the published k-NN/weighted-centroid
+//!   estimation;
+//! * [`RandomWaypoint`] moves the tracked person;
+//! * [`LandmarcSim`] ties it together and injects **corrupted** fixes at
+//!   a controlled error rate — the experiments' `err_rate` knob (§4.1).
+//!
+//! Everything is driven by a seeded RNG: a simulation is reproducible
+//! bit-for-bit from its configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use ctxres_landmarc::{LandmarcConfig, LandmarcSim};
+//!
+//! let sim = LandmarcSim::new(LandmarcConfig::default(), 42);
+//! let fixes: Vec<_> = sim.take(100).collect();
+//! assert_eq!(fixes.len(), 100);
+//! let corrupted = fixes.iter().filter(|f| f.corrupted).count();
+//! assert!(corrupted > 0 && corrupted < 60); // ~20 % by default
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod floorplan;
+mod geom;
+mod knn;
+mod locator;
+mod mobility;
+mod radio;
+mod sim;
+mod trilateration;
+
+pub use floorplan::Floorplan;
+pub use geom::Rect;
+pub use knn::KnnEstimator;
+pub use locator::{KnnLocator, Locator};
+pub use mobility::RandomWaypoint;
+pub use radio::PathLossModel;
+pub use sim::{EstimatorKind, LandmarcConfig, LandmarcSim, LocationFix};
+pub use trilateration::{FusedEstimator, TrilaterationEstimator};

@@ -1,0 +1,109 @@
+//! The [`Locator`] abstraction: any localization technique that turns a
+//! true position into a (noisy) estimate.
+//!
+//! Unifies the three estimators so simulations and ablations can swap
+//! techniques — the §6 "multiple localization techniques" discussion
+//! made concrete.
+
+use crate::knn::KnnEstimator;
+use crate::trilateration::{FusedEstimator, TrilaterationEstimator};
+use ctxres_context::Point;
+use rand::RngCore;
+
+/// A localization technique (object-safe; RNG passed as `dyn` so
+/// heterogeneous locators can share a driver).
+pub trait Locator {
+    /// Produces a position estimate for a tag truly at `true_pos`.
+    fn locate_dyn(&self, true_pos: Point, rng: &mut dyn RngCore) -> Point;
+
+    /// The technique's display name.
+    fn technique(&self) -> &'static str;
+}
+
+/// k-NN scene analysis with a precomputed reference map.
+#[derive(Debug, Clone)]
+pub struct KnnLocator {
+    estimator: KnnEstimator,
+    reference_map: Vec<Vec<f64>>,
+}
+
+impl KnnLocator {
+    /// Wraps a [`KnnEstimator`], precomputing its reference map.
+    pub fn new(estimator: KnnEstimator) -> Self {
+        let reference_map = estimator.reference_map();
+        KnnLocator { estimator, reference_map }
+    }
+}
+
+impl Locator for KnnLocator {
+    fn locate_dyn(&self, true_pos: Point, mut rng: &mut dyn RngCore) -> Point {
+        self.estimator.locate(true_pos, &self.reference_map, &mut rng)
+    }
+
+    fn technique(&self) -> &'static str {
+        "knn"
+    }
+}
+
+impl Locator for TrilaterationEstimator {
+    fn locate_dyn(&self, true_pos: Point, mut rng: &mut dyn RngCore) -> Point {
+        self.locate(true_pos, &mut rng)
+    }
+
+    fn technique(&self) -> &'static str {
+        "trilateration"
+    }
+}
+
+impl Locator for FusedEstimator {
+    fn locate_dyn(&self, true_pos: Point, mut rng: &mut dyn RngCore) -> Point {
+        self.locate(true_pos, &mut rng)
+    }
+
+    fn technique(&self) -> &'static str {
+        "fused"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::geom::Rect;
+    use crate::radio::PathLossModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn locators() -> Vec<Box<dyn Locator>> {
+        let plan = Floorplan::grid(Rect::new(0.0, 0.0, 20.0, 20.0), 2.0, 2);
+        let model = PathLossModel::default();
+        let knn = KnnEstimator::new(plan.clone(), model, 4);
+        vec![
+            Box::new(KnnLocator::new(knn.clone())),
+            Box::new(TrilaterationEstimator::new(plan.readers().to_vec(), model)),
+            Box::new(FusedEstimator::new(knn, model)),
+        ]
+    }
+
+    #[test]
+    fn all_techniques_drive_through_the_trait() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let truth = Point::new(9.0, 9.0);
+        let mut names = Vec::new();
+        for locator in locators() {
+            let p = locator.locate_dyn(truth, &mut rng);
+            assert!(p.distance(truth) < 15.0, "{}: wild estimate {p}", locator.technique());
+            names.push(locator.technique());
+        }
+        assert_eq!(names, vec!["knn", "trilateration", "fused"]);
+    }
+
+    #[test]
+    fn trait_objects_are_deterministic_per_seed() {
+        for locator in locators() {
+            let a = locator.locate_dyn(Point::new(5.0, 5.0), &mut StdRng::seed_from_u64(1));
+            let b = locator.locate_dyn(Point::new(5.0, 5.0), &mut StdRng::seed_from_u64(1));
+            assert_eq!(a, b, "{}", locator.technique());
+        }
+    }
+}

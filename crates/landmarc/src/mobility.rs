@@ -1,0 +1,124 @@
+//! Random-waypoint mobility for the tracked person.
+
+use crate::geom::Rect;
+use ctxres_context::Point;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The random-waypoint model: pick a destination uniformly in the area,
+/// walk toward it at the configured speed, pick a new one on arrival.
+///
+/// The paper's example has Peter "walk steadily at an average velocity
+/// of v" (§2.1); a constant-speed waypoint walk gives exactly that while
+/// still exploring the floor.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    area: Rect,
+    speed: f64,
+    pos: Point,
+    target: Point,
+    rng: StdRng,
+}
+
+impl RandomWaypoint {
+    /// Creates a walker with `speed` metres per tick, starting at the
+    /// area's centre.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not positive.
+    pub fn new(area: Rect, speed: f64, seed: u64) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pos = area.center();
+        let target = area.sample(&mut rng);
+        RandomWaypoint { area, speed, pos, target, rng }
+    }
+
+    /// Current position.
+    pub fn position(&self) -> Point {
+        self.pos
+    }
+
+    /// The configured walking speed (metres per tick).
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Advances one tick and returns the new position.
+    pub fn step(&mut self) -> Point {
+        let mut remaining = self.speed;
+        while remaining > 0.0 {
+            let d = self.pos.distance(self.target);
+            if d <= remaining {
+                // Arrive and re-target; spend the leftover movement.
+                self.pos = self.target;
+                remaining -= d;
+                self.target = self.area.sample(&mut self.rng);
+                if remaining < 1e-12 {
+                    break;
+                }
+            } else {
+                let t = remaining / d;
+                self.pos = Point::new(
+                    self.pos.x + (self.target.x - self.pos.x) * t,
+                    self.pos.y + (self.target.y - self.pos.y) * t,
+                );
+                remaining = 0.0;
+            }
+        }
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_moves_at_most_speed() {
+        let mut w = RandomWaypoint::new(Rect::new(0.0, 0.0, 50.0, 50.0), 1.5, 11);
+        let mut prev = w.position();
+        for _ in 0..500 {
+            let next = w.step();
+            assert!(prev.distance(next) <= 1.5 + 1e-9);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn walker_stays_in_area() {
+        let area = Rect::new(0.0, 0.0, 20.0, 10.0);
+        let mut w = RandomWaypoint::new(area, 2.0, 3);
+        for _ in 0..1000 {
+            assert!(area.contains(w.step()));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_walk() {
+        let area = Rect::new(0.0, 0.0, 20.0, 20.0);
+        let mut a = RandomWaypoint::new(area, 1.0, 42);
+        let mut b = RandomWaypoint::new(area, 1.0, 42);
+        for _ in 0..100 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+
+    #[test]
+    fn walker_actually_covers_ground() {
+        let mut w = RandomWaypoint::new(Rect::new(0.0, 0.0, 30.0, 30.0), 1.0, 5);
+        let start = w.position();
+        let mut max_dist: f64 = 0.0;
+        for _ in 0..2000 {
+            max_dist = max_dist.max(w.step().distance(start));
+        }
+        assert!(max_dist > 10.0, "walker never left the centre ({max_dist})");
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn zero_speed_panics() {
+        let _ = RandomWaypoint::new(Rect::new(0.0, 0.0, 1.0, 1.0), 0.0, 1);
+    }
+}

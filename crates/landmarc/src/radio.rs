@@ -1,0 +1,124 @@
+//! Log-distance path-loss radio model with lognormal shadowing.
+
+use rand::Rng;
+use rand_distr_normal::sample_normal;
+use serde::{Deserialize, Serialize};
+
+/// RSSI model: `rssi(d) = p0 - 10·n·log10(d/d0) + X`, with `X ~ N(0, σ²)`
+/// shadowing noise — the standard indoor propagation model, and the
+/// reason LANDMARC works in signal space rather than trusting a single
+/// range estimate.
+///
+/// The original LANDMARC hardware reported one of 8 discrete power
+/// levels; [`PathLossModel::power_level`] reproduces that quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathLossModel {
+    /// Received power at the reference distance, in dBm.
+    pub p0: f64,
+    /// Path-loss exponent (≈ 2 free space, 2.5–4 indoors).
+    pub n: f64,
+    /// Shadowing standard deviation, in dB.
+    pub sigma: f64,
+    /// Reference distance, in metres.
+    pub d0: f64,
+}
+
+impl Default for PathLossModel {
+    fn default() -> Self {
+        // Typical 303.8 MHz active-RFID indoor parameters.
+        PathLossModel { p0: -40.0, n: 2.8, sigma: 2.0, d0: 1.0 }
+    }
+}
+
+impl PathLossModel {
+    /// Mean RSSI at distance `d` metres (no noise).
+    pub fn mean_rssi(&self, d: f64) -> f64 {
+        let d = d.max(0.1); // avoid the log singularity at contact
+        self.p0 - 10.0 * self.n * (d / self.d0).log10()
+    }
+
+    /// A noisy RSSI sample at distance `d`.
+    pub fn sample_rssi(&self, d: f64, rng: &mut impl Rng) -> f64 {
+        self.mean_rssi(d) + sample_normal(rng) * self.sigma
+    }
+
+    /// Quantizes an RSSI into LANDMARC's 8 power levels (1 = weakest,
+    /// 8 = strongest).
+    pub fn power_level(&self, rssi: f64) -> u8 {
+        // Map [-95, -40] dBm onto 1..=8.
+        let lo = -95.0;
+        let hi = self.p0;
+        let t = ((rssi - lo) / (hi - lo)).clamp(0.0, 1.0);
+        1 + (t * 7.0).round() as u8
+    }
+}
+
+/// Standard-normal sampling via Box–Muller, kept dependency-free (the
+/// `rand_distr` crate is not on the approved list).
+mod rand_distr_normal {
+    use rand::Rng;
+
+    pub fn sample_normal(rng: &mut impl Rng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rssi_decays_with_distance() {
+        let m = PathLossModel::default();
+        assert!(m.mean_rssi(1.0) > m.mean_rssi(5.0));
+        assert!(m.mean_rssi(5.0) > m.mean_rssi(20.0));
+    }
+
+    #[test]
+    fn reference_distance_gives_p0() {
+        let m = PathLossModel::default();
+        assert!((m.mean_rssi(1.0) - m.p0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contact_distance_is_clamped() {
+        let m = PathLossModel::default();
+        assert!(m.mean_rssi(0.0).is_finite());
+    }
+
+    #[test]
+    fn noise_has_roughly_configured_sigma() {
+        let m = PathLossModel { sigma: 3.0, ..PathLossModel::default() };
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 4000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample_rssi(5.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - m.mean_rssi(5.0)).abs() < 0.3, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.3, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn power_levels_span_one_to_eight() {
+        let m = PathLossModel::default();
+        assert_eq!(m.power_level(m.p0), 8);
+        assert_eq!(m.power_level(-100.0), 1);
+        let mid = m.power_level(-70.0);
+        assert!((2..=7).contains(&mid));
+    }
+
+    #[test]
+    fn power_level_is_monotone_in_rssi() {
+        let m = PathLossModel::default();
+        let mut prev = 0;
+        for rssi in (-100..=-40).step_by(5) {
+            let lvl = m.power_level(rssi as f64);
+            assert!(lvl >= prev);
+            prev = lvl;
+        }
+    }
+}

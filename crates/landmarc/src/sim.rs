@@ -1,0 +1,257 @@
+//! The end-to-end location simulator with controlled error injection.
+
+use crate::floorplan::Floorplan;
+use crate::geom::Rect;
+use crate::knn::KnnEstimator;
+use crate::locator::{KnnLocator, Locator};
+use crate::mobility::RandomWaypoint;
+use crate::radio::PathLossModel;
+use crate::trilateration::{FusedEstimator, TrilaterationEstimator};
+use ctxres_context::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which localization technique the simulator runs (§6's "multiple
+/// localization techniques" made selectable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorKind {
+    /// LANDMARC k-NN scene analysis (the paper's technique).
+    #[default]
+    Knn,
+    /// Range-based trilateration.
+    Trilateration,
+    /// Average of both (redundancy baseline).
+    Fused,
+}
+
+/// Configuration of a [`LandmarcSim`].
+#[derive(Debug, Clone)]
+pub struct LandmarcConfig {
+    /// Floor area.
+    pub area: Rect,
+    /// Reference-tag grid spacing, metres.
+    pub grid_spacing: f64,
+    /// Readers per wall.
+    pub readers_per_side: usize,
+    /// k for the k-NN estimator.
+    pub k: usize,
+    /// Radio model.
+    pub radio: PathLossModel,
+    /// Walking speed (metres per tick) — the paper's `v`.
+    pub speed: f64,
+    /// Probability that a produced fix is corrupted (the experiments'
+    /// `err_rate`: 0.10 – 0.40 in the paper, after real-life RFID error
+    /// observations).
+    pub err_rate: f64,
+    /// Minimum displacement of a corrupted fix from the true position,
+    /// metres. Corruption teleports the estimate somewhere implausible,
+    /// the way a mis-associated RFID read does.
+    pub corruption_min_jump: f64,
+    /// The localization technique producing the fixes.
+    pub estimator: EstimatorKind,
+}
+
+impl Default for LandmarcConfig {
+    fn default() -> Self {
+        LandmarcConfig {
+            area: Rect::new(0.0, 0.0, 40.0, 30.0),
+            grid_spacing: 2.0,
+            readers_per_side: 2,
+            k: 4,
+            radio: PathLossModel::default(),
+            speed: 1.0,
+            err_rate: 0.2,
+            corruption_min_jump: 10.0,
+            estimator: EstimatorKind::Knn,
+        }
+    }
+}
+
+/// One produced location fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocationFix {
+    /// Stream position (0-based), usable as the `seq` attribute.
+    pub seq: u64,
+    /// The estimated position (corrupted or not).
+    pub pos: Point,
+    /// The true position at measurement time (ground truth; hidden from
+    /// practical strategies).
+    pub true_pos: Point,
+    /// Whether this fix was corrupted by error injection.
+    pub corrupted: bool,
+}
+
+/// Iterator producing an endless stream of location fixes: waypoint
+/// mobility → noisy RSSI measurement → k-NN estimation → error
+/// injection.
+pub struct LandmarcSim {
+    estimator: KnnEstimator,
+    locator: Box<dyn Locator + Send>,
+    walker: RandomWaypoint,
+    err_rate: f64,
+    corruption_min_jump: f64,
+    area: Rect,
+    rng: StdRng,
+    seq: u64,
+}
+
+impl LandmarcSim {
+    /// Creates a simulator; all randomness derives from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `err_rate` is outside `[0, 1]` (and propagates the
+    /// constructor panics of the component models).
+    pub fn new(config: LandmarcConfig, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.err_rate),
+            "err_rate must be a probability"
+        );
+        let plan = Floorplan::grid(config.area, config.grid_spacing, config.readers_per_side);
+        let estimator = KnnEstimator::new(plan.clone(), config.radio, config.k);
+        let locator: Box<dyn Locator + Send> = match config.estimator {
+            EstimatorKind::Knn => Box::new(KnnLocator::new(estimator.clone())),
+            EstimatorKind::Trilateration => Box::new(TrilaterationEstimator::new(
+                plan.readers().to_vec(),
+                config.radio,
+            )),
+            EstimatorKind::Fused => Box::new(FusedEstimator::new(estimator.clone(), config.radio)),
+        };
+        LandmarcSim {
+            estimator,
+            locator,
+            walker: RandomWaypoint::new(config.area, config.speed, seed ^ 0x9e37_79b9),
+            err_rate: config.err_rate,
+            corruption_min_jump: config.corruption_min_jump,
+            area: config.area,
+            rng: StdRng::seed_from_u64(seed),
+            seq: 0,
+        }
+    }
+
+    /// The estimator in use (for inspection and reuse).
+    pub fn estimator(&self) -> &KnnEstimator {
+        &self.estimator
+    }
+
+    fn corrupt(&mut self, truth: Point) -> Point {
+        // Teleport at least `corruption_min_jump` away, staying on-floor.
+        for _ in 0..64 {
+            let candidate = self.area.sample(&mut self.rng);
+            if candidate.distance(truth) >= self.corruption_min_jump {
+                return candidate;
+            }
+        }
+        // Tiny floors: push to the farthest corner.
+        let corners = [
+            self.area.min,
+            self.area.max,
+            Point::new(self.area.min.x, self.area.max.y),
+            Point::new(self.area.max.x, self.area.min.y),
+        ];
+        corners
+            .into_iter()
+            .max_by(|a, b| a.distance(truth).total_cmp(&b.distance(truth)))
+            .unwrap_or(self.area.max)
+    }
+}
+
+impl Iterator for LandmarcSim {
+    type Item = LocationFix;
+
+    fn next(&mut self) -> Option<LocationFix> {
+        let truth = self.walker.step();
+        let corrupted = self.rng.gen_bool(self.err_rate);
+        let pos = if corrupted {
+            self.corrupt(truth)
+        } else {
+            self.locator.locate_dyn(truth, &mut self.rng)
+        };
+        let fix = LocationFix { seq: self.seq, pos, true_pos: truth, corrupted };
+        self.seq += 1;
+        Some(fix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rate_is_respected() {
+        let sim = LandmarcSim::new(
+            LandmarcConfig { err_rate: 0.3, ..LandmarcConfig::default() },
+            17,
+        );
+        let fixes: Vec<LocationFix> = sim.take(2000).collect();
+        let rate = fixes.iter().filter(|f| f.corrupted).count() as f64 / fixes.len() as f64;
+        assert!((rate - 0.3).abs() < 0.04, "observed rate {rate}");
+    }
+
+    #[test]
+    fn corrupted_fixes_jump_far() {
+        let sim = LandmarcSim::new(
+            LandmarcConfig { err_rate: 0.5, ..LandmarcConfig::default() },
+            23,
+        );
+        for fix in sim.take(500).filter(|f| f.corrupted) {
+            assert!(fix.pos.distance(fix.true_pos) >= 10.0);
+        }
+    }
+
+    #[test]
+    fn expected_fixes_are_accurate_in_the_median() {
+        let sim = LandmarcSim::new(
+            LandmarcConfig { err_rate: 0.0, ..LandmarcConfig::default() },
+            29,
+        );
+        let mut errors: Vec<f64> = sim
+            .take(500)
+            .map(|f| f.pos.distance(f.true_pos))
+            .collect();
+        errors.sort_by(f64::total_cmp);
+        let median = errors[errors.len() / 2];
+        assert!(median < 4.0, "median estimation error {median}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            LandmarcSim::new(LandmarcConfig::default(), 99)
+                .take(50)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn every_estimator_kind_produces_sane_fixes() {
+        for kind in [EstimatorKind::Knn, EstimatorKind::Trilateration, EstimatorKind::Fused] {
+            let sim = LandmarcSim::new(
+                LandmarcConfig { err_rate: 0.0, estimator: kind, ..LandmarcConfig::default() },
+                41,
+            );
+            let mut errors: Vec<f64> =
+                sim.take(300).map(|f| f.pos.distance(f.true_pos)).collect();
+            errors.sort_by(f64::total_cmp);
+            let median = errors[errors.len() / 2];
+            assert!(median < 6.0, "{kind:?}: median error {median}");
+        }
+    }
+
+    #[test]
+    fn seq_increments() {
+        let sim = LandmarcSim::new(LandmarcConfig::default(), 1);
+        let seqs: Vec<u64> = sim.take(5).map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_err_rate_panics() {
+        let _ = LandmarcSim::new(
+            LandmarcConfig { err_rate: 1.5, ..LandmarcConfig::default() },
+            1,
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! RSSI trilateration — a second localization technique.
+//!
+//! The paper's related-work section (§6) contrasts drop-bad with systems
+//! that "use multiple context-detectors (e.g., multiple localization
+//! techniques) to mask error in one technique by redundancy", and calls
+//! the approaches orthogonal. To make that comparison runnable, this
+//! module implements the classic alternative to LANDMARC's scene
+//! analysis: invert the path-loss model into per-reader range estimates
+//! and solve the resulting multilateration system by linear least
+//! squares. [`FusedEstimator`] averages both techniques — the redundancy
+//! baseline.
+
+use crate::knn::KnnEstimator;
+use crate::radio::PathLossModel;
+use ctxres_context::Point;
+use rand::Rng;
+
+/// Range-based trilateration over the same readers and radio model the
+/// k-NN estimator uses.
+#[derive(Debug, Clone)]
+pub struct TrilaterationEstimator {
+    readers: Vec<Point>,
+    model: PathLossModel,
+}
+
+impl TrilaterationEstimator {
+    /// Creates an estimator for the given reader positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than three readers (the system is
+    /// under-determined).
+    pub fn new(readers: Vec<Point>, model: PathLossModel) -> Self {
+        assert!(readers.len() >= 3, "trilateration needs at least three readers");
+        TrilaterationEstimator { readers, model }
+    }
+
+    /// Inverts the mean path-loss curve into a range estimate.
+    pub fn range_from_rssi(&self, rssi: f64) -> f64 {
+        self.model.d0 * 10f64.powf((self.model.p0 - rssi) / (10.0 * self.model.n))
+    }
+
+    /// Estimates a position from one RSSI per reader.
+    ///
+    /// Uses the standard linearization: subtracting the first circle
+    /// equation from the others gives a linear system `A x = b`, solved
+    /// via the 2×2 normal equations. Returns the anchor centroid when
+    /// the system is degenerate (collinear readers).
+    pub fn estimate(&self, rssi: &[f64]) -> Point {
+        assert_eq!(rssi.len(), self.readers.len(), "one RSSI per reader");
+        let ranges: Vec<f64> = rssi.iter().map(|r| self.range_from_rssi(*r)).collect();
+        let p0 = self.readers[0];
+        let r0 = ranges[0];
+        // Rows: 2(xi - x0) x + 2(yi - y0) y = (xi² - x0²) + (yi² - y0²) + r0² - ri²
+        let mut ata = [[0.0f64; 2]; 2];
+        let mut atb = [0.0f64; 2];
+        for (i, pi) in self.readers.iter().enumerate().skip(1) {
+            let a = [2.0 * (pi.x - p0.x), 2.0 * (pi.y - p0.y)];
+            let b = (pi.x * pi.x - p0.x * p0.x)
+                + (pi.y * pi.y - p0.y * p0.y)
+                + r0 * r0
+                - ranges[i] * ranges[i];
+            ata[0][0] += a[0] * a[0];
+            ata[0][1] += a[0] * a[1];
+            ata[1][0] += a[1] * a[0];
+            ata[1][1] += a[1] * a[1];
+            atb[0] += a[0] * b;
+            atb[1] += a[1] * b;
+        }
+        let det = ata[0][0] * ata[1][1] - ata[0][1] * ata[1][0];
+        if det.abs() < 1e-9 {
+            // Degenerate geometry: fall back to the anchor centroid.
+            let n = self.readers.len() as f64;
+            let (sx, sy) = self
+                .readers
+                .iter()
+                .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+            return Point::new(sx / n, sy / n);
+        }
+        Point::new(
+            (atb[0] * ata[1][1] - atb[1] * ata[0][1]) / det,
+            (ata[0][0] * atb[1] - ata[1][0] * atb[0]) / det,
+        )
+    }
+
+    /// Measures at `pos` and estimates in one step.
+    pub fn locate(&self, true_pos: Point, rng: &mut impl Rng) -> Point {
+        let rssi: Vec<f64> = self
+            .readers
+            .iter()
+            .map(|r| self.model.sample_rssi(r.distance(true_pos), rng))
+            .collect();
+        self.estimate(&rssi)
+    }
+}
+
+/// Averages the k-NN and trilateration estimates — the §6 redundancy
+/// baseline (two independent techniques masking each other's noise).
+#[derive(Debug, Clone)]
+pub struct FusedEstimator {
+    knn: KnnEstimator,
+    reference_map: Vec<Vec<f64>>,
+    trilateration: TrilaterationEstimator,
+}
+
+impl FusedEstimator {
+    /// Builds the fusion from a k-NN estimator (the trilateration half
+    /// reuses its readers and radio model).
+    pub fn new(knn: KnnEstimator, model: PathLossModel) -> Self {
+        let reference_map = knn.reference_map();
+        let trilateration = TrilaterationEstimator::new(knn.plan().readers().to_vec(), model);
+        FusedEstimator { knn, reference_map, trilateration }
+    }
+
+    /// Locates `true_pos` with both techniques and averages.
+    pub fn locate(&self, true_pos: Point, rng: &mut impl Rng) -> Point {
+        let a = self.knn.locate(true_pos, &self.reference_map, rng);
+        let b = self.trilateration.locate(true_pos, rng);
+        a.midpoint(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::geom::Rect;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn readers() -> Vec<Point> {
+        Floorplan::grid(Rect::new(0.0, 0.0, 20.0, 20.0), 2.0, 2)
+            .readers()
+            .to_vec()
+    }
+
+    #[test]
+    fn range_inversion_matches_the_model() {
+        let model = PathLossModel::default();
+        let t = TrilaterationEstimator::new(readers(), model);
+        for d in [1.0, 3.0, 10.0] {
+            let rssi = model.mean_rssi(d);
+            assert!((t.range_from_rssi(rssi) - d).abs() < 1e-9, "d={d}");
+        }
+    }
+
+    #[test]
+    fn noise_free_estimate_recovers_the_position() {
+        let model = PathLossModel { sigma: 0.0, ..PathLossModel::default() };
+        let t = TrilaterationEstimator::new(readers(), model);
+        let mut rng = StdRng::seed_from_u64(1);
+        let truth = Point::new(7.0, 12.0);
+        let p = t.locate(truth, &mut rng);
+        assert!(p.distance(truth) < 0.5, "error {}", p.distance(truth));
+    }
+
+    #[test]
+    fn noisy_estimates_have_bounded_median_error() {
+        let model = PathLossModel { sigma: 2.0, ..PathLossModel::default() };
+        let t = TrilaterationEstimator::new(readers(), model);
+        let mut rng = StdRng::seed_from_u64(3);
+        let truth = Point::new(10.0, 10.0);
+        let mut errors: Vec<f64> =
+            (0..200).map(|_| t.locate(truth, &mut rng).distance(truth)).collect();
+        errors.sort_by(f64::total_cmp);
+        assert!(errors[errors.len() / 2] < 6.0, "median {}", errors[errors.len() / 2]);
+    }
+
+    #[test]
+    fn fusion_beats_the_worse_technique() {
+        let model = PathLossModel { sigma: 2.0, ..PathLossModel::default() };
+        let plan = Floorplan::grid(Rect::new(0.0, 0.0, 20.0, 20.0), 2.0, 2);
+        let knn = KnnEstimator::new(plan, model, 4);
+        let map = knn.reference_map();
+        let tril = TrilaterationEstimator::new(knn.plan().readers().to_vec(), model);
+        let fused = FusedEstimator::new(knn.clone(), model);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut err = (0.0, 0.0, 0.0);
+        for _ in 0..300 {
+            let truth = Point::new(
+                rng.gen_range(2.0..18.0),
+                rng.gen_range(2.0..18.0),
+            );
+            err.0 += knn.locate(truth, &map, &mut rng).distance(truth);
+            err.1 += tril.locate(truth, &mut rng).distance(truth);
+            err.2 += fused.locate(truth, &mut rng).distance(truth);
+        }
+        let worst = err.0.max(err.1);
+        assert!(
+            err.2 < worst,
+            "fusion {:.1} must beat the worse single technique {:.1}",
+            err.2,
+            worst
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "three readers")]
+    fn too_few_readers_panics() {
+        let _ = TrilaterationEstimator::new(
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+            PathLossModel::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one RSSI per reader")]
+    fn wrong_rssi_count_panics() {
+        let t = TrilaterationEstimator::new(readers(), PathLossModel::default());
+        let _ = t.estimate(&[-50.0]);
+    }
+}

@@ -1,0 +1,941 @@
+//! The middleware core: detection, buffering, plug-in resolution.
+
+use crate::observer::MiddlewareObserver;
+use crate::subscription::{SubscriptionFilter, SubscriptionId, SubscriptionTable};
+use crate::situation::SituationEngine;
+use crate::stats::MiddlewareStats;
+use ctxres_constraint::{Constraint, ConstraintSet, IncrementalChecker, PredicateRegistry};
+use ctxres_context::{
+    Context, ContextId, ContextPool, ContextState, LogicalTime, Ticks, TruthTag,
+};
+use ctxres_core::{Inconsistency, ResolutionStrategy};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Tunables of a middleware instance.
+#[derive(Debug, Clone, Copy)]
+pub struct MiddlewareConfig {
+    /// The **time window**: how long after arrival a buffered context is
+    /// used by the application (paper §5.3). Window 0 means contexts are
+    /// used immediately on arrival, degenerating drop-bad into
+    /// drop-latest.
+    pub window: Ticks,
+    /// Maintain the ground-truth shadow view for matched-activation
+    /// accounting (experiment instrumentation; costs one shadow pool).
+    pub track_ground_truth: bool,
+    /// When set, contexts that are discarded or expired and older than
+    /// this horizon are physically removed from the pools — bounding
+    /// memory in long-running deployments. `None` keeps everything (the
+    /// experiments want the full record).
+    pub retention: Option<Ticks>,
+}
+
+impl Default for MiddlewareConfig {
+    fn default() -> Self {
+        MiddlewareConfig { window: Ticks::new(5), track_ground_truth: true, retention: None }
+    }
+}
+
+/// What happened when a context was submitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitReport {
+    /// The id assigned to the context.
+    pub id: ContextId,
+    /// Number of fresh inconsistencies detected.
+    pub fresh: usize,
+    /// Contexts the strategy discarded during this addition change.
+    pub discarded: Vec<ContextId>,
+    /// Whether the context was irrelevant to every constraint (fast
+    /// path: made `Consistent` immediately, Fig. 7 Part 1).
+    pub irrelevant: bool,
+}
+
+/// One application use of a context (a context-deletion change).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UseRecord {
+    /// The used context.
+    pub id: ContextId,
+    /// Whether it was delivered (vs discarded/expired).
+    pub delivered: bool,
+    /// Ground-truth tag (instrumentation).
+    pub truth: TruthTag,
+    /// When the use happened.
+    pub at: LogicalTime,
+}
+
+/// The Cabot-style middleware: context pool + incremental detection +
+/// plug-in resolution strategy + situation engine.
+///
+/// See the crate-level example. Drive it by [`Middleware::submit`]-ting
+/// contexts (stamps advance the logical clock) and
+/// [`Middleware::advance_to`] / [`Middleware::drain`] to let the time
+/// window elapse.
+pub struct Middleware {
+    pool: ContextPool,
+    registry: PredicateRegistry,
+    checker: IncrementalChecker,
+    strategy: Box<dyn ResolutionStrategy + Send>,
+    situations: SituationEngine,
+    gt_situations: SituationEngine,
+    gt_pool: ContextPool,
+    gt_buffer: VecDeque<(LogicalTime, ContextId)>,
+    config: MiddlewareConfig,
+    clock: LogicalTime,
+    buffer: VecDeque<(LogicalTime, ContextId)>,
+    stats: MiddlewareStats,
+    detections: Vec<Inconsistency>,
+    use_log: Vec<UseRecord>,
+    dirty: bool,
+    matched: u64,
+    covered: Vec<bool>,
+    epoch_started: Vec<Option<LogicalTime>>,
+    latency_sum: u64,
+    observers: Vec<Box<dyn MiddlewareObserver>>,
+    subscriptions: SubscriptionTable,
+}
+
+impl fmt::Debug for Middleware {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Middleware")
+            .field("strategy", &self.strategy.name())
+            .field("clock", &self.clock)
+            .field("buffered", &self.buffer.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Middleware {
+    /// Starts building a middleware.
+    pub fn builder() -> MiddlewareBuilder {
+        MiddlewareBuilder::default()
+    }
+
+    /// The logical clock (max of all seen stamps and advance targets).
+    pub fn now(&self) -> LogicalTime {
+        self.clock
+    }
+
+    /// The managed context pool.
+    pub fn pool(&self) -> &ContextPool {
+        &self.pool
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> &MiddlewareStats {
+        &self.stats
+    }
+
+    /// Matched situation activations: ground-truth situation *epochs*
+    /// (maximal intervals where the situation truly held) that the
+    /// strategy's view also activated. The experiments normalize this
+    /// against OPT-R to obtain `sitActRate`.
+    pub fn matched_activations(&self) -> u64 {
+        self.matched
+    }
+
+    /// Mean activation latency in ticks: how long after a ground-truth
+    /// situation epoch began the strategy's view first reflected it.
+    /// Quantifies the §3.3 trade-off — drop-bad buys accuracy by waiting
+    /// for count evidence, eager strategies react immediately.
+    pub fn mean_activation_latency(&self) -> Option<f64> {
+        (self.matched > 0).then(|| self.latency_sum as f64 / self.matched as f64)
+    }
+
+    /// Every inconsistency detected so far (for the §5.2 heuristic-rule
+    /// monitors).
+    pub fn detections(&self) -> &[Inconsistency] {
+        &self.detections
+    }
+
+    /// The log of context uses.
+    pub fn use_log(&self) -> &[UseRecord] {
+        &self.use_log
+    }
+
+    /// The plugged-in strategy's name.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// Number of contexts awaiting use in the buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The predicate registry in use.
+    pub fn registry(&self) -> &PredicateRegistry {
+        &self.registry
+    }
+
+    /// Registers an application subscription; every *delivered* context
+    /// matching `filter` is enqueued for it.
+    pub fn subscribe(&mut self, filter: SubscriptionFilter) -> SubscriptionId {
+        self.subscriptions.subscribe(filter)
+    }
+
+    /// Drains a subscription's pending deliveries (oldest first).
+    pub fn poll(&mut self, sub: SubscriptionId) -> Vec<ContextId> {
+        self.subscriptions.drain(sub)
+    }
+
+    /// Submits a context (a **context addition change**). The context's
+    /// stamp advances the logical clock; buffered contexts whose window
+    /// elapsed are used first.
+    pub fn submit(&mut self, ctx: Context) -> SubmitReport {
+        let stamp = ctx.stamp();
+        if stamp > self.clock {
+            self.clock = stamp;
+        }
+        let now = self.clock;
+        self.process_due(now);
+
+        let truth = ctx.truth();
+        let kind = ctx.kind().clone();
+        let gt_clone = (self.config.track_ground_truth && truth == TruthTag::Expected)
+            .then(|| ctx.clone());
+        let id = self.pool.insert(ctx);
+        self.stats.received += 1;
+        if let Some(clone) = gt_clone {
+            // The ground-truth shadow view: an expected context joins it
+            // when its use window elapses — the instant a *perfect*
+            // strategy under the same middleware timing would make it
+            // available — so epoch coverage compares discard decisions,
+            // not buffering latency. The schedule is independent of what
+            // the plugged-in strategy discards.
+            let gid = self.gt_pool.insert(clone);
+            self.gt_buffer.push_back((now + self.config.window, gid));
+        }
+
+        if !self.checker.is_relevant(&kind) {
+            // Fig. 7 Part 1: irrelevant contexts become consistent and
+            // available immediately; applications use them on their
+            // normal cadence.
+            self.stats.irrelevant += 1;
+            let _ = self.pool.set_state(id, ContextState::Consistent);
+            self.buffer.push_back((now + self.config.window, id));
+            self.dirty = true;
+            self.process_due(now);
+            self.evaluate_situations_if_dirty(now);
+            let report = SubmitReport { id, fresh: 0, discarded: Vec::new(), irrelevant: true };
+            self.notify(|obs, mw| {
+                if let Some(ctx) = mw.pool.get(id) {
+                    obs.on_submitted(&report, ctx);
+                }
+            });
+            return report;
+        }
+
+        let fresh: Vec<Inconsistency> = match self.checker.on_added(&self.registry, &self.pool, now, id)
+        {
+            Ok(ds) => ds
+                .into_iter()
+                .map(|d| Inconsistency::new(&d.constraint, d.link, now))
+                .collect(),
+            Err(_) => {
+                // A constraint referenced a predicate/attribute this
+                // context lacks: detection is skipped for this addition
+                // but the middleware keeps running (and counts it).
+                self.stats.eval_errors += 1;
+                Vec::new()
+            }
+        };
+        self.stats.inconsistencies += fresh.len() as u64;
+        self.detections.extend(fresh.iter().cloned());
+
+        let outcome = self.strategy.on_addition(&mut self.pool, now, id, &fresh);
+        for did in &outcome.discarded {
+            self.count_discard(*did);
+        }
+        if outcome.accepted {
+            self.buffer.push_back((now + self.config.window, id));
+        }
+        self.dirty = true;
+        self.process_due(now);
+        self.evaluate_situations_if_dirty(now);
+        let report =
+            SubmitReport { id, fresh: fresh.len(), discarded: outcome.discarded, irrelevant: false };
+        self.notify(|obs, mw| {
+            if !fresh.is_empty() {
+                obs.on_detections(&fresh);
+            }
+            if let Some(ctx) = mw.pool.get(id) {
+                obs.on_submitted(&report, ctx);
+            }
+        });
+        report
+    }
+
+    /// Advances the logical clock, using every buffered context whose
+    /// window has elapsed.
+    pub fn advance_to(&mut self, t: LogicalTime) {
+        if t > self.clock {
+            self.clock = t;
+        }
+        let now = self.clock;
+        self.process_due(now);
+        self.evaluate_situations_if_dirty(now);
+        self.notify(|obs, _| obs.on_advanced(now));
+    }
+
+    /// Uses every remaining buffered context, advancing the clock as far
+    /// as needed (end of an experiment run).
+    pub fn drain(&mut self) {
+        let last_due = self
+            .buffer
+            .back()
+            .map(|(due, _)| *due)
+            .into_iter()
+            .chain(self.gt_buffer.back().map(|(due, _)| *due))
+            .max();
+        if let Some(due) = last_due {
+            let target = if due > self.clock { due } else { self.clock };
+            self.advance_to(target);
+        }
+    }
+
+    /// Explicitly uses a context now, ahead of its window (an
+    /// application actively reading it). Returns the use record, or
+    /// `None` if the context is unknown.
+    pub fn use_now(&mut self, id: ContextId) -> Option<UseRecord> {
+        if !self.pool.contains(id) {
+            return None;
+        }
+        self.buffer.retain(|(_, bid)| *bid != id);
+        let now = self.clock;
+        let rec = self.use_one(id, now);
+        self.evaluate_situations_if_dirty(now);
+        Some(rec)
+    }
+
+    fn process_due(&mut self, now: LogicalTime) {
+        if let Some(retention) = self.config.retention {
+            if now.tick() > retention.count() {
+                let horizon = LogicalTime::new(now.tick() - retention.count());
+                self.stats.compacted += self.pool.compact(horizon) as u64;
+                self.gt_pool.compact(horizon);
+            }
+        }
+        while let Some((due, gid)) = self.gt_buffer.front().copied() {
+            if due > now {
+                break;
+            }
+            self.gt_buffer.pop_front();
+            let _ = self.gt_pool.set_state(gid, ContextState::Consistent);
+            self.dirty = true;
+        }
+        while let Some((due, id)) = self.buffer.front().copied() {
+            if due > now {
+                break;
+            }
+            self.buffer.pop_front();
+            self.use_one(id, now);
+        }
+    }
+
+    fn use_one(&mut self, id: ContextId, now: LogicalTime) -> UseRecord {
+        let truth = self.pool.get(id).map(|c| c.truth()).unwrap_or_default();
+        let was_live = self.pool.get(id).map(|c| c.is_live(now)).unwrap_or(false);
+        let outcome = self.strategy.on_use(&mut self.pool, now, id);
+        if outcome.delivered {
+            self.stats.delivered += 1;
+            match truth {
+                TruthTag::Expected => self.stats.delivered_expected += 1,
+                TruthTag::Corrupted => self.stats.delivered_corrupted += 1,
+            }
+            if !self.subscriptions.is_empty() {
+                if let Some(ctx) = self.pool.get(id) {
+                    self.subscriptions.offer(id, ctx);
+                }
+            }
+        } else if !outcome.discarded.contains(&id) && !was_live {
+            self.stats.expired_on_use += 1;
+        }
+        for did in &outcome.discarded {
+            self.count_discard(*did);
+        }
+        self.stats.marked_bad += outcome.marked_bad.len() as u64;
+        let rec = UseRecord { id, delivered: outcome.delivered, truth, at: now };
+        self.use_log.push(rec);
+        self.dirty = true;
+        self.notify(|obs, _| obs.on_used(&rec));
+        rec
+    }
+
+    fn notify(&mut self, mut f: impl FnMut(&mut dyn MiddlewareObserver, &Middleware)) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let mut observers = std::mem::take(&mut self.observers);
+        for obs in &mut observers {
+            f(obs.as_mut(), self);
+        }
+        self.observers = observers;
+    }
+
+    fn count_discard(&mut self, id: ContextId) {
+        self.stats.discarded += 1;
+        match self.pool.get(id).map(|c| c.truth()).unwrap_or_default() {
+            TruthTag::Expected => self.stats.discarded_expected += 1,
+            TruthTag::Corrupted => self.stats.discarded_corrupted += 1,
+        }
+    }
+
+    fn evaluate_situations_if_dirty(&mut self, now: LogicalTime) {
+        if !self.dirty || self.situations.is_empty() {
+            return;
+        }
+        self.dirty = false;
+        let gt_statuses = if self.config.track_ground_truth {
+            self.gt_situations.evaluate(&self.registry, &self.gt_pool, now)
+        } else {
+            Vec::new()
+        };
+        let statuses = self.situations.evaluate(&self.registry, &self.pool, now);
+        for (i, s) in statuses.iter().enumerate() {
+            if s.activated {
+                self.stats.situation_activations += 1;
+            }
+            // Matched-activation accounting by ground-truth *epochs*: a
+            // maximal interval where the situation truly holds counts as
+            // covered (once) if the strategy view also activates it at
+            // some round within the interval. Counting per-epoch instead
+            // of per-edge keeps a flickering strategy view from scoring
+            // the same true episode repeatedly.
+            if let Some(g) = gt_statuses.get(i) {
+                if g.activated {
+                    self.covered[i] = false; // a new ground-truth epoch
+                    self.epoch_started[i] = Some(now);
+                }
+                if g.active && s.active && !self.covered[i] {
+                    self.covered[i] = true;
+                    self.matched += 1;
+                    if let Some(start) = self.epoch_started[i] {
+                        self.latency_sum += (now - start).count();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builder for [`Middleware`] (C-BUILDER).
+#[derive(Default)]
+pub struct MiddlewareBuilder {
+    constraints: Vec<Constraint>,
+    situations: Vec<Constraint>,
+    strategy: Option<Box<dyn ResolutionStrategy + Send>>,
+    registry: Option<PredicateRegistry>,
+    config: MiddlewareConfig,
+    observers: Vec<Box<dyn MiddlewareObserver>>,
+}
+
+impl fmt::Debug for MiddlewareBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MiddlewareBuilder")
+            .field("constraints", &self.constraints.len())
+            .field("situations", &self.situations.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl MiddlewareBuilder {
+    /// Sets the consistency constraints to deploy.
+    pub fn constraints(mut self, constraints: Vec<Constraint>) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the application situations to evaluate.
+    pub fn situations(mut self, situations: Vec<Constraint>) -> Self {
+        self.situations = situations;
+        self
+    }
+
+    /// Plugs in the resolution strategy (required).
+    pub fn strategy(mut self, strategy: Box<dyn ResolutionStrategy + Send>) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Overrides the predicate registry (default: builtins).
+    pub fn registry(mut self, registry: PredicateRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Sets the configuration.
+    pub fn config(mut self, config: MiddlewareConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers a plug-in observer (Cabot-style passive service); may
+    /// be called repeatedly. Register an `Arc<Mutex<...>>` to keep a
+    /// reading handle.
+    pub fn observer(mut self, observer: Box<dyn MiddlewareObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Builds the middleware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no strategy was supplied (C-VALIDATE: there is no
+    /// sensible default resolution behaviour), or if two constraints
+    /// share a name — inconsistency identity is `(constraint name,
+    /// context set)`, so duplicate names would silently merge distinct
+    /// inconsistencies in the tracked set.
+    pub fn build(self) -> Middleware {
+        let strategy = self.strategy.expect("a resolution strategy is required");
+        {
+            let mut seen = std::collections::BTreeSet::new();
+            for c in &self.constraints {
+                assert!(seen.insert(c.name()), "duplicate constraint name {:?}", c.name());
+            }
+        }
+        let constraint_set: ConstraintSet = self.constraints.into_iter().collect();
+        let covered = vec![false; self.situations.len()];
+        let epoch_started_init = vec![None; self.situations.len()];
+        let situations = SituationEngine::new(self.situations.clone());
+        let gt_situations = SituationEngine::new(self.situations);
+        Middleware {
+            pool: ContextPool::new(),
+            registry: self.registry.unwrap_or_else(PredicateRegistry::with_builtins),
+            checker: IncrementalChecker::new(constraint_set),
+            strategy,
+            situations,
+            gt_situations,
+            gt_pool: ContextPool::new(),
+            gt_buffer: VecDeque::new(),
+            config: self.config,
+            clock: LogicalTime::ZERO,
+            buffer: VecDeque::new(),
+            stats: MiddlewareStats::default(),
+            detections: Vec::new(),
+            use_log: Vec::new(),
+            dirty: false,
+            matched: 0,
+            covered,
+            epoch_started: epoch_started_init,
+            latency_sum: 0,
+            observers: self.observers,
+            subscriptions: SubscriptionTable::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_constraint::parse_constraints;
+    use ctxres_context::{ContextKind, Point};
+    use ctxres_core::strategies::{DropBad, DropLatest, Oracle};
+
+    const SPEED: &str = "constraint speed:
+        forall a: location, b: location .
+          (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+
+    fn loc(subject: &str, seq: i64, x: f64, y: f64) -> Context {
+        Context::builder(ContextKind::new("location"), subject)
+            .attr("pos", Point::new(x, y))
+            .attr("seq", seq)
+            .stamp(LogicalTime::new(seq as u64))
+            .build()
+    }
+
+    fn corrupted(subject: &str, seq: i64, x: f64, y: f64) -> Context {
+        Context::builder(ContextKind::new("location"), subject)
+            .attr("pos", Point::new(x, y))
+            .attr("seq", seq)
+            .stamp(LogicalTime::new(seq as u64))
+            .truth(TruthTag::Corrupted)
+            .build()
+    }
+
+    fn mw(strategy: Box<dyn ResolutionStrategy + Send>, window: u64) -> Middleware {
+        Middleware::builder()
+            .constraints(parse_constraints(SPEED).unwrap())
+            .strategy(strategy)
+            .config(MiddlewareConfig { window: Ticks::new(window), track_ground_truth: true, retention: None })
+            .build()
+    }
+
+    #[test]
+    fn irrelevant_kind_takes_the_fast_path() {
+        let mut m = mw(Box::new(DropBad::new()), 3);
+        let report = m.submit(Context::builder(ContextKind::new("temperature"), "room").build());
+        assert!(report.irrelevant);
+        assert_eq!(m.pool().get(report.id).unwrap().state(), ContextState::Consistent);
+        assert_eq!(m.stats().irrelevant, 1);
+    }
+
+    #[test]
+    fn window_defers_use_and_drain_flushes() {
+        let mut m = mw(Box::new(DropBad::new()), 5);
+        m.submit(loc("p", 0, 0.0, 0.0));
+        assert_eq!(m.stats().delivered, 0);
+        assert_eq!(m.buffered(), 1);
+        m.advance_to(LogicalTime::new(5));
+        assert_eq!(m.stats().delivered, 1, "window elapsed");
+        m.submit(loc("p", 6, 0.5, 0.0));
+        m.drain();
+        assert_eq!(m.stats().delivered, 2);
+        assert_eq!(m.buffered(), 0);
+    }
+
+    #[test]
+    fn drop_bad_catches_the_deviating_context() {
+        // Paper Fig. 5 Scenario A shape with gap-1 + gap-2 constraints.
+        let constraints = parse_constraints(
+            "constraint gap1:
+               forall a: location, b: location .
+                 (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)
+             constraint gap2:
+               forall a: location, b: location .
+                 (same_subject(a, b) and seq_gap(a, b, 2)) implies velocity_le(a, b, 3.0)",
+        )
+        .unwrap();
+        let mut m = Middleware::builder()
+            .constraints(constraints)
+            .strategy(Box::new(DropBad::new()))
+            .config(MiddlewareConfig { window: Ticks::new(10), track_ground_truth: true, retention: None })
+            .build();
+        // Steady walk with a wild outlier at seq 2.
+        m.submit(loc("p", 0, 0.0, 0.0));
+        m.submit(loc("p", 1, 1.0, 0.0));
+        m.submit(corrupted("p", 2, 30.0, 30.0));
+        m.submit(loc("p", 3, 3.0, 0.0));
+        m.submit(loc("p", 4, 4.0, 0.0));
+        m.drain();
+        assert_eq!(m.stats().discarded, 1);
+        assert_eq!(m.stats().discarded_corrupted, 1);
+        assert_eq!(m.stats().delivered, 4);
+        assert_eq!(m.stats().delivered_expected, 4);
+    }
+
+    #[test]
+    fn window_zero_degenerates_drop_bad_to_drop_latest() {
+        // §5.3: with an empty window the drop-bad strategy behaves like
+        // drop-latest. Scenario B shape: the corrupted context slips in
+        // cleanly, its correct successor gets blamed.
+        let run = |strategy: Box<dyn ResolutionStrategy + Send>| {
+            let mut m = mw(strategy, 0);
+            m.submit(loc("p", 0, 0.0, 0.0));
+            m.submit(corrupted("p", 1, 10.0, 10.0)); // violates vs seq 0? dist ~14 > 1.5 => caught
+            m.submit(loc("p", 2, 2.0, 0.0));
+            m.drain();
+            (m.stats().delivered, m.stats().discarded)
+        };
+        let bad = run(Box::new(DropBad::new()));
+        let lat = run(Box::new(DropLatest::new()));
+        assert_eq!(bad, lat);
+    }
+
+    #[test]
+    fn oracle_stats_are_perfect() {
+        let mut m = mw(Box::new(Oracle::new()), 2);
+        m.submit(loc("p", 0, 0.0, 0.0));
+        m.submit(corrupted("p", 1, 10.0, 10.0));
+        m.submit(loc("p", 2, 2.0, 0.0));
+        m.drain();
+        assert_eq!(m.stats().delivered_expected, 2);
+        assert_eq!(m.stats().delivered_corrupted, 0);
+        assert_eq!(m.stats().discarded_corrupted, 1);
+        assert_eq!(m.stats().discarded_expected, 0);
+        assert_eq!(m.stats().survival_rate(), 1.0);
+        assert_eq!(m.stats().removal_precision(), 1.0);
+    }
+
+    #[test]
+    fn use_now_bypasses_the_window() {
+        let mut m = mw(Box::new(DropBad::new()), 100);
+        let report = m.submit(loc("p", 0, 0.0, 0.0));
+        let rec = m.use_now(report.id).unwrap();
+        assert!(rec.delivered);
+        assert_eq!(m.buffered(), 0, "buffer entry consumed");
+        assert_eq!(m.stats().delivered, 1);
+        // Draining afterwards must not double-use it.
+        m.drain();
+        assert_eq!(m.stats().delivered, 1);
+    }
+
+    #[test]
+    fn use_now_unknown_context_is_none() {
+        let mut m = mw(Box::new(DropBad::new()), 1);
+        assert!(m.use_now(ContextId::from_raw(99)).is_none());
+    }
+
+    #[test]
+    fn situations_activate_on_delivery_not_buffering() {
+        let situations = parse_constraints(
+            "constraint near_door: exists a: location . within(a, -1.0, -1.0, 1.0, 1.0)",
+        )
+        .unwrap();
+        let mut m = Middleware::builder()
+            .constraints(parse_constraints(SPEED).unwrap())
+            .situations(situations)
+            .strategy(Box::new(DropBad::new()))
+            .config(MiddlewareConfig { window: Ticks::new(4), track_ground_truth: true, retention: None })
+            .build();
+        m.submit(loc("p", 0, 0.0, 0.0));
+        assert_eq!(m.stats().situation_activations, 0, "still buffered");
+        m.drain();
+        assert_eq!(m.stats().situation_activations, 1);
+        assert_eq!(m.matched_activations(), 1, "activation agrees with ground truth");
+    }
+
+    #[test]
+    fn corrupted_only_activation_is_not_matched() {
+        let situations = parse_constraints(
+            "constraint near_door: exists a: location . within(a, 9.0, 9.0, 11.0, 11.0)",
+        )
+        .unwrap();
+        let mut m = Middleware::builder()
+            .situations(situations)
+            .strategy(Box::new(DropLatest::new()))
+            .config(MiddlewareConfig { window: Ticks::new(0), track_ground_truth: true, retention: None })
+            .build();
+        // No constraints deployed: the corrupted context sails through
+        // (irrelevant fast path) and falsely activates the situation.
+        m.submit(corrupted("p", 0, 10.0, 10.0));
+        m.drain();
+        assert_eq!(m.stats().situation_activations, 1);
+        assert_eq!(m.matched_activations(), 0, "ground truth never had it");
+    }
+
+    #[test]
+    fn detections_log_accumulates() {
+        let mut m = mw(Box::new(DropBad::new()), 10);
+        m.submit(loc("p", 0, 0.0, 0.0));
+        m.submit(corrupted("p", 1, 10.0, 10.0));
+        assert_eq!(m.detections().len(), 1);
+        assert_eq!(m.stats().inconsistencies, 1);
+    }
+
+    #[test]
+    fn use_log_records_every_use() {
+        let mut m = mw(Box::new(DropBad::new()), 1);
+        m.submit(loc("p", 0, 0.0, 0.0));
+        m.submit(loc("p", 5, 0.5, 0.0));
+        m.drain();
+        assert_eq!(m.use_log().len(), 2);
+        assert!(m.use_log().iter().all(|r| r.delivered));
+    }
+
+    #[test]
+    fn clock_is_monotonic_even_with_stale_stamps() {
+        let mut m = mw(Box::new(DropBad::new()), 1);
+        m.submit(loc("p", 5, 0.0, 0.0));
+        m.submit(loc("p", 3, 0.5, 0.0)); // stale stamp must not rewind
+        assert_eq!(m.now(), LogicalTime::new(5));
+        m.advance_to(LogicalTime::new(2));
+        assert_eq!(m.now(), LogicalTime::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution strategy is required")]
+    fn builder_requires_strategy() {
+        let _ = Middleware::builder().build();
+    }
+}
+
+#[cfg(test)]
+mod eval_error_tests {
+    use super::*;
+    use ctxres_constraint::parse_constraints;
+    use ctxres_context::ContextKind;
+    use ctxres_core::strategies::DropBad;
+
+    #[test]
+    fn eval_errors_are_counted_not_fatal() {
+        // The constraint reads an attribute the context does not carry.
+        let mut m = Middleware::builder()
+            .constraints(parse_constraints("constraint c: forall a: badge . eq(a.room, \"x\")").unwrap())
+            .strategy(Box::new(DropBad::new()))
+            .config(MiddlewareConfig { window: Ticks::new(1), track_ground_truth: false, retention: None })
+            .build();
+        let report = m.submit(Context::builder(ContextKind::new("badge"), "p").build());
+        assert_eq!(report.fresh, 0);
+        assert_eq!(m.stats().eval_errors, 1);
+        m.drain();
+        assert_eq!(m.stats().delivered, 1, "context admitted unchecked");
+    }
+}
+
+#[cfg(test)]
+mod observer_tests {
+    use super::*;
+    use crate::observer::{Event, EventLog};
+    use ctxres_constraint::parse_constraints;
+    use ctxres_context::{ContextKind, Point};
+    use ctxres_core::strategies::DropBad;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn observers_see_the_full_event_stream() {
+        let log = Arc::new(Mutex::new(EventLog::new()));
+        let mut m = Middleware::builder()
+            .constraints(
+                parse_constraints(
+                    "constraint speed:
+                       forall a: location, b: location .
+                         (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)",
+                )
+                .unwrap(),
+            )
+            .strategy(Box::new(DropBad::new()))
+            .config(MiddlewareConfig { window: Ticks::new(2), track_ground_truth: false, retention: None })
+            .observer(Box::new(Arc::clone(&log)))
+            .build();
+        for (i, (x, y)) in [(0.0, 0.0), (9.0, 9.0), (1.0, 0.0)].iter().enumerate() {
+            m.submit(
+                Context::builder(ContextKind::new("location"), "p")
+                    .attr("pos", Point::new(*x, *y))
+                    .attr("seq", i as i64)
+                    .stamp(LogicalTime::new(i as u64))
+                    .build(),
+            );
+        }
+        m.drain();
+        let events = log.lock();
+        let submitted = events.events().iter().filter(|e| matches!(e, Event::Submitted { .. })).count();
+        let detected = events.events().iter().filter(|e| matches!(e, Event::Detected(_))).count();
+        let used = events.events().iter().filter(|e| matches!(e, Event::Used(_))).count();
+        assert_eq!(submitted, 3);
+        assert!(detected >= 2, "the outlier conflicts with both neighbours");
+        assert_eq!(used, 3);
+    }
+}
+
+#[cfg(test)]
+mod subscription_tests {
+    use super::*;
+    use crate::subscription::SubscriptionFilter;
+    use ctxres_constraint::parse_constraints;
+    use ctxres_context::{ContextKind, Point};
+    use ctxres_core::strategies::DropBad;
+
+    #[test]
+    fn subscriptions_receive_only_delivered_matches() {
+        let mut m = Middleware::builder()
+            .constraints(
+                parse_constraints(
+                    "constraint region: forall a: location . within(a, 0.0, 0.0, 10.0, 10.0)",
+                )
+                .unwrap(),
+            )
+            .strategy(Box::new(DropBad::new()))
+            .config(MiddlewareConfig { window: Ticks::new(1), track_ground_truth: false, retention: None })
+            .build();
+        let peter_locations = m.subscribe(
+            SubscriptionFilter::all().of_kind("location").of_subject("peter"),
+        );
+        let everything = m.subscribe(SubscriptionFilter::all());
+
+        let good = m
+            .submit(
+                Context::builder(ContextKind::new("location"), "peter")
+                    .attr("pos", Point::new(1.0, 1.0))
+                    .stamp(LogicalTime::new(0))
+                    .build(),
+            )
+            .id;
+        m.submit(
+            Context::builder(ContextKind::new("location"), "mary")
+                .attr("pos", Point::new(2.0, 2.0))
+                .stamp(LogicalTime::new(1))
+                .build(),
+        );
+        // Off the floor: detected and (eventually) discarded, never
+        // delivered to subscribers.
+        m.submit(
+            Context::builder(ContextKind::new("location"), "peter")
+                .attr("pos", Point::new(50.0, 50.0))
+                .stamp(LogicalTime::new(2))
+                .build(),
+        );
+        m.drain();
+
+        assert_eq!(m.poll(peter_locations), vec![good]);
+        assert_eq!(m.poll(everything).len(), 2);
+        assert!(m.poll(everything).is_empty(), "polling drains");
+    }
+}
+
+#[cfg(test)]
+mod retention_tests {
+    use super::*;
+    use ctxres_constraint::parse_constraints;
+    use ctxres_context::{ContextKind, Lifespan, Point};
+    use ctxres_core::strategies::DropLatest;
+
+    #[test]
+    fn retention_bounds_pool_size_on_long_runs() {
+        let mut m = Middleware::builder()
+            .constraints(
+                parse_constraints(
+                    "constraint region: forall a: location . within(a, -1.0, -1.0, 1.0, 1.0)",
+                )
+                .unwrap(),
+            )
+            .strategy(Box::new(DropLatest::new()))
+            .config(MiddlewareConfig {
+                window: Ticks::new(1),
+                track_ground_truth: false,
+                retention: Some(Ticks::new(20)),
+            })
+            .build();
+        for i in 0..500u64 {
+            // Alternate on-floor and off-floor fixes (the latter get
+            // discarded); everything carries a short lifespan.
+            let x = if i % 2 == 0 { 0.0 } else { 50.0 };
+            m.submit(
+                Context::builder(ContextKind::new("location"), "p")
+                    .attr("pos", Point::new(x, 0.0))
+                    .attr("seq", i as i64)
+                    .stamp(LogicalTime::new(i))
+                    .lifespan(Lifespan::with_ttl(LogicalTime::new(i), Ticks::new(5)))
+                    .build(),
+            );
+        }
+        m.drain();
+        assert!(m.stats().compacted > 400, "compacted {}", m.stats().compacted);
+        assert!(
+            m.pool().len() < 60,
+            "pool must stay bounded, holds {}",
+            m.pool().len()
+        );
+        // Accounting unaffected by compaction.
+        assert_eq!(m.stats().received, 500);
+        assert_eq!(
+            m.stats().delivered + m.stats().discarded,
+            500,
+            "every context decided"
+        );
+    }
+}
+
+#[cfg(test)]
+mod builder_validation_tests {
+    use super::*;
+    use ctxres_constraint::parse_constraints;
+    use ctxres_core::strategies::DropBad;
+
+    #[test]
+    #[should_panic(expected = "duplicate constraint name")]
+    fn duplicate_constraint_names_rejected() {
+        let constraints = parse_constraints(
+            "constraint same: forall a: k . true
+             constraint same: forall a: k . false",
+        )
+        .unwrap();
+        let _ = Middleware::builder()
+            .constraints(constraints)
+            .strategy(Box::new(DropBad::new()))
+            .build();
+    }
+}

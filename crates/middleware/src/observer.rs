@@ -1,0 +1,197 @@
+//! Plug-in observers: Cabot-style management services hooking the
+//! middleware's event stream.
+//!
+//! The paper's middleware "supports plug-in context management services"
+//! (§4.1) — inconsistency resolution itself is deployed as one. Beyond
+//! the resolution strategy, this module exposes the event stream to
+//! passive services: loggers, monitors, debuggers, metric exporters.
+
+use crate::middleware::{SubmitReport, UseRecord};
+use ctxres_context::{Context, LogicalTime};
+use ctxres_core::Inconsistency;
+use std::fmt;
+
+/// A passive middleware service observing the event stream.
+///
+/// All hooks default to no-ops so implementations override only what
+/// they need. Observers run synchronously after the middleware has
+/// finished processing the event they describe.
+pub trait MiddlewareObserver: Send {
+    /// A context was submitted (after detection and the strategy's
+    /// addition handling).
+    fn on_submitted(&mut self, _report: &SubmitReport, _ctx: &Context) {}
+
+    /// Fresh inconsistencies were detected during an addition change.
+    fn on_detections(&mut self, _fresh: &[Inconsistency]) {}
+
+    /// A context-deletion change completed (the context was used).
+    fn on_used(&mut self, _record: &UseRecord) {}
+
+    /// The logical clock advanced to `now` (ticks from `advance_to`).
+    fn on_advanced(&mut self, _now: LogicalTime) {}
+}
+
+/// One entry of the [`EventLog`] observer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A context arrived; payload: its display form and how many fresh
+    /// inconsistencies it caused.
+    Submitted {
+        /// `Context` display string.
+        context: String,
+        /// Fresh inconsistencies detected.
+        fresh: usize,
+    },
+    /// An inconsistency was detected; payload: its display form.
+    Detected(String),
+    /// A context was used; payload: the record.
+    Used(UseRecord),
+}
+
+/// A bounded in-memory event log, the simplest useful observer (and the
+/// shape a debugging UI would consume).
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+    capacity: Option<usize>,
+}
+
+impl EventLog {
+    /// An unbounded log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// A log keeping only the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog { events: Vec::new(), capacity: Some(capacity) }
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    fn push(&mut self, e: Event) {
+        self.events.push(e);
+        if let Some(cap) = self.capacity {
+            if self.events.len() > cap {
+                let overflow = self.events.len() - cap;
+                self.events.drain(..overflow);
+            }
+        }
+    }
+}
+
+impl fmt::Display for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            match e {
+                Event::Submitted { context, fresh } => {
+                    writeln!(f, "+ {context} ({fresh} fresh)")?;
+                }
+                Event::Detected(inc) => writeln!(f, "! {inc}")?,
+                Event::Used(r) => writeln!(
+                    f,
+                    "> {} at {} -> {}",
+                    r.id,
+                    r.at,
+                    if r.delivered { "delivered" } else { "withheld" }
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl MiddlewareObserver for EventLog {
+    fn on_submitted(&mut self, report: &SubmitReport, ctx: &Context) {
+        self.push(Event::Submitted { context: ctx.to_string(), fresh: report.fresh });
+    }
+
+    fn on_detections(&mut self, fresh: &[Inconsistency]) {
+        for inc in fresh {
+            self.push(Event::Detected(inc.to_string()));
+        }
+    }
+
+    fn on_used(&mut self, record: &UseRecord) {
+        self.push(Event::Used(*record));
+    }
+}
+
+/// Observers are usually registered as `Arc<Mutex<T>>` so the caller
+/// keeps a handle to read the collected data after (or during) the run.
+impl<T: MiddlewareObserver> MiddlewareObserver for std::sync::Arc<parking_lot::Mutex<T>> {
+    fn on_submitted(&mut self, report: &SubmitReport, ctx: &Context) {
+        self.lock().on_submitted(report, ctx);
+    }
+
+    fn on_detections(&mut self, fresh: &[Inconsistency]) {
+        self.lock().on_detections(fresh);
+    }
+
+    fn on_used(&mut self, record: &UseRecord) {
+        self.lock().on_used(record);
+    }
+
+    fn on_advanced(&mut self, now: LogicalTime) {
+        self.lock().on_advanced(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_context::{ContextId, ContextKind, TruthTag};
+
+    fn record(id: u64, delivered: bool) -> UseRecord {
+        UseRecord {
+            id: ContextId::from_raw(id),
+            delivered,
+            truth: TruthTag::Expected,
+            at: LogicalTime::new(3),
+        }
+    }
+
+    #[test]
+    fn event_log_records_in_order() {
+        let mut log = EventLog::new();
+        let ctx = Context::builder(ContextKind::new("k"), "s").build();
+        log.on_submitted(
+            &SubmitReport {
+                id: ContextId::from_raw(0),
+                fresh: 2,
+                discarded: Vec::new(),
+                irrelevant: false,
+            },
+            &ctx,
+        );
+        log.on_used(&record(0, true));
+        assert_eq!(log.events().len(), 2);
+        let rendered = log.to_string();
+        assert!(rendered.contains("2 fresh"));
+        assert!(rendered.contains("delivered"));
+    }
+
+    #[test]
+    fn bounded_log_keeps_most_recent() {
+        let mut log = EventLog::with_capacity(2);
+        for i in 0..5 {
+            log.on_used(&record(i, false));
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(
+            log.events(),
+            &[Event::Used(record(3, false)), Event::Used(record(4, false))]
+        );
+    }
+
+    #[test]
+    fn shared_observer_delegates() {
+        let shared = std::sync::Arc::new(parking_lot::Mutex::new(EventLog::new()));
+        let mut handle = std::sync::Arc::clone(&shared);
+        handle.on_used(&record(7, true));
+        assert_eq!(shared.lock().events().len(), 1);
+    }
+}

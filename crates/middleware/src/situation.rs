@@ -1,0 +1,203 @@
+//! Situation evaluation — the application-facing half of
+//! context-awareness.
+//!
+//! A *situation* ("Peter is in his office", "shelf 3 needs restocking")
+//! is a formula over the contexts currently *available* to applications.
+//! The paper's second metric counts how many situations were actually
+//! activated after inconsistency resolution (§4): a strategy that
+//! discards the wrong contexts starves situations of the contexts they
+//! need.
+
+use ctxres_constraint::{Constraint, DomainMode, Evaluator, PredicateRegistry};
+use ctxres_context::{ContextPool, LogicalTime};
+
+/// The status of one situation after an evaluation round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SituationStatus {
+    /// The situation's name.
+    pub name: String,
+    /// Whether the situation currently holds.
+    pub active: bool,
+    /// Whether this round turned it from inactive to active (a
+    /// rising-edge *activation*, the unit the paper counts).
+    pub activated: bool,
+}
+
+/// Evaluates a fixed set of situations over the available context view,
+/// tracking rising edges.
+///
+/// Situations reuse the constraint [`Constraint`] machinery: a situation
+/// is simply a named formula; `active` means *satisfied* over the
+/// `Consistent`, live contexts.
+#[derive(Debug)]
+pub struct SituationEngine {
+    situations: Vec<Constraint>,
+    active: Vec<bool>,
+    activations: u64,
+}
+
+impl SituationEngine {
+    /// Creates an engine for the given situations.
+    pub fn new(situations: Vec<Constraint>) -> Self {
+        let n = situations.len();
+        SituationEngine { situations, active: vec![false; n], activations: 0 }
+    }
+
+    /// Number of situations.
+    pub fn len(&self) -> usize {
+        self.situations.len()
+    }
+
+    /// Whether the engine has no situations.
+    pub fn is_empty(&self) -> bool {
+        self.situations.is_empty()
+    }
+
+    /// Total rising-edge activations since construction.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Current activity flags, in situation order.
+    pub fn active_flags(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Re-evaluates every situation over the available view of `pool`.
+    ///
+    /// Evaluation errors (e.g. a missing attribute) deactivate the
+    /// situation for the round rather than aborting: applications keep
+    /// running when one situation's data is absent.
+    pub fn evaluate(
+        &mut self,
+        registry: &PredicateRegistry,
+        pool: &ContextPool,
+        now: LogicalTime,
+    ) -> Vec<SituationStatus> {
+        let evaluator = Evaluator::with_domain(registry, DomainMode::AvailableOnly);
+        let mut out = Vec::with_capacity(self.situations.len());
+        for (i, situation) in self.situations.iter().enumerate() {
+            let active = evaluator
+                .check(situation, pool, now)
+                .map(|o| o.satisfied)
+                .unwrap_or(false);
+            let activated = active && !self.active[i];
+            if activated {
+                self.activations += 1;
+            }
+            self.active[i] = active;
+            out.push(SituationStatus {
+                name: situation.name().to_owned(),
+                active,
+                activated,
+            });
+        }
+        out
+    }
+
+    /// Resets activity tracking (new run).
+    pub fn reset(&mut self) {
+        self.active.iter_mut().for_each(|a| *a = false);
+        self.activations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_constraint::parse_constraints;
+    use ctxres_context::{Context, ContextKind, ContextState};
+
+    fn engine() -> SituationEngine {
+        // "Peter is in the office" — note situations are *satisfied*
+        // formulas, so exists works naturally here.
+        let situations = parse_constraints(
+            "constraint peter_in_office:
+               exists b: badge . same_subject(b, b) and eq(b.room, \"office\") and subject_eq(b, \"peter\")",
+        )
+        .unwrap();
+        SituationEngine::new(situations)
+    }
+
+    fn badge(room: &str) -> Context {
+        Context::builder(ContextKind::new("badge"), "peter")
+            .attr("room", room)
+            .build()
+    }
+
+    #[test]
+    fn activation_counts_rising_edges_only() {
+        let mut eng = engine();
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        let t = LogicalTime::ZERO;
+
+        let s = eng.evaluate(&reg, &pool, t);
+        assert!(!s[0].active);
+
+        let id = pool.insert(badge("office"));
+        pool.set_state(id, ContextState::Consistent).unwrap();
+        let s = eng.evaluate(&reg, &pool, t);
+        assert!(s[0].active && s[0].activated);
+
+        // Still active: no new activation.
+        let s = eng.evaluate(&reg, &pool, t);
+        assert!(s[0].active && !s[0].activated);
+        assert_eq!(eng.activations(), 1);
+    }
+
+    #[test]
+    fn undecided_contexts_do_not_activate_situations() {
+        let mut eng = engine();
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        pool.insert(badge("office")); // stays Undecided
+        let s = eng.evaluate(&reg, &pool, LogicalTime::ZERO);
+        assert!(!s[0].active);
+        assert_eq!(eng.activations(), 0);
+    }
+
+    #[test]
+    fn reactivation_counts_again() {
+        let mut eng = engine();
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        let id = pool.insert(badge("office"));
+        pool.set_state(id, ContextState::Consistent).unwrap();
+        eng.evaluate(&reg, &pool, LogicalTime::ZERO);
+        pool.remove(id);
+        eng.evaluate(&reg, &pool, LogicalTime::ZERO);
+        let id2 = pool.insert(badge("office"));
+        pool.set_state(id2, ContextState::Consistent).unwrap();
+        eng.evaluate(&reg, &pool, LogicalTime::ZERO);
+        assert_eq!(eng.activations(), 2);
+    }
+
+    #[test]
+    fn evaluation_error_deactivates_instead_of_panicking() {
+        let situations =
+            parse_constraints("constraint s: exists b: badge . eq(b.missing, 1)").unwrap();
+        let mut eng = SituationEngine::new(situations);
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        let id = pool.insert(badge("office"));
+        pool.set_state(id, ContextState::Consistent).unwrap();
+        let s = eng.evaluate(&reg, &pool, LogicalTime::ZERO);
+        assert!(!s[0].active);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut eng = engine();
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        let id = pool.insert(badge("office"));
+        pool.set_state(id, ContextState::Consistent).unwrap();
+        eng.evaluate(&reg, &pool, LogicalTime::ZERO);
+        assert_eq!(eng.activations(), 1);
+        eng.reset();
+        assert_eq!(eng.activations(), 0);
+        let s = eng.evaluate(&reg, &pool, LogicalTime::ZERO);
+        assert!(s[0].activated, "post-reset rising edge counts anew");
+    }
+}

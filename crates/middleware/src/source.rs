@@ -1,0 +1,102 @@
+//! Context sources: client threads feeding the middleware.
+//!
+//! The paper's experiments produce contexts from "a client thread with a
+//! controlled error rate" (§4.1). This module provides that shape:
+//! [`spawn_replay`] replays a prepared trace of contexts through a
+//! crossbeam channel from a separate thread, and [`collect`] drives a
+//! middleware from any number of such sources, merging by stamp order.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use ctxres_context::Context;
+use std::thread::JoinHandle;
+
+/// A handle to a spawned context source.
+#[derive(Debug)]
+pub struct SourceHandle {
+    thread: JoinHandle<()>,
+}
+
+impl SourceHandle {
+    /// Waits for the source thread to finish its trace.
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}
+
+/// Spawns a client thread that sends `trace` through the returned
+/// receiver, in order.
+///
+/// ```
+/// use ctxres_context::{Context, ContextKind};
+/// use ctxres_middleware::source::spawn_replay;
+///
+/// let trace = vec![Context::builder(ContextKind::new("t"), "s").build()];
+/// let (rx, handle) = spawn_replay(trace);
+/// assert_eq!(rx.iter().count(), 1);
+/// handle.join();
+/// ```
+pub fn spawn_replay(trace: Vec<Context>) -> (Receiver<Context>, SourceHandle) {
+    let (tx, rx): (Sender<Context>, Receiver<Context>) = bounded(256);
+    let thread = std::thread::spawn(move || {
+        for ctx in trace {
+            if tx.send(ctx).is_err() {
+                break; // receiver dropped: stop producing
+            }
+        }
+    });
+    (rx, SourceHandle { thread })
+}
+
+/// Merges several sources into one stamp-ordered stream.
+///
+/// Each receiver must itself be stamp-ordered (true for
+/// [`spawn_replay`] of a sorted trace); the merge then yields a globally
+/// sorted stream, the order the middleware expects.
+pub fn collect(sources: Vec<Receiver<Context>>) -> Vec<Context> {
+    let mut all: Vec<Context> = Vec::new();
+    for rx in sources {
+        all.extend(rx.iter());
+    }
+    all.sort_by_key(|c| c.stamp());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_context::{ContextKind, LogicalTime};
+
+    fn ctx(subject: &str, t: u64) -> Context {
+        Context::builder(ContextKind::new("loc"), subject)
+            .stamp(LogicalTime::new(t))
+            .build()
+    }
+
+    #[test]
+    fn replay_preserves_order() {
+        let trace = vec![ctx("a", 1), ctx("a", 2), ctx("a", 3)];
+        let (rx, handle) = spawn_replay(trace);
+        let got: Vec<u64> = rx.iter().map(|c| c.stamp().tick()).collect();
+        handle.join();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn collect_merges_by_stamp() {
+        let (rx1, h1) = spawn_replay(vec![ctx("a", 1), ctx("a", 4)]);
+        let (rx2, h2) = spawn_replay(vec![ctx("b", 2), ctx("b", 3)]);
+        let merged = collect(vec![rx1, rx2]);
+        h1.join();
+        h2.join();
+        let stamps: Vec<u64> = merged.iter().map(|c| c.stamp().tick()).collect();
+        assert_eq!(stamps, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dropping_receiver_stops_source() {
+        let trace: Vec<Context> = (0..10_000).map(|t| ctx("a", t)).collect();
+        let (rx, handle) = spawn_replay(trace);
+        drop(rx);
+        handle.join(); // must terminate, not hang
+    }
+}

@@ -1,0 +1,101 @@
+//! Middleware counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters the middleware maintains across a run.
+///
+/// The `*_expected` / `*_corrupted` splits are ground-truth
+/// instrumentation (they read the workload generator's
+/// [`ctxres_context::TruthTag`]) feeding the paper's metrics: context
+/// survival rate and removal precision (§5.2) derive from the discard
+/// split, `ctxUseRate` from the delivery split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MiddlewareStats {
+    /// Contexts submitted to the middleware.
+    pub received: u64,
+    /// Contexts that skipped checking (kind irrelevant to all
+    /// constraints, Fig. 7 Part 1).
+    pub irrelevant: u64,
+    /// Context inconsistencies detected.
+    pub inconsistencies: u64,
+    /// Contexts delivered to applications on use.
+    pub delivered: u64,
+    /// Delivered contexts that were ground-truth expected.
+    pub delivered_expected: u64,
+    /// Delivered contexts that were ground-truth corrupted.
+    pub delivered_corrupted: u64,
+    /// Contexts discarded (set `Inconsistent`) by the strategy.
+    pub discarded: u64,
+    /// Discarded contexts that were ground-truth expected (losses).
+    pub discarded_expected: u64,
+    /// Discarded contexts that were ground-truth corrupted (catches).
+    pub discarded_corrupted: u64,
+    /// Contexts marked `Bad` (drop-bad only).
+    pub marked_bad: u64,
+    /// Use requests that found the context expired (neither delivered
+    /// nor blamed).
+    pub expired_on_use: u64,
+    /// Rising-edge situation activations observed.
+    pub situation_activations: u64,
+    /// Addition changes whose consistency check failed with an
+    /// evaluation error (missing attribute, unknown predicate); the
+    /// context was admitted unchecked.
+    pub eval_errors: u64,
+    /// Contexts physically removed by retention compaction.
+    pub compacted: u64,
+}
+
+impl MiddlewareStats {
+    /// Fraction of ground-truth expected contexts among those discarded
+    /// that survived — the paper's *location context survival rate*
+    /// (§5.2): expected contexts kept / expected contexts seen.
+    pub fn survival_rate(&self) -> f64 {
+        let expected_seen = self.discarded_expected + self.delivered_expected;
+        if expected_seen == 0 {
+            return 1.0;
+        }
+        self.delivered_expected as f64 / expected_seen as f64
+    }
+
+    /// Fraction of discarded contexts that were indeed corrupted — the
+    /// paper's *removal precision* (§5.2).
+    pub fn removal_precision(&self) -> f64 {
+        if self.discarded == 0 {
+            return 1.0;
+        }
+        self.discarded_corrupted as f64 / self.discarded as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_rate_counts_kept_expected() {
+        let s = MiddlewareStats {
+            delivered_expected: 96,
+            discarded_expected: 4,
+            ..MiddlewareStats::default()
+        };
+        assert!((s.survival_rate() - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removal_precision_counts_true_discards() {
+        let s = MiddlewareStats {
+            discarded: 10,
+            discarded_corrupted: 8,
+            discarded_expected: 2,
+            ..MiddlewareStats::default()
+        };
+        assert!((s.removal_precision() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_rates_are_one() {
+        let s = MiddlewareStats::default();
+        assert_eq!(s.survival_rate(), 1.0);
+        assert_eq!(s.removal_precision(), 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Application subscriptions: filtered delivery queues.
+//!
+//! Applications in EgoSpaces/LIME-style middleware (the systems §5.3
+//! cites for the time window) do not poll the pool; they subscribe to
+//! the contexts they care about and consume deliveries. A
+//! [`SubscriptionFilter`] selects by kind and/or subject; the middleware
+//! enqueues every *delivered* context matching the filter.
+
+use ctxres_context::{Context, ContextId, ContextKind};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Identifier of a registered subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(pub(crate) usize);
+
+/// Selects the contexts a subscription receives. `None` fields match
+/// everything (C-CUSTOM-TYPE: prefer the builder-style `of_kind` /
+/// `of_subject` helpers to raw construction).
+#[derive(Debug, Clone, Default)]
+pub struct SubscriptionFilter {
+    kinds: Option<BTreeSet<ContextKind>>,
+    subjects: Option<BTreeSet<String>>,
+}
+
+impl SubscriptionFilter {
+    /// Matches every delivered context.
+    pub fn all() -> Self {
+        SubscriptionFilter::default()
+    }
+
+    /// Restricts to one or more kinds (may be called repeatedly).
+    pub fn of_kind(mut self, kind: impl Into<ContextKind>) -> Self {
+        self.kinds.get_or_insert_with(BTreeSet::new).insert(kind.into());
+        self
+    }
+
+    /// Restricts to one or more subjects (may be called repeatedly).
+    pub fn of_subject(mut self, subject: &str) -> Self {
+        self.subjects.get_or_insert_with(BTreeSet::new).insert(subject.to_owned());
+        self
+    }
+
+    /// Whether a context passes the filter.
+    pub fn matches(&self, ctx: &Context) -> bool {
+        let kind_ok = self.kinds.as_ref().map(|k| k.contains(ctx.kind())).unwrap_or(true);
+        let subject_ok = self
+            .subjects
+            .as_ref()
+            .map(|s| s.contains(ctx.subject()))
+            .unwrap_or(true);
+        kind_ok && subject_ok
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct SubscriptionTable {
+    entries: Vec<(SubscriptionFilter, VecDeque<ContextId>)>,
+}
+
+impl SubscriptionTable {
+    pub(crate) fn new() -> Self {
+        SubscriptionTable { entries: Vec::new() }
+    }
+
+    pub(crate) fn subscribe(&mut self, filter: SubscriptionFilter) -> SubscriptionId {
+        self.entries.push((filter, VecDeque::new()));
+        SubscriptionId(self.entries.len() - 1)
+    }
+
+    pub(crate) fn offer(&mut self, id: ContextId, ctx: &Context) {
+        for (filter, queue) in &mut self.entries {
+            if filter.matches(ctx) {
+                queue.push_back(id);
+            }
+        }
+    }
+
+    pub(crate) fn drain(&mut self, sub: SubscriptionId) -> Vec<ContextId> {
+        self.entries
+            .get_mut(sub.0)
+            .map(|(_, queue)| queue.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn badge(subject: &str) -> Context {
+        Context::builder(ContextKind::new("badge"), subject).build()
+    }
+
+    #[test]
+    fn filter_combinations() {
+        let peter_badges = SubscriptionFilter::all().of_kind("badge").of_subject("peter");
+        assert!(peter_badges.matches(&badge("peter")));
+        assert!(!peter_badges.matches(&badge("mary")));
+        assert!(!peter_badges
+            .matches(&Context::builder(ContextKind::new("rfid"), "peter").build()));
+        assert!(SubscriptionFilter::all().matches(&badge("anyone")));
+    }
+
+    #[test]
+    fn table_routes_to_matching_queues() {
+        let mut table = SubscriptionTable::new();
+        let all = table.subscribe(SubscriptionFilter::all());
+        let peter = table.subscribe(SubscriptionFilter::all().of_subject("peter"));
+        table.offer(ContextId::from_raw(0), &badge("peter"));
+        table.offer(ContextId::from_raw(1), &badge("mary"));
+        assert_eq!(table.drain(all).len(), 2);
+        assert_eq!(table.drain(peter), vec![ContextId::from_raw(0)]);
+        assert!(table.drain(peter).is_empty(), "drained");
+    }
+
+    #[test]
+    fn unknown_subscription_drains_empty() {
+        let mut table = SubscriptionTable::new();
+        assert!(table.drain(SubscriptionId(9)).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the middleware: random mixed workloads
+//! through every strategy, checking accounting identities, life-cycle
+//! invariants and determinism.
+
+use ctxres_constraint::parse_constraints;
+use ctxres_context::{Context, ContextKind, LogicalTime, Point, Ticks, TruthTag};
+use ctxres_core::strategies::by_name;
+use ctxres_middleware::{Middleware, MiddlewareConfig, MiddlewareStats};
+use proptest::prelude::*;
+
+const SPEED: &str = "constraint gap1:
+    forall a: location, b: location .
+      (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)
+ constraint gap2:
+    forall a: location, b: location .
+      (same_subject(a, b) and seq_gap(a, b, 2)) implies velocity_le(a, b, 1.5)";
+
+#[derive(Debug, Clone)]
+struct Step {
+    /// Step along the walk, in 1/128 m units (|step| < 1.5 m: legal).
+    step: i8,
+    /// Teleport far away (a corrupted fix).
+    outlier: bool,
+    /// Emit an irrelevant context (different kind) instead.
+    irrelevant: bool,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (any::<i8>(), proptest::bool::weighted(0.25), proptest::bool::weighted(0.1))
+            .prop_map(|(step, outlier, irrelevant)| Step { step, outlier, irrelevant }),
+        1..50,
+    )
+}
+
+fn trace(steps: &[Step]) -> Vec<Context> {
+    let mut out = Vec::new();
+    let mut x = 0.0;
+    let mut seq = 0i64;
+    for (i, s) in steps.iter().enumerate() {
+        let stamp = LogicalTime::new(i as u64);
+        if s.irrelevant {
+            out.push(
+                Context::builder(ContextKind::new("temperature"), "room")
+                    .attr("celsius", 21.5)
+                    .stamp(stamp)
+                    .build(),
+            );
+            continue;
+        }
+        x += f64::from(s.step) / 128.0;
+        let pos = if s.outlier { Point::new(x + 60.0, 60.0) } else { Point::new(x, 0.0) };
+        out.push(
+            Context::builder(ContextKind::new("location"), "p")
+                .attr("pos", pos)
+                .attr("seq", seq)
+                .stamp(stamp)
+                .truth(if s.outlier { TruthTag::Corrupted } else { TruthTag::Expected })
+                .build(),
+        );
+        seq += 1;
+    }
+    out
+}
+
+fn run(strategy: &str, contexts: Vec<Context>, window: u64) -> MiddlewareStats {
+    let mut mw = Middleware::builder()
+        .constraints(parse_constraints(SPEED).unwrap())
+        .strategy(by_name(strategy, 5).unwrap())
+        .config(MiddlewareConfig { window: Ticks::new(window), track_ground_truth: true, retention: None })
+        .build();
+    for ctx in contexts {
+        mw.submit(ctx);
+    }
+    mw.drain();
+    // Life-cycle invariant: after draining, every stored context is
+    // decided; only never-expiring contexts exist here, so nothing can
+    // dodge its use.
+    for (id, c) in mw.pool().iter() {
+        assert!(
+            c.state().is_terminal(),
+            "{strategy}: {id} left in state {} after drain",
+            c.state()
+        );
+    }
+    // The use log matches the delivery counters.
+    let delivered_in_log = mw.use_log().iter().filter(|r| r.delivered).count() as u64;
+    assert_eq!(delivered_in_log, mw.stats().delivered);
+    *mw.stats()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accounting identities hold for every strategy on random traces.
+    #[test]
+    fn accounting_identities(steps in steps(), window in 0u64..6) {
+        for strategy in ["opt-r", "d-bad", "d-lat", "d-all", "d-rand"] {
+            let stats = run(strategy, trace(&steps), window);
+            prop_assert_eq!(stats.delivered, stats.delivered_expected + stats.delivered_corrupted);
+            prop_assert_eq!(stats.discarded, stats.discarded_expected + stats.discarded_corrupted);
+            prop_assert_eq!(stats.received, steps.len() as u64);
+            // Every context is either delivered, discarded or expired on
+            // use — and nothing is both.
+            prop_assert!(stats.delivered + stats.discarded + stats.expired_on_use <= stats.received + stats.discarded);
+        }
+    }
+
+    /// The oracle never touches expected contexts and never delivers
+    /// corrupted ones, whatever the workload.
+    #[test]
+    fn oracle_is_exact(steps in steps(), window in 0u64..6) {
+        let stats = run("opt-r", trace(&steps), window);
+        prop_assert_eq!(stats.discarded_expected, 0);
+        prop_assert_eq!(stats.delivered_corrupted, 0);
+        let corrupted = steps.iter().filter(|s| !s.irrelevant && s.outlier).count() as u64;
+        prop_assert_eq!(stats.discarded_corrupted, corrupted);
+    }
+
+    /// Clean traces sail through every strategy untouched.
+    #[test]
+    fn clean_traces_are_untouched(
+        steps in proptest::collection::vec(
+            (any::<i8>(), proptest::bool::weighted(0.1)).prop_map(|(step, irrelevant)| Step {
+                step,
+                outlier: false,
+                irrelevant,
+            }),
+            1..40,
+        ),
+        window in 0u64..6,
+    ) {
+        for strategy in ["opt-r", "d-bad", "d-lat", "d-all"] {
+            let stats = run(strategy, trace(&steps), window);
+            prop_assert_eq!(stats.discarded, 0, "{} discarded on clean trace", strategy);
+            prop_assert_eq!(stats.delivered, steps.len() as u64);
+        }
+    }
+
+    /// Same workload, same strategy, same window => identical stats.
+    #[test]
+    fn runs_are_deterministic(steps in steps(), window in 0u64..6) {
+        for strategy in ["d-bad", "d-rand"] {
+            let a = run(strategy, trace(&steps), window);
+            let b = run(strategy, trace(&steps), window);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Window zero makes drop-bad and drop-latest indistinguishable on
+    /// every random workload (§5.3).
+    #[test]
+    fn window_zero_degeneration(steps in steps()) {
+        let bad = run("d-bad", trace(&steps), 0);
+        let lat = run("d-lat", trace(&steps), 0);
+        prop_assert_eq!(bad.delivered, lat.delivered);
+        prop_assert_eq!(bad.discarded, lat.discarded);
+        prop_assert_eq!(bad.delivered_expected, lat.delivered_expected);
+    }
+}

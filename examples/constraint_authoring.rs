@@ -1,0 +1,83 @@
+//! Authoring consistency constraints: the designer's workflow the paper
+//! discusses in §5.3 ("how does one design correct consistency
+//! constraints?"), tooled end to end — write in the DSL, validate
+//! against the application's schema, simplify, dry-run against a trace.
+//!
+//! Run with `cargo run --example constraint_authoring`.
+
+use ctxres::constraint::{
+    parse_constraints, simplify, validate, AttrType, ContextSchema, Evaluator, PredicateRegistry,
+};
+use ctxres::context::{Context, ContextKind, ContextPool, LogicalTime, Point};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Declare what the application's contexts look like.
+    let mut schema = ContextSchema::new();
+    schema
+        .kind("location")
+        .attr("pos", AttrType::Point)
+        .attr("seq", AttrType::Int);
+    let registry = PredicateRegistry::with_builtins();
+
+    // 2. A first draft with a typo: `sq` instead of `seq`.
+    let draft = parse_constraints(
+        "constraint max_speed:
+           forall a: location, b: location .
+             (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)
+         constraint feasible:
+           forall a: location . within(a, 0.0, 0.0, 40.0, 30.0) and le(a.sq, 100000)",
+    )?;
+    println!("validating the draft against the schema:");
+    for violation in validate(&draft, &schema, &registry) {
+        println!("  ✗ {violation}");
+    }
+
+    // 3. Fix the typo; validation is clean.
+    let fixed = parse_constraints(
+        "constraint max_speed:
+           forall a: location, b: location .
+             (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)
+         constraint feasible:
+           forall a: location . within(a, 0.0, 0.0, 40.0, 30.0) and le(a.seq, 100000)",
+    )?;
+    assert!(validate(&fixed, &schema, &registry).is_empty());
+    println!("\nfixed draft validates cleanly");
+
+    // 4. Redundant guards fold away.
+    let verbose = ctxres::constraint::parse_formula(
+        "not not (true and (forall a: location . (false implies p(a)) and within(a, 0.0, 0.0, 40.0, 30.0)))",
+    )?;
+    println!("\nsimplify:\n  before: {verbose}");
+    println!("  after:  {}", simplify(verbose));
+
+    // 5. Dry-run the constraints against a five-fix trace (Scenario A).
+    let mut pool = ContextPool::new();
+    for (i, (x, y)) in [(0.0, 0.0), (1.0, 0.0), (2.0, 3.0), (3.0, 0.0), (4.0, 0.0)]
+        .iter()
+        .enumerate()
+    {
+        pool.insert(
+            Context::builder(ContextKind::new("location"), "peter")
+                .attr("pos", Point::new(*x, *y))
+                .attr("seq", i as i64)
+                .stamp(LogicalTime::new(i as u64))
+                .build(),
+        );
+    }
+    let evaluator = Evaluator::new(&registry);
+    println!("\ndry run against the Scenario A trace:");
+    for constraint in &fixed {
+        let outcome = evaluator.check(constraint, &pool, LogicalTime::new(9))?;
+        println!(
+            "  {}: {} ({} inconsistencies)",
+            constraint.name(),
+            if outcome.satisfied { "satisfied" } else { "VIOLATED" },
+            outcome.violations.len()
+        );
+        for link in &outcome.violations {
+            let ids: Vec<String> = link.iter().map(ToString::to_string).collect();
+            println!("    {{{}}}", ids.join(", "));
+        }
+    }
+    Ok(())
+}

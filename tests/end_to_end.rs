@@ -1,0 +1,90 @@
+//! End-to-end integration: full application workloads through the
+//! middleware, asserting the paper's qualitative results at reduced
+//! scale.
+
+use ctxres::apps::call_forwarding::CallForwarding;
+use ctxres::apps::location_tracking::LocationTracking;
+use ctxres::apps::rfid_anomalies::RfidAnomalies;
+use ctxres::apps::PervasiveApp;
+use ctxres::experiments::runner::run_named;
+
+fn used_expected_avg(app: &dyn PervasiveApp, strategy: &str, err: f64, seeds: u64) -> f64 {
+    (0..seeds)
+        .map(|s| run_named(app, strategy, err, s, 240, app.recommended_window()).used_expected)
+        .sum::<u64>() as f64
+        / seeds as f64
+}
+
+#[test]
+fn call_forwarding_strategy_ordering_holds() {
+    let app = CallForwarding::new();
+    let opt = used_expected_avg(&app, "opt-r", 0.3, 4);
+    let bad = used_expected_avg(&app, "d-bad", 0.3, 4);
+    let lat = used_expected_avg(&app, "d-lat", 0.3, 4);
+    let all = used_expected_avg(&app, "d-all", 0.3, 4);
+    assert!(opt >= bad, "opt {opt} vs bad {bad}");
+    assert!(bad > lat, "bad {bad} vs lat {lat}");
+    assert!(lat > all, "lat {lat} vs all {all}");
+}
+
+#[test]
+fn rfid_drop_bad_beats_both_baselines() {
+    let app = RfidAnomalies::new();
+    let bad = used_expected_avg(&app, "d-bad", 0.3, 4);
+    let lat = used_expected_avg(&app, "d-lat", 0.3, 4);
+    let all = used_expected_avg(&app, "d-all", 0.3, 4);
+    assert!(bad > lat, "bad {bad} vs lat {lat}");
+    assert!(bad > all, "bad {bad} vs all {all}");
+}
+
+#[test]
+fn location_tracking_case_study_rates_are_high() {
+    let app = LocationTracking::new();
+    let m = run_named(&app, "d-bad", 0.2, 11, 300, app.recommended_window());
+    assert!(m.survival > 0.9, "survival {}", m.survival);
+    assert!(m.precision > 0.6, "precision {}", m.precision);
+}
+
+#[test]
+fn oracle_never_wrong_on_any_app() {
+    for app in [
+        Box::new(CallForwarding::new()) as Box<dyn PervasiveApp>,
+        Box::new(RfidAnomalies::new()),
+        Box::new(LocationTracking::new()),
+    ] {
+        let m = run_named(app.as_ref(), "opt-r", 0.3, 5, 200, app.recommended_window());
+        assert_eq!(m.used_corrupted, 0, "{}", app.name());
+        assert_eq!(m.discarded_expected, 0, "{}", app.name());
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let app = CallForwarding::new();
+    let a = run_named(&app, "d-bad", 0.25, 17, 210, app.recommended_window());
+    let b = run_named(&app, "d-bad", 0.25, 17, 210, app.recommended_window());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn higher_error_rates_detect_more_inconsistencies() {
+    let app = CallForwarding::new();
+    let lo = run_named(&app, "d-bad", 0.1, 3, 240, app.recommended_window());
+    let hi = run_named(&app, "d-bad", 0.4, 3, 240, app.recommended_window());
+    assert!(
+        hi.inconsistencies > lo.inconsistencies,
+        "hi {} vs lo {}",
+        hi.inconsistencies,
+        lo.inconsistencies
+    );
+}
+
+#[test]
+fn drop_random_sits_between_oracle_and_drop_all() {
+    let app = CallForwarding::new();
+    let opt = used_expected_avg(&app, "opt-r", 0.3, 3);
+    let rnd = used_expected_avg(&app, "d-rand", 0.3, 3);
+    let all = used_expected_avg(&app, "d-all", 0.3, 3);
+    assert!(opt > rnd, "opt {opt} vs rand {rnd}");
+    assert!(rnd > all, "rand {rnd} vs all {all}");
+}

@@ -1,0 +1,84 @@
+//! Integration smoke tests for the library's supporting features, used
+//! through the umbrella crate the way a downstream application would.
+
+use ctxres::apps::{impact_profile, PervasiveApp};
+use ctxres::constraint::{parse_constraints, parse_formula, simplify, validate, AttrType, ContextSchema, PredicateRegistry};
+use ctxres::context::{Context, ContextKind, LogicalTime, Ticks};
+use ctxres::core::strategies::{DropBad, ImpactAwareDropBad};
+use ctxres::core::ResolutionStrategy;
+use ctxres::middleware::{EventLog, Middleware, MiddlewareConfig, SharedMiddleware, SubscriptionFilter};
+
+#[test]
+fn schema_validation_through_the_umbrella() {
+    let mut schema = ContextSchema::new();
+    schema.kind("badge").attr("room", AttrType::Text);
+    let registry = PredicateRegistry::with_builtins();
+    let good = parse_constraints("constraint ok: forall b: badge . eq(b.room, \"office\")").unwrap();
+    assert!(validate(&good, &schema, &registry).is_empty());
+    let bad = parse_constraints("constraint nope: forall b: badge . eq(b.floor, 3)").unwrap();
+    assert_eq!(validate(&bad, &schema, &registry).len(), 1);
+}
+
+#[test]
+fn simplifier_through_the_umbrella() {
+    let f = parse_formula("not not (true and (false or p()))").unwrap();
+    assert_eq!(simplify(f).to_string(), "p()");
+}
+
+#[test]
+fn explanations_journal_a_full_run() {
+    let app = ctxres::apps::call_forwarding::CallForwarding::new();
+    let strategy = DropBad::new().with_explanations();
+    // Drive manually to keep hold of the strategy.
+    let mut pool = ctxres::context::ContextPool::new();
+    let mut strategy = strategy;
+    let now = LogicalTime::ZERO;
+    let ids: Vec<_> = app
+        .generate(0.0, 1, 6)
+        .into_iter()
+        .map(|c| pool.insert(c))
+        .collect();
+    let inc = ctxres::core::Inconsistency::pair("x", ids[0], ids[3], now);
+    strategy.on_addition(&mut pool, now, ids[3], &[inc]);
+    strategy.on_use(&mut pool, now, ids[0]);
+    let log = strategy.explanations().unwrap();
+    assert!(!log.entries().is_empty());
+}
+
+#[test]
+fn impact_aware_strategy_builds_from_situations() {
+    let app = ctxres::apps::rfid_anomalies::RfidAnomalies::new();
+    let strategy = ImpactAwareDropBad::new(impact_profile(&app.situations()));
+    assert_eq!(strategy.name(), "d-bad-impact");
+    let promo = Context::builder(ContextKind::new("rfid_read"), "tag-0").build();
+    assert_eq!(strategy.profile().impact_of(&promo), 2);
+}
+
+#[test]
+fn shared_middleware_with_observer_and_subscription() {
+    let log = std::sync::Arc::new(parking_lot::Mutex::new(EventLog::new()));
+    let mw = Middleware::builder()
+        .strategy(Box::new(DropBad::new()))
+        .config(MiddlewareConfig { window: Ticks::new(0), track_ground_truth: false, retention: None })
+        .observer(Box::new(std::sync::Arc::clone(&log)))
+        .build();
+    let shared = SharedMiddleware::new(mw);
+    let feed = shared.lock().subscribe(SubscriptionFilter::all().of_kind("badge"));
+
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let pump = shared.pump_in_thread(rx);
+    for i in 0..10u64 {
+        tx.send(
+            Context::builder(ContextKind::new("badge"), "peter")
+                .attr("room", "office")
+                .stamp(LogicalTime::new(i))
+                .build(),
+        )
+        .unwrap();
+    }
+    drop(tx);
+    assert_eq!(pump.join().unwrap(), 10);
+    shared.lock().drain();
+    assert_eq!(shared.lock().poll(feed).len(), 10);
+    assert!(!log.lock().events().is_empty());
+}

@@ -1,0 +1,132 @@
+//! The paper's quotable claims, as an executable checklist. Each test
+//! cites the sentence it verifies.
+
+use ctxres::apps::call_forwarding::CallForwarding;
+use ctxres::apps::scenarios::{adjacent_constraint, refined_constraints, scenario_a, scenario_b};
+use ctxres::apps::PervasiveApp;
+use ctxres::constraint::{Evaluator, PredicateRegistry};
+use ctxres::context::{ContextId, ContextPool, LogicalTime};
+use ctxres::core::{Inconsistency, TrackedSet};
+use ctxres::experiments::runner::run_named;
+use ctxres::experiments::scenario_replay::replay;
+
+/// §2.2: "the strategy correctly discards d3 for Scenario A. However
+/// … in Scenario B … context d4 instead of d3 is discarded … the result
+/// is an incorrect resolution."
+#[test]
+fn claim_drop_latest_fails_scenario_b() {
+    assert!(replay("A", vec![adjacent_constraint()], "d-lat").is_correct());
+    let b = replay("B", vec![adjacent_constraint()], "d-lat");
+    assert_eq!(b.discarded, vec![4]);
+}
+
+/// §2.3: "the drop-all resolution strategy does not work satisfactorily
+/// … tends to discard more contexts than necessary."
+#[test]
+fn claim_drop_all_over_discards() {
+    for scenario in ["A", "B"] {
+        let out = replay(scenario, vec![adjacent_constraint()], "d-all");
+        assert!(out.discarded.len() > 1, "scenario {scenario}: {:?}", out.discarded);
+    }
+}
+
+/// §3.1: "context d3 has a count value of 2 since d3 participates in
+/// both inconsistencies" (Scenario A, adjacent constraint, Fig. 4) and
+/// "context d3 now carries the largest count value (4 and 2,
+/// respectively)" (refined constraints, Fig. 5).
+#[test]
+fn claim_count_values_match_figures_4_and_5() {
+    let registry = PredicateRegistry::with_builtins();
+    let evaluator = Evaluator::new(&registry);
+    let count_of_d3 = |trace: Vec<ctxres::context::Context>, refined: bool| {
+        let pool: ContextPool = trace.into_iter().collect();
+        let constraints = if refined { refined_constraints() } else { vec![adjacent_constraint()] };
+        let mut delta = TrackedSet::new();
+        for c in &constraints {
+            for link in evaluator.check(c, &pool, LogicalTime::new(9)).unwrap().violations {
+                delta.add(Inconsistency::new(c.name(), link, LogicalTime::new(9)));
+            }
+        }
+        delta.counts().get(ContextId::from_raw(2))
+    };
+    assert_eq!(count_of_d3(scenario_a(), false), 2); // Fig. 4 left
+    assert_eq!(count_of_d3(scenario_a(), true), 4); // Fig. 5 left
+    assert_eq!(count_of_d3(scenario_b(), true), 2); // Fig. 5 right
+}
+
+/// §3.1: "A context that participates more frequently in
+/// inconsistencies is likelier to be incorrect" — operationalized:
+/// drop-bad discards exactly d3 in both refined scenarios.
+#[test]
+fn claim_drop_bad_discards_the_frequent_participant() {
+    for scenario in ["A", "B"] {
+        assert!(replay(scenario, refined_constraints(), "d-bad").is_correct());
+    }
+}
+
+/// §4.1: "OPT-R serves as a theoretical upper bound of good strategies"
+/// — no practical strategy uses more expected contexts than the oracle.
+#[test]
+fn claim_oracle_is_an_upper_bound() {
+    let app = CallForwarding::new();
+    let w = app.recommended_window();
+    for err in [0.2, 0.4] {
+        let opt = run_named(&app, "opt-r", err, 3, 240, w).used_expected;
+        for s in ["d-bad", "d-lat", "d-all", "d-rand"] {
+            let used = run_named(&app, s, err, 3, 240, w).used_expected;
+            assert!(used <= opt, "{s} at {err}: {used} > {opt}");
+        }
+    }
+}
+
+/// §4.2: degradation grows with the error rate for the eager baselines.
+#[test]
+fn claim_eager_degradation_grows_with_error_rate() {
+    let app = CallForwarding::new();
+    let w = app.recommended_window();
+    for s in ["d-lat", "d-all"] {
+        let mut gaps = Vec::new();
+        for err in [0.1, 0.4] {
+            let mut opt = 0i64;
+            let mut got = 0i64;
+            for seed in 0..4 {
+                opt += run_named(&app, "opt-r", err, seed, 240, w).used_expected as i64;
+                got += run_named(&app, s, err, seed, 240, w).used_expected as i64;
+            }
+            gaps.push(opt - got);
+        }
+        assert!(gaps[1] > gaps[0], "{s}: gaps {gaps:?}");
+    }
+}
+
+/// §5.3: "the time window of the drop-bad strategy is trivially reduced
+/// to zero. Then the strategy would behave just as the drop-latest
+/// strategy."
+#[test]
+fn claim_window_zero_is_drop_latest() {
+    let app = CallForwarding::new();
+    for seed in 0..3 {
+        let bad = run_named(&app, "d-bad", 0.3, seed, 240, 0);
+        let lat = run_named(&app, "d-lat", 0.3, seed, 240, 0);
+        assert_eq!(bad.used_expected, lat.used_expected);
+        assert_eq!(bad.discarded, lat.discarded);
+    }
+}
+
+/// §5.3 (continued): "the effectiveness of the drop-bad resolution
+/// strategy would be no worse than those achieved by existing resolution
+/// strategies" — with its calibrated window it strictly beats them here.
+#[test]
+fn claim_drop_bad_no_worse_than_baselines() {
+    let app = CallForwarding::new();
+    let w = app.recommended_window();
+    let mut bad = 0u64;
+    let mut lat = 0u64;
+    let mut all = 0u64;
+    for seed in 0..4 {
+        bad += run_named(&app, "d-bad", 0.3, seed, 240, w).used_expected;
+        lat += run_named(&app, "d-lat", 0.3, seed, 240, w).used_expected;
+        all += run_named(&app, "d-all", 0.3, seed, 240, w).used_expected;
+    }
+    assert!(bad > lat && bad > all, "bad {bad}, lat {lat}, all {all}");
+}

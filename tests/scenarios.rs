@@ -1,0 +1,81 @@
+//! Integration tests replaying the paper's Figures 1–5 through the full
+//! stack (apps → constraint checking → middleware → strategies).
+
+use ctxres::apps::scenarios::{
+    adjacent_constraint, gap2_constraint, refined_constraints, scenario_a, scenario_b,
+};
+use ctxres::experiments::scenario_replay::replay;
+
+#[test]
+fn figure2_drop_latest_right_in_a_wrong_in_b() {
+    let a = replay("A", vec![adjacent_constraint()], "d-lat");
+    assert_eq!(a.discarded, vec![3], "Scenario A: d3 correctly discarded");
+    let b = replay("B", vec![adjacent_constraint()], "d-lat");
+    assert_eq!(b.discarded, vec![4], "Scenario B: the correct d4 is lost");
+}
+
+#[test]
+fn figure3_drop_all_overcautious_in_both() {
+    let a = replay("A", vec![adjacent_constraint()], "d-all");
+    assert!(a.discarded.contains(&2) && a.discarded.contains(&3));
+    let b = replay("B", vec![adjacent_constraint()], "d-all");
+    assert!(b.discarded.contains(&3) && b.discarded.contains(&4));
+}
+
+#[test]
+fn figure5_drop_bad_correct_in_both_scenarios() {
+    for scenario in ["A", "B"] {
+        let out = replay(scenario, refined_constraints(), "d-bad");
+        assert!(
+            out.is_correct(),
+            "scenario {scenario}: expected only d3 discarded, got {:?}",
+            out.discarded
+        );
+    }
+}
+
+#[test]
+fn figure4_drop_bad_with_adjacent_only_still_correct_in_a() {
+    // Scenario A already gives d3 count 2 with just the adjacent
+    // constraint — enough to single it out.
+    let out = replay("A", vec![adjacent_constraint()], "d-bad");
+    assert!(out.is_correct(), "got {:?}", out.discarded);
+}
+
+#[test]
+fn oracle_correct_everywhere() {
+    for scenario in ["A", "B"] {
+        for constraints in [vec![adjacent_constraint()], refined_constraints()] {
+            let out = replay(scenario, constraints, "opt-r");
+            assert!(out.is_correct());
+        }
+    }
+}
+
+#[test]
+fn gap2_constraint_alone_detects_the_long_pairs() {
+    // In Scenario A, (d1,d3) and (d3,d5) violate the gap-2 constraint.
+    use ctxres::constraint::{Evaluator, PredicateRegistry};
+    use ctxres::context::{ContextPool, LogicalTime};
+    let pool: ContextPool = scenario_a().into_iter().collect();
+    let registry = PredicateRegistry::with_builtins();
+    let outcome = Evaluator::new(&registry)
+        .check(&gap2_constraint(), &pool, LogicalTime::new(9))
+        .unwrap();
+    assert_eq!(outcome.violations.len(), 2);
+}
+
+#[test]
+fn scenario_b_trace_slips_past_the_adjacent_check_for_d2d3() {
+    use ctxres::constraint::{Evaluator, PredicateRegistry};
+    use ctxres::context::{ContextPool, LogicalTime};
+    let pool: ContextPool = scenario_b().into_iter().collect();
+    let registry = PredicateRegistry::with_builtins();
+    let outcome = Evaluator::new(&registry)
+        .check(&adjacent_constraint(), &pool, LogicalTime::new(9))
+        .unwrap();
+    // Only (d3,d4): ids 2 and 3.
+    assert_eq!(outcome.violations.len(), 1);
+    let ids: Vec<u64> = outcome.violations[0].iter().map(|i| i.raw()).collect();
+    assert_eq!(ids, vec![2, 3]);
+}
