@@ -197,7 +197,10 @@ impl PervasiveApp for CallForwarding {
     }
 
     fn generate(&self, err_rate: f64, seed: u64, len: usize) -> Vec<Context> {
-        assert!((0.0..=1.0).contains(&err_rate), "err_rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&err_rate),
+            "err_rate must be a probability"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut rooms: Vec<String> = vec!["office".into(), "corridor-a".into(), "lobby".into()];
         let mut seqs = vec![0i64; PERSONS.len()];
@@ -231,7 +234,11 @@ impl PervasiveApp for CallForwarding {
                         .floor
                         .random_far_room(&rooms[p], 2, &mut rng)
                         .unwrap_or_else(|| rooms[p].clone());
-                    let reader = if rng.gen_bool(0.5) { rooms[p].clone() } else { far.clone() };
+                    let reader = if rng.gen_bool(0.5) {
+                        rooms[p].clone()
+                    } else {
+                        far.clone()
+                    };
                     (far, reader)
                 }
             } else {
@@ -245,7 +252,11 @@ impl PervasiveApp for CallForwarding {
                     .attr("seq", seqs[p])
                     .stamp(stamp)
                     .lifespan(Lifespan::with_ttl(stamp, self.ttl))
-                    .truth(if corrupted { TruthTag::Corrupted } else { TruthTag::Expected })
+                    .truth(if corrupted {
+                        TruthTag::Corrupted
+                    } else {
+                        TruthTag::Expected
+                    })
                     .build(),
             );
             seqs[p] += 1;
@@ -267,7 +278,11 @@ mod tests {
         let eval = Evaluator::new(&reg);
         let mut links = Vec::new();
         for c in app.constraints() {
-            links.extend(eval.check(&c, &pool, LogicalTime::new(0)).unwrap().violations);
+            links.extend(
+                eval.check(&c, &pool, LogicalTime::new(0))
+                    .unwrap()
+                    .violations,
+            );
         }
         links
     }
@@ -293,8 +308,7 @@ mod tests {
             .iter()
             .flat_map(|l| l.iter().map(|id| id.raw()))
             .collect();
-        let recall =
-            corrupted.intersection(&blamed).count() as f64 / corrupted.len().max(1) as f64;
+        let recall = corrupted.intersection(&blamed).count() as f64 / corrupted.len().max(1) as f64;
         // Plausible-but-wrong sightings are sometimes genuinely
         // indistinguishable from legal moves, so recall sits well below
         // 1 by design; it must still clearly beat the error rate.
@@ -313,7 +327,10 @@ mod tests {
         let app = CallForwarding::new();
         let trace = app.generate(0.0, 1, 6);
         let subjects: Vec<&str> = trace.iter().map(|c| c.subject()).collect();
-        assert_eq!(subjects, vec!["peter", "mary", "john", "peter", "mary", "john"]);
+        assert_eq!(
+            subjects,
+            vec!["peter", "mary", "john", "peter", "mary", "john"]
+        );
     }
 
     #[test]

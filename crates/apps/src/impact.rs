@@ -33,7 +33,9 @@ pub fn impact_profile(situations: &[Constraint]) -> ImpactProfile {
 
 fn collect(f: &Formula, env: &mut Vec<(String, ContextKind)>, profile: &mut ImpactProfile) {
     match f {
-        Formula::Quant { var, kind, body, .. } => {
+        Formula::Quant {
+            var, kind, body, ..
+        } => {
             profile.watch_kind(kind.clone());
             env.push((var.clone(), kind.clone()));
             collect(body, env, profile);

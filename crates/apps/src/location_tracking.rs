@@ -99,8 +99,8 @@ impl PervasiveApp for LocationTracking {
     }
 
     fn situations(&self) -> Vec<Constraint> {
-        parse_constraints
-            ("# someone is near the entrance (bottom-left corner)
+        parse_constraints(
+            "# someone is near the entrance (bottom-left corner)
              constraint near_entrance:
                exists a: location . within(a, 0.0, 0.0, 6.0, 6.0)
              # someone reached the far meeting corner
@@ -129,7 +129,10 @@ impl PervasiveApp for LocationTracking {
     }
 
     fn generate(&self, err_rate: f64, seed: u64, len: usize) -> Vec<Context> {
-        let config = LandmarcConfig { err_rate, ..self.config.clone() };
+        let config = LandmarcConfig {
+            err_rate,
+            ..self.config.clone()
+        };
         let sim = LandmarcSim::new(config, seed);
         sim.take(len)
             .map(|fix| {
@@ -215,7 +218,11 @@ mod tests {
     #[test]
     fn five_constraints_three_situations() {
         let app = LocationTracking::new();
-        assert_eq!(app.constraints().len(), 5, "the paper deploys five constraints");
+        assert_eq!(
+            app.constraints().len(),
+            5,
+            "the paper deploys five constraints"
+        );
         assert_eq!(app.situations().len(), 3, "and three situations");
     }
 

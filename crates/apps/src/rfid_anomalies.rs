@@ -199,7 +199,10 @@ impl PervasiveApp for RfidAnomalies {
     }
 
     fn generate(&self, err_rate: f64, seed: u64, len: usize) -> Vec<Context> {
-        assert!((0.0..=1.0).contains(&err_rate), "err_rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&err_rate),
+            "err_rate must be a probability"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut zones: Vec<String> = vec![
             "shelf-1".into(),
@@ -251,7 +254,11 @@ impl PervasiveApp for RfidAnomalies {
                     .attr("seq", seqs[t])
                     .stamp(stamp)
                     .lifespan(Lifespan::with_ttl(stamp, self.ttl))
-                    .truth(if corrupted { TruthTag::Corrupted } else { TruthTag::Expected })
+                    .truth(if corrupted {
+                        TruthTag::Corrupted
+                    } else {
+                        TruthTag::Expected
+                    })
                     .build(),
             );
             seqs[t] += 1;
@@ -273,7 +280,11 @@ mod tests {
         let eval = Evaluator::new(&reg);
         let mut links = Vec::new();
         for c in app.constraints() {
-            links.extend(eval.check(&c, &pool, LogicalTime::new(0)).unwrap().violations);
+            links.extend(
+                eval.check(&c, &pool, LogicalTime::new(0))
+                    .unwrap()
+                    .violations,
+            );
         }
         links
     }
@@ -300,8 +311,7 @@ mod tests {
             .iter()
             .flat_map(|l| l.iter().map(|id| id.raw()))
             .collect();
-        let recall =
-            corrupted.intersection(&blamed).count() as f64 / corrupted.len().max(1) as f64;
+        let recall = corrupted.intersection(&blamed).count() as f64 / corrupted.len().max(1) as f64;
         // Plausible-but-wrong cross reads are sometimes genuinely
         // indistinguishable from legal moves, so recall sits well below
         // 1 by design; it must still clearly beat chance.
@@ -343,7 +353,12 @@ mod tests {
     #[test]
     fn custom_predicates_registered() {
         let reg = RfidAnomalies::new().registry();
-        for p in ["zone_adjacent", "zone_within2", "zone_within3", "zone_known"] {
+        for p in [
+            "zone_adjacent",
+            "zone_within2",
+            "zone_within3",
+            "zone_known",
+        ] {
             assert!(reg.contains(p), "{p} missing");
         }
     }

@@ -29,8 +29,14 @@ impl RoomGraph {
 
     /// Adds an undirected edge (and its endpoints).
     pub fn add_edge(&mut self, a: &str, b: &str) {
-        self.adjacency.entry(a.to_owned()).or_default().insert(b.to_owned());
-        self.adjacency.entry(b.to_owned()).or_default().insert(a.to_owned());
+        self.adjacency
+            .entry(a.to_owned())
+            .or_default()
+            .insert(b.to_owned());
+        self.adjacency
+            .entry(b.to_owned())
+            .or_default()
+            .insert(a.to_owned());
     }
 
     /// The node names, sorted.
@@ -95,12 +101,21 @@ impl RoomGraph {
     /// A uniformly random node at hop distance `>= min_hops` from
     /// `room` — the shape of a corrupted sighting (a badge cannot jump
     /// there). `None` when no such node exists.
-    pub fn random_far_room(&self, room: &str, min_hops: usize, rng: &mut impl Rng) -> Option<String> {
+    pub fn random_far_room(
+        &self,
+        room: &str,
+        min_hops: usize,
+        rng: &mut impl Rng,
+    ) -> Option<String> {
         let far: Vec<&str> = self
             .adjacency
             .keys()
             .map(String::as_str)
-            .filter(|r| self.distance(room, r).map(|d| d >= min_hops).unwrap_or(false))
+            .filter(|r| {
+                self.distance(room, r)
+                    .map(|d| d >= min_hops)
+                    .unwrap_or(false)
+            })
             .collect();
         if far.is_empty() {
             None

@@ -34,7 +34,11 @@ fn trace(points: [(f64, f64); 5]) -> Vec<Context> {
                 .attr("pos", Point::new(*x, *y))
                 .attr("seq", i as i64)
                 .stamp(LogicalTime::new(i as u64))
-                .truth(if i == 2 { TruthTag::Corrupted } else { TruthTag::Expected })
+                .truth(if i == 2 {
+                    TruthTag::Corrupted
+                } else {
+                    TruthTag::Expected
+                })
                 .build()
         })
         .collect()

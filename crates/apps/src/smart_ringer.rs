@@ -59,12 +59,48 @@ impl SmartRinger {
             ("stadium", "parking"),
         ]);
         let bands: BTreeMap<String, NoiseBand> = [
-            ("concert-hall", NoiseBand { low: 25.0, high: 55.0 }),
-            ("stadium", NoiseBand { low: 80.0, high: 110.0 }),
-            ("office", NoiseBand { low: 35.0, high: 60.0 }),
-            ("cafe", NoiseBand { low: 55.0, high: 75.0 }),
-            ("street", NoiseBand { low: 60.0, high: 85.0 }),
-            ("parking", NoiseBand { low: 45.0, high: 70.0 }),
+            (
+                "concert-hall",
+                NoiseBand {
+                    low: 25.0,
+                    high: 55.0,
+                },
+            ),
+            (
+                "stadium",
+                NoiseBand {
+                    low: 80.0,
+                    high: 110.0,
+                },
+            ),
+            (
+                "office",
+                NoiseBand {
+                    low: 35.0,
+                    high: 60.0,
+                },
+            ),
+            (
+                "cafe",
+                NoiseBand {
+                    low: 55.0,
+                    high: 75.0,
+                },
+            ),
+            (
+                "street",
+                NoiseBand {
+                    low: 60.0,
+                    high: 85.0,
+                },
+            ),
+            (
+                "parking",
+                NoiseBand {
+                    low: 45.0,
+                    high: 70.0,
+                },
+            ),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_owned(), v))
@@ -225,7 +261,10 @@ impl PervasiveApp for SmartRinger {
     }
 
     fn generate(&self, err_rate: f64, seed: u64, len: usize) -> Vec<Context> {
-        assert!((0.0..=1.0).contains(&err_rate), "err_rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&err_rate),
+            "err_rate must be a probability"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut place = "office".to_owned();
         let mut venue_seq = 0i64;
@@ -271,7 +310,11 @@ impl PervasiveApp for SmartRinger {
                         .attr("seq", venue_seq)
                         .stamp(stamp)
                         .lifespan(Lifespan::with_ttl(stamp, self.ttl))
-                        .truth(if corrupted { TruthTag::Corrupted } else { TruthTag::Expected })
+                        .truth(if corrupted {
+                            TruthTag::Corrupted
+                        } else {
+                            TruthTag::Expected
+                        })
                         .build(),
                 );
                 venue_seq += 1;
@@ -295,7 +338,11 @@ impl PervasiveApp for SmartRinger {
                         .attr("seq", noise_seq)
                         .stamp(stamp)
                         .lifespan(Lifespan::with_ttl(stamp, self.ttl))
-                        .truth(if corrupted { TruthTag::Corrupted } else { TruthTag::Expected })
+                        .truth(if corrupted {
+                            TruthTag::Corrupted
+                        } else {
+                            TruthTag::Expected
+                        })
                         .build(),
                 );
                 noise_seq += 1;
@@ -318,7 +365,11 @@ mod tests {
         let eval = Evaluator::new(&reg);
         let mut links = Vec::new();
         for c in app.constraints() {
-            links.extend(eval.check(&c, &pool, LogicalTime::new(0)).unwrap().violations);
+            links.extend(
+                eval.check(&c, &pool, LogicalTime::new(0))
+                    .unwrap()
+                    .violations,
+            );
         }
         links
     }
@@ -369,7 +420,11 @@ mod tests {
         // All channels together catch most corrupted venue fixes.
         let mut all_blamed: BTreeSet<u64> = BTreeSet::new();
         for c in app.constraints() {
-            for link in eval.check(&c, &pool, LogicalTime::new(0)).unwrap().violations {
+            for link in eval
+                .check(&c, &pool, LogicalTime::new(0))
+                .unwrap()
+                .violations
+            {
                 all_blamed.extend(link.iter().map(|id| id.raw()));
             }
         }
@@ -433,7 +488,10 @@ mod tests {
         let app = SmartRinger::new();
         let trace = app.generate(0.0, 1, 6);
         let kinds: Vec<&str> = trace.iter().map(|c| c.kind().name()).collect();
-        assert_eq!(kinds, vec!["venue", "noise", "venue", "noise", "venue", "noise"]);
+        assert_eq!(
+            kinds,
+            vec!["venue", "noise", "venue", "noise", "venue", "noise"]
+        );
     }
 
     #[test]

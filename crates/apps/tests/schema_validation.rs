@@ -18,7 +18,10 @@ fn assert_valid(app: &dyn PervasiveApp) {
         violations.is_empty(),
         "{}: {:?}",
         app.name(),
-        violations.iter().map(ToString::to_string).collect::<Vec<_>>()
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
 }
 
@@ -41,7 +44,8 @@ fn location_tracking_validates() {
 fn a_typo_would_be_caught() {
     use ctxres_constraint::parse_constraints;
     let app = CallForwarding::new();
-    let broken = parse_constraints("constraint typo: forall a: badge . eq(a.rom, \"office\")").unwrap();
+    let broken =
+        parse_constraints("constraint typo: forall a: badge . eq(a.rom, \"office\")").unwrap();
     let violations = validate(&broken, &app.schema(), &app.registry());
     assert_eq!(violations.len(), 1);
     assert!(violations[0].to_string().contains("rom"));

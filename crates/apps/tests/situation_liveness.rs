@@ -73,6 +73,10 @@ fn oracle_covers_epochs_on_clean_traces() {
         Box::new(SmartRinger::new()),
     ] {
         let (raw, matched) = activations(app.as_ref(), 0.0, 450);
-        assert!(raw > 0 && matched > 0, "{}: raw {raw} matched {matched}", app.name());
+        assert!(
+            raw > 0 && matched > 0,
+            "{}: raw {raw} matched {matched}",
+            app.name()
+        );
     }
 }

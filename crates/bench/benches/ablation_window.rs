@@ -13,9 +13,7 @@ fn window_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for window in [0u64, 3, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
-            b.iter(|| {
-                black_box(run_with(&app, Box::new(DropBad::new()), 0.3, 1, 300, w))
-            });
+            b.iter(|| black_box(run_with(&app, Box::new(DropBad::new()), 0.3, 1, 300, w)));
         });
     }
     group.finish();

@@ -7,7 +7,9 @@
 //! * the constraint DSL parser.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ctxres_constraint::{parse_constraint, parse_constraints, Evaluator, IncrementalChecker, PredicateRegistry};
+use ctxres_constraint::{
+    parse_constraint, parse_constraints, Evaluator, IncrementalChecker, PredicateRegistry,
+};
 use ctxres_context::{Context, ContextId, ContextKind, ContextPool, LogicalTime, Point};
 use ctxres_core::strategies::DropBad;
 use ctxres_core::{Inconsistency, ResolutionStrategy};
@@ -64,8 +66,16 @@ fn checking(c: &mut Criterion) {
             b.iter(|| {
                 // The incremental checker pins the new context into each
                 // quantifier of the matching kind (two here).
-                black_box(evaluator.check_pinned(&constraint, &pool, now, 0, newest).unwrap());
-                black_box(evaluator.check_pinned(&constraint, &pool, now, 1, newest).unwrap());
+                black_box(
+                    evaluator
+                        .check_pinned(&constraint, &pool, now, 0, newest)
+                        .unwrap(),
+                );
+                black_box(
+                    evaluator
+                        .check_pinned(&constraint, &pool, now, 1, newest)
+                        .unwrap(),
+                );
             });
         });
     }
@@ -138,7 +148,9 @@ fn strategy_overhead(c: &mut Criterion) {
     use ctxres_core::strategies::{by_name, DropBad};
 
     let script: Vec<ScriptStep> = (0..200usize)
-        .map(|i| ScriptStep::Add { conflicts: if i % 3 == 2 { vec![i - 1] } else { vec![] } })
+        .map(|i| ScriptStep::Add {
+            conflicts: if i % 3 == 2 { vec![i - 1] } else { vec![] },
+        })
         .chain((0..200).map(ScriptStep::Use))
         .collect();
     let mut group = c.benchmark_group("strategy_overhead");
@@ -173,5 +185,13 @@ fn parser(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, pool_ops, checking, incremental_stream, drop_bad_decisions, strategy_overhead, parser);
+criterion_group!(
+    benches,
+    pool_ops,
+    checking,
+    incremental_stream,
+    drop_bad_decisions,
+    strategy_overhead,
+    parser
+);
 criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ingestion throughput: global-mutex middleware vs the sharded engine.
+//!
+//! The workload is a many-subject location stream under the paper's
+//! speed constraint. The mutex baseline funnels everything into one
+//! engine (one pool, one checker), so every incremental check
+//! quantifies over the entire location population; the sharded engine
+//! partitions subjects across shards, shrinking each check's quantifier
+//! domain by roughly the shard count — which is why it wins even on a
+//! single core, before any parallelism.
+//!
+//! `CTXRES_BENCH_QUICK=1` shortens the measurement budget for CI smoke.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctxres_constraint::parse_constraints;
+use ctxres_context::{Context, ContextKind, LogicalTime, Point, Ticks};
+use ctxres_core::strategies::DropBad;
+use ctxres_middleware::{
+    Middleware, MiddlewareConfig, ShardPlan, ShardedMiddleware, SharedMiddleware,
+};
+
+const SPEED: &str = "constraint speed:
+    forall a: location, b: location .
+      (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+
+fn trace(subjects: usize, per_subject: usize) -> Vec<Context> {
+    let mut out = Vec::with_capacity(subjects * per_subject);
+    for seq in 0..per_subject {
+        for s in 0..subjects {
+            let x = if seq % 10 == 9 {
+                400.0
+            } else {
+                seq as f64 * 0.5
+            };
+            out.push(
+                Context::builder(ContextKind::new("location"), &format!("subj-{s:02}"))
+                    .attr("pos", Point::new(x, 0.0))
+                    .attr("seq", seq as i64)
+                    .stamp(LogicalTime::new(seq as u64))
+                    .build(),
+            );
+        }
+    }
+    out
+}
+
+fn engine() -> Middleware {
+    Middleware::builder()
+        .constraints(parse_constraints(SPEED).unwrap())
+        .strategy(Box::new(DropBad::new()))
+        .config(MiddlewareConfig {
+            window: Ticks::new(0),
+            track_ground_truth: false,
+            retention: None,
+        })
+        .build()
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let contexts = trace(16, 40);
+    let n = contexts.len() as u64;
+
+    let mut group = c.benchmark_group("shard_throughput");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+
+    group.bench_function("mutex_baseline", |b| {
+        b.iter(|| {
+            let shared = SharedMiddleware::new(engine());
+            for ctx in &contexts {
+                shared.lock().submit(ctx.clone());
+            }
+            shared.lock().drain();
+            let found = shared.lock().stats().inconsistencies;
+            found
+        })
+    });
+
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let constraints = parse_constraints(SPEED).unwrap();
+                    let plan = ShardPlan::analyze(&constraints, shards);
+                    let sharded = ShardedMiddleware::new(plan, |_| engine());
+                    sharded.batch_add(&contexts);
+                    sharded.drain();
+                    sharded.stats().inconsistencies
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion);
+criterion_main!(benches);

@@ -149,7 +149,10 @@ impl Formula {
 
     /// Builds a predicate atom.
     pub fn pred(name: &str, args: Vec<Term>) -> Formula {
-        Formula::Pred(PredicateCall { name: name.to_owned(), args })
+        Formula::Pred(PredicateCall {
+            name: name.to_owned(),
+            args,
+        })
     }
 
     /// Assigns structural quantifier ids in depth-first order, returning
@@ -252,7 +255,9 @@ impl fmt::Display for Formula {
             // Parenthesized because quantifier bodies parse greedily: a
             // bare `forall x: k . a implies b` would re-parse with the
             // implication inside the body.
-            Formula::Quant { q, var, kind, body, .. } => write!(f, "({q} {var}: {kind} . {body})"),
+            Formula::Quant {
+                q, var, kind, body, ..
+            } => write!(f, "({q} {var}: {kind} . {body})"),
             Formula::And(a, b) => write!(f, "({a} and {b})"),
             Formula::Or(a, b) => write!(f, "({a} or {b})"),
             Formula::Implies(a, b) => write!(f, "({a} implies {b})"),
@@ -275,15 +280,18 @@ mod tests {
             Formula::forall(
                 "b",
                 "location",
-                Formula::pred("same_subject", vec![Term::Var("a".into()), Term::Var("b".into())])
-                    .implies(Formula::pred(
-                        "velocity_le",
-                        vec![
-                            Term::Var("a".into()),
-                            Term::Var("b".into()),
-                            Term::Const(ContextValue::Float(1.5)),
-                        ],
-                    )),
+                Formula::pred(
+                    "same_subject",
+                    vec![Term::Var("a".into()), Term::Var("b".into())],
+                )
+                .implies(Formula::pred(
+                    "velocity_le",
+                    vec![
+                        Term::Var("a".into()),
+                        Term::Var("b".into()),
+                        Term::Const(ContextValue::Float(1.5)),
+                    ],
+                )),
             ),
         )
     }

@@ -116,7 +116,10 @@ impl ConstraintSet {
     }
 
     /// The constraints relevant to a context of `kind`.
-    pub fn relevant_to<'a>(&'a self, kind: &'a ContextKind) -> impl Iterator<Item = &'a Constraint> + 'a {
+    pub fn relevant_to<'a>(
+        &'a self,
+        kind: &'a ContextKind,
+    ) -> impl Iterator<Item = &'a Constraint> + 'a {
         self.items.iter().filter(move |c| c.is_relevant_to(kind))
     }
 
@@ -134,7 +137,9 @@ impl ConstraintSet {
 
 impl FromIterator<Constraint> for ConstraintSet {
     fn from_iter<T: IntoIterator<Item = Constraint>>(iter: T) -> Self {
-        ConstraintSet { items: iter.into_iter().collect() }
+        ConstraintSet {
+            items: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -172,10 +177,9 @@ mod tests {
 
     #[test]
     fn quantifiers_over_filters_by_kind() {
-        let c = parse_constraint(
-            "constraint v: forall a: location . forall r: rfid . distinct(a, r)",
-        )
-        .unwrap();
+        let c =
+            parse_constraint("constraint v: forall a: location . forall r: rfid . distinct(a, r)")
+                .unwrap();
         assert_eq!(c.quantifiers_over(&ContextKind::new("location")), vec![0]);
         assert_eq!(c.quantifiers_over(&ContextKind::new("rfid")), vec![1]);
     }

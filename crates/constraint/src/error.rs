@@ -18,7 +18,12 @@ pub struct ParseError {
 
 impl ParseError {
     pub(crate) fn new(message: impl Into<String>, offset: usize) -> Self {
-        ParseError { message: message.into(), offset, line: 0, column: 0 }
+        ParseError {
+            message: message.into(),
+            offset,
+            line: 0,
+            column: 0,
+        }
     }
 
     /// Fills in line/column from the original input (the parser does
@@ -34,7 +39,11 @@ impl ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line > 0 {
-            write!(f, "parse error at line {}, column {}: {}", self.line, self.column, self.message)
+            write!(
+                f,
+                "parse error at line {}, column {}: {}",
+                self.line, self.column, self.message
+            )
         } else {
             write!(f, "parse error at byte {}: {}", self.offset, self.message)
         }
@@ -80,10 +89,19 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::UnknownPredicate(name) => write!(f, "unknown predicate {name:?}"),
-            EvalError::Arity { name, expected, actual } => {
-                write!(f, "predicate {name:?} expects {expected} arguments, got {actual}")
+            EvalError::Arity {
+                name,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "predicate {name:?} expects {expected} arguments, got {actual}"
+                )
             }
-            EvalError::Type { name, detail } => write!(f, "predicate {name:?} type error: {detail}"),
+            EvalError::Type { name, detail } => {
+                write!(f, "predicate {name:?} type error: {detail}")
+            }
             EvalError::UnboundVariable(v) => write!(f, "unbound variable {v:?}"),
             EvalError::MissingAttr { var, attr } => {
                 write!(f, "context bound to {var:?} has no attribute {attr:?}")
@@ -107,7 +125,11 @@ mod tests {
 
     #[test]
     fn display_mentions_specifics() {
-        let e = EvalError::Arity { name: "eq".into(), expected: 2, actual: 3 };
+        let e = EvalError::Arity {
+            name: "eq".into(),
+            expected: 2,
+            actual: 3,
+        };
         assert!(e.to_string().contains("eq"));
         assert!(e.to_string().contains('3'));
         let p = ParseError::new("expected ident", 12);

@@ -63,7 +63,11 @@ struct Evidence {
 impl Evidence {
     fn of(truth: bool) -> Evidence {
         // Constant formulas: a single empty witness.
-        Evidence { truth, links: vec![Link::new()], truncated: false }
+        Evidence {
+            truth,
+            links: vec![Link::new()],
+            truncated: false,
+        }
     }
 }
 
@@ -102,7 +106,10 @@ impl<'r> Evaluator<'r> {
     /// Creates an evaluator using `registry` for predicate lookups,
     /// quantifying over all live contexts.
     pub fn new(registry: &'r PredicateRegistry) -> Self {
-        Evaluator { registry, domain: DomainMode::AllLive }
+        Evaluator {
+            registry,
+            domain: DomainMode::AllLive,
+        }
     }
 
     /// Creates an evaluator with an explicit quantification domain.
@@ -123,7 +130,14 @@ impl<'r> Evaluator<'r> {
         pool: &ContextPool,
         now: LogicalTime,
     ) -> Result<CheckOutcome, EvalError> {
-        let ev = self.eval(constraint.formula(), pool, now, &mut Vec::new(), None, Need::ROOT)?;
+        let ev = self.eval(
+            constraint.formula(),
+            pool,
+            now,
+            &mut Vec::new(),
+            None,
+            Need::ROOT,
+        )?;
         Ok(outcome_from(ev))
     }
 
@@ -146,7 +160,14 @@ impl<'r> Evaluator<'r> {
         ctx: ContextId,
     ) -> Result<CheckOutcome, EvalError> {
         let pin = Pin { qid, ctx };
-        let ev = self.eval(constraint.formula(), pool, now, &mut Vec::new(), Some(pin), Need::ROOT)?;
+        let ev = self.eval(
+            constraint.formula(),
+            pool,
+            now,
+            &mut Vec::new(),
+            Some(pin),
+            Need::ROOT,
+        )?;
         Ok(outcome_from(ev))
     }
 
@@ -190,9 +211,19 @@ impl<'r> Evaluator<'r> {
                     args.push(resolve_term(term, pool, env, &mut witness)?);
                 }
                 let truth = self.registry.eval(&call.name, &args)?;
-                Ok(Evidence { truth, links: vec![witness], truncated: false })
+                Ok(Evidence {
+                    truth,
+                    links: vec![witness],
+                    truncated: false,
+                })
             }
-            Formula::Quant { q, var, kind, qid, body } => {
+            Formula::Quant {
+                q,
+                var,
+                kind,
+                qid,
+                body,
+            } => {
                 let domain: Vec<ContextId> = match pin {
                     Some(p) if p.qid == *qid => vec![p.ctx],
                     _ => pool
@@ -235,21 +266,35 @@ struct Need {
 }
 
 impl Need {
-    const ROOT: Need = Need { when_true: false, when_false: true };
+    const ROOT: Need = Need {
+        when_true: false,
+        when_false: true,
+    };
 
     fn flip(self) -> Need {
-        Need { when_true: self.when_false, when_false: self.when_true }
+        Need {
+            when_true: self.when_false,
+            when_false: self.when_true,
+        }
     }
 }
 
 fn outcome_from(ev: Evidence) -> CheckOutcome {
     if ev.truth {
-        CheckOutcome { satisfied: true, violations: Vec::new(), truncated: ev.truncated }
+        CheckOutcome {
+            satisfied: true,
+            violations: Vec::new(),
+            truncated: ev.truncated,
+        }
     } else {
         let mut violations = ev.links;
         violations.retain(|l| !l.is_empty());
         dedup_links(&mut violations);
-        CheckOutcome { satisfied: false, violations, truncated: ev.truncated }
+        CheckOutcome {
+            satisfied: false,
+            violations,
+            truncated: ev.truncated,
+        }
     }
 }
 
@@ -264,17 +309,24 @@ fn resolve_term<'a>(
         Term::Var(name) => {
             let id = lookup(env, name)?;
             witness.insert(id);
-            let ctx = pool.get(id).ok_or_else(|| EvalError::UnboundVariable(name.clone()))?;
+            let ctx = pool
+                .get(id)
+                .ok_or_else(|| EvalError::UnboundVariable(name.clone()))?;
             Ok(Resolved::Ctx(id, ctx))
         }
         Term::Attr(name, attr) => {
             let id = lookup(env, name)?;
             witness.insert(id);
-            let ctx = pool.get(id).ok_or_else(|| EvalError::UnboundVariable(name.clone()))?;
+            let ctx = pool
+                .get(id)
+                .ok_or_else(|| EvalError::UnboundVariable(name.clone()))?;
             let value = ctx
                 .attr(attr)
                 .cloned()
-                .ok_or_else(|| EvalError::MissingAttr { var: name.clone(), attr: attr.clone() })?;
+                .ok_or_else(|| EvalError::MissingAttr {
+                    var: name.clone(),
+                    attr: attr.clone(),
+                })?;
             Ok(Resolved::Value(value))
         }
     }
@@ -330,7 +382,11 @@ fn fold_forall(per_binding: Vec<Evidence>, need: Need) -> Evidence {
             links.truncate(MAX_LINKS);
             truncated = true;
         }
-        Evidence { truth: false, links, truncated }
+        Evidence {
+            truth: false,
+            links,
+            truncated,
+        }
     }
 }
 
@@ -351,7 +407,11 @@ fn fold_exists(per_binding: Vec<Evidence>, need: Need) -> Evidence {
             links.truncate(MAX_LINKS);
             truncated = true;
         }
-        Evidence { truth: true, links, truncated }
+        Evidence {
+            truth: true,
+            links,
+            truncated,
+        }
     } else {
         if !need.when_false {
             return Evidence::of(false);
@@ -378,7 +438,11 @@ fn cross(a: Evidence, b: Evidence, truth: bool) -> Evidence {
         }
     }
     dedup_links(&mut links);
-    Evidence { truth, links, truncated }
+    Evidence {
+        truth,
+        links,
+        truncated,
+    }
 }
 
 fn union(a: Evidence, b: Evidence, truth: bool) -> Evidence {
@@ -390,7 +454,11 @@ fn union(a: Evidence, b: Evidence, truth: bool) -> Evidence {
         links.truncate(MAX_LINKS);
         truncated = true;
     }
-    Evidence { truth, links, truncated }
+    Evidence {
+        truth,
+        links,
+        truncated,
+    }
 }
 
 fn dedup_links(links: &mut Vec<Link>) {
@@ -478,7 +546,8 @@ mod tests {
     #[test]
     fn discarded_contexts_leave_the_domain() {
         let mut pool = loc_pool(&[(0.0, 0.0), (9.0, 9.0), (1.0, 0.0)]);
-        pool.set_state(ContextId::from_raw(1), ContextState::Inconsistent).unwrap();
+        pool.set_state(ContextId::from_raw(1), ContextState::Inconsistent)
+            .unwrap();
         let reg = registry();
         let out = Evaluator::new(&reg)
             .check(&speed_constraint(1, 1.5), &pool, LogicalTime::new(10))
@@ -514,7 +583,9 @@ mod tests {
             "constraint feasible: forall a: location . within(a, -10.0, -10.0, 10.0, 10.0)",
         )
         .unwrap();
-        let out = Evaluator::new(&reg).check(&c, &pool, LogicalTime::new(10)).unwrap();
+        let out = Evaluator::new(&reg)
+            .check(&c, &pool, LogicalTime::new(10))
+            .unwrap();
         assert_eq!(out.violations.len(), 1);
         assert_eq!(out.violations[0].len(), 1);
         assert!(out.violations[0].contains(&ContextId::from_raw(1)));
@@ -524,11 +595,12 @@ mod tests {
     fn exists_detects_absence() {
         let pool = loc_pool(&[(0.0, 0.0)]);
         let reg = registry();
-        let c = parse_constraint(
-            "constraint has_mary: exists a: location . subject_eq(a, \"mary\")",
-        )
-        .unwrap();
-        let out = Evaluator::new(&reg).check(&c, &pool, LogicalTime::new(10)).unwrap();
+        let c =
+            parse_constraint("constraint has_mary: exists a: location . subject_eq(a, \"mary\")")
+                .unwrap();
+        let out = Evaluator::new(&reg)
+            .check(&c, &pool, LogicalTime::new(10))
+            .unwrap();
         assert!(!out.satisfied);
         // Violation evidence: the whole (singleton) domain.
         assert_eq!(out.violations.len(), 1);
@@ -539,7 +611,9 @@ mod tests {
         let pool = ContextPool::new();
         let reg = registry();
         let c = parse_constraint("constraint v: forall a: location . false").unwrap();
-        let out = Evaluator::new(&reg).check(&c, &pool, LogicalTime::new(0)).unwrap();
+        let out = Evaluator::new(&reg)
+            .check(&c, &pool, LogicalTime::new(0))
+            .unwrap();
         assert!(out.satisfied);
     }
 
@@ -548,7 +622,9 @@ mod tests {
         let pool = ContextPool::new();
         let reg = registry();
         let c = parse_constraint("constraint v: exists a: location . true").unwrap();
-        let out = Evaluator::new(&reg).check(&c, &pool, LogicalTime::new(0)).unwrap();
+        let out = Evaluator::new(&reg)
+            .check(&c, &pool, LogicalTime::new(0))
+            .unwrap();
         assert!(!out.satisfied);
         assert!(out.violations.is_empty(), "no contexts to blame");
     }
@@ -563,11 +639,11 @@ mod tests {
                 .build(),
         );
         let reg = registry();
-        let c = parse_constraint(
-            "constraint in_office: forall a: badge . eq(a.room, \"lab\")",
-        )
-        .unwrap();
-        let out = Evaluator::new(&reg).check(&c, &pool, LogicalTime::new(1)).unwrap();
+        let c = parse_constraint("constraint in_office: forall a: badge . eq(a.room, \"lab\")")
+            .unwrap();
+        let out = Evaluator::new(&reg)
+            .check(&c, &pool, LogicalTime::new(1))
+            .unwrap();
         assert_eq!(out.violations, vec![Link::from([ContextId::from_raw(0)])]);
     }
 
@@ -577,7 +653,9 @@ mod tests {
         pool.insert(Context::builder(ContextKind::new("badge"), "p").build());
         let reg = registry();
         let c = parse_constraint("constraint x: forall a: badge . eq(a.room, \"lab\")").unwrap();
-        let err = Evaluator::new(&reg).check(&c, &pool, LogicalTime::new(1)).unwrap_err();
+        let err = Evaluator::new(&reg)
+            .check(&c, &pool, LogicalTime::new(1))
+            .unwrap_err();
         assert!(matches!(err, EvalError::MissingAttr { .. }));
     }
 
@@ -617,7 +695,8 @@ mod tests {
         // Context is Undecided: invisible to the application view.
         let out = avail.check(&c, &pool, LogicalTime::new(1)).unwrap();
         assert!(out.satisfied);
-        pool.set_state(ContextId::from_raw(0), ContextState::Consistent).unwrap();
+        pool.set_state(ContextId::from_raw(0), ContextState::Consistent)
+            .unwrap();
         let out = avail.check(&c, &pool, LogicalTime::new(1)).unwrap();
         assert!(!out.satisfied);
     }
@@ -630,7 +709,9 @@ mod tests {
             "constraint out: forall a: location . not within(a, 0.0, 0.0, 10.0, 10.0)",
         )
         .unwrap();
-        let out = Evaluator::new(&reg).check(&c, &pool, LogicalTime::new(1)).unwrap();
+        let out = Evaluator::new(&reg)
+            .check(&c, &pool, LogicalTime::new(1))
+            .unwrap();
         assert!(out.satisfied);
     }
 }

@@ -68,7 +68,11 @@ pub struct IncrementalChecker {
 impl IncrementalChecker {
     /// Creates a checker for the given constraints.
     pub fn new(constraints: ConstraintSet) -> Self {
-        IncrementalChecker { constraints, known: HashMap::new(), stats: CheckerStats::default() }
+        IncrementalChecker {
+            constraints,
+            known: HashMap::new(),
+            stats: CheckerStats::default(),
+        }
     }
 
     /// The deployed constraints.
@@ -116,7 +120,11 @@ impl IncrementalChecker {
             .map(|c| c.name().to_owned())
             .collect();
         for name in relevant {
-            let constraint = self.constraints.get(&name).expect("constraint exists").clone();
+            let constraint = self
+                .constraints
+                .get(&name)
+                .expect("constraint exists")
+                .clone();
             if constraint.is_universal_positive() {
                 let mut links: BTreeSet<Link> = BTreeSet::new();
                 for qid in constraint.quantifiers_over(&kind) {
@@ -125,7 +133,10 @@ impl IncrementalChecker {
                     links.extend(outcome.violations);
                 }
                 for link in links {
-                    out.push(Detection { constraint: name.clone(), link });
+                    out.push(Detection {
+                        constraint: name.clone(),
+                        link,
+                    });
                 }
             } else {
                 self.stats.full_evals += 1;
@@ -139,7 +150,10 @@ impl IncrementalChecker {
                     .collect();
                 *seen = outcome.violations.into_iter().collect();
                 for link in fresh {
-                    out.push(Detection { constraint: name.clone(), link });
+                    out.push(Detection {
+                        constraint: name.clone(),
+                        link,
+                    });
                 }
             }
         }
@@ -165,7 +179,10 @@ impl IncrementalChecker {
             self.stats.full_evals += 1;
             let outcome = evaluator.check(constraint, pool, now)?;
             for link in outcome.violations {
-                out.push(Detection { constraint: constraint.name().to_owned(), link });
+                out.push(Detection {
+                    constraint: constraint.name().to_owned(),
+                    link,
+                });
             }
         }
         Ok(out)
@@ -202,9 +219,15 @@ mod tests {
         let reg = PredicateRegistry::with_builtins();
         let mut pool = ContextPool::new();
         let a = add_loc(&mut pool, "p", 0, 0.0, 0.0);
-        assert!(ch.on_added(&reg, &pool, LogicalTime::new(0), a).unwrap().is_empty());
+        assert!(ch
+            .on_added(&reg, &pool, LogicalTime::new(0), a)
+            .unwrap()
+            .is_empty());
         let b = add_loc(&mut pool, "p", 1, 0.5, 0.0);
-        assert!(ch.on_added(&reg, &pool, LogicalTime::new(1), b).unwrap().is_empty());
+        assert!(ch
+            .on_added(&reg, &pool, LogicalTime::new(1), b)
+            .unwrap()
+            .is_empty());
         let c = add_loc(&mut pool, "p", 2, 9.0, 9.0);
         let found = ch.on_added(&reg, &pool, LogicalTime::new(2), c).unwrap();
         assert_eq!(found.len(), 1);
@@ -219,7 +242,10 @@ mod tests {
         let mut pool = ContextPool::new();
         let id = pool.insert(Context::builder(ContextKind::new("rfid"), "tag").build());
         assert!(!ch.is_relevant(&ContextKind::new("rfid")));
-        assert!(ch.on_added(&reg, &pool, LogicalTime::new(0), id).unwrap().is_empty());
+        assert!(ch
+            .on_added(&reg, &pool, LogicalTime::new(0), id)
+            .unwrap()
+            .is_empty());
         assert_eq!(ch.stats().pinned_evals, 0);
     }
 
@@ -282,7 +308,9 @@ mod tests {
                 .attr("seq", 2i64)
                 .build(),
         );
-        let found = ch.on_added(&reg, &pool, LogicalTime::new(2), anchor).unwrap();
+        let found = ch
+            .on_added(&reg, &pool, LogicalTime::new(2), anchor)
+            .unwrap();
         assert!(found.is_empty());
     }
 
@@ -306,9 +334,15 @@ mod tests {
         let reg = PredicateRegistry::with_builtins();
         let mut pool = ContextPool::new();
         let mut incremental: BTreeSet<Link> = BTreeSet::new();
-        for (i, (x, y)) in [(0.0, 0.0), (9.0, 9.0), (0.5, 0.0), (1.0, 0.0)].iter().enumerate() {
+        for (i, (x, y)) in [(0.0, 0.0), (9.0, 9.0), (0.5, 0.0), (1.0, 0.0)]
+            .iter()
+            .enumerate()
+        {
             let id = add_loc(&mut pool, "p", i as i64, *x, *y);
-            for d in ch.on_added(&reg, &pool, LogicalTime::new(i as u64), id).unwrap() {
+            for d in ch
+                .on_added(&reg, &pool, LogicalTime::new(i as u64), id)
+                .unwrap()
+            {
                 incremental.insert(d.link);
             }
         }

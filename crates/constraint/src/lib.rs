@@ -67,8 +67,11 @@ pub use ast::{Formula, PredicateCall, Quantifier, Term};
 pub use constraint::{Constraint, ConstraintSet};
 pub use error::{EvalError, ParseError};
 pub use eval::{CheckOutcome, DomainMode, Evaluator, Link, MAX_LINKS};
-pub use incremental::{Detection, IncrementalChecker};
+pub use incremental::{CheckerStats, Detection, IncrementalChecker};
 pub use parser::{parse_constraint, parse_constraints, parse_formula};
 pub use predicate::{PredicateRegistry, Resolved};
-pub use schema::{validate, AttrType, ContextSchema, KindSchema, SchemaViolation};
+pub use schema::{
+    constraint_scope, global_kinds, validate, AttrType, ConstraintScope, ContextSchema, KindSchema,
+    SchemaViolation,
+};
 pub use simplify::simplify;

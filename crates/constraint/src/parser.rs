@@ -119,7 +119,10 @@ struct Parser {
 
 impl Parser {
     fn new(input: &str) -> Result<Self, ParseError> {
-        Ok(Parser { toks: lex(input)?, pos: 0 })
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &Tok {
@@ -159,7 +162,11 @@ impl Parser {
             Ok(())
         } else {
             Err(ParseError::new(
-                format!("expected {}, found {}", want.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    want.describe(),
+                    self.peek().describe()
+                ),
                 self.offset(),
             ))
         }
@@ -424,24 +431,21 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     }
                 }
                 let text = &input[start..i];
-                let value = if is_float {
-                    ContextValue::Float(
-                        text.parse::<f64>()
-                            .map_err(|e| ParseError::new(format!("bad number {text:?}: {e}"), start))?,
-                    )
-                } else {
-                    ContextValue::Int(
-                        text.parse::<i64>()
-                            .map_err(|e| ParseError::new(format!("bad number {text:?}: {e}"), start))?,
-                    )
-                };
+                let value =
+                    if is_float {
+                        ContextValue::Float(text.parse::<f64>().map_err(|e| {
+                            ParseError::new(format!("bad number {text:?}: {e}"), start)
+                        })?)
+                    } else {
+                        ContextValue::Int(text.parse::<i64>().map_err(|e| {
+                            ParseError::new(format!("bad number {text:?}: {e}"), start)
+                        })?)
+                    };
                 toks.push((Tok::Number(value), start));
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 toks.push((Tok::Ident(input[start..i].to_owned()), start));
@@ -507,23 +511,26 @@ mod tests {
     #[test]
     fn terms_parse_all_shapes() {
         let f = parse_formula("p(a, a.room, 1, -2.5, \"office\", true, false)").unwrap();
-        let Formula::Pred(call) = f else { panic!("expected pred") };
+        let Formula::Pred(call) = f else {
+            panic!("expected pred")
+        };
         assert_eq!(call.args.len(), 7);
         assert_eq!(call.args[0], Term::Var("a".into()));
         assert_eq!(call.args[1], Term::Attr("a".into(), "room".into()));
         assert_eq!(call.args[2], Term::Const(ContextValue::Int(1)));
         assert_eq!(call.args[3], Term::Const(ContextValue::Float(-2.5)));
-        assert_eq!(call.args[4], Term::Const(ContextValue::Text("office".into())));
+        assert_eq!(
+            call.args[4],
+            Term::Const(ContextValue::Text("office".into()))
+        );
         assert_eq!(call.args[5], Term::Const(ContextValue::Bool(true)));
         assert_eq!(call.args[6], Term::Const(ContextValue::Bool(false)));
     }
 
     #[test]
     fn comments_are_skipped() {
-        let c = parse_constraint(
-            "# a comment\nconstraint c: # trailing\n forall a: k . true",
-        )
-        .unwrap();
+        let c =
+            parse_constraint("# a comment\nconstraint c: # trailing\n forall a: k . true").unwrap();
         assert_eq!(c.name(), "c");
     }
 

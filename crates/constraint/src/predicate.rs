@@ -77,7 +77,9 @@ impl fmt::Debug for PredicateRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&str> = self.entries.keys().map(String::as_str).collect();
         names.sort_unstable();
-        f.debug_struct("PredicateRegistry").field("predicates", &names).finish()
+        f.debug_struct("PredicateRegistry")
+            .field("predicates", &names)
+            .finish()
     }
 }
 
@@ -205,11 +207,22 @@ impl PredicateRegistry {
         arity: usize,
         func: impl Fn(&[Resolved<'_>]) -> Result<bool, EvalError> + Send + Sync + 'static,
     ) -> &mut Self {
-        self.entries.insert(name.to_owned(), Entry { arity, func: Box::new(func) });
+        self.entries.insert(
+            name.to_owned(),
+            Entry {
+                arity,
+                func: Box::new(func),
+            },
+        );
         self
     }
 
-    fn register_comparison(&mut self, name: &'static str, accept: fn(Ordering) -> bool, negate: bool) {
+    fn register_comparison(
+        &mut self,
+        name: &'static str,
+        accept: fn(Ordering) -> bool,
+        negate: bool,
+    ) {
         self.register(name, 2, move |args| {
             let a = value_arg(name, args, 0)?;
             let b = value_arg(name, args, 1)?;
@@ -251,14 +264,22 @@ impl PredicateRegistry {
     }
 }
 
-fn ctx_arg<'a>(name: &str, args: &[Resolved<'a>], i: usize) -> Result<(&'a Context, ContextId), EvalError> {
+fn ctx_arg<'a>(
+    name: &str,
+    args: &[Resolved<'a>],
+    i: usize,
+) -> Result<(&'a Context, ContextId), EvalError> {
     args[i].ctx().ok_or_else(|| EvalError::Type {
         name: name.to_owned(),
         detail: format!("argument {i} must be a context variable"),
     })
 }
 
-fn value_arg<'r, 'a>(name: &str, args: &'r [Resolved<'a>], i: usize) -> Result<&'r ContextValue, EvalError> {
+fn value_arg<'r, 'a>(
+    name: &str,
+    args: &'r [Resolved<'a>],
+    i: usize,
+) -> Result<&'r ContextValue, EvalError> {
     args[i].value().ok_or_else(|| EvalError::Type {
         name: name.to_owned(),
         detail: format!("argument {i} must be a value, not a bare context"),
@@ -266,17 +287,21 @@ fn value_arg<'r, 'a>(name: &str, args: &'r [Resolved<'a>], i: usize) -> Result<&
 }
 
 fn num_arg(name: &str, args: &[Resolved<'_>], i: usize) -> Result<f64, EvalError> {
-    value_arg(name, args, i)?.as_f64().ok_or_else(|| EvalError::Type {
-        name: name.to_owned(),
-        detail: format!("argument {i} must be numeric"),
-    })
+    value_arg(name, args, i)?
+        .as_f64()
+        .ok_or_else(|| EvalError::Type {
+            name: name.to_owned(),
+            detail: format!("argument {i} must be numeric"),
+        })
 }
 
 fn text_arg<'r>(name: &str, args: &'r [Resolved<'_>], i: usize) -> Result<&'r str, EvalError> {
-    value_arg(name, args, i)?.as_text().ok_or_else(|| EvalError::Type {
-        name: name.to_owned(),
-        detail: format!("argument {i} must be text"),
-    })
+    value_arg(name, args, i)?
+        .as_text()
+        .ok_or_else(|| EvalError::Type {
+            name: name.to_owned(),
+            detail: format!("argument {i} must be text"),
+        })
 }
 
 fn pos_of(name: &str, args: &[Resolved<'_>], i: usize) -> Result<Point, EvalError> {
@@ -351,8 +376,12 @@ mod tests {
         let reg = PredicateRegistry::with_builtins();
         let a = loc("p", 0, 0, 0.0, 0.0);
         let b = loc("p", 1, 2, 2.0, 0.0); // 2 m over 2 ticks = 1 m/tick
-        assert!(reg.eval("velocity_le", &[rc(&a, 0), rc(&b, 1), v(1.0)]).unwrap());
-        assert!(!reg.eval("velocity_le", &[rc(&a, 0), rc(&b, 1), v(0.5)]).unwrap());
+        assert!(reg
+            .eval("velocity_le", &[rc(&a, 0), rc(&b, 1), v(1.0)])
+            .unwrap());
+        assert!(!reg
+            .eval("velocity_le", &[rc(&a, 0), rc(&b, 1), v(0.5)])
+            .unwrap());
     }
 
     #[test]
@@ -361,8 +390,12 @@ mod tests {
         let a = loc("p", 0, 5, 0.0, 0.0);
         let b = loc("p", 1, 5, 1.0, 0.0);
         let c = loc("p", 2, 5, 0.0, 0.0);
-        assert!(!reg.eval("velocity_le", &[rc(&a, 0), rc(&b, 1), v(100.0)]).unwrap());
-        assert!(reg.eval("velocity_le", &[rc(&a, 0), rc(&c, 2), v(0.1)]).unwrap());
+        assert!(!reg
+            .eval("velocity_le", &[rc(&a, 0), rc(&b, 1), v(100.0)])
+            .unwrap());
+        assert!(reg
+            .eval("velocity_le", &[rc(&a, 0), rc(&c, 2), v(0.1)])
+            .unwrap());
     }
 
     #[test]
@@ -370,10 +403,18 @@ mod tests {
         let reg = PredicateRegistry::with_builtins();
         let a = loc("p", 3, 0, 0.0, 0.0);
         let b = loc("p", 5, 1, 0.0, 0.0);
-        assert!(reg.eval("seq_gap", &[rc(&a, 0), rc(&b, 1), v(2i64)]).unwrap());
-        assert!(!reg.eval("seq_gap", &[rc(&a, 0), rc(&b, 1), v(1i64)]).unwrap());
-        assert!(reg.eval("seq_gap_le", &[rc(&a, 0), rc(&b, 1), v(2i64)]).unwrap());
-        assert!(!reg.eval("seq_gap_le", &[rc(&b, 1), rc(&a, 0), v(2i64)]).unwrap());
+        assert!(reg
+            .eval("seq_gap", &[rc(&a, 0), rc(&b, 1), v(2i64)])
+            .unwrap());
+        assert!(!reg
+            .eval("seq_gap", &[rc(&a, 0), rc(&b, 1), v(1i64)])
+            .unwrap());
+        assert!(reg
+            .eval("seq_gap_le", &[rc(&a, 0), rc(&b, 1), v(2i64)])
+            .unwrap());
+        assert!(!reg
+            .eval("seq_gap_le", &[rc(&b, 1), rc(&a, 0), v(2i64)])
+            .unwrap());
     }
 
     #[test]
@@ -393,8 +434,12 @@ mod tests {
         let reg = PredicateRegistry::with_builtins();
         let a = loc("p", 0, 0, 0.0, 0.0);
         let b = loc("p", 1, 1, 3.0, 4.0);
-        assert!(reg.eval("dist_le", &[rc(&a, 0), rc(&b, 1), v(5.0)]).unwrap());
-        assert!(!reg.eval("dist_le", &[rc(&a, 0), rc(&b, 1), v(4.9)]).unwrap());
+        assert!(reg
+            .eval("dist_le", &[rc(&a, 0), rc(&b, 1), v(5.0)])
+            .unwrap());
+        assert!(!reg
+            .eval("dist_le", &[rc(&a, 0), rc(&b, 1), v(4.9)])
+            .unwrap());
     }
 
     #[test]
@@ -404,7 +449,9 @@ mod tests {
         assert!(reg.eval("subject_eq", &[rc(&a, 0), v("peter")]).unwrap());
         assert!(!reg.eval("subject_eq", &[rc(&a, 0), v("mary")]).unwrap());
         assert!(reg.eval("has_attr", &[rc(&a, 0), v("pos")]).unwrap());
-        assert!(!reg.eval("has_attr", &[rc(&a, 0), v("temperature")]).unwrap());
+        assert!(!reg
+            .eval("has_attr", &[rc(&a, 0), v("temperature")])
+            .unwrap());
     }
 
     #[test]
@@ -416,7 +463,11 @@ mod tests {
         ));
         assert!(matches!(
             reg.eval("eq", &[v(1i64)]).unwrap_err(),
-            EvalError::Arity { expected: 2, actual: 1, .. }
+            EvalError::Arity {
+                expected: 2,
+                actual: 1,
+                ..
+            }
         ));
     }
 
@@ -449,8 +500,14 @@ mod tests {
         let reg = PredicateRegistry::with_builtins();
         let a = loc("p", 0, 1, 0.0, 0.0);
         let b = loc("p", 1, 4, 0.0, 0.0);
-        assert!(reg.eval("time_gap_le", &[rc(&a, 0), rc(&b, 1), v(3i64)]).unwrap());
-        assert!(reg.eval("time_gap_le", &[rc(&b, 1), rc(&a, 0), v(3i64)]).unwrap());
-        assert!(!reg.eval("time_gap_le", &[rc(&a, 0), rc(&b, 1), v(2i64)]).unwrap());
+        assert!(reg
+            .eval("time_gap_le", &[rc(&a, 0), rc(&b, 1), v(3i64)])
+            .unwrap());
+        assert!(reg
+            .eval("time_gap_le", &[rc(&b, 1), rc(&a, 0), v(3i64)])
+            .unwrap());
+        assert!(!reg
+            .eval("time_gap_le", &[rc(&a, 0), rc(&b, 1), v(2i64)])
+            .unwrap());
     }
 }

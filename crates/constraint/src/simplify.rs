@@ -58,14 +58,26 @@ fn pass(f: Formula) -> Formula {
             (x, Formula::False) => pass(x.not()),
             (x, y) => x.implies(y),
         },
-        Formula::Quant { q, var, kind, qid, body } => match (q, pass(*body)) {
+        Formula::Quant {
+            q,
+            var,
+            kind,
+            qid,
+            body,
+        } => match (q, pass(*body)) {
             // Vacuous: true under every binding, including none.
             (Quantifier::Forall, Formula::True) => Formula::True,
             // Unsatisfiable under every binding, including none.
             (Quantifier::Exists, Formula::False) => Formula::False,
             // `forall x . false` is true on an empty domain and
             // `exists x . true` is false on one: both must stay.
-            (q, body) => Formula::Quant { q, var, kind, qid, body: Box::new(body) },
+            (q, body) => Formula::Quant {
+                q,
+                var,
+                kind,
+                qid,
+                body: Box::new(body),
+            },
         },
         leaf @ (Formula::Pred(_) | Formula::True | Formula::False) => leaf,
     }

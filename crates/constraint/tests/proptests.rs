@@ -6,8 +6,8 @@
 //! * evaluation is deterministic.
 
 use ctxres_constraint::{
-    parse_constraints, parse_formula, simplify, Constraint, Evaluator, Formula,
-    IncrementalChecker, Link, PredicateRegistry, Quantifier, Term,
+    parse_constraints, parse_formula, simplify, Constraint, Evaluator, Formula, IncrementalChecker,
+    Link, PredicateRegistry, Quantifier, Term,
 };
 use ctxres_context::{Context, ContextKind, ContextPool, ContextValue, LogicalTime, Point};
 use proptest::prelude::*;
@@ -17,7 +17,15 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "forall" | "exists" | "and" | "or" | "implies" | "not" | "true" | "false" | "constraint"
+            "forall"
+                | "exists"
+                | "and"
+                | "or"
+                | "implies"
+                | "not"
+                | "true"
+                | "false"
+                | "constraint"
         )
     })
 }
@@ -47,9 +55,16 @@ fn formula() -> impl Strategy<Value = Formula> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
             inner.clone().prop_map(Formula::not),
-            (ident(), ident(), inner.clone())
-                .prop_map(|(v, k, body)| Formula::forall(&v, k.as_str(), body)),
-            (ident(), ident(), inner).prop_map(|(v, k, body)| Formula::exists(&v, k.as_str(), body)),
+            (ident(), ident(), inner.clone()).prop_map(|(v, k, body)| Formula::forall(
+                &v,
+                k.as_str(),
+                body
+            )),
+            (ident(), ident(), inner).prop_map(|(v, k, body)| Formula::exists(
+                &v,
+                k.as_str(),
+                body
+            )),
         ]
     })
 }
@@ -143,7 +158,11 @@ fn walk_pool(positions: &[(i8, bool)]) -> ContextPool {
     let mut x = 0.0;
     for (i, (step, outlier)) in positions.iter().enumerate() {
         x += f64::from(*step) / 128.0; // |step| < 1: always legal
-        let pos = if *outlier { Point::new(x + 50.0, 50.0) } else { Point::new(x, 0.0) };
+        let pos = if *outlier {
+            Point::new(x + 50.0, 50.0)
+        } else {
+            Point::new(x, 0.0)
+        };
         pool.insert(
             Context::builder(ContextKind::new("location"), "p")
                 .attr("pos", pos)

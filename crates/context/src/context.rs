@@ -82,7 +82,9 @@ impl<'de> Deserialize<'de> for ContextKind {
 
 /// Identifier of the context source that produced a context (a sensor, an
 /// RFID reader, a reasoning program).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SourceId(pub u32);
 
 impl fmt::Display for SourceId {
@@ -240,7 +242,11 @@ impl Context {
 
 impl fmt::Display for Context {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}]@{} ({})", self.kind, self.subject, self.stamp, self.state)
+        write!(
+            f,
+            "{}[{}]@{} ({})",
+            self.kind, self.subject, self.stamp, self.state
+        )
     }
 }
 

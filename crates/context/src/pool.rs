@@ -103,7 +103,10 @@ impl ContextPool {
     /// Live means: not discarded (`Inconsistent`). Constraints quantify
     /// over this view. Expired contexts are skipped by
     /// [`ContextPool::of_kind_live_at`]; this method ignores expiry.
-    pub fn of_kind<'a>(&'a self, kind: &ContextKind) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
+    pub fn of_kind<'a>(
+        &'a self,
+        kind: &ContextKind,
+    ) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
         self.by_kind
             .get(kind)
             .into_iter()
@@ -142,7 +145,10 @@ impl ContextPool {
 
     /// Iterates over the contexts currently *available* to applications
     /// (`Consistent` and unexpired).
-    pub fn available_at<'a>(&'a self, now: LogicalTime) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
+    pub fn available_at<'a>(
+        &'a self,
+        now: LogicalTime,
+    ) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
         self.entries
             .iter()
             .filter(move |(_, c)| c.state().is_available() && c.is_live(now))
@@ -168,7 +174,10 @@ impl ContextPool {
     /// [`ContextError::UnknownContext`] when `id` is absent;
     /// [`ContextError::IllegalTransition`] when the life cycle forbids it.
     pub fn set_state(&mut self, id: ContextId, next: ContextState) -> Result<(), ContextError> {
-        let ctx = self.entries.get_mut(&id).ok_or(ContextError::UnknownContext(id))?;
+        let ctx = self
+            .entries
+            .get_mut(&id)
+            .ok_or(ContextError::UnknownContext(id))?;
         ctx.set_state(next)
     }
 
@@ -186,7 +195,10 @@ impl ContextPool {
     ///
     /// [`ContextError::UnknownContext`] when `id` is absent.
     pub fn discard(&mut self, id: ContextId) -> Result<(), ContextError> {
-        let ctx = self.entries.get_mut(&id).ok_or(ContextError::UnknownContext(id))?;
+        let ctx = self
+            .entries
+            .get_mut(&id)
+            .ok_or(ContextError::UnknownContext(id))?;
         ctx.force_state(ContextState::Inconsistent);
         Ok(())
     }
@@ -240,6 +252,64 @@ impl ContextPool {
             v.retain(|i| *i != id);
         }
         Some(ctx)
+    }
+
+    /// Splits the pool into `n` pools by a routing function over the
+    /// contexts (e.g. a subject hash for a sharded middleware). Context
+    /// ids are reassigned per target pool, preserving arrival order
+    /// within each; states and attributes are kept.
+    ///
+    /// Routing indices are taken modulo `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn split_by(self, n: usize, mut route: impl FnMut(&Context) -> usize) -> Vec<ContextPool> {
+        assert!(n > 0, "cannot split into zero pools");
+        let mut out: Vec<ContextPool> = (0..n).map(|_| ContextPool::new()).collect();
+        for (_, ctx) in self.entries {
+            let slot = route(&ctx) % n;
+            let state = ctx.state();
+            let id = out[slot].insert(ctx);
+            out[slot]
+                .get_mut(id)
+                .expect("just inserted")
+                .force_state(state);
+        }
+        out
+    }
+
+    /// Merges another pool into this one, re-inserting its contexts in
+    /// their arrival order (their ids are reassigned; states are kept).
+    /// The inverse of [`ContextPool::split_by`] up to id renumbering.
+    pub fn absorb(&mut self, other: ContextPool) {
+        for (_, ctx) in other.entries {
+            let state = ctx.state();
+            let id = self.insert(ctx);
+            self.get_mut(id).expect("just inserted").force_state(state);
+        }
+    }
+
+    /// An id-free content fingerprint: one `(kind, subject, stamp,
+    /// state)` entry per stored context, sorted. Two pools with equal
+    /// signatures hold the same contexts in the same states, regardless
+    /// of insertion order or id assignment — the determinism oracle the
+    /// sharded-middleware tests compare against a single-threaded run.
+    pub fn signature(&self) -> Vec<(ContextKind, String, LogicalTime, ContextState)> {
+        let mut sig: Vec<_> = self
+            .entries
+            .values()
+            .map(|c| {
+                (
+                    c.kind().clone(),
+                    c.subject().to_owned(),
+                    c.stamp(),
+                    c.state(),
+                )
+            })
+            .collect();
+        sig.sort_by(|a, b| (&a.0, &a.1, a.2, a.3 as u8).cmp(&(&b.0, &b.1, b.2, b.3 as u8)));
+        sig
     }
 
     /// Current statistics.
@@ -354,7 +424,9 @@ mod tests {
         pool.set_state(a, ContextState::Consistent).unwrap();
         pool.set_state(b, ContextState::Consistent).unwrap();
         let kind = ContextKind::new("location");
-        let (latest, _) = pool.latest_available(&kind, "p", LogicalTime::new(5)).unwrap();
+        let (latest, _) = pool
+            .latest_available(&kind, "p", LogicalTime::new(5))
+            .unwrap();
         assert_eq!(latest, b);
     }
 
@@ -376,7 +448,10 @@ mod tests {
     fn set_state_unknown_context_errors() {
         let mut pool = ContextPool::new();
         let err = pool.set_state(ContextId::from_raw(99), ContextState::Consistent);
-        assert_eq!(err, Err(ContextError::UnknownContext(ContextId::from_raw(99))));
+        assert_eq!(
+            err,
+            Err(ContextError::UnknownContext(ContextId::from_raw(99)))
+        );
     }
 
     #[test]
@@ -434,7 +509,58 @@ mod tests {
         assert!(!pool.contains(expired_old));
         assert!(pool.contains(live_old), "undiscarded forever-contexts stay");
         assert!(pool.contains(recent));
-        assert!(pool.contains(discarded_recent), "recent discards stay for metrics");
+        assert!(
+            pool.contains(discarded_recent),
+            "recent discards stay for metrics"
+        );
+    }
+
+    #[test]
+    fn split_by_partitions_and_absorb_reassembles() {
+        let mut pool = ContextPool::new();
+        for (s, t) in [("peter", 1), ("mary", 2), ("peter", 3), ("john", 4)] {
+            pool.insert(loc(s, t));
+        }
+        let discarded = pool.insert(loc("mary", 5));
+        pool.discard(discarded).unwrap();
+        let before = pool.signature();
+
+        let shards = pool.split_by(2, |c| c.subject().len());
+        assert_eq!(shards.iter().map(ContextPool::len).sum::<usize>(), 5);
+        // "mary" and "john" (len 4) land together, apart from "peter".
+        assert!(shards.iter().all(|s| {
+            let subjects: std::collections::BTreeSet<&str> =
+                s.iter().map(|(_, c)| c.subject()).collect();
+            !(subjects.contains("peter") && subjects.contains("mary"))
+        }));
+
+        let mut merged = ContextPool::new();
+        for shard in shards {
+            merged.absorb(shard);
+        }
+        assert_eq!(
+            merged.signature(),
+            before,
+            "states and contents survive the round trip"
+        );
+        assert_eq!(merged.stats().inconsistent, 1, "discarded state preserved");
+    }
+
+    #[test]
+    fn signature_ignores_insertion_order() {
+        let mut a = ContextPool::new();
+        a.insert(loc("p", 1));
+        a.insert(loc("q", 2));
+        let mut b = ContextPool::new();
+        b.insert(loc("q", 2));
+        b.insert(loc("p", 1));
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pools")]
+    fn split_into_zero_pools_panics() {
+        ContextPool::new().split_by(0, |_| 0);
     }
 
     #[test]

@@ -58,12 +58,18 @@ impl ContextState {
         use ContextState::*;
         let ok = matches!(
             (self, next),
-            (Undecided, Consistent) | (Undecided, Bad) | (Undecided, Inconsistent) | (Bad, Inconsistent)
+            (Undecided, Consistent)
+                | (Undecided, Bad)
+                | (Undecided, Inconsistent)
+                | (Bad, Inconsistent)
         );
         if ok {
             Ok(next)
         } else {
-            Err(ContextError::IllegalTransition { from: self, to: next })
+            Err(ContextError::IllegalTransition {
+                from: self,
+                to: next,
+            })
         }
     }
 }
@@ -105,7 +111,10 @@ mod tests {
             (Undecided, Undecided),
             (Bad, Bad),
         ] {
-            assert!(from.transition(to).is_err(), "{from} -> {to} must be illegal");
+            assert!(
+                from.transition(to).is_err(),
+                "{from} -> {to} must be illegal"
+            );
         }
     }
 

@@ -19,7 +19,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// let t = LogicalTime::new(3);
 /// assert!(t < t + 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LogicalTime(u64);
 
 impl LogicalTime {
@@ -96,7 +98,9 @@ impl Sub<LogicalTime> for LogicalTime {
 /// use ctxres_context::{LogicalTime, Ticks};
 /// assert_eq!(LogicalTime::new(7) - LogicalTime::new(4), Ticks::new(3));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Ticks(u64);
 
 impl Ticks {
@@ -153,7 +157,10 @@ impl Lifespan {
 
     /// A lifespan starting at `created` that expires after `ttl` ticks.
     pub const fn with_ttl(created: LogicalTime, ttl: Ticks) -> Self {
-        Lifespan { created, ttl: Some(ttl) }
+        Lifespan {
+            created,
+            ttl: Some(ttl),
+        }
     }
 
     /// The instant this lifespan began.

@@ -7,22 +7,38 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { kind: u8, subject: u8, ttl: Option<u8> },
-    SetState { target: u8, state: ContextState },
-    Discard { target: u8 },
-    Remove { target: u8 },
-    Sweep { at: u8 },
+    Insert {
+        kind: u8,
+        subject: u8,
+        ttl: Option<u8>,
+    },
+    SetState {
+        target: u8,
+        state: ContextState,
+    },
+    Discard {
+        target: u8,
+    },
+    Remove {
+        target: u8,
+    },
+    Sweep {
+        at: u8,
+    },
 }
 
 fn op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..3, 0u8..3, proptest::option::of(0u8..10))
             .prop_map(|(kind, subject, ttl)| Op::Insert { kind, subject, ttl }),
-        (any::<u8>(), prop_oneof![
-            Just(ContextState::Consistent),
-            Just(ContextState::Bad),
-            Just(ContextState::Inconsistent),
-        ])
+        (
+            any::<u8>(),
+            prop_oneof![
+                Just(ContextState::Consistent),
+                Just(ContextState::Bad),
+                Just(ContextState::Inconsistent),
+            ]
+        )
             .prop_map(|(target, state)| Op::SetState { target, state }),
         any::<u8>().prop_map(|target| Op::Discard { target }),
         any::<u8>().prop_map(|target| Op::Remove { target }),

@@ -134,7 +134,10 @@ mod tests {
         let e = Explanation {
             context: id(3),
             at: LogicalTime::new(5),
-            reason: DiscardReason::LargestCount { inconsistency: inc, count: 4 },
+            reason: DiscardReason::LargestCount {
+                inconsistency: inc,
+                count: 4,
+            },
         };
         let s = e.to_string();
         assert!(s.contains("ctx#3"));

@@ -76,7 +76,10 @@ fn replay(strategy: &mut dyn ResolutionStrategy, script: &[ScriptStep]) -> Vec<S
                     .collect();
                 let out = strategy.on_addition(&mut pool, now, id, &fresh);
                 ids.push(id);
-                StepOutcome { discarded: out.discarded.into_iter().collect(), delivered: None }
+                StepOutcome {
+                    discarded: out.discarded.into_iter().collect(),
+                    delivered: None,
+                }
             }
             ScriptStep::Use(index) => match ids.get(*index) {
                 Some(id) => {
@@ -125,11 +128,11 @@ mod tests {
     /// with it too (gap-2 refinement); contexts are then used in order.
     fn scenario_b() -> Vec<ScriptStep> {
         vec![
-            ScriptStep::Add { conflicts: vec![] },        // d1
-            ScriptStep::Add { conflicts: vec![] },        // d2
-            ScriptStep::Add { conflicts: vec![] },        // d3 (corrupted, undetected)
-            ScriptStep::Add { conflicts: vec![2] },       // d4 vs d3
-            ScriptStep::Add { conflicts: vec![2] },       // d5 vs d3
+            ScriptStep::Add { conflicts: vec![] },  // d1
+            ScriptStep::Add { conflicts: vec![] },  // d2
+            ScriptStep::Add { conflicts: vec![] },  // d3 (corrupted, undetected)
+            ScriptStep::Add { conflicts: vec![2] }, // d4 vs d3
+            ScriptStep::Add { conflicts: vec![2] }, // d5 vs d3
             ScriptStep::Use(0),
             ScriptStep::Use(1),
             ScriptStep::Use(2),

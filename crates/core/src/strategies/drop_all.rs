@@ -37,7 +37,10 @@ impl ResolutionStrategy for DropAll {
     ) -> AdditionOutcome {
         if fresh.is_empty() {
             let _ = pool.set_state(id, ContextState::Consistent);
-            return AdditionOutcome { discarded: Vec::new(), accepted: true };
+            return AdditionOutcome {
+                discarded: Vec::new(),
+                accepted: true,
+            };
         }
         let mut discarded = Vec::new();
         for inc in fresh {
@@ -54,7 +57,10 @@ impl ResolutionStrategy for DropAll {
         if accepted {
             let _ = pool.set_state(id, ContextState::Consistent);
         }
-        AdditionOutcome { discarded, accepted }
+        AdditionOutcome {
+            discarded,
+            accepted,
+        }
     }
 
     fn on_use(&mut self, pool: &mut ContextPool, now: LogicalTime, id: ContextId) -> UseOutcome {
@@ -62,7 +68,11 @@ impl ResolutionStrategy for DropAll {
             .get(id)
             .map(|c| c.state().is_available() && c.is_live(now))
             .unwrap_or(false);
-        UseOutcome { delivered, discarded: Vec::new(), marked_bad: Vec::new() }
+        UseOutcome {
+            delivered,
+            discarded: Vec::new(),
+            marked_bad: Vec::new(),
+        }
     }
 }
 
@@ -97,8 +107,14 @@ mod tests {
         let out = s.on_addition(&mut pool, LogicalTime::ZERO, ids[2], &[inc]);
         assert!(!out.accepted);
         assert_eq!(out.discarded, vec![ids[1], ids[2]]);
-        assert_eq!(pool.get(ids[1]).unwrap().state(), ContextState::Inconsistent);
-        assert_eq!(pool.get(ids[2]).unwrap().state(), ContextState::Inconsistent);
+        assert_eq!(
+            pool.get(ids[1]).unwrap().state(),
+            ContextState::Inconsistent
+        );
+        assert_eq!(
+            pool.get(ids[2]).unwrap().state(),
+            ContextState::Inconsistent
+        );
         assert_eq!(pool.get(ids[0]).unwrap().state(), ContextState::Consistent);
     }
 
@@ -120,7 +136,10 @@ mod tests {
     fn clean_context_is_accepted() {
         let (mut pool, ids) = pool_with(1);
         let mut s = DropAll::new();
-        assert!(s.on_addition(&mut pool, LogicalTime::ZERO, ids[0], &[]).accepted);
+        assert!(
+            s.on_addition(&mut pool, LogicalTime::ZERO, ids[0], &[])
+                .accepted
+        );
     }
 
     #[test]

@@ -63,12 +63,18 @@ impl DropBad {
     /// Creates the strategy with an explicit tie-breaking preference for
     /// choosing which rival to mark bad.
     pub fn with_tie_break(tie: TieBreak) -> Self {
-        DropBad { tie, ..DropBad::default() }
+        DropBad {
+            tie,
+            ..DropBad::default()
+        }
     }
 
     /// Creates the strategy with an explicit §5.1 tie policy.
     pub fn with_tie_policy(tie_policy: TiePolicy) -> Self {
-        DropBad { tie_policy, ..DropBad::default() }
+        DropBad {
+            tie_policy,
+            ..DropBad::default()
+        }
     }
 
     /// Enables the explanation journal: every discard and bad-marking is
@@ -111,7 +117,10 @@ impl ResolutionStrategy for DropBad {
         for inc in fresh {
             self.delta.add(inc.clone());
         }
-        AdditionOutcome { discarded: Vec::new(), accepted: true }
+        AdditionOutcome {
+            discarded: Vec::new(),
+            accepted: true,
+        }
     }
 
     fn on_use(&mut self, pool: &mut ContextPool, now: LogicalTime, id: ContextId) -> UseOutcome {
@@ -177,7 +186,11 @@ impl ResolutionStrategy for DropBad {
         let doomed = was_bad || dooming_inc.is_some();
         if let Some(log) = &mut self.explain {
             if was_bad {
-                log.record(Explanation { context: id, at: now, reason: DiscardReason::WasBad });
+                log.record(Explanation {
+                    context: id,
+                    at: now,
+                    reason: DiscardReason::WasBad,
+                });
             } else if let Some(inc) = &dooming_inc {
                 log.record(Explanation {
                     context: id,
@@ -234,10 +247,18 @@ impl ResolutionStrategy for DropBad {
 
         if doomed {
             let _ = pool.set_state(id, ContextState::Inconsistent);
-            UseOutcome { delivered: false, discarded: vec![id], marked_bad }
+            UseOutcome {
+                delivered: false,
+                discarded: vec![id],
+                marked_bad,
+            }
         } else {
             let _ = pool.set_state(id, ContextState::Consistent);
-            UseOutcome { delivered: live, discarded: Vec::new(), marked_bad }
+            UseOutcome {
+                delivered: live,
+                discarded: Vec::new(),
+                marked_bad,
+            }
         }
     }
 
@@ -279,7 +300,12 @@ mod tests {
         let (mut pool, ids) = pool_with(5);
         let mut s = DropBad::new();
         let t = LogicalTime::ZERO;
-        s.on_addition(&mut pool, t, ids[2], &[pair(ids[0], ids[2]), pair(ids[1], ids[2])]);
+        s.on_addition(
+            &mut pool,
+            t,
+            ids[2],
+            &[pair(ids[0], ids[2]), pair(ids[1], ids[2])],
+        );
         s.on_addition(&mut pool, t, ids[3], &[pair(ids[2], ids[3])]);
         s.on_addition(&mut pool, t, ids[4], &[pair(ids[2], ids[4])]);
         (pool, ids, s)
@@ -301,7 +327,10 @@ mod tests {
         let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[2]);
         assert!(!out.delivered);
         assert_eq!(out.discarded, vec![ids[2]]);
-        assert_eq!(pool.get(ids[2]).unwrap().state(), ContextState::Inconsistent);
+        assert_eq!(
+            pool.get(ids[2]).unwrap().state(),
+            ContextState::Inconsistent
+        );
         assert!(s.tracked().is_empty(), "all four inconsistencies resolved");
         // The other contexts then deliver cleanly.
         for &id in &[ids[0], ids[1], ids[3], ids[4]] {
@@ -324,7 +353,10 @@ mod tests {
         // When d3 is eventually used, bad => inconsistent.
         let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[2]);
         assert!(!out.delivered);
-        assert_eq!(pool.get(ids[2]).unwrap().state(), ContextState::Inconsistent);
+        assert_eq!(
+            pool.get(ids[2]).unwrap().state(),
+            ContextState::Inconsistent
+        );
     }
 
     #[test]
@@ -345,7 +377,12 @@ mod tests {
         // policy the first context used is discarded.
         let (mut pool, ids) = pool_with(2);
         let mut s = DropBad::new();
-        s.on_addition(&mut pool, LogicalTime::ZERO, ids[1], &[pair(ids[0], ids[1])]);
+        s.on_addition(
+            &mut pool,
+            LogicalTime::ZERO,
+            ids[1],
+            &[pair(ids[0], ids[1])],
+        );
         let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[0]);
         assert!(!out.delivered);
         assert_eq!(out.discarded, vec![ids[0]]);
@@ -356,7 +393,12 @@ mod tests {
     fn tie_case_blame_peer_policy_delivers_first_used() {
         let (mut pool, ids) = pool_with(2);
         let mut s = DropBad::with_tie_policy(TiePolicy::BlamePeer);
-        s.on_addition(&mut pool, LogicalTime::ZERO, ids[1], &[pair(ids[0], ids[1])]);
+        s.on_addition(
+            &mut pool,
+            LogicalTime::ZERO,
+            ids[1],
+            &[pair(ids[0], ids[1])],
+        );
         let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[0]);
         assert!(out.delivered);
         assert_eq!(out.marked_bad, vec![ids[1]]);
@@ -372,7 +414,12 @@ mod tests {
         let mut s = DropBad::new();
         s.on_addition(&mut pool, LogicalTime::ZERO, ids[0], &[]);
         assert!(s.on_use(&mut pool, LogicalTime::ZERO, ids[0]).delivered);
-        s.on_addition(&mut pool, LogicalTime::ZERO, ids[1], &[pair(ids[0], ids[1])]);
+        s.on_addition(
+            &mut pool,
+            LogicalTime::ZERO,
+            ids[1],
+            &[pair(ids[0], ids[1])],
+        );
         let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[1]);
         assert!(!out.delivered);
         assert_eq!(out.discarded, vec![ids[1]]);
@@ -383,8 +430,18 @@ mod tests {
         // Fig. 5 Scenario B: Δ = {(d3,d4),(d3,d5)}; count(d3)=2 others 1.
         let (mut pool, ids) = pool_with(5);
         let mut s = DropBad::new();
-        s.on_addition(&mut pool, LogicalTime::ZERO, ids[3], &[pair(ids[2], ids[3])]);
-        s.on_addition(&mut pool, LogicalTime::ZERO, ids[4], &[pair(ids[2], ids[4])]);
+        s.on_addition(
+            &mut pool,
+            LogicalTime::ZERO,
+            ids[3],
+            &[pair(ids[2], ids[3])],
+        );
+        s.on_addition(
+            &mut pool,
+            LogicalTime::ZERO,
+            ids[4],
+            &[pair(ids[2], ids[4])],
+        );
         assert!(s.on_use(&mut pool, LogicalTime::ZERO, ids[3]).delivered);
         // d3 was marked bad while resolving (d3,d4).
         assert_eq!(pool.get(ids[2]).unwrap().state(), ContextState::Bad);
@@ -414,7 +471,10 @@ mod tests {
         s.on_addition(&mut pool, LogicalTime::ZERO, id, &[]);
         let out = s.on_use(&mut pool, LogicalTime::new(5), id);
         assert!(!out.delivered, "expired contexts are not delivered");
-        assert!(out.discarded.is_empty(), "but not blamed as inconsistent either");
+        assert!(
+            out.discarded.is_empty(),
+            "but not blamed as inconsistent either"
+        );
     }
 
     #[test]
@@ -436,7 +496,12 @@ mod tests {
                 Inconsistency::pair("c2", ids[0], ids[1], LogicalTime::ZERO),
             ],
         );
-        s.on_addition(&mut pool, LogicalTime::ZERO, ids[2], &[pair(ids[1], ids[2])]);
+        s.on_addition(
+            &mut pool,
+            LogicalTime::ZERO,
+            ids[2],
+            &[pair(ids[1], ids[2])],
+        );
         // Using ids[2]: ids[1] carries the largest count (3) -> bad; the
         // Consistent ids[0] is never touched.
         let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[2]);
@@ -489,7 +554,12 @@ mod tests {
         s.on_addition(&mut pool, LogicalTime::ZERO, ids[2], &[tri]);
         // Give ids[1] and ids[2] an extra count each via another
         // inconsistency pair between them.
-        s.on_addition(&mut pool, LogicalTime::ZERO, ids[2], &[pair(ids[1], ids[2])]);
+        s.on_addition(
+            &mut pool,
+            LogicalTime::ZERO,
+            ids[2],
+            &[pair(ids[1], ids[2])],
+        );
         // Use ids[0] (count 1 < 2): delivered; culprits tie {1,2} -> earliest = ids[1].
         let out = s.on_use(&mut pool, LogicalTime::ZERO, ids[0]);
         assert!(out.delivered);
@@ -515,7 +585,12 @@ mod explanation_tests {
         let mut s = DropBad::new().with_explanations();
         let t = LogicalTime::ZERO;
         // Scenario A: hub ids[2].
-        s.on_addition(&mut pool, t, ids[2], &[pair(ids[0], ids[2]), pair(ids[1], ids[2])]);
+        s.on_addition(
+            &mut pool,
+            t,
+            ids[2],
+            &[pair(ids[0], ids[2]), pair(ids[1], ids[2])],
+        );
         s.on_addition(&mut pool, t, ids[3], &[pair(ids[2], ids[3])]);
         s.on_addition(&mut pool, t, ids[4], &[pair(ids[2], ids[4])]);
         // Using a leaf delivers it and marks the hub bad (explained);
@@ -523,10 +598,20 @@ mod explanation_tests {
         assert!(s.on_use(&mut pool, t, ids[0]).delivered);
         assert!(!s.on_use(&mut pool, t, ids[2]).delivered);
         let log = s.explanations().unwrap();
-        assert_eq!(log.for_context(ids[2]).count(), 2, "marked bad, then discarded");
+        assert_eq!(
+            log.for_context(ids[2]).count(),
+            2,
+            "marked bad, then discarded"
+        );
         let rendered: Vec<String> = log.entries().iter().map(ToString::to_string).collect();
-        assert!(rendered.iter().any(|e| e.contains("marked bad")), "{rendered:?}");
-        assert!(rendered.iter().any(|e| e.contains("previously marked bad")), "{rendered:?}");
+        assert!(
+            rendered.iter().any(|e| e.contains("marked bad")),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered.iter().any(|e| e.contains("previously marked bad")),
+            "{rendered:?}"
+        );
     }
 
     #[test]
@@ -537,7 +622,12 @@ mod explanation_tests {
             .collect();
         let mut s = DropBad::new().with_explanations();
         let t = LogicalTime::ZERO;
-        s.on_addition(&mut pool, t, ids[2], &[pair(ids[0], ids[2]), pair(ids[1], ids[2])]);
+        s.on_addition(
+            &mut pool,
+            t,
+            ids[2],
+            &[pair(ids[0], ids[2]), pair(ids[1], ids[2])],
+        );
         assert!(!s.on_use(&mut pool, t, ids[2]).delivered);
         let log = s.explanations().unwrap();
         let e = log.for_context(ids[2]).next().unwrap();

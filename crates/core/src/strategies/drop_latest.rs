@@ -40,7 +40,10 @@ impl ResolutionStrategy for DropLatest {
     ) -> AdditionOutcome {
         if fresh.is_empty() {
             let _ = pool.set_state(id, ContextState::Consistent);
-            return AdditionOutcome { discarded: Vec::new(), accepted: true };
+            return AdditionOutcome {
+                discarded: Vec::new(),
+                accepted: true,
+            };
         }
         let mut discarded = Vec::new();
         for inc in fresh {
@@ -57,7 +60,10 @@ impl ResolutionStrategy for DropLatest {
         if accepted {
             let _ = pool.set_state(id, ContextState::Consistent);
         }
-        AdditionOutcome { discarded, accepted }
+        AdditionOutcome {
+            discarded,
+            accepted,
+        }
     }
 
     fn on_use(&mut self, pool: &mut ContextPool, now: LogicalTime, id: ContextId) -> UseOutcome {
@@ -65,7 +71,11 @@ impl ResolutionStrategy for DropLatest {
             .get(id)
             .map(|c| c.state().is_available() && c.is_live(now))
             .unwrap_or(false);
-        UseOutcome { delivered, discarded: Vec::new(), marked_bad: Vec::new() }
+        UseOutcome {
+            delivered,
+            discarded: Vec::new(),
+            marked_bad: Vec::new(),
+        }
     }
 }
 
@@ -106,7 +116,10 @@ mod tests {
         let out = s.on_addition(&mut pool, LogicalTime::ZERO, ids[1], &[inc]);
         assert!(!out.accepted);
         assert_eq!(out.discarded, vec![ids[1]]);
-        assert_eq!(pool.get(ids[1]).unwrap().state(), ContextState::Inconsistent);
+        assert_eq!(
+            pool.get(ids[1]).unwrap().state(),
+            ContextState::Inconsistent
+        );
         assert_eq!(pool.get(ids[0]).unwrap().state(), ContextState::Consistent);
     }
 
@@ -117,7 +130,10 @@ mod tests {
         let (mut pool, ids) = pool_with(4);
         let mut s = DropLatest::new();
         for &id in &ids[..3] {
-            assert!(s.on_addition(&mut pool, LogicalTime::ZERO, id, &[]).accepted);
+            assert!(
+                s.on_addition(&mut pool, LogicalTime::ZERO, id, &[])
+                    .accepted
+            );
         }
         let inc = Inconsistency::pair("v", ids[2], ids[3], LogicalTime::ZERO);
         let out = s.on_addition(&mut pool, LogicalTime::ZERO, ids[3], &[inc]);

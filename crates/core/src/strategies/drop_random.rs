@@ -21,7 +21,9 @@ pub struct DropRandom {
 impl DropRandom {
     /// Creates the strategy with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        DropRandom { rng: StdRng::seed_from_u64(seed) }
+        DropRandom {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -62,7 +64,10 @@ impl ResolutionStrategy for DropRandom {
         if accepted && pool.get(id).map(|c| c.state()) == Some(ContextState::Undecided) {
             let _ = pool.set_state(id, ContextState::Consistent);
         }
-        AdditionOutcome { discarded, accepted }
+        AdditionOutcome {
+            discarded,
+            accepted,
+        }
     }
 
     fn on_use(&mut self, pool: &mut ContextPool, now: LogicalTime, id: ContextId) -> UseOutcome {
@@ -70,7 +75,11 @@ impl ResolutionStrategy for DropRandom {
             .get(id)
             .map(|c| c.state().is_available() && c.is_live(now))
             .unwrap_or(false);
-        UseOutcome { delivered, discarded: Vec::new(), marked_bad: Vec::new() }
+        UseOutcome {
+            delivered,
+            discarded: Vec::new(),
+            marked_bad: Vec::new(),
+        }
     }
 }
 
@@ -101,8 +110,15 @@ mod tests {
         let inc = Inconsistency::pair("v", ids[0], ids[1], LogicalTime::ZERO);
         let out = s.on_addition(&mut pool, LogicalTime::ZERO, ids[1], &[inc]);
         assert_eq!(out.discarded.len(), 1);
-        let survivor = if out.discarded[0] == ids[0] { ids[1] } else { ids[0] };
-        assert_ne!(pool.get(survivor).unwrap().state(), ContextState::Inconsistent);
+        let survivor = if out.discarded[0] == ids[0] {
+            ids[1]
+        } else {
+            ids[0]
+        };
+        assert_ne!(
+            pool.get(survivor).unwrap().state(),
+            ContextState::Inconsistent
+        );
     }
 
     #[test]
@@ -112,7 +128,8 @@ mod tests {
             let mut s = DropRandom::new(seed);
             s.on_addition(&mut pool, LogicalTime::ZERO, ids[0], &[]);
             let inc = Inconsistency::pair("v", ids[0], ids[1], LogicalTime::ZERO);
-            s.on_addition(&mut pool, LogicalTime::ZERO, ids[1], &[inc]).discarded
+            s.on_addition(&mut pool, LogicalTime::ZERO, ids[1], &[inc])
+                .discarded
         };
         assert_eq!(run(42), run(42));
     }

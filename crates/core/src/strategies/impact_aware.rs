@@ -117,9 +117,7 @@ impl ImpactAwareDropBad {
         let cheapest: Vec<ContextId> = tied
             .iter()
             .copied()
-            .filter(|id| {
-                pool.get(*id).map(|c| self.profile.impact_of(c)) == Some(min_impact)
-            })
+            .filter(|id| pool.get(*id).map(|c| self.profile.impact_of(c)) == Some(min_impact))
             .collect();
         self.tie.pick(&cheapest)
     }
@@ -173,8 +171,10 @@ impl ResolutionStrategy for ImpactAwareDropBad {
                 })
                 .collect();
             if let Some(cheap) = self.cheapest(pool, &rivals) {
-                let cheap_impact =
-                    pool.get(cheap).map(|c| self.profile.impact_of(c)).unwrap_or(0);
+                let cheap_impact = pool
+                    .get(cheap)
+                    .map(|c| self.profile.impact_of(c))
+                    .unwrap_or(0);
                 if cheap_impact < my_impact {
                     sacrifices.push(cheap);
                 }
@@ -243,7 +243,12 @@ mod tests {
         let (mut pool, watched, unwatched) = ctx_pool();
         let mut s = ImpactAwareDropBad::new(profile());
         let now = LogicalTime::ZERO;
-        s.on_addition(&mut pool, now, unwatched, &[Inconsistency::pair("c", watched, unwatched, now)]);
+        s.on_addition(
+            &mut pool,
+            now,
+            unwatched,
+            &[Inconsistency::pair("c", watched, unwatched, now)],
+        );
         let out = s.on_use(&mut pool, now, watched);
         assert!(out.delivered, "the situation-relevant context survives");
         assert_eq!(out.marked_bad, vec![unwatched]);
@@ -272,8 +277,18 @@ mod tests {
         let extra = pool.insert(Context::builder(ContextKind::new("aux"), "y").build());
         let mut s = ImpactAwareDropBad::new(profile());
         let now = LogicalTime::ZERO;
-        s.on_addition(&mut pool, now, watched, &[Inconsistency::pair("c", watched, unwatched, now)]);
-        s.on_addition(&mut pool, now, extra, &[Inconsistency::pair("c2", watched, extra, now)]);
+        s.on_addition(
+            &mut pool,
+            now,
+            watched,
+            &[Inconsistency::pair("c", watched, unwatched, now)],
+        );
+        s.on_addition(
+            &mut pool,
+            now,
+            extra,
+            &[Inconsistency::pair("c2", watched, extra, now)],
+        );
         let out = s.on_use(&mut pool, now, watched);
         assert!(!out.delivered);
         assert_eq!(out.discarded, vec![watched]);

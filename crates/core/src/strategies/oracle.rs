@@ -36,13 +36,22 @@ impl ResolutionStrategy for Oracle {
         id: ContextId,
         _fresh: &[Inconsistency],
     ) -> AdditionOutcome {
-        let corrupted = pool.get(id).map(|c| c.truth().is_corrupted()).unwrap_or(false);
+        let corrupted = pool
+            .get(id)
+            .map(|c| c.truth().is_corrupted())
+            .unwrap_or(false);
         if corrupted {
             let _ = pool.set_state(id, ContextState::Inconsistent);
-            AdditionOutcome { discarded: vec![id], accepted: false }
+            AdditionOutcome {
+                discarded: vec![id],
+                accepted: false,
+            }
         } else {
             let _ = pool.set_state(id, ContextState::Consistent);
-            AdditionOutcome { discarded: Vec::new(), accepted: true }
+            AdditionOutcome {
+                discarded: Vec::new(),
+                accepted: true,
+            }
         }
     }
 
@@ -51,7 +60,11 @@ impl ResolutionStrategy for Oracle {
             .get(id)
             .map(|c| c.state().is_available() && c.is_live(now))
             .unwrap_or(false);
-        UseOutcome { delivered, discarded: Vec::new(), marked_bad: Vec::new() }
+        UseOutcome {
+            delivered,
+            discarded: Vec::new(),
+            marked_bad: Vec::new(),
+        }
     }
 }
 
@@ -70,7 +83,10 @@ mod tests {
                 .build(),
         );
         let mut s = Oracle::new();
-        assert!(s.on_addition(&mut pool, LogicalTime::ZERO, good, &[]).accepted);
+        assert!(
+            s.on_addition(&mut pool, LogicalTime::ZERO, good, &[])
+                .accepted
+        );
         let out = s.on_addition(&mut pool, LogicalTime::ZERO, bad, &[]);
         assert!(!out.accepted);
         assert_eq!(out.discarded, vec![bad]);
@@ -89,6 +105,9 @@ mod tests {
         s.on_addition(&mut pool, LogicalTime::ZERO, a, &[]);
         let inc = Inconsistency::pair("v", a, b, LogicalTime::ZERO);
         let out = s.on_addition(&mut pool, LogicalTime::ZERO, b, &[inc]);
-        assert!(out.accepted, "expected context survives despite inconsistency");
+        assert!(
+            out.accepted,
+            "expected context survives despite inconsistency"
+        );
     }
 }

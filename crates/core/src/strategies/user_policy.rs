@@ -94,7 +94,10 @@ impl ResolutionStrategy for UserPolicy {
         if accepted && pool.get(id).map(|c| c.state()) == Some(ContextState::Undecided) {
             let _ = pool.set_state(id, ContextState::Consistent);
         }
-        AdditionOutcome { discarded, accepted }
+        AdditionOutcome {
+            discarded,
+            accepted,
+        }
     }
 
     fn on_use(&mut self, pool: &mut ContextPool, now: LogicalTime, id: ContextId) -> UseOutcome {
@@ -102,7 +105,11 @@ impl ResolutionStrategy for UserPolicy {
             .get(id)
             .map(|c| c.state().is_available() && c.is_live(now))
             .unwrap_or(false);
-        UseOutcome { delivered, discarded: Vec::new(), marked_bad: Vec::new() }
+        UseOutcome {
+            delivered,
+            discarded: Vec::new(),
+            marked_bad: Vec::new(),
+        }
     }
 }
 
@@ -126,14 +133,25 @@ mod tests {
         let rfid = ctx(&mut pool, "rfid", 1);
         let mut s = UserPolicy::new(
             [
-                PolicyRule { kind: ContextKind::new("location"), priority: 10 },
-                PolicyRule { kind: ContextKind::new("rfid"), priority: 1 },
+                PolicyRule {
+                    kind: ContextKind::new("location"),
+                    priority: 10,
+                },
+                PolicyRule {
+                    kind: ContextKind::new("rfid"),
+                    priority: 1,
+                },
             ],
             TieBreak::Latest,
         );
         s.on_addition(&mut pool, LogicalTime::ZERO, loc, &[]);
         let inc = Inconsistency::pair("x", loc, rfid, LogicalTime::ZERO);
-        let out = s.on_addition(&mut pool, LogicalTime::ZERO, rfid, &inc.clone().into_iter_vec());
+        let out = s.on_addition(
+            &mut pool,
+            LogicalTime::ZERO,
+            rfid,
+            &inc.clone().into_iter_vec(),
+        );
         assert_eq!(out.discarded, vec![rfid]);
         assert_ne!(pool.get(loc).unwrap().state(), ContextState::Inconsistent);
     }

@@ -112,7 +112,11 @@ mod tests {
 
     #[test]
     fn tiebreak_latest_picks_largest_id() {
-        let tied = vec![ContextId::from_raw(3), ContextId::from_raw(7), ContextId::from_raw(5)];
+        let tied = vec![
+            ContextId::from_raw(3),
+            ContextId::from_raw(7),
+            ContextId::from_raw(5),
+        ];
         assert_eq!(TieBreak::Latest.pick(&tied), Some(ContextId::from_raw(7)));
         assert_eq!(TieBreak::Earliest.pick(&tied), Some(ContextId::from_raw(3)));
     }

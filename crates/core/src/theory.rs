@@ -48,7 +48,8 @@ pub fn counts_of(incs: &[Inconsistency]) -> CountMap {
 /// assert!(!rule1_holds(&incs, |_| false), "no corrupted member anywhere");
 /// ```
 pub fn rule1_holds(incs: &[Inconsistency], is_corrupted: impl Fn(ContextId) -> bool) -> bool {
-    incs.iter().all(|inc| inc.contexts().iter().any(|id| is_corrupted(*id)))
+    incs.iter()
+        .all(|inc| inc.contexts().iter().any(|id| is_corrupted(*id)))
 }
 
 /// Rule 2: in every inconsistency, every corrupted context's count
@@ -75,7 +76,10 @@ pub fn rule2_holds(incs: &[Inconsistency], is_corrupted: impl Fn(ContextId) -> b
 
 /// Rule 2′ (relaxed): in every inconsistency, at least one corrupted
 /// context's count exceeds every expected context's count.
-pub fn rule2_relaxed_holds(incs: &[Inconsistency], is_corrupted: impl Fn(ContextId) -> bool) -> bool {
+pub fn rule2_relaxed_holds(
+    incs: &[Inconsistency],
+    is_corrupted: impl Fn(ContextId) -> bool,
+) -> bool {
     let counts = counts_of(incs);
     incs.iter().all(|inc| {
         let max_expected = inc
@@ -152,7 +156,8 @@ pub fn hold_rates(verdicts: &[RuleVerdict]) -> (f64, f64, f64) {
         return (1.0, 1.0, 1.0);
     }
     let n = verdicts.len() as f64;
-    let frac = |sel: fn(&RuleVerdict) -> bool| verdicts.iter().filter(|v| sel(v)).count() as f64 / n;
+    let frac =
+        |sel: fn(&RuleVerdict) -> bool| verdicts.iter().filter(|v| sel(v)).count() as f64 / n;
     (
         frac(|v| v.rule1),
         frac(|v| v.rule2),

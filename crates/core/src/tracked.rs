@@ -101,7 +101,11 @@ impl TrackedSet {
     /// Adds a detected inconsistency; duplicates (same constraint and
     /// context set) are ignored. Returns whether Δ changed.
     pub fn add(&mut self, inc: Inconsistency) -> bool {
-        if self.items.iter().any(|i| i.constraint() == inc.constraint() && i.contexts() == inc.contexts()) {
+        if self
+            .items
+            .iter()
+            .any(|i| i.constraint() == inc.constraint() && i.contexts() == inc.contexts())
+        {
             return false;
         }
         for id in inc.contexts() {
@@ -114,7 +118,12 @@ impl TrackedSet {
     /// Resolves (removes and returns) every tracked inconsistency
     /// involving `id` — the context-deletion change of Fig. 6.
     pub fn resolve_involving(&mut self, id: ContextId) -> Vec<Inconsistency> {
-        let resolved: Vec<Inconsistency> = self.items.iter().filter(|i| i.involves(id)).cloned().collect();
+        let resolved: Vec<Inconsistency> = self
+            .items
+            .iter()
+            .filter(|i| i.involves(id))
+            .cloned()
+            .collect();
         for inc in &resolved {
             self.items.remove(inc);
             for cid in inc.contexts() {
@@ -136,7 +145,12 @@ impl TrackedSet {
 
     /// The contexts of `inc` carrying its largest count value.
     pub fn max_count_members(&self, inc: &Inconsistency) -> Vec<ContextId> {
-        let max = inc.contexts().iter().map(|id| self.counts.get(*id)).max().unwrap_or(0);
+        let max = inc
+            .contexts()
+            .iter()
+            .map(|id| self.counts.get(*id))
+            .max()
+            .unwrap_or(0);
         inc.contexts()
             .iter()
             .copied()
@@ -148,7 +162,9 @@ impl TrackedSet {
     /// (ties count as largest).
     pub fn is_max_in(&self, id: ContextId, inc: &Inconsistency) -> bool {
         let mine = self.counts.get(id);
-        inc.contexts().iter().all(|other| self.counts.get(*other) <= mine)
+        inc.contexts()
+            .iter()
+            .all(|other| self.counts.get(*other) <= mine)
     }
 
     /// Number of tracked inconsistencies.

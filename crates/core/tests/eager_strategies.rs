@@ -21,7 +21,10 @@ fn additions() -> impl Strategy<Value = Additions> {
         .prop_map(|conflicts| Additions { conflicts })
 }
 
-fn drive(strategy: &mut dyn ResolutionStrategy, w: &Additions) -> (ContextPool, BTreeSet<ContextId>) {
+fn drive(
+    strategy: &mut dyn ResolutionStrategy,
+    w: &Additions,
+) -> (ContextPool, BTreeSet<ContextId>) {
     let mut pool = ContextPool::new();
     let mut discarded = BTreeSet::new();
     let now = LogicalTime::ZERO;

@@ -38,8 +38,13 @@ struct StarWorkload {
 
 fn star_workload() -> impl Strategy<Value = StarWorkload> {
     // 1..=3 hubs, each with 2..=4 leaves; optionally link hub pairs.
-    (1usize..=3, proptest::collection::vec(2usize..=4, 3), any::<bool>(), any::<u64>()).prop_map(
-        |(hubs, leaf_counts, link_hubs, shuffle_seed)| {
+    (
+        1usize..=3,
+        proptest::collection::vec(2usize..=4, 3),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(hubs, leaf_counts, link_hubs, shuffle_seed)| {
             let mut corrupted = Vec::new();
             let mut incs = Vec::new();
             let mut hub_ids = Vec::new();
@@ -61,13 +66,18 @@ fn star_workload() -> impl Strategy<Value = StarWorkload> {
             let mut order: Vec<usize> = (0..n).collect();
             let mut state = shuffle_seed | 1;
             for i in (1..n).rev() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let j = (state >> 33) as usize % (i + 1);
                 order.swap(i, j);
             }
-            StarWorkload { corrupted, incs, use_order: order }
-        },
-    )
+            StarWorkload {
+                corrupted,
+                incs,
+                use_order: order,
+            }
+        })
 }
 
 /// Replays a workload through drop-bad, asserting theorem compliance at
@@ -81,7 +91,11 @@ fn replay(w: &StarWorkload, rules_hold: impl Fn(&[Inconsistency]) -> bool) {
         .map(|(i, corr)| {
             pool.insert(
                 Context::builder(ContextKind::new("x"), &format!("s{i}"))
-                    .truth(if *corr { TruthTag::Corrupted } else { TruthTag::Expected })
+                    .truth(if *corr {
+                        TruthTag::Corrupted
+                    } else {
+                        TruthTag::Expected
+                    })
                     .stamp(LogicalTime::new(i as u64))
                     .build(),
             )

@@ -21,10 +21,18 @@ fn main() {
         Box::new(RfidAnomalies::new()),
     ] {
         eprintln!("§5.1 tie ablation: {} …", app.name());
-        let points =
-            tie_policy_comparison(app.as_ref(), &[0.2, 0.4], runs, len, app.recommended_window());
+        let points = tie_policy_comparison(
+            app.as_ref(),
+            &[0.2, 0.4],
+            runs,
+            len,
+            app.recommended_window(),
+        );
         println!("{} (used_expected / survival / precision):", app.name());
-        println!("{:>10}{:>10}{:>12}{:>10}{:>10}", "policy", "err", "used", "surv", "prec");
+        println!(
+            "{:>10}{:>10}{:>12}{:>10}{:>10}",
+            "policy", "err", "used", "surv", "prec"
+        );
         for p in &points {
             println!(
                 "{:>10}{:>9.0}%{:>12.1}{:>9.1}%{:>9.1}%",

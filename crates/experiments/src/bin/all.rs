@@ -15,7 +15,11 @@ use ctxres_experiments::{RUNS_PER_POINT, TRACE_LEN};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (runs, len) = if quick { (3, 240) } else { (RUNS_PER_POINT, TRACE_LEN) };
+    let (runs, len) = if quick {
+        (3, 240)
+    } else {
+        (RUNS_PER_POINT, TRACE_LEN)
+    };
 
     eprintln!("[1/4] figure 9 (call forwarding) …");
     let fig9 = figure_for(&CallForwarding::new(), runs, len);
@@ -28,7 +32,11 @@ fn main() {
     let _ = write_json("figure10", &fig10);
 
     eprintln!("[3/4] §5.2 case study …");
-    let cs = run_case_study(0.2, if quick { 3 } else { 10 }, if quick { 200 } else { 600 });
+    let cs = run_case_study(
+        0.2,
+        if quick { 3 } else { 10 },
+        if quick { 200 } else { 600 },
+    );
     println!("{}", render_case_study(&cs));
     let _ = write_json("case_study", &cs);
 

@@ -14,7 +14,11 @@ use ctxres_experiments::{RUNS_PER_POINT, TRACE_LEN};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (runs, len) = if quick { (3, 240) } else { (RUNS_PER_POINT, TRACE_LEN) };
+    let (runs, len) = if quick {
+        (3, 240)
+    } else {
+        (RUNS_PER_POINT, TRACE_LEN)
+    };
     eprintln!("cross-kind generality: smart ringer, {runs} runs/point, {len} contexts/run …");
     let fig = figure_for(&SmartRinger::new(), runs, len);
     println!("{}", render_figure(&fig));

@@ -18,7 +18,11 @@ fn main() {
         "estimator", "survival", "precision", "rule1", "rule2'", "incons."
     );
     let mut all = Vec::new();
-    for kind in [EstimatorKind::Knn, EstimatorKind::Trilateration, EstimatorKind::Fused] {
+    for kind in [
+        EstimatorKind::Knn,
+        EstimatorKind::Trilateration,
+        EstimatorKind::Fused,
+    ] {
         eprintln!("estimator robustness: {kind:?} …");
         let cs = run_case_study_for_estimator(kind, 0.2, runs, len);
         println!(

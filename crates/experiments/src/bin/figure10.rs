@@ -1,18 +1,28 @@
 //! Regenerates **Figure 10**: resolution comparison for the RFID data
 //! anomalies application (`ctxUseRate` and `sitActRate` vs error rate).
 //!
-//! Usage: `figure10 [--quick]`.
+//! Usage: `figure10 [--quick]`. The seeded grid is fanned over worker
+//! threads (`CTXRES_THREADS` overrides the count); the output is
+//! bit-identical to a serial run.
 
 use ctxres_apps::rfid_anomalies::RfidAnomalies;
-use ctxres_experiments::figures::figure_for;
+use ctxres_experiments::figures::figure_for_parallel;
 use ctxres_experiments::render::{render_figure, write_json};
+use ctxres_experiments::runner::default_threads;
 use ctxres_experiments::{RUNS_PER_POINT, TRACE_LEN};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (runs, len) = if quick { (3, 240) } else { (RUNS_PER_POINT, TRACE_LEN) };
-    eprintln!("figure 10: rfid data anomalies, {runs} runs/point, {len} contexts/run …");
-    let fig = figure_for(&RfidAnomalies::new(), runs, len);
+    let (runs, len) = if quick {
+        (3, 240)
+    } else {
+        (RUNS_PER_POINT, TRACE_LEN)
+    };
+    let threads = default_threads();
+    eprintln!(
+        "figure 10: rfid data anomalies, {runs} runs/point, {len} contexts/run, {threads} thread(s) …"
+    );
+    let fig = figure_for_parallel(&RfidAnomalies::new(), runs, len, threads);
     println!("{}", render_figure(&fig));
     match write_json("figure10", &fig) {
         Ok(path) => eprintln!("wrote {path}"),

@@ -2,18 +2,28 @@
 //! Forwarding application (`ctxUseRate` and `sitActRate` vs error rate).
 //!
 //! Usage: `figure9 [--quick]` — `--quick` runs 3 seeds × 240 contexts
-//! instead of the paper-scale 20 × 600.
+//! instead of the paper-scale 20 × 600. The seeded grid is fanned over
+//! worker threads (`CTXRES_THREADS` overrides the count); the output is
+//! bit-identical to a serial run.
 
 use ctxres_apps::call_forwarding::CallForwarding;
-use ctxres_experiments::figures::figure_for;
+use ctxres_experiments::figures::figure_for_parallel;
 use ctxres_experiments::render::{render_figure, write_json};
+use ctxres_experiments::runner::default_threads;
 use ctxres_experiments::{RUNS_PER_POINT, TRACE_LEN};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (runs, len) = if quick { (3, 240) } else { (RUNS_PER_POINT, TRACE_LEN) };
-    eprintln!("figure 9: call forwarding, {runs} runs/point, {len} contexts/run …");
-    let fig = figure_for(&CallForwarding::new(), runs, len);
+    let (runs, len) = if quick {
+        (3, 240)
+    } else {
+        (RUNS_PER_POINT, TRACE_LEN)
+    };
+    let threads = default_threads();
+    eprintln!(
+        "figure 9: call forwarding, {runs} runs/point, {len} contexts/run, {threads} thread(s) …"
+    );
+    let fig = figure_for_parallel(&CallForwarding::new(), runs, len, threads);
     println!("{}", render_figure(&fig));
     match write_json("figure9", &fig) {
         Ok(path) => eprintln!("wrote {path}"),

@@ -11,7 +11,10 @@ fn main() {
         ("refined constraints with gap-2 (Fig. 5)", true),
     ] {
         println!("== {label} ==");
-        println!("{:<10}{:<12}{:<24}correct?", "scenario", "strategy", "discarded");
+        println!(
+            "{:<10}{:<12}{:<24}correct?",
+            "scenario", "strategy", "discarded"
+        );
         for scenario in ["A", "B"] {
             for strategy in ["opt-r", "d-bad", "d-lat", "d-all"] {
                 let constraints = if constraints_of {

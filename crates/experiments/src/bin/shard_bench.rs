@@ -1,0 +1,146 @@
+//! Measures sharded-engine ingestion throughput against the
+//! global-mutex baseline and records the result as
+//! `BENCH_shard_throughput.json` (run it from the repo root).
+//!
+//! The workload is a synthetic 32-subject location stream under the
+//! paper's speed constraint: with one engine every incremental check
+//! quantifies over the whole population, while 4 subject shards cut
+//! each check's quantifier domain to a quarter — so the sharded engine
+//! wins even on a single core. `CTXRES_BENCH_QUICK=1` shrinks the
+//! workload for CI smoke runs.
+
+use ctxres_constraint::parse_constraints;
+use ctxres_context::{Context, ContextKind, LogicalTime, Point, Ticks};
+use ctxres_core::strategies::DropBad;
+use ctxres_middleware::{
+    Middleware, MiddlewareConfig, ShardPlan, ShardedMiddleware, SharedMiddleware,
+};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+const SPEED: &str = "constraint speed:
+    forall a: location, b: location .
+      (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+
+const SHARDS: usize = 4;
+const REPS: usize = 3;
+
+fn trace(subjects: usize, per_subject: usize) -> Vec<Context> {
+    let mut out = Vec::with_capacity(subjects * per_subject);
+    for seq in 0..per_subject {
+        for s in 0..subjects {
+            // Every ~10th reading teleports, violating the speed bound.
+            let x = if seq % 10 == 9 {
+                400.0
+            } else {
+                seq as f64 * 0.5
+            };
+            out.push(
+                Context::builder(ContextKind::new("location"), &format!("subj-{s:02}"))
+                    .attr("pos", Point::new(x, 0.0))
+                    .attr("seq", seq as i64)
+                    .stamp(LogicalTime::new(seq as u64))
+                    .build(),
+            );
+        }
+    }
+    out
+}
+
+fn engine() -> Middleware {
+    Middleware::builder()
+        .constraints(parse_constraints(SPEED).unwrap())
+        .strategy(Box::new(DropBad::new()))
+        .config(MiddlewareConfig {
+            window: Ticks::new(0),
+            track_ground_truth: false,
+            retention: None,
+        })
+        .build()
+}
+
+/// Best-of-`REPS` wall-clock seconds; fresh engines each rep so no run
+/// benefits from a warm pool.
+fn best_secs(mut run: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut found = 0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        found = run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, found)
+}
+
+/// Days-since-epoch to civil date (Howard Hinnant's algorithm); avoids
+/// pulling in a date crate for one timestamp.
+fn today_utc() -> String {
+    let days = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() / 86_400)
+        .unwrap_or(0) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let quick = std::env::var("CTXRES_BENCH_QUICK").is_ok();
+    let (subjects, per_subject) = if quick { (16, 20) } else { (32, 40) };
+    let contexts = trace(subjects, per_subject);
+    let n = contexts.len();
+    eprintln!("shard bench: {n} contexts, {subjects} subjects, {SHARDS} shards, best of {REPS}");
+
+    let (mutex_secs, mutex_found) = best_secs(|| {
+        let shared = SharedMiddleware::new(engine());
+        for ctx in &contexts {
+            shared.lock().submit(ctx.clone());
+        }
+        shared.lock().drain();
+        let found = shared.lock().stats().inconsistencies;
+        found
+    });
+
+    let (shard_secs, shard_found) = best_secs(|| {
+        let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), SHARDS);
+        let sharded = ShardedMiddleware::new(plan, |_| engine());
+        sharded.batch_add(&contexts);
+        sharded.drain();
+        sharded.stats().inconsistencies
+    });
+
+    assert_eq!(
+        mutex_found, shard_found,
+        "sharded engine must find the same inconsistencies as the baseline"
+    );
+
+    let contexts_per_sec = n as f64 / shard_secs;
+    let speedup = mutex_secs / shard_secs;
+    eprintln!(
+        "mutex: {:.1} ctx/s | sharded({SHARDS}): {:.1} ctx/s | speedup {:.2}x | {} inconsistencies",
+        n as f64 / mutex_secs,
+        contexts_per_sec,
+        speedup,
+        shard_found,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"shard_throughput\",\n  \"contexts_per_sec\": {:.1},\n  \"shards\": {},\n  \"speedup_vs_mutex\": {:.2},\n  \"date\": \"{}\"\n}}\n",
+        contexts_per_sec,
+        SHARDS,
+        speedup,
+        today_utc(),
+    );
+    match std::fs::write("BENCH_shard_throughput.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_shard_throughput.json"),
+        Err(e) => eprintln!("could not write BENCH_shard_throughput.json: {e}"),
+    }
+    print!("{json}");
+}

@@ -70,7 +70,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("inspect needs 1 argument".into());
             };
             let trace = load_trace(Path::new(path))?;
-            let corrupted = trace.iter().filter(|c| c.truth() == TruthTag::Corrupted).count();
+            let corrupted = trace
+                .iter()
+                .filter(|c| c.truth() == TruthTag::Corrupted)
+                .count();
             let kinds: std::collections::BTreeSet<&str> =
                 trace.iter().map(|c| c.kind().name()).collect();
             let subjects: std::collections::BTreeSet<&str> =
@@ -110,7 +113,10 @@ fn run(args: &[String]) -> Result<(), String> {
             println!();
             println!("{:<16}{:>8}{:>12}", "subject", "count", "corrupted");
             for (subject, (n, bad)) in &by_subject {
-                println!("{subject:<16}{n:>8}{:>11.1}%", *bad as f64 / *n as f64 * 100.0);
+                println!(
+                    "{subject:<16}{n:>8}{:>11.1}%",
+                    *bad as f64 / *n as f64 * 100.0
+                );
             }
             let span = trace
                 .last()

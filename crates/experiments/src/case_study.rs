@@ -7,12 +7,12 @@
 
 use crate::runner::{run_with, DEFAULT_WINDOW};
 use ctxres_apps::location_tracking::LocationTracking;
-use ctxres_landmarc::{EstimatorKind, LandmarcConfig};
 use ctxres_apps::PervasiveApp;
 use ctxres_context::{ContextId, Ticks, TruthTag};
 use ctxres_core::strategies::DropBad;
 use ctxres_core::theory::{hold_rates, rule_report};
 use ctxres_core::Inconsistency;
+use ctxres_landmarc::{EstimatorKind, LandmarcConfig};
 use ctxres_middleware::{Middleware, MiddlewareConfig};
 use serde::{Deserialize, Serialize};
 
@@ -60,7 +60,10 @@ pub fn run_case_study_for_estimator(
     len: usize,
 ) -> CaseStudy {
     let base = LocationTracking::new();
-    let config = LandmarcConfig { estimator, ..base.config().clone() };
+    let config = LandmarcConfig {
+        estimator,
+        ..base.config().clone()
+    };
     run_case_study_with(base.with_config(config), err_rate, runs, len)
 }
 
@@ -71,7 +74,14 @@ fn run_case_study_with(app: LocationTracking, err_rate: f64, runs: usize, len: u
     let mut inconsistencies = 0u64;
     for seed in 0..runs as u64 {
         // Metrics run.
-        let m = run_with(&app, Box::new(DropBad::new()), err_rate, seed, len, DEFAULT_WINDOW);
+        let m = run_with(
+            &app,
+            Box::new(DropBad::new()),
+            err_rate,
+            seed,
+            len,
+            DEFAULT_WINDOW,
+        );
         survival_sum += m.survival;
         precision_sum += m.precision;
         // Rule-monitoring run (needs the detection log + ground truth).
@@ -79,18 +89,24 @@ fn run_case_study_with(app: LocationTracking, err_rate: f64, runs: usize, len: u
             .constraints(app.constraints())
             .registry(app.registry())
             .strategy(Box::new(DropBad::new()))
-            .config(MiddlewareConfig { window: Ticks::new(DEFAULT_WINDOW), track_ground_truth: false, retention: None })
+            .config(MiddlewareConfig {
+                window: Ticks::new(DEFAULT_WINDOW),
+                track_ground_truth: false,
+                retention: None,
+            })
             .build();
         let trace = app.generate(err_rate, seed, len);
-        let truth: Vec<bool> = trace.iter().map(|c| c.truth() == TruthTag::Corrupted).collect();
+        let truth: Vec<bool> = trace
+            .iter()
+            .map(|c| c.truth() == TruthTag::Corrupted)
+            .collect();
         for ctx in trace {
             mw.submit(ctx);
         }
         mw.drain();
         let detections: Vec<Inconsistency> = mw.detections().to_vec();
         inconsistencies += detections.len() as u64;
-        let is_corrupted =
-            |id: ContextId| truth.get(id.raw() as usize).copied().unwrap_or(false);
+        let is_corrupted = |id: ContextId| truth.get(id.raw() as usize).copied().unwrap_or(false);
         verdicts.extend(rule_report(&detections, is_corrupted));
     }
     let (rule1_rate, rule2_rate, rule2_relaxed_rate) = hold_rates(&verdicts);
@@ -122,7 +138,11 @@ mod tests {
         assert!(cs.survival > cs.precision, "survival below precision");
         // Paper: Rule 1 always held; Rule 2' held in 91.7 % of cases.
         assert!(cs.rule1_rate > 0.95, "rule1 {}", cs.rule1_rate);
-        assert!(cs.rule2_relaxed_rate > 0.6, "rule2' {}", cs.rule2_relaxed_rate);
+        assert!(
+            cs.rule2_relaxed_rate > 0.6,
+            "rule2' {}",
+            cs.rule2_relaxed_rate
+        );
         assert!(cs.rule2_relaxed_rate >= cs.rule2_rate);
     }
 }

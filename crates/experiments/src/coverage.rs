@@ -97,10 +97,18 @@ pub fn constraint_coverage(
         .iter()
         .map(|c| {
             let (detections, with_corrupted) = counts[c.name()];
-            ConstraintCoverage { constraint: c.name().to_owned(), detections, with_corrupted }
+            ConstraintCoverage {
+                constraint: c.name().to_owned(),
+                detections,
+                with_corrupted,
+            }
         })
         .collect();
-    CoverageReport { application: app.name().to_owned(), err_rate, rows }
+    CoverageReport {
+        application: app.name().to_owned(),
+        err_rate,
+        rows,
+    }
 }
 
 /// Renders a coverage report as a text table.
@@ -113,9 +121,17 @@ pub fn render_coverage(report: &CoverageReport) -> String {
         report.application,
         report.err_rate * 100.0
     );
-    let _ = writeln!(out, "{:<24}{:>12}{:>16}", "constraint", "detections", "w/ corrupted");
+    let _ = writeln!(
+        out,
+        "{:<24}{:>12}{:>16}",
+        "constraint", "detections", "w/ corrupted"
+    );
     for r in &report.rows {
-        let _ = writeln!(out, "{:<24}{:>12}{:>16}", r.constraint, r.detections, r.with_corrupted);
+        let _ = writeln!(
+            out,
+            "{:<24}{:>12}{:>16}",
+            r.constraint, r.detections, r.with_corrupted
+        );
     }
     let dead = report.dead_constraints();
     if !dead.is_empty() {

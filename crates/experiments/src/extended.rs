@@ -14,8 +14,15 @@ use ctxres_core::{ResolutionStrategy, TieBreak};
 use serde::{Deserialize, Serialize};
 
 /// The strategies of the extended comparison, in presentation order.
-pub const EXTENDED_STRATEGIES: [&str; 7] =
-    ["opt-r", "d-bad-impact", "d-bad", "d-lat", "d-all", "d-rand", "d-pol"];
+pub const EXTENDED_STRATEGIES: [&str; 7] = [
+    "opt-r",
+    "d-bad-impact",
+    "d-bad",
+    "d-lat",
+    "d-all",
+    "d-rand",
+    "d-pol",
+];
 
 /// Result of the extended comparison for one application.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,20 +60,34 @@ pub fn extended_comparison(
                 oracle_runs.clone()
             } else {
                 (0..runs as u64)
-                    .map(|seed| run_with(app, build(app, strategy, seed), err_rate, seed, len, window))
+                    .map(|seed| {
+                        run_with(app, build(app, strategy, seed), err_rate, seed, len, window)
+                    })
                     .collect()
             };
-            points.push(normalize_against_oracle(strategy, err_rate, &strategy_runs, &oracle_runs));
+            points.push(normalize_against_oracle(
+                strategy,
+                err_rate,
+                &strategy_runs,
+                &oracle_runs,
+            ));
         }
     }
-    ExtendedComparison { application: app.name().to_owned(), points }
+    ExtendedComparison {
+        application: app.name().to_owned(),
+        points,
+    }
 }
 
 /// Renders the comparison as a text table.
 pub fn render_extended(cmp: &ExtendedComparison, err_rates: &[f64]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "extended comparison — {} (ctxUseRate %)", cmp.application);
+    let _ = writeln!(
+        out,
+        "extended comparison — {} (ctxUseRate %)",
+        cmp.application
+    );
     let _ = write!(out, "{:>10}", "err_rate");
     for s in EXTENDED_STRATEGIES {
         let _ = write!(out, "{:>14}", s.to_uppercase());
@@ -99,10 +120,7 @@ mod tests {
         let cmp = extended_comparison(&app, &[0.3], 2, 150);
         assert_eq!(cmp.points.len(), EXTENDED_STRATEGIES.len());
         for s in EXTENDED_STRATEGIES {
-            assert!(
-                cmp.points.iter().any(|p| p.strategy == s),
-                "missing {s}"
-            );
+            assert!(cmp.points.iter().any(|p| p.strategy == s), "missing {s}");
         }
         let rendered = render_extended(&cmp, &[0.3]);
         assert!(rendered.contains("D-BAD-IMPACT"));
@@ -116,7 +134,11 @@ mod tests {
         let app = CallForwarding::new();
         let cmp = extended_comparison(&app, &[0.3], 3, 210);
         let plain = cmp.points.iter().find(|p| p.strategy == "d-bad").unwrap();
-        let impact = cmp.points.iter().find(|p| p.strategy == "d-bad-impact").unwrap();
+        let impact = cmp
+            .points
+            .iter()
+            .find(|p| p.strategy == "d-bad-impact")
+            .unwrap();
         assert!(
             impact.ctx_use_rate >= plain.ctx_use_rate - 0.02,
             "impact {} vs plain {}",

@@ -1,7 +1,7 @@
 //! Assembling Figures 9 and 10: strategy-vs-error-rate grids.
 
 use crate::metrics::{normalize_against_oracle, FigurePoint, RunMetrics};
-use crate::runner::run_named;
+use crate::runner::{run_jobs_parallel, run_named, RunJob};
 use crate::{ERROR_RATES, RUNS_PER_POINT, TRACE_LEN};
 use ctxres_apps::PervasiveApp;
 use ctxres_core::strategies::EXPERIMENT_STRATEGIES;
@@ -48,12 +48,75 @@ pub fn figure_for(app: &dyn PervasiveApp, runs: usize, len: usize) -> Figure {
                 oracle_runs.clone()
             } else {
                 (0..runs)
-                    .map(|i| {
-                        run_named(app, strategy, err_rate, seed_for(err_rate, i), len, window)
-                    })
+                    .map(|i| run_named(app, strategy, err_rate, seed_for(err_rate, i), len, window))
                     .collect()
             };
-            points.push(normalize_against_oracle(strategy, err_rate, &strategy_runs, &oracle_runs));
+            points.push(normalize_against_oracle(
+                strategy,
+                err_rate,
+                &strategy_runs,
+                &oracle_runs,
+            ));
+        }
+    }
+    Figure {
+        application: app.name().to_owned(),
+        points,
+        trace_len: len,
+        runs_per_point: runs,
+    }
+}
+
+/// [`figure_for`], fanning the seeded runs over `threads` worker
+/// threads.
+///
+/// Every `(strategy, error rate, seed)` cell is one independent job
+/// ([`RunJob`]); the workers race through the job queue and the results
+/// are reassembled in the serial loop's order. Because each run is
+/// deterministic in its seed, the returned figure — and its serialized
+/// JSON — is **bit-identical** to the serial [`figure_for`] (asserted
+/// by a test below). `threads <= 1` degrades to the serial path.
+pub fn figure_for_parallel(
+    app: &(dyn PervasiveApp + Sync),
+    runs: usize,
+    len: usize,
+    threads: usize,
+) -> Figure {
+    let window = app.recommended_window();
+    // One job per (rate, strategy, seed) cell, opt-r first per rate so
+    // its results double as the oracle baseline for that rate.
+    let mut jobs = Vec::new();
+    for &err_rate in &ERROR_RATES {
+        for strategy in EXPERIMENT_STRATEGIES {
+            for i in 0..runs {
+                jobs.push(RunJob {
+                    strategy: (*strategy).to_owned(),
+                    err_rate,
+                    seed: seed_for(err_rate, i),
+                });
+            }
+        }
+    }
+    let results = run_jobs_parallel(app, &jobs, len, window, threads);
+
+    let mut points = Vec::new();
+    let mut cursor = results.chunks(runs);
+    for &err_rate in &ERROR_RATES {
+        let mut oracle_runs: Vec<RunMetrics> = Vec::new();
+        for strategy in EXPERIMENT_STRATEGIES {
+            let strategy_runs = cursor
+                .next()
+                .expect("a chunk per (rate, strategy)")
+                .to_vec();
+            if strategy == "opt-r" {
+                oracle_runs = strategy_runs.clone();
+            }
+            points.push(normalize_against_oracle(
+                strategy,
+                err_rate,
+                &strategy_runs,
+                &oracle_runs,
+            ));
         }
     }
     Figure {
@@ -104,10 +167,45 @@ mod tests {
             let lat = fig.point("d-lat", err).unwrap();
             let all = fig.point("d-all", err).unwrap();
             assert!((opt.ctx_use_rate - 1.0).abs() < 1e-9);
-            assert!(bad.ctx_use_rate > lat.ctx_use_rate, "err {err}: d-bad {} vs d-lat {}", bad.ctx_use_rate, lat.ctx_use_rate);
-            assert!(bad.ctx_use_rate > all.ctx_use_rate, "err {err}: d-bad {} vs d-all {}", bad.ctx_use_rate, all.ctx_use_rate);
-            assert!(lat.ctx_use_rate > all.ctx_use_rate, "err {err}: d-lat {} vs d-all {}", lat.ctx_use_rate, all.ctx_use_rate);
+            assert!(
+                bad.ctx_use_rate > lat.ctx_use_rate,
+                "err {err}: d-bad {} vs d-lat {}",
+                bad.ctx_use_rate,
+                lat.ctx_use_rate
+            );
+            assert!(
+                bad.ctx_use_rate > all.ctx_use_rate,
+                "err {err}: d-bad {} vs d-all {}",
+                bad.ctx_use_rate,
+                all.ctx_use_rate
+            );
+            assert!(
+                lat.ctx_use_rate > all.ctx_use_rate,
+                "err {err}: d-lat {} vs d-all {}",
+                lat.ctx_use_rate,
+                all.ctx_use_rate
+            );
         }
+    }
+
+    /// The acceptance bar for the parallel runner: scheduling must not
+    /// leak into the output. Serialize both figures and compare the
+    /// *bytes*.
+    #[test]
+    fn parallel_grid_json_is_byte_identical_to_serial() {
+        let app = CallForwarding::new();
+        let serial = figure_for(&app, 2, 60);
+        let parallel = figure_for_parallel(&app, 2, 60, 3);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+    }
+
+    #[test]
+    fn single_thread_parallel_path_matches_too() {
+        let app = CallForwarding::new();
+        assert_eq!(figure_for(&app, 1, 40), figure_for_parallel(&app, 1, 40, 1));
     }
 
     #[test]

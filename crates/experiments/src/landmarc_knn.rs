@@ -50,14 +50,21 @@ fn measure(k: usize, grid_spacing: f64, samples: usize, seed: u64) -> KnnPoint {
     let mut errors: Vec<f64> = (0..samples)
         .map(|_| {
             let truth = walker.step();
-            estimator.locate(truth, &reference_map, &mut rng).distance(truth)
+            estimator
+                .locate(truth, &reference_map, &mut rng)
+                .distance(truth)
         })
         .collect();
     errors.sort_by(f64::total_cmp);
     let mean = errors.iter().sum::<f64>() / errors.len() as f64;
     let p95_index = ((errors.len() as f64 * 0.95) as usize).min(errors.len() - 1);
     let p95 = errors[p95_index];
-    KnnPoint { k, grid_spacing, mean_error: mean, p95_error: p95 }
+    KnnPoint {
+        k,
+        grid_spacing,
+        mean_error: mean,
+        p95_error: p95,
+    }
 }
 
 /// Renders the sweep as a text table.
@@ -65,7 +72,11 @@ pub fn render_knn(points: &[KnnPoint]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "LANDMARC estimator ablation (error in metres)");
-    let _ = writeln!(out, "{:>4}{:>10}{:>12}{:>12}", "k", "grid (m)", "mean err", "p95 err");
+    let _ = writeln!(
+        out,
+        "{:>4}{:>10}{:>12}{:>12}",
+        "k", "grid (m)", "mean err", "p95 err"
+    );
     for p in points {
         let _ = writeln!(
             out,
@@ -96,8 +107,14 @@ mod tests {
     #[test]
     fn denser_grid_reduces_error() {
         let points = knn_sweep(&[4], &[2.0, 6.0], 300, 5);
-        let dense = points.iter().find(|p| (p.grid_spacing - 2.0).abs() < 1e-9).unwrap();
-        let sparse = points.iter().find(|p| (p.grid_spacing - 6.0).abs() < 1e-9).unwrap();
+        let dense = points
+            .iter()
+            .find(|p| (p.grid_spacing - 2.0).abs() < 1e-9)
+            .unwrap();
+        let sparse = points
+            .iter()
+            .find(|p| (p.grid_spacing - 6.0).abs() < 1e-9)
+            .unwrap();
         assert!(
             dense.mean_error < sparse.mean_error,
             "2 m grid {:.2} should beat 6 m grid {:.2}",

@@ -91,7 +91,13 @@ pub fn normalize_against_oracle(
             act_rates.push(run.matched_activations as f64 / oracle.matched_activations as f64);
         }
     }
-    let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let avg = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     FigurePoint {
         strategy: strategy.to_owned(),
         err_rate,

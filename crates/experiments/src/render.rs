@@ -52,14 +52,49 @@ pub fn render_figure(fig: &Figure) -> String {
 /// Renders the §5.2 case-study table next to the paper's numbers.
 pub fn render_case_study(cs: &CaseStudy) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Landmarc case study (§5.2) — err_rate {:.0}%, {} runs, {} inconsistencies",
-        cs.err_rate * 100.0, cs.runs, cs.inconsistencies);
+    let _ = writeln!(
+        out,
+        "Landmarc case study (§5.2) — err_rate {:.0}%, {} runs, {} inconsistencies",
+        cs.err_rate * 100.0,
+        cs.runs,
+        cs.inconsistencies
+    );
     let _ = writeln!(out, "{:<28}{:>10}{:>10}", "metric", "measured", "paper");
-    let _ = writeln!(out, "{:<28}{:>9.1}%{:>9.1}%", "context survival rate", cs.survival * 100.0, 96.5);
-    let _ = writeln!(out, "{:<28}{:>9.1}%{:>9.1}%", "removal precision", cs.precision * 100.0, 84.7);
-    let _ = writeln!(out, "{:<28}{:>9.1}%{:>9.1}%", "Rule 1 held", cs.rule1_rate * 100.0, 100.0);
-    let _ = writeln!(out, "{:<28}{:>9.1}%{:>10}", "Rule 2 held", cs.rule2_rate * 100.0, "n/a");
-    let _ = writeln!(out, "{:<28}{:>9.1}%{:>9.1}%", "Rule 2' held", cs.rule2_relaxed_rate * 100.0, 91.7);
+    let _ = writeln!(
+        out,
+        "{:<28}{:>9.1}%{:>9.1}%",
+        "context survival rate",
+        cs.survival * 100.0,
+        96.5
+    );
+    let _ = writeln!(
+        out,
+        "{:<28}{:>9.1}%{:>9.1}%",
+        "removal precision",
+        cs.precision * 100.0,
+        84.7
+    );
+    let _ = writeln!(
+        out,
+        "{:<28}{:>9.1}%{:>9.1}%",
+        "Rule 1 held",
+        cs.rule1_rate * 100.0,
+        100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<28}{:>9.1}%{:>10}",
+        "Rule 2 held",
+        cs.rule2_rate * 100.0,
+        "n/a"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28}{:>9.1}%{:>9.1}%",
+        "Rule 2' held",
+        cs.rule2_relaxed_rate * 100.0,
+        91.7
+    );
     out
 }
 
@@ -71,7 +106,11 @@ pub fn render_window_ablation(ab: &WindowAblation) -> String {
         "Drop-bad time-window sweep (§5.3) — err_rate {:.0}%",
         ab.err_rate * 100.0
     );
-    let _ = writeln!(out, "{:>8}{:>16}{:>12}{:>12}", "window", "used_expected", "survival", "precision");
+    let _ = writeln!(
+        out,
+        "{:>8}{:>16}{:>12}{:>12}",
+        "window", "used_expected", "survival", "precision"
+    );
     for p in &ab.points {
         let _ = writeln!(
             out,

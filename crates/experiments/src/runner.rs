@@ -28,7 +28,11 @@ pub fn run_with(
         .situations(app.situations())
         .registry(app.registry())
         .strategy(strategy)
-        .config(MiddlewareConfig { window: Ticks::new(window), track_ground_truth: true, retention: None })
+        .config(MiddlewareConfig {
+            window: Ticks::new(window),
+            track_ground_truth: true,
+            retention: None,
+        })
         .build();
     for ctx in app.generate(err_rate, seed, len) {
         mw.submit(ctx);
@@ -67,8 +71,100 @@ pub fn run_named(
     len: usize,
     window: u64,
 ) -> RunMetrics {
-    let strategy = by_name(strategy, seed).unwrap_or_else(|| panic!("unknown strategy {strategy:?}"));
+    let strategy =
+        by_name(strategy, seed).unwrap_or_else(|| panic!("unknown strategy {strategy:?}"));
     run_with(app, strategy, err_rate, seed, len, window)
+}
+
+/// One cell of an experiment grid: a strategy at an error rate with a
+/// seed. The unit of work the parallel runner fans out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunJob {
+    /// Strategy paper name (`opt-r`, `d-bad`, …).
+    pub strategy: String,
+    /// Workload corruption probability.
+    pub err_rate: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Runs a list of jobs across `threads` worker threads and returns the
+/// metrics **in job order** — every run is seeded, so the result of
+/// each job is independent of scheduling, and reassembling in input
+/// order makes the output bit-identical to a serial loop over the same
+/// jobs (asserted in `figures::tests`).
+///
+/// `threads <= 1` runs the jobs serially on the calling thread.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the panic is propagated) or on an unknown
+/// strategy name.
+pub fn run_jobs_parallel(
+    app: &(dyn PervasiveApp + Sync),
+    jobs: &[RunJob],
+    len: usize,
+    window: u64,
+    threads: usize,
+) -> Vec<RunMetrics> {
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs
+            .iter()
+            .map(|j| run_named(app, &j.strategy, j.err_rate, j.seed, len, window))
+            .collect();
+    }
+    let workers = threads.min(jobs.len());
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, RunJob)>();
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, RunMetrics)>();
+    for pair in jobs.iter().cloned().enumerate() {
+        job_tx.send(pair).expect("queue jobs");
+    }
+    drop(job_tx);
+
+    let mut slots: Vec<Option<RunMetrics>> = vec![None; jobs.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let out_tx = out_tx.clone();
+            handles.push(scope.spawn(move || {
+                for (idx, job) in job_rx {
+                    let metrics =
+                        run_named(app, &job.strategy, job.err_rate, job.seed, len, window);
+                    if out_tx.send((idx, metrics)).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(out_tx);
+        for (idx, metrics) in out_rx {
+            slots[idx] = Some(metrics);
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.expect("every job produced a result"))
+        .collect()
+}
+
+/// Worker-thread count for parallel experiment grids:
+/// `CTXRES_THREADS` when set, otherwise the machine's available
+/// parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("CTXRES_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -41,13 +41,21 @@ pub fn replay(trace_name: &str, constraints: Vec<Constraint>, strategy: &str) ->
     let mut mw = Middleware::builder()
         .constraints(constraints)
         .strategy(by_name(strategy, 0).unwrap_or_else(|| panic!("unknown strategy {strategy:?}")))
-        .config(MiddlewareConfig { window: Ticks::new(10), track_ground_truth: true, retention: None })
+        .config(MiddlewareConfig {
+            window: Ticks::new(10),
+            track_ground_truth: true,
+            retention: None,
+        })
         .build();
     for ctx in trace {
         mw.submit(ctx);
     }
     mw.drain();
-    let states: Vec<String> = mw.pool().iter().map(|(_, c)| c.state().to_string()).collect();
+    let states: Vec<String> = mw
+        .pool()
+        .iter()
+        .map(|(_, c)| c.state().to_string())
+        .collect();
     let discarded: Vec<usize> = mw
         .pool()
         .iter()
@@ -55,7 +63,11 @@ pub fn replay(trace_name: &str, constraints: Vec<Constraint>, strategy: &str) ->
         .filter(|(_, (_, c))| c.state() == ContextState::Inconsistent)
         .map(|(i, _)| i + 1)
         .collect();
-    ScenarioOutcome { strategy: strategy.to_owned(), states, discarded }
+    ScenarioOutcome {
+        strategy: strategy.to_owned(),
+        states,
+        discarded,
+    }
 }
 
 #[cfg(test)]
@@ -100,7 +112,11 @@ mod tests {
         // count in both scenarios and is the only discard.
         for scenario in ["A", "B"] {
             let out = replay(scenario, refined_constraints(), "d-bad");
-            assert!(out.is_correct(), "scenario {scenario}: discarded {:?}", out.discarded);
+            assert!(
+                out.is_correct(),
+                "scenario {scenario}: discarded {:?}",
+                out.discarded
+            );
         }
     }
 

@@ -60,8 +60,16 @@ pub fn stress_error_rates(
 pub fn render_stress(sweep: &StressSweep) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "high-error stress — {} (ctxUseRate %)", sweep.application);
-    let _ = writeln!(out, "{:>10}{:>9}{:>9}{:>9}{:>9}", "err_rate", "OPT-R", "D-BAD", "D-LAT", "D-ALL");
+    let _ = writeln!(
+        out,
+        "high-error stress — {} (ctxUseRate %)",
+        sweep.application
+    );
+    let _ = writeln!(
+        out,
+        "{:>10}{:>9}{:>9}{:>9}{:>9}",
+        "err_rate", "OPT-R", "D-BAD", "D-LAT", "D-ALL"
+    );
     for &err in &sweep.err_rates {
         let _ = write!(out, "{:>9.0}%", err * 100.0);
         for s in ["opt-r", "d-bad", "d-lat", "d-all"] {

@@ -45,7 +45,11 @@ impl Floorplan {
             }
             y += spacing;
         }
-        Floorplan { area, readers, reference_tags }
+        Floorplan {
+            area,
+            readers,
+            reference_tags,
+        }
     }
 
     /// The floor area.
@@ -85,10 +89,8 @@ mod tests {
         let plan = Floorplan::grid(area, 2.0, 2);
         assert_eq!(plan.readers().len(), 8);
         for r in plan.readers() {
-            let on_wall = r.x == area.min.x
-                || r.x == area.max.x
-                || r.y == area.min.y
-                || r.y == area.max.y;
+            let on_wall =
+                r.x == area.min.x || r.x == area.max.x || r.y == area.min.y || r.y == area.max.y;
             assert!(on_wall, "{r} is not on a wall");
         }
     }

@@ -22,7 +22,10 @@ impl Rect {
     /// Panics if the corners are not ordered (`x0 <= x1 && y0 <= y1`).
     pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
         assert!(x0 <= x1 && y0 <= y1, "rect corners must be ordered");
-        Rect { min: Point::new(x0, y0), max: Point::new(x1, y1) }
+        Rect {
+            min: Point::new(x0, y0),
+            max: Point::new(x1, y1),
+        }
     }
 
     /// Width of the rectangle.
@@ -42,7 +45,10 @@ impl Rect {
 
     /// Clamps `p` into the rectangle.
     pub fn clamp(&self, p: Point) -> Point {
-        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
     }
 
     /// Samples a uniform point inside the rectangle.

@@ -125,7 +125,10 @@ mod tests {
         // Zero-noise model: measure with sigma 0.
         let quiet = KnnEstimator::new(
             est.plan().clone(),
-            PathLossModel { sigma: 0.0, ..PathLossModel::default() },
+            PathLossModel {
+                sigma: 0.0,
+                ..PathLossModel::default()
+            },
             4,
         );
         let mut rng = StdRng::seed_from_u64(3);
@@ -178,7 +181,14 @@ mod tests {
     #[test]
     fn k1_snaps_to_a_reference_tag() {
         let plan = Floorplan::grid(Rect::new(0.0, 0.0, 10.0, 10.0), 2.0, 1);
-        let est = KnnEstimator::new(plan, PathLossModel { sigma: 0.0, ..Default::default() }, 1);
+        let est = KnnEstimator::new(
+            plan,
+            PathLossModel {
+                sigma: 0.0,
+                ..Default::default()
+            },
+            1,
+        );
         let map = est.reference_map();
         let mut rng = StdRng::seed_from_u64(1);
         let p = est.locate(Point::new(3.1, 3.1), &map, &mut rng);

@@ -31,13 +31,17 @@ impl KnnLocator {
     /// Wraps a [`KnnEstimator`], precomputing its reference map.
     pub fn new(estimator: KnnEstimator) -> Self {
         let reference_map = estimator.reference_map();
-        KnnLocator { estimator, reference_map }
+        KnnLocator {
+            estimator,
+            reference_map,
+        }
     }
 }
 
 impl Locator for KnnLocator {
     fn locate_dyn(&self, true_pos: Point, mut rng: &mut dyn RngCore) -> Point {
-        self.estimator.locate(true_pos, &self.reference_map, &mut rng)
+        self.estimator
+            .locate(true_pos, &self.reference_map, &mut rng)
     }
 
     fn technique(&self) -> &'static str {
@@ -92,7 +96,11 @@ mod tests {
         let mut names = Vec::new();
         for locator in locators() {
             let p = locator.locate_dyn(truth, &mut rng);
-            assert!(p.distance(truth) < 15.0, "{}: wild estimate {p}", locator.technique());
+            assert!(
+                p.distance(truth) < 15.0,
+                "{}: wild estimate {p}",
+                locator.technique()
+            );
             names.push(locator.technique());
         }
         assert_eq!(names, vec!["knn", "trilateration", "fused"]);

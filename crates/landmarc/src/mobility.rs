@@ -32,7 +32,13 @@ impl RandomWaypoint {
         let mut rng = StdRng::seed_from_u64(seed);
         let pos = area.center();
         let target = area.sample(&mut rng);
-        RandomWaypoint { area, speed, pos, target, rng }
+        RandomWaypoint {
+            area,
+            speed,
+            pos,
+            target,
+            rng,
+        }
     }
 
     /// Current position.

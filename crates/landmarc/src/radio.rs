@@ -26,7 +26,12 @@ pub struct PathLossModel {
 impl Default for PathLossModel {
     fn default() -> Self {
         // Typical 303.8 MHz active-RFID indoor parameters.
-        PathLossModel { p0: -40.0, n: 2.8, sigma: 2.0, d0: 1.0 }
+        PathLossModel {
+            p0: -40.0,
+            n: 2.8,
+            sigma: 2.0,
+            d0: 1.0,
+        }
     }
 }
 
@@ -92,7 +97,10 @@ mod tests {
 
     #[test]
     fn noise_has_roughly_configured_sigma() {
-        let m = PathLossModel { sigma: 3.0, ..PathLossModel::default() };
+        let m = PathLossModel {
+            sigma: 3.0,
+            ..PathLossModel::default()
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let n = 4000;
         let samples: Vec<f64> = (0..n).map(|_| m.sample_rssi(5.0, &mut rng)).collect();

@@ -167,7 +167,12 @@ impl Iterator for LandmarcSim {
         } else {
             self.locator.locate_dyn(truth, &mut self.rng)
         };
-        let fix = LocationFix { seq: self.seq, pos, true_pos: truth, corrupted };
+        let fix = LocationFix {
+            seq: self.seq,
+            pos,
+            true_pos: truth,
+            corrupted,
+        };
         self.seq += 1;
         Some(fix)
     }
@@ -180,7 +185,10 @@ mod tests {
     #[test]
     fn error_rate_is_respected() {
         let sim = LandmarcSim::new(
-            LandmarcConfig { err_rate: 0.3, ..LandmarcConfig::default() },
+            LandmarcConfig {
+                err_rate: 0.3,
+                ..LandmarcConfig::default()
+            },
             17,
         );
         let fixes: Vec<LocationFix> = sim.take(2000).collect();
@@ -191,7 +199,10 @@ mod tests {
     #[test]
     fn corrupted_fixes_jump_far() {
         let sim = LandmarcSim::new(
-            LandmarcConfig { err_rate: 0.5, ..LandmarcConfig::default() },
+            LandmarcConfig {
+                err_rate: 0.5,
+                ..LandmarcConfig::default()
+            },
             23,
         );
         for fix in sim.take(500).filter(|f| f.corrupted) {
@@ -202,13 +213,13 @@ mod tests {
     #[test]
     fn expected_fixes_are_accurate_in_the_median() {
         let sim = LandmarcSim::new(
-            LandmarcConfig { err_rate: 0.0, ..LandmarcConfig::default() },
+            LandmarcConfig {
+                err_rate: 0.0,
+                ..LandmarcConfig::default()
+            },
             29,
         );
-        let mut errors: Vec<f64> = sim
-            .take(500)
-            .map(|f| f.pos.distance(f.true_pos))
-            .collect();
+        let mut errors: Vec<f64> = sim.take(500).map(|f| f.pos.distance(f.true_pos)).collect();
         errors.sort_by(f64::total_cmp);
         let median = errors[errors.len() / 2];
         assert!(median < 4.0, "median estimation error {median}");
@@ -226,13 +237,20 @@ mod tests {
 
     #[test]
     fn every_estimator_kind_produces_sane_fixes() {
-        for kind in [EstimatorKind::Knn, EstimatorKind::Trilateration, EstimatorKind::Fused] {
+        for kind in [
+            EstimatorKind::Knn,
+            EstimatorKind::Trilateration,
+            EstimatorKind::Fused,
+        ] {
             let sim = LandmarcSim::new(
-                LandmarcConfig { err_rate: 0.0, estimator: kind, ..LandmarcConfig::default() },
+                LandmarcConfig {
+                    err_rate: 0.0,
+                    estimator: kind,
+                    ..LandmarcConfig::default()
+                },
                 41,
             );
-            let mut errors: Vec<f64> =
-                sim.take(300).map(|f| f.pos.distance(f.true_pos)).collect();
+            let mut errors: Vec<f64> = sim.take(300).map(|f| f.pos.distance(f.true_pos)).collect();
             errors.sort_by(f64::total_cmp);
             let median = errors[errors.len() / 2];
             assert!(median < 6.0, "{kind:?}: median error {median}");
@@ -250,7 +268,10 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn bad_err_rate_panics() {
         let _ = LandmarcSim::new(
-            LandmarcConfig { err_rate: 1.5, ..LandmarcConfig::default() },
+            LandmarcConfig {
+                err_rate: 1.5,
+                ..LandmarcConfig::default()
+            },
             1,
         );
     }

@@ -31,7 +31,10 @@ impl TrilaterationEstimator {
     /// Panics with fewer than three readers (the system is
     /// under-determined).
     pub fn new(readers: Vec<Point>, model: PathLossModel) -> Self {
-        assert!(readers.len() >= 3, "trilateration needs at least three readers");
+        assert!(
+            readers.len() >= 3,
+            "trilateration needs at least three readers"
+        );
         TrilaterationEstimator { readers, model }
     }
 
@@ -56,9 +59,7 @@ impl TrilaterationEstimator {
         let mut atb = [0.0f64; 2];
         for (i, pi) in self.readers.iter().enumerate().skip(1) {
             let a = [2.0 * (pi.x - p0.x), 2.0 * (pi.y - p0.y)];
-            let b = (pi.x * pi.x - p0.x * p0.x)
-                + (pi.y * pi.y - p0.y * p0.y)
-                + r0 * r0
+            let b = (pi.x * pi.x - p0.x * p0.x) + (pi.y * pi.y - p0.y * p0.y) + r0 * r0
                 - ranges[i] * ranges[i];
             ata[0][0] += a[0] * a[0];
             ata[0][1] += a[0] * a[1];
@@ -109,7 +110,11 @@ impl FusedEstimator {
     pub fn new(knn: KnnEstimator, model: PathLossModel) -> Self {
         let reference_map = knn.reference_map();
         let trilateration = TrilaterationEstimator::new(knn.plan().readers().to_vec(), model);
-        FusedEstimator { knn, reference_map, trilateration }
+        FusedEstimator {
+            knn,
+            reference_map,
+            trilateration,
+        }
     }
 
     /// Locates `true_pos` with both techniques and averages.
@@ -146,7 +151,10 @@ mod tests {
 
     #[test]
     fn noise_free_estimate_recovers_the_position() {
-        let model = PathLossModel { sigma: 0.0, ..PathLossModel::default() };
+        let model = PathLossModel {
+            sigma: 0.0,
+            ..PathLossModel::default()
+        };
         let t = TrilaterationEstimator::new(readers(), model);
         let mut rng = StdRng::seed_from_u64(1);
         let truth = Point::new(7.0, 12.0);
@@ -156,19 +164,30 @@ mod tests {
 
     #[test]
     fn noisy_estimates_have_bounded_median_error() {
-        let model = PathLossModel { sigma: 2.0, ..PathLossModel::default() };
+        let model = PathLossModel {
+            sigma: 2.0,
+            ..PathLossModel::default()
+        };
         let t = TrilaterationEstimator::new(readers(), model);
         let mut rng = StdRng::seed_from_u64(3);
         let truth = Point::new(10.0, 10.0);
-        let mut errors: Vec<f64> =
-            (0..200).map(|_| t.locate(truth, &mut rng).distance(truth)).collect();
+        let mut errors: Vec<f64> = (0..200)
+            .map(|_| t.locate(truth, &mut rng).distance(truth))
+            .collect();
         errors.sort_by(f64::total_cmp);
-        assert!(errors[errors.len() / 2] < 6.0, "median {}", errors[errors.len() / 2]);
+        assert!(
+            errors[errors.len() / 2] < 6.0,
+            "median {}",
+            errors[errors.len() / 2]
+        );
     }
 
     #[test]
     fn fusion_beats_the_worse_technique() {
-        let model = PathLossModel { sigma: 2.0, ..PathLossModel::default() };
+        let model = PathLossModel {
+            sigma: 2.0,
+            ..PathLossModel::default()
+        };
         let plan = Floorplan::grid(Rect::new(0.0, 0.0, 20.0, 20.0), 2.0, 2);
         let knn = KnnEstimator::new(plan, model, 4);
         let map = knn.reference_map();
@@ -177,10 +196,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut err = (0.0, 0.0, 0.0);
         for _ in 0..300 {
-            let truth = Point::new(
-                rng.gen_range(2.0..18.0),
-                rng.gen_range(2.0..18.0),
-            );
+            let truth = Point::new(rng.gen_range(2.0..18.0), rng.gen_range(2.0..18.0));
             err.0 += knn.locate(truth, &map, &mut rng).distance(truth);
             err.1 += tril.locate(truth, &mut rng).distance(truth);
             err.2 += fused.locate(truth, &mut rng).distance(truth);

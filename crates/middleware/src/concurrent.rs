@@ -44,7 +44,9 @@ impl std::fmt::Debug for SharedMiddleware {
 impl SharedMiddleware {
     /// Wraps a middleware for sharing.
     pub fn new(middleware: Middleware) -> Self {
-        SharedMiddleware { inner: Arc::new(Mutex::new(middleware)) }
+        SharedMiddleware {
+            inner: Arc::new(Mutex::new(middleware)),
+        }
     }
 
     /// Locks the middleware for direct access (submit, poll, stats, …).
@@ -68,9 +70,44 @@ impl SharedMiddleware {
 
     /// Pumps a channel from a freshly spawned thread; join the handle to
     /// wait for the source to finish.
-    pub fn pump_in_thread(&self, source: Receiver<Context>) -> std::thread::JoinHandle<usize> {
+    pub fn pump_in_thread(&self, source: Receiver<Context>) -> PumpHandle {
         let this = self.clone();
-        std::thread::spawn(move || this.pump(source))
+        PumpHandle {
+            inner: std::thread::spawn(move || this.pump(source)),
+        }
+    }
+}
+
+/// Handle to a pump thread spawned by
+/// [`SharedMiddleware::pump_in_thread`].
+///
+/// Unlike a raw [`std::thread::JoinHandle`], [`PumpHandle::join`]
+/// re-raises a panic from the pump thread on the joining thread instead
+/// of returning it as an opaque `Err` — a crashed source (e.g. a
+/// panicking strategy or observer) fails the run loudly rather than
+/// surfacing as a silently short count.
+#[derive(Debug)]
+pub struct PumpHandle {
+    inner: std::thread::JoinHandle<usize>,
+}
+
+impl PumpHandle {
+    /// Waits for the pump to exhaust its channel and returns how many
+    /// contexts it submitted.
+    ///
+    /// # Panics
+    ///
+    /// Resumes the pump thread's panic, if it had one.
+    pub fn join(self) -> usize {
+        match self.inner.join() {
+            Ok(n) => n,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Whether the pump thread has finished (without blocking).
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
     }
 }
 
@@ -140,8 +177,8 @@ mod tests {
 
         producer_a.join().unwrap();
         producer_b.join().unwrap();
-        assert_eq!(pump_a.join().unwrap(), 50);
-        assert_eq!(pump_b.join().unwrap(), 50);
+        assert_eq!(pump_a.join(), 50);
+        assert_eq!(pump_b.join(), 50);
         shared.lock().drain();
         assert_eq!(consumer.join().unwrap(), 100);
         assert_eq!(shared.lock().stats().delivered, 100);
@@ -154,5 +191,28 @@ mod tests {
         tx.send(loc("a", 0)).unwrap();
         drop(tx);
         assert_eq!(shared.pump(rx), 1);
+    }
+
+    #[test]
+    fn pump_thread_panic_propagates_on_join() {
+        struct Exploder;
+        impl crate::observer::MiddlewareObserver for Exploder {
+            fn on_submitted(&mut self, _report: &crate::middleware::SubmitReport, _ctx: &Context) {
+                panic!("observer exploded");
+            }
+        }
+        let mw = Middleware::builder()
+            .strategy(Box::new(DropBad::new()))
+            .observer(Box::new(Exploder))
+            .build();
+        let shared = SharedMiddleware::new(mw);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        tx.send(loc("a", 0)).unwrap();
+        drop(tx);
+        let handle = shared.pump_in_thread(rx);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.join()));
+        let payload = outcome.expect_err("the source panic must reach the joiner");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "observer exploded");
     }
 }

@@ -56,16 +56,18 @@
 mod concurrent;
 mod middleware;
 mod observer;
+mod shard;
 mod situation;
-mod subscription;
 pub mod source;
 mod stats;
+mod subscription;
 
-pub use concurrent::SharedMiddleware;
+pub use concurrent::{PumpHandle, SharedMiddleware};
 pub use middleware::{Middleware, MiddlewareBuilder, MiddlewareConfig, SubmitReport, UseRecord};
 pub use observer::{Event, EventLog, MiddlewareObserver};
-pub use subscription::{SubscriptionFilter, SubscriptionId};
+pub use shard::{ShardPlan, ShardedMiddleware};
 pub use situation::{SituationEngine, SituationStatus};
-pub use stats::MiddlewareStats;
+pub use stats::{MiddlewareStats, ShardStats};
+pub use subscription::{SubscriptionFilter, SubscriptionId};
 
 pub use ctxres_core::ResolutionStrategy;

@@ -1,13 +1,11 @@
 //! The middleware core: detection, buffering, plug-in resolution.
 
 use crate::observer::MiddlewareObserver;
-use crate::subscription::{SubscriptionFilter, SubscriptionId, SubscriptionTable};
 use crate::situation::SituationEngine;
 use crate::stats::MiddlewareStats;
+use crate::subscription::{SubscriptionFilter, SubscriptionId, SubscriptionTable};
 use ctxres_constraint::{Constraint, ConstraintSet, IncrementalChecker, PredicateRegistry};
-use ctxres_context::{
-    Context, ContextId, ContextPool, ContextState, LogicalTime, Ticks, TruthTag,
-};
+use ctxres_context::{Context, ContextId, ContextPool, ContextState, LogicalTime, Ticks, TruthTag};
 use ctxres_core::{Inconsistency, ResolutionStrategy};
 use std::collections::VecDeque;
 use std::fmt;
@@ -32,7 +30,11 @@ pub struct MiddlewareConfig {
 
 impl Default for MiddlewareConfig {
     fn default() -> Self {
-        MiddlewareConfig { window: Ticks::new(5), track_ground_truth: true, retention: None }
+        MiddlewareConfig {
+            window: Ticks::new(5),
+            track_ground_truth: true,
+            retention: None,
+        }
     }
 }
 
@@ -126,6 +128,12 @@ impl Middleware {
         &self.stats
     }
 
+    /// The incremental checker's evaluation counters (how many pinned
+    /// and full constraint checks ran).
+    pub fn checker_stats(&self) -> ctxres_constraint::CheckerStats {
+        self.checker.stats()
+    }
+
     /// Matched situation activations: ground-truth situation *epochs*
     /// (maximal intervals where the situation truly held) that the
     /// strategy's view also activated. The experiments normalize this
@@ -192,8 +200,8 @@ impl Middleware {
 
         let truth = ctx.truth();
         let kind = ctx.kind().clone();
-        let gt_clone = (self.config.track_ground_truth && truth == TruthTag::Expected)
-            .then(|| ctx.clone());
+        let gt_clone =
+            (self.config.track_ground_truth && truth == TruthTag::Expected).then(|| ctx.clone());
         let id = self.pool.insert(ctx);
         self.stats.received += 1;
         if let Some(clone) = gt_clone {
@@ -217,7 +225,12 @@ impl Middleware {
             self.dirty = true;
             self.process_due(now);
             self.evaluate_situations_if_dirty(now);
-            let report = SubmitReport { id, fresh: 0, discarded: Vec::new(), irrelevant: true };
+            let report = SubmitReport {
+                id,
+                fresh: 0,
+                discarded: Vec::new(),
+                irrelevant: true,
+            };
             self.notify(|obs, mw| {
                 if let Some(ctx) = mw.pool.get(id) {
                     obs.on_submitted(&report, ctx);
@@ -226,20 +239,20 @@ impl Middleware {
             return report;
         }
 
-        let fresh: Vec<Inconsistency> = match self.checker.on_added(&self.registry, &self.pool, now, id)
-        {
-            Ok(ds) => ds
-                .into_iter()
-                .map(|d| Inconsistency::new(&d.constraint, d.link, now))
-                .collect(),
-            Err(_) => {
-                // A constraint referenced a predicate/attribute this
-                // context lacks: detection is skipped for this addition
-                // but the middleware keeps running (and counts it).
-                self.stats.eval_errors += 1;
-                Vec::new()
-            }
-        };
+        let fresh: Vec<Inconsistency> =
+            match self.checker.on_added(&self.registry, &self.pool, now, id) {
+                Ok(ds) => ds
+                    .into_iter()
+                    .map(|d| Inconsistency::new(&d.constraint, d.link, now))
+                    .collect(),
+                Err(_) => {
+                    // A constraint referenced a predicate/attribute this
+                    // context lacks: detection is skipped for this addition
+                    // but the middleware keeps running (and counts it).
+                    self.stats.eval_errors += 1;
+                    Vec::new()
+                }
+            };
         self.stats.inconsistencies += fresh.len() as u64;
         self.detections.extend(fresh.iter().cloned());
 
@@ -253,8 +266,12 @@ impl Middleware {
         self.dirty = true;
         self.process_due(now);
         self.evaluate_situations_if_dirty(now);
-        let report =
-            SubmitReport { id, fresh: fresh.len(), discarded: outcome.discarded, irrelevant: false };
+        let report = SubmitReport {
+            id,
+            fresh: fresh.len(),
+            discarded: outcome.discarded,
+            irrelevant: false,
+        };
         self.notify(|obs, mw| {
             if !fresh.is_empty() {
                 obs.on_detections(&fresh);
@@ -355,7 +372,12 @@ impl Middleware {
             self.count_discard(*did);
         }
         self.stats.marked_bad += outcome.marked_bad.len() as u64;
-        let rec = UseRecord { id, delivered: outcome.delivered, truth, at: now };
+        let rec = UseRecord {
+            id,
+            delivered: outcome.delivered,
+            truth,
+            at: now,
+        };
         self.use_log.push(rec);
         self.dirty = true;
         self.notify(|obs, _| obs.on_used(&rec));
@@ -387,7 +409,8 @@ impl Middleware {
         }
         self.dirty = false;
         let gt_statuses = if self.config.track_ground_truth {
-            self.gt_situations.evaluate(&self.registry, &self.gt_pool, now)
+            self.gt_situations
+                .evaluate(&self.registry, &self.gt_pool, now)
         } else {
             Vec::new()
         };
@@ -493,7 +516,11 @@ impl MiddlewareBuilder {
         {
             let mut seen = std::collections::BTreeSet::new();
             for c in &self.constraints {
-                assert!(seen.insert(c.name()), "duplicate constraint name {:?}", c.name());
+                assert!(
+                    seen.insert(c.name()),
+                    "duplicate constraint name {:?}",
+                    c.name()
+                );
             }
         }
         let constraint_set: ConstraintSet = self.constraints.into_iter().collect();
@@ -503,7 +530,9 @@ impl MiddlewareBuilder {
         let gt_situations = SituationEngine::new(self.situations);
         Middleware {
             pool: ContextPool::new(),
-            registry: self.registry.unwrap_or_else(PredicateRegistry::with_builtins),
+            registry: self
+                .registry
+                .unwrap_or_else(PredicateRegistry::with_builtins),
             checker: IncrementalChecker::new(constraint_set),
             strategy,
             situations,
@@ -559,7 +588,11 @@ mod tests {
         Middleware::builder()
             .constraints(parse_constraints(SPEED).unwrap())
             .strategy(strategy)
-            .config(MiddlewareConfig { window: Ticks::new(window), track_ground_truth: true, retention: None })
+            .config(MiddlewareConfig {
+                window: Ticks::new(window),
+                track_ground_truth: true,
+                retention: None,
+            })
             .build()
     }
 
@@ -568,7 +601,10 @@ mod tests {
         let mut m = mw(Box::new(DropBad::new()), 3);
         let report = m.submit(Context::builder(ContextKind::new("temperature"), "room").build());
         assert!(report.irrelevant);
-        assert_eq!(m.pool().get(report.id).unwrap().state(), ContextState::Consistent);
+        assert_eq!(
+            m.pool().get(report.id).unwrap().state(),
+            ContextState::Consistent
+        );
         assert_eq!(m.stats().irrelevant, 1);
     }
 
@@ -601,7 +637,11 @@ mod tests {
         let mut m = Middleware::builder()
             .constraints(constraints)
             .strategy(Box::new(DropBad::new()))
-            .config(MiddlewareConfig { window: Ticks::new(10), track_ground_truth: true, retention: None })
+            .config(MiddlewareConfig {
+                window: Ticks::new(10),
+                track_ground_truth: true,
+                retention: None,
+            })
             .build();
         // Steady walk with a wild outlier at seq 2.
         m.submit(loc("p", 0, 0.0, 0.0));
@@ -678,13 +718,21 @@ mod tests {
             .constraints(parse_constraints(SPEED).unwrap())
             .situations(situations)
             .strategy(Box::new(DropBad::new()))
-            .config(MiddlewareConfig { window: Ticks::new(4), track_ground_truth: true, retention: None })
+            .config(MiddlewareConfig {
+                window: Ticks::new(4),
+                track_ground_truth: true,
+                retention: None,
+            })
             .build();
         m.submit(loc("p", 0, 0.0, 0.0));
         assert_eq!(m.stats().situation_activations, 0, "still buffered");
         m.drain();
         assert_eq!(m.stats().situation_activations, 1);
-        assert_eq!(m.matched_activations(), 1, "activation agrees with ground truth");
+        assert_eq!(
+            m.matched_activations(),
+            1,
+            "activation agrees with ground truth"
+        );
     }
 
     #[test]
@@ -696,7 +744,11 @@ mod tests {
         let mut m = Middleware::builder()
             .situations(situations)
             .strategy(Box::new(DropLatest::new()))
-            .config(MiddlewareConfig { window: Ticks::new(0), track_ground_truth: true, retention: None })
+            .config(MiddlewareConfig {
+                window: Ticks::new(0),
+                track_ground_truth: true,
+                retention: None,
+            })
             .build();
         // No constraints deployed: the corrupted context sails through
         // (irrelevant fast path) and falsely activates the situation.
@@ -753,9 +805,15 @@ mod eval_error_tests {
     fn eval_errors_are_counted_not_fatal() {
         // The constraint reads an attribute the context does not carry.
         let mut m = Middleware::builder()
-            .constraints(parse_constraints("constraint c: forall a: badge . eq(a.room, \"x\")").unwrap())
+            .constraints(
+                parse_constraints("constraint c: forall a: badge . eq(a.room, \"x\")").unwrap(),
+            )
             .strategy(Box::new(DropBad::new()))
-            .config(MiddlewareConfig { window: Ticks::new(1), track_ground_truth: false, retention: None })
+            .config(MiddlewareConfig {
+                window: Ticks::new(1),
+                track_ground_truth: false,
+                retention: None,
+            })
             .build();
         let report = m.submit(Context::builder(ContextKind::new("badge"), "p").build());
         assert_eq!(report.fresh, 0);
@@ -788,7 +846,11 @@ mod observer_tests {
                 .unwrap(),
             )
             .strategy(Box::new(DropBad::new()))
-            .config(MiddlewareConfig { window: Ticks::new(2), track_ground_truth: false, retention: None })
+            .config(MiddlewareConfig {
+                window: Ticks::new(2),
+                track_ground_truth: false,
+                retention: None,
+            })
             .observer(Box::new(Arc::clone(&log)))
             .build();
         for (i, (x, y)) in [(0.0, 0.0), (9.0, 9.0), (1.0, 0.0)].iter().enumerate() {
@@ -802,9 +864,21 @@ mod observer_tests {
         }
         m.drain();
         let events = log.lock();
-        let submitted = events.events().iter().filter(|e| matches!(e, Event::Submitted { .. })).count();
-        let detected = events.events().iter().filter(|e| matches!(e, Event::Detected(_))).count();
-        let used = events.events().iter().filter(|e| matches!(e, Event::Used(_))).count();
+        let submitted = events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Submitted { .. }))
+            .count();
+        let detected = events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Detected(_)))
+            .count();
+        let used = events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Used(_)))
+            .count();
         assert_eq!(submitted, 3);
         assert!(detected >= 2, "the outlier conflicts with both neighbours");
         assert_eq!(used, 3);
@@ -829,10 +903,16 @@ mod subscription_tests {
                 .unwrap(),
             )
             .strategy(Box::new(DropBad::new()))
-            .config(MiddlewareConfig { window: Ticks::new(1), track_ground_truth: false, retention: None })
+            .config(MiddlewareConfig {
+                window: Ticks::new(1),
+                track_ground_truth: false,
+                retention: None,
+            })
             .build();
         let peter_locations = m.subscribe(
-            SubscriptionFilter::all().of_kind("location").of_subject("peter"),
+            SubscriptionFilter::all()
+                .of_kind("location")
+                .of_subject("peter"),
         );
         let everything = m.subscribe(SubscriptionFilter::all());
 
@@ -903,7 +983,11 @@ mod retention_tests {
             );
         }
         m.drain();
-        assert!(m.stats().compacted > 400, "compacted {}", m.stats().compacted);
+        assert!(
+            m.stats().compacted > 400,
+            "compacted {}",
+            m.stats().compacted
+        );
         assert!(
             m.pool().len() < 60,
             "pool must stay bounded, holds {}",

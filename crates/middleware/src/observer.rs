@@ -64,7 +64,10 @@ impl EventLog {
 
     /// A log keeping only the most recent `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventLog { events: Vec::new(), capacity: Some(capacity) }
+        EventLog {
+            events: Vec::new(),
+            capacity: Some(capacity),
+        }
     }
 
     /// The recorded events, oldest first.
@@ -106,7 +109,10 @@ impl fmt::Display for EventLog {
 
 impl MiddlewareObserver for EventLog {
     fn on_submitted(&mut self, report: &SubmitReport, ctx: &Context) {
-        self.push(Event::Submitted { context: ctx.to_string(), fresh: report.fresh });
+        self.push(Event::Submitted {
+            context: ctx.to_string(),
+            fresh: report.fresh,
+        });
     }
 
     fn on_detections(&mut self, fresh: &[Inconsistency]) {

@@ -1,0 +1,416 @@
+//! Sharded parallel middleware: partition contexts by subject into
+//! independent engines.
+//!
+//! The global-mutex front-end ([`crate::SharedMiddleware`]) serializes
+//! every submission through one lock, and — more costly at scale —
+//! funnels every context into one pool, so each incremental check
+//! quantifies over the *whole* population of its kind. But the paper's
+//! workhorse constraints (the §2.2 speed constraint and friends) guard
+//! their quantifier pairs with `same_subject`: a violation can only ever
+//! relate contexts of one subject. [`ShardedMiddleware`] exploits that:
+//!
+//! * deploy time: [`ShardPlan::analyze`] classifies each constraint via
+//!   [`ctxres_constraint::constraint_scope`]. Kinds touched by any
+//!   `Global`-scope constraint are routed to a dedicated **shared-scope
+//!   shard**; all other kinds partition by subject hash across N
+//!   **subject shards**;
+//! * run time: each shard is a full [`Middleware`] (own pool, own
+//!   incremental checker, own strategy instance) behind its **own**
+//!   lock. Producers submitting different subjects never contend, and
+//!   each check's quantifier domains shrink to the shard's slice of the
+//!   pool — an algorithmic win even on one core;
+//! * counters: [`ShardedMiddleware::stats`] /
+//!   [`ShardedMiddleware::shard_stats`] aggregate per-shard counters by
+//!   visiting each shard lock in turn — there is no global lock.
+//!
+//! Routing is sound, not heuristic: a `PerSubject` constraint's
+//! violating bindings are same-subject by construction (the scope
+//! analysis proves it), and all contexts of one subject land in one
+//! shard, so shard-local checking finds exactly the inconsistencies the
+//! single-engine middleware would. Situations are a cross-subject
+//! aggregate concern and stay with the single-engine experiment path.
+
+use crate::middleware::{Middleware, SubmitReport};
+use crate::stats::{MiddlewareStats, ShardStats};
+use crossbeam::channel::Receiver;
+use ctxres_constraint::{global_kinds, Constraint};
+use ctxres_context::{Context, ContextKind, ContextState, LogicalTime};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+/// FNV-1a, for a stable subject → shard assignment (independent of the
+/// process and of `RandomState`, so test expectations hold).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deploy-time routing decision: how many subject shards, and which
+/// context kinds must bypass them for the shared-scope shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    subject_shards: usize,
+    global_kinds: BTreeSet<ContextKind>,
+}
+
+impl ShardPlan {
+    /// Analyzes a constraint set: kinds quantified over by any
+    /// constraint outside the per-subject fragment are pinned to the
+    /// shared-scope shard; everything else partitions by subject across
+    /// `subject_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `subject_shards` is zero.
+    pub fn analyze(constraints: &[Constraint], subject_shards: usize) -> Self {
+        assert!(subject_shards > 0, "need at least one subject shard");
+        ShardPlan {
+            subject_shards,
+            global_kinds: global_kinds(constraints),
+        }
+    }
+
+    /// Number of subject shards (the shared-scope shard is extra).
+    pub fn subject_shards(&self) -> usize {
+        self.subject_shards
+    }
+
+    /// Total engines: subject shards plus the shared-scope shard.
+    pub fn total_shards(&self) -> usize {
+        self.subject_shards + 1
+    }
+
+    /// Index of the shared-scope shard (always the last).
+    pub fn shared_shard(&self) -> usize {
+        self.subject_shards
+    }
+
+    /// The kinds routed to the shared-scope shard.
+    pub fn global_kinds(&self) -> &BTreeSet<ContextKind> {
+        &self.global_kinds
+    }
+
+    /// The shard a context belongs to: shared-scope for global kinds,
+    /// otherwise a stable hash of the subject (falling back to the kind
+    /// name when the subject is empty).
+    pub fn route(&self, ctx: &Context) -> usize {
+        if self.global_kinds.contains(ctx.kind()) {
+            return self.shared_shard();
+        }
+        let key = if ctx.subject().is_empty() {
+            ctx.kind().name()
+        } else {
+            ctx.subject()
+        };
+        (fnv1a64(key.as_bytes()) % self.subject_shards as u64) as usize
+    }
+}
+
+/// A middleware partitioned into independently locked shards.
+///
+/// Construct with [`ShardedMiddleware::new`], giving a factory that
+/// builds each shard's engine (every shard deploys the same constraints
+/// and its own strategy instance):
+///
+/// ```
+/// use ctxres_constraint::parse_constraints;
+/// use ctxres_core::strategies::DropBad;
+/// use ctxres_middleware::{Middleware, MiddlewareConfig, ShardPlan, ShardedMiddleware};
+/// use ctxres_context::Ticks;
+///
+/// let constraints = parse_constraints(
+///     "constraint speed:
+///        forall a: location, b: location .
+///          (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)",
+/// )?;
+/// let plan = ShardPlan::analyze(&constraints, 4);
+/// let sharded = ShardedMiddleware::new(plan, |_| {
+///     Middleware::builder()
+///         .constraints(constraints.clone())
+///         .strategy(Box::new(DropBad::new()))
+///         .config(MiddlewareConfig {
+///             window: Ticks::new(0),
+///             track_ground_truth: false,
+///             retention: None,
+///         })
+///         .build()
+/// });
+/// assert_eq!(sharded.plan().total_shards(), 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ShardedMiddleware {
+    plan: ShardPlan,
+    shards: Vec<Mutex<Middleware>>,
+}
+
+impl std::fmt::Debug for ShardedMiddleware {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMiddleware")
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedMiddleware {
+    /// Builds the engine: `make(i)` constructs shard `i`'s middleware
+    /// (index [`ShardPlan::shared_shard`] is the shared-scope shard).
+    pub fn new(plan: ShardPlan, mut make: impl FnMut(usize) -> Middleware) -> Self {
+        let shards = (0..plan.total_shards())
+            .map(|i| Mutex::new(make(i)))
+            .collect();
+        ShardedMiddleware { plan, shards }
+    }
+
+    /// The routing plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Submits one context to its shard, locking only that shard.
+    /// Returns the shard index and the shard's report.
+    pub fn submit(&self, ctx: Context) -> (usize, SubmitReport) {
+        let shard = self.plan.route(&ctx);
+        let report = self.shards[shard].lock().submit(ctx);
+        (shard, report)
+    }
+
+    /// Ingests a batch: partitions it by shard, then runs every
+    /// non-empty partition on its own thread (each locking only its own
+    /// shard). Returns how many contexts were ingested.
+    ///
+    /// Within a shard, batch order is preserved, so per-subject stamp
+    /// order — the order detection semantics care about — matches a
+    /// serial submission of the same batch.
+    pub fn batch_add(&self, batch: &[Context]) -> usize {
+        let mut per_shard: Vec<Vec<Context>> = vec![Vec::new(); self.shards.len()];
+        for ctx in batch {
+            per_shard[self.plan.route(ctx)].push(ctx.clone());
+        }
+        std::thread::scope(|scope| {
+            for (i, chunk) in per_shard.into_iter().enumerate() {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let shard = &self.shards[i];
+                scope.spawn(move || {
+                    let mut mw = shard.lock();
+                    for ctx in chunk {
+                        mw.submit(ctx);
+                    }
+                });
+            }
+        });
+        batch.len()
+    }
+
+    /// Consumes a context channel to exhaustion, routing each context
+    /// to its shard. The sharded analogue of
+    /// [`crate::SharedMiddleware::pump`]: run one per producer thread —
+    /// producers of different subjects proceed without contending.
+    pub fn pump(&self, source: Receiver<Context>) -> usize {
+        let mut n = 0;
+        for ctx in source {
+            self.submit(ctx);
+            n += 1;
+        }
+        n
+    }
+
+    /// Uses every buffered context in every shard (end of a run).
+    pub fn drain(&self) {
+        for shard in &self.shards {
+            shard.lock().drain();
+        }
+    }
+
+    /// Runs `f` against one shard's engine (e.g. to subscribe, poll, or
+    /// inspect its pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut Middleware) -> R) -> R {
+        f(&mut self.shards[shard].lock())
+    }
+
+    /// Aggregated run counters, summed shard by shard under each
+    /// shard's own lock (no global lock).
+    pub fn stats(&self) -> MiddlewareStats {
+        let mut total = MiddlewareStats::default();
+        for shard in &self.shards {
+            total.absorb(shard.lock().stats());
+        }
+        total
+    }
+
+    /// Per-shard counters: ingestion, checker evaluations, detections,
+    /// and fast-path hits for each shard.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let mw = shard.lock();
+                let stats = mw.stats();
+                let checker = mw.checker_stats();
+                ShardStats {
+                    shard: i,
+                    shared_scope: i == self.plan.shared_shard(),
+                    ingested: stats.received,
+                    checks: checker.pinned_evals + checker.full_evals,
+                    inconsistencies: stats.inconsistencies,
+                    fast_path_hits: stats.irrelevant,
+                }
+            })
+            .collect()
+    }
+
+    /// The id-free content fingerprint of all shard pools combined
+    /// (see [`ctxres_context::ContextPool::signature`]) — equal to a
+    /// single-engine pool signature over the same workload, which is the
+    /// determinism oracle the stress tests assert.
+    pub fn signature(&self) -> Vec<(ContextKind, String, LogicalTime, ContextState)> {
+        let mut sig = Vec::new();
+        for shard in &self.shards {
+            sig.extend(shard.lock().pool().signature());
+        }
+        sig.sort_by(|a, b| (&a.0, &a.1, a.2, a.3 as u8).cmp(&(&b.0, &b.1, b.2, b.3 as u8)));
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middleware::MiddlewareConfig;
+    use ctxres_constraint::parse_constraints;
+    use ctxres_context::{Point, Ticks};
+    use ctxres_core::strategies::DropBad;
+
+    const SPEED: &str = "constraint speed:
+        forall a: location, b: location .
+          (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+
+    const PAIRWISE: &str = "constraint reader_gap:
+        forall r: rfid, s: rfid . velocity_le(r, s, 1000.0)";
+
+    fn loc(subject: &str, seq: i64, x: f64) -> Context {
+        Context::builder(ContextKind::new("location"), subject)
+            .attr("pos", Point::new(x, 0.0))
+            .attr("seq", seq)
+            .stamp(LogicalTime::new(seq as u64))
+            .build()
+    }
+
+    fn engine(constraints_src: &str, subject_shards: usize) -> ShardedMiddleware {
+        let constraints = parse_constraints(constraints_src).unwrap();
+        let plan = ShardPlan::analyze(&constraints, subject_shards);
+        ShardedMiddleware::new(plan, |_| {
+            Middleware::builder()
+                .constraints(parse_constraints(constraints_src).unwrap())
+                .strategy(Box::new(DropBad::new()))
+                .config(MiddlewareConfig {
+                    window: Ticks::new(0),
+                    track_ground_truth: false,
+                    retention: None,
+                })
+                .build()
+        })
+    }
+
+    #[test]
+    fn per_subject_kinds_partition_by_subject() {
+        let sharded = engine(SPEED, 4);
+        assert!(sharded.plan().global_kinds().is_empty());
+        let a = sharded.plan().route(&loc("alice", 0, 0.0));
+        assert!(a < 4, "subject kinds never route to the shared shard");
+        // Same subject always lands on the same shard.
+        assert_eq!(a, sharded.plan().route(&loc("alice", 7, 3.0)));
+    }
+
+    #[test]
+    fn global_kind_routes_to_shared_shard() {
+        let sharded = engine(&format!("{SPEED}\n{PAIRWISE}"), 4);
+        assert!(sharded
+            .plan()
+            .global_kinds()
+            .contains(&ContextKind::new("rfid")));
+        let tag = Context::builder(ContextKind::new("rfid"), "tag-1").build();
+        assert_eq!(sharded.plan().route(&tag), sharded.plan().shared_shard());
+        // Per-subject kinds still partition normally.
+        assert!(sharded.plan().route(&loc("alice", 0, 0.0)) < 4);
+    }
+
+    #[test]
+    fn sharded_detection_matches_single_engine() {
+        let trace: Vec<Context> = (0..40)
+            .flat_map(|t| {
+                ["alice", "bob", "carol", "dave"]
+                    .into_iter()
+                    .enumerate()
+                    .map(move |(i, s)| {
+                        // Every 10th context per subject teleports: a violation.
+                        let x = if t % 10 == 9 { 500.0 } else { t as f64 * 0.5 };
+                        loc(s, (t * 4 + i as i64) / 4, x)
+                    })
+            })
+            .collect();
+
+        let sharded = engine(SPEED, 4);
+        sharded.batch_add(&trace);
+        sharded.drain();
+
+        let mut single = Middleware::builder()
+            .constraints(parse_constraints(SPEED).unwrap())
+            .strategy(Box::new(DropBad::new()))
+            .config(MiddlewareConfig {
+                window: Ticks::new(0),
+                track_ground_truth: false,
+                retention: None,
+            })
+            .build();
+        for ctx in &trace {
+            single.submit(ctx.clone());
+        }
+        single.drain();
+
+        assert_eq!(
+            sharded.stats().inconsistencies,
+            single.stats().inconsistencies
+        );
+        assert_eq!(sharded.stats().discarded, single.stats().discarded);
+        assert_eq!(sharded.signature(), single.pool().signature());
+    }
+
+    #[test]
+    fn shard_stats_expose_per_shard_counters() {
+        let sharded = engine(SPEED, 2);
+        let trace: Vec<Context> = (0..12)
+            .map(|t| loc(if t % 2 == 0 { "a" } else { "b" }, t, 0.1))
+            .collect();
+        sharded.batch_add(&trace);
+        // An irrelevant kind exercises the fast path.
+        sharded.submit(Context::builder(ContextKind::new("temperature"), "room").build());
+
+        let stats = sharded.shard_stats();
+        assert_eq!(stats.len(), 3, "2 subject shards + shared shard");
+        assert_eq!(stats.iter().map(|s| s.ingested).sum::<u64>(), 13);
+        assert_eq!(stats.iter().filter(|s| s.shared_scope).count(), 1);
+        assert!(stats.iter().any(|s| s.checks > 0));
+        assert_eq!(stats.iter().map(|s| s.fast_path_hits).sum::<u64>(), 1);
+        assert_eq!(sharded.stats().received, 13);
+    }
+
+    #[test]
+    fn empty_subject_falls_back_to_kind_hash() {
+        let sharded = engine(SPEED, 4);
+        let anon = Context::builder(ContextKind::new("location"), "").build();
+        let shard = sharded.plan().route(&anon);
+        assert!(shard < 4);
+        assert_eq!(shard, sharded.plan().route(&anon));
+    }
+}

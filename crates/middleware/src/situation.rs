@@ -40,7 +40,11 @@ impl SituationEngine {
     /// Creates an engine for the given situations.
     pub fn new(situations: Vec<Constraint>) -> Self {
         let n = situations.len();
-        SituationEngine { situations, active: vec![false; n], activations: 0 }
+        SituationEngine {
+            situations,
+            active: vec![false; n],
+            activations: 0,
+        }
     }
 
     /// Number of situations.

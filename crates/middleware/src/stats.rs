@@ -46,6 +46,27 @@ pub struct MiddlewareStats {
 }
 
 impl MiddlewareStats {
+    /// Adds another stats record into this one, field by field. The
+    /// sharded middleware aggregates its per-shard counters this way —
+    /// each shard's record is read under that shard's own lock, so no
+    /// global lock ever exists.
+    pub fn absorb(&mut self, other: &MiddlewareStats) {
+        self.received += other.received;
+        self.irrelevant += other.irrelevant;
+        self.inconsistencies += other.inconsistencies;
+        self.delivered += other.delivered;
+        self.delivered_expected += other.delivered_expected;
+        self.delivered_corrupted += other.delivered_corrupted;
+        self.discarded += other.discarded;
+        self.discarded_expected += other.discarded_expected;
+        self.discarded_corrupted += other.discarded_corrupted;
+        self.marked_bad += other.marked_bad;
+        self.expired_on_use += other.expired_on_use;
+        self.situation_activations += other.situation_activations;
+        self.eval_errors += other.eval_errors;
+        self.compacted += other.compacted;
+    }
+
     /// Fraction of ground-truth expected contexts among those discarded
     /// that survived — the paper's *location context survival rate*
     /// (§5.2): expected contexts kept / expected contexts seen.
@@ -67,9 +88,54 @@ impl MiddlewareStats {
     }
 }
 
+/// Per-shard counters of a sharded middleware, read shard-locally (each
+/// shard's engine is behind its own lock; there is no global lock to
+/// contend on when collecting these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index (the shared-scope shard is the last index).
+    pub shard: usize,
+    /// Whether this is the shared-scope shard (holds every context of
+    /// the kinds global constraints quantify over).
+    pub shared_scope: bool,
+    /// Contexts ingested by this shard.
+    pub ingested: u64,
+    /// Constraint evaluations this shard's checker ran (pinned + full).
+    pub checks: u64,
+    /// Inconsistencies this shard detected.
+    pub inconsistencies: u64,
+    /// Irrelevant-kind fast-path hits (no check needed).
+    pub fast_path_hits: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn absorb_sums_every_field() {
+        let one = MiddlewareStats {
+            received: 1,
+            irrelevant: 2,
+            inconsistencies: 3,
+            delivered: 4,
+            delivered_expected: 5,
+            delivered_corrupted: 6,
+            discarded: 7,
+            discarded_expected: 8,
+            discarded_corrupted: 9,
+            marked_bad: 10,
+            expired_on_use: 11,
+            situation_activations: 12,
+            eval_errors: 13,
+            compacted: 14,
+        };
+        let mut total = one;
+        total.absorb(&one);
+        assert_eq!(total.received, 2);
+        assert_eq!(total.compacted, 28);
+        assert_eq!(total.situation_activations, 24);
+    }
 
     #[test]
     fn survival_rate_counts_kept_expected() {

@@ -30,19 +30,27 @@ impl SubscriptionFilter {
 
     /// Restricts to one or more kinds (may be called repeatedly).
     pub fn of_kind(mut self, kind: impl Into<ContextKind>) -> Self {
-        self.kinds.get_or_insert_with(BTreeSet::new).insert(kind.into());
+        self.kinds
+            .get_or_insert_with(BTreeSet::new)
+            .insert(kind.into());
         self
     }
 
     /// Restricts to one or more subjects (may be called repeatedly).
     pub fn of_subject(mut self, subject: &str) -> Self {
-        self.subjects.get_or_insert_with(BTreeSet::new).insert(subject.to_owned());
+        self.subjects
+            .get_or_insert_with(BTreeSet::new)
+            .insert(subject.to_owned());
         self
     }
 
     /// Whether a context passes the filter.
     pub fn matches(&self, ctx: &Context) -> bool {
-        let kind_ok = self.kinds.as_ref().map(|k| k.contains(ctx.kind())).unwrap_or(true);
+        let kind_ok = self
+            .kinds
+            .as_ref()
+            .map(|k| k.contains(ctx.kind()))
+            .unwrap_or(true);
         let subject_ok = self
             .subjects
             .as_ref()
@@ -59,7 +67,9 @@ pub(crate) struct SubscriptionTable {
 
 impl SubscriptionTable {
     pub(crate) fn new() -> Self {
-        SubscriptionTable { entries: Vec::new() }
+        SubscriptionTable {
+            entries: Vec::new(),
+        }
     }
 
     pub(crate) fn subscribe(&mut self, filter: SubscriptionFilter) -> SubscriptionId {
@@ -97,11 +107,12 @@ mod tests {
 
     #[test]
     fn filter_combinations() {
-        let peter_badges = SubscriptionFilter::all().of_kind("badge").of_subject("peter");
+        let peter_badges = SubscriptionFilter::all()
+            .of_kind("badge")
+            .of_subject("peter");
         assert!(peter_badges.matches(&badge("peter")));
         assert!(!peter_badges.matches(&badge("mary")));
-        assert!(!peter_badges
-            .matches(&Context::builder(ContextKind::new("rfid"), "peter").build()));
+        assert!(!peter_badges.matches(&Context::builder(ContextKind::new("rfid"), "peter").build()));
         assert!(SubscriptionFilter::all().matches(&badge("anyone")));
     }
 

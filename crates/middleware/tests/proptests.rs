@@ -27,8 +27,16 @@ struct Step {
 
 fn steps() -> impl Strategy<Value = Vec<Step>> {
     proptest::collection::vec(
-        (any::<i8>(), proptest::bool::weighted(0.25), proptest::bool::weighted(0.1))
-            .prop_map(|(step, outlier, irrelevant)| Step { step, outlier, irrelevant }),
+        (
+            any::<i8>(),
+            proptest::bool::weighted(0.25),
+            proptest::bool::weighted(0.1),
+        )
+            .prop_map(|(step, outlier, irrelevant)| Step {
+                step,
+                outlier,
+                irrelevant,
+            }),
         1..50,
     )
 }
@@ -49,13 +57,21 @@ fn trace(steps: &[Step]) -> Vec<Context> {
             continue;
         }
         x += f64::from(s.step) / 128.0;
-        let pos = if s.outlier { Point::new(x + 60.0, 60.0) } else { Point::new(x, 0.0) };
+        let pos = if s.outlier {
+            Point::new(x + 60.0, 60.0)
+        } else {
+            Point::new(x, 0.0)
+        };
         out.push(
             Context::builder(ContextKind::new("location"), "p")
                 .attr("pos", pos)
                 .attr("seq", seq)
                 .stamp(stamp)
-                .truth(if s.outlier { TruthTag::Corrupted } else { TruthTag::Expected })
+                .truth(if s.outlier {
+                    TruthTag::Corrupted
+                } else {
+                    TruthTag::Expected
+                })
                 .build(),
         );
         seq += 1;
@@ -67,7 +83,11 @@ fn run(strategy: &str, contexts: Vec<Context>, window: u64) -> MiddlewareStats {
     let mut mw = Middleware::builder()
         .constraints(parse_constraints(SPEED).unwrap())
         .strategy(by_name(strategy, 5).unwrap())
-        .config(MiddlewareConfig { window: Ticks::new(window), track_ground_truth: true, retention: None })
+        .config(MiddlewareConfig {
+            window: Ticks::new(window),
+            track_ground_truth: true,
+            retention: None,
+        })
         .build();
     for ctx in contexts {
         mw.submit(ctx);

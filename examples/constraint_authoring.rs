@@ -71,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {}: {} ({} inconsistencies)",
             constraint.name(),
-            if outcome.satisfied { "satisfied" } else { "VIOLATED" },
+            if outcome.satisfied {
+                "satisfied"
+            } else {
+                "VIOLATED"
+            },
             outcome.violations.len()
         );
         for link in &outcome.violations {

@@ -31,7 +31,9 @@ fn main() {
     match first_divergence(&mut drop_bad, &mut drop_latest, &script) {
         Some(d) => {
             println!("drop-bad and drop-latest first diverge at {d}");
-            println!("(drop-latest already discarded someone; drop-bad is still collecting counts)\n");
+            println!(
+                "(drop-latest already discarded someone; drop-bad is still collecting counts)\n"
+            );
         }
         None => println!("no divergence?!\n"),
     }
@@ -41,17 +43,37 @@ fn main() {
     let mut pool = ContextPool::new();
     let kind = ContextKind::new("location");
     let ids: Vec<_> = (1..=5)
-        .map(|i| pool.insert(Context::builder(kind.clone(), "peter").stamp(LogicalTime::new(i)).build()))
+        .map(|i| {
+            pool.insert(
+                Context::builder(kind.clone(), "peter")
+                    .stamp(LogicalTime::new(i))
+                    .build(),
+            )
+        })
         .collect();
     let mut strategy = DropBad::new().with_explanations();
     let now = LogicalTime::new(9);
-    strategy.on_addition(&mut pool, now, ids[3], &[Inconsistency::pair("gap1", ids[2], ids[3], now)]);
-    strategy.on_addition(&mut pool, now, ids[4], &[Inconsistency::pair("gap2", ids[2], ids[4], now)]);
+    strategy.on_addition(
+        &mut pool,
+        now,
+        ids[3],
+        &[Inconsistency::pair("gap1", ids[2], ids[3], now)],
+    );
+    strategy.on_addition(
+        &mut pool,
+        now,
+        ids[4],
+        &[Inconsistency::pair("gap2", ids[2], ids[4], now)],
+    );
     for &id in &ids {
         strategy.on_use(&mut pool, now, id);
     }
     println!("drop-bad's audited decisions:");
-    for entry in strategy.explanations().expect("explanations enabled").entries() {
+    for entry in strategy
+        .explanations()
+        .expect("explanations enabled")
+        .entries()
+    {
         println!("  {entry}");
     }
 }

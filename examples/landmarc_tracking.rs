@@ -20,12 +20,22 @@ fn main() {
     );
     let mut err_sum = 0.0;
     let mut n = 0;
-    for fix in LandmarcSim::new(LandmarcConfig { err_rate: 0.0, ..Default::default() }, 42).take(50)
+    for fix in LandmarcSim::new(
+        LandmarcConfig {
+            err_rate: 0.0,
+            ..Default::default()
+        },
+        42,
+    )
+    .take(50)
     {
         err_sum += fix.pos.distance(fix.true_pos);
         n += 1;
     }
-    println!("mean estimation error over {n} clean fixes: {:.2} m\n", err_sum / n as f64);
+    println!(
+        "mean estimation error over {n} clean fixes: {:.2} m\n",
+        err_sum / n as f64
+    );
 
     // Full pipeline: noisy fixes -> velocity constraints -> drop-bad.
     let app = LocationTracking::new();
@@ -41,7 +51,10 @@ fn main() {
         })
         .build();
     let trace = app.generate(0.2, 42, 400);
-    let corrupted = trace.iter().filter(|c| c.truth() == TruthTag::Corrupted).count();
+    let corrupted = trace
+        .iter()
+        .filter(|c| c.truth() == TruthTag::Corrupted)
+        .count();
     for ctx in trace {
         mw.submit(ctx);
     }

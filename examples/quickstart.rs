@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mw = Middleware::builder()
         .constraints(constraints)
         .strategy(Box::new(DropBad::new()))
-        .config(MiddlewareConfig { window: Ticks::new(4), ..MiddlewareConfig::default() })
+        .config(MiddlewareConfig {
+            window: Ticks::new(4),
+            ..MiddlewareConfig::default()
+        })
         .build();
 
     // 3. Stream Peter's tracked locations; the third one is corrupted

@@ -18,18 +18,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("== Scenario {name} ==");
         for (i, ctx) in trace.iter().enumerate() {
             let pos = ctx.point("pos").expect("scenario contexts carry pos");
-            let tag = if ctx.truth().is_corrupted() { "  <- corrupted" } else { "" };
+            let tag = if ctx.truth().is_corrupted() {
+                "  <- corrupted"
+            } else {
+                ""
+            };
             println!("  d{} at {pos}{tag}", i + 1);
         }
 
         // Fig. 4: count values under the adjacent constraint only.
         let pool: ContextPool = trace.into_iter().collect();
         let mut delta = TrackedSet::new();
-        for constraint in [adjacent_constraint()].iter().chain(refined_constraints().iter().skip(1))
+        for constraint in [adjacent_constraint()]
+            .iter()
+            .chain(refined_constraints().iter().skip(1))
         {
             let outcome = evaluator.check(constraint, &pool, LogicalTime::new(9))?;
             for link in outcome.violations {
-                delta.add(Inconsistency::new(constraint.name(), link, LogicalTime::new(9)));
+                delta.add(Inconsistency::new(
+                    constraint.name(),
+                    link,
+                    LogicalTime::new(9),
+                ));
             }
         }
         println!("  tracked inconsistencies and count values (Fig. 5):");
@@ -40,14 +50,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("== Resolution outcomes (refined constraints, Fig. 5) ==");
-    println!("{:<10}{:<10}{:<16}correct?", "scenario", "strategy", "discarded");
+    println!(
+        "{:<10}{:<10}{:<16}correct?",
+        "scenario", "strategy", "discarded"
+    );
     for scenario in ["A", "B"] {
         for strategy in ["opt-r", "d-bad", "d-lat", "d-all"] {
             let out = replay(scenario, refined_constraints(), strategy);
             let who = if out.discarded.is_empty() {
                 "-".to_owned()
             } else {
-                out.discarded.iter().map(|d| format!("d{d}")).collect::<Vec<_>>().join(",")
+                out.discarded
+                    .iter()
+                    .map(|d| format!("d{d}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
             };
             println!(
                 "{:<10}{:<10}{:<16}{}",

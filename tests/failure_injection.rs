@@ -4,7 +4,9 @@
 //! and constraints that fail to evaluate.
 
 use ctxres::constraint::parse_constraints;
-use ctxres::context::{Context, ContextKind, ContextState, Lifespan, LogicalTime, Point, Ticks, TruthTag};
+use ctxres::context::{
+    Context, ContextKind, ContextState, Lifespan, LogicalTime, Point, Ticks, TruthTag,
+};
 use ctxres::core::strategies::by_name;
 use ctxres::middleware::{Middleware, MiddlewareConfig};
 
@@ -16,7 +18,11 @@ fn mw(strategy: &str, window: u64) -> Middleware {
     Middleware::builder()
         .constraints(parse_constraints(SPEED).unwrap())
         .strategy(by_name(strategy, 3).unwrap())
-        .config(MiddlewareConfig { window: Ticks::new(window), track_ground_truth: true, retention: None })
+        .config(MiddlewareConfig {
+            window: Ticks::new(window),
+            track_ground_truth: true,
+            retention: None,
+        })
         .build()
 }
 
@@ -132,7 +138,11 @@ fn unknown_predicate_constraint_degrades_gracefully() {
                 .unwrap(),
         )
         .strategy(by_name("d-bad", 1).unwrap())
-        .config(MiddlewareConfig { window: Ticks::new(1), track_ground_truth: false, retention: None })
+        .config(MiddlewareConfig {
+            window: Ticks::new(1),
+            track_ground_truth: false,
+            retention: None,
+        })
         .build();
     m.submit(loc(0, 0, 0.0));
     m.drain();

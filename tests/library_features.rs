@@ -2,18 +2,24 @@
 //! through the umbrella crate the way a downstream application would.
 
 use ctxres::apps::{impact_profile, PervasiveApp};
-use ctxres::constraint::{parse_constraints, parse_formula, simplify, validate, AttrType, ContextSchema, PredicateRegistry};
+use ctxres::constraint::{
+    parse_constraints, parse_formula, simplify, validate, AttrType, ContextSchema,
+    PredicateRegistry,
+};
 use ctxres::context::{Context, ContextKind, LogicalTime, Ticks};
 use ctxres::core::strategies::{DropBad, ImpactAwareDropBad};
 use ctxres::core::ResolutionStrategy;
-use ctxres::middleware::{EventLog, Middleware, MiddlewareConfig, SharedMiddleware, SubscriptionFilter};
+use ctxres::middleware::{
+    EventLog, Middleware, MiddlewareConfig, SharedMiddleware, SubscriptionFilter,
+};
 
 #[test]
 fn schema_validation_through_the_umbrella() {
     let mut schema = ContextSchema::new();
     schema.kind("badge").attr("room", AttrType::Text);
     let registry = PredicateRegistry::with_builtins();
-    let good = parse_constraints("constraint ok: forall b: badge . eq(b.room, \"office\")").unwrap();
+    let good =
+        parse_constraints("constraint ok: forall b: badge . eq(b.room, \"office\")").unwrap();
     assert!(validate(&good, &schema, &registry).is_empty());
     let bad = parse_constraints("constraint nope: forall b: badge . eq(b.floor, 3)").unwrap();
     assert_eq!(validate(&bad, &schema, &registry).len(), 1);
@@ -59,11 +65,17 @@ fn shared_middleware_with_observer_and_subscription() {
     let log = std::sync::Arc::new(parking_lot::Mutex::new(EventLog::new()));
     let mw = Middleware::builder()
         .strategy(Box::new(DropBad::new()))
-        .config(MiddlewareConfig { window: Ticks::new(0), track_ground_truth: false, retention: None })
+        .config(MiddlewareConfig {
+            window: Ticks::new(0),
+            track_ground_truth: false,
+            retention: None,
+        })
         .observer(Box::new(std::sync::Arc::clone(&log)))
         .build();
     let shared = SharedMiddleware::new(mw);
-    let feed = shared.lock().subscribe(SubscriptionFilter::all().of_kind("badge"));
+    let feed = shared
+        .lock()
+        .subscribe(SubscriptionFilter::all().of_kind("badge"));
 
     let (tx, rx) = crossbeam::channel::unbounded();
     let pump = shared.pump_in_thread(rx);
@@ -77,7 +89,7 @@ fn shared_middleware_with_observer_and_subscription() {
         .unwrap();
     }
     drop(tx);
-    assert_eq!(pump.join().unwrap(), 10);
+    assert_eq!(pump.join(), 10);
     shared.lock().drain();
     assert_eq!(shared.lock().poll(feed).len(), 10);
     assert!(!log.lock().events().is_empty());

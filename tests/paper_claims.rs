@@ -26,7 +26,11 @@ fn claim_drop_latest_fails_scenario_b() {
 fn claim_drop_all_over_discards() {
     for scenario in ["A", "B"] {
         let out = replay(scenario, vec![adjacent_constraint()], "d-all");
-        assert!(out.discarded.len() > 1, "scenario {scenario}: {:?}", out.discarded);
+        assert!(
+            out.discarded.len() > 1,
+            "scenario {scenario}: {:?}",
+            out.discarded
+        );
     }
 }
 
@@ -40,10 +44,18 @@ fn claim_count_values_match_figures_4_and_5() {
     let evaluator = Evaluator::new(&registry);
     let count_of_d3 = |trace: Vec<ctxres::context::Context>, refined: bool| {
         let pool: ContextPool = trace.into_iter().collect();
-        let constraints = if refined { refined_constraints() } else { vec![adjacent_constraint()] };
+        let constraints = if refined {
+            refined_constraints()
+        } else {
+            vec![adjacent_constraint()]
+        };
         let mut delta = TrackedSet::new();
         for c in &constraints {
-            for link in evaluator.check(c, &pool, LogicalTime::new(9)).unwrap().violations {
+            for link in evaluator
+                .check(c, &pool, LogicalTime::new(9))
+                .unwrap()
+                .violations
+            {
                 delta.add(Inconsistency::new(c.name(), link, LogicalTime::new(9)));
             }
         }

@@ -33,13 +33,25 @@ fn long_run_with_retention_stays_bounded_and_accurate() {
     // Memory: retention keeps the pool to roughly (retention + TTL) ticks
     // of contexts, far below the 3000 submitted.
     assert!(max_pool < 400, "pool peaked at {max_pool}");
-    assert!(mw.stats().compacted > 2000, "compacted {}", mw.stats().compacted);
+    assert!(
+        mw.stats().compacted > 2000,
+        "compacted {}",
+        mw.stats().compacted
+    );
 
     // Accuracy: compaction must not change the resolution quality drop-bad
     // achieves on this workload without retention.
     let stats = *mw.stats();
-    assert!(stats.survival_rate() > 0.95, "survival {}", stats.survival_rate());
-    assert!(stats.removal_precision() > 0.85, "precision {}", stats.removal_precision());
+    assert!(
+        stats.survival_rate() > 0.95,
+        "survival {}",
+        stats.survival_rate()
+    );
+    assert!(
+        stats.removal_precision() > 0.85,
+        "precision {}",
+        stats.removal_precision()
+    );
     assert_eq!(stats.received, 3000);
 
     // Cross-check against an unbounded run on the same trace: identical

@@ -1,0 +1,261 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! Implements the API shape the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical
+//! machinery. Each benchmark warms up briefly, then runs batches until
+//! a small time budget is spent, and prints the mean per-iteration
+//! time (plus element throughput when configured).
+
+// Vendored stand-in: exempt from the workspace lint gate.
+#![allow(warnings, clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement budget per benchmark.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CTXRES_BENCH_QUICK").is_ok();
+        Criterion {
+            budget: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(300)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let report = run_bench(self.budget, &mut f);
+        print_report(name, &report, None);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion API compatibility; the stand-in sizes
+    /// its sample count from the time budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Reports throughput in the given units alongside timings.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benches a closure under `<group>/<name>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let report = run_bench(self.criterion.budget, &mut f);
+        print_report(&format!("{}/{name}", self.name), &report, self.throughput);
+    }
+
+    /// Benches a closure with an input value under the given id.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let report = run_bench(self.criterion.budget, &mut |b: &mut Bencher| f(b, input));
+        print_report(&format!("{}/{id}", self.name), &report, self.throughput);
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the measurement
+    /// loop asks for.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    mean: Duration,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(budget: Duration, f: &mut F) -> Report {
+    // Warm-up and calibration: one iteration tells us roughly how many
+    // fit in the budget.
+    let mut b = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let per_batch = budget.as_nanos() / 4 / per_iter.as_nanos().max(1);
+    let batch = per_batch.clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut iterations = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let mut b = Bencher {
+            iterations: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iterations += batch;
+    }
+    Report {
+        mean: if iterations > 0 {
+            total / iterations.max(1) as u32
+        } else {
+            per_iter
+        },
+    }
+}
+
+fn print_report(name: &str, report: &Report, throughput: Option<Throughput>) {
+    let mean_ns = report.mean.as_nanos().max(1);
+    let time = format_ns(mean_ns);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (mean_ns as f64 / 1e9);
+            println!("{name:<48} time: {time:>12}   thrpt: {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (mean_ns as f64 / 1e9);
+            println!("{name:<48} time: {time:>12}   thrpt: {rate:>14.0} B/s");
+        }
+        None => println!("{name:<48} time: {time:>12}"),
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // The libtest-style `--bench` flag cargo passes is ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

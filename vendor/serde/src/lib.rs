@@ -1,0 +1,587 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build container for this repository has no access to crates.io,
+//! so the workspace vendors a minimal, self-contained implementation of
+//! the serde API surface it actually uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on plain structs (named,
+//!   tuple, newtype, unit) and enums (unit, newtype, tuple and struct
+//!   variants) without generics or `#[serde(...)]` attributes;
+//! * manual impls written against `Serializer::serialize_str` /
+//!   `Deserialize::deserialize` (see `ContextKind` in `ctxres-context`);
+//! * generic bounds `T: Serialize` / `T: de::DeserializeOwned`.
+//!
+//! Unlike real serde's visitor-driven streaming data model, this
+//! implementation routes everything through an owned [`Value`] tree:
+//! serializers receive a fully built `Value`, deserializers hand one
+//! out. That is slower and less general than serde proper, but it is
+//! dependency-free, deterministic, and sufficient for the JSON
+//! round-tripping this workspace performs.
+
+// Vendored stand-in: exempt from the workspace lint gate.
+#![allow(warnings, clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data-model tree every serializer consumes and
+/// every deserializer produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / a `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map with string keys, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+/// Error produced while building or consuming a [`Value`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+pub mod ser {
+    //! Serialization traits.
+
+    use super::Value;
+    use std::fmt::Display;
+
+    /// Errors a serializer may produce.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::ValueError {
+        fn custom<T: Display>(msg: T) -> Self {
+            super::ValueError(msg.to_string())
+        }
+    }
+
+    /// A data format that can consume a [`Value`] tree.
+    pub trait Serializer: Sized {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Consumes a fully built value tree.
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a string (convenience used by manual impls).
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Str(v.to_owned()))
+        }
+
+        /// Serializes a boolean.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Bool(v))
+        }
+
+        /// Serializes a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::I64(v))
+        }
+
+        /// Serializes an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(if let Ok(i) = i64::try_from(v) {
+                Value::I64(i)
+            } else {
+                Value::U64(v)
+            })
+        }
+
+        /// Serializes a float.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::F64(v))
+        }
+    }
+
+    /// A type that can serialize itself into any [`Serializer`].
+    pub trait Serialize {
+        /// Serializes `self`.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+}
+
+pub mod de {
+    //! Deserialization traits.
+
+    use super::Value;
+    use std::fmt::Display;
+
+    /// Errors a deserializer may produce.
+    pub trait Error: Sized {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::ValueError {
+        fn custom<T: Display>(msg: T) -> Self {
+            super::ValueError(msg.to_string())
+        }
+    }
+
+    /// A data format that can produce a [`Value`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Yields the underlying value tree.
+        fn take_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// A type constructible from any [`Deserializer`].
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes `Self`.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A type deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub use de::{Deserialize as _DeserializeTrait, Deserializer};
+pub use ser::{Serialize as _SerializeTrait, Serializer};
+
+// The trait names must be importable as `serde::Serialize` /
+// `serde::Deserialize` *alongside* the derive macros of the same name
+// (type vs macro namespace), exactly like real serde.
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+/// Serializer that captures the value tree (used by `to_value`).
+struct ValueCapture;
+
+impl ser::Serializer for ValueCapture {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer over an owned value tree (used by `from_value`).
+struct ValueDeserializer(Value);
+
+impl<'de> de::Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+#[doc(hidden)]
+pub mod __private {
+    //! Helpers the derive macros and `serde_json` generate calls to.
+    //! Not a public API.
+
+    use super::{de, ser};
+    pub use super::{Value, ValueError};
+
+    /// Serializes any `Serialize` into a value tree.
+    pub fn to_value<T: ser::Serialize + ?Sized>(v: &T) -> Result<Value, ValueError> {
+        v.serialize(super::ValueCapture)
+    }
+
+    /// Deserializes any `DeserializeOwned` out of a value tree.
+    pub fn from_value<T: de::DeserializeOwned>(v: Value) -> Result<T, ValueError> {
+        T::deserialize(super::ValueDeserializer(v))
+    }
+
+    /// Unwraps a map value (derived struct deserialization).
+    pub fn expect_map(v: Value) -> Result<Vec<(String, Value)>, ValueError> {
+        match v {
+            Value::Map(m) => Ok(m),
+            other => Err(ValueError(format!("expected map, found {other:?}"))),
+        }
+    }
+
+    /// Unwraps a sequence of exactly `n` elements (derived tuple
+    /// structs/variants).
+    pub fn expect_seq(v: Value, n: usize) -> Result<Vec<Value>, ValueError> {
+        match v {
+            Value::Seq(s) if s.len() == n => Ok(s),
+            Value::Seq(s) => Err(ValueError(format!(
+                "expected {n} elements, found {}",
+                s.len()
+            ))),
+            other => Err(ValueError(format!("expected sequence, found {other:?}"))),
+        }
+    }
+
+    /// Removes and deserializes a named field; a missing key
+    /// deserializes as `Null` (so `Option` fields tolerate absence).
+    pub fn field<T: de::DeserializeOwned>(
+        map: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<T, ValueError> {
+        let value = match map.iter().position(|(k, _)| k == name) {
+            Some(i) => map.remove(i).1,
+            None => Value::Null,
+        };
+        from_value(value).map_err(|e| ValueError(format!("field {name:?}: {e}")))
+    }
+
+    /// Splits an externally tagged enum value into `(variant, payload)`.
+    /// Unit variants arrive as a bare string and yield a `Null` payload.
+    pub fn variant(v: Value) -> Result<(String, Value), ValueError> {
+        match v {
+            Value::Str(name) => Ok((name, Value::Null)),
+            Value::Map(mut m) if m.len() == 1 => {
+                let (name, payload) = m.remove(0);
+                Ok((name, payload))
+            }
+            other => Err(ValueError(format!("expected enum, found {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize / Deserialize impls for the std types the workspace uses.
+// ---------------------------------------------------------------------
+
+use de::{Deserialize as De, Deserializer as DeD, Error as DeError};
+use ser::{Serialize as Ser, Serializer as SerS};
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Ser for $t {
+            fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+                #[allow(unused_comparisons)]
+                if (*self as i128) <= i64::MAX as i128 && (*self as i128) >= i64::MIN as i128 {
+                    s.serialize_i64(*self as i64)
+                } else {
+                    s.serialize_u64(*self as u64)
+                }
+            }
+        }
+        impl<'de> De<'de> for $t {
+            fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::I64(i) => <$t>::try_from(i)
+                        .map_err(|_| D::Error::custom(format!("{i} out of range"))),
+                    Value::U64(u) => <$t>::try_from(u)
+                        .map_err(|_| D::Error::custom(format!("{u} out of range"))),
+                    other => Err(D::Error::custom(format!("expected integer, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Ser for f64 {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl<'de> De<'de> for f64 {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::F64(f) => Ok(f),
+            Value::I64(i) => Ok(i as f64),
+            Value::U64(u) => Ok(u as f64),
+            other => Err(D::Error::custom(format!(
+                "expected number, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Ser for f32 {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(f64::from(*self))
+    }
+}
+
+impl<'de> De<'de> for f32 {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl Ser for bool {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl<'de> De<'de> for bool {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Ser for String {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<'de> De<'de> for String {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Ser for str {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Ser for char {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> De<'de> for char {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Ser> Ser for Option<T> {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => {
+                let inner = __private::to_value(v).map_err(|e| ser::Error::custom(e))?;
+                s.serialize_value(inner)
+            }
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> De<'de> for Option<T> {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            other => __private::from_value(other)
+                .map(Some)
+                .map_err(|e| D::Error::custom(e)),
+        }
+    }
+}
+
+fn seq_to_value<'a, T: Ser + 'a, E: ser::Error>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Value, E> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(__private::to_value(item).map_err(|e| ser::Error::custom(e))?);
+    }
+    Ok(Value::Seq(out))
+}
+
+impl<T: Ser> Ser for Vec<T> {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value(self.iter())?;
+        s.serialize_value(v)
+    }
+}
+
+impl<T: Ser> Ser for [T] {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value(self.iter())?;
+        s.serialize_value(v)
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> De<'de> for Vec<T> {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| __private::from_value(v).map_err(|e| D::Error::custom(e)))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Ser + Ord> Ser for std::collections::BTreeSet<T> {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value(self.iter())?;
+        s.serialize_value(v)
+    }
+}
+
+impl<'de, T: de::DeserializeOwned + Ord> De<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<V: Ser> Ser for std::collections::BTreeMap<String, V> {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::new();
+        for (k, v) in self {
+            out.push((
+                k.clone(),
+                __private::to_value(v).map_err(|e| ser::Error::custom(e))?,
+            ));
+        }
+        s.serialize_value(Value::Map(out))
+    }
+}
+
+impl<'de, V: de::DeserializeOwned> De<'de> for std::collections::BTreeMap<String, V> {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    __private::from_value(v)
+                        .map(|v| (k, v))
+                        .map_err(|e| D::Error::custom(e))
+                })
+                .collect(),
+            other => Err(D::Error::custom(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Ser> Ser for std::collections::HashMap<String, V> {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Deterministic output: sort keys.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut out = Vec::new();
+        for k in keys {
+            out.push((
+                k.clone(),
+                __private::to_value(&self[k]).map_err(|e| ser::Error::custom(e))?,
+            ));
+        }
+        s.serialize_value(Value::Map(out))
+    }
+}
+
+impl<'de, V: de::DeserializeOwned> De<'de> for std::collections::HashMap<String, V> {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    __private::from_value(v)
+                        .map(|v| (k, v))
+                        .map_err(|e| D::Error::custom(e))
+                })
+                .collect(),
+            other => Err(D::Error::custom(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
+// `features = ["rc"]` in real serde: impls for Arc/Rc.
+impl<T: Ser + ?Sized> Ser for std::sync::Arc<T> {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de> De<'de> for std::sync::Arc<str> {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        String::deserialize(d).map(std::sync::Arc::from)
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> De<'de> for std::sync::Arc<T> {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Ser + ?Sized> Ser for Box<T> {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: de::DeserializeOwned> De<'de> for Box<T> {
+    fn deserialize<D: DeD<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<T: Ser + ?Sized> Ser for &T {
+    fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Ser),+> Ser for ($($t,)+) {
+            fn serialize<S: SerS>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(__private::to_value(&self.$n).map_err(|e| ser::Error::custom(e))?,)+
+                ];
+                s.serialize_value(Value::Seq(items))
+            }
+        }
+        impl<'de, $($t: de::DeserializeOwned),+> De<'de> for ($($t,)+) {
+            fn deserialize<DE: DeD<'de>>(d: DE) -> Result<Self, DE::Error> {
+                let items = __private::expect_seq(d.take_value()?, $len)
+                    .map_err(|e| DE::Error::custom(e))?;
+                let mut it = items.into_iter();
+                Ok(($({
+                    let _ = stringify!($n);
+                    __private::from_value::<$t>(it.next().expect("length checked"))
+                        .map_err(|e| DE::Error::custom(e))?
+                },)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}

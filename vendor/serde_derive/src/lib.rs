@@ -1,0 +1,434 @@
+//! Offline stand-in for [serde_derive](https://serde.rs/derive.html).
+//!
+//! The build container has no crates.io access, so `syn`/`quote` are
+//! unavailable; this crate hand-parses the `proc_macro::TokenStream`
+//! of the deriving item and emits the impl as a source string, which
+//! `str::parse::<TokenStream>()` re-tokenizes.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields, tuple/newtype structs, unit structs;
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde's default representation);
+//! * no generics, no lifetimes, no `#[serde(...)]` attributes.
+//!
+//! The generated code routes through `serde::__private`, which builds
+//! and consumes `serde::Value` trees.
+
+// Vendored stand-in: exempt from the workspace lint gate.
+#![allow(warnings, clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    /// Arity of a tuple struct (1 ⇒ newtype, serialized transparently).
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, incl. doc comments) and
+    // visibility until the `struct` / `enum` keyword.
+    let kind = loop {
+        match it.next().expect("expected `struct` or `enum`") {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                it.next(); // the bracketed attribute body
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub` — a following `(crate)` group falls to `_`.
+            }
+            _ => {}
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("the vendored serde_derive does not support generic types");
+        }
+    }
+    let data = if kind == "struct" {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("unsupported struct body: {other:?}"),
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        }
+    };
+    Item { name, data }
+}
+
+/// Extracts field names from a `{ ... }` body, skipping attributes,
+/// visibility, and types. Commas inside generic arguments
+/// (`BTreeMap<String, ContextValue>`) are not field separators, so the
+/// type skipper tracks angle-bracket depth; bracketed/parenthesized
+/// type components arrive as atomic `Group` tokens and need no care.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        let name = loop {
+            match it.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s != "pub" {
+                        break s;
+                    }
+                }
+                Some(TokenTree::Group(_)) => {} // `(crate)` after `pub`
+                Some(other) => panic!("unexpected token before field name: {other}"),
+            }
+        };
+        fields.push(name);
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        let mut depth = 0i32;
+        loop {
+            match it.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Counts comma-separated items at angle-bracket depth 0, tolerating a
+/// trailing comma (tuple-struct / tuple-variant arity).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut items = 0usize;
+    let mut in_item = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if in_item {
+                        items += 1;
+                        in_item = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        in_item = true;
+    }
+    if in_item {
+        items += 1;
+    }
+    items
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (e.g. `#[default]`) up to the variant name.
+        let name = loop {
+            match it.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in variant list: {other}"),
+            }
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_top_level_items(g.stream()));
+                it.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                it.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip to the next top-level comma (also swallows explicit
+        // discriminants, which serialization ignores).
+        loop {
+            match it.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+const SER_ERR: &str = "|e| <S::Error as serde::ser::Error>::custom(e)";
+const DE_ERR: &str = "|e| <D::Error as serde::de::Error>::custom(e)";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let mut s = String::from("let mut __m: Vec<(String, serde::Value)> = Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.push((String::from(\"{f}\"), \
+                     serde::__private::to_value(&self.{f}).map_err({SER_ERR})?));\n"
+                ));
+            }
+            s.push_str("serializer.serialize_value(serde::Value::Map(__m))");
+            s
+        }
+        Data::TupleStruct(1) => format!(
+            "let __v = serde::__private::to_value(&self.0).map_err({SER_ERR})?;\n\
+             serializer.serialize_value(__v)"
+        ),
+        Data::TupleStruct(n) => {
+            let mut s = String::from("let mut __s: Vec<serde::Value> = Vec::new();\n");
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "__s.push(serde::__private::to_value(&self.{i}).map_err({SER_ERR})?);\n"
+                ));
+            }
+            s.push_str("serializer.serialize_value(serde::Value::Seq(__s))");
+            s
+        }
+        Data::UnitStruct => "serializer.serialize_value(serde::Value::Null)".to_owned(),
+        Data::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => s.push_str(&format!(
+                        "{name}::{vn} => serializer.serialize_str(\"{vn}\"),\n"
+                    )),
+                    Fields::Tuple(1) => s.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{\n\
+                         let __p = serde::__private::to_value(__f0).map_err({SER_ERR})?;\n\
+                         serializer.serialize_value(serde::Value::Map(vec![(String::from(\"{vn}\"), __p)]))\n\
+                         }}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __s: Vec<serde::Value> = Vec::new();\n",
+                            binds.join(", ")
+                        );
+                        for b in &binds {
+                            arm.push_str(&format!(
+                                "__s.push(serde::__private::to_value({b}).map_err({SER_ERR})?);\n"
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "serializer.serialize_value(serde::Value::Map(vec![\
+                             (String::from(\"{vn}\"), serde::Value::Seq(__s))]))\n}}\n"
+                        ));
+                        s.push_str(&arm);
+                    }
+                    Fields::Named(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut __m: Vec<(String, serde::Value)> = Vec::new();\n",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "__m.push((String::from(\"{f}\"), \
+                                 serde::__private::to_value({f}).map_err({SER_ERR})?));\n"
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "serializer.serialize_value(serde::Value::Map(vec![\
+                             (String::from(\"{vn}\"), serde::Value::Map(__m))]))\n}}\n"
+                        ));
+                        s.push_str(&arm);
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+         fn serialize<S: serde::ser::Serializer>(&self, serializer: S) \
+         -> Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let mut s = format!(
+                "let mut __m = serde::__private::expect_map(deserializer.take_value()?)\
+                 .map_err({DE_ERR})?;\nOk({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: serde::__private::field(&mut __m, \"{f}\").map_err({DE_ERR})?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Data::TupleStruct(1) => format!(
+            "Ok({name}(serde::__private::from_value(deserializer.take_value()?)\
+             .map_err({DE_ERR})?))"
+        ),
+        Data::TupleStruct(n) => {
+            let mut s = format!(
+                "let __s = serde::__private::expect_seq(deserializer.take_value()?, {n})\
+                 .map_err({DE_ERR})?;\nlet mut __it = __s.into_iter();\nOk({name}("
+            );
+            for _ in 0..*n {
+                s.push_str(&format!(
+                    "serde::__private::from_value(__it.next().expect(\"length checked\"))\
+                     .map_err({DE_ERR})?, "
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Data::UnitStruct => format!("let _ = deserializer.take_value()?;\nOk({name})"),
+        Data::Enum(variants) => {
+            let mut s = format!(
+                "let (__name, __payload) = \
+                 serde::__private::variant(deserializer.take_value()?).map_err({DE_ERR})?;\n\
+                 match __name.as_str() {{\n"
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => s.push_str(&format!(
+                        "\"{vn}\" => {{ let _ = __payload; Ok({name}::{vn}) }}\n"
+                    )),
+                    Fields::Tuple(1) => s.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(\
+                         serde::__private::from_value(__payload).map_err({DE_ERR})?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{\n\
+                             let __s = serde::__private::expect_seq(__payload, {n})\
+                             .map_err({DE_ERR})?;\n\
+                             let mut __it = __s.into_iter();\nOk({name}::{vn}("
+                        );
+                        for _ in 0..*n {
+                            arm.push_str(&format!(
+                                "serde::__private::from_value(__it.next()\
+                                 .expect(\"length checked\")).map_err({DE_ERR})?, "
+                            ));
+                        }
+                        arm.push_str("))\n}\n");
+                        s.push_str(&arm);
+                    }
+                    Fields::Named(fields) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{\n\
+                             let mut __m = serde::__private::expect_map(__payload)\
+                             .map_err({DE_ERR})?;\nOk({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: serde::__private::field(&mut __m, \"{f}\")\
+                                 .map_err({DE_ERR})?,\n"
+                            ));
+                        }
+                        arm.push_str("})\n}\n");
+                        s.push_str(&arm);
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "__other => Err(<D::Error as serde::de::Error>::custom(\
+                 format!(\"unknown {name} variant {{__other:?}}\")))\n}}"
+            ));
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) \
+         -> Result<Self, D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
