@@ -23,7 +23,9 @@ use std::fmt;
 /// Undecided ──► Bad ──► Inconsistent
 /// Undecided ──► Inconsistent
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum ContextState {
     /// Initial state; awaiting a resolution decision.
     #[default]

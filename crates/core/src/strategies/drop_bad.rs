@@ -5,6 +5,7 @@ use crate::inconsistency::Inconsistency;
 use crate::strategy::{AdditionOutcome, ResolutionStrategy, TieBreak, TiePolicy, UseOutcome};
 use crate::tracked::TrackedSet;
 use ctxres_context::{ContextId, ContextPool, ContextState, LogicalTime};
+use ctxres_obs::{MetricKind, ShardObs, TraceEvent};
 
 /// Drop-bad (`D-BAD`): heuristics-based deferred resolution driven by
 /// count values (paper §3, Figs. 6–8).
@@ -51,6 +52,7 @@ pub struct DropBad {
     tie: TieBreak,
     tie_policy: TiePolicy,
     explain: Option<ExplanationLog>,
+    obs: ShardObs,
 }
 
 impl DropBad {
@@ -94,6 +96,12 @@ impl DropBad {
     pub fn tracked(&self) -> &TrackedSet {
         &self.delta
     }
+
+    /// Emits the current |Δ| into the `DeltaSize` histogram.
+    fn observe_delta_size(&self) {
+        self.obs
+            .observe(MetricKind::DeltaSize, self.delta.len() as u64);
+    }
 }
 
 impl ResolutionStrategy for DropBad {
@@ -108,15 +116,36 @@ impl ResolutionStrategy for DropBad {
     fn on_addition(
         &mut self,
         _pool: &mut ContextPool,
-        _now: LogicalTime,
+        now: LogicalTime,
         _id: ContextId,
         fresh: &[Inconsistency],
     ) -> AdditionOutcome {
         // Context addition change (Fig. 6): track the new
         // inconsistencies; the context stays buffered (`Undecided`).
         for inc in fresh {
-            self.delta.add(inc.clone());
+            let Some(bumped) = self.delta.add_with_counts(inc.clone()) else {
+                continue;
+            };
+            if self.obs.is_enabled() {
+                self.obs.record(
+                    now,
+                    TraceEvent::DeltaInserted {
+                        constraint: inc.constraint().to_string(),
+                        contexts: inc.contexts().iter().copied().collect(),
+                    },
+                );
+                for (ctx, count) in bumped {
+                    self.obs.record(
+                        now,
+                        TraceEvent::CountBumped {
+                            ctx,
+                            count: count as u64,
+                        },
+                    );
+                }
+            }
         }
+        self.observe_delta_size();
         AdditionOutcome {
             discarded: Vec::new(),
             accepted: true,
@@ -226,6 +255,7 @@ impl ResolutionStrategy for DropBad {
                 if pool.get(culprit).map(|c| c.state()) == Some(ContextState::Undecided) {
                     let _ = pool.set_state(culprit, ContextState::Bad);
                     marked_bad.push(culprit);
+                    self.obs.record(now, TraceEvent::MarkedBad { ctx: culprit });
                     if let Some(log) = &mut self.explain {
                         log.record(Explanation {
                             context: culprit,
@@ -243,7 +273,19 @@ impl ResolutionStrategy for DropBad {
 
         // Context deletion change (Fig. 6): the resolved inconsistencies
         // leave Δ.
-        self.delta.resolve_involving(id);
+        let resolved = self.delta.resolve_involving(id);
+        if self.obs.is_enabled() {
+            for inc in &resolved {
+                self.obs.record(
+                    now,
+                    TraceEvent::DeltaRemoved {
+                        constraint: inc.constraint().to_string(),
+                        contexts: inc.contexts().iter().copied().collect(),
+                    },
+                );
+            }
+        }
+        self.observe_delta_size();
 
         if doomed {
             let _ = pool.set_state(id, ContextState::Inconsistent);
@@ -260,6 +302,10 @@ impl ResolutionStrategy for DropBad {
                 marked_bad,
             }
         }
+    }
+
+    fn attach_obs(&mut self, obs: ShardObs) {
+        self.obs = obs;
     }
 
     fn reset(&mut self) {

@@ -102,6 +102,13 @@ pub trait ResolutionStrategy {
     /// context `id`.
     fn on_use(&mut self, pool: &mut ContextPool, now: LogicalTime, id: ContextId) -> UseOutcome;
 
+    /// Attaches an observability handle. Strategies with internal
+    /// decision state worth tracing (drop-bad's Δ-set and count values)
+    /// override this; the default ignores the handle. The middleware
+    /// builder calls it with its own shard handle, so strategy events
+    /// land in the same per-shard ring as the engine's.
+    fn attach_obs(&mut self, _obs: ctxres_obs::ShardObs) {}
+
     /// Clears per-run state (tracked sets, RNG position is kept).
     fn reset(&mut self) {}
 }

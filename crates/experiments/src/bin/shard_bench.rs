@@ -4,10 +4,14 @@
 //!
 //! The workload is a synthetic 32-subject location stream under the
 //! paper's speed constraint: with one engine every incremental check
-//! quantifies over the whole population, while 4 subject shards cut
-//! each check's quantifier domain to a quarter — so the sharded engine
-//! wins even on a single core. `CTXRES_BENCH_QUICK=1` shrinks the
-//! workload for CI smoke runs.
+//! quantifies over the whole population, while `shards` subject shards
+//! cut each check's quantifier domain proportionally — so the sharded
+//! engine wins even on a single core. The shard count comes from the
+//! first CLI argument, then `CTXRES_SHARDS`, then a default of 4, and
+//! is recorded in the JSON. A third timed configuration wires a
+//! *disabled* observability registry through every shard and reports
+//! its overhead as `obs_overhead_pct` (CI asserts it stays under 2%).
+//! `CTXRES_BENCH_QUICK=1` shrinks the workload for CI smoke runs.
 
 use ctxres_constraint::parse_constraints;
 use ctxres_context::{Context, ContextKind, LogicalTime, Point, Ticks};
@@ -15,14 +19,25 @@ use ctxres_core::strategies::DropBad;
 use ctxres_middleware::{
     Middleware, MiddlewareConfig, ShardPlan, ShardedMiddleware, SharedMiddleware,
 };
+use ctxres_obs::ObsConfig;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 const SPEED: &str = "constraint speed:
     forall a: location, b: location .
       (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
 
-const SHARDS: usize = 4;
+const DEFAULT_SHARDS: usize = 4;
 const REPS: usize = 3;
+
+/// Shard count: first CLI argument, then `CTXRES_SHARDS`, then 4.
+fn shard_count() -> usize {
+    let parse = |s: String| s.trim().parse::<usize>().ok().filter(|n| *n >= 1);
+    std::env::args()
+        .nth(1)
+        .and_then(parse)
+        .or_else(|| std::env::var("CTXRES_SHARDS").ok().and_then(parse))
+        .unwrap_or(DEFAULT_SHARDS)
+}
 
 fn trace(subjects: usize, per_subject: usize) -> Vec<Context> {
     let mut out = Vec::with_capacity(subjects * per_subject);
@@ -46,7 +61,7 @@ fn trace(subjects: usize, per_subject: usize) -> Vec<Context> {
     out
 }
 
-fn engine() -> Middleware {
+fn engine_builder() -> ctxres_middleware::MiddlewareBuilder {
     Middleware::builder()
         .constraints(parse_constraints(SPEED).unwrap())
         .strategy(Box::new(DropBad::new()))
@@ -55,7 +70,10 @@ fn engine() -> Middleware {
             track_ground_truth: false,
             retention: None,
         })
-        .build()
+}
+
+fn engine() -> Middleware {
+    engine_builder().build()
 }
 
 /// Best-of-`REPS` wall-clock seconds; fresh engines each rep so no run
@@ -93,10 +111,11 @@ fn today_utc() -> String {
 
 fn main() {
     let quick = std::env::var("CTXRES_BENCH_QUICK").is_ok();
+    let shards = shard_count();
     let (subjects, per_subject) = if quick { (16, 20) } else { (32, 40) };
     let contexts = trace(subjects, per_subject);
     let n = contexts.len();
-    eprintln!("shard bench: {n} contexts, {subjects} subjects, {SHARDS} shards, best of {REPS}");
+    eprintln!("shard bench: {n} contexts, {subjects} subjects, {shards} shards, best of {REPS}");
 
     let (mutex_secs, mutex_found) = best_secs(|| {
         let shared = SharedMiddleware::new(engine());
@@ -109,8 +128,34 @@ fn main() {
     });
 
     let (shard_secs, shard_found) = best_secs(|| {
-        let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), SHARDS);
+        let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), shards);
         let sharded = ShardedMiddleware::new(plan, |_| engine());
+        sharded.batch_add(&contexts);
+        sharded.drain();
+        sharded.stats().inconsistencies
+    });
+
+    // The same sharded configuration with a *disabled* observability
+    // registry wired through every shard: the cost every production
+    // deployment pays whether or not anyone turns tracing on.
+    let (obs_off_secs, obs_off_found) = best_secs(|| {
+        let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), shards);
+        let registry = ShardedMiddleware::obs_registry(&plan, ObsConfig::disabled());
+        let sharded = ShardedMiddleware::new_observed(plan, &registry, |_, obs| {
+            engine_builder().obs(obs).build()
+        });
+        sharded.batch_add(&contexts);
+        sharded.drain();
+        sharded.stats().inconsistencies
+    });
+
+    // And with tracing fully on — the debugging configuration.
+    let (obs_on_secs, obs_on_found) = best_secs(|| {
+        let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), shards);
+        let registry = ShardedMiddleware::obs_registry(&plan, ObsConfig::enabled());
+        let sharded = ShardedMiddleware::new_observed(plan, &registry, |_, obs| {
+            engine_builder().obs(obs).build()
+        });
         sharded.batch_add(&contexts);
         sharded.drain();
         sharded.stats().inconsistencies
@@ -120,22 +165,42 @@ fn main() {
         mutex_found, shard_found,
         "sharded engine must find the same inconsistencies as the baseline"
     );
+    assert_eq!(
+        shard_found, obs_off_found,
+        "a disabled observability registry must not change results"
+    );
+    assert_eq!(
+        shard_found, obs_on_found,
+        "an enabled observability registry must not change results"
+    );
 
     let contexts_per_sec = n as f64 / shard_secs;
     let speedup = mutex_secs / shard_secs;
+    let obs_off_per_sec = n as f64 / obs_off_secs;
+    let obs_on_per_sec = n as f64 / obs_on_secs;
+    let obs_overhead_pct = (obs_off_secs / shard_secs - 1.0) * 100.0;
+    let obs_enabled_overhead_pct = (obs_on_secs / shard_secs - 1.0) * 100.0;
     eprintln!(
-        "mutex: {:.1} ctx/s | sharded({SHARDS}): {:.1} ctx/s | speedup {:.2}x | {} inconsistencies",
+        "mutex: {:.1} ctx/s | sharded({shards}): {:.1} ctx/s | speedup {:.2}x | obs-off: {:.1} ctx/s ({:+.2}%) | obs-on: {:.1} ctx/s ({:+.2}%) | {} inconsistencies",
         n as f64 / mutex_secs,
         contexts_per_sec,
         speedup,
+        obs_off_per_sec,
+        obs_overhead_pct,
+        obs_on_per_sec,
+        obs_enabled_overhead_pct,
         shard_found,
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"shard_throughput\",\n  \"contexts_per_sec\": {:.1},\n  \"shards\": {},\n  \"speedup_vs_mutex\": {:.2},\n  \"date\": \"{}\"\n}}\n",
+        "{{\n  \"bench\": \"shard_throughput\",\n  \"contexts_per_sec\": {:.1},\n  \"shards\": {},\n  \"speedup_vs_mutex\": {:.2},\n  \"obs_disabled_contexts_per_sec\": {:.1},\n  \"obs_overhead_pct\": {:.2},\n  \"obs_enabled_contexts_per_sec\": {:.1},\n  \"obs_enabled_overhead_pct\": {:.2},\n  \"date\": \"{}\"\n}}\n",
         contexts_per_sec,
-        SHARDS,
+        shards,
         speedup,
+        obs_off_per_sec,
+        obs_overhead_pct,
+        obs_on_per_sec,
+        obs_enabled_overhead_pct,
         today_utc(),
     );
     match std::fs::write("BENCH_shard_throughput.json", &json) {

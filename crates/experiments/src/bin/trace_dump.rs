@@ -1,0 +1,139 @@
+//! Renders an observability event trace (JSONL of `TraceRecord`s) as a
+//! human-readable timeline, a per-strategy state-transition summary
+//! table, and the reconstructed life cycle of every discarded context.
+//!
+//! ```text
+//! trace_dump <events.jsonl> [strategy-label]
+//! trace_dump --demo [out.jsonl]
+//! ```
+//!
+//! `--demo` runs a seeded drop-bad Call Forwarding cell (err 0.3,
+//! seed 3) with tracing enabled, writes its event trace to
+//! `out.jsonl` (default `results/demo_trace.jsonl`), then dumps it —
+//! the smoke artifact CI archives.
+
+use ctxres_apps::call_forwarding::CallForwarding;
+use ctxres_apps::PervasiveApp;
+use ctxres_context::ContextState;
+use ctxres_experiments::runner::run_named_observed;
+use ctxres_experiments::telemetry::{
+    reconstruct_lifecycles, render_timeline, render_transition_table, transition_counts,
+};
+use ctxres_experiments::trace_io::{load_events, save_events};
+use ctxres_obs::{ObsConfig, TraceRecord};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Timeline lines printed before eliding (the demo cell alone produces
+/// hundreds of events).
+const TIMELINE_LIMIT: usize = 60;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage:\n  trace_dump <events.jsonl> [strategy-label]\n  \
+                 trace_dump --demo [out.jsonl]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("--demo") => {
+            let out = args
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or("results/demo_trace.jsonl");
+            demo(Path::new(out))
+        }
+        Some(path) => {
+            let label = args.get(1).map(String::as_str).unwrap_or("trace");
+            let trace = load_events(Path::new(path))?;
+            dump(&trace, label);
+            Ok(())
+        }
+        None => Err("missing arguments".into()),
+    }
+}
+
+/// Runs the seeded demo cell, saves its event trace, and dumps it.
+fn demo(out: &Path) -> Result<(), String> {
+    let app = CallForwarding::new();
+    let (metrics, telemetry) = run_named_observed(
+        &app,
+        "d-bad",
+        0.3,
+        3,
+        200,
+        app.recommended_window(),
+        ObsConfig::enabled(),
+    );
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+        }
+    }
+    save_events(out, &telemetry.trace)?;
+    eprintln!(
+        "demo cell: strategy={} err_rate={} seed={} -> {} events ({} dropped), {} discarded",
+        telemetry.strategy,
+        telemetry.err_rate,
+        telemetry.seed,
+        telemetry.trace.len(),
+        telemetry.dropped,
+        metrics.discarded,
+    );
+    eprintln!("wrote {}", out.display());
+    dump(&telemetry.trace, &telemetry.strategy);
+    if telemetry.dropped > 0 {
+        return Err(format!(
+            "{} events were dropped; the trace is incomplete",
+            telemetry.dropped
+        ));
+    }
+    Ok(())
+}
+
+/// Prints the three views of a trace: timeline, transition table, and
+/// discarded-context life cycles.
+fn dump(trace: &[TraceRecord], label: &str) {
+    println!("== timeline ({} events) ==", trace.len());
+    print!("{}", render_timeline(trace, TIMELINE_LIMIT));
+
+    println!();
+    println!("== state transitions ==");
+    print!(
+        "{}",
+        render_transition_table(&[(label.to_owned(), transition_counts(trace))])
+    );
+
+    println!();
+    println!("== discarded-context life cycles ==");
+    let lifecycles = reconstruct_lifecycles(trace);
+    let mut discarded = 0;
+    for l in &lifecycles {
+        if l.final_state() != Some(ContextState::Inconsistent) {
+            continue;
+        }
+        discarded += 1;
+        println!("{}", l.summary());
+        for record in &l.events {
+            println!("    {record}");
+        }
+    }
+    if discarded == 0 {
+        println!("(none)");
+    }
+    println!();
+    println!(
+        "{} contexts traced, {} discarded",
+        lifecycles.len(),
+        discarded
+    );
+}

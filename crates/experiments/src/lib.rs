@@ -42,6 +42,7 @@ pub mod render;
 pub mod runner;
 pub mod scenario_replay;
 pub mod sensitivity;
+pub mod telemetry;
 pub mod trace_io;
 
 /// The error rates of the paper's experiments (§4.1).

@@ -1,11 +1,13 @@
 //! Driving one application trace through one middleware configuration.
 
 use crate::metrics::RunMetrics;
+use crate::telemetry::CellTelemetry;
 use ctxres_apps::PervasiveApp;
 use ctxres_context::Ticks;
 use ctxres_core::strategies::by_name;
 use ctxres_core::ResolutionStrategy;
 use ctxres_middleware::{Middleware, MiddlewareConfig};
+use ctxres_obs::{ObsConfig, ObsRegistry, ShardObs};
 
 /// The middleware time window used by the figure experiments: long
 /// enough for drop-bad to accumulate count evidence across each
@@ -22,6 +24,54 @@ pub fn run_with(
     len: usize,
     window: u64,
 ) -> RunMetrics {
+    run_instrumented(
+        app,
+        strategy,
+        err_rate,
+        seed,
+        len,
+        window,
+        ShardObs::disabled(),
+    )
+}
+
+/// [`run_with`] recording a full observability record: the run's
+/// middleware gets a handle into a fresh single-shard [`ObsRegistry`],
+/// and the harvested [`CellTelemetry`] tags the drained trace and
+/// metrics snapshot with the `(strategy, err_rate, seed)` cell they
+/// came from.
+pub fn run_with_observed(
+    app: &dyn PervasiveApp,
+    strategy: Box<dyn ResolutionStrategy + Send>,
+    err_rate: f64,
+    seed: u64,
+    len: usize,
+    window: u64,
+    config: ObsConfig,
+) -> (RunMetrics, CellTelemetry) {
+    let registry = ObsRegistry::shared(config, 1);
+    let metrics = run_instrumented(
+        app,
+        strategy,
+        err_rate,
+        seed,
+        len,
+        window,
+        registry.handle(0),
+    );
+    let telemetry = CellTelemetry::collect(&metrics.strategy, err_rate, seed, &registry);
+    (metrics, telemetry)
+}
+
+fn run_instrumented(
+    app: &dyn PervasiveApp,
+    strategy: Box<dyn ResolutionStrategy + Send>,
+    err_rate: f64,
+    seed: u64,
+    len: usize,
+    window: u64,
+    obs: ShardObs,
+) -> RunMetrics {
     let name = strategy.name().to_owned();
     let mut mw = Middleware::builder()
         .constraints(app.constraints())
@@ -33,6 +83,7 @@ pub fn run_with(
             track_ground_truth: true,
             retention: None,
         })
+        .obs(obs)
         .build();
     for ctx in app.generate(err_rate, seed, len) {
         mw.submit(ctx);
@@ -76,6 +127,25 @@ pub fn run_named(
     run_with(app, strategy, err_rate, seed, len, window)
 }
 
+/// [`run_with_observed`] for a strategy identified by its paper name.
+///
+/// # Panics
+///
+/// Panics on an unknown strategy name.
+pub fn run_named_observed(
+    app: &dyn PervasiveApp,
+    strategy: &str,
+    err_rate: f64,
+    seed: u64,
+    len: usize,
+    window: u64,
+    config: ObsConfig,
+) -> (RunMetrics, CellTelemetry) {
+    let strategy =
+        by_name(strategy, seed).unwrap_or_else(|| panic!("unknown strategy {strategy:?}"));
+    run_with_observed(app, strategy, err_rate, seed, len, window, config)
+}
+
 /// One cell of an experiment grid: a strategy at an error rate with a
 /// seed. The unit of work the parallel runner fans out.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,39 +177,78 @@ pub fn run_jobs_parallel(
     window: u64,
     threads: usize,
 ) -> Vec<RunMetrics> {
+    fan_out(jobs, threads, |job| {
+        run_named(app, &job.strategy, job.err_rate, job.seed, len, window)
+    })
+}
+
+/// [`run_jobs_parallel`] with per-cell telemetry: each worker drives its
+/// job through its own single-shard registry, so cells never contend on
+/// instrumentation, and every returned [`CellTelemetry`] is tagged with
+/// the `(strategy, err_rate, seed)` cell it measured.
+pub fn run_jobs_parallel_observed(
+    app: &(dyn PervasiveApp + Sync),
+    jobs: &[RunJob],
+    len: usize,
+    window: u64,
+    threads: usize,
+    config: ObsConfig,
+) -> Vec<(RunMetrics, CellTelemetry)> {
+    fan_out(jobs, threads, |job| {
+        run_named_observed(
+            app,
+            &job.strategy,
+            job.err_rate,
+            job.seed,
+            len,
+            window,
+            config,
+        )
+    })
+}
+
+/// The shared fan-out skeleton of the parallel runners: a work queue
+/// feeding `threads` workers, results reassembled **in job order** so
+/// the output is bit-identical to a serial loop over the same jobs
+/// (every run is seeded; scheduling cannot leak into results).
+///
+/// `threads <= 1` runs the jobs serially on the calling thread.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the panic is propagated).
+fn fan_out<T: Send>(jobs: &[RunJob], threads: usize, run: impl Fn(&RunJob) -> T + Sync) -> Vec<T> {
     if threads <= 1 || jobs.len() <= 1 {
-        return jobs
-            .iter()
-            .map(|j| run_named(app, &j.strategy, j.err_rate, j.seed, len, window))
-            .collect();
+        return jobs.iter().map(&run).collect();
     }
     let workers = threads.min(jobs.len());
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, RunJob)>();
-    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, RunMetrics)>();
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, T)>();
     for pair in jobs.iter().cloned().enumerate() {
         job_tx.send(pair).expect("queue jobs");
     }
     drop(job_tx);
 
-    let mut slots: Vec<Option<RunMetrics>> = vec![None; jobs.len()];
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..workers {
             let job_rx = job_rx.clone();
             let out_tx = out_tx.clone();
+            let run = &run;
             handles.push(scope.spawn(move || {
                 for (idx, job) in job_rx {
-                    let metrics =
-                        run_named(app, &job.strategy, job.err_rate, job.seed, len, window);
-                    if out_tx.send((idx, metrics)).is_err() {
+                    let result = run(&job);
+                    if out_tx.send((idx, result)).is_err() {
                         break;
                     }
                 }
             }));
         }
         drop(out_tx);
-        for (idx, metrics) in out_rx {
-            slots[idx] = Some(metrics);
+        for (idx, result) in out_rx {
+            slots[idx] = Some(result);
         }
         for h in handles {
             if let Err(payload) = h.join() {

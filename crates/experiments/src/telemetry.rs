@@ -1,0 +1,386 @@
+//! Per-cell telemetry: tagging one experiment cell's observability
+//! record, reconstructing context life cycles from its trace, and
+//! rendering the human-readable views `trace_dump` prints.
+//!
+//! An experiment grid is a set of `(strategy, err_rate, seed)` cells;
+//! with [`crate::runner::run_named_observed`] each cell yields a
+//! [`CellTelemetry`] carrying the drained event trace and the metrics
+//! snapshot of that one run. From a trace, [`reconstruct_lifecycles`]
+//! rebuilds each context's journey through the Fig. 8 life cycle —
+//! creation, detections, count bumps, bad-marking, and the final
+//! delivery/discard — which is how the acceptance check "every discarded
+//! context's life cycle is reconstructable" is implemented.
+
+use ctxres_context::{ContextId, ContextState};
+use ctxres_obs::{ObsRegistry, ObsSnapshot, TraceEvent, TraceRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One experiment cell's full observability record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTelemetry {
+    /// Strategy paper name of the cell.
+    pub strategy: String,
+    /// Workload corruption probability of the cell.
+    pub err_rate: f64,
+    /// Workload seed of the cell.
+    pub seed: u64,
+    /// Point-in-time metrics (counters + histograms), taken before the
+    /// trace drain so `events_buffered` reflects the run.
+    pub snapshot: ObsSnapshot,
+    /// The drained event trace, ordered by logical time.
+    pub trace: Vec<TraceRecord>,
+    /// Events evicted from full rings during the run (0 means the trace
+    /// is complete).
+    pub dropped: u64,
+}
+
+impl CellTelemetry {
+    /// Drains `registry` into a telemetry record tagged with its cell.
+    pub fn collect(strategy: &str, err_rate: f64, seed: u64, registry: &ObsRegistry) -> Self {
+        let snapshot = registry.snapshot();
+        CellTelemetry {
+            strategy: strategy.to_owned(),
+            err_rate,
+            seed,
+            snapshot,
+            trace: registry.drain(),
+            dropped: registry.dropped(),
+        }
+    }
+
+    /// The reconstructed life cycles of this cell's trace.
+    pub fn lifecycles(&self) -> Vec<Lifecycle> {
+        reconstruct_lifecycles(&self.trace)
+    }
+}
+
+/// One context's reconstructed journey through the middleware: every
+/// trace event involving it, in trace order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lifecycle {
+    /// The shard whose engine owned the context (ids are shard-local).
+    pub shard: u32,
+    /// The context.
+    pub ctx: ContextId,
+    /// Every event involving the context, in trace order.
+    pub events: Vec<TraceRecord>,
+}
+
+impl Lifecycle {
+    /// The tick the context entered the middleware, when traced.
+    pub fn received_at(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::Received { .. }))
+            .map(|r| r.at)
+    }
+
+    /// The last life-cycle state the trace saw the context in
+    /// (`None` when no `StateChanged` involved it — it ended the run
+    /// still `Undecided`).
+    pub fn final_state(&self) -> Option<ContextState> {
+        self.events.iter().rev().find_map(|r| match &r.event {
+            TraceEvent::StateChanged { to, .. } => Some(*to),
+            _ => None,
+        })
+    }
+
+    /// The context's count-value history (each tracked inconsistency it
+    /// joined bumped it once).
+    pub fn count_values(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::CountBumped { count, .. } => Some(*count),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether detection ever implicated the context.
+    pub fn was_detected(&self) -> bool {
+        self.events
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Detected { .. }))
+    }
+
+    /// Whether the context was discarded.
+    pub fn was_discarded(&self) -> bool {
+        self.events
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Discarded { .. }))
+    }
+
+    /// Whether the context was delivered to applications.
+    pub fn was_delivered(&self) -> bool {
+        self.events
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Delivered { .. }))
+    }
+
+    /// A one-word fate for summaries.
+    pub fn fate(&self) -> &'static str {
+        if self.was_discarded() {
+            "discarded"
+        } else if self.was_delivered() {
+            "delivered"
+        } else if self
+            .events
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Expired { .. }))
+        {
+            "expired"
+        } else {
+            "pending"
+        }
+    }
+
+    /// One line: `shard 0 ctx#3: received t2, counts [1, 2], discarded`.
+    pub fn summary(&self) -> String {
+        let mut out = format!("shard {} {}: ", self.shard, self.ctx);
+        match self.received_at() {
+            Some(t) => {
+                let _ = write!(out, "received t{t}");
+            }
+            None => out.push_str("(no receive event)"),
+        }
+        let counts = self.count_values();
+        if !counts.is_empty() {
+            let _ = write!(out, ", counts {counts:?}");
+        }
+        let _ = write!(out, ", {}", self.fate());
+        out
+    }
+}
+
+/// Groups a trace by `(shard, context)` and returns each context's life
+/// cycle, ordered by shard then context id. Detection and Δ events are
+/// attributed to **every** context they involve.
+pub fn reconstruct_lifecycles(trace: &[TraceRecord]) -> Vec<Lifecycle> {
+    let mut by_ctx: BTreeMap<(u32, ContextId), Vec<TraceRecord>> = BTreeMap::new();
+    for record in trace {
+        for ctx in record.event.contexts() {
+            by_ctx
+                .entry((record.shard, ctx))
+                .or_default()
+                .push(record.clone());
+        }
+    }
+    by_ctx
+        .into_iter()
+        .map(|((shard, ctx), events)| Lifecycle { shard, ctx, events })
+        .collect()
+}
+
+/// `StateChanged` tallies keyed `(from, to)`.
+pub type TransitionCounts = BTreeMap<(ContextState, ContextState), u64>;
+
+/// Counts the `StateChanged` transitions of a trace, keyed
+/// `(from, to)`.
+pub fn transition_counts(trace: &[TraceRecord]) -> TransitionCounts {
+    let mut counts = BTreeMap::new();
+    for record in trace {
+        if let TraceEvent::StateChanged { from, to, .. } = &record.event {
+            *counts.entry((*from, *to)).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Renders a per-strategy state-transition summary table: one labelled
+/// row set per `(label, trace)` pair.
+///
+/// ```text
+/// strategy   transition                  count
+/// d-bad      undecided -> consistent     42
+/// d-bad      undecided -> bad            3
+/// ```
+pub fn render_transition_table(rows: &[(String, TransitionCounts)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<32} {:>8}",
+        "strategy", "transition", "count"
+    );
+    for (label, counts) in rows {
+        if counts.is_empty() {
+            let _ = writeln!(out, "{label:<12} {:<32} {:>8}", "(no transitions)", 0);
+            continue;
+        }
+        for ((from, to), n) in counts {
+            let transition = format!("{from} -> {to}");
+            let _ = writeln!(out, "{label:<12} {transition:<32} {n:>8}");
+        }
+    }
+    out
+}
+
+/// Renders a trace as a human-readable timeline, one event per line,
+/// capped at `limit` lines (0 = unlimited) with an elision note.
+pub fn render_timeline(trace: &[TraceRecord], limit: usize) -> String {
+    let mut out = String::new();
+    let shown = if limit == 0 {
+        trace.len()
+    } else {
+        limit.min(trace.len())
+    };
+    for record in &trace[..shown] {
+        let _ = writeln!(out, "{record}");
+    }
+    if shown < trace.len() {
+        let _ = writeln!(out, "... ({} more events)", trace.len() - shown);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_named_observed, DEFAULT_WINDOW};
+    use ctxres_apps::call_forwarding::CallForwarding;
+    use ctxres_apps::PervasiveApp;
+    use ctxres_obs::ObsConfig;
+
+    fn observed_cell() -> CellTelemetry {
+        let app = CallForwarding::new();
+        let (_, telemetry) = run_named_observed(
+            &app,
+            "d-bad",
+            0.3,
+            3,
+            200,
+            app.recommended_window(),
+            ObsConfig::enabled(),
+        );
+        telemetry
+    }
+
+    #[test]
+    fn cell_is_tagged_and_complete() {
+        let cell = observed_cell();
+        assert_eq!(cell.strategy, "d-bad");
+        assert_eq!(cell.seed, 3);
+        assert_eq!(cell.dropped, 0, "default ring must hold a full run");
+        assert!(!cell.trace.is_empty());
+        // The snapshot was taken pre-drain: the buffered count matches
+        // the trace we got.
+        assert_eq!(
+            cell.snapshot.shards[0].events_buffered,
+            cell.trace.len() as u64
+        );
+    }
+
+    /// Satellite acceptance: every context that ends the run
+    /// `Inconsistent` has a matching detection and discard event, and
+    /// nothing was evicted from the ring.
+    #[test]
+    fn trace_is_complete_for_every_discarded_context() {
+        let cell = observed_cell();
+        assert_eq!(cell.dropped, 0);
+        let lifecycles = cell.lifecycles();
+        let discarded: Vec<&Lifecycle> = lifecycles
+            .iter()
+            .filter(|l| l.final_state() == Some(ContextState::Inconsistent))
+            .collect();
+        assert!(
+            !discarded.is_empty(),
+            "a 30% error rate drop-bad run must discard something"
+        );
+        for l in discarded {
+            assert!(
+                l.was_detected(),
+                "{}: discarded without a detection event",
+                l.ctx
+            );
+            assert!(
+                l.was_discarded(),
+                "{}: ended Inconsistent without a discard event",
+                l.ctx
+            );
+            assert!(l.received_at().is_some(), "{}: no creation event", l.ctx);
+            assert!(
+                !l.count_values().is_empty(),
+                "{}: drop-bad discards carry count evidence",
+                l.ctx
+            );
+        }
+    }
+
+    #[test]
+    fn every_context_lifecycle_is_reconstructable() {
+        let cell = observed_cell();
+        for l in cell.lifecycles() {
+            // Every traced context entered through a Received event
+            // (delta/detected-only entries aside, which still carry it
+            // because detection follows reception in the same trace).
+            assert!(l.received_at().is_some(), "{}: no receive event", l.ctx);
+            assert_ne!(l.fate(), "pending", "{}: undecided after drain", l.ctx);
+        }
+    }
+
+    #[test]
+    fn transition_table_renders_by_strategy() {
+        let cell = observed_cell();
+        let counts = transition_counts(&cell.trace);
+        assert!(!counts.is_empty());
+        let table = render_transition_table(&[(cell.strategy.clone(), counts.clone())]);
+        assert!(table.contains("d-bad"), "{table}");
+        assert!(table.contains("->"), "{table}");
+        // Deliveries dominate: the undecided -> consistent row exists.
+        assert!(
+            counts
+                .keys()
+                .any(|(f, t)| *f == ContextState::Undecided && *t == ContextState::Consistent),
+            "{counts:?}"
+        );
+    }
+
+    #[test]
+    fn timeline_caps_and_elides() {
+        let cell = observed_cell();
+        let full = render_timeline(&cell.trace, 0);
+        assert_eq!(full.lines().count(), cell.trace.len());
+        let capped = render_timeline(&cell.trace, 5);
+        assert_eq!(capped.lines().count(), 6, "5 events + elision note");
+        assert!(capped.contains("more events"), "{capped}");
+    }
+
+    #[test]
+    fn disabled_config_yields_empty_telemetry() {
+        let app = CallForwarding::new();
+        let (metrics, telemetry) = run_named_observed(
+            &app,
+            "d-bad",
+            0.3,
+            3,
+            200,
+            app.recommended_window(),
+            ObsConfig::disabled(),
+        );
+        assert!(telemetry.trace.is_empty());
+        assert_eq!(telemetry.dropped, 0);
+        // And observation does not perturb results: the observed run
+        // matches a plain run bit-for-bit.
+        let plain = crate::runner::run_named(&app, "d-bad", 0.3, 3, 200, app.recommended_window());
+        assert_eq!(metrics, plain);
+        let _ = DEFAULT_WINDOW;
+    }
+
+    #[test]
+    fn enabled_observation_does_not_change_results() {
+        let app = CallForwarding::new();
+        let (observed, _) = run_named_observed(
+            &app,
+            "d-bad",
+            0.2,
+            7,
+            150,
+            app.recommended_window(),
+            ObsConfig::enabled(),
+        );
+        let plain = crate::runner::run_named(&app, "d-bad", 0.2, 7, 150, app.recommended_window());
+        assert_eq!(observed, plain);
+    }
+}

@@ -1,13 +1,40 @@
-//! Trace persistence: save and reload workload traces as JSON Lines.
+//! Trace persistence: save and reload workload traces and
+//! observability event traces as JSON Lines.
 //!
 //! The paper's experiments replay recorded context streams; this module
 //! gives the harness the same capability — generate once, share the
 //! exact trace, replay anywhere. One JSON object per line, one line per
-//! context, in stream order.
+//! context (or per [`TraceRecord`] for event traces), in stream order.
 
 use ctxres_context::Context;
+use ctxres_obs::TraceRecord;
 use std::io::{BufRead, Write};
 use std::path::Path;
+
+fn save_lines<T: serde::Serialize>(path: &Path, items: &[T]) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    for item in items {
+        let line = serde_json::to_string(item).map_err(|e| e.to_string())?;
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn load_lines<T: serde::de::DeserializeOwned>(path: &Path) -> Result<Vec<T>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let item: T = serde_json::from_str(&line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(item);
+    }
+    Ok(out)
+}
 
 /// Serializes a trace to JSON Lines.
 ///
@@ -15,13 +42,7 @@ use std::path::Path;
 ///
 /// Returns a string describing any I/O or serialization failure.
 pub fn save_trace(path: &Path, trace: &[Context]) -> Result<(), String> {
-    let file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
-    let mut out = std::io::BufWriter::new(file);
-    for ctx in trace {
-        let line = serde_json::to_string(ctx).map_err(|e| e.to_string())?;
-        writeln!(out, "{line}").map_err(|e| e.to_string())?;
-    }
-    Ok(())
+    save_lines(path, trace)
 }
 
 /// Loads a JSON Lines trace.
@@ -31,19 +52,28 @@ pub fn save_trace(path: &Path, trace: &[Context]) -> Result<(), String> {
 /// Returns a string describing any I/O or parse failure (with the line
 /// number).
 pub fn load_trace(path: &Path) -> Result<Vec<Context>, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
-    let reader = std::io::BufReader::new(file);
-    let mut out = Vec::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let ctx: Context =
-            serde_json::from_str(&line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        out.push(ctx);
-    }
-    Ok(out)
+    load_lines(path)
+}
+
+/// Serializes an observability event trace to JSON Lines — one
+/// [`TraceRecord`] object per line, in trace order. This is the format
+/// `trace_dump` consumes and CI archives as a smoke artifact.
+///
+/// # Errors
+///
+/// Returns a string describing any I/O or serialization failure.
+pub fn save_events(path: &Path, events: &[TraceRecord]) -> Result<(), String> {
+    save_lines(path, events)
+}
+
+/// Loads a JSON Lines observability event trace.
+///
+/// # Errors
+///
+/// Returns a string describing any I/O or parse failure (with the line
+/// number).
+pub fn load_events(path: &Path) -> Result<Vec<TraceRecord>, String> {
+    load_lines(path)
 }
 
 #[cfg(test)]
@@ -62,6 +92,30 @@ mod tests {
         save_trace(&path, &trace).unwrap();
         let loaded = load_trace(&path).unwrap();
         assert_eq!(trace, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn event_round_trip_preserves_the_trace() {
+        use crate::runner::run_named_observed;
+        use ctxres_obs::ObsConfig;
+        let app = CallForwarding::new();
+        let (_, telemetry) = run_named_observed(
+            &app,
+            "d-bad",
+            0.3,
+            5,
+            80,
+            app.recommended_window(),
+            ObsConfig::enabled(),
+        );
+        assert!(!telemetry.trace.is_empty());
+        let dir = std::env::temp_dir().join("ctxres-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        save_events(&path, &telemetry.trace).unwrap();
+        let loaded = load_events(&path).unwrap();
+        assert_eq!(telemetry.trace, loaded);
         std::fs::remove_file(&path).ok();
     }
 

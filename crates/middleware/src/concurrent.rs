@@ -15,6 +15,20 @@ use ctxres_context::Context;
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
 
+/// Re-raises a worker thread's panic on the joining thread. String-ish
+/// payloads (`String` and `&'static str` — everything `panic!` itself
+/// produces) are resumed **verbatim**, so `#[should_panic(expected)]`
+/// tests and log scrapers see the original message; any other payload
+/// type is replaced by a message naming the worker, because an opaque
+/// `Box<dyn Any>` would otherwise surface as the useless
+/// "Any { .. }".
+pub(crate) fn resume_worker_panic(worker: &str, payload: Box<dyn std::any::Any + Send>) -> ! {
+    if payload.is::<String>() || payload.is::<&'static str>() {
+        std::panic::resume_unwind(payload);
+    }
+    panic!("{worker} panicked with a non-string payload");
+}
+
 /// A thread-shareable middleware handle.
 ///
 /// ```
@@ -97,11 +111,13 @@ impl PumpHandle {
     ///
     /// # Panics
     ///
-    /// Resumes the pump thread's panic, if it had one.
+    /// Resumes the pump thread's panic, if it had one: `String` and
+    /// `&'static str` payloads verbatim, anything else as a labelled
+    /// panic naming the pump thread.
     pub fn join(self) -> usize {
         match self.inner.join() {
             Ok(n) => n,
-            Err(payload) => std::panic::resume_unwind(payload),
+            Err(payload) => resume_worker_panic("pump thread", payload),
         }
     }
 
@@ -214,5 +230,42 @@ mod tests {
         let payload = outcome.expect_err("the source panic must reach the joiner");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "observer exploded");
+    }
+
+    #[test]
+    fn formatted_panic_payload_survives_the_relay_verbatim() {
+        struct Exploder;
+        impl crate::observer::MiddlewareObserver for Exploder {
+            fn on_submitted(&mut self, _report: &crate::middleware::SubmitReport, ctx: &Context) {
+                panic!("bad context from {}", ctx.subject());
+            }
+        }
+        let mw = Middleware::builder()
+            .strategy(Box::new(DropBad::new()))
+            .observer(Box::new(Exploder))
+            .build();
+        let shared = SharedMiddleware::new(mw);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        tx.send(loc("alice", 0)).unwrap();
+        drop(tx);
+        let handle = shared.pump_in_thread(rx);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.join()));
+        let payload = outcome.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("String payloads are preserved as String");
+        assert_eq!(msg, "bad context from alice");
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_labelled() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42_u32);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            resume_worker_panic("pump thread", payload)
+        }));
+        let relabelled = outcome.expect_err("must still panic");
+        let msg = relabelled.downcast_ref::<String>().cloned().unwrap();
+        assert_eq!(msg, "pump thread panicked with a non-string payload");
     }
 }

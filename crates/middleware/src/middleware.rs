@@ -7,6 +7,7 @@ use crate::subscription::{SubscriptionFilter, SubscriptionId, SubscriptionTable}
 use ctxres_constraint::{Constraint, ConstraintSet, IncrementalChecker, PredicateRegistry};
 use ctxres_context::{Context, ContextId, ContextPool, ContextState, LogicalTime, Ticks, TruthTag};
 use ctxres_core::{Inconsistency, ResolutionStrategy};
+use ctxres_obs::{CounterKind, MetricKind, ShardObs, TraceEvent};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -94,6 +95,7 @@ pub struct Middleware {
     latency_sum: u64,
     observers: Vec<Box<dyn MiddlewareObserver>>,
     subscriptions: SubscriptionTable,
+    obs: ShardObs,
 }
 
 impl fmt::Debug for Middleware {
@@ -176,6 +178,12 @@ impl Middleware {
         &self.registry
     }
 
+    /// The observability handle this instance records through (a
+    /// disabled no-op handle unless one was attached at build time).
+    pub fn obs(&self) -> &ShardObs {
+        &self.obs
+    }
+
     /// Registers an application subscription; every *delivered* context
     /// matching `filter` is enqueued for it.
     pub fn subscribe(&mut self, filter: SubscriptionFilter) -> SubscriptionId {
@@ -200,10 +208,21 @@ impl Middleware {
 
         let truth = ctx.truth();
         let kind = ctx.kind().clone();
+        let subject = self.obs.is_enabled().then(|| ctx.subject().to_string());
         let gt_clone =
             (self.config.track_ground_truth && truth == TruthTag::Expected).then(|| ctx.clone());
         let id = self.pool.insert(ctx);
         self.stats.received += 1;
+        if let Some(subject) = subject {
+            self.obs.record(
+                now,
+                TraceEvent::Received {
+                    ctx: id,
+                    kind: kind.name().to_string(),
+                    subject,
+                },
+            );
+        }
         if let Some(clone) = gt_clone {
             // The ground-truth shadow view: an expected context joins it
             // when its use window elapses — the instant a *perfect*
@@ -221,7 +240,17 @@ impl Middleware {
             // normal cadence.
             self.stats.irrelevant += 1;
             let _ = self.pool.set_state(id, ContextState::Consistent);
+            self.obs.record(
+                now,
+                TraceEvent::StateChanged {
+                    ctx: id,
+                    from: ContextState::Undecided,
+                    to: ContextState::Consistent,
+                },
+            );
             self.buffer.push_back((now + self.config.window, id));
+            self.obs
+                .observe(MetricKind::QueueDepth, self.buffer.len() as u64);
             self.dirty = true;
             self.process_due(now);
             self.evaluate_situations_if_dirty(now);
@@ -239,6 +268,7 @@ impl Middleware {
             return report;
         }
 
+        let check_span = self.obs.span(MetricKind::CheckLatency);
         let fresh: Vec<Inconsistency> =
             match self.checker.on_added(&self.registry, &self.pool, now, id) {
                 Ok(ds) => ds
@@ -253,15 +283,34 @@ impl Middleware {
                     Vec::new()
                 }
             };
+        check_span.finish();
         self.stats.inconsistencies += fresh.len() as u64;
+        if self.obs.is_enabled() {
+            for inc in &fresh {
+                self.obs.record(
+                    now,
+                    TraceEvent::Detected {
+                        constraint: inc.constraint().to_string(),
+                        contexts: inc.contexts().iter().copied().collect(),
+                    },
+                );
+            }
+            self.obs.count(CounterKind::Detections, fresh.len() as u64);
+        }
         self.detections.extend(fresh.iter().cloned());
 
+        let resolve_span = self.obs.span(MetricKind::ResolveLatency);
         let outcome = self.strategy.on_addition(&mut self.pool, now, id, &fresh);
+        resolve_span.finish();
         for did in &outcome.discarded {
-            self.count_discard(*did);
+            // Addition-path discards (eager strategies) always take a
+            // still-undecided context out.
+            self.count_discard(*did, now, ContextState::Undecided);
         }
         if outcome.accepted {
             self.buffer.push_back((now + self.config.window, id));
+            self.obs
+                .observe(MetricKind::QueueDepth, self.buffer.len() as u64);
         }
         self.dirty = true;
         self.process_due(now);
@@ -320,7 +369,7 @@ impl Middleware {
         }
         self.buffer.retain(|(_, bid)| *bid != id);
         let now = self.clock;
-        let rec = self.use_one(id, now);
+        let rec = self.use_one(id, now, None);
         self.evaluate_situations_if_dirty(now);
         Some(rec)
     }
@@ -346,19 +395,49 @@ impl Middleware {
                 break;
             }
             self.buffer.pop_front();
-            self.use_one(id, now);
+            self.use_one(id, now, Some(due));
         }
     }
 
-    fn use_one(&mut self, id: ContextId, now: LogicalTime) -> UseRecord {
+    /// Processes a context-deletion change. `due` is the buffer deadline
+    /// that triggered this use (`None` for an explicit [`Middleware::use_now`]);
+    /// the gap between it and `now` is the use-window residual delay —
+    /// how long past its window a context lingered before a clock
+    /// advance finally used it.
+    fn use_one(&mut self, id: ContextId, now: LogicalTime, due: Option<LogicalTime>) -> UseRecord {
+        if let Some(due) = due {
+            self.obs
+                .observe(MetricKind::UseResidualDelay, (now - due).count());
+        }
         let truth = self.pool.get(id).map(|c| c.truth()).unwrap_or_default();
         let was_live = self.pool.get(id).map(|c| c.is_live(now)).unwrap_or(false);
+        let prev_state = self
+            .pool
+            .get(id)
+            .map(|c| c.state())
+            .unwrap_or(ContextState::Undecided);
+        let resolve_span = self.obs.span(MetricKind::ResolveLatency);
         let outcome = self.strategy.on_use(&mut self.pool, now, id);
+        resolve_span.finish();
         if outcome.delivered {
             self.stats.delivered += 1;
             match truth {
                 TruthTag::Expected => self.stats.delivered_expected += 1,
                 TruthTag::Corrupted => self.stats.delivered_corrupted += 1,
+            }
+            if self.obs.is_enabled() {
+                if prev_state == ContextState::Undecided {
+                    self.obs.record(
+                        now,
+                        TraceEvent::StateChanged {
+                            ctx: id,
+                            from: prev_state,
+                            to: ContextState::Consistent,
+                        },
+                    );
+                }
+                self.obs.record(now, TraceEvent::Delivered { ctx: id });
+                self.obs.count(CounterKind::Deliveries, 1);
             }
             if !self.subscriptions.is_empty() {
                 if let Some(ctx) = self.pool.get(id) {
@@ -367,11 +446,31 @@ impl Middleware {
             }
         } else if !outcome.discarded.contains(&id) && !was_live {
             self.stats.expired_on_use += 1;
+            self.obs.record(now, TraceEvent::Expired { ctx: id });
         }
         for did in &outcome.discarded {
-            self.count_discard(*did);
+            // The used context may have been `Bad` before its discard;
+            // any other casualty was still undecided.
+            let from = if *did == id {
+                prev_state
+            } else {
+                ContextState::Undecided
+            };
+            self.count_discard(*did, now, from);
         }
         self.stats.marked_bad += outcome.marked_bad.len() as u64;
+        if self.obs.is_enabled() {
+            for bid in &outcome.marked_bad {
+                self.obs.record(
+                    now,
+                    TraceEvent::StateChanged {
+                        ctx: *bid,
+                        from: ContextState::Undecided,
+                        to: ContextState::Bad,
+                    },
+                );
+            }
+        }
         let rec = UseRecord {
             id,
             delivered: outcome.delivered,
@@ -395,11 +494,23 @@ impl Middleware {
         self.observers = observers;
     }
 
-    fn count_discard(&mut self, id: ContextId) {
+    fn count_discard(&mut self, id: ContextId, now: LogicalTime, from: ContextState) {
         self.stats.discarded += 1;
         match self.pool.get(id).map(|c| c.truth()).unwrap_or_default() {
             TruthTag::Expected => self.stats.discarded_expected += 1,
             TruthTag::Corrupted => self.stats.discarded_corrupted += 1,
+        }
+        if self.obs.is_enabled() {
+            self.obs.record(
+                now,
+                TraceEvent::StateChanged {
+                    ctx: id,
+                    from,
+                    to: ContextState::Inconsistent,
+                },
+            );
+            self.obs.record(now, TraceEvent::Discarded { ctx: id });
+            self.obs.count(CounterKind::Discards, 1);
         }
     }
 
@@ -451,6 +562,7 @@ pub struct MiddlewareBuilder {
     registry: Option<PredicateRegistry>,
     config: MiddlewareConfig,
     observers: Vec<Box<dyn MiddlewareObserver>>,
+    obs: ShardObs,
 }
 
 impl fmt::Debug for MiddlewareBuilder {
@@ -502,6 +614,15 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// Attaches an observability handle (from
+    /// [`ctxres_obs::ObsRegistry::handle`]); the built middleware *and*
+    /// its strategy record life-cycle events and latency metrics through
+    /// it. Default: a disabled no-op handle.
+    pub fn obs(mut self, obs: ShardObs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Builds the middleware.
     ///
     /// # Panics
@@ -512,7 +633,10 @@ impl MiddlewareBuilder {
     /// context set)`, so duplicate names would silently merge distinct
     /// inconsistencies in the tracked set.
     pub fn build(self) -> Middleware {
-        let strategy = self.strategy.expect("a resolution strategy is required");
+        let mut strategy = self.strategy.expect("a resolution strategy is required");
+        // The strategy records into the same per-shard ring as the
+        // engine, so Δ-set events interleave with life-cycle events.
+        strategy.attach_obs(self.obs.clone());
         {
             let mut seen = std::collections::BTreeSet::new();
             for c in &self.constraints {
@@ -552,6 +676,7 @@ impl MiddlewareBuilder {
             latency_sum: 0,
             observers: self.observers,
             subscriptions: SubscriptionTable::new(),
+            obs: self.obs,
         }
     }
 }

@@ -30,13 +30,16 @@
 //! single-engine middleware would. Situations are a cross-subject
 //! aggregate concern and stay with the single-engine experiment path.
 
+use crate::concurrent::resume_worker_panic;
 use crate::middleware::{Middleware, SubmitReport};
 use crate::stats::{MiddlewareStats, ShardStats};
 use crossbeam::channel::Receiver;
 use ctxres_constraint::{global_kinds, Constraint};
 use ctxres_context::{Context, ContextKind, ContextState, LogicalTime};
+use ctxres_obs::{MetricKind, ObsConfig, ObsRegistry, ShardObs};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// FNV-1a, for a stable subject → shard assignment (independent of the
 /// process and of `RandomState`, so test expectations hold).
@@ -145,6 +148,9 @@ impl ShardPlan {
 pub struct ShardedMiddleware {
     plan: ShardPlan,
     shards: Vec<Mutex<Middleware>>,
+    /// Engine-level handle (routing spans); per-shard events go through
+    /// each shard middleware's own handle.
+    obs: ShardObs,
 }
 
 impl std::fmt::Debug for ShardedMiddleware {
@@ -162,7 +168,41 @@ impl ShardedMiddleware {
         let shards = (0..plan.total_shards())
             .map(|i| Mutex::new(make(i)))
             .collect();
-        ShardedMiddleware { plan, shards }
+        ShardedMiddleware {
+            plan,
+            shards,
+            obs: ShardObs::disabled(),
+        }
+    }
+
+    /// An [`ObsRegistry`] sized for `plan`: one slot per shard plus a
+    /// final **engine slot** holding the cross-shard front-end's own
+    /// metrics (routing latency). Pass it to
+    /// [`ShardedMiddleware::new_observed`].
+    pub fn obs_registry(plan: &ShardPlan, config: ObsConfig) -> Arc<ObsRegistry> {
+        ObsRegistry::shared(config, plan.total_shards() + 1)
+    }
+
+    /// [`ShardedMiddleware::new`] with instrumentation: `make(i, obs)`
+    /// receives shard `i`'s recording handle to attach via
+    /// [`crate::MiddlewareBuilder::obs`], and the engine keeps the extra
+    /// last slot of `registry` for its own front-end metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an enabled `registry` has fewer than
+    /// `plan.total_shards() + 1` slots (build it with
+    /// [`ShardedMiddleware::obs_registry`]).
+    pub fn new_observed(
+        plan: ShardPlan,
+        registry: &Arc<ObsRegistry>,
+        mut make: impl FnMut(usize, ShardObs) -> Middleware,
+    ) -> Self {
+        let shards = (0..plan.total_shards())
+            .map(|i| Mutex::new(make(i, registry.handle(i))))
+            .collect();
+        let obs = registry.handle(plan.total_shards());
+        ShardedMiddleware { plan, shards, obs }
     }
 
     /// The routing plan.
@@ -186,22 +226,39 @@ impl ShardedMiddleware {
     /// order — the order detection semantics care about — matches a
     /// serial submission of the same batch.
     pub fn batch_add(&self, batch: &[Context]) -> usize {
+        let route_span = self.obs.span(MetricKind::RouteLatency);
         let mut per_shard: Vec<Vec<Context>> = vec![Vec::new(); self.shards.len()];
         for ctx in batch {
             per_shard[self.plan.route(ctx)].push(ctx.clone());
         }
+        route_span.finish();
         std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(per_shard.len());
             for (i, chunk) in per_shard.into_iter().enumerate() {
                 if chunk.is_empty() {
                     continue;
                 }
                 let shard = &self.shards[i];
-                scope.spawn(move || {
+                let handle = scope.spawn(move || {
                     let mut mw = shard.lock();
+                    // The shard's own handle, cloned out of the guard so
+                    // the ingest span can outlive `mw`'s borrows.
+                    let obs = mw.obs().clone();
+                    let span = obs.span(MetricKind::IngestLatency);
                     for ctx in chunk {
                         mw.submit(ctx);
                     }
+                    span.finish();
                 });
+                handles.push((i, handle));
+            }
+            // Join explicitly instead of letting the scope propagate the
+            // first panic as an opaque payload: string payloads resume
+            // verbatim, others are labelled with the shard that died.
+            for (i, handle) in handles {
+                if let Err(payload) = handle.join() {
+                    resume_worker_panic(&format!("shard {i} ingest thread"), payload);
+                }
             }
         });
         batch.len()
@@ -412,5 +469,128 @@ mod tests {
         let shard = sharded.plan().route(&anon);
         assert!(shard < 4);
         assert_eq!(shard, sharded.plan().route(&anon));
+    }
+
+    fn observed_engine(subject_shards: usize) -> (ShardedMiddleware, Arc<ctxres_obs::ObsRegistry>) {
+        let constraints = parse_constraints(SPEED).unwrap();
+        let plan = ShardPlan::analyze(&constraints, subject_shards);
+        let registry = ShardedMiddleware::obs_registry(&plan, ObsConfig::enabled());
+        let sharded = ShardedMiddleware::new_observed(plan, &registry, |_, obs| {
+            Middleware::builder()
+                .constraints(parse_constraints(SPEED).unwrap())
+                .strategy(Box::new(DropBad::new()))
+                .config(MiddlewareConfig {
+                    window: Ticks::new(0),
+                    track_ground_truth: false,
+                    retention: None,
+                })
+                .obs(obs)
+                .build()
+        });
+        (sharded, registry)
+    }
+
+    #[test]
+    fn observed_engine_tags_events_with_the_routing_shard() {
+        let (sharded, registry) = observed_engine(4);
+        let batch: Vec<Context> = (0..10)
+            .flat_map(|t| ["alice", "bob"].map(|s| loc(s, t, t as f64 * 0.1)))
+            .collect();
+        sharded.batch_add(&batch);
+        sharded.drain();
+
+        let trace = registry.drain();
+        assert!(!trace.is_empty());
+        // Every event of one subject carries that subject's shard id.
+        let alice_shard = sharded.plan().route(&loc("alice", 0, 0.0)) as u32;
+        let alice_received: Vec<u32> = trace
+            .iter()
+            .filter(|r| {
+                matches!(&r.event, ctxres_obs::TraceEvent::Received { subject, .. }
+                    if subject == "alice")
+            })
+            .map(|r| r.shard)
+            .collect();
+        assert_eq!(alice_received.len(), 10);
+        assert!(alice_received.iter().all(|s| *s == alice_shard));
+        // Metrics landed without a drop.
+        assert_eq!(registry.dropped(), 0);
+        let agg = registry.snapshot().aggregate();
+        assert_eq!(
+            agg.counter(ctxres_obs::CounterKind::Deliveries),
+            sharded.stats().delivered
+        );
+        assert!(agg.histogram(MetricKind::IngestLatency).count >= 1);
+        assert!(agg.histogram(MetricKind::RouteLatency).count >= 1);
+    }
+
+    #[test]
+    fn disabled_observed_engine_records_nothing() {
+        let constraints = parse_constraints(SPEED).unwrap();
+        let plan = ShardPlan::analyze(&constraints, 2);
+        let registry = ShardedMiddleware::obs_registry(&plan, ObsConfig::disabled());
+        let sharded = ShardedMiddleware::new_observed(plan, &registry, |_, obs| {
+            assert!(!obs.is_enabled());
+            Middleware::builder()
+                .constraints(parse_constraints(SPEED).unwrap())
+                .strategy(Box::new(DropBad::new()))
+                .obs(obs)
+                .build()
+        });
+        sharded.batch_add(&[loc("alice", 0, 0.0)]);
+        sharded.drain();
+        assert!(registry.drain().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard exploded on charlie")]
+    fn batch_add_preserves_string_panic_payloads() {
+        struct Exploder;
+        impl crate::observer::MiddlewareObserver for Exploder {
+            fn on_submitted(&mut self, _report: &SubmitReport, ctx: &Context) {
+                if ctx.subject() == "charlie" {
+                    panic!("shard exploded on {}", ctx.subject());
+                }
+            }
+        }
+        let constraints = parse_constraints(SPEED).unwrap();
+        let plan = ShardPlan::analyze(&constraints, 2);
+        let sharded = ShardedMiddleware::new(plan, |_| {
+            Middleware::builder()
+                .constraints(parse_constraints(SPEED).unwrap())
+                .strategy(Box::new(DropBad::new()))
+                .observer(Box::new(Exploder))
+                .build()
+        });
+        sharded.batch_add(&[loc("alice", 0, 0.0), loc("charlie", 0, 0.0)]);
+    }
+
+    #[test]
+    fn batch_add_labels_non_string_panic_payloads_with_the_shard() {
+        struct Exploder;
+        impl crate::observer::MiddlewareObserver for Exploder {
+            fn on_submitted(&mut self, _report: &SubmitReport, _ctx: &Context) {
+                std::panic::panic_any(42_u32);
+            }
+        }
+        let constraints = parse_constraints(SPEED).unwrap();
+        let plan = ShardPlan::analyze(&constraints, 2);
+        let dying_shard = plan.route(&loc("alice", 0, 0.0));
+        let sharded = ShardedMiddleware::new(plan, |_| {
+            Middleware::builder()
+                .constraints(parse_constraints(SPEED).unwrap())
+                .strategy(Box::new(DropBad::new()))
+                .observer(Box::new(Exploder))
+                .build()
+        });
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sharded.batch_add(&[loc("alice", 0, 0.0)])
+        }));
+        let payload = outcome.expect_err("the shard panic must propagate");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap();
+        assert_eq!(
+            msg,
+            format!("shard {dying_shard} ingest thread panicked with a non-string payload")
+        );
     }
 }

@@ -178,3 +178,60 @@ proptest! {
         prop_assert_eq!(bad.delivered_expected, lat.delivered_expected);
     }
 }
+
+/// Builds a stats record from 14 raw field values (field order matches
+/// the struct declaration).
+fn stats_from(f: &[u64]) -> MiddlewareStats {
+    MiddlewareStats {
+        received: f[0],
+        irrelevant: f[1],
+        inconsistencies: f[2],
+        delivered: f[3],
+        delivered_expected: f[4],
+        delivered_corrupted: f[5],
+        discarded: f[6],
+        discarded_expected: f[7],
+        discarded_corrupted: f[8],
+        marked_bad: f[9],
+        expired_on_use: f[10],
+        situation_activations: f[11],
+        eval_errors: f[12],
+        compacted: f[13],
+    }
+}
+
+proptest! {
+    /// Stats survive a JSON round trip bit-exactly — the experiment
+    /// runner persists them, so drift here would corrupt BENCH files.
+    #[test]
+    fn stats_serde_round_trip(fields in proptest::collection::vec(0u64..1_000_000, 14)) {
+        let stats = stats_from(&fields);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: MiddlewareStats = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, stats);
+    }
+
+    /// Absorbing per-shard records one by one equals summing the raw
+    /// fields first — the cross-shard aggregation the sharded middleware
+    /// relies on is plain field-wise addition (commutative, no global
+    /// lock needed).
+    #[test]
+    fn absorb_aggregation_matches_fieldwise_sum(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000, 14),
+            1..6,
+        ),
+    ) {
+        let mut aggregated = MiddlewareStats::default();
+        for fields in &shards {
+            aggregated.absorb(&stats_from(fields));
+        }
+        let mut totals = vec![0u64; 14];
+        for fields in &shards {
+            for (total, v) in totals.iter_mut().zip(fields) {
+                *total += *v;
+            }
+        }
+        prop_assert_eq!(aggregated, stats_from(&totals));
+    }
+}

@@ -1,0 +1,229 @@
+//! Typed life-cycle trace events.
+
+use ctxres_context::{ContextId, ContextState};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One thing that happened inside the middleware.
+///
+/// Context ids are shard-local (each shard engine numbers its own
+/// pool); a [`TraceRecord`] pairs the event with its shard id, so
+/// `(shard, ctx)` is globally unique within one run's trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A context entered the middleware (a context addition change).
+    Received {
+        /// The id the pool assigned.
+        ctx: ContextId,
+        /// The context's kind name.
+        kind: String,
+        /// The context's subject.
+        subject: String,
+    },
+    /// A context moved through the Fig. 8 life cycle.
+    StateChanged {
+        /// The transitioning context.
+        ctx: ContextId,
+        /// The state it left.
+        from: ContextState,
+        /// The state it entered.
+        to: ContextState,
+    },
+    /// Detection found an inconsistency.
+    Detected {
+        /// The violated constraint's name.
+        constraint: String,
+        /// The participating contexts.
+        contexts: Vec<ContextId>,
+    },
+    /// An inconsistency entered the tracked set Δ (drop-bad §3.2).
+    DeltaInserted {
+        /// The violated constraint's name.
+        constraint: String,
+        /// The participating contexts.
+        contexts: Vec<ContextId>,
+    },
+    /// An inconsistency was resolved and left Δ.
+    DeltaRemoved {
+        /// The violated constraint's name.
+        constraint: String,
+        /// The participating contexts.
+        contexts: Vec<ContextId>,
+    },
+    /// A context's count value rose (it joined another tracked
+    /// inconsistency).
+    CountBumped {
+        /// The context whose count changed.
+        ctx: ContextId,
+        /// Its new count value.
+        count: u64,
+    },
+    /// A context was marked `Bad` — a deferred discard (Fig. 7 Part 2).
+    MarkedBad {
+        /// The marked context.
+        ctx: ContextId,
+    },
+    /// A context was discarded (set `Inconsistent`).
+    Discarded {
+        /// The discarded context.
+        ctx: ContextId,
+    },
+    /// A context was delivered to applications.
+    Delivered {
+        /// The delivered context.
+        ctx: ContextId,
+    },
+    /// A use request found the context expired (neither delivered nor
+    /// blamed).
+    Expired {
+        /// The expired context.
+        ctx: ContextId,
+    },
+}
+
+impl TraceEvent {
+    /// A short machine-friendly tag naming the event variant.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Received { .. } => "received",
+            TraceEvent::StateChanged { .. } => "state",
+            TraceEvent::Detected { .. } => "detected",
+            TraceEvent::DeltaInserted { .. } => "delta+",
+            TraceEvent::DeltaRemoved { .. } => "delta-",
+            TraceEvent::CountBumped { .. } => "count",
+            TraceEvent::MarkedBad { .. } => "bad",
+            TraceEvent::Discarded { .. } => "discard",
+            TraceEvent::Delivered { .. } => "deliver",
+            TraceEvent::Expired { .. } => "expired",
+        }
+    }
+
+    /// The context this event is primarily about, when it has one
+    /// (detection and Δ events relate several contexts; see
+    /// [`TraceEvent::contexts`]).
+    pub fn primary_ctx(&self) -> Option<ContextId> {
+        match self {
+            TraceEvent::Received { ctx, .. }
+            | TraceEvent::StateChanged { ctx, .. }
+            | TraceEvent::CountBumped { ctx, .. }
+            | TraceEvent::MarkedBad { ctx }
+            | TraceEvent::Discarded { ctx }
+            | TraceEvent::Delivered { ctx }
+            | TraceEvent::Expired { ctx } => Some(*ctx),
+            TraceEvent::Detected { .. }
+            | TraceEvent::DeltaInserted { .. }
+            | TraceEvent::DeltaRemoved { .. } => None,
+        }
+    }
+
+    /// Every context the event involves.
+    pub fn contexts(&self) -> Vec<ContextId> {
+        match self {
+            TraceEvent::Detected { contexts, .. }
+            | TraceEvent::DeltaInserted { contexts, .. }
+            | TraceEvent::DeltaRemoved { contexts, .. } => contexts.clone(),
+            other => other.primary_ctx().into_iter().collect(),
+        }
+    }
+}
+
+/// `ctx#5, ctx#8` — comma-joined Display ids for event lines.
+fn join_ids(contexts: &[ContextId]) -> String {
+    let mut out = String::new();
+    for (i, ctx) in contexts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = fmt::Write::write_fmt(&mut out, format_args!("{ctx}"));
+    }
+    out
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Received { ctx, kind, subject } => {
+                write!(f, "received {ctx} ({kind} of {subject:?})")
+            }
+            TraceEvent::StateChanged { ctx, from, to } => write!(f, "{ctx} {from} -> {to}"),
+            TraceEvent::Detected {
+                constraint,
+                contexts,
+            } => write!(f, "detected {constraint} among {}", join_ids(contexts)),
+            TraceEvent::DeltaInserted {
+                constraint,
+                contexts,
+            } => write!(f, "Δ += {constraint} [{}]", join_ids(contexts)),
+            TraceEvent::DeltaRemoved {
+                constraint,
+                contexts,
+            } => write!(f, "Δ -= {constraint} [{}]", join_ids(contexts)),
+            TraceEvent::CountBumped { ctx, count } => write!(f, "count({ctx}) = {count}"),
+            TraceEvent::MarkedBad { ctx } => write!(f, "{ctx} marked bad"),
+            TraceEvent::Discarded { ctx } => write!(f, "{ctx} discarded"),
+            TraceEvent::Delivered { ctx } => write!(f, "{ctx} delivered"),
+            TraceEvent::Expired { ctx } => write!(f, "{ctx} expired on use"),
+        }
+    }
+}
+
+/// A trace event stamped with where and when it happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The shard whose engine emitted the event.
+    pub shard: u32,
+    /// Per-shard monotonic sequence number (ties on `at` preserve
+    /// emission order within a shard).
+    pub seq: u64,
+    /// The logical clock tick at emission.
+    pub at: u64,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t{:<6} shard {:<2} #{:<5} {}",
+            self.at, self.shard, self.seq, self.event
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> ContextId {
+        ContextId::from_raw(n)
+    }
+
+    #[test]
+    fn tags_and_contexts() {
+        let e = TraceEvent::Detected {
+            constraint: "speed".into(),
+            contexts: vec![id(1), id(2)],
+        };
+        assert_eq!(e.tag(), "detected");
+        assert_eq!(e.primary_ctx(), None);
+        assert_eq!(e.contexts(), vec![id(1), id(2)]);
+
+        let d = TraceEvent::Discarded { ctx: id(7) };
+        assert_eq!(d.primary_ctx(), Some(id(7)));
+        assert_eq!(d.contexts(), vec![id(7)]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = TraceRecord {
+            shard: 1,
+            seq: 4,
+            at: 9,
+            event: TraceEvent::MarkedBad { ctx: id(3) },
+        };
+        let s = r.to_string();
+        assert!(s.contains("shard 1"), "{s}");
+        assert!(s.contains("marked bad"), "{s}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Instrumentation layer for the `ctxres` middleware: life-cycle event
+//! tracing, a per-shard metrics registry, and span-style timing hooks.
+//!
+//! The paper's whole argument hinges on *when* things happen inside the
+//! middleware — drop-bad defers discard decisions to "collect more count
+//! value information" (§3.3) through the four-state life cycle
+//! `Undecided → {Consistent | Bad | Inconsistent}` — yet aggregate
+//! end-of-run counters cannot show that mechanism at work. This crate
+//! makes the engine visible without slowing it down:
+//!
+//! * **event tracing** ([`TraceEvent`], [`TraceRecord`]): every state
+//!   transition, inconsistency detection, Δ-set insertion/removal,
+//!   count-value bump, discard decision and delivery is recorded as a
+//!   typed event with logical timestamp, shard id, and context id into a
+//!   bounded per-shard ring buffer ([`EventRing`]). Overflow never
+//!   stalls the hot path and is never silent — each evicted record bumps
+//!   an explicit dropped-events counter;
+//! * **metrics registry** ([`ObsRegistry`]): per-shard counters and
+//!   fixed-bucket [`Histogram`]s (check latency, batch ingest latency,
+//!   use-window residual delay, Δ-set size, queue depth), recorded with
+//!   atomics and aggregated across shards without any global lock —
+//!   mirroring how `ctxres_middleware::MiddlewareStats` aggregates;
+//! * **spans** ([`ObsSpan`]): RAII timing guards around constraint
+//!   evaluation, shard routing and resolution. With
+//!   [`ObsConfig::disabled`] a handle is a `None` and every hook
+//!   compiles down to a branch on it — no clock reads, no allocation —
+//!   so tier-1 throughput is unaffected.
+//!
+//! The crate deliberately has no external dependencies (the build runs
+//! offline): the facade is built here rather than on `tracing`/`metrics`.
+//!
+//! # Example
+//!
+//! ```
+//! use ctxres_context::LogicalTime;
+//! use ctxres_obs::{MetricKind, ObsConfig, ObsRegistry, TraceEvent};
+//!
+//! let registry = ObsRegistry::shared(ObsConfig::enabled(), 2);
+//! let shard0 = registry.handle(0);
+//! shard0.record(
+//!     LogicalTime::new(3),
+//!     TraceEvent::Delivered { ctx: ctxres_context::ContextId::from_raw(7) },
+//! );
+//! shard0.observe(MetricKind::QueueDepth, 4);
+//! {
+//!     let _span = shard0.span(MetricKind::CheckLatency);
+//!     // ... timed work ...
+//! }
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.aggregate().histogram(MetricKind::QueueDepth).count, 1);
+//! assert_eq!(registry.drain().len(), 1);
+//! assert_eq!(registry.dropped(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod registry;
+mod ring;
+mod span;
+
+pub use event::{TraceEvent, TraceRecord};
+pub use metrics::{
+    CounterKind, Histogram, HistogramSnapshot, MetricKind, COUNTER_KINDS, METRIC_KINDS,
+};
+pub use registry::{ObsConfig, ObsRegistry, ObsSnapshot, ShardObs, ShardSnapshot};
+pub use ring::EventRing;
+pub use span::ObsSpan;

@@ -1,0 +1,315 @@
+//! Fixed-bucket histograms and counters, recorded with atomics.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: powers of two from 1 to 2^23, plus one
+/// overflow bucket.
+pub(crate) const BUCKETS: usize = 25;
+
+/// The upper bound (inclusive) of bucket `i` for `i < BUCKETS - 1`; the
+/// last bucket catches everything larger.
+fn bucket_bound(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// The bucket a value lands in.
+fn bucket_of(value: u64) -> usize {
+    for i in 0..BUCKETS - 1 {
+        if value <= bucket_bound(i) {
+            return i;
+        }
+    }
+    BUCKETS - 1
+}
+
+/// The fixed set of per-shard latency/size distributions the middleware
+/// records. Indexes into a shard slot's histogram array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Incremental consistency-check latency per addition change (ns).
+    CheckLatency,
+    /// Per-shard `batch_add` chunk ingest latency (ns).
+    IngestLatency,
+    /// Strategy resolution latency per use (ns).
+    ResolveLatency,
+    /// Batch partitioning / shard routing latency (ns).
+    RouteLatency,
+    /// How many ticks past its scheduled use instant a buffered context
+    /// was actually used (logical ticks; 0 under a timely drain).
+    UseResidualDelay,
+    /// Size of the tracked set Δ after each change (count).
+    DeltaSize,
+    /// Buffered contexts awaiting use, sampled after each submit
+    /// (count).
+    QueueDepth,
+}
+
+/// Every [`MetricKind`], in index order.
+pub const METRIC_KINDS: [MetricKind; 7] = [
+    MetricKind::CheckLatency,
+    MetricKind::IngestLatency,
+    MetricKind::ResolveLatency,
+    MetricKind::RouteLatency,
+    MetricKind::UseResidualDelay,
+    MetricKind::DeltaSize,
+    MetricKind::QueueDepth,
+];
+
+impl MetricKind {
+    /// Index into a shard slot's histogram array.
+    pub fn index(self) -> usize {
+        METRIC_KINDS
+            .iter()
+            .position(|k| *k == self)
+            .expect("every kind is listed")
+    }
+
+    /// Snake-case metric name (stable; used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::CheckLatency => "check_latency",
+            MetricKind::IngestLatency => "ingest_latency",
+            MetricKind::ResolveLatency => "resolve_latency",
+            MetricKind::RouteLatency => "route_latency",
+            MetricKind::UseResidualDelay => "use_residual_delay",
+            MetricKind::DeltaSize => "delta_size",
+            MetricKind::QueueDepth => "queue_depth",
+        }
+    }
+
+    /// The unit recorded values are measured in.
+    pub fn unit(self) -> &'static str {
+        match self {
+            MetricKind::CheckLatency
+            | MetricKind::IngestLatency
+            | MetricKind::ResolveLatency
+            | MetricKind::RouteLatency => "ns",
+            MetricKind::UseResidualDelay => "ticks",
+            MetricKind::DeltaSize | MetricKind::QueueDepth => "count",
+        }
+    }
+}
+
+/// Per-shard monotonic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CounterKind {
+    /// Trace events accepted into the ring buffer.
+    EventsRecorded,
+    /// Trace events evicted from a full ring buffer (truncation is
+    /// never silent).
+    EventsDropped,
+    /// Inconsistency detections observed.
+    Detections,
+    /// Discard decisions observed.
+    Discards,
+    /// Deliveries observed.
+    Deliveries,
+}
+
+/// Every [`CounterKind`], in index order.
+pub const COUNTER_KINDS: [CounterKind; 5] = [
+    CounterKind::EventsRecorded,
+    CounterKind::EventsDropped,
+    CounterKind::Detections,
+    CounterKind::Discards,
+    CounterKind::Deliveries,
+];
+
+impl CounterKind {
+    /// Index into a shard slot's counter array.
+    pub fn index(self) -> usize {
+        COUNTER_KINDS
+            .iter()
+            .position(|k| *k == self)
+            .expect("every kind is listed")
+    }
+
+    /// Snake-case counter name (stable; used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::EventsRecorded => "events_recorded",
+            CounterKind::EventsDropped => "events_dropped",
+            CounterKind::Detections => "detections",
+            CounterKind::Discards => "discards",
+            CounterKind::Deliveries => "deliveries",
+        }
+    }
+}
+
+/// A fixed-bucket histogram with power-of-two bounds, recordable from
+/// any thread without a lock.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], mergeable across shards.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Per-bucket observation counts (bucket `i` holds values in
+    /// `(2^(i-1), 2^i]`; the last bucket is the overflow).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot with the standard bucket count.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    /// Adds another snapshot's observations into this one (cross-shard
+    /// aggregation; commutative and associative).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Mean recorded value, if anything was recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0..=1.0`): the bound of
+    /// the first bucket at which the cumulative count reaches
+    /// `q * count`. Returns `None` for an empty histogram; the overflow
+    /// bucket reports `u64::MAX`.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return Some(if i == self.buckets.len() - 1 {
+                    u64::MAX
+                } else {
+                    bucket_bound(i)
+                });
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let h = Histogram::new();
+        for v in [1, 2, 3, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1006);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a0 = {
+            let h = Histogram::new();
+            h.record(5);
+            h.record(700);
+            h.snapshot()
+        };
+        let b0 = {
+            let h = Histogram::new();
+            h.record(1);
+            h.snapshot()
+        };
+        let mut ab = a0.clone();
+        ab.merge(&b0);
+        let mut ba = b0.clone();
+        ba.merge(&a0);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 3);
+    }
+
+    #[test]
+    fn quantiles_bound_the_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_bound(0.5).unwrap();
+        let p100 = s.quantile_bound(1.0).unwrap();
+        assert!(p50 >= 50 && p50 <= 64, "{p50}");
+        assert!(p100 >= 100 && p100 <= 128, "{p100}");
+        assert_eq!(HistogramSnapshot::empty().quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(HistogramSnapshot::empty().mean(), None);
+    }
+
+    #[test]
+    fn kind_indexes_are_dense() {
+        for (i, k) in METRIC_KINDS.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        for (i, k) in COUNTER_KINDS.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! The per-shard observation registry and its cheap handles.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::metrics::{
+    CounterKind, Histogram, HistogramSnapshot, MetricKind, COUNTER_KINDS, METRIC_KINDS,
+};
+use crate::ring::EventRing;
+use crate::span::ObsSpan;
+use ctxres_context::LogicalTime;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Run-time observability configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Whether any recording happens at all.
+    pub enabled: bool,
+    /// Capacity of each shard's event ring buffer.
+    pub ring_capacity: usize,
+}
+
+impl ObsConfig {
+    /// Default ring capacity: large enough for every event of the
+    /// experiment workloads, small enough to stay cache-friendly.
+    pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+    /// Full tracing and metrics.
+    pub fn enabled() -> Self {
+        ObsConfig {
+            enabled: true,
+            ring_capacity: Self::DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Everything compiled to a branch-and-return; tier-1 throughput is
+    /// unaffected (asserted by the `shard_bench` overhead gate in CI).
+    pub fn disabled() -> Self {
+        ObsConfig {
+            enabled: false,
+            ring_capacity: 0,
+        }
+    }
+
+    /// Overrides the per-shard ring capacity.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+}
+
+/// One shard's instrumentation state: a locked event ring plus
+/// lock-free counters and histograms.
+#[derive(Debug)]
+struct ShardSlot {
+    ring: Mutex<EventRing>,
+    seq: AtomicU64,
+    counters: [AtomicU64; COUNTER_KINDS.len()],
+    histograms: [Histogram; METRIC_KINDS.len()],
+}
+
+impl ShardSlot {
+    fn new(ring_capacity: usize) -> Self {
+        ShardSlot {
+            ring: Mutex::new(EventRing::new(ring_capacity)),
+            seq: AtomicU64::new(0),
+            counters: Default::default(),
+            histograms: Default::default(),
+        }
+    }
+}
+
+/// The metrics registry: one slot per shard, no global lock anywhere.
+///
+/// Counters and histograms are atomics; the event ring is behind a
+/// per-shard `Mutex` held only for a push or a drain. Aggregation
+/// ([`ObsRegistry::snapshot`]) visits slots one by one, exactly like
+/// `ShardedMiddleware::stats` aggregates `MiddlewareStats`.
+#[derive(Debug)]
+pub struct ObsRegistry {
+    config: ObsConfig,
+    slots: Vec<ShardSlot>,
+}
+
+impl ObsRegistry {
+    /// A registry with `shards` slots.
+    pub fn new(config: ObsConfig, shards: usize) -> Self {
+        let slots = (0..shards)
+            .map(|_| ShardSlot::new(config.ring_capacity))
+            .collect();
+        ObsRegistry { config, slots }
+    }
+
+    /// [`ObsRegistry::new`] wrapped in the `Arc` the handles need.
+    pub fn shared(config: ObsConfig, shards: usize) -> Arc<Self> {
+        Arc::new(ObsRegistry::new(config, shards))
+    }
+
+    /// The configuration the registry was built with.
+    pub fn config(&self) -> ObsConfig {
+        self.config
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Number of shard slots.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// A cheap per-shard recording handle. A handle from a disabled
+    /// registry is indistinguishable from [`ShardObs::disabled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range on an enabled registry.
+    pub fn handle(self: &Arc<Self>, shard: usize) -> ShardObs {
+        if !self.config.enabled {
+            return ShardObs::disabled();
+        }
+        assert!(shard < self.slots.len(), "shard {shard} out of range");
+        ShardObs {
+            inner: Some(ShardObsInner {
+                registry: Arc::clone(self),
+                shard,
+            }),
+        }
+    }
+
+    /// Drains every shard's ring and returns the combined trace ordered
+    /// by logical time (ties: shard, then per-shard sequence). Does not
+    /// stall recording: each shard's lock is held only for its drain.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            out.extend(slot.ring.lock().drain());
+        }
+        out.sort_by_key(|r| (r.at, r.shard, r.seq));
+        out
+    }
+
+    /// Total events evicted from full rings across all shards (lifetime).
+    pub fn dropped(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.ring.lock().dropped())
+            .sum::<u64>()
+    }
+
+    /// A point-in-time copy of every shard's counters and histograms,
+    /// collected shard by shard without a global lock.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            shards: self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let ring = slot.ring.lock();
+                    ShardSnapshot {
+                        shard: i,
+                        events_buffered: ring.len() as u64,
+                        events_dropped: ring.dropped(),
+                        counters: slot
+                            .counters
+                            .iter()
+                            .map(|c| c.load(Ordering::Relaxed))
+                            .collect(),
+                        histograms: slot.histograms.iter().map(Histogram::snapshot).collect(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn record(&self, shard: usize, at: LogicalTime, event: TraceEvent) {
+        let slot = &self.slots[shard];
+        let seq = slot.seq.fetch_add(1, Ordering::Relaxed);
+        slot.counters[CounterKind::EventsRecorded.index()].fetch_add(1, Ordering::Relaxed);
+        slot.ring.lock().push(TraceRecord {
+            shard: shard as u32,
+            seq,
+            at: at.tick(),
+            event,
+        });
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ShardObsInner {
+    registry: Arc<ObsRegistry>,
+    shard: usize,
+}
+
+/// A cheap, cloneable per-shard recording handle, held by one shard's
+/// engine (and its strategy). Disabled handles make every operation a
+/// branch-and-return.
+#[derive(Debug, Clone, Default)]
+pub struct ShardObs {
+    inner: Option<ShardObsInner>,
+}
+
+impl ShardObs {
+    /// A handle that records nothing (the default everywhere).
+    pub fn disabled() -> Self {
+        ShardObs { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The shard this handle records for, when enabled.
+    pub fn shard(&self) -> Option<usize> {
+        self.inner.as_ref().map(|i| i.shard)
+    }
+
+    /// Records a trace event stamped `at`.
+    pub fn record(&self, at: LogicalTime, event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.registry.record(inner.shard, at, event);
+        }
+    }
+
+    /// Bumps a per-shard counter by `n`.
+    pub fn count(&self, kind: CounterKind, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.slots[inner.shard].counters[kind.index()]
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one observation into a per-shard histogram.
+    pub fn observe(&self, kind: MetricKind, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.slots[inner.shard].histograms[kind.index()].record(value);
+        }
+    }
+
+    /// Opens a timing span ending (and recording) when dropped.
+    pub fn span(&self, kind: MetricKind) -> ObsSpan<'_> {
+        ObsSpan::new(self, kind)
+    }
+}
+
+/// A point-in-time copy of one shard's metrics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// The shard index.
+    pub shard: usize,
+    /// Events currently buffered in the shard's ring.
+    pub events_buffered: u64,
+    /// Events evicted from the shard's full ring (lifetime).
+    pub events_dropped: u64,
+    /// Counter values, indexed by [`CounterKind::index`].
+    pub counters: Vec<u64>,
+    /// Histogram snapshots, indexed by [`MetricKind::index`].
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl ShardSnapshot {
+    /// An all-zero snapshot (the identity for [`ShardSnapshot::merge`]).
+    pub fn zero() -> Self {
+        ShardSnapshot {
+            shard: 0,
+            events_buffered: 0,
+            events_dropped: 0,
+            counters: vec![0; COUNTER_KINDS.len()],
+            histograms: vec![HistogramSnapshot::empty(); METRIC_KINDS.len()],
+        }
+    }
+
+    /// A counter's value.
+    pub fn counter(&self, kind: CounterKind) -> u64 {
+        self.counters.get(kind.index()).copied().unwrap_or(0)
+    }
+
+    /// A histogram's snapshot.
+    pub fn histogram(&self, kind: MetricKind) -> &HistogramSnapshot {
+        &self.histograms[kind.index()]
+    }
+
+    /// Adds another shard's snapshot into this one (field-wise sums and
+    /// histogram merges; commutative and associative).
+    pub fn merge(&mut self, other: &ShardSnapshot) {
+        self.events_buffered += other.events_buffered;
+        self.events_dropped += other.events_dropped;
+        if self.counters.len() < other.counters.len() {
+            self.counters.resize(other.counters.len(), 0);
+        }
+        for (mine, theirs) in self.counters.iter_mut().zip(&other.counters) {
+            *mine += *theirs;
+        }
+        if self.histograms.len() < other.histograms.len() {
+            self.histograms
+                .resize(other.histograms.len(), HistogramSnapshot::empty());
+        }
+        for (mine, theirs) in self.histograms.iter_mut().zip(&other.histograms) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+/// A whole registry's snapshot: one record per shard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsSnapshot {
+    /// Per-shard snapshots in shard order.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl ObsSnapshot {
+    /// Merges every shard into one cross-shard record (the aggregate's
+    /// `shard` field is meaningless and left 0).
+    pub fn aggregate(&self) -> ShardSnapshot {
+        let mut total = ShardSnapshot::zero();
+        for s in &self.shards {
+            total.merge(s);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxres_context::ContextId;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent::Delivered {
+            ctx: ContextId::from_raw(n),
+        }
+    }
+
+    #[test]
+    fn disabled_registry_hands_out_noop_handles() {
+        let registry = ObsRegistry::shared(ObsConfig::disabled(), 3);
+        let h = registry.handle(0);
+        assert!(!h.is_enabled());
+        h.record(LogicalTime::ZERO, ev(1));
+        h.observe(MetricKind::QueueDepth, 9);
+        h.count(CounterKind::Deliveries, 1);
+        assert!(registry.drain().is_empty());
+        assert_eq!(
+            registry
+                .snapshot()
+                .aggregate()
+                .counter(CounterKind::Deliveries),
+            0
+        );
+    }
+
+    #[test]
+    fn drain_orders_by_time_then_shard() {
+        let registry = ObsRegistry::shared(ObsConfig::enabled(), 2);
+        let a = registry.handle(0);
+        let b = registry.handle(1);
+        b.record(LogicalTime::new(5), ev(1));
+        a.record(LogicalTime::new(2), ev(2));
+        a.record(LogicalTime::new(5), ev(3));
+        let trace = registry.drain();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].at, 2);
+        assert_eq!((trace[1].at, trace[1].shard), (5, 0));
+        assert_eq!((trace[2].at, trace[2].shard), (5, 1));
+        assert!(registry.drain().is_empty(), "drain empties the rings");
+    }
+
+    #[test]
+    fn dropped_counter_survives_drain() {
+        let registry = ObsRegistry::shared(ObsConfig::enabled().with_ring_capacity(2), 1);
+        let h = registry.handle(0);
+        for i in 0..5 {
+            h.record(LogicalTime::new(i), ev(i));
+        }
+        assert_eq!(registry.dropped(), 3);
+        assert_eq!(registry.drain().len(), 2);
+        assert_eq!(registry.dropped(), 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.shards[0].events_dropped, 3);
+        assert_eq!(snap.shards[0].counter(CounterKind::EventsRecorded), 5);
+    }
+
+    #[test]
+    fn aggregate_merges_all_shards() {
+        let registry = ObsRegistry::shared(ObsConfig::enabled(), 3);
+        for shard in 0..3 {
+            let h = registry.handle(shard);
+            h.observe(MetricKind::DeltaSize, (shard as u64 + 1) * 10);
+            h.count(CounterKind::Detections, shard as u64);
+        }
+        let agg = registry.snapshot().aggregate();
+        assert_eq!(agg.histogram(MetricKind::DeltaSize).count, 3);
+        assert_eq!(agg.histogram(MetricKind::DeltaSize).sum, 60);
+        assert_eq!(agg.counter(CounterKind::Detections), 3);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let registry = ObsRegistry::shared(ObsConfig::enabled(), 2);
+        registry.handle(1).observe(MetricKind::CheckLatency, 123);
+        registry.handle(0).count(CounterKind::Discards, 7);
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ObsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_handle_panics() {
+        let registry = ObsRegistry::shared(ObsConfig::enabled(), 1);
+        let _ = registry.handle(5);
+    }
+}
+
+#[cfg(test)]
+mod aggregation_proptests {
+    //! The cross-shard aggregation oracle: splitting a stream of
+    //! observations across N shards and aggregating must equal feeding
+    //! the same stream to a single-shard registry.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn sharded_aggregate_equals_single_shard_oracle(
+            values in proptest::collection::vec((0u64..1 << 20, 0usize..4), 0..64),
+            shards in 1usize..5,
+        ) {
+            let sharded = ObsRegistry::shared(ObsConfig::enabled(), shards);
+            let single = ObsRegistry::shared(ObsConfig::enabled(), 1);
+            for (i, (v, kind_ix)) in values.iter().enumerate() {
+                let kind = METRIC_KINDS[*kind_ix];
+                sharded.handle(i % shards).observe(kind, *v);
+                single.handle(0).observe(kind, *v);
+                sharded.handle(i % shards).count(CounterKind::Detections, *v % 3);
+                single.handle(0).count(CounterKind::Detections, *v % 3);
+            }
+            let mut agg = sharded.snapshot().aggregate();
+            let mut oracle = single.snapshot().aggregate();
+            // The shard index is presentation-only.
+            agg.shard = 0;
+            oracle.shard = 0;
+            prop_assert_eq!(agg, oracle);
+        }
+
+        #[test]
+        fn histogram_snapshot_serde_round_trip(
+            values in proptest::collection::vec(0u64..u64::MAX / 128, 0..32),
+        ) {
+            let h = Histogram::new();
+            for v in &values {
+                h.record(*v);
+            }
+            let snap = h.snapshot();
+            let json = serde_json::to_string(&snap).unwrap();
+            let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back, snap);
+        }
+    }
+}

@@ -100,6 +100,10 @@
 //!   deferred decisions + discard explanations), every baseline, the
 //!   OPT-R oracle, the impact-aware extension, and machine-checked
 //!   heuristic-rule theory;
+//! * [`obs`] — the instrumentation layer: typed life-cycle event traces
+//!   in bounded per-shard ring buffers, a lock-light metrics registry
+//!   (latency histograms, Δ-size, queue depth), and RAII timing spans
+//!   that compile to a branch when disabled;
 //! * [`middleware`] — the Cabot-style runtime: plug-in strategies,
 //!   situation engine, subscriptions, observers, retention, and a
 //!   thread-shared front-end;
@@ -124,6 +128,12 @@ pub mod constraint {
 /// The resolution strategies — the paper's contribution (`ctxres-core`).
 pub mod core {
     pub use ctxres_core::*;
+}
+
+/// The instrumentation layer: life-cycle event tracing, per-shard
+/// metrics registry, and span timing hooks (`ctxres-obs`).
+pub mod obs {
+    pub use ctxres_obs::*;
 }
 
 /// The Cabot-style middleware (`ctxres-middleware`).
