@@ -1,0 +1,458 @@
+//! Bench-history pipeline: every `shard_bench` run appends one record
+//! to `results/bench_history.jsonl`, and `bench_report` turns the tail
+//! of that history into a pass/fail regression verdict for CI.
+//!
+//! One measurement means nothing on shared runners — throughput moves
+//! with the machine, the shard count, and the workload scale. So the
+//! history keys every record by `(bench, shards, quick, host)` and a
+//! verdict only ever compares a run against the **median of recent
+//! prior runs with the same key**. A fresh machine (or a new shard
+//! count) yields [`ThroughputVerdict::NoBaseline`]: pass with a
+//! warning, and the run itself becomes the first baseline row.
+//!
+//! The second gate is absolute, not relative: the passive observability
+//! cost (`obs_overhead_pct`, disabled registry) and the full export
+//! path (`obs_export_overhead_pct`, metrics-only registry plus a live
+//! scraped `/metrics` endpoint) must each stay under
+//! [`Thresholds::obs_overhead_pct`] — telemetry that taxes the engine
+//! it watches is a defect regardless of what the machine is doing.
+
+use crate::trace_io::load_lines;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Where `shard_bench` appends and `bench_report` reads by default
+/// (relative to the repo root). Override with `CTXRES_BENCH_HISTORY`.
+pub const DEFAULT_HISTORY_PATH: &str = "results/bench_history.jsonl";
+
+/// Environment variable overriding the history file location.
+pub const HISTORY_PATH_ENV: &str = "CTXRES_BENCH_HISTORY";
+
+/// How many most-recent matching prior runs feed the baseline median.
+pub const BASELINE_WINDOW: usize = 5;
+
+/// One shard's slice of a bench run, from
+/// [`ctxres_middleware::ShardedMiddleware::shard_stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardThroughput {
+    /// Shard index in the plan.
+    pub shard: usize,
+    /// `true` for the dedicated shared-scope shard.
+    pub shared_scope: bool,
+    /// Contexts this shard ingested.
+    pub ingested: u64,
+    /// This shard's share of total ingest, in percent.
+    pub share_pct: f64,
+    /// Contexts/second attributed to this shard (its share of the
+    /// timed run's aggregate rate).
+    pub contexts_per_sec: f64,
+}
+
+/// One `shard_bench` run: a row of `results/bench_history.jsonl`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Bench identifier (`shard_throughput`).
+    pub bench: String,
+    /// Short commit hash the bench ran at (`unknown` outside a work
+    /// tree).
+    pub commit: String,
+    /// Hostname the bench ran on — baselines never cross machines.
+    pub host: String,
+    /// UTC date of the run (`YYYY-MM-DD`).
+    pub date: String,
+    /// Whether `CTXRES_BENCH_QUICK` shrank the workload.
+    pub quick: bool,
+    /// Subject-shard count.
+    pub shards: usize,
+    /// Contexts per rep in the workload.
+    pub contexts: usize,
+    /// Sharded-engine throughput (the headline number).
+    pub contexts_per_sec: f64,
+    /// Sharded vs global-mutex speedup.
+    pub speedup_vs_mutex: f64,
+    /// Passive cost of a *disabled* registry, percent vs unobserved.
+    pub obs_overhead_pct: f64,
+    /// Cost of full event tracing, percent vs unobserved.
+    pub obs_enabled_overhead_pct: f64,
+    /// Cost of the live export pipeline (metrics-only registry plus a
+    /// scraped `/metrics` endpoint), percent vs unobserved.
+    pub obs_export_overhead_pct: f64,
+    /// Per-shard ingest breakdown of the sharded configuration.
+    pub per_shard: Vec<ShardThroughput>,
+}
+
+impl BenchRecord {
+    /// Two records are comparable when they measured the same bench at
+    /// the same scale on the same machine. `contexts` is part of the
+    /// key so a workload-size change starts a fresh series instead of
+    /// reading as a throughput regression against the old size.
+    pub fn same_series(&self, other: &BenchRecord) -> bool {
+        self.bench == other.bench
+            && self.shards == other.shards
+            && self.quick == other.quick
+            && self.host == other.host
+            && self.contexts == other.contexts
+    }
+}
+
+/// Appends one record to a JSONL history file, creating the file and
+/// its parent directory on first use. Append-only: concurrent benches
+/// never clobber each other's rows.
+///
+/// # Errors
+///
+/// Returns a string describing any I/O or serialization failure.
+pub fn append_history(path: &Path, record: &BenchRecord) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("create {parent:?}: {e}"))?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("open {path:?} for append: {e}"))?;
+    let line = serde_json::to_string(record).map_err(|e| e.to_string())?;
+    writeln!(file, "{line}").map_err(|e| e.to_string())
+}
+
+/// Loads a bench history (oldest first). A missing file is an empty
+/// history, not an error — the first run has nothing to compare to.
+///
+/// # Errors
+///
+/// Returns a string describing any parse failure (with line number).
+pub fn load_history(path: &Path) -> Result<Vec<BenchRecord>, String> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    load_lines(path)
+}
+
+/// The history file to use: `CTXRES_BENCH_HISTORY` or the default.
+pub fn history_path_from_env() -> std::path::PathBuf {
+    std::env::var(HISTORY_PATH_ENV)
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .unwrap_or_else(|| DEFAULT_HISTORY_PATH.to_owned())
+        .into()
+}
+
+/// Regression gates for [`evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Maximum tolerated throughput drop vs the baseline median, in
+    /// percent.
+    pub regression_pct: f64,
+    /// Maximum tolerated observability overhead (passive registry and
+    /// live export path each), in percent.
+    pub obs_overhead_pct: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            regression_pct: 10.0,
+            obs_overhead_pct: 3.0,
+        }
+    }
+}
+
+/// Throughput vs the baseline median of the same series.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ThroughputVerdict {
+    /// Within the regression threshold.
+    Pass {
+        /// Baseline median contexts/second.
+        baseline: f64,
+        /// Change vs baseline, percent (negative = slower).
+        change_pct: f64,
+        /// Prior runs behind the median.
+        baseline_runs: usize,
+    },
+    /// No prior run with the same `(bench, shards, quick, host)` key —
+    /// passes with a warning; this run seeds the series.
+    NoBaseline,
+    /// Slower than the baseline median by more than the threshold.
+    Regression {
+        /// Baseline median contexts/second.
+        baseline: f64,
+        /// Change vs baseline, percent (negative = slower).
+        change_pct: f64,
+        /// Prior runs behind the median.
+        baseline_runs: usize,
+    },
+}
+
+/// Observability overhead vs the absolute threshold.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum OverheadVerdict {
+    /// Both the passive registry and the export path are under the
+    /// threshold.
+    Pass {
+        /// The larger of the two overheads, percent.
+        worst_pct: f64,
+    },
+    /// At least one overhead exceeds the threshold.
+    Exceeded {
+        /// The larger of the two overheads, percent.
+        worst_pct: f64,
+    },
+}
+
+/// The combined verdict `bench_report` prints and CI gates on.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Verdict {
+    /// Throughput gate.
+    pub throughput: ThroughputVerdict,
+    /// Observability-overhead gate.
+    pub overhead: OverheadVerdict,
+}
+
+impl Verdict {
+    /// `true` when CI should fail the build.
+    pub fn is_failure(&self) -> bool {
+        matches!(self.throughput, ThroughputVerdict::Regression { .. })
+            || matches!(self.overhead, OverheadVerdict::Exceeded { .. })
+    }
+}
+
+/// The baseline pool for `current`: contexts/second of the most recent
+/// [`BASELINE_WINDOW`] prior runs in the same series.
+fn baseline_pool(current: &BenchRecord, prior: &[BenchRecord]) -> Vec<f64> {
+    prior
+        .iter()
+        .rev()
+        .filter(|r| r.same_series(current))
+        .take(BASELINE_WINDOW)
+        .map(|r| r.contexts_per_sec)
+        .collect()
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.total_cmp(b));
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
+}
+
+/// Judges `current` against the prior history under `thresholds`.
+///
+/// `prior` is every earlier row (any series — filtering happens here);
+/// noise robustness comes from comparing against the **median** of up
+/// to [`BASELINE_WINDOW`] same-series runs rather than the single
+/// latest one.
+pub fn evaluate(current: &BenchRecord, prior: &[BenchRecord], thresholds: &Thresholds) -> Verdict {
+    let mut pool = baseline_pool(current, prior);
+    let throughput = if pool.is_empty() {
+        ThroughputVerdict::NoBaseline
+    } else {
+        let baseline_runs = pool.len();
+        let baseline = median(&mut pool);
+        let change_pct = (current.contexts_per_sec / baseline - 1.0) * 100.0;
+        if change_pct < -thresholds.regression_pct {
+            ThroughputVerdict::Regression {
+                baseline,
+                change_pct,
+                baseline_runs,
+            }
+        } else {
+            ThroughputVerdict::Pass {
+                baseline,
+                change_pct,
+                baseline_runs,
+            }
+        }
+    };
+    // Full tracing (`obs_enabled_overhead_pct`) is the debugging
+    // configuration and is deliberately not gated; the always-on costs
+    // are.
+    let worst_pct = current
+        .obs_overhead_pct
+        .max(current.obs_export_overhead_pct);
+    let overhead = if worst_pct > thresholds.obs_overhead_pct {
+        OverheadVerdict::Exceeded { worst_pct }
+    } else {
+        OverheadVerdict::Pass { worst_pct }
+    };
+    Verdict {
+        throughput,
+        overhead,
+    }
+}
+
+/// Short commit hash for stamping records: `git rev-parse --short
+/// HEAD`, falling back to a truncated `GITHUB_SHA`, then `unknown`.
+pub fn commit_stamp() -> String {
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            let hash = String::from_utf8_lossy(&out.stdout).trim().to_owned();
+            if !hash.is_empty() {
+                return hash;
+            }
+        }
+    }
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        let sha = sha.trim().to_owned();
+        if !sha.is_empty() {
+            return sha.chars().take(9).collect();
+        }
+    }
+    "unknown".to_owned()
+}
+
+/// Hostname for keying baselines: `HOSTNAME`, then `uname -n`, then
+/// `unknown`.
+pub fn host_stamp() -> String {
+    if let Ok(host) = std::env::var("HOSTNAME") {
+        let host = host.trim().to_owned();
+        if !host.is_empty() {
+            return host;
+        }
+    }
+    if let Ok(out) = std::process::Command::new("uname").arg("-n").output() {
+        if out.status.success() {
+            let host = String::from_utf8_lossy(&out.stdout).trim().to_owned();
+            if !host.is_empty() {
+                return host;
+            }
+        }
+    }
+    "unknown".to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(contexts_per_sec: f64) -> BenchRecord {
+        BenchRecord {
+            bench: "shard_throughput".to_owned(),
+            commit: "abc1234".to_owned(),
+            host: "ci-runner".to_owned(),
+            date: "2026-08-06".to_owned(),
+            quick: true,
+            shards: 4,
+            contexts: 320,
+            contexts_per_sec,
+            speedup_vs_mutex: 2.0,
+            obs_overhead_pct: 0.5,
+            obs_enabled_overhead_pct: 8.0,
+            obs_export_overhead_pct: 1.0,
+            per_shard: vec![ShardThroughput {
+                shard: 0,
+                shared_scope: false,
+                ingested: 320,
+                share_pct: 100.0,
+                contexts_per_sec,
+            }],
+        }
+    }
+
+    #[test]
+    fn history_round_trips_through_append_and_load() {
+        let dir = std::env::temp_dir().join("ctxres-bench-history-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        std::fs::remove_file(&path).ok();
+        let rows = [record(1000.0), record(1100.0), record(900.0)];
+        for row in &rows {
+            append_history(&path, row).unwrap();
+        }
+        let loaded = load_history(&path).unwrap();
+        assert_eq!(loaded, rows);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_history_is_empty_not_an_error() {
+        assert_eq!(
+            load_history(Path::new("/definitely/not/here.jsonl")).unwrap(),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn first_run_has_no_baseline_and_passes() {
+        let v = evaluate(&record(1000.0), &[], &Thresholds::default());
+        assert_eq!(v.throughput, ThroughputVerdict::NoBaseline);
+        assert!(!v.is_failure());
+    }
+
+    #[test]
+    fn synthetic_regression_fails() {
+        // The fixture CI exercises: a healthy baseline, then a run 50%
+        // slower. The verdict must flag it.
+        let prior = [record(1000.0), record(1020.0), record(980.0)];
+        let v = evaluate(&record(500.0), &prior, &Thresholds::default());
+        match v.throughput {
+            ThroughputVerdict::Regression {
+                baseline,
+                change_pct,
+                baseline_runs,
+            } => {
+                assert_eq!(baseline, 1000.0);
+                assert_eq!(baseline_runs, 3);
+                assert!((change_pct - -50.0).abs() < 1e-9);
+            }
+            other => panic!("expected regression, got {other:?}"),
+        }
+        assert!(v.is_failure());
+    }
+
+    #[test]
+    fn noise_within_threshold_passes() {
+        let prior = [record(1000.0)];
+        let v = evaluate(&record(950.0), &prior, &Thresholds::default());
+        assert!(matches!(v.throughput, ThroughputVerdict::Pass { .. }));
+        assert!(!v.is_failure());
+    }
+
+    #[test]
+    fn baseline_is_a_median_of_recent_same_series_runs() {
+        // One wild outlier among the priors must not drag the baseline:
+        // median(900, 1000, 5000) = 1000.
+        let prior = [record(900.0), record(5000.0), record(1000.0)];
+        let v = evaluate(&record(950.0), &prior, &Thresholds::default());
+        match v.throughput {
+            ThroughputVerdict::Pass { baseline, .. } => assert_eq!(baseline, 1000.0),
+            other => panic!("{other:?}"),
+        }
+        // And only the most recent BASELINE_WINDOW rows count.
+        let mut many: Vec<BenchRecord> = (0..10).map(|i| record(100.0 * (i + 1) as f64)).collect();
+        let current = record(790.0);
+        let v = evaluate(&current, &many, &Thresholds::default());
+        match v.throughput {
+            // Last 5 priors: 600..1000 → median 800; 790 is within 10%.
+            ThroughputVerdict::Pass { baseline, .. } => assert_eq!(baseline, 800.0),
+            other => panic!("{other:?}"),
+        }
+        // A different series never contributes a baseline.
+        for r in &mut many {
+            r.shards = 8;
+        }
+        let v = evaluate(&current, &many, &Thresholds::default());
+        assert_eq!(v.throughput, ThroughputVerdict::NoBaseline);
+    }
+
+    #[test]
+    fn export_overhead_gate_is_absolute() {
+        let mut r = record(1000.0);
+        r.obs_export_overhead_pct = 4.5;
+        let v = evaluate(&r, &[], &Thresholds::default());
+        assert_eq!(v.overhead, OverheadVerdict::Exceeded { worst_pct: 4.5 });
+        assert!(v.is_failure());
+        // Full-tracing overhead alone never fails the gate.
+        let mut r = record(1000.0);
+        r.obs_enabled_overhead_pct = 50.0;
+        assert!(!evaluate(&r, &[], &Thresholds::default()).is_failure());
+    }
+}

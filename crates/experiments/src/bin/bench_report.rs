@@ -1,0 +1,126 @@
+//! Judges the latest `shard_bench` run against the bench history and
+//! exits nonzero on a regression — the blocking CI gate behind
+//! `results/bench_history.jsonl`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_report [--history <path>] [--threshold-pct <pct>] [--obs-threshold-pct <pct>]
+//! ```
+//!
+//! The last row of the history is the run under judgment; its baseline
+//! is the median of up to 5 most recent **prior** rows with the same
+//! `(bench, shards, quick, host)` key, so cross-machine and
+//! cross-scale rows never skew the verdict. Exit codes: `0` pass (a
+//! first run on a fresh series passes with a `no baseline` warning),
+//! `1` regression — throughput more than `--threshold-pct` (default
+//! 10%) below baseline, or observability/export overhead above
+//! `--obs-threshold-pct` (default 3%) — `2` usage or unreadable
+//! history.
+
+use ctxres_experiments::bench_history::{
+    evaluate, history_path_from_env, load_history, OverheadVerdict, Thresholds, ThroughputVerdict,
+};
+use std::path::PathBuf;
+
+fn parse_args() -> Result<(PathBuf, Thresholds), String> {
+    let mut history = history_path_from_env();
+    let mut thresholds = Thresholds::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--history" => history = value("--history")?.into(),
+            "--threshold-pct" => {
+                thresholds.regression_pct = value("--threshold-pct")?
+                    .parse()
+                    .map_err(|e| format!("--threshold-pct: {e}"))?;
+            }
+            "--obs-threshold-pct" => {
+                thresholds.obs_overhead_pct = value("--obs-threshold-pct")?
+                    .parse()
+                    .map_err(|e| format!("--obs-threshold-pct: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok((history, thresholds))
+}
+
+fn main() {
+    let (history_path, thresholds) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("bench_report: {e}");
+            std::process::exit(2);
+        }
+    };
+    let history = match load_history(&history_path) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("bench_report: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some((current, prior)) = history.split_last() else {
+        eprintln!(
+            "bench_report: {} is empty — run shard_bench first",
+            history_path.display()
+        );
+        std::process::exit(2);
+    };
+
+    println!(
+        "bench_report: {} @ {} on {} ({} shards{}, {} rows of history)",
+        current.bench,
+        current.commit,
+        current.host,
+        current.shards,
+        if current.quick { ", quick" } else { "" },
+        history.len(),
+    );
+    let verdict = evaluate(current, prior, &thresholds);
+    match &verdict.throughput {
+        ThroughputVerdict::Pass {
+            baseline,
+            change_pct,
+            baseline_runs,
+        } => println!(
+            "  throughput: PASS — {:.1} ctx/s vs median {:.1} of {} prior run(s) ({:+.2}%, threshold -{:.1}%)",
+            current.contexts_per_sec, baseline, baseline_runs, change_pct, thresholds.regression_pct,
+        ),
+        ThroughputVerdict::NoBaseline => println!(
+            "  throughput: PASS (no baseline) — {:.1} ctx/s seeds the series for ({}, {} shards, quick={}, {})",
+            current.contexts_per_sec, current.bench, current.shards, current.quick, current.host,
+        ),
+        ThroughputVerdict::Regression {
+            baseline,
+            change_pct,
+            baseline_runs,
+        } => println!(
+            "  throughput: REGRESSION — {:.1} ctx/s vs median {:.1} of {} prior run(s) ({:+.2}%, threshold -{:.1}%)",
+            current.contexts_per_sec, baseline, baseline_runs, change_pct, thresholds.regression_pct,
+        ),
+    }
+    match &verdict.overhead {
+        OverheadVerdict::Pass { worst_pct } => println!(
+            "  obs overhead: PASS — disabled {:+.2}%, export {:+.2}% (worst {:+.2}%, threshold {:.1}%)",
+            current.obs_overhead_pct,
+            current.obs_export_overhead_pct,
+            worst_pct,
+            thresholds.obs_overhead_pct,
+        ),
+        OverheadVerdict::Exceeded { worst_pct } => println!(
+            "  obs overhead: EXCEEDED — disabled {:+.2}%, export {:+.2}% (worst {:+.2}%, threshold {:.1}%)",
+            current.obs_overhead_pct,
+            current.obs_export_overhead_pct,
+            worst_pct,
+            thresholds.obs_overhead_pct,
+        ),
+    }
+    if verdict.is_failure() {
+        eprintln!("bench_report: FAIL");
+        std::process::exit(1);
+    }
+    println!("bench_report: OK");
+}

@@ -5,11 +5,16 @@
 //! instead of the paper-scale 20 × 600. The seeded grid is fanned over
 //! worker threads (`CTXRES_THREADS` overrides the count); the output is
 //! bit-identical to a serial run.
+//!
+//! Set `CTXRES_METRICS_ADDR` (e.g. `127.0.0.1:9900`) to serve live
+//! Prometheus metrics (`/metrics`) and JSON snapshots (`/snapshot`)
+//! while the grid runs — scrape mid-run to watch per-worker
+//! ingest/discard/detection rates.
 
 use ctxres_apps::call_forwarding::CallForwarding;
-use ctxres_experiments::figures::figure_for_parallel;
+use ctxres_experiments::figures::{figure_for_parallel, figure_for_parallel_exported};
 use ctxres_experiments::render::{render_figure, write_json};
-use ctxres_experiments::runner::default_threads;
+use ctxres_experiments::runner::{default_threads, export_registry_from_env};
 use ctxres_experiments::{RUNS_PER_POINT, TRACE_LEN};
 
 fn main() {
@@ -23,7 +28,17 @@ fn main() {
     eprintln!(
         "figure 9: call forwarding, {runs} runs/point, {len} contexts/run, {threads} thread(s) …"
     );
-    let fig = figure_for_parallel(&CallForwarding::new(), runs, len, threads);
+    let app = CallForwarding::new();
+    let fig = match export_registry_from_env(threads) {
+        Some((registry, server)) => {
+            eprintln!(
+                "serving live metrics at http://{}/metrics",
+                server.local_addr()
+            );
+            figure_for_parallel_exported(&app, runs, len, threads, &registry)
+        }
+        None => figure_for_parallel(&app, runs, len, threads),
+    };
     println!("{}", render_figure(&fig));
     match write_json("figure9", &fig) {
         Ok(path) => eprintln!("wrote {path}"),

@@ -1,0 +1,281 @@
+//! `obs_top` — a live per-shard console dashboard over the telemetry
+//! pipeline, in the spirit of `top(1)`.
+//!
+//! Two modes:
+//!
+//! * **demo** (default): spins up a sharded engine under the paper's
+//!   speed constraint, drives a synthetic 32-subject location stream
+//!   from a background producer thread, and samples the engine's own
+//!   registry in-process — a self-contained way to see the dashboard
+//!   move.
+//! * **watch** (`--watch <addr>`): scrapes `/snapshot` from any live
+//!   `CTXRES_METRICS_ADDR` endpoint (`figure9`, `shard_bench`, a
+//!   production deployment) and renders the same dashboard remotely.
+//!
+//! Flags: `--interval-ms <n>` (default 500), `--iters <n>` (frames to
+//! render; default: run until interrupted), `--once` (single frame, no
+//! ANSI clear — CI-safe).
+
+use ctxres_constraint::parse_constraints;
+use ctxres_context::{Context, ContextKind, LogicalTime, Point, Ticks};
+use ctxres_core::strategies::DropBad;
+use ctxres_middleware::{Middleware, MiddlewareConfig, ShardPlan, ShardedMiddleware};
+use ctxres_obs::{CounterKind, MetricKind, ObsConfig, Sample, Sampler};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SPEED: &str = "constraint speed:
+    forall a: location, b: location .
+      (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+
+struct Options {
+    watch: Option<String>,
+    interval: Duration,
+    iters: Option<u64>,
+    once: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        watch: None,
+        interval: Duration::from_millis(500),
+        iters: None,
+        once: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--watch" => opts.watch = Some(value("--watch")?),
+            "--interval-ms" => {
+                let ms: u64 = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?;
+                opts.interval = Duration::from_millis(ms.max(10));
+            }
+            "--iters" => {
+                opts.iters = Some(
+                    value("--iters")?
+                        .parse()
+                        .map_err(|e| format!("--iters: {e}"))?,
+                );
+            }
+            "--once" => opts.once = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.once {
+        opts.iters = Some(1);
+    }
+    Ok(opts)
+}
+
+/// `host:port` from a `--watch` operand that may carry a scheme/path.
+fn watch_addr(raw: &str) -> String {
+    let s = raw.trim();
+    let s = s.strip_prefix("http://").unwrap_or(s);
+    s.split('/').next().unwrap_or(s).to_owned()
+}
+
+fn fetch_sample(addr: &str) -> Result<Sample, String> {
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write!(stream, "GET /snapshot HTTP/1.1\r\nHost: obs-top\r\n\r\n").map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response")?
+        .1;
+    serde_json::from_str(body).map_err(|e| format!("parse /snapshot: {e}"))
+}
+
+fn fmt_rate(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:.1}k", v / 1000.0)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// p95 of a windowed latency histogram, as microseconds (`-` when the
+/// window recorded nothing).
+fn p95_us(rates: &ctxres_obs::ShardRates, kind: MetricKind) -> String {
+    match rates.window(kind).quantile_bound(0.95) {
+        Some(ns) if ns != u64::MAX => format!("{:.0}", ns as f64 / 1000.0),
+        Some(_) => ">max".to_owned(),
+        None => "-".to_owned(),
+    }
+}
+
+fn render(sample: &Sample, frame: u64, source: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "ctxres obs_top — {source} — frame {frame}, window {:.2}s{}\n\n",
+        sample.elapsed_secs,
+        if sample.first { " (baseline)" } else { "" },
+    ));
+    out.push_str(
+        "shard     ingest/s  deliver/s  discard/s  detect/s  buffered  dropped  p95 chk(µs)\n",
+    );
+    out.push_str(
+        "-----------------------------------------------------------------------------------\n",
+    );
+    for s in &sample.shards {
+        out.push_str(&format!(
+            "{:<9} {:>8}  {:>9}  {:>9}  {:>8}  {:>8}  {:>7}  {:>11}\n",
+            format!("shard {}", s.shard),
+            fmt_rate(s.rate(CounterKind::Ingested)),
+            fmt_rate(s.rate(CounterKind::Deliveries)),
+            fmt_rate(s.rate(CounterKind::Discards)),
+            fmt_rate(s.rate(CounterKind::Detections)),
+            s.events_buffered,
+            s.events_dropped,
+            p95_us(s, MetricKind::CheckLatency),
+        ));
+    }
+    let t = &sample.total;
+    out.push_str(
+        "-----------------------------------------------------------------------------------\n",
+    );
+    out.push_str(&format!(
+        "{:<9} {:>8}  {:>9}  {:>9}  {:>8}  {:>8}  {:>7}  {:>11}\n",
+        "total",
+        fmt_rate(t.rate(CounterKind::Ingested)),
+        fmt_rate(t.rate(CounterKind::Deliveries)),
+        fmt_rate(t.rate(CounterKind::Discards)),
+        fmt_rate(t.rate(CounterKind::Detections)),
+        t.events_buffered,
+        t.events_dropped,
+        p95_us(t, MetricKind::CheckLatency),
+    ));
+    let agg = sample.snapshot.aggregate();
+    out.push_str(&format!(
+        "\ncumulative: {} ingested, {} delivered, {} discarded, {} detections\n",
+        agg.counter(CounterKind::Ingested),
+        agg.counter(CounterKind::Deliveries),
+        agg.counter(CounterKind::Discards),
+        agg.counter(CounterKind::Detections),
+    ));
+    out
+}
+
+/// The demo workload: an endless teleporting location stream, chunked
+/// so seq stamps keep increasing across chunks.
+fn demo_chunk(base_seq: u64, subjects: usize, per_subject: usize) -> Vec<Context> {
+    let mut out = Vec::with_capacity(subjects * per_subject);
+    for seq in base_seq..base_seq + per_subject as u64 {
+        for s in 0..subjects {
+            let x = if seq % 10 == 9 {
+                400.0
+            } else {
+                seq as f64 * 0.5
+            };
+            out.push(
+                Context::builder(ContextKind::new("location"), &format!("subj-{s:02}"))
+                    .attr("pos", Point::new(x, 0.0))
+                    .attr("seq", seq as i64)
+                    .stamp(LogicalTime::new(seq))
+                    .build(),
+            );
+        }
+    }
+    out
+}
+
+fn run_loop(opts: &Options, source: &str, mut next: impl FnMut() -> Result<Sample, String>) {
+    let mut frame = 0u64;
+    loop {
+        match next() {
+            Ok(sample) => {
+                frame += 1;
+                if !opts.once {
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render(&sample, frame, source));
+                std::io::stdout().flush().ok();
+            }
+            Err(e) => {
+                eprintln!("obs_top: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(iters) = opts.iters {
+            if frame >= iters {
+                return;
+            }
+        }
+        std::thread::sleep(opts.interval);
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("obs_top: {e}");
+            eprintln!("usage: obs_top [--watch <addr>] [--interval-ms <n>] [--iters <n>] [--once]");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(raw) = &opts.watch {
+        let addr = watch_addr(raw);
+        run_loop(&opts, &format!("watching {addr}"), || fetch_sample(&addr));
+        return;
+    }
+
+    // Demo: a 4-shard engine fed by a background producer until the
+    // dashboard exits.
+    let constraints = parse_constraints(SPEED).unwrap();
+    let plan = ShardPlan::analyze(&constraints, 4);
+    let registry = ShardedMiddleware::obs_registry(&plan, ObsConfig::metrics_only());
+    let sharded = Arc::new(ShardedMiddleware::new_observed(
+        plan,
+        &registry,
+        |_, obs| {
+            Middleware::builder()
+                .constraints(parse_constraints(SPEED).unwrap())
+                .strategy(Box::new(DropBad::new()))
+                .config(MiddlewareConfig {
+                    window: Ticks::new(0),
+                    track_ground_truth: false,
+                    // The demo runs until interrupted: bound the pool so
+                    // check latency stays flat instead of creeping as the
+                    // population grows.
+                    retention: Some(Ticks::new(50)),
+                })
+                .obs(obs)
+                .build()
+        },
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let producer = {
+        let sharded = Arc::clone(&sharded);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let chunk = demo_chunk(seq, 32, 5);
+                seq += 5;
+                sharded.batch_add(&chunk);
+                sharded.drain();
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+
+    let mut sampler = Sampler::new(Arc::clone(&registry));
+    // Let the producer put something on the board before the first
+    // frame (mostly for --once, which gets exactly one window).
+    let _ = sampler.sample();
+    std::thread::sleep(opts.interval.max(Duration::from_millis(100)));
+    run_loop(&opts, "in-process demo", || Ok(sampler.sample()));
+
+    stop.store(true, Ordering::Relaxed);
+    producer.join().ok();
+}

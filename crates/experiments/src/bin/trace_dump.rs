@@ -3,21 +3,24 @@
 //! table, and the reconstructed life cycle of every discarded context.
 //!
 //! ```text
-//! trace_dump <events.jsonl> [strategy-label]
-//! trace_dump --demo [out.jsonl]
+//! trace_dump [--json] <events.jsonl> [strategy-label]
+//! trace_dump [--json] --demo [out.jsonl]
 //! ```
 //!
 //! `--demo` runs a seeded drop-bad Call Forwarding cell (err 0.3,
 //! seed 3) with tracing enabled, writes its event trace to
 //! `out.jsonl` (default `results/demo_trace.jsonl`), then dumps it —
-//! the smoke artifact CI archives.
+//! the smoke artifact CI archives. `--json` replaces the human
+//! rendering with one machine-readable document (full timeline,
+//! transition rows, discarded-context life cycles) on stdout; it
+//! combines with `--demo`.
 
 use ctxres_apps::call_forwarding::CallForwarding;
 use ctxres_apps::PervasiveApp;
 use ctxres_context::ContextState;
 use ctxres_experiments::runner::run_named_observed;
 use ctxres_experiments::telemetry::{
-    reconstruct_lifecycles, render_timeline, render_transition_table, transition_counts,
+    json_dump, reconstruct_lifecycles, render_timeline, render_transition_table, transition_counts,
 };
 use ctxres_experiments::trace_io::{load_events, save_events};
 use ctxres_obs::{ObsConfig, TraceRecord};
@@ -29,41 +32,55 @@ use std::process::ExitCode;
 const TIMELINE_LIMIT: usize = 60;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    match run(&args, json) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage:\n  trace_dump <events.jsonl> [strategy-label]\n  \
-                 trace_dump --demo [out.jsonl]"
+                "usage:\n  trace_dump [--json] <events.jsonl> [strategy-label]\n  \
+                 trace_dump [--json] --demo [out.jsonl]"
             );
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String], json: bool) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("--demo") => {
             let out = args
                 .get(1)
                 .map(String::as_str)
                 .unwrap_or("results/demo_trace.jsonl");
-            demo(Path::new(out))
+            demo(Path::new(out), json)
         }
         Some(path) => {
             let label = args.get(1).map(String::as_str).unwrap_or("trace");
             let trace = load_events(Path::new(path))?;
-            dump(&trace, label);
+            render(&trace, label, json)?;
             Ok(())
         }
         None => Err("missing arguments".into()),
     }
 }
 
+/// Dispatches between the human views and the `--json` document.
+fn render(trace: &[ctxres_obs::TraceRecord], label: &str, json: bool) -> Result<(), String> {
+    if json {
+        let doc = json_dump(trace, label);
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        println!("{text}");
+    } else {
+        dump(trace, label);
+    }
+    Ok(())
+}
+
 /// Runs the seeded demo cell, saves its event trace, and dumps it.
-fn demo(out: &Path) -> Result<(), String> {
+fn demo(out: &Path, json: bool) -> Result<(), String> {
     let app = CallForwarding::new();
     let (metrics, telemetry) = run_named_observed(
         &app,
@@ -90,7 +107,7 @@ fn demo(out: &Path) -> Result<(), String> {
         metrics.discarded,
     );
     eprintln!("wrote {}", out.display());
-    dump(&telemetry.trace, &telemetry.strategy);
+    render(&telemetry.trace, &telemetry.strategy, json)?;
     if telemetry.dropped > 0 {
         return Err(format!(
             "{} events were dropped; the trace is incomplete",

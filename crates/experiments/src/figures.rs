@@ -1,11 +1,13 @@
 //! Assembling Figures 9 and 10: strategy-vs-error-rate grids.
 
 use crate::metrics::{normalize_against_oracle, FigurePoint, RunMetrics};
-use crate::runner::{run_jobs_parallel, run_named, RunJob};
+use crate::runner::{run_jobs_parallel, run_jobs_parallel_exported, run_named, RunJob};
 use crate::{ERROR_RATES, RUNS_PER_POINT, TRACE_LEN};
 use ctxres_apps::PervasiveApp;
 use ctxres_core::strategies::EXPERIMENT_STRATEGIES;
+use ctxres_obs::ObsRegistry;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A regenerated figure: every (strategy, error-rate) point of one
 /// application's comparison.
@@ -83,8 +85,33 @@ pub fn figure_for_parallel(
     threads: usize,
 ) -> Figure {
     let window = app.recommended_window();
-    // One job per (rate, strategy, seed) cell, opt-r first per rate so
-    // its results double as the oracle baseline for that rate.
+    let jobs = grid_jobs(runs);
+    let results = run_jobs_parallel(app, &jobs, len, window, threads);
+    assemble_grid(app, &results, runs, len)
+}
+
+/// [`figure_for_parallel`] with the grid's runs recorded into a shared
+/// live [`ObsRegistry`] (one slot per worker): a scraper hitting the
+/// [`ctxres_obs::MetricsServer`] *during* the grid sees real-time
+/// ingest/discard/detection rates per worker while the figure computes.
+/// The output stays bit-identical to [`figure_for`] — observation never
+/// perturbs results.
+pub fn figure_for_parallel_exported(
+    app: &(dyn PervasiveApp + Sync),
+    runs: usize,
+    len: usize,
+    threads: usize,
+    registry: &Arc<ObsRegistry>,
+) -> Figure {
+    let window = app.recommended_window();
+    let jobs = grid_jobs(runs);
+    let results = run_jobs_parallel_exported(app, &jobs, len, window, threads, registry);
+    assemble_grid(app, &results, runs, len)
+}
+
+/// One job per (rate, strategy, seed) cell, opt-r first per rate so its
+/// results double as the oracle baseline for that rate.
+fn grid_jobs(runs: usize) -> Vec<RunJob> {
     let mut jobs = Vec::new();
     for &err_rate in &ERROR_RATES {
         for strategy in EXPERIMENT_STRATEGIES {
@@ -97,8 +124,17 @@ pub fn figure_for_parallel(
             }
         }
     }
-    let results = run_jobs_parallel(app, &jobs, len, window, threads);
+    jobs
+}
 
+/// Reassembles fan-out results (in [`grid_jobs`] order) into the same
+/// [`Figure`] the serial loop builds.
+fn assemble_grid(
+    app: &dyn PervasiveApp,
+    results: &[RunMetrics],
+    runs: usize,
+    len: usize,
+) -> Figure {
     let mut points = Vec::new();
     let mut cursor = results.chunks(runs);
     for &err_rate in &ERROR_RATES {
@@ -206,6 +242,24 @@ mod tests {
     fn single_thread_parallel_path_matches_too() {
         let app = CallForwarding::new();
         assert_eq!(figure_for(&app, 1, 40), figure_for_parallel(&app, 1, 40, 1));
+    }
+
+    #[test]
+    fn exported_grid_is_byte_identical_and_fills_the_registry() {
+        let app = CallForwarding::new();
+        let registry = ObsRegistry::shared(ctxres_obs::ObsConfig::metrics_only(), 3);
+        let serial = figure_for(&app, 2, 60);
+        let exported = figure_for_parallel_exported(&app, 2, 60, 3, &registry);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&exported).unwrap()
+        );
+        let ingested = registry
+            .snapshot()
+            .aggregate()
+            .counter(ctxres_obs::CounterKind::Ingested);
+        // 4 rates × 4 strategies × 2 seeds × 60 contexts each.
+        assert_eq!(ingested, 4 * 4 * 2 * 60);
     }
 
     #[test]

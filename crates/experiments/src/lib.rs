@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod bench_history;
 pub mod case_study;
 pub mod coverage;
 pub mod extended;

@@ -7,7 +7,8 @@ use ctxres_context::Ticks;
 use ctxres_core::strategies::by_name;
 use ctxres_core::ResolutionStrategy;
 use ctxres_middleware::{Middleware, MiddlewareConfig};
-use ctxres_obs::{ObsConfig, ObsRegistry, ShardObs};
+use ctxres_obs::{MetricsServer, ObsConfig, ObsRegistry, ShardObs, METRICS_ADDR_ENV};
+use std::sync::Arc;
 
 /// The middleware time window used by the figure experiments: long
 /// enough for drop-bad to accumulate count evidence across each
@@ -182,6 +183,58 @@ pub fn run_jobs_parallel(
     })
 }
 
+/// [`run_jobs_parallel`] recording live metrics into a shared
+/// [`ObsRegistry`]: worker `w` writes into registry slot
+/// `w % registry.shards()`, so a [`ctxres_obs::Sampler`] or
+/// [`MetricsServer`] scraping the registry *while the grid runs* sees
+/// per-worker ingest/discard/delivery rates. Results stay in job order
+/// and bit-identical to the serial loop — the registry only observes.
+///
+/// Use [`ObsConfig::metrics_only`] for the registry unless the event
+/// timeline is wanted too: counters and histograms are atomics, so
+/// workers sharing a slot never contend on a lock.
+///
+/// # Panics
+///
+/// Panics if a worker panics or on an unknown strategy name.
+pub fn run_jobs_parallel_exported(
+    app: &(dyn PervasiveApp + Sync),
+    jobs: &[RunJob],
+    len: usize,
+    window: u64,
+    threads: usize,
+    registry: &Arc<ObsRegistry>,
+) -> Vec<RunMetrics> {
+    fan_out_indexed(jobs, threads, |worker, job| {
+        let strategy = by_name(&job.strategy, job.seed)
+            .unwrap_or_else(|| panic!("unknown strategy {:?}", job.strategy));
+        run_instrumented(
+            app,
+            strategy,
+            job.err_rate,
+            job.seed,
+            len,
+            window,
+            registry.handle(worker % registry.shards()),
+        )
+    })
+}
+
+/// Opt-in live telemetry for experiment binaries: when
+/// [`METRICS_ADDR_ENV`] (`CTXRES_METRICS_ADDR`) is set, builds a
+/// metrics-only registry with `slots` shards (one per worker thread)
+/// and serves it at that address. Returns `None` — run unobserved —
+/// when the variable is unset; a bind failure is reported on stderr and
+/// also degrades to `None` rather than killing the run.
+pub fn export_registry_from_env(slots: usize) -> Option<(Arc<ObsRegistry>, MetricsServer)> {
+    if std::env::var(METRICS_ADDR_ENV).map_or(true, |v| v.trim().is_empty()) {
+        return None;
+    }
+    let registry = ObsRegistry::shared(ObsConfig::metrics_only(), slots.max(1));
+    let server = MetricsServer::from_env(&registry)?;
+    Some((registry, server))
+}
+
 /// [`run_jobs_parallel`] with per-cell telemetry: each worker drives its
 /// job through its own single-shard registry, so cells never contend on
 /// instrumentation, and every returned [`CellTelemetry`] is tagged with
@@ -218,8 +271,21 @@ pub fn run_jobs_parallel_observed(
 ///
 /// Panics if a worker panics (the panic is propagated).
 fn fan_out<T: Send>(jobs: &[RunJob], threads: usize, run: impl Fn(&RunJob) -> T + Sync) -> Vec<T> {
+    fan_out_indexed(jobs, threads, |_, job| run(job))
+}
+
+/// [`fan_out`], passing each invocation the index of the worker thread
+/// running it (`0..threads`; always `0` on the serial path). The
+/// exported runner uses the index to pick a stable registry slot per
+/// worker, so live rates decompose by worker rather than smearing over
+/// one counter.
+fn fan_out_indexed<T: Send>(
+    jobs: &[RunJob],
+    threads: usize,
+    run: impl Fn(usize, &RunJob) -> T + Sync,
+) -> Vec<T> {
     if threads <= 1 || jobs.len() <= 1 {
-        return jobs.iter().map(&run).collect();
+        return jobs.iter().map(|job| run(0, job)).collect();
     }
     let workers = threads.min(jobs.len());
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, RunJob)>();
@@ -233,13 +299,13 @@ fn fan_out<T: Send>(jobs: &[RunJob], threads: usize, run: impl Fn(&RunJob) -> T 
     slots.resize_with(jobs.len(), || None);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for _ in 0..workers {
+        for worker in 0..workers {
             let job_rx = job_rx.clone();
             let out_tx = out_tx.clone();
             let run = &run;
             handles.push(scope.spawn(move || {
                 for (idx, job) in job_rx {
-                    let result = run(&job);
+                    let result = run(worker, &job);
                     if out_tx.send((idx, result)).is_err() {
                         break;
                     }
@@ -330,5 +396,46 @@ mod tests {
     fn unknown_strategy_panics() {
         let app = CallForwarding::new();
         let _ = run_named(&app, "d-nope", 0.1, 1, 10, DEFAULT_WINDOW);
+    }
+
+    #[test]
+    fn exported_grid_matches_serial_and_counts_every_submission() {
+        let app = CallForwarding::new();
+        let jobs: Vec<RunJob> = ["d-bad", "d-all", "d-lat", "opt-r"]
+            .iter()
+            .flat_map(|s| {
+                (0..3).map(|seed| RunJob {
+                    strategy: (*s).to_owned(),
+                    err_rate: 0.2,
+                    seed,
+                })
+            })
+            .collect();
+        let len = 80;
+        let window = app.recommended_window();
+        let serial = run_jobs_parallel(&app, &jobs, len, window, 1);
+
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 3);
+        let exported = run_jobs_parallel_exported(&app, &jobs, len, window, 3, &registry);
+        assert_eq!(serial, exported, "observation must not perturb results");
+        // Every submitted context of every job landed in the shared
+        // registry: the live endpoint sees the whole grid.
+        let agg = registry.snapshot().aggregate();
+        assert_eq!(
+            agg.counter(ctxres_obs::CounterKind::Ingested),
+            (jobs.len() * len) as u64
+        );
+        // Metrics-only: no per-event ring traffic from the grid.
+        assert!(registry.drain().is_empty());
+    }
+
+    #[test]
+    fn export_registry_from_env_is_none_when_unset() {
+        // The test runner does not set CTXRES_METRICS_ADDR (and tests
+        // must not mutate the process environment); the helper must
+        // degrade to unobserved.
+        if std::env::var(METRICS_ADDR_ENV).is_err() {
+            assert!(export_registry_from_env(4).is_none());
+        }
     }
 }

@@ -217,6 +217,93 @@ pub fn render_transition_table(rows: &[(String, TransitionCounts)]) -> String {
     out
 }
 
+/// One `(from, to)` row of the transition table, in a shape that
+/// serializes to flat JSON (the map key `(ContextState, ContextState)`
+/// does not).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionRow {
+    /// Source state.
+    pub from: ContextState,
+    /// Destination state.
+    pub to: ContextState,
+    /// How many contexts made this transition.
+    pub count: u64,
+}
+
+/// One discarded (or otherwise notable) context's reconstructed life
+/// cycle, flattened for machine consumption.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LifecycleDump {
+    /// Owning shard.
+    pub shard: u32,
+    /// The context (ids are shard-local).
+    pub ctx: ContextId,
+    /// The human one-liner (`shard 0 ctx#3: received t2, …`).
+    pub summary: String,
+    /// `delivered` / `discarded` / `expired` / `pending`.
+    pub fate: String,
+    /// Tick the context entered the middleware.
+    pub received_at: Option<u64>,
+    /// Count-value history (one bump per tracked inconsistency).
+    pub counts: Vec<u64>,
+    /// Every event involving the context, in trace order.
+    pub events: Vec<TraceRecord>,
+}
+
+/// Everything `trace_dump --json` emits: the full timeline, the
+/// transition tallies, and the reconstructed life cycle of every
+/// discarded context — the same three views the human renderer prints,
+/// as one JSON document.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceDumpJson {
+    /// Strategy label the dump was rendered under.
+    pub label: String,
+    /// Total events in the trace.
+    pub events: usize,
+    /// The full event timeline (never elided — machines don't scroll).
+    pub timeline: Vec<TraceRecord>,
+    /// `StateChanged` tallies.
+    pub transitions: Vec<TransitionRow>,
+    /// Life cycles of every context that ended `Inconsistent`.
+    pub discarded_lifecycles: Vec<LifecycleDump>,
+    /// Distinct contexts the trace touches.
+    pub contexts_traced: usize,
+    /// How many of them were discarded.
+    pub discarded: usize,
+}
+
+/// Builds the machine-readable dump of a trace — the `--json` face of
+/// `trace_dump`.
+pub fn json_dump(trace: &[TraceRecord], label: &str) -> TraceDumpJson {
+    let transitions = transition_counts(trace)
+        .into_iter()
+        .map(|((from, to), count)| TransitionRow { from, to, count })
+        .collect();
+    let lifecycles = reconstruct_lifecycles(trace);
+    let discarded_lifecycles: Vec<LifecycleDump> = lifecycles
+        .iter()
+        .filter(|l| l.final_state() == Some(ContextState::Inconsistent))
+        .map(|l| LifecycleDump {
+            shard: l.shard,
+            ctx: l.ctx,
+            summary: l.summary(),
+            fate: l.fate().to_owned(),
+            received_at: l.received_at(),
+            counts: l.count_values(),
+            events: l.events.clone(),
+        })
+        .collect();
+    TraceDumpJson {
+        label: label.to_owned(),
+        events: trace.len(),
+        timeline: trace.to_vec(),
+        discarded: discarded_lifecycles.len(),
+        transitions,
+        discarded_lifecycles,
+        contexts_traced: lifecycles.len(),
+    }
+}
+
 /// Renders a trace as a human-readable timeline, one event per line,
 /// capped at `limit` lines (0 = unlimited) with an elision note.
 pub fn render_timeline(trace: &[TraceRecord], limit: usize) -> String {
@@ -345,6 +432,29 @@ mod tests {
         let capped = render_timeline(&cell.trace, 5);
         assert_eq!(capped.lines().count(), 6, "5 events + elision note");
         assert!(capped.contains("more events"), "{capped}");
+    }
+
+    #[test]
+    fn json_dump_carries_all_three_views() {
+        let cell = observed_cell();
+        let dump = json_dump(&cell.trace, &cell.strategy);
+        assert_eq!(dump.label, "d-bad");
+        assert_eq!(dump.events, cell.trace.len());
+        assert_eq!(dump.timeline, cell.trace, "timeline is never elided");
+        assert!(!dump.transitions.is_empty());
+        let table_total: u64 = transition_counts(&cell.trace).values().sum();
+        let rows_total: u64 = dump.transitions.iter().map(|r| r.count).sum();
+        assert_eq!(table_total, rows_total);
+        assert!(!dump.discarded_lifecycles.is_empty());
+        assert_eq!(dump.discarded, dump.discarded_lifecycles.len());
+        for l in &dump.discarded_lifecycles {
+            assert_eq!(l.fate, "discarded");
+            assert!(!l.events.is_empty());
+        }
+        // And it round-trips through the serializer as one document.
+        let text = serde_json::to_string_pretty(&dump).unwrap();
+        assert!(text.contains("\"discarded_lifecycles\""), "{text}");
+        assert!(text.contains("\"timeline\""));
     }
 
     #[test]

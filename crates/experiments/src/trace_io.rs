@@ -11,7 +11,7 @@ use ctxres_obs::TraceRecord;
 use std::io::{BufRead, Write};
 use std::path::Path;
 
-fn save_lines<T: serde::Serialize>(path: &Path, items: &[T]) -> Result<(), String> {
+pub(crate) fn save_lines<T: serde::Serialize>(path: &Path, items: &[T]) -> Result<(), String> {
     let file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
     let mut out = std::io::BufWriter::new(file);
     for item in items {
@@ -21,7 +21,7 @@ fn save_lines<T: serde::Serialize>(path: &Path, items: &[T]) -> Result<(), Strin
     Ok(())
 }
 
-fn load_lines<T: serde::de::DeserializeOwned>(path: &Path) -> Result<Vec<T>, String> {
+pub(crate) fn load_lines<T: serde::de::DeserializeOwned>(path: &Path) -> Result<Vec<T>, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
     let reader = std::io::BufReader::new(file);
     let mut out = Vec::new();

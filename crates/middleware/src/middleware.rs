@@ -213,6 +213,7 @@ impl Middleware {
             (self.config.track_ground_truth && truth == TruthTag::Expected).then(|| ctx.clone());
         let id = self.pool.insert(ctx);
         self.stats.received += 1;
+        self.obs.count(CounterKind::Ingested, 1);
         if let Some(subject) = subject {
             self.obs.record(
                 now,

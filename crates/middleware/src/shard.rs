@@ -151,6 +151,10 @@ pub struct ShardedMiddleware {
     /// Engine-level handle (routing spans); per-shard events go through
     /// each shard middleware's own handle.
     obs: ShardObs,
+    /// The registry behind `obs`, kept so samplers and metrics servers
+    /// ([`ctxres_obs::Sampler`], [`ctxres_obs::MetricsServer`]) can be
+    /// attached to a running engine. `None` for unobserved engines.
+    registry: Option<Arc<ObsRegistry>>,
 }
 
 impl std::fmt::Debug for ShardedMiddleware {
@@ -172,6 +176,7 @@ impl ShardedMiddleware {
             plan,
             shards,
             obs: ShardObs::disabled(),
+            registry: None,
         }
     }
 
@@ -202,12 +207,24 @@ impl ShardedMiddleware {
             .map(|i| Mutex::new(make(i, registry.handle(i))))
             .collect();
         let obs = registry.handle(plan.total_shards());
-        ShardedMiddleware { plan, shards, obs }
+        ShardedMiddleware {
+            plan,
+            shards,
+            obs,
+            registry: Some(Arc::clone(registry)),
+        }
     }
 
     /// The routing plan.
     pub fn plan(&self) -> &ShardPlan {
         &self.plan
+    }
+
+    /// The observability registry this engine records into, when built
+    /// with [`ShardedMiddleware::new_observed`] — the handle a live
+    /// sampler or `/metrics` server attaches to.
+    pub fn registry(&self) -> Option<&Arc<ObsRegistry>> {
+        self.registry.as_ref()
     }
 
     /// Submits one context to its shard, locking only that shard.
@@ -522,6 +539,20 @@ mod tests {
         );
         assert!(agg.histogram(MetricKind::IngestLatency).count >= 1);
         assert!(agg.histogram(MetricKind::RouteLatency).count >= 1);
+        // Every submission bumps the ingest counter, and the registry is
+        // reachable from the engine for samplers / metrics servers.
+        assert_eq!(
+            agg.counter(ctxres_obs::CounterKind::Ingested),
+            sharded.stats().received
+        );
+        let held = sharded.registry().expect("observed engine keeps registry");
+        assert!(Arc::ptr_eq(held, &registry));
+    }
+
+    #[test]
+    fn unobserved_engine_has_no_registry() {
+        let sharded = engine(SPEED, 2);
+        assert!(sharded.registry().is_none());
     }
 
     #[test]

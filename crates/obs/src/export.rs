@@ -1,0 +1,334 @@
+//! Prometheus text exposition (format v0.0.4) of a [`Sample`].
+//!
+//! Everything is rendered by hand — no exporter crate — because the
+//! format is line-oriented and tiny: `name{labels} value`, preceded by
+//! `# TYPE` headers. The renderer is deterministic for a deterministic
+//! sample (fixed shard order, fixed kind order, buckets emitted up to
+//! the last non-empty bound), which is what lets a golden test pin the
+//! entire output of a seeded run.
+//!
+//! Conventions:
+//!
+//! * counters: `ctxres_<kind>_total{shard="i"}` plus a windowed
+//!   `ctxres_<kind>_per_sec{shard="i"}` gauge (rates cover the interval
+//!   since the previous scrape — each scrape advances the sampler);
+//! * ring health: `ctxres_trace_events_dropped_total` /
+//!   `ctxres_trace_events_buffered`;
+//! * histograms: `ctxres_<kind>[_<unit>]` with cumulative `_bucket`
+//!   lines (`le` = the power-of-two bounds), `_sum`, `_count`, and
+//!   precomputed p50/p95/p99 upper bounds as
+//!   `..._quantile_bound{q="…"}` gauges. Kinds nothing has recorded are
+//!   omitted to keep the exposition proportional to what actually ran.
+
+use crate::metrics::{bucket_bound, CounterKind, MetricKind, COUNTER_KINDS, METRIC_KINDS};
+use crate::snapshot::{Sample, QUANTILES};
+use std::fmt::Write as _;
+
+/// The exposition-format content type, for HTTP responses.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// The exported metric name of a counter kind.
+pub fn counter_metric_name(kind: CounterKind) -> String {
+    format!("ctxres_{}_total", kind.name())
+}
+
+/// The exported base metric name of a histogram kind (unit-suffixed for
+/// non-count units, Prometheus style).
+pub fn histogram_metric_name(kind: MetricKind) -> String {
+    match kind.unit() {
+        "count" => format!("ctxres_{}", kind.name()),
+        unit => format!("ctxres_{}_{unit}", kind.name()),
+    }
+}
+
+/// A quantile bound as an exposition value: the overflow bucket has no
+/// finite bound, so it exports as `+Inf`.
+fn quantile_value(bound: u64) -> String {
+    if bound == u64::MAX {
+        "+Inf".to_owned()
+    } else {
+        bound.to_string()
+    }
+}
+
+/// Renders a sample as Prometheus text exposition.
+pub fn render_prometheus(sample: &Sample) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+
+    let _ = writeln!(w, "# ctxres telemetry (Prometheus text exposition v0.0.4)");
+    let _ = writeln!(w, "# rates cover the window since the previous scrape");
+    let _ = writeln!(w, "# TYPE ctxres_obs_shards gauge");
+    let _ = writeln!(w, "ctxres_obs_shards {}", sample.shards.len());
+    let _ = writeln!(w, "# TYPE ctxres_scrape_window_seconds gauge");
+    let _ = writeln!(w, "ctxres_scrape_window_seconds {}", sample.elapsed_secs);
+
+    for kind in COUNTER_KINDS {
+        let name = counter_metric_name(kind);
+        let _ = writeln!(w, "# TYPE {name} counter");
+        for (i, shard) in sample.snapshot.shards.iter().enumerate() {
+            let _ = writeln!(w, "{name}{{shard=\"{i}\"}} {}", shard.counter(kind));
+        }
+        let rate = format!("ctxres_{}_per_sec", kind.name());
+        let _ = writeln!(w, "# TYPE {rate} gauge");
+        for rates in &sample.shards {
+            let _ = writeln!(
+                w,
+                "{rate}{{shard=\"{}\"}} {}",
+                rates.shard,
+                rates.rate(kind)
+            );
+        }
+    }
+
+    let _ = writeln!(w, "# TYPE ctxres_trace_events_dropped_total counter");
+    for (i, shard) in sample.snapshot.shards.iter().enumerate() {
+        let _ = writeln!(
+            w,
+            "ctxres_trace_events_dropped_total{{shard=\"{i}\"}} {}",
+            shard.events_dropped
+        );
+    }
+    let _ = writeln!(w, "# TYPE ctxres_trace_events_buffered gauge");
+    for (i, shard) in sample.snapshot.shards.iter().enumerate() {
+        let _ = writeln!(
+            w,
+            "ctxres_trace_events_buffered{{shard=\"{i}\"}} {}",
+            shard.events_buffered
+        );
+    }
+
+    let aggregate = sample.snapshot.aggregate();
+    for kind in METRIC_KINDS {
+        if aggregate.histogram(kind).count == 0 {
+            continue;
+        }
+        let name = histogram_metric_name(kind);
+        let _ = writeln!(w, "# TYPE {name} histogram");
+        for (i, shard) in sample.snapshot.shards.iter().enumerate() {
+            let h = shard.histogram(kind);
+            let last_nonempty = h.buckets[..h.buckets.len().saturating_sub(1)]
+                .iter()
+                .rposition(|n| *n > 0);
+            let mut cum = 0u64;
+            if let Some(last) = last_nonempty {
+                for (b, n) in h.buckets[..=last].iter().enumerate() {
+                    cum += n;
+                    let _ = writeln!(
+                        w,
+                        "{name}_bucket{{shard=\"{i}\",le=\"{}\"}} {cum}",
+                        bucket_bound(b)
+                    );
+                }
+            }
+            let _ = writeln!(w, "{name}_bucket{{shard=\"{i}\",le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(w, "{name}_sum{{shard=\"{i}\"}} {}", h.sum);
+            let _ = writeln!(w, "{name}_count{{shard=\"{i}\"}} {}", h.count);
+        }
+        let _ = writeln!(w, "# TYPE {name}_quantile_bound gauge");
+        for (i, shard) in sample.snapshot.shards.iter().enumerate() {
+            let h = shard.histogram(kind);
+            for q in QUANTILES {
+                if let Some(bound) = h.quantile_bound(q) {
+                    let _ = writeln!(
+                        w,
+                        "{name}_quantile_bound{{shard=\"{i}\",q=\"{q}\"}} {}",
+                        quantile_value(bound)
+                    );
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ObsConfig, ObsRegistry};
+    use crate::snapshot::Sampler;
+    use std::sync::Arc;
+
+    /// A small deterministic registry: two shards, seeded counters, one
+    /// histogram with known observations.
+    fn seeded_sample() -> Sample {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 2);
+        let mut sampler = Sampler::new(Arc::clone(&registry));
+        sampler.sample_after(0.0);
+        let a = registry.handle(0);
+        let b = registry.handle(1);
+        a.count(CounterKind::Ingested, 40);
+        a.count(CounterKind::Deliveries, 30);
+        a.count(CounterKind::Discards, 10);
+        a.count(CounterKind::Detections, 12);
+        b.count(CounterKind::Ingested, 20);
+        a.observe(MetricKind::DeltaSize, 1);
+        a.observe(MetricKind::DeltaSize, 3);
+        a.observe(MetricKind::DeltaSize, 100);
+        b.observe(MetricKind::QueueDepth, 7);
+        sampler.sample_after(2.0)
+    }
+
+    /// The golden test: the full exposition of the seeded run, pinned
+    /// byte for byte. If you change the export format, update this
+    /// string *deliberately* — scrapers and the CI artifact diff on it.
+    #[test]
+    fn golden_exposition_for_a_seeded_run() {
+        let text = render_prometheus(&seeded_sample());
+        let expected = "\
+# ctxres telemetry (Prometheus text exposition v0.0.4)
+# rates cover the window since the previous scrape
+# TYPE ctxres_obs_shards gauge
+ctxres_obs_shards 2
+# TYPE ctxres_scrape_window_seconds gauge
+ctxres_scrape_window_seconds 2
+# TYPE ctxres_events_recorded_total counter
+ctxres_events_recorded_total{shard=\"0\"} 0
+ctxres_events_recorded_total{shard=\"1\"} 0
+# TYPE ctxres_events_recorded_per_sec gauge
+ctxres_events_recorded_per_sec{shard=\"0\"} 0
+ctxres_events_recorded_per_sec{shard=\"1\"} 0
+# TYPE ctxres_events_dropped_total counter
+ctxres_events_dropped_total{shard=\"0\"} 0
+ctxres_events_dropped_total{shard=\"1\"} 0
+# TYPE ctxres_events_dropped_per_sec gauge
+ctxres_events_dropped_per_sec{shard=\"0\"} 0
+ctxres_events_dropped_per_sec{shard=\"1\"} 0
+# TYPE ctxres_detections_total counter
+ctxres_detections_total{shard=\"0\"} 12
+ctxres_detections_total{shard=\"1\"} 0
+# TYPE ctxres_detections_per_sec gauge
+ctxres_detections_per_sec{shard=\"0\"} 6
+ctxres_detections_per_sec{shard=\"1\"} 0
+# TYPE ctxres_discards_total counter
+ctxres_discards_total{shard=\"0\"} 10
+ctxres_discards_total{shard=\"1\"} 0
+# TYPE ctxres_discards_per_sec gauge
+ctxres_discards_per_sec{shard=\"0\"} 5
+ctxres_discards_per_sec{shard=\"1\"} 0
+# TYPE ctxres_deliveries_total counter
+ctxres_deliveries_total{shard=\"0\"} 30
+ctxres_deliveries_total{shard=\"1\"} 0
+# TYPE ctxres_deliveries_per_sec gauge
+ctxres_deliveries_per_sec{shard=\"0\"} 15
+ctxres_deliveries_per_sec{shard=\"1\"} 0
+# TYPE ctxres_ingested_total counter
+ctxres_ingested_total{shard=\"0\"} 40
+ctxres_ingested_total{shard=\"1\"} 20
+# TYPE ctxres_ingested_per_sec gauge
+ctxres_ingested_per_sec{shard=\"0\"} 20
+ctxres_ingested_per_sec{shard=\"1\"} 10
+# TYPE ctxres_trace_events_dropped_total counter
+ctxres_trace_events_dropped_total{shard=\"0\"} 0
+ctxres_trace_events_dropped_total{shard=\"1\"} 0
+# TYPE ctxres_trace_events_buffered gauge
+ctxres_trace_events_buffered{shard=\"0\"} 0
+ctxres_trace_events_buffered{shard=\"1\"} 0
+# TYPE ctxres_delta_size histogram
+ctxres_delta_size_bucket{shard=\"0\",le=\"1\"} 1
+ctxres_delta_size_bucket{shard=\"0\",le=\"2\"} 1
+ctxres_delta_size_bucket{shard=\"0\",le=\"4\"} 2
+ctxres_delta_size_bucket{shard=\"0\",le=\"8\"} 2
+ctxres_delta_size_bucket{shard=\"0\",le=\"16\"} 2
+ctxres_delta_size_bucket{shard=\"0\",le=\"32\"} 2
+ctxres_delta_size_bucket{shard=\"0\",le=\"64\"} 2
+ctxres_delta_size_bucket{shard=\"0\",le=\"128\"} 3
+ctxres_delta_size_bucket{shard=\"0\",le=\"+Inf\"} 3
+ctxres_delta_size_sum{shard=\"0\"} 104
+ctxres_delta_size_count{shard=\"0\"} 3
+ctxres_delta_size_bucket{shard=\"1\",le=\"+Inf\"} 0
+ctxres_delta_size_sum{shard=\"1\"} 0
+ctxres_delta_size_count{shard=\"1\"} 0
+# TYPE ctxres_delta_size_quantile_bound gauge
+ctxres_delta_size_quantile_bound{shard=\"0\",q=\"0.5\"} 4
+ctxres_delta_size_quantile_bound{shard=\"0\",q=\"0.95\"} 128
+ctxres_delta_size_quantile_bound{shard=\"0\",q=\"0.99\"} 128
+# TYPE ctxres_queue_depth histogram
+ctxres_queue_depth_bucket{shard=\"0\",le=\"+Inf\"} 0
+ctxres_queue_depth_sum{shard=\"0\"} 0
+ctxres_queue_depth_count{shard=\"0\"} 0
+ctxres_queue_depth_bucket{shard=\"1\",le=\"1\"} 0
+ctxres_queue_depth_bucket{shard=\"1\",le=\"2\"} 0
+ctxres_queue_depth_bucket{shard=\"1\",le=\"4\"} 0
+ctxres_queue_depth_bucket{shard=\"1\",le=\"8\"} 1
+ctxres_queue_depth_bucket{shard=\"1\",le=\"+Inf\"} 1
+ctxres_queue_depth_sum{shard=\"1\"} 7
+ctxres_queue_depth_count{shard=\"1\"} 1
+# TYPE ctxres_queue_depth_quantile_bound gauge
+ctxres_queue_depth_quantile_bound{shard=\"1\",q=\"0.5\"} 8
+ctxres_queue_depth_quantile_bound{shard=\"1\",q=\"0.95\"} 8
+ctxres_queue_depth_quantile_bound{shard=\"1\",q=\"0.99\"} 8
+";
+        assert_eq!(text, expected, "exposition drifted from the golden copy");
+    }
+
+    /// Every non-comment line must parse as `name{labels} value` (or a
+    /// bare `name value`), with a numeric (or ±Inf) value.
+    #[test]
+    fn every_line_is_valid_exposition() {
+        let text = render_prometheus(&seeded_sample());
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("name value");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "bad value in {line:?}"
+            );
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+            assert!(name.starts_with("ctxres_"), "unprefixed metric {line:?}");
+            if let Some(rest) = series.strip_prefix(name) {
+                if !rest.is_empty() {
+                    assert!(
+                        rest.starts_with('{') && rest.ends_with('}'),
+                        "bad label block in {line:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cumulative `_bucket` lines are monotone and end at `_count`.
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let text = render_prometheus(&seeded_sample());
+        let bucket_values: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("ctxres_delta_size_bucket{shard=\"0\""))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(!bucket_values.is_empty());
+        assert!(
+            bucket_values.windows(2).all(|w| w[0] <= w[1]),
+            "{bucket_values:?}"
+        );
+        assert_eq!(*bucket_values.last().unwrap(), 3, "le=+Inf equals count");
+    }
+
+    #[test]
+    fn metric_names_are_unit_suffixed() {
+        assert_eq!(
+            histogram_metric_name(MetricKind::CheckLatency),
+            "ctxres_check_latency_ns"
+        );
+        assert_eq!(
+            histogram_metric_name(MetricKind::UseResidualDelay),
+            "ctxres_use_residual_delay_ticks"
+        );
+        assert_eq!(
+            histogram_metric_name(MetricKind::QueueDepth),
+            "ctxres_queue_depth"
+        );
+        assert_eq!(
+            counter_metric_name(CounterKind::Ingested),
+            "ctxres_ingested_total"
+        );
+    }
+}

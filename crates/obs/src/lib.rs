@@ -24,7 +24,13 @@
 //!   evaluation, shard routing and resolution. With
 //!   [`ObsConfig::disabled`] a handle is a `None` and every hook
 //!   compiles down to a branch on it — no clock reads, no allocation —
-//!   so tier-1 throughput is unaffected.
+//!   so tier-1 throughput is unaffected;
+//! * **live export** ([`Sampler`], [`render_prometheus`],
+//!   [`MetricsServer`]): a sampler turns consecutive registry snapshots
+//!   into windowed deltas and per-second rates, and a hand-rolled
+//!   `TcpListener` endpoint serves them as Prometheus text exposition
+//!   (`/metrics`) and JSON (`/snapshot`) — opt in with
+//!   [`ObsConfig::metrics_only`] plus `CTXRES_METRICS_ADDR`.
 //!
 //! The crate deliberately has no external dependencies (the build runs
 //! offline): the facade is built here rather than on `tracing`/`metrics`.
@@ -56,15 +62,24 @@
 #![warn(missing_docs)]
 
 mod event;
+mod export;
 mod metrics;
 mod registry;
 mod ring;
+mod serve;
+mod snapshot;
 mod span;
 
 pub use event::{TraceEvent, TraceRecord};
+pub use export::{
+    counter_metric_name, histogram_metric_name, render_prometheus, PROMETHEUS_CONTENT_TYPE,
+};
 pub use metrics::{
-    CounterKind, Histogram, HistogramSnapshot, MetricKind, COUNTER_KINDS, METRIC_KINDS,
+    bucket_bound, CounterKind, Histogram, HistogramSnapshot, MetricKind, BUCKETS, COUNTER_KINDS,
+    METRIC_KINDS,
 };
 pub use registry::{ObsConfig, ObsRegistry, ObsSnapshot, ShardObs, ShardSnapshot};
 pub use ring::EventRing;
+pub use serve::{MetricsServer, METRICS_ADDR_ENV};
+pub use snapshot::{Sample, Sampler, ShardRates, QUANTILES};
 pub use span::ObsSpan;

@@ -5,11 +5,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of histogram buckets: powers of two from 1 to 2^23, plus one
 /// overflow bucket.
-pub(crate) const BUCKETS: usize = 25;
+pub const BUCKETS: usize = 25;
 
 /// The upper bound (inclusive) of bucket `i` for `i < BUCKETS - 1`; the
-/// last bucket catches everything larger.
-fn bucket_bound(i: usize) -> u64 {
+/// last bucket catches everything larger. Exposed for exposition-format
+/// renderers that need the `le` bound of each finite bucket.
+pub fn bucket_bound(i: usize) -> u64 {
     1u64 << i
 }
 
@@ -105,15 +106,18 @@ pub enum CounterKind {
     Discards,
     /// Deliveries observed.
     Deliveries,
+    /// Contexts accepted by a shard engine (context addition changes).
+    Ingested,
 }
 
 /// Every [`CounterKind`], in index order.
-pub const COUNTER_KINDS: [CounterKind; 5] = [
+pub const COUNTER_KINDS: [CounterKind; 6] = [
     CounterKind::EventsRecorded,
     CounterKind::EventsDropped,
     CounterKind::Detections,
     CounterKind::Discards,
     CounterKind::Deliveries,
+    CounterKind::Ingested,
 ];
 
 impl CounterKind {
@@ -133,6 +137,7 @@ impl CounterKind {
             CounterKind::Detections => "detections",
             CounterKind::Discards => "discards",
             CounterKind::Deliveries => "deliveries",
+            CounterKind::Ingested => "ingested",
         }
     }
 }

@@ -17,6 +17,9 @@ use std::sync::Arc;
 pub struct ObsConfig {
     /// Whether any recording happens at all.
     pub enabled: bool,
+    /// Whether per-event tracing (ring-buffer pushes) happens; counters
+    /// and histograms record regardless when `enabled`.
+    pub trace_events: bool,
     /// Capacity of each shard's event ring buffer.
     pub ring_capacity: usize,
 }
@@ -30,7 +33,20 @@ impl ObsConfig {
     pub fn enabled() -> Self {
         ObsConfig {
             enabled: true,
+            trace_events: true,
             ring_capacity: Self::DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Counters and histograms only — no per-event ring pushes. The
+    /// long-running export configuration: an open-ended workload never
+    /// fills (or churns) the rings, while `/metrics` rates and
+    /// quantiles stay live.
+    pub fn metrics_only() -> Self {
+        ObsConfig {
+            enabled: true,
+            trace_events: false,
+            ring_capacity: 1,
         }
     }
 
@@ -39,6 +55,7 @@ impl ObsConfig {
     pub fn disabled() -> Self {
         ObsConfig {
             enabled: false,
+            trace_events: false,
             ring_capacity: 0,
         }
     }
@@ -178,6 +195,9 @@ impl ObsRegistry {
     }
 
     fn record(&self, shard: usize, at: LogicalTime, event: TraceEvent) {
+        if !self.config.trace_events {
+            return;
+        }
         let slot = &self.slots[shard];
         let seq = slot.seq.fetch_add(1, Ordering::Relaxed);
         slot.counters[CounterKind::EventsRecorded.index()].fetch_add(1, Ordering::Relaxed);
@@ -408,6 +428,22 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: ObsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn metrics_only_records_counters_but_no_events() {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 2);
+        let h = registry.handle(0);
+        assert!(h.is_enabled());
+        h.record(LogicalTime::new(1), ev(1));
+        h.count(CounterKind::Ingested, 3);
+        h.observe(MetricKind::QueueDepth, 7);
+        assert!(registry.drain().is_empty(), "no ring pushes");
+        assert_eq!(registry.dropped(), 0, "nothing pushed, nothing evicted");
+        let agg = registry.snapshot().aggregate();
+        assert_eq!(agg.counter(CounterKind::EventsRecorded), 0);
+        assert_eq!(agg.counter(CounterKind::Ingested), 3);
+        assert_eq!(agg.histogram(MetricKind::QueueDepth).count, 1);
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Windowed sampling over an [`ObsRegistry`]: deltas and rates between
+//! consecutive snapshots.
+//!
+//! A raw [`ObsSnapshot`] is cumulative — counters only ever grow — which
+//! is the right shape for correctness oracles but useless for watching a
+//! run: "120 000 deliveries so far" says nothing about whether the
+//! engine is currently moving. A [`Sampler`] remembers the previous
+//! snapshot and, on each [`Sampler::sample`], produces a [`Sample`]
+//! carrying both the cumulative state and the **windowed** view since
+//! the last sample: per-shard counter deltas, per-second rates, and the
+//! windowed slice of every histogram. Because counters are monotonic and
+//! each is read atomically, per-window deltas telescope exactly: summing
+//! a counter's deltas over all samples since the sampler started equals
+//! the raw counter (asserted by a proptest below, with concurrent shard
+//! writers).
+//!
+//! The sampler is what the `/metrics` and `/snapshot` endpoints
+//! ([`crate::MetricsServer`]) and the `obs_top` dashboard scrape; each
+//! scrape advances the window, so reported rates are "since the previous
+//! scrape".
+
+use crate::metrics::{CounterKind, HistogramSnapshot, MetricKind, COUNTER_KINDS, METRIC_KINDS};
+use crate::registry::{ObsRegistry, ObsSnapshot, ShardSnapshot};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One shard's windowed view: counter deltas since the previous sample,
+/// the same deltas as per-second rates, and the windowed slice of each
+/// histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardRates {
+    /// The shard index (0 for a merged total).
+    pub shard: usize,
+    /// Counter deltas since the previous sample, indexed by
+    /// [`CounterKind::index`]. Never negative: counters are monotonic.
+    pub counter_deltas: Vec<u64>,
+    /// The deltas divided by the window length in seconds (all zero on
+    /// the first sample, whose window is empty).
+    pub counter_rates: Vec<f64>,
+    /// The windowed slice of each histogram (observations recorded
+    /// during this window), indexed by [`MetricKind::index`].
+    pub histogram_deltas: Vec<HistogramSnapshot>,
+    /// Events currently buffered in the shard's ring (a gauge).
+    pub events_buffered: u64,
+    /// Lifetime events evicted from the shard's full ring.
+    pub events_dropped: u64,
+}
+
+impl ShardRates {
+    /// A counter's delta over this window.
+    pub fn delta(&self, kind: CounterKind) -> u64 {
+        self.counter_deltas.get(kind.index()).copied().unwrap_or(0)
+    }
+
+    /// A counter's per-second rate over this window.
+    pub fn rate(&self, kind: CounterKind) -> f64 {
+        self.counter_rates.get(kind.index()).copied().unwrap_or(0.0)
+    }
+
+    /// A histogram's windowed slice.
+    pub fn window(&self, kind: MetricKind) -> &HistogramSnapshot {
+        &self.histogram_deltas[kind.index()]
+    }
+
+    fn between(shard: usize, prev: Option<&ShardSnapshot>, cur: &ShardSnapshot, secs: f64) -> Self {
+        let zero = ShardSnapshot::zero();
+        let prev = prev.unwrap_or(&zero);
+        let counter_deltas: Vec<u64> = (0..COUNTER_KINDS.len())
+            .map(|i| {
+                let now = cur.counters.get(i).copied().unwrap_or(0);
+                let was = prev.counters.get(i).copied().unwrap_or(0);
+                now.saturating_sub(was)
+            })
+            .collect();
+        let counter_rates = counter_deltas
+            .iter()
+            .map(|d| if secs > 0.0 { *d as f64 / secs } else { 0.0 })
+            .collect();
+        let histogram_deltas = (0..METRIC_KINDS.len())
+            .map(|i| {
+                let empty = HistogramSnapshot::empty();
+                let now = cur.histograms.get(i).unwrap_or(&empty);
+                let was = prev.histograms.get(i).unwrap_or(&empty);
+                histogram_delta(was, now)
+            })
+            .collect();
+        ShardRates {
+            shard,
+            counter_deltas,
+            counter_rates,
+            histogram_deltas,
+            events_buffered: cur.events_buffered,
+            events_dropped: cur.events_dropped,
+        }
+    }
+
+    /// Adds another shard's windowed view into this one (cross-shard
+    /// totals; rates sum because they share one window).
+    pub fn merge(&mut self, other: &ShardRates) {
+        for (mine, theirs) in self.counter_deltas.iter_mut().zip(&other.counter_deltas) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self.counter_rates.iter_mut().zip(&other.counter_rates) {
+            *mine += *theirs;
+        }
+        for (mine, theirs) in self
+            .histogram_deltas
+            .iter_mut()
+            .zip(&other.histogram_deltas)
+        {
+            mine.merge(theirs);
+        }
+        self.events_buffered += other.events_buffered;
+        self.events_dropped += other.events_dropped;
+    }
+}
+
+/// The windowed difference `now - was` of two cumulative histogram
+/// snapshots (saturating per field, so a concurrent writer racing the
+/// snapshot can never produce a negative count).
+fn histogram_delta(was: &HistogramSnapshot, now: &HistogramSnapshot) -> HistogramSnapshot {
+    HistogramSnapshot {
+        count: now.count.saturating_sub(was.count),
+        sum: now.sum.saturating_sub(was.sum),
+        buckets: (0..now.buckets.len().max(was.buckets.len()))
+            .map(|i| {
+                let n = now.buckets.get(i).copied().unwrap_or(0);
+                let w = was.buckets.get(i).copied().unwrap_or(0);
+                n.saturating_sub(w)
+            })
+            .collect(),
+    }
+}
+
+/// One observation window: the cumulative registry state plus the
+/// windowed deltas/rates since the previous sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Length of this window in seconds (0 for the first sample).
+    pub elapsed_secs: f64,
+    /// Whether this is the sampler's first sample (rates are all zero).
+    pub first: bool,
+    /// The cumulative registry snapshot the window ends at.
+    pub snapshot: ObsSnapshot,
+    /// Per-shard windowed views, in shard order.
+    pub shards: Vec<ShardRates>,
+    /// All shards' windowed views merged (the `shard` field is
+    /// meaningless and left 0).
+    pub total: ShardRates,
+}
+
+/// The quantiles the exporter and dashboards report.
+pub const QUANTILES: [f64; 3] = [0.50, 0.95, 0.99];
+
+impl Sample {
+    /// Upper bounds on the p50/p95/p99 of a metric's **cumulative**
+    /// cross-shard distribution, or `None` when nothing was recorded.
+    pub fn quantile_bounds(&self, kind: MetricKind) -> Option<[u64; 3]> {
+        let agg = self.snapshot.aggregate();
+        let h = agg.histogram(kind);
+        Some([
+            h.quantile_bound(QUANTILES[0])?,
+            h.quantile_bound(QUANTILES[1])?,
+            h.quantile_bound(QUANTILES[2])?,
+        ])
+    }
+}
+
+/// Periodically captures an [`ObsRegistry`]'s state and derives the
+/// windowed view between consecutive captures.
+///
+/// ```
+/// use ctxres_obs::{CounterKind, ObsConfig, ObsRegistry, Sampler};
+///
+/// let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+/// let mut sampler = Sampler::new(Arc::clone(&registry));
+/// sampler.sample(); // establish the baseline
+/// registry.handle(0).count(CounterKind::Ingested, 40);
+/// let s = sampler.sample_after(2.0); // a deterministic 2-second window
+/// assert_eq!(s.total.delta(CounterKind::Ingested), 40);
+/// assert_eq!(s.total.rate(CounterKind::Ingested), 20.0);
+/// # use std::sync::Arc;
+/// ```
+#[derive(Debug)]
+pub struct Sampler {
+    registry: Arc<ObsRegistry>,
+    prev: Option<(Instant, ObsSnapshot)>,
+}
+
+impl Sampler {
+    /// A sampler over `registry`; the first [`Sampler::sample`] is the
+    /// baseline (empty window, zero rates).
+    pub fn new(registry: Arc<ObsRegistry>) -> Self {
+        Sampler {
+            registry,
+            prev: None,
+        }
+    }
+
+    /// The registry this sampler reads.
+    pub fn registry(&self) -> &Arc<ObsRegistry> {
+        &self.registry
+    }
+
+    /// Takes a sample; the window is the wall-clock time since the
+    /// previous call.
+    pub fn sample(&mut self) -> Sample {
+        let secs = self
+            .prev
+            .as_ref()
+            .map(|(t, _)| t.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
+        self.sample_after(secs)
+    }
+
+    /// Takes a sample with an explicitly supplied window length — the
+    /// deterministic entry point tests and golden exports use.
+    pub fn sample_after(&mut self, elapsed_secs: f64) -> Sample {
+        let snapshot = self.registry.snapshot();
+        let first = self.prev.is_none();
+        let prev_snapshot = self.prev.take().map(|(_, s)| s);
+        let shards: Vec<ShardRates> = snapshot
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, cur)| {
+                let prev = prev_snapshot.as_ref().and_then(|p| p.shards.get(i));
+                ShardRates::between(i, prev, cur, elapsed_secs)
+            })
+            .collect();
+        let mut total = ShardRates {
+            shard: 0,
+            counter_deltas: vec![0; COUNTER_KINDS.len()],
+            counter_rates: vec![0.0; COUNTER_KINDS.len()],
+            histogram_deltas: vec![HistogramSnapshot::empty(); METRIC_KINDS.len()],
+            events_buffered: 0,
+            events_dropped: 0,
+        };
+        for s in &shards {
+            total.merge(s);
+        }
+        self.prev = Some((Instant::now(), snapshot.clone()));
+        Sample {
+            elapsed_secs,
+            first,
+            snapshot,
+            shards,
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ObsConfig;
+
+    #[test]
+    fn first_sample_is_a_baseline_with_zero_rates() {
+        let registry = ObsRegistry::shared(ObsConfig::enabled(), 2);
+        registry.handle(1).count(CounterKind::Deliveries, 5);
+        let mut sampler = Sampler::new(Arc::clone(&registry));
+        let s = sampler.sample_after(0.0);
+        assert!(s.first);
+        // The baseline window is empty time but carries the full
+        // cumulative delta from zero.
+        assert_eq!(s.total.delta(CounterKind::Deliveries), 5);
+        assert_eq!(s.total.rate(CounterKind::Deliveries), 0.0);
+    }
+
+    #[test]
+    fn windows_carry_only_new_activity() {
+        let registry = ObsRegistry::shared(ObsConfig::enabled(), 2);
+        let mut sampler = Sampler::new(Arc::clone(&registry));
+        registry.handle(0).count(CounterKind::Ingested, 10);
+        sampler.sample_after(0.0);
+        registry.handle(0).count(CounterKind::Ingested, 6);
+        registry.handle(1).count(CounterKind::Ingested, 4);
+        let s = sampler.sample_after(2.0);
+        assert!(!s.first);
+        assert_eq!(s.shards[0].delta(CounterKind::Ingested), 6);
+        assert_eq!(s.shards[1].delta(CounterKind::Ingested), 4);
+        assert_eq!(s.total.delta(CounterKind::Ingested), 10);
+        assert_eq!(s.total.rate(CounterKind::Ingested), 5.0);
+        // And the next window starts empty.
+        let s2 = sampler.sample_after(1.0);
+        assert_eq!(s2.total.delta(CounterKind::Ingested), 0);
+    }
+
+    #[test]
+    fn histogram_windows_slice_the_distribution() {
+        let registry = ObsRegistry::shared(ObsConfig::enabled(), 1);
+        let h = registry.handle(0);
+        h.observe(MetricKind::DeltaSize, 3);
+        let mut sampler = Sampler::new(Arc::clone(&registry));
+        sampler.sample_after(0.0);
+        h.observe(MetricKind::DeltaSize, 100);
+        h.observe(MetricKind::DeltaSize, 200);
+        let s = sampler.sample_after(1.0);
+        let w = s.total.window(MetricKind::DeltaSize);
+        assert_eq!(w.count, 2);
+        assert_eq!(w.sum, 300);
+        assert_eq!(w.buckets.iter().sum::<u64>(), 2);
+        // Cumulative quantiles still see all three observations.
+        assert_eq!(
+            s.snapshot
+                .aggregate()
+                .histogram(MetricKind::DeltaSize)
+                .count,
+            3
+        );
+    }
+
+    #[test]
+    fn quantile_bounds_come_from_the_cumulative_distribution() {
+        let registry = ObsRegistry::shared(ObsConfig::enabled(), 1);
+        for v in 1..=100u64 {
+            registry.handle(0).observe(MetricKind::CheckLatency, v);
+        }
+        let mut sampler = Sampler::new(Arc::clone(&registry));
+        let s = sampler.sample_after(0.0);
+        let [p50, p95, p99] = s.quantile_bounds(MetricKind::CheckLatency).unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!((50..=64).contains(&p50), "{p50}");
+        assert_eq!(s.quantile_bounds(MetricKind::RouteLatency), None);
+    }
+
+    #[test]
+    fn sample_round_trips_through_serde() {
+        let registry = ObsRegistry::shared(ObsConfig::enabled(), 2);
+        registry.handle(0).count(CounterKind::Discards, 2);
+        registry.handle(1).observe(MetricKind::QueueDepth, 9);
+        let mut sampler = Sampler::new(registry);
+        sampler.sample_after(0.0);
+        let s = sampler.sample_after(1.5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}
+
+#[cfg(test)]
+mod delta_proptests {
+    //! The satellite property: sampler deltas are non-negative by type
+    //! (u64) and **sum-consistent** — summing every window's delta for a
+    //! counter reproduces the raw registry counter exactly, even when
+    //! the samples were taken while shard writer threads were racing.
+
+    use super::*;
+    use crate::registry::ObsConfig;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn windowed_deltas_sum_to_the_raw_counters(
+            per_writer in proptest::collection::vec(
+                proptest::collection::vec((0usize..3, 1u64..50), 1..40),
+                1..4,
+            ),
+            mid_samples in 1usize..4,
+        ) {
+            let shards = per_writer.len();
+            let registry = ObsRegistry::shared(ObsConfig::metrics_only(), shards);
+            let mut sampler = Sampler::new(Arc::clone(&registry));
+            sampler.sample_after(0.0);
+            let mut summed = vec![0u64; COUNTER_KINDS.len()];
+
+            let done = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                for (shard, ops) in per_writer.iter().enumerate() {
+                    let h = registry.handle(shard);
+                    let ops = ops.clone();
+                    scope.spawn(move || {
+                        for (kind_ix, n) in ops {
+                            // Skip the ring-managed kinds: writers bump
+                            // the strategy counters the middleware uses.
+                            let kind = [
+                                CounterKind::Detections,
+                                CounterKind::Discards,
+                                CounterKind::Ingested,
+                            ][kind_ix];
+                            h.count(kind, n);
+                            h.observe(MetricKind::DeltaSize, n);
+                        }
+                    });
+                }
+                // Sample concurrently with the writers: every delta must
+                // still be consistent (we only assert the telescoped sum
+                // at the end, but each mid-flight sample's deltas feed
+                // it, so a lost or double-counted window would show).
+                for _ in 0..mid_samples {
+                    let s = sampler.sample_after(0.01);
+                    for (i, d) in s.total.counter_deltas.iter().enumerate() {
+                        summed[i] += d;
+                    }
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+
+            // Writers are done; a final sample closes the telescope.
+            let s = sampler.sample_after(0.01);
+            for (i, d) in s.total.counter_deltas.iter().enumerate() {
+                summed[i] += d;
+            }
+            let agg = registry.snapshot().aggregate();
+            for kind in COUNTER_KINDS {
+                prop_assert_eq!(
+                    summed[kind.index()],
+                    agg.counter(kind),
+                    "counter {} must telescope", kind.name()
+                );
+            }
+            // The histogram window slices telescope too.
+            prop_assert!(done.load(Ordering::Relaxed));
+        }
+    }
+}
