@@ -1,0 +1,838 @@
+//! Deploy-time constraint compilation.
+//!
+//! [`Evaluator`](crate::Evaluator) walks the [`Formula`] AST directly:
+//! every quantifier binding clones the variable name into an env vector,
+//! every variable reference does a reverse linear scan by string
+//! comparison, and every quantifier allocates a fresh domain `Vec`. None
+//! of that work depends on the pool — it is the same on every call, so a
+//! deployed constraint can pay it **once**.
+//!
+//! [`CompiledConstraint::compile`] lowers a [`Constraint`] into a
+//! flattened program in which
+//!
+//! * every variable reference is resolved to a **slot** — an index into a
+//!   reusable env scratch buffer (slots coincide with the structural
+//!   quantifier ids, so pinning works unchanged);
+//! * every quantifier's kind is **interned** into a per-constraint kind
+//!   table (the distinct kinds are also exposed via
+//!   [`CompiledConstraint::kinds`], which the middleware's dirty-kind
+//!   situation cache intersects against changed kinds);
+//! * constants are evaluated by reference ([`Resolved::ValueRef`]), never
+//!   cloned.
+//!
+//! [`CompiledEvaluator`] then evaluates the program with **zero
+//! per-binding allocations**: the env buffer and the per-quantifier
+//! domain buffers live in an [`EvalScratch`] that the caller reuses
+//! across calls (and across constraints — it grows to the largest slot
+//! count seen). Link-evidence semantics are shared with the AST
+//! evaluator via the `Evidence`/`Need` machinery in `eval`, so both
+//! evaluators produce byte-identical [`CheckOutcome`]s.
+
+use crate::ast::{Formula, Quantifier, Term};
+use crate::constraint::Constraint;
+use crate::error::EvalError;
+use crate::eval::{
+    combine_and, combine_or, fold_exists, fold_forall, outcome_from, CheckOutcome, DomainMode,
+    Evidence, Link, Need, Pin,
+};
+use crate::predicate::{PredicateRegistry, Resolved};
+use ctxres_context::{ContextId, ContextKind, ContextPool, ContextValue, LogicalTime};
+
+/// A term lowered to slot-addressed form. Variable names are kept only
+/// for error reporting (`UnboundVariable` / `MissingAttr` parity with
+/// the AST evaluator); the hot path never compares or clones them.
+#[derive(Debug, Clone, PartialEq)]
+enum CTerm {
+    /// A quantifier-bound context, read from env slot `slot`.
+    Slot { slot: usize, var: String },
+    /// An attribute of a bound context.
+    Attr {
+        slot: usize,
+        var: String,
+        attr: String,
+    },
+    /// A literal, evaluated by reference.
+    Const(ContextValue),
+}
+
+/// A formula node with variables resolved to slots and kinds interned.
+#[derive(Debug, Clone, PartialEq)]
+enum CFormula {
+    True,
+    False,
+    Not(Box<CFormula>),
+    And(Box<CFormula>, Box<CFormula>),
+    Or(Box<CFormula>, Box<CFormula>),
+    Implies(Box<CFormula>, Box<CFormula>),
+    Pred {
+        name: String,
+        args: Vec<CTerm>,
+    },
+    Quant {
+        q: Quantifier,
+        /// Index into the constraint's kind table.
+        kind_sym: usize,
+        /// Env slot the binding writes (equals the structural qid, so
+        /// [`CompiledEvaluator::check_pinned`] pins by slot).
+        slot: usize,
+        body: Box<CFormula>,
+    },
+}
+
+/// A [`Constraint`] lowered for allocation-free evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledConstraint {
+    name: String,
+    program: CFormula,
+    /// Interned quantifier kinds, indexed by `CFormula::Quant::kind_sym`.
+    kind_table: Vec<ContextKind>,
+    /// The distinct kinds quantified over (sorted; mirrors
+    /// [`Constraint::kinds`]).
+    kinds: Vec<ContextKind>,
+    slot_count: usize,
+    universal_positive: bool,
+}
+
+impl CompiledConstraint {
+    /// Lowers `constraint` into slot-addressed form.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::UnboundVariable`] if the formula references a
+    /// variable no enclosing quantifier binds — the AST evaluator would
+    /// only discover this at evaluation time; compilation surfaces it at
+    /// deploy time.
+    pub fn compile(constraint: &Constraint) -> Result<Self, EvalError> {
+        let mut kind_table = Vec::new();
+        let mut scope: Vec<(&str, usize)> = Vec::new();
+        let program = lower(constraint.formula(), &mut kind_table, &mut scope)?;
+        Ok(CompiledConstraint {
+            name: constraint.name().to_owned(),
+            program,
+            kinds: constraint.kinds().iter().cloned().collect(),
+            kind_table,
+            slot_count: constraint.quantifier_count(),
+            universal_positive: constraint.is_universal_positive(),
+        })
+    }
+
+    /// The constraint's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The distinct context kinds the constraint quantifies over
+    /// (sorted). A pool change to any other kind cannot change this
+    /// constraint's verdict.
+    pub fn kinds(&self) -> &[ContextKind] {
+        &self.kinds
+    }
+
+    /// Whether the constraint quantifies over `kind`.
+    pub fn quantifies_over(&self, kind: &ContextKind) -> bool {
+        self.kinds.binary_search(kind).is_ok()
+    }
+
+    /// Whether the formula lies in the incremental-checkable fragment.
+    pub fn is_universal_positive(&self) -> bool {
+        self.universal_positive
+    }
+
+    /// Number of env slots (= quantifiers) the program uses.
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+}
+
+fn lower<'f>(
+    f: &'f Formula,
+    kind_table: &mut Vec<ContextKind>,
+    scope: &mut Vec<(&'f str, usize)>,
+) -> Result<CFormula, EvalError> {
+    match f {
+        Formula::True => Ok(CFormula::True),
+        Formula::False => Ok(CFormula::False),
+        Formula::Not(a) => Ok(CFormula::Not(Box::new(lower(a, kind_table, scope)?))),
+        Formula::And(a, b) => Ok(CFormula::And(
+            Box::new(lower(a, kind_table, scope)?),
+            Box::new(lower(b, kind_table, scope)?),
+        )),
+        Formula::Or(a, b) => Ok(CFormula::Or(
+            Box::new(lower(a, kind_table, scope)?),
+            Box::new(lower(b, kind_table, scope)?),
+        )),
+        Formula::Implies(a, b) => Ok(CFormula::Implies(
+            Box::new(lower(a, kind_table, scope)?),
+            Box::new(lower(b, kind_table, scope)?),
+        )),
+        Formula::Pred(call) => {
+            let args = call
+                .args
+                .iter()
+                .map(|t| lower_term(t, scope))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(CFormula::Pred {
+                name: call.name.clone(),
+                args,
+            })
+        }
+        Formula::Quant {
+            q,
+            var,
+            kind,
+            qid,
+            body,
+        } => {
+            let kind_sym = match kind_table.iter().position(|k| k == kind) {
+                Some(i) => i,
+                None => {
+                    kind_table.push(kind.clone());
+                    kind_table.len() - 1
+                }
+            };
+            scope.push((var, *qid));
+            let body = lower(body, kind_table, scope);
+            scope.pop();
+            Ok(CFormula::Quant {
+                q: *q,
+                kind_sym,
+                slot: *qid,
+                body: Box::new(body?),
+            })
+        }
+    }
+}
+
+fn lower_term(t: &Term, scope: &[(&str, usize)]) -> Result<CTerm, EvalError> {
+    let slot_of = |name: &str| {
+        scope
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, slot)| *slot)
+            .ok_or_else(|| EvalError::UnboundVariable(name.to_owned()))
+    };
+    match t {
+        Term::Const(v) => Ok(CTerm::Const(v.clone())),
+        Term::Var(name) => Ok(CTerm::Slot {
+            slot: slot_of(name)?,
+            var: name.clone(),
+        }),
+        Term::Attr(name, attr) => Ok(CTerm::Attr {
+            slot: slot_of(name)?,
+            var: name.clone(),
+            attr: attr.clone(),
+        }),
+    }
+}
+
+/// Reusable evaluation buffers: the slot-indexed env and one domain
+/// buffer per quantifier. Grows to the largest program seen and is then
+/// allocation-free across calls.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    env: Vec<ContextId>,
+    domains: Vec<Vec<ContextId>>,
+}
+
+impl EvalScratch {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+
+    fn prepare(&mut self, slots: usize) {
+        if self.env.len() < slots {
+            self.env.resize(slots, ContextId::from_raw(u64::MAX));
+            self.domains.resize_with(slots, Vec::new);
+        }
+    }
+}
+
+/// Evaluates [`CompiledConstraint`]s against a [`ContextPool`].
+///
+/// Mirrors [`Evaluator`](crate::Evaluator) — same domain modes, same
+/// link-evidence semantics, identical [`CheckOutcome`]s — but takes an
+/// [`EvalScratch`] so repeated checks allocate nothing for bindings or
+/// quantifier domains.
+#[derive(Debug)]
+pub struct CompiledEvaluator<'r> {
+    registry: &'r PredicateRegistry,
+    domain: DomainMode,
+}
+
+impl<'r> CompiledEvaluator<'r> {
+    /// Creates an evaluator quantifying over all live contexts.
+    pub fn new(registry: &'r PredicateRegistry) -> Self {
+        CompiledEvaluator {
+            registry,
+            domain: DomainMode::AllLive,
+        }
+    }
+
+    /// Creates an evaluator with an explicit quantification domain.
+    pub fn with_domain(registry: &'r PredicateRegistry, domain: DomainMode) -> Self {
+        CompiledEvaluator { registry, domain }
+    }
+
+    /// Fully checks `constraint` over the live contexts of `pool` at
+    /// instant `now`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from predicate evaluation, exactly as
+    /// [`Evaluator::check`](crate::Evaluator::check) does.
+    pub fn check(
+        &self,
+        constraint: &CompiledConstraint,
+        pool: &ContextPool,
+        now: LogicalTime,
+        scratch: &mut EvalScratch,
+    ) -> Result<CheckOutcome, EvalError> {
+        self.run(constraint, pool, now, None, scratch)
+    }
+
+    /// Checks only **whether** `constraint` holds — no violation
+    /// evidence — with short-circuit quantifier evaluation: an `exists`
+    /// stops at its first witness, a `forall` at its first
+    /// counterexample, and `and`/`or`/`implies` skip their right
+    /// operand when the left decides. This is the situation hot path:
+    /// situations consume only the truth value, so building per-binding
+    /// evidence links is pure waste there.
+    ///
+    /// The truth value always equals
+    /// [`check`](CompiledEvaluator::check)`.satisfied`. Error behaviour
+    /// is lazier, though: an evaluation error in a branch that
+    /// short-circuiting never reached is not surfaced (e.g. an `exists`
+    /// that finds a witness before the erroring binding returns
+    /// `Ok(true)` where `check` would return `Err`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from the branches actually evaluated.
+    pub fn holds(
+        &self,
+        constraint: &CompiledConstraint,
+        pool: &ContextPool,
+        now: LogicalTime,
+        scratch: &mut EvalScratch,
+    ) -> Result<bool, EvalError> {
+        scratch.prepare(constraint.slot_count);
+        let mut run = Run {
+            registry: self.registry,
+            domain: self.domain,
+            kind_table: &constraint.kind_table,
+            pool,
+            now,
+            pin: None,
+            scratch,
+        };
+        run.eval_bool(&constraint.program)
+    }
+
+    /// Checks `constraint` with quantifier `qid`'s domain restricted to
+    /// the single context `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledEvaluator::check`].
+    pub fn check_pinned(
+        &self,
+        constraint: &CompiledConstraint,
+        pool: &ContextPool,
+        now: LogicalTime,
+        qid: usize,
+        ctx: ContextId,
+        scratch: &mut EvalScratch,
+    ) -> Result<CheckOutcome, EvalError> {
+        self.run(constraint, pool, now, Some(Pin { qid, ctx }), scratch)
+    }
+
+    fn run(
+        &self,
+        constraint: &CompiledConstraint,
+        pool: &ContextPool,
+        now: LogicalTime,
+        pin: Option<Pin>,
+        scratch: &mut EvalScratch,
+    ) -> Result<CheckOutcome, EvalError> {
+        scratch.prepare(constraint.slot_count);
+        let mut run = Run {
+            registry: self.registry,
+            domain: self.domain,
+            kind_table: &constraint.kind_table,
+            pool,
+            now,
+            pin,
+            scratch,
+        };
+        let ev = run.eval(&constraint.program, Need::ROOT)?;
+        Ok(outcome_from(ev))
+    }
+}
+
+struct Run<'a, 'r> {
+    registry: &'r PredicateRegistry,
+    domain: DomainMode,
+    kind_table: &'a [ContextKind],
+    pool: &'a ContextPool,
+    now: LogicalTime,
+    pin: Option<Pin>,
+    scratch: &'a mut EvalScratch,
+}
+
+impl Run<'_, '_> {
+    fn eval(&mut self, formula: &CFormula, need: Need) -> Result<Evidence, EvalError> {
+        match formula {
+            CFormula::True => Ok(Evidence::of(true)),
+            CFormula::False => Ok(Evidence::of(false)),
+            CFormula::Not(f) => {
+                let mut ev = self.eval(f, need.flip())?;
+                ev.truth = !ev.truth;
+                Ok(ev)
+            }
+            CFormula::And(a, b) => {
+                let ea = self.eval(a, need)?;
+                let eb = self.eval(b, need)?;
+                Ok(combine_and(ea, eb))
+            }
+            CFormula::Or(a, b) => {
+                let ea = self.eval(a, need)?;
+                let eb = self.eval(b, need)?;
+                Ok(combine_or(ea, eb))
+            }
+            CFormula::Implies(a, b) => {
+                let mut ea = self.eval(a, need.flip())?;
+                ea.truth = !ea.truth;
+                let eb = self.eval(b, need)?;
+                Ok(combine_or(ea, eb))
+            }
+            CFormula::Pred { name, args } => {
+                let mut witness = Link::new();
+                let pool = self.pool;
+                let mut resolved: Vec<Resolved<'_>> = Vec::with_capacity(args.len());
+                for term in args {
+                    resolved.push(resolve_cterm(term, pool, &self.scratch.env, &mut witness)?);
+                }
+                let truth = self.registry.eval(name, &resolved)?;
+                drop(resolved);
+                Ok(Evidence {
+                    truth,
+                    links: vec![witness],
+                    truncated: false,
+                })
+            }
+            CFormula::Quant {
+                q,
+                kind_sym,
+                slot,
+                body,
+            } => {
+                // Take the slot's domain buffer out of the scratch so the
+                // recursive body evaluation can still borrow the scratch;
+                // it is put back (error or not) before returning.
+                let mut domain = std::mem::take(&mut self.scratch.domains[*slot]);
+                domain.clear();
+                match self.pin {
+                    Some(p) if p.qid == *slot => domain.push(p.ctx),
+                    _ => domain.extend(
+                        self.pool
+                            .of_kind_live_at(&self.kind_table[*kind_sym], self.now)
+                            .filter(|(_, c)| {
+                                self.domain == DomainMode::AllLive || c.state().is_available()
+                            })
+                            .map(|(id, _)| id),
+                    ),
+                }
+                let mut per_binding: Vec<Evidence> = Vec::with_capacity(domain.len());
+                let mut failed = None;
+                for id in &domain {
+                    self.scratch.env[*slot] = *id;
+                    match self.eval(body, need) {
+                        Ok(mut ev) => {
+                            for link in &mut ev.links {
+                                link.insert(*id);
+                            }
+                            per_binding.push(ev);
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                self.scratch.domains[*slot] = domain;
+                if let Some(e) = failed {
+                    return Err(e);
+                }
+                Ok(match q {
+                    Quantifier::Forall => fold_forall(per_binding, need),
+                    Quantifier::Exists => fold_exists(per_binding, need),
+                })
+            }
+        }
+    }
+
+    /// Evidence-free evaluation for [`CompiledEvaluator::holds`]:
+    /// returns the bare truth value, short-circuiting connectives and
+    /// quantifiers. Quantifier domains are iterated lazily straight off
+    /// the pool — no domain buffer is even filled, so an `exists` whose
+    /// witness comes early never visits the rest of its kind's list.
+    fn eval_bool(&mut self, formula: &CFormula) -> Result<bool, EvalError> {
+        match formula {
+            CFormula::True => Ok(true),
+            CFormula::False => Ok(false),
+            CFormula::Not(f) => Ok(!self.eval_bool(f)?),
+            CFormula::And(a, b) => Ok(self.eval_bool(a)? && self.eval_bool(b)?),
+            CFormula::Or(a, b) => Ok(self.eval_bool(a)? || self.eval_bool(b)?),
+            CFormula::Implies(a, b) => Ok(!self.eval_bool(a)? || self.eval_bool(b)?),
+            CFormula::Pred { name, args } => {
+                let pool = self.pool;
+                let mut resolved: Vec<Resolved<'_>> = Vec::with_capacity(args.len());
+                for term in args {
+                    resolved.push(resolve_cterm_value(term, pool, &self.scratch.env)?);
+                }
+                self.registry.eval(name, &resolved)
+            }
+            CFormula::Quant {
+                q,
+                kind_sym,
+                slot,
+                body,
+            } => {
+                if let Some(p) = self.pin {
+                    if p.qid == *slot {
+                        // Singleton domain: either quantifier reduces to
+                        // its body's truth.
+                        self.scratch.env[*slot] = p.ctx;
+                        return self.eval_bool(body);
+                    }
+                }
+                // `exists` returns at the first true body, `forall` at
+                // the first false one.
+                let deciding = matches!(q, Quantifier::Exists);
+                let pool = self.pool;
+                let kind = &self.kind_table[*kind_sym];
+                let available_only = self.domain == DomainMode::AvailableOnly;
+                for (id, ctx) in pool.of_kind_live_at(kind, self.now) {
+                    if available_only && !ctx.state().is_available() {
+                        continue;
+                    }
+                    self.scratch.env[*slot] = id;
+                    if self.eval_bool(body)? == deciding {
+                        return Ok(deciding);
+                    }
+                }
+                Ok(!deciding)
+            }
+        }
+    }
+}
+
+/// [`resolve_cterm`] without witness tracking, for the boolean path.
+fn resolve_cterm_value<'a>(
+    term: &'a CTerm,
+    pool: &'a ContextPool,
+    env: &[ContextId],
+) -> Result<Resolved<'a>, EvalError> {
+    match term {
+        CTerm::Const(v) => Ok(Resolved::ValueRef(v)),
+        CTerm::Slot { slot, var } => {
+            let id = env[*slot];
+            let ctx = pool
+                .get(id)
+                .ok_or_else(|| EvalError::UnboundVariable(var.clone()))?;
+            Ok(Resolved::Ctx(id, ctx))
+        }
+        CTerm::Attr { slot, var, attr } => {
+            let id = env[*slot];
+            let ctx = pool
+                .get(id)
+                .ok_or_else(|| EvalError::UnboundVariable(var.clone()))?;
+            let value = ctx.attr(attr).ok_or_else(|| EvalError::MissingAttr {
+                var: var.clone(),
+                attr: attr.clone(),
+            })?;
+            Ok(Resolved::ValueRef(value))
+        }
+    }
+}
+
+fn resolve_cterm<'a>(
+    term: &'a CTerm,
+    pool: &'a ContextPool,
+    env: &[ContextId],
+    witness: &mut Link,
+) -> Result<Resolved<'a>, EvalError> {
+    match term {
+        CTerm::Const(v) => Ok(Resolved::ValueRef(v)),
+        CTerm::Slot { slot, var } => {
+            let id = env[*slot];
+            witness.insert(id);
+            let ctx = pool
+                .get(id)
+                .ok_or_else(|| EvalError::UnboundVariable(var.clone()))?;
+            Ok(Resolved::Ctx(id, ctx))
+        }
+        CTerm::Attr { slot, var, attr } => {
+            let id = env[*slot];
+            witness.insert(id);
+            let ctx = pool
+                .get(id)
+                .ok_or_else(|| EvalError::UnboundVariable(var.clone()))?;
+            let value = ctx.attr(attr).ok_or_else(|| EvalError::MissingAttr {
+                var: var.clone(),
+                attr: attr.clone(),
+            })?;
+            Ok(Resolved::ValueRef(value))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::parser::parse_constraint;
+    use ctxres_context::{Context, ContextState, Point};
+
+    fn registry() -> PredicateRegistry {
+        PredicateRegistry::with_builtins()
+    }
+
+    fn loc_pool(points: &[(f64, f64)]) -> ContextPool {
+        let mut pool = ContextPool::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            pool.insert(
+                Context::builder(ContextKind::new("location"), "peter")
+                    .attr("pos", Point::new(*x, *y))
+                    .attr("seq", i as i64)
+                    .stamp(LogicalTime::new(i as u64))
+                    .build(),
+            );
+        }
+        pool
+    }
+
+    fn assert_matches_naive(source: &str, pool: &ContextPool, now: LogicalTime) {
+        let c = parse_constraint(source).unwrap();
+        let cc = CompiledConstraint::compile(&c).unwrap();
+        let reg = registry();
+        let mut scratch = EvalScratch::new();
+        for mode in [DomainMode::AllLive, DomainMode::AvailableOnly] {
+            let naive = Evaluator::with_domain(&reg, mode).check(&c, pool, now);
+            let compiled =
+                CompiledEvaluator::with_domain(&reg, mode).check(&cc, pool, now, &mut scratch);
+            assert_eq!(naive, compiled, "mode {mode:?} diverged for {source}");
+        }
+    }
+
+    const SPEED: &str = "constraint speed:
+       forall a: location, b: location .
+         (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+
+    #[test]
+    fn compiled_matches_naive_on_satisfied_and_violated_pools() {
+        let now = LogicalTime::new(10);
+        assert_matches_naive(SPEED, &loc_pool(&[(0.0, 0.0), (0.5, 0.0), (1.0, 0.0)]), now);
+        assert_matches_naive(SPEED, &loc_pool(&[(0.0, 0.0), (0.5, 0.0), (9.0, 9.0)]), now);
+        assert_matches_naive(SPEED, &loc_pool(&[(0.0, 0.0), (9.0, 9.0), (1.0, 0.0)]), now);
+        assert_matches_naive(SPEED, &ContextPool::new(), now);
+    }
+
+    #[test]
+    fn compiled_matches_naive_on_exists_and_attributes() {
+        let now = LogicalTime::new(10);
+        let pool = loc_pool(&[(0.0, 0.0), (50.0, 50.0)]);
+        assert_matches_naive(
+            "constraint has_mary: exists a: location . subject_eq(a, \"mary\")",
+            &pool,
+            now,
+        );
+        assert_matches_naive(
+            "constraint feasible: forall a: location . within(a, -10.0, -10.0, 10.0, 10.0)",
+            &pool,
+            now,
+        );
+        assert_matches_naive(
+            "constraint ordered: forall a: location, b: location . \
+               seq_gap(a, b, 1) implies le(a.seq, b.seq)",
+            &pool,
+            now,
+        );
+    }
+
+    #[test]
+    fn compiled_respects_state_filtering() {
+        let mut pool = loc_pool(&[(0.0, 0.0), (9.0, 9.0), (1.0, 0.0)]);
+        pool.set_state(ContextId::from_raw(1), ContextState::Inconsistent)
+            .unwrap();
+        assert_matches_naive(SPEED, &pool, LogicalTime::new(10));
+        pool.set_state(ContextId::from_raw(0), ContextState::Consistent)
+            .unwrap();
+        assert_matches_naive(SPEED, &pool, LogicalTime::new(10));
+    }
+
+    #[test]
+    fn pinned_compiled_check_matches_naive() {
+        let pool = loc_pool(&[(0.0, 0.0), (0.5, 0.0), (9.0, 9.0)]);
+        let c = parse_constraint(SPEED).unwrap();
+        let cc = CompiledConstraint::compile(&c).unwrap();
+        let reg = registry();
+        let naive = Evaluator::new(&reg);
+        let compiled = CompiledEvaluator::new(&reg);
+        let mut scratch = EvalScratch::new();
+        let now = LogicalTime::new(10);
+        for qid in 0..2 {
+            for raw in 0..3 {
+                let id = ContextId::from_raw(raw);
+                assert_eq!(
+                    naive.check_pinned(&c, &pool, now, qid, id),
+                    compiled.check_pinned(&cc, &pool, now, qid, id, &mut scratch),
+                    "pin qid={qid} ctx={raw}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_attribute_error_matches_naive() {
+        let mut pool = ContextPool::new();
+        pool.insert(Context::builder(ContextKind::new("badge"), "p").build());
+        let c = parse_constraint("constraint x: forall a: badge . eq(a.room, \"lab\")").unwrap();
+        let cc = CompiledConstraint::compile(&c).unwrap();
+        let reg = registry();
+        let naive = Evaluator::new(&reg).check(&c, &pool, LogicalTime::new(1));
+        let compiled = CompiledEvaluator::new(&reg).check(
+            &cc,
+            &pool,
+            LogicalTime::new(1),
+            &mut EvalScratch::new(),
+        );
+        assert_eq!(naive, compiled);
+        assert!(matches!(compiled, Err(EvalError::MissingAttr { .. })));
+    }
+
+    #[test]
+    fn unbound_variable_is_a_compile_error() {
+        let c = Constraint::new(
+            "bad",
+            Formula::pred(
+                "has_attr",
+                vec![Term::Var("ghost".into()), Term::Const("x".into())],
+            ),
+        );
+        let err = CompiledConstraint::compile(&c).unwrap_err();
+        assert!(matches!(err, EvalError::UnboundVariable(v) if v == "ghost"));
+    }
+
+    #[test]
+    fn shadowed_variables_resolve_to_innermost_binder() {
+        // Inner `a` shadows the outer one: the body must compare the
+        // inner binding against itself (always equal subjects).
+        let source = "constraint shadow:
+           forall a: location . exists a: location . same_subject(a, a)";
+        let pool = loc_pool(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert_matches_naive(source, &pool, LogicalTime::new(10));
+    }
+
+    #[test]
+    fn kind_table_interns_and_exposes_kinds() {
+        let c = parse_constraint(
+            "constraint multi: forall a: location, b: location . forall r: rfid . distinct(a, r)",
+        )
+        .unwrap();
+        let cc = CompiledConstraint::compile(&c).unwrap();
+        assert_eq!(cc.kind_table.len(), 2, "location interned once");
+        assert_eq!(cc.kinds().len(), 2);
+        assert!(cc.quantifies_over(&ContextKind::new("location")));
+        assert!(cc.quantifies_over(&ContextKind::new("rfid")));
+        assert!(!cc.quantifies_over(&ContextKind::new("badge")));
+        assert_eq!(cc.slot_count(), 3);
+        assert_eq!(cc.name(), "multi");
+        assert!(cc.is_universal_positive());
+    }
+
+    #[test]
+    fn holds_agrees_with_check_satisfied() {
+        let reg = registry();
+        let mut scratch = EvalScratch::new();
+        let now = LogicalTime::new(10);
+        let sources = [
+            SPEED,
+            "constraint has_mary: exists a: location . subject_eq(a, \"mary\")",
+            "constraint has_peter: exists a: location . subject_eq(a, \"peter\")",
+            "constraint feasible: forall a: location . within(a, -10.0, -10.0, 10.0, 10.0)",
+            "constraint nobody: forall a: location . false",
+            "constraint vacuous: exists a: location . true",
+        ];
+        for pool in [
+            loc_pool(&[(0.0, 0.0), (0.5, 0.0), (1.0, 0.0)]),
+            loc_pool(&[(0.0, 0.0), (9.0, 9.0), (1.0, 0.0)]),
+            ContextPool::new(),
+        ] {
+            for source in sources {
+                let c = parse_constraint(source).unwrap();
+                let cc = CompiledConstraint::compile(&c).unwrap();
+                for mode in [DomainMode::AllLive, DomainMode::AvailableOnly] {
+                    let eval = CompiledEvaluator::with_domain(&reg, mode);
+                    let full = eval.check(&cc, &pool, now, &mut scratch).unwrap().satisfied;
+                    let fast = eval.holds(&cc, &pool, now, &mut scratch).unwrap();
+                    assert_eq!(full, fast, "{source} under {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn holds_short_circuits_past_erroring_bindings() {
+        // First binding in insertion order satisfies the exists; a later
+        // one is missing the attribute. `check` evaluates every binding
+        // and errors; `holds` stops at the witness.
+        let mut pool = ContextPool::new();
+        pool.insert(
+            Context::builder(ContextKind::new("badge"), "peter")
+                .attr("room", "office")
+                .build(),
+        );
+        pool.insert(Context::builder(ContextKind::new("badge"), "mary").build());
+        let c = parse_constraint("constraint x: exists a: badge . eq(a.room, \"office\")").unwrap();
+        let cc = CompiledConstraint::compile(&c).unwrap();
+        let reg = registry();
+        let eval = CompiledEvaluator::new(&reg);
+        let mut scratch = EvalScratch::new();
+        let now = LogicalTime::new(1);
+        assert!(matches!(
+            eval.check(&cc, &pool, now, &mut scratch),
+            Err(EvalError::MissingAttr { .. })
+        ));
+        assert_eq!(eval.holds(&cc, &pool, now, &mut scratch), Ok(true));
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_constraints_of_different_sizes() {
+        let reg = registry();
+        let mut scratch = EvalScratch::new();
+        let pool = loc_pool(&[(0.0, 0.0), (0.5, 0.0), (9.0, 9.0)]);
+        let now = LogicalTime::new(10);
+        let big = CompiledConstraint::compile(&parse_constraint(SPEED).unwrap()).unwrap();
+        let small = CompiledConstraint::compile(
+            &parse_constraint("constraint one: exists a: location . true").unwrap(),
+        )
+        .unwrap();
+        let eval = CompiledEvaluator::new(&reg);
+        for _ in 0..3 {
+            assert!(
+                !eval
+                    .check(&big, &pool, now, &mut scratch)
+                    .unwrap()
+                    .satisfied
+            );
+            assert!(
+                eval.check(&small, &pool, now, &mut scratch)
+                    .unwrap()
+                    .satisfied
+            );
+        }
+    }
+}

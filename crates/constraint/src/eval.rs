@@ -54,14 +54,14 @@ pub struct CheckOutcome {
 }
 
 #[derive(Debug, Clone)]
-struct Evidence {
-    truth: bool,
-    links: Vec<Link>,
-    truncated: bool,
+pub(crate) struct Evidence {
+    pub(crate) truth: bool,
+    pub(crate) links: Vec<Link>,
+    pub(crate) truncated: bool,
 }
 
 impl Evidence {
-    fn of(truth: bool) -> Evidence {
+    pub(crate) fn of(truth: bool) -> Evidence {
         // Constant formulas: a single empty witness.
         Evidence {
             truth,
@@ -74,9 +74,9 @@ impl Evidence {
 /// Restricts one quantifier's domain to a single context (incremental
 /// checking support).
 #[derive(Debug, Clone, Copy)]
-struct Pin {
-    qid: usize,
-    ctx: ContextId,
+pub(crate) struct Pin {
+    pub(crate) qid: usize,
+    pub(crate) ctx: ContextId,
 }
 
 /// Which contexts quantifiers range over.
@@ -260,18 +260,18 @@ impl<'r> Evaluator<'r> {
 /// result is unobservable. This keeps evaluation exact *and* linear in
 /// the number of bindings for the common constraint shapes.
 #[derive(Debug, Clone, Copy)]
-struct Need {
+pub(crate) struct Need {
     when_true: bool,
     when_false: bool,
 }
 
 impl Need {
-    const ROOT: Need = Need {
+    pub(crate) const ROOT: Need = Need {
         when_true: false,
         when_false: true,
     };
 
-    fn flip(self) -> Need {
+    pub(crate) fn flip(self) -> Need {
         Need {
             when_true: self.when_false,
             when_false: self.when_true,
@@ -279,7 +279,7 @@ impl Need {
     }
 }
 
-fn outcome_from(ev: Evidence) -> CheckOutcome {
+pub(crate) fn outcome_from(ev: Evidence) -> CheckOutcome {
     if ev.truth {
         CheckOutcome {
             satisfied: true,
@@ -299,13 +299,13 @@ fn outcome_from(ev: Evidence) -> CheckOutcome {
 }
 
 fn resolve_term<'a>(
-    term: &Term,
+    term: &'a Term,
     pool: &'a ContextPool,
     env: &[(String, ContextId)],
     witness: &mut Link,
 ) -> Result<Resolved<'a>, EvalError> {
     match term {
-        Term::Const(v) => Ok(Resolved::Value(v.clone())),
+        Term::Const(v) => Ok(Resolved::ValueRef(v)),
         Term::Var(name) => {
             let id = lookup(env, name)?;
             witness.insert(id);
@@ -320,14 +320,11 @@ fn resolve_term<'a>(
             let ctx = pool
                 .get(id)
                 .ok_or_else(|| EvalError::UnboundVariable(name.clone()))?;
-            let value = ctx
-                .attr(attr)
-                .cloned()
-                .ok_or_else(|| EvalError::MissingAttr {
-                    var: name.clone(),
-                    attr: attr.clone(),
-                })?;
-            Ok(Resolved::Value(value))
+            let value = ctx.attr(attr).ok_or_else(|| EvalError::MissingAttr {
+                var: name.clone(),
+                attr: attr.clone(),
+            })?;
+            Ok(Resolved::ValueRef(value))
         }
     }
 }
@@ -340,7 +337,7 @@ fn lookup(env: &[(String, ContextId)], name: &str) -> Result<ContextId, EvalErro
         .ok_or_else(|| EvalError::UnboundVariable(name.to_owned()))
 }
 
-fn combine_and(a: Evidence, b: Evidence) -> Evidence {
+pub(crate) fn combine_and(a: Evidence, b: Evidence) -> Evidence {
     match (a.truth, b.truth) {
         (true, true) => cross(a, b, true),
         (false, true) => Evidence { truth: false, ..a },
@@ -349,7 +346,7 @@ fn combine_and(a: Evidence, b: Evidence) -> Evidence {
     }
 }
 
-fn combine_or(a: Evidence, b: Evidence) -> Evidence {
+pub(crate) fn combine_or(a: Evidence, b: Evidence) -> Evidence {
     match (a.truth, b.truth) {
         (false, false) => cross(a, b, false),
         (true, false) => Evidence { truth: true, ..a },
@@ -358,7 +355,7 @@ fn combine_or(a: Evidence, b: Evidence) -> Evidence {
     }
 }
 
-fn fold_forall(per_binding: Vec<Evidence>, need: Need) -> Evidence {
+pub(crate) fn fold_forall(per_binding: Vec<Evidence>, need: Need) -> Evidence {
     let truth = per_binding.iter().all(|e| e.truth);
     if truth {
         if !need.when_true {
@@ -390,7 +387,7 @@ fn fold_forall(per_binding: Vec<Evidence>, need: Need) -> Evidence {
     }
 }
 
-fn fold_exists(per_binding: Vec<Evidence>, need: Need) -> Evidence {
+pub(crate) fn fold_exists(per_binding: Vec<Evidence>, need: Need) -> Evidence {
     let truth = per_binding.iter().any(|e| e.truth);
     if truth {
         if !need.when_true {

@@ -8,9 +8,10 @@
 //! context. Constraints outside the fragment fall back to full
 //! re-evaluation with link diffing.
 
+use crate::compile::{CompiledConstraint, CompiledEvaluator, EvalScratch};
 use crate::constraint::ConstraintSet;
 use crate::error::EvalError;
-use crate::eval::{Evaluator, Link};
+use crate::eval::Link;
 use crate::predicate::PredicateRegistry;
 use ctxres_context::{ContextId, ContextKind, ContextPool, LogicalTime};
 use std::collections::{BTreeSet, HashMap};
@@ -31,6 +32,9 @@ pub struct CheckerStats {
     pub pinned_evals: u64,
     /// Full constraint evaluations performed (fallback path).
     pub full_evals: u64,
+    /// Evaluations (pinned or full) served by a compiled program rather
+    /// than the AST walker.
+    pub compiled_evals: u64,
     /// Total detections returned.
     pub detections: u64,
 }
@@ -61,15 +65,27 @@ pub struct CheckerStats {
 #[derive(Debug)]
 pub struct IncrementalChecker {
     constraints: ConstraintSet,
+    /// Compiled programs, parallel to `constraints`. `None` only for a
+    /// constraint that fails to compile (e.g. an unbound variable, which
+    /// the AST evaluator would also reject — at evaluation time).
+    compiled: Vec<Option<CompiledConstraint>>,
+    scratch: EvalScratch,
     known: HashMap<String, BTreeSet<Link>>,
     stats: CheckerStats,
 }
 
 impl IncrementalChecker {
-    /// Creates a checker for the given constraints.
+    /// Creates a checker for the given constraints, compiling each once
+    /// at deploy time.
     pub fn new(constraints: ConstraintSet) -> Self {
+        let compiled = constraints
+            .iter()
+            .map(|c| CompiledConstraint::compile(c).ok())
+            .collect();
         IncrementalChecker {
             constraints,
+            compiled,
+            scratch: EvalScratch::new(),
             known: HashMap::new(),
             stats: CheckerStats::default(),
         }
@@ -110,38 +126,49 @@ impl IncrementalChecker {
             return Ok(Vec::new());
         };
         let kind = ctx.kind().clone();
-        let evaluator = Evaluator::new(registry);
+        let evaluator = CompiledEvaluator::new(registry);
         let mut out = Vec::new();
-        // Collect names first to appease the borrow checker (stats are
-        // updated while iterating).
-        let relevant: Vec<String> = self
-            .constraints
-            .relevant_to(&kind)
-            .map(|c| c.name().to_owned())
-            .collect();
-        for name in relevant {
-            let constraint = self
-                .constraints
-                .get(&name)
-                .expect("constraint exists")
-                .clone();
+        let IncrementalChecker {
+            constraints,
+            compiled,
+            scratch,
+            known,
+            stats,
+        } = self;
+        for (constraint, program) in constraints.iter().zip(compiled.iter()) {
+            if !constraint.is_relevant_to(&kind) {
+                continue;
+            }
             if constraint.is_universal_positive() {
                 let mut links: BTreeSet<Link> = BTreeSet::new();
                 for qid in constraint.quantifiers_over(&kind) {
-                    self.stats.pinned_evals += 1;
-                    let outcome = evaluator.check_pinned(&constraint, pool, now, qid, id)?;
+                    stats.pinned_evals += 1;
+                    let outcome = match program {
+                        Some(cc) => {
+                            stats.compiled_evals += 1;
+                            evaluator.check_pinned(cc, pool, now, qid, id, scratch)?
+                        }
+                        None => crate::eval::Evaluator::new(registry)
+                            .check_pinned(constraint, pool, now, qid, id)?,
+                    };
                     links.extend(outcome.violations);
                 }
                 for link in links {
                     out.push(Detection {
-                        constraint: name.clone(),
+                        constraint: constraint.name().to_owned(),
                         link,
                     });
                 }
             } else {
-                self.stats.full_evals += 1;
-                let outcome = evaluator.check(&constraint, pool, now)?;
-                let seen = self.known.entry(name.clone()).or_default();
+                stats.full_evals += 1;
+                let outcome = match program {
+                    Some(cc) => {
+                        stats.compiled_evals += 1;
+                        evaluator.check(cc, pool, now, scratch)?
+                    }
+                    None => crate::eval::Evaluator::new(registry).check(constraint, pool, now)?,
+                };
+                let seen = known.entry(constraint.name().to_owned()).or_default();
                 let fresh: Vec<Link> = outcome
                     .violations
                     .iter()
@@ -151,7 +178,7 @@ impl IncrementalChecker {
                 *seen = outcome.violations.into_iter().collect();
                 for link in fresh {
                     out.push(Detection {
-                        constraint: name.clone(),
+                        constraint: constraint.name().to_owned(),
                         link,
                     });
                 }
@@ -173,11 +200,24 @@ impl IncrementalChecker {
         pool: &ContextPool,
         now: LogicalTime,
     ) -> Result<Vec<Detection>, EvalError> {
-        let evaluator = Evaluator::new(registry);
+        let evaluator = CompiledEvaluator::new(registry);
+        let IncrementalChecker {
+            constraints,
+            compiled,
+            scratch,
+            stats,
+            ..
+        } = self;
         let mut out = Vec::new();
-        for constraint in self.constraints.iter() {
-            self.stats.full_evals += 1;
-            let outcome = evaluator.check(constraint, pool, now)?;
+        for (constraint, program) in constraints.iter().zip(compiled.iter()) {
+            stats.full_evals += 1;
+            let outcome = match program {
+                Some(cc) => {
+                    stats.compiled_evals += 1;
+                    evaluator.check(cc, pool, now, scratch)?
+                }
+                None => crate::eval::Evaluator::new(registry).check(constraint, pool, now)?,
+            };
             for link in outcome.violations {
                 out.push(Detection {
                     constraint: constraint.name().to_owned(),

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod ast;
+mod compile;
 mod constraint;
 mod error;
 mod eval;
@@ -64,6 +65,7 @@ mod schema;
 mod simplify;
 
 pub use ast::{Formula, PredicateCall, Quantifier, Term};
+pub use compile::{CompiledConstraint, CompiledEvaluator, EvalScratch};
 pub use constraint::{Constraint, ConstraintSet};
 pub use error::{EvalError, ParseError};
 pub use eval::{CheckOutcome, DomainMode, Evaluator, Link, MAX_LINKS};

@@ -11,8 +11,12 @@ use std::fmt;
 pub enum Resolved<'a> {
     /// A whole context bound by a quantifier (`Term::Var`).
     Ctx(ContextId, &'a Context),
-    /// A plain value (`Term::Attr` or `Term::Const`).
+    /// An owned value (predicates constructed directly, e.g. in tests).
     Value(ContextValue),
+    /// A value borrowed from the pool or the constraint itself
+    /// (`Term::Attr` / `Term::Const`) — the evaluators' allocation-free
+    /// argument form.
+    ValueRef(&'a ContextValue),
 }
 
 impl<'a> Resolved<'a> {
@@ -20,7 +24,7 @@ impl<'a> Resolved<'a> {
     pub fn ctx(&self) -> Option<(&'a Context, ContextId)> {
         match self {
             Resolved::Ctx(id, c) => Some((c, *id)),
-            Resolved::Value(_) => None,
+            Resolved::Value(_) | Resolved::ValueRef(_) => None,
         }
     }
 
@@ -28,6 +32,7 @@ impl<'a> Resolved<'a> {
     pub fn value(&self) -> Option<&ContextValue> {
         match self {
             Resolved::Value(v) => Some(v),
+            Resolved::ValueRef(v) => Some(v),
             Resolved::Ctx(..) => None,
         }
     }
@@ -36,7 +41,7 @@ impl<'a> Resolved<'a> {
     pub fn referenced_id(&self) -> Option<ContextId> {
         match self {
             Resolved::Ctx(id, _) => Some(*id),
-            Resolved::Value(_) => None,
+            Resolved::Value(_) | Resolved::ValueRef(_) => None,
         }
     }
 }

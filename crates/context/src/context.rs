@@ -169,6 +169,12 @@ impl Context {
         &self.subject
     }
 
+    /// Shared handle to the subject string, so indexes can key on it
+    /// without re-allocating.
+    pub(crate) fn subject_shared(&self) -> &Arc<str> {
+        &self.subject
+    }
+
     /// Looks up an attribute value.
     pub fn attr(&self, name: &str) -> Option<&ContextValue> {
         self.attrs.get(name)

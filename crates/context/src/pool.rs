@@ -5,6 +5,7 @@ use crate::error::ContextError;
 use crate::state::ContextState;
 use crate::time::LogicalTime;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Counters describing a pool's contents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,7 +44,9 @@ pub struct PoolStats {
 pub struct ContextPool {
     entries: BTreeMap<ContextId, Context>,
     by_kind: HashMap<ContextKind, Vec<ContextId>>,
-    by_kind_subject: HashMap<(ContextKind, String), Vec<ContextId>>,
+    /// Nested so lookups can borrow the caller's `&str` subject — a flat
+    /// `(ContextKind, String)` key would force a key clone per lookup.
+    by_kind_subject: HashMap<ContextKind, HashMap<Arc<str>, Vec<ContextId>>>,
     next_id: u64,
     inserted: u64,
 }
@@ -61,7 +64,9 @@ impl ContextPool {
         self.inserted += 1;
         self.by_kind.entry(ctx.kind().clone()).or_default().push(id);
         self.by_kind_subject
-            .entry((ctx.kind().clone(), ctx.subject().to_owned()))
+            .entry(ctx.kind().clone())
+            .or_default()
+            .entry(Arc::clone(ctx.subject_shared()))
             .or_default()
             .push(id);
         self.entries.insert(id, ctx);
@@ -134,7 +139,8 @@ impl ContextPool {
         subject: &str,
     ) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
         self.by_kind_subject
-            .get(&(kind.clone(), subject.to_owned()))
+            .get(kind)
+            .and_then(|subjects| subjects.get(subject))
             .into_iter()
             .flatten()
             .filter_map(move |id| {
@@ -247,7 +253,8 @@ impl ContextPool {
         }
         if let Some(v) = self
             .by_kind_subject
-            .get_mut(&(ctx.kind().clone(), ctx.subject().to_owned()))
+            .get_mut(ctx.kind())
+            .and_then(|subjects| subjects.get_mut(ctx.subject()))
         {
             v.retain(|i| *i != id);
         }

@@ -1,5 +1,5 @@
-//! Judges the latest `shard_bench` run against the bench history and
-//! exits nonzero on a regression — the blocking CI gate behind
+//! Judges the latest run of **every** bench series in the history and
+//! exits nonzero on any regression — the blocking CI gate behind
 //! `results/bench_history.jsonl`.
 //!
 //! Usage:
@@ -8,15 +8,18 @@
 //! bench_report [--history <path>] [--threshold-pct <pct>] [--obs-threshold-pct <pct>]
 //! ```
 //!
-//! The last row of the history is the run under judgment; its baseline
-//! is the median of up to 5 most recent **prior** rows with the same
-//! `(bench, shards, quick, host)` key, so cross-machine and
-//! cross-scale rows never skew the verdict. Exit codes: `0` pass (a
-//! first run on a fresh series passes with a `no baseline` warning),
-//! `1` regression — throughput more than `--threshold-pct` (default
-//! 10%) below baseline, or observability/export overhead above
-//! `--obs-threshold-pct` (default 3%) — `2` usage or unreadable
-//! history.
+//! The history interleaves rows from independent series —
+//! `shard_throughput` at each shard count, `eval_bench/<deployment>` —
+//! distinguished by the `(bench, shards, quick, host, contexts)` key.
+//! For each distinct series, the most recent row is the run under
+//! judgment; its baseline is the median of up to 5 most recent
+//! **prior** rows of the same series, so cross-machine, cross-scale,
+//! and cross-bench rows never skew a verdict. Exit codes: `0` all
+//! series pass (a first run on a fresh series passes with a
+//! `no baseline` warning), `1` any series regressed — throughput more
+//! than `--threshold-pct` (default 10%) below baseline, or
+//! observability/export overhead above `--obs-threshold-pct` (default
+//! 3%) — `2` usage or unreadable/empty history.
 
 use ctxres_experiments::bench_history::{
     evaluate, history_path_from_env, load_history, OverheadVerdict, Thresholds, ThroughputVerdict,
@@ -62,63 +65,84 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let Some((current, prior)) = history.split_last() else {
+    if history.is_empty() {
         eprintln!(
-            "bench_report: {} is empty — run shard_bench first",
+            "bench_report: {} is empty — run shard_bench or eval_bench first",
             history_path.display()
         );
         std::process::exit(2);
-    };
+    }
+
+    // A row is a series tail when no later row belongs to the same
+    // series; each tail is the run under judgment for that series.
+    let tails: Vec<usize> = (0..history.len())
+        .filter(|&i| {
+            history[i + 1..]
+                .iter()
+                .all(|later| !history[i].same_series(later))
+        })
+        .collect();
 
     println!(
-        "bench_report: {} @ {} on {} ({} shards{}, {} rows of history)",
-        current.bench,
-        current.commit,
-        current.host,
-        current.shards,
-        if current.quick { ", quick" } else { "" },
+        "bench_report: {} series over {} rows of history",
+        tails.len(),
         history.len(),
     );
-    let verdict = evaluate(current, prior, &thresholds);
-    match &verdict.throughput {
-        ThroughputVerdict::Pass {
-            baseline,
-            change_pct,
-            baseline_runs,
-        } => println!(
-            "  throughput: PASS — {:.1} ctx/s vs median {:.1} of {} prior run(s) ({:+.2}%, threshold -{:.1}%)",
-            current.contexts_per_sec, baseline, baseline_runs, change_pct, thresholds.regression_pct,
-        ),
-        ThroughputVerdict::NoBaseline => println!(
-            "  throughput: PASS (no baseline) — {:.1} ctx/s seeds the series for ({}, {} shards, quick={}, {})",
-            current.contexts_per_sec, current.bench, current.shards, current.quick, current.host,
-        ),
-        ThroughputVerdict::Regression {
-            baseline,
-            change_pct,
-            baseline_runs,
-        } => println!(
-            "  throughput: REGRESSION — {:.1} ctx/s vs median {:.1} of {} prior run(s) ({:+.2}%, threshold -{:.1}%)",
-            current.contexts_per_sec, baseline, baseline_runs, change_pct, thresholds.regression_pct,
-        ),
+    let mut failed = false;
+    for idx in tails {
+        let current = &history[idx];
+        let prior = &history[..idx];
+        println!(
+            "{} @ {} on {} ({} shards, {} contexts{})",
+            current.bench,
+            current.commit,
+            current.host,
+            current.shards,
+            current.contexts,
+            if current.quick { ", quick" } else { "" },
+        );
+        let verdict = evaluate(current, prior, &thresholds);
+        match &verdict.throughput {
+            ThroughputVerdict::Pass {
+                baseline,
+                change_pct,
+                baseline_runs,
+            } => println!(
+                "  throughput: PASS — {:.1} ctx/s vs median {:.1} of {} prior run(s) ({:+.2}%, threshold -{:.1}%)",
+                current.contexts_per_sec, baseline, baseline_runs, change_pct, thresholds.regression_pct,
+            ),
+            ThroughputVerdict::NoBaseline => println!(
+                "  throughput: PASS (no baseline) — {:.1} ctx/s seeds the series for ({}, {} shards, quick={}, {})",
+                current.contexts_per_sec, current.bench, current.shards, current.quick, current.host,
+            ),
+            ThroughputVerdict::Regression {
+                baseline,
+                change_pct,
+                baseline_runs,
+            } => println!(
+                "  throughput: REGRESSION — {:.1} ctx/s vs median {:.1} of {} prior run(s) ({:+.2}%, threshold -{:.1}%)",
+                current.contexts_per_sec, baseline, baseline_runs, change_pct, thresholds.regression_pct,
+            ),
+        }
+        match &verdict.overhead {
+            OverheadVerdict::Pass { worst_pct } => println!(
+                "  obs overhead: PASS — disabled {:+.2}%, export {:+.2}% (worst {:+.2}%, threshold {:.1}%)",
+                current.obs_overhead_pct,
+                current.obs_export_overhead_pct,
+                worst_pct,
+                thresholds.obs_overhead_pct,
+            ),
+            OverheadVerdict::Exceeded { worst_pct } => println!(
+                "  obs overhead: EXCEEDED — disabled {:+.2}%, export {:+.2}% (worst {:+.2}%, threshold {:.1}%)",
+                current.obs_overhead_pct,
+                current.obs_export_overhead_pct,
+                worst_pct,
+                thresholds.obs_overhead_pct,
+            ),
+        }
+        failed |= verdict.is_failure();
     }
-    match &verdict.overhead {
-        OverheadVerdict::Pass { worst_pct } => println!(
-            "  obs overhead: PASS — disabled {:+.2}%, export {:+.2}% (worst {:+.2}%, threshold {:.1}%)",
-            current.obs_overhead_pct,
-            current.obs_export_overhead_pct,
-            worst_pct,
-            thresholds.obs_overhead_pct,
-        ),
-        OverheadVerdict::Exceeded { worst_pct } => println!(
-            "  obs overhead: EXCEEDED — disabled {:+.2}%, export {:+.2}% (worst {:+.2}%, threshold {:.1}%)",
-            current.obs_overhead_pct,
-            current.obs_export_overhead_pct,
-            worst_pct,
-            thresholds.obs_overhead_pct,
-        ),
-    }
-    if verdict.is_failure() {
+    if failed {
         eprintln!("bench_report: FAIL");
         std::process::exit(1);
     }

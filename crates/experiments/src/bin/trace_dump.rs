@@ -20,10 +20,11 @@ use ctxres_apps::PervasiveApp;
 use ctxres_context::ContextState;
 use ctxres_experiments::runner::run_named_observed;
 use ctxres_experiments::telemetry::{
-    json_dump, reconstruct_lifecycles, render_timeline, render_transition_table, transition_counts,
+    json_dump, json_dump_with_snapshot, reconstruct_lifecycles, render_timeline,
+    render_transition_table, transition_counts,
 };
 use ctxres_experiments::trace_io::{load_events, save_events};
-use ctxres_obs::{ObsConfig, TraceRecord};
+use ctxres_obs::{ObsConfig, ObsSnapshot, TraceRecord};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -60,17 +61,28 @@ fn run(args: &[String], json: bool) -> Result<(), String> {
         Some(path) => {
             let label = args.get(1).map(String::as_str).unwrap_or("trace");
             let trace = load_events(Path::new(path))?;
-            render(&trace, label, json)?;
+            render(&trace, label, json, None)?;
             Ok(())
         }
         None => Err("missing arguments".into()),
     }
 }
 
-/// Dispatches between the human views and the `--json` document.
-fn render(trace: &[ctxres_obs::TraceRecord], label: &str, json: bool) -> Result<(), String> {
+/// Dispatches between the human views and the `--json` document. With a
+/// metrics snapshot (the `--demo` path has one), the JSON document also
+/// carries the aggregated counters — including the compiled-eval and
+/// situation-cache figures.
+fn render(
+    trace: &[ctxres_obs::TraceRecord],
+    label: &str,
+    json: bool,
+    snapshot: Option<&ObsSnapshot>,
+) -> Result<(), String> {
     if json {
-        let doc = json_dump(trace, label);
+        let doc = match snapshot {
+            Some(s) => json_dump_with_snapshot(trace, label, s),
+            None => json_dump(trace, label),
+        };
         let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         println!("{text}");
     } else {
@@ -107,7 +119,12 @@ fn demo(out: &Path, json: bool) -> Result<(), String> {
         metrics.discarded,
     );
     eprintln!("wrote {}", out.display());
-    render(&telemetry.trace, &telemetry.strategy, json)?;
+    render(
+        &telemetry.trace,
+        &telemetry.strategy,
+        json,
+        Some(&telemetry.snapshot),
+    )?;
     if telemetry.dropped > 0 {
         return Err(format!(
             "{} events were dropped; the trace is incomplete",

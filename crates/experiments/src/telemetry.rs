@@ -12,7 +12,7 @@
 //! context's life cycle is reconstructable" is implemented.
 
 use ctxres_context::{ContextId, ContextState};
-use ctxres_obs::{ObsRegistry, ObsSnapshot, TraceEvent, TraceRecord};
+use ctxres_obs::{ObsRegistry, ObsSnapshot, TraceEvent, TraceRecord, COUNTER_KINDS};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -270,6 +270,11 @@ pub struct TraceDumpJson {
     pub contexts_traced: usize,
     /// How many of them were discarded.
     pub discarded: usize,
+    /// Aggregated observability counters of the cell the trace came
+    /// from (name → cross-shard total) — includes the compiled-eval and
+    /// situation-cache counters. Empty when the dumper had no metrics
+    /// snapshot alongside the trace (a bare JSONL file).
+    pub counters: BTreeMap<String, u64>,
 }
 
 /// Builds the machine-readable dump of a trace — the `--json` face of
@@ -301,7 +306,26 @@ pub fn json_dump(trace: &[TraceRecord], label: &str) -> TraceDumpJson {
         transitions,
         discarded_lifecycles,
         contexts_traced: lifecycles.len(),
+        counters: BTreeMap::new(),
     }
+}
+
+/// Like [`json_dump`], but also embeds the cell's aggregated counters
+/// (cross-shard totals keyed by counter name) so the `--json` document
+/// carries the cache-hit/skip and compiled-eval figures next to the
+/// trace they explain.
+pub fn json_dump_with_snapshot(
+    trace: &[TraceRecord],
+    label: &str,
+    snapshot: &ObsSnapshot,
+) -> TraceDumpJson {
+    let mut doc = json_dump(trace, label);
+    let aggregate = snapshot.aggregate();
+    doc.counters = COUNTER_KINDS
+        .iter()
+        .map(|k| (k.name().to_owned(), aggregate.counter(*k)))
+        .collect();
+    doc
 }
 
 /// Renders a trace as a human-readable timeline, one event per line,
@@ -455,6 +479,20 @@ mod tests {
         let text = serde_json::to_string_pretty(&dump).unwrap();
         assert!(text.contains("\"discarded_lifecycles\""), "{text}");
         assert!(text.contains("\"timeline\""));
+    }
+
+    #[test]
+    fn json_dump_with_snapshot_exposes_cache_counters() {
+        let cell = observed_cell();
+        let dump = json_dump_with_snapshot(&cell.trace, &cell.strategy, &cell.snapshot);
+        let counters = &dump.counters;
+        assert!(counters["situation_evals"] > 0, "{counters:?}");
+        assert!(counters["compiled_evals"] > 0, "{counters:?}");
+        assert!(counters.contains_key("situation_cache_skips"));
+        let text = serde_json::to_string(&dump).unwrap();
+        assert!(text.contains("\"situation_cache_skips\""));
+        // The plain dump has no snapshot to report from.
+        assert!(json_dump(&cell.trace, &cell.strategy).counters.is_empty());
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property-based equivalence of the dirty-kind situation cache.
+//!
+//! The cache is an optimization with a hard contract: with it on or
+//! off, every paper metric must be **bit-identical** — the `dirty` flag
+//! still decides when an evaluation round happens, the dirty sets only
+//! decide which situations re-evaluate within it, and a skipped
+//! situation's replayed status must equal what a full re-evaluation
+//! would have produced. These tests drive randomized workload cells of
+//! both applications through all four strategies twice — once with the
+//! cache (the default), once with `.situation_cache(false)` — and
+//! require the complete observable record to match.
+
+use ctxres_apps::call_forwarding::CallForwarding;
+use ctxres_apps::rfid_anomalies::RfidAnomalies;
+use ctxres_apps::PervasiveApp;
+use ctxres_context::Ticks;
+use ctxres_core::strategies::by_name;
+use ctxres_middleware::{Middleware, MiddlewareConfig, UseRecord};
+use proptest::prelude::*;
+
+/// Everything a run observably produces, for exact comparison.
+#[derive(Debug, PartialEq)]
+struct RunRecord {
+    stats: ctxres_middleware::MiddlewareStats,
+    matched: u64,
+    latency: Option<f64>,
+    uses: Vec<UseRecord>,
+    detections: usize,
+    pinned_evals: u64,
+    full_evals: u64,
+}
+
+fn run_cell(
+    app: &dyn PervasiveApp,
+    strategy: &str,
+    err_rate: f64,
+    seed: u64,
+    len: usize,
+    cache: bool,
+) -> RunRecord {
+    let strategy = by_name(strategy, seed).expect("known strategy");
+    let mut mw = Middleware::builder()
+        .constraints(app.constraints())
+        .situations(app.situations())
+        .registry(app.registry())
+        .strategy(strategy)
+        .situation_cache(cache)
+        .config(MiddlewareConfig {
+            window: Ticks::new(app.recommended_window()),
+            track_ground_truth: true,
+            retention: None,
+        })
+        .build();
+    for ctx in app.generate(err_rate, seed, len) {
+        mw.submit(ctx);
+    }
+    mw.drain();
+    RunRecord {
+        stats: *mw.stats(),
+        matched: mw.matched_activations(),
+        latency: mw.mean_activation_latency(),
+        uses: mw.use_log().to_vec(),
+        detections: mw.detections().len(),
+        pinned_evals: mw.checker_stats().pinned_evals,
+        full_evals: mw.checker_stats().full_evals,
+    }
+}
+
+fn apps() -> Vec<Box<dyn PervasiveApp>> {
+    vec![
+        Box::new(CallForwarding::new()),
+        Box::new(RfidAnomalies::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Cache on and cache off agree bit-for-bit on every metric, across
+    /// randomized `(err_rate, seed, len)` cells, all four strategies,
+    /// both applications.
+    #[test]
+    fn cache_is_metric_transparent(
+        err_pct in 0u32..=50,
+        seed in 0u64..1000,
+        len in 40usize..120,
+    ) {
+        let err_rate = f64::from(err_pct) / 100.0;
+        for app in apps() {
+            for strategy in ["d-bad", "d-lat", "d-all", "opt-r"] {
+                let cached = run_cell(app.as_ref(), strategy, err_rate, seed, len, true);
+                let naive = run_cell(app.as_ref(), strategy, err_rate, seed, len, false);
+                prop_assert_eq!(
+                    &cached, &naive,
+                    "cache changed observable results for {} / {}",
+                    app.name(), strategy
+                );
+            }
+        }
+    }
+}
+
+/// A fixed high-churn cell as a plain test, so the contract is also
+/// exercised on every `cargo test` without the proptest feature dance.
+#[test]
+fn cache_equivalence_smoke() {
+    for app in apps() {
+        for strategy in ["d-bad", "opt-r"] {
+            let cached = run_cell(app.as_ref(), strategy, 0.3, 3, 200, true);
+            let naive = run_cell(app.as_ref(), strategy, 0.3, 3, 200, false);
+            assert_eq!(cached, naive, "{} / {}", app.name(), strategy);
+        }
+    }
+}

@@ -1,14 +1,16 @@
 //! The middleware core: detection, buffering, plug-in resolution.
 
 use crate::observer::MiddlewareObserver;
-use crate::situation::SituationEngine;
+use crate::situation::{RoundCounters, SituationEngine};
 use crate::stats::MiddlewareStats;
 use crate::subscription::{SubscriptionFilter, SubscriptionId, SubscriptionTable};
 use ctxres_constraint::{Constraint, ConstraintSet, IncrementalChecker, PredicateRegistry};
-use ctxres_context::{Context, ContextId, ContextPool, ContextState, LogicalTime, Ticks, TruthTag};
+use ctxres_context::{
+    Context, ContextId, ContextKind, ContextPool, ContextState, LogicalTime, Ticks, TruthTag,
+};
 use ctxres_core::{Inconsistency, ResolutionStrategy};
 use ctxres_obs::{CounterKind, MetricKind, ShardObs, TraceEvent};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 
 /// Tunables of a middleware instance.
@@ -89,6 +91,23 @@ pub struct Middleware {
     detections: Vec<Inconsistency>,
     use_log: Vec<UseRecord>,
     dirty: bool,
+    /// Dirty-kind situation cache: when on, an evaluation round skips
+    /// situations none of whose quantified kinds changed since the last
+    /// round. Metrics are provably unchanged — the `dirty` flag still
+    /// decides *whether* a round happens, the dirty sets only decide
+    /// *which* situations re-evaluate within it.
+    situation_cache: bool,
+    /// Kinds whose available view may have changed since the last
+    /// evaluation round (strategy pool / ground-truth pool).
+    dirty_kinds: HashSet<ContextKind>,
+    gt_dirty_kinds: HashSet<ContextKind>,
+    /// Pending expiry instants: a context with a finite lifespan leaves
+    /// every live domain at `expires_at` *without* a state transition, so
+    /// its kind must be re-dirtied when the clock passes that instant.
+    expiry_queue: BTreeMap<LogicalTime, Vec<ContextKind>>,
+    gt_expiry_queue: BTreeMap<LogicalTime, Vec<ContextKind>>,
+    /// Checker compiled-eval count already forwarded to `obs`.
+    reported_compiled_evals: u64,
     matched: u64,
     covered: Vec<bool>,
     epoch_started: Vec<Option<LogicalTime>>,
@@ -208,10 +227,15 @@ impl Middleware {
 
         let truth = ctx.truth();
         let kind = ctx.kind().clone();
+        let expires = ctx.lifespan().expires_at();
         let subject = self.obs.is_enabled().then(|| ctx.subject().to_string());
         let gt_clone =
             (self.config.track_ground_truth && truth == TruthTag::Expected).then(|| ctx.clone());
         let id = self.pool.insert(ctx);
+        self.mark_dirty_kind(&kind);
+        if let Some(at) = expires {
+            self.schedule_expiry(at, &kind);
+        }
         self.stats.received += 1;
         self.obs.count(CounterKind::Ingested, 1);
         if let Some(subject) = subject {
@@ -233,6 +257,10 @@ impl Middleware {
             // the plugged-in strategy discards.
             let gid = self.gt_pool.insert(clone);
             self.gt_buffer.push_back((now + self.config.window, gid));
+            self.mark_gt_dirty_kind(&kind);
+            if let Some(at) = expires {
+                self.schedule_gt_expiry(at, &kind);
+            }
         }
 
         if !self.checker.is_relevant(&kind) {
@@ -285,6 +313,11 @@ impl Middleware {
                 }
             };
         check_span.finish();
+        let compiled_delta = self.checker.stats().compiled_evals - self.reported_compiled_evals;
+        if compiled_delta > 0 {
+            self.obs.count(CounterKind::CompiledEvals, compiled_delta);
+            self.reported_compiled_evals += compiled_delta;
+        }
         self.stats.inconsistencies += fresh.len() as u64;
         if self.obs.is_enabled() {
             for inc in &fresh {
@@ -388,6 +421,9 @@ impl Middleware {
                 break;
             }
             self.gt_buffer.pop_front();
+            if let Some(kind) = self.gt_pool.get(gid).map(|c| c.kind().clone()) {
+                self.mark_gt_dirty_kind(&kind);
+            }
             let _ = self.gt_pool.set_state(gid, ContextState::Consistent);
             self.dirty = true;
         }
@@ -411,6 +447,7 @@ impl Middleware {
                 .observe(MetricKind::UseResidualDelay, (now - due).count());
         }
         let truth = self.pool.get(id).map(|c| c.truth()).unwrap_or_default();
+        let kind = self.pool.get(id).map(|c| c.kind().clone());
         let was_live = self.pool.get(id).map(|c| c.is_live(now)).unwrap_or(false);
         let prev_state = self
             .pool
@@ -420,6 +457,17 @@ impl Middleware {
         let resolve_span = self.obs.span(MetricKind::ResolveLatency);
         let outcome = self.strategy.on_use(&mut self.pool, now, id);
         resolve_span.finish();
+        // A use decides the context's state either way — its kind's
+        // available view may change (delivery makes it Consistent, a
+        // discard takes a marked-bad one out).
+        if let Some(kind) = &kind {
+            self.mark_dirty_kind(kind);
+        }
+        for bid in &outcome.marked_bad {
+            if let Some(k) = self.pool.get(*bid).map(|c| c.kind().clone()) {
+                self.mark_dirty_kind(&k);
+            }
+        }
         if outcome.delivered {
             self.stats.delivered += 1;
             match truth {
@@ -496,6 +544,9 @@ impl Middleware {
     }
 
     fn count_discard(&mut self, id: ContextId, now: LogicalTime, from: ContextState) {
+        if let Some(kind) = self.pool.get(id).map(|c| c.kind().clone()) {
+            self.mark_dirty_kind(&kind);
+        }
         self.stats.discarded += 1;
         match self.pool.get(id).map(|c| c.truth()).unwrap_or_default() {
             TruthTag::Expected => self.stats.discarded_expected += 1,
@@ -515,18 +566,85 @@ impl Middleware {
         }
     }
 
+    /// Whether dirty-kind bookkeeping is worth recording: situations are
+    /// deployed and the cache will consult the sets.
+    fn cache_live(&self) -> bool {
+        self.situation_cache && !self.situations.is_empty()
+    }
+
+    fn mark_dirty_kind(&mut self, kind: &ContextKind) {
+        if self.cache_live() && !self.dirty_kinds.contains(kind) {
+            self.dirty_kinds.insert(kind.clone());
+        }
+    }
+
+    fn mark_gt_dirty_kind(&mut self, kind: &ContextKind) {
+        if self.cache_live() && !self.gt_dirty_kinds.contains(kind) {
+            self.gt_dirty_kinds.insert(kind.clone());
+        }
+    }
+
+    fn schedule_expiry(&mut self, at: LogicalTime, kind: &ContextKind) {
+        if self.cache_live() {
+            self.expiry_queue.entry(at).or_default().push(kind.clone());
+        }
+    }
+
+    fn schedule_gt_expiry(&mut self, at: LogicalTime, kind: &ContextKind) {
+        if self.cache_live() {
+            self.gt_expiry_queue
+                .entry(at)
+                .or_default()
+                .push(kind.clone());
+        }
+    }
+
     fn evaluate_situations_if_dirty(&mut self, now: LogicalTime) {
         if !self.dirty || self.situations.is_empty() {
             return;
         }
         self.dirty = false;
-        let gt_statuses = if self.config.track_ground_truth {
-            self.gt_situations
-                .evaluate(&self.registry, &self.gt_pool, now)
+        // Expired contexts leave every live domain without a state
+        // transition; fold the queued expiries into the dirty sets
+        // before deciding which situations to skip.
+        drain_expiries(&mut self.expiry_queue, now, &mut self.dirty_kinds);
+        drain_expiries(&mut self.gt_expiry_queue, now, &mut self.gt_dirty_kinds);
+        let (gt_statuses, gt_counters) = if self.config.track_ground_truth {
+            if self.situation_cache {
+                self.gt_situations.evaluate_dirty(
+                    &self.registry,
+                    &self.gt_pool,
+                    now,
+                    &self.gt_dirty_kinds,
+                )
+            } else {
+                self.gt_situations
+                    .evaluate_counted(&self.registry, &self.gt_pool, now)
+            }
         } else {
-            Vec::new()
+            (Vec::new(), RoundCounters::default())
         };
-        let statuses = self.situations.evaluate(&self.registry, &self.pool, now);
+        self.gt_dirty_kinds.clear();
+        let (statuses, counters) = if self.situation_cache {
+            self.situations
+                .evaluate_dirty(&self.registry, &self.pool, now, &self.dirty_kinds)
+        } else {
+            self.situations
+                .evaluate_counted(&self.registry, &self.pool, now)
+        };
+        self.dirty_kinds.clear();
+        let evals = counters.evals + gt_counters.evals;
+        let skips = counters.skips + gt_counters.skips;
+        let compiled = counters.compiled_evals + gt_counters.compiled_evals;
+        if evals > 0 {
+            self.obs.count(CounterKind::SituationEvals, evals);
+        }
+        if skips > 0 {
+            self.obs.count(CounterKind::SituationCacheSkips, skips);
+        }
+        if compiled > 0 {
+            self.obs.count(CounterKind::CompiledEvals, compiled);
+        }
         for (i, s) in statuses.iter().enumerate() {
             if s.activated {
                 self.stats.situation_activations += 1;
@@ -554,6 +672,22 @@ impl Middleware {
     }
 }
 
+/// Moves every expiry entry due at or before `now` into the dirty set.
+fn drain_expiries(
+    queue: &mut BTreeMap<LogicalTime, Vec<ContextKind>>,
+    now: LogicalTime,
+    dirty: &mut HashSet<ContextKind>,
+) {
+    while let Some(entry) = queue.first_entry() {
+        if *entry.key() > now {
+            break;
+        }
+        for kind in entry.remove() {
+            dirty.insert(kind);
+        }
+    }
+}
+
 /// Builder for [`Middleware`] (C-BUILDER).
 #[derive(Default)]
 pub struct MiddlewareBuilder {
@@ -564,6 +698,7 @@ pub struct MiddlewareBuilder {
     config: MiddlewareConfig,
     observers: Vec<Box<dyn MiddlewareObserver>>,
     obs: ShardObs,
+    disable_situation_cache: bool,
 }
 
 impl fmt::Debug for MiddlewareBuilder {
@@ -624,6 +759,15 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// Enables or disables the dirty-kind situation cache (default
+    /// **on**). Disabling makes every dirty round re-evaluate every
+    /// situation — the reference behaviour the cache must match
+    /// bit-for-bit, kept switchable for A/B verification and benchmarks.
+    pub fn situation_cache(mut self, enabled: bool) -> Self {
+        self.disable_situation_cache = !enabled;
+        self
+    }
+
     /// Builds the middleware.
     ///
     /// # Panics
@@ -671,6 +815,12 @@ impl MiddlewareBuilder {
             detections: Vec::new(),
             use_log: Vec::new(),
             dirty: false,
+            situation_cache: !self.disable_situation_cache,
+            dirty_kinds: HashSet::new(),
+            gt_dirty_kinds: HashSet::new(),
+            expiry_queue: BTreeMap::new(),
+            gt_expiry_queue: BTreeMap::new(),
+            reported_compiled_evals: 0,
             matched: 0,
             covered,
             epoch_started: epoch_started_init,
@@ -917,6 +1067,96 @@ mod tests {
     #[should_panic(expected = "resolution strategy is required")]
     fn builder_requires_strategy() {
         let _ = Middleware::builder().build();
+    }
+
+    #[test]
+    fn use_triggered_discard_dirties_its_kind() {
+        // Scenario A shape: the outlier gets marked Bad on detection and
+        // is discarded at *use* time — a round later than any addition.
+        // The discard must re-dirty its kind or the cache would replay a
+        // stale verdict for situations over `location`.
+        let constraints = parse_constraints(
+            "constraint gap1:
+               forall a: location, b: location .
+                 (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)
+             constraint gap2:
+               forall a: location, b: location .
+                 (same_subject(a, b) and seq_gap(a, b, 2)) implies velocity_le(a, b, 3.0)",
+        )
+        .unwrap();
+        let situations = parse_constraints(
+            "constraint near_door: exists a: location . within(a, -1.0, -1.0, 1.0, 1.0)",
+        )
+        .unwrap();
+        let mut m = Middleware::builder()
+            .constraints(constraints)
+            .situations(situations)
+            .strategy(Box::new(DropBad::new()))
+            .config(MiddlewareConfig {
+                window: Ticks::new(10),
+                track_ground_truth: false,
+                retention: None,
+            })
+            .build();
+        m.submit(loc("p", 0, 0.0, 0.0));
+        m.submit(loc("p", 1, 1.0, 0.0));
+        let outlier = m.submit(corrupted("p", 2, 30.0, 30.0)).id;
+        m.submit(loc("p", 3, 3.0, 0.0));
+        m.submit(loc("p", 4, 4.0, 0.0));
+        // Each submit round consumed its dirty set; clear any residue so
+        // the assertion isolates the use-triggered discard.
+        m.dirty_kinds.clear();
+        m.buffer.retain(|(_, id)| *id != outlier);
+        let now = m.clock;
+        let rec = m.use_one(outlier, now, None);
+        assert!(!rec.delivered, "drop-bad discards the marked context");
+        assert!(m.dirty_kinds.contains(&ContextKind::new("location")));
+    }
+
+    #[test]
+    fn situation_cache_off_and_on_agree_end_to_end() {
+        use ctxres_context::Lifespan;
+        let run = |cache: bool| {
+            let situations = parse_constraints(
+                "constraint near_door: exists a: location . within(a, -1.0, -1.0, 1.0, 1.0)
+                 constraint away: exists a: location . within(a, 2.0, -1.0, 5.0, 1.0)",
+            )
+            .unwrap();
+            let mut m = Middleware::builder()
+                .constraints(parse_constraints(SPEED).unwrap())
+                .situations(situations)
+                .strategy(Box::new(DropBad::new()))
+                .situation_cache(cache)
+                .config(MiddlewareConfig {
+                    window: Ticks::new(3),
+                    track_ground_truth: true,
+                    retention: None,
+                })
+                .build();
+            m.submit(loc("p", 0, 0.0, 0.0));
+            m.submit(corrupted("p", 1, 10.0, 10.0));
+            m.submit(loc("p", 2, 0.5, 0.0));
+            // A short-lived fix: its expiry must deactivate situations
+            // identically with and without the cache.
+            m.submit(
+                Context::builder(ContextKind::new("location"), "p")
+                    .attr("pos", Point::new(3.0, 0.0))
+                    .attr("seq", 3i64)
+                    .stamp(LogicalTime::new(3))
+                    .lifespan(Lifespan::with_ttl(LogicalTime::new(3), Ticks::new(6)))
+                    .build(),
+            );
+            m.advance_to(LogicalTime::new(8));
+            m.advance_to(LogicalTime::new(20));
+            m.drain();
+            (
+                *m.stats(),
+                m.matched_activations(),
+                m.mean_activation_latency(),
+                m.use_log().to_vec(),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 }
 

@@ -7,20 +7,47 @@
 //! activated after inconsistency resolution (§4): a strategy that
 //! discards the wrong contexts starves situations of the contexts they
 //! need.
+//!
+//! Each situation is compiled once at construction
+//! ([`CompiledConstraint`]) and evaluated through the evidence-free
+//! [`CompiledEvaluator::holds`] path with a shared [`EvalScratch`], so
+//! an evaluation round short-circuits its quantifiers and allocates
+//! nothing for bindings or domains. [`SituationEngine::evaluate_dirty`]
+//! additionally skips situations none of whose quantified kinds changed
+//! since the last round, replaying their memoized status instead — the
+//! dirty-kind cache the middleware drives.
 
-use ctxres_constraint::{Constraint, DomainMode, Evaluator, PredicateRegistry};
-use ctxres_context::{ContextPool, LogicalTime};
+use ctxres_constraint::{
+    CompiledConstraint, CompiledEvaluator, Constraint, DomainMode, EvalScratch, Evaluator,
+    PredicateRegistry,
+};
+use ctxres_context::{ContextKind, ContextPool, LogicalTime};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// The status of one situation after an evaluation round.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SituationStatus {
-    /// The situation's name.
-    pub name: String,
+    /// The situation's name (interned: cloning a status is a refcount
+    /// bump, not a string copy).
+    pub name: Arc<str>,
     /// Whether the situation currently holds.
     pub active: bool,
     /// Whether this round turned it from inactive to active (a
     /// rising-edge *activation*, the unit the paper counts).
     pub activated: bool,
+}
+
+/// Counters from one evaluation round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundCounters {
+    /// Situations actually re-evaluated.
+    pub evals: u64,
+    /// Situations served from the memoized status (dirty-kind cache
+    /// hits).
+    pub skips: u64,
+    /// Evaluations that went through a compiled program.
+    pub compiled_evals: u64,
 }
 
 /// Evaluates a fixed set of situations over the available context view,
@@ -32,18 +59,37 @@ pub struct SituationStatus {
 #[derive(Debug)]
 pub struct SituationEngine {
     situations: Vec<Constraint>,
+    /// Compiled programs, parallel to `situations` (`None` only when
+    /// compilation fails, e.g. an unbound variable — those fall back to
+    /// the AST evaluator).
+    compiled: Vec<Option<CompiledConstraint>>,
+    /// Interned names, parallel to `situations`.
+    names: Vec<Arc<str>>,
     active: Vec<bool>,
+    /// Whether the situation has been evaluated at least once — memoized
+    /// replay is only sound after a first evaluation.
+    evaluated: Vec<bool>,
     activations: u64,
+    scratch: EvalScratch,
 }
 
 impl SituationEngine {
-    /// Creates an engine for the given situations.
+    /// Creates an engine for the given situations, compiling each once.
     pub fn new(situations: Vec<Constraint>) -> Self {
         let n = situations.len();
+        let compiled = situations
+            .iter()
+            .map(|s| CompiledConstraint::compile(s).ok())
+            .collect();
+        let names = situations.iter().map(|s| Arc::from(s.name())).collect();
         SituationEngine {
             situations,
+            compiled,
+            names,
             active: vec![false; n],
+            evaluated: vec![false; n],
             activations: 0,
+            scratch: EvalScratch::new(),
         }
     }
 
@@ -78,30 +124,99 @@ impl SituationEngine {
         pool: &ContextPool,
         now: LogicalTime,
     ) -> Vec<SituationStatus> {
+        self.round(registry, pool, now, None).0
+    }
+
+    /// Like [`SituationEngine::evaluate`], but re-evaluates only
+    /// situations that quantify over a kind in `dirty` (or that were
+    /// never evaluated); the rest replay their memoized status with
+    /// `activated: false`.
+    ///
+    /// Sound whenever `dirty` contains every kind whose *available* view
+    /// changed since the last round: a situation's verdict depends only
+    /// on the available contexts of the kinds it quantifies over, so an
+    /// unchanged kind-set implies an unchanged verdict, and an unchanged
+    /// verdict can produce no rising edge.
+    pub fn evaluate_dirty(
+        &mut self,
+        registry: &PredicateRegistry,
+        pool: &ContextPool,
+        now: LogicalTime,
+        dirty: &HashSet<ContextKind>,
+    ) -> (Vec<SituationStatus>, RoundCounters) {
+        self.round(registry, pool, now, Some(dirty))
+    }
+
+    /// Full evaluation, but reporting round counters like
+    /// [`SituationEngine::evaluate_dirty`] — the cache-off path.
+    pub(crate) fn evaluate_counted(
+        &mut self,
+        registry: &PredicateRegistry,
+        pool: &ContextPool,
+        now: LogicalTime,
+    ) -> (Vec<SituationStatus>, RoundCounters) {
+        self.round(registry, pool, now, None)
+    }
+
+    fn round(
+        &mut self,
+        registry: &PredicateRegistry,
+        pool: &ContextPool,
+        now: LogicalTime,
+        dirty: Option<&HashSet<ContextKind>>,
+    ) -> (Vec<SituationStatus>, RoundCounters) {
         let evaluator = Evaluator::with_domain(registry, DomainMode::AvailableOnly);
+        let compiled_eval = CompiledEvaluator::with_domain(registry, DomainMode::AvailableOnly);
+        let mut counters = RoundCounters::default();
         let mut out = Vec::with_capacity(self.situations.len());
         for (i, situation) in self.situations.iter().enumerate() {
-            let active = evaluator
-                .check(situation, pool, now)
-                .map(|o| o.satisfied)
-                .unwrap_or(false);
+            let stale = match dirty {
+                None => true,
+                Some(dirty) => {
+                    !self.evaluated[i] || situation.kinds().iter().any(|k| dirty.contains(k))
+                }
+            };
+            if !stale {
+                counters.skips += 1;
+                out.push(SituationStatus {
+                    name: Arc::clone(&self.names[i]),
+                    active: self.active[i],
+                    activated: false,
+                });
+                continue;
+            }
+            counters.evals += 1;
+            let active = match &self.compiled[i] {
+                Some(cc) => {
+                    counters.compiled_evals += 1;
+                    compiled_eval
+                        .holds(cc, pool, now, &mut self.scratch)
+                        .unwrap_or(false)
+                }
+                None => evaluator
+                    .check(situation, pool, now)
+                    .map(|o| o.satisfied)
+                    .unwrap_or(false),
+            };
             let activated = active && !self.active[i];
             if activated {
                 self.activations += 1;
             }
             self.active[i] = active;
+            self.evaluated[i] = true;
             out.push(SituationStatus {
-                name: situation.name().to_owned(),
+                name: Arc::clone(&self.names[i]),
                 active,
                 activated,
             });
         }
-        out
+        (out, counters)
     }
 
     /// Resets activity tracking (new run).
     pub fn reset(&mut self) {
         self.active.iter_mut().for_each(|a| *a = false);
+        self.evaluated.iter_mut().for_each(|e| *e = false);
         self.activations = 0;
     }
 }
@@ -203,5 +318,73 @@ mod tests {
         assert_eq!(eng.activations(), 0);
         let s = eng.evaluate(&reg, &pool, LogicalTime::ZERO);
         assert!(s[0].activated, "post-reset rising edge counts anew");
+    }
+
+    #[test]
+    fn dirty_rounds_skip_clean_kinds_without_changing_statuses() {
+        let mut eng = engine();
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        let t = LogicalTime::ZERO;
+        let badge_kind = ContextKind::new("badge");
+
+        // First round: never evaluated, so even an empty dirty set
+        // evaluates everything.
+        let (s, c) = eng.evaluate_dirty(&reg, &pool, t, &HashSet::new());
+        assert!(!s[0].active);
+        assert_eq!((c.evals, c.skips), (1, 0));
+
+        let id = pool.insert(badge("office"));
+        pool.set_state(id, ContextState::Consistent).unwrap();
+
+        // Unrelated kind dirty: status replayed, pool change unseen —
+        // exactly what a full evaluation of an unchanged *kind* would
+        // have produced had the badge kind really not changed.
+        let (s, c) = eng.evaluate_dirty(&reg, &pool, t, &HashSet::from([ContextKind::new("x")]));
+        assert!(!s[0].active && !s[0].activated);
+        assert_eq!((c.evals, c.skips), (0, 1));
+        assert_eq!(eng.activations(), 0);
+
+        // Badge kind dirty: re-evaluated, rising edge fires.
+        let (s, c) = eng.evaluate_dirty(&reg, &pool, t, &HashSet::from([badge_kind.clone()]));
+        assert!(s[0].active && s[0].activated);
+        assert_eq!((c.evals, c.skips), (1, 0));
+        assert_eq!(eng.activations(), 1);
+
+        // Clean round: replay stays active, no second activation.
+        let (s, c) = eng.evaluate_dirty(&reg, &pool, t, &HashSet::new());
+        assert!(s[0].active && !s[0].activated);
+        assert_eq!((c.evals, c.skips), (0, 1));
+        assert_eq!(eng.activations(), 1);
+    }
+
+    #[test]
+    fn dirty_and_full_evaluation_agree_when_dirty_set_is_exact() {
+        let reg = PredicateRegistry::with_builtins();
+        let mut a = engine();
+        let mut b = engine();
+        let mut pool = ContextPool::new();
+        let t = LogicalTime::ZERO;
+        let all = HashSet::from([ContextKind::new("badge")]);
+
+        for round in 0..4 {
+            if round == 1 {
+                let id = pool.insert(badge("office"));
+                pool.set_state(id, ContextState::Consistent).unwrap();
+            }
+            if round == 3 {
+                // Round 3 changes nothing: b may pass an empty dirty set.
+                let dirty = HashSet::new();
+                let (sb, _) = b.evaluate_dirty(&reg, &pool, t, &dirty);
+                let sa = a.evaluate(&reg, &pool, t);
+                assert_eq!(sa, sb);
+                continue;
+            }
+            let sa = a.evaluate(&reg, &pool, t);
+            let (sb, _) = b.evaluate_dirty(&reg, &pool, t, &all);
+            assert_eq!(sa, sb);
+        }
+        assert_eq!(a.activations(), b.activations());
+        assert_eq!(a.active_flags(), b.active_flags());
     }
 }

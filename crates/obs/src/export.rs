@@ -219,6 +219,24 @@ ctxres_ingested_total{shard=\"1\"} 20
 # TYPE ctxres_ingested_per_sec gauge
 ctxres_ingested_per_sec{shard=\"0\"} 20
 ctxres_ingested_per_sec{shard=\"1\"} 10
+# TYPE ctxres_situation_evals_total counter
+ctxres_situation_evals_total{shard=\"0\"} 0
+ctxres_situation_evals_total{shard=\"1\"} 0
+# TYPE ctxres_situation_evals_per_sec gauge
+ctxres_situation_evals_per_sec{shard=\"0\"} 0
+ctxres_situation_evals_per_sec{shard=\"1\"} 0
+# TYPE ctxres_situation_cache_skips_total counter
+ctxres_situation_cache_skips_total{shard=\"0\"} 0
+ctxres_situation_cache_skips_total{shard=\"1\"} 0
+# TYPE ctxres_situation_cache_skips_per_sec gauge
+ctxres_situation_cache_skips_per_sec{shard=\"0\"} 0
+ctxres_situation_cache_skips_per_sec{shard=\"1\"} 0
+# TYPE ctxres_compiled_evals_total counter
+ctxres_compiled_evals_total{shard=\"0\"} 0
+ctxres_compiled_evals_total{shard=\"1\"} 0
+# TYPE ctxres_compiled_evals_per_sec gauge
+ctxres_compiled_evals_per_sec{shard=\"0\"} 0
+ctxres_compiled_evals_per_sec{shard=\"1\"} 0
 # TYPE ctxres_trace_events_dropped_total counter
 ctxres_trace_events_dropped_total{shard=\"0\"} 0
 ctxres_trace_events_dropped_total{shard=\"1\"} 0

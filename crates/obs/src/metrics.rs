@@ -108,16 +108,26 @@ pub enum CounterKind {
     Deliveries,
     /// Contexts accepted by a shard engine (context addition changes).
     Ingested,
+    /// Situations actually re-evaluated in a dirty round.
+    SituationEvals,
+    /// Situation re-evaluations skipped because no kind the situation
+    /// quantifies over changed (dirty-kind cache hits).
+    SituationCacheSkips,
+    /// Constraint evaluations served by a compiled program.
+    CompiledEvals,
 }
 
 /// Every [`CounterKind`], in index order.
-pub const COUNTER_KINDS: [CounterKind; 6] = [
+pub const COUNTER_KINDS: [CounterKind; 9] = [
     CounterKind::EventsRecorded,
     CounterKind::EventsDropped,
     CounterKind::Detections,
     CounterKind::Discards,
     CounterKind::Deliveries,
     CounterKind::Ingested,
+    CounterKind::SituationEvals,
+    CounterKind::SituationCacheSkips,
+    CounterKind::CompiledEvals,
 ];
 
 impl CounterKind {
@@ -138,6 +148,9 @@ impl CounterKind {
             CounterKind::Discards => "discards",
             CounterKind::Deliveries => "deliveries",
             CounterKind::Ingested => "ingested",
+            CounterKind::SituationEvals => "situation_evals",
+            CounterKind::SituationCacheSkips => "situation_cache_skips",
+            CounterKind::CompiledEvals => "compiled_evals",
         }
     }
 }
