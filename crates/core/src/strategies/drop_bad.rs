@@ -5,7 +5,7 @@ use crate::inconsistency::Inconsistency;
 use crate::strategy::{AdditionOutcome, ResolutionStrategy, TieBreak, TiePolicy, UseOutcome};
 use crate::tracked::TrackedSet;
 use ctxres_context::{ContextId, ContextPool, ContextState, LogicalTime};
-use ctxres_obs::{MetricKind, ShardObs, TraceEvent};
+use ctxres_obs::{CauseKind, CounterKind, MetricKind, ShardObs, TraceEvent};
 
 /// Drop-bad (`D-BAD`): heuristics-based deferred resolution driven by
 /// count values (paper §3, Figs. 6–8).
@@ -102,6 +102,32 @@ impl DropBad {
         self.obs
             .observe(MetricKind::DeltaSize, self.delta.len() as u64);
     }
+
+    /// Records one provenance cause edge and bumps the edge counter.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_cause(
+        &self,
+        now: LogicalTime,
+        ctx: ContextId,
+        cause: CauseKind,
+        constraint: Option<String>,
+        partners: Vec<ContextId>,
+        count: Option<u64>,
+        verdict: Option<ContextState>,
+    ) {
+        self.obs.record(
+            now,
+            TraceEvent::Caused {
+                ctx,
+                cause,
+                constraint,
+                partners,
+                count,
+                verdict,
+            },
+        );
+        self.obs.count(CounterKind::ProvEdges, 1);
+    }
 }
 
 impl ResolutionStrategy for DropBad {
@@ -134,7 +160,7 @@ impl ResolutionStrategy for DropBad {
                         contexts: inc.contexts().iter().copied().collect(),
                     },
                 );
-                for (ctx, count) in bumped {
+                for &(ctx, count) in &bumped {
                     self.obs.record(
                         now,
                         TraceEvent::CountBumped {
@@ -142,6 +168,35 @@ impl ResolutionStrategy for DropBad {
                             count: count as u64,
                         },
                     );
+                }
+                if self.obs.provenance_enabled() {
+                    let members: Vec<ContextId> = inc.contexts().iter().copied().collect();
+                    for &ctx in &members {
+                        let partners: Vec<ContextId> =
+                            members.iter().copied().filter(|c| *c != ctx).collect();
+                        self.emit_cause(
+                            now,
+                            ctx,
+                            CauseKind::JoinedDelta,
+                            Some(inc.constraint().to_string()),
+                            partners,
+                            None,
+                            None,
+                        );
+                    }
+                    for &(ctx, count) in &bumped {
+                        let partners: Vec<ContextId> =
+                            members.iter().copied().filter(|c| *c != ctx).collect();
+                        self.emit_cause(
+                            now,
+                            ctx,
+                            CauseKind::CountBumpedBy,
+                            Some(inc.constraint().to_string()),
+                            partners,
+                            Some(count as u64),
+                            None,
+                        );
+                    }
                 }
             }
         }
@@ -213,6 +268,8 @@ impl ResolutionStrategy for DropBad {
             })
             .map(|(inc, _)| inc.clone());
         let doomed = was_bad || dooming_inc.is_some();
+        // Count evidence for the verdict edge, read before Δ shrinks.
+        let my_count = self.delta.counts().get(id) as u64;
         if let Some(log) = &mut self.explain {
             if was_bad {
                 log.record(Explanation {
@@ -256,6 +313,23 @@ impl ResolutionStrategy for DropBad {
                     let _ = pool.set_state(culprit, ContextState::Bad);
                     marked_bad.push(culprit);
                     self.obs.record(now, TraceEvent::MarkedBad { ctx: culprit });
+                    if self.obs.provenance_enabled() {
+                        let partners: Vec<ContextId> = inc
+                            .contexts()
+                            .iter()
+                            .copied()
+                            .filter(|c| *c != culprit)
+                            .collect();
+                        self.emit_cause(
+                            now,
+                            culprit,
+                            CauseKind::SupersededBy,
+                            Some(inc.constraint().to_string()),
+                            partners,
+                            Some(self.delta.counts().get(culprit) as u64),
+                            Some(ContextState::Bad),
+                        );
+                    }
                     if let Some(log) = &mut self.explain {
                         log.record(Explanation {
                             context: culprit,
@@ -289,6 +363,31 @@ impl ResolutionStrategy for DropBad {
 
         if doomed {
             let _ = pool.set_state(id, ContextState::Inconsistent);
+            if self.obs.provenance_enabled() {
+                // The verdict edge cites the dooming inconsistency (or
+                // nothing, when the context was already marked bad —
+                // its earlier `SupersededBy` edge carries the blame).
+                let (constraint, partners) = match &dooming_inc {
+                    Some(inc) => (
+                        Some(inc.constraint().to_string()),
+                        inc.contexts()
+                            .iter()
+                            .copied()
+                            .filter(|c| *c != id)
+                            .collect(),
+                    ),
+                    None => (None, Vec::new()),
+                };
+                self.emit_cause(
+                    now,
+                    id,
+                    CauseKind::ResolvedBecause,
+                    constraint,
+                    partners,
+                    Some(my_count),
+                    Some(ContextState::Inconsistent),
+                );
+            }
             UseOutcome {
                 delivered: false,
                 discarded: vec![id],
@@ -296,12 +395,27 @@ impl ResolutionStrategy for DropBad {
             }
         } else {
             let _ = pool.set_state(id, ContextState::Consistent);
+            if self.obs.provenance_enabled() {
+                self.emit_cause(
+                    now,
+                    id,
+                    CauseKind::ResolvedBecause,
+                    None,
+                    Vec::new(),
+                    Some(my_count),
+                    Some(ContextState::Consistent),
+                );
+            }
             UseOutcome {
                 delivered: live,
                 discarded: Vec::new(),
                 marked_bad,
             }
         }
+    }
+
+    fn emits_provenance(&self) -> bool {
+        self.obs.provenance_enabled()
     }
 
     fn attach_obs(&mut self, obs: ShardObs) {

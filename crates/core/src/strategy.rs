@@ -109,6 +109,16 @@ pub trait ResolutionStrategy {
     /// land in the same per-shard ring as the engine's.
     fn attach_obs(&mut self, _obs: ctxres_obs::ShardObs) {}
 
+    /// Whether this strategy emits its own provenance verdict edges
+    /// (`TraceEvent::Caused` with `ResolvedBecause`/`SupersededBy`)
+    /// for the decisions it takes. Drop-bad does, citing the dooming
+    /// inconsistency and the count evidence; for strategies that answer
+    /// `false` the middleware synthesizes generic verdict edges on
+    /// their behalf, so every decision still closes its causal chain.
+    fn emits_provenance(&self) -> bool {
+        false
+    }
+
     /// Clears per-run state (tracked sets, RNG position is kept).
     fn reset(&mut self) {}
 }

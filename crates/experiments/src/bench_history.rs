@@ -11,11 +11,13 @@
 //! warning, and the run itself becomes the first baseline row.
 //!
 //! The second gate is absolute, not relative: the passive observability
-//! cost (`obs_overhead_pct`, disabled registry) and the full export
+//! cost (`obs_overhead_pct`, disabled registry), the full export
 //! path (`obs_export_overhead_pct`, metrics-only registry plus a live
-//! scraped `/metrics` endpoint) must each stay under
-//! [`Thresholds::obs_overhead_pct`] — telemetry that taxes the engine
-//! it watches is a defect regardless of what the machine is doing.
+//! scraped `/metrics` endpoint), and the marginal cost of causal
+//! provenance over plain tracing (`obs_prov_overhead_pct`) must each
+//! stay under [`Thresholds::obs_overhead_pct`] — telemetry that taxes
+//! the engine it watches is a defect regardless of what the machine is
+//! doing.
 
 use crate::trace_io::load_lines;
 use serde::{Deserialize, Serialize};
@@ -78,6 +80,12 @@ pub struct BenchRecord {
     /// Cost of the live export pipeline (metrics-only registry plus a
     /// scraped `/metrics` endpoint), percent vs unobserved.
     pub obs_export_overhead_pct: f64,
+    /// Marginal cost of causal-provenance emission on top of full
+    /// tracing, percent vs the tracing-only configuration. `None` for
+    /// history rows written before provenance existed and for benches
+    /// that do not measure it (a missing field deserializes as `None`,
+    /// so old histories keep loading).
+    pub obs_prov_overhead_pct: Option<f64>,
     /// Per-shard ingest breakdown of the sharded configuration.
     pub per_shard: Vec<ShardThroughput>,
 }
@@ -189,15 +197,15 @@ pub enum ThroughputVerdict {
 /// Observability overhead vs the absolute threshold.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum OverheadVerdict {
-    /// Both the passive registry and the export path are under the
-    /// threshold.
+    /// The passive registry, the export path, and the provenance
+    /// margin are all under the threshold.
     Pass {
-        /// The larger of the two overheads, percent.
+        /// The largest of the gated overheads, percent.
         worst_pct: f64,
     },
-    /// At least one overhead exceeds the threshold.
+    /// At least one gated overhead exceeds the threshold.
     Exceeded {
-        /// The larger of the two overheads, percent.
+        /// The largest of the gated overheads, percent.
         worst_pct: f64,
     },
 }
@@ -271,10 +279,12 @@ pub fn evaluate(current: &BenchRecord, prior: &[BenchRecord], thresholds: &Thres
     };
     // Full tracing (`obs_enabled_overhead_pct`) is the debugging
     // configuration and is deliberately not gated; the always-on costs
-    // are.
+    // are — plus provenance's *marginal* cost over tracing, so the
+    // explain pipeline can never quietly tax the engine it explains.
     let worst_pct = current
         .obs_overhead_pct
-        .max(current.obs_export_overhead_pct);
+        .max(current.obs_export_overhead_pct)
+        .max(current.obs_prov_overhead_pct.unwrap_or(0.0));
     let overhead = if worst_pct > thresholds.obs_overhead_pct {
         OverheadVerdict::Exceeded { worst_pct }
     } else {
@@ -347,6 +357,7 @@ mod tests {
             obs_overhead_pct: 0.5,
             obs_enabled_overhead_pct: 8.0,
             obs_export_overhead_pct: 1.0,
+            obs_prov_overhead_pct: Some(0.8),
             per_shard: vec![ShardThroughput {
                 shard: 0,
                 shared_scope: false,
@@ -454,5 +465,27 @@ mod tests {
         let mut r = record(1000.0);
         r.obs_enabled_overhead_pct = 50.0;
         assert!(!evaluate(&r, &[], &Thresholds::default()).is_failure());
+    }
+
+    #[test]
+    fn provenance_overhead_gate_is_absolute() {
+        let mut r = record(1000.0);
+        r.obs_prov_overhead_pct = Some(3.2);
+        let v = evaluate(&r, &[], &Thresholds::default());
+        assert_eq!(v.overhead, OverheadVerdict::Exceeded { worst_pct: 3.2 });
+        assert!(v.is_failure());
+    }
+
+    #[test]
+    fn rows_predating_provenance_still_load() {
+        // History rows written before the provenance series existed
+        // have no `obs_prov_overhead_pct` field; they must parse with
+        // no margin instead of poisoning the whole history.
+        let line = serde_json::to_string(&record(1000.0)).unwrap();
+        let stripped = line.replace(",\"obs_prov_overhead_pct\":0.8", "");
+        assert_ne!(line, stripped, "fixture must actually drop the field");
+        let row: BenchRecord = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(row.obs_prov_overhead_pct, None);
+        assert!(!evaluate(&row, &[], &Thresholds::default()).is_failure());
     }
 }

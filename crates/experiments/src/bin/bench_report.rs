@@ -18,8 +18,8 @@
 //! series pass (a first run on a fresh series passes with a
 //! `no baseline` warning), `1` any series regressed — throughput more
 //! than `--threshold-pct` (default 10%) below baseline, or
-//! observability/export overhead above `--obs-threshold-pct` (default
-//! 3%) — `2` usage or unreadable/empty history.
+//! observability/export/provenance overhead above `--obs-threshold-pct`
+//! (default 3%) — `2` usage or unreadable/empty history.
 
 use ctxres_experiments::bench_history::{
     evaluate, history_path_from_env, load_history, OverheadVerdict, Thresholds, ThroughputVerdict,
@@ -48,6 +48,15 @@ fn parse_args() -> Result<(PathBuf, Thresholds), String> {
         }
     }
     Ok((history, thresholds))
+}
+
+/// Provenance margin for display: `+1.20%`, or `n/a` when the row
+/// predates the provenance series or the bench does not measure it.
+fn prov_label(pct: Option<f64>) -> String {
+    match pct {
+        Some(p) => format!("{p:+.2}%"),
+        None => "n/a".to_owned(),
+    }
 }
 
 fn main() {
@@ -126,16 +135,18 @@ fn main() {
         }
         match &verdict.overhead {
             OverheadVerdict::Pass { worst_pct } => println!(
-                "  obs overhead: PASS — disabled {:+.2}%, export {:+.2}% (worst {:+.2}%, threshold {:.1}%)",
+                "  obs overhead: PASS — disabled {:+.2}%, export {:+.2}%, provenance {} (worst {:+.2}%, threshold {:.1}%)",
                 current.obs_overhead_pct,
                 current.obs_export_overhead_pct,
+                prov_label(current.obs_prov_overhead_pct),
                 worst_pct,
                 thresholds.obs_overhead_pct,
             ),
             OverheadVerdict::Exceeded { worst_pct } => println!(
-                "  obs overhead: EXCEEDED — disabled {:+.2}%, export {:+.2}% (worst {:+.2}%, threshold {:.1}%)",
+                "  obs overhead: EXCEEDED — disabled {:+.2}%, export {:+.2}%, provenance {} (worst {:+.2}%, threshold {:.1}%)",
                 current.obs_overhead_pct,
                 current.obs_export_overhead_pct,
+                prov_label(current.obs_prov_overhead_pct),
                 worst_pct,
                 thresholds.obs_overhead_pct,
             ),

@@ -412,6 +412,7 @@ fn main() {
             obs_overhead_pct: 0.0,
             obs_enabled_overhead_pct: 0.0,
             obs_export_overhead_pct: 0.0,
+            obs_prov_overhead_pct: None,
             per_shard: Vec::new(),
         };
         match append_history(&history, &record) {

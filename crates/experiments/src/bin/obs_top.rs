@@ -112,6 +112,36 @@ fn p95_us(rates: &ctxres_obs::ShardRates, kind: MetricKind) -> String {
     }
 }
 
+/// Situation-cache hit rate over the sample window: the share of
+/// situation rounds the dirty-kind cache answered without re-evaluating
+/// (`-` when the window saw no situation activity at all).
+fn sit_hit_pct(evals: f64, skips: f64) -> String {
+    if evals + skips <= 0.0 {
+        "-".to_owned()
+    } else {
+        format!("{:.0}%", skips / (evals + skips) * 100.0)
+    }
+}
+
+fn shard_row(label: &str, r: &ctxres_obs::ShardRates) -> String {
+    format!(
+        "{:<9} {:>8}  {:>9}  {:>9}  {:>8}  {:>7}  {:>7}  {:>8}  {:>7}  {:>11}\n",
+        label,
+        fmt_rate(r.rate(CounterKind::Ingested)),
+        fmt_rate(r.rate(CounterKind::Deliveries)),
+        fmt_rate(r.rate(CounterKind::Discards)),
+        fmt_rate(r.rate(CounterKind::Detections)),
+        sit_hit_pct(
+            r.rate(CounterKind::SituationEvals),
+            r.rate(CounterKind::SituationCacheSkips),
+        ),
+        fmt_rate(r.rate(CounterKind::CompiledEvals)),
+        r.events_buffered,
+        r.events_dropped,
+        p95_us(r, MetricKind::CheckLatency),
+    )
+}
+
 fn render(sample: &Sample, frame: u64, source: &str) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -119,47 +149,27 @@ fn render(sample: &Sample, frame: u64, source: &str) -> String {
         sample.elapsed_secs,
         if sample.first { " (baseline)" } else { "" },
     ));
-    out.push_str(
-        "shard     ingest/s  deliver/s  discard/s  detect/s  buffered  dropped  p95 chk(µs)\n",
-    );
-    out.push_str(
-        "-----------------------------------------------------------------------------------\n",
-    );
+    let header =
+        "shard     ingest/s  deliver/s  discard/s  detect/s  sit-hit  ceval/s  buffered  dropped  p95 chk(µs)\n";
+    let divider = format!("{}\n", "-".repeat(header.len() - 1));
+    out.push_str(header);
+    out.push_str(&divider);
     for s in &sample.shards {
-        out.push_str(&format!(
-            "{:<9} {:>8}  {:>9}  {:>9}  {:>8}  {:>8}  {:>7}  {:>11}\n",
-            format!("shard {}", s.shard),
-            fmt_rate(s.rate(CounterKind::Ingested)),
-            fmt_rate(s.rate(CounterKind::Deliveries)),
-            fmt_rate(s.rate(CounterKind::Discards)),
-            fmt_rate(s.rate(CounterKind::Detections)),
-            s.events_buffered,
-            s.events_dropped,
-            p95_us(s, MetricKind::CheckLatency),
-        ));
+        out.push_str(&shard_row(&format!("shard {}", s.shard), s));
     }
-    let t = &sample.total;
-    out.push_str(
-        "-----------------------------------------------------------------------------------\n",
-    );
-    out.push_str(&format!(
-        "{:<9} {:>8}  {:>9}  {:>9}  {:>8}  {:>8}  {:>7}  {:>11}\n",
-        "total",
-        fmt_rate(t.rate(CounterKind::Ingested)),
-        fmt_rate(t.rate(CounterKind::Deliveries)),
-        fmt_rate(t.rate(CounterKind::Discards)),
-        fmt_rate(t.rate(CounterKind::Detections)),
-        t.events_buffered,
-        t.events_dropped,
-        p95_us(t, MetricKind::CheckLatency),
-    ));
+    out.push_str(&divider);
+    out.push_str(&shard_row("total", &sample.total));
     let agg = sample.snapshot.aggregate();
     out.push_str(&format!(
-        "\ncumulative: {} ingested, {} delivered, {} discarded, {} detections\n",
+        "\ncumulative: {} ingested, {} delivered, {} discarded, {} detections, \
+         {} situation evals ({} cache-skipped), {} compiled evals\n",
         agg.counter(CounterKind::Ingested),
         agg.counter(CounterKind::Deliveries),
         agg.counter(CounterKind::Discards),
         agg.counter(CounterKind::Detections),
+        agg.counter(CounterKind::SituationEvals),
+        agg.counter(CounterKind::SituationCacheSkips),
+        agg.counter(CounterKind::CompiledEvals),
     ));
     out
 }

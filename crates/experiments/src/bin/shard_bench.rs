@@ -10,14 +10,17 @@
 //! first CLI argument, then `CTXRES_SHARDS`, then a default of 4, and
 //! is recorded in the JSON.
 //!
-//! Five configurations are timed: the mutex baseline, the bare sharded
+//! Six configurations are timed: the mutex baseline, the bare sharded
 //! engine, the sharded engine with a *disabled* observability registry
 //! (`obs_overhead_pct` — the cost every deployment pays), with tracing
-//! fully on (`obs_enabled_overhead_pct`), and with the **live export
-//! pipeline** — a metrics-only registry behind a real `/metrics` HTTP
-//! endpoint being scraped from another thread throughout the run
-//! (`obs_export_overhead_pct`, measured against the obs-disabled
-//! configuration; CI gates it under 3%).
+//! on but provenance off (`obs_enabled_overhead_pct`), with tracing
+//! *and* causal-provenance emission on (`obs_prov_overhead_pct` — the
+//! marginal cost of the explain pipeline, measured against the
+//! tracing-only configuration; CI gates it under 3%), and with the
+//! **live export pipeline** — a metrics-only registry behind a real
+//! `/metrics` HTTP endpoint being scraped from another thread
+//! throughout the run (`obs_export_overhead_pct`, measured against the
+//! obs-disabled configuration; CI gates it under 3%).
 //!
 //! Every run also appends one [`BenchRecord`] row — commit, host, date,
 //! per-shard ingest breakdown — to `results/bench_history.jsonl`
@@ -209,6 +212,8 @@ struct BenchFile {
     obs_overhead_pct: f64,
     obs_enabled_contexts_per_sec: f64,
     obs_enabled_overhead_pct: f64,
+    obs_prov_contexts_per_sec: f64,
+    obs_prov_overhead_pct: f64,
     obs_export_contexts_per_sec: f64,
     obs_export_overhead_pct: f64,
     commit: String,
@@ -322,10 +327,29 @@ fn main() {
                 found
             }),
         ),
-        // With tracing fully on — the debugging configuration
-        // (reported, not gated).
+        // With tracing on but provenance off — the debugging
+        // configuration (reported, not gated).
         (
             "obs-on",
+            Box::new(|| {
+                let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), shards);
+                let registry = ShardedMiddleware::obs_registry(
+                    &plan,
+                    ObsConfig::enabled().with_provenance(false),
+                );
+                let sharded = ShardedMiddleware::new_observed(plan, &registry, |_, obs| {
+                    engine_builder().obs(obs).build()
+                });
+                sharded.batch_add(&contexts);
+                sharded.drain();
+                sharded.stats().inconsistencies
+            }),
+        ),
+        // Tracing plus causal-provenance emission. Paired against the
+        // adjacent obs-on rep for `obs_prov_overhead_pct` — the
+        // marginal cost of the explain pipeline, gated in CI.
+        (
+            "prov-on",
             Box::new(|| {
                 let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), shards);
                 let registry = ShardedMiddleware::obs_registry(&plan, ObsConfig::enabled());
@@ -343,33 +367,35 @@ fn main() {
 
     // Adaptive refinement: the CI gate fails above 3%, and a median
     // over 7 short reps on a busy runner can land within noise of
-    // that line. While either gated overhead estimate sits above 2%,
-    // run extra interleaved reps of just the three gated
-    // configurations (sharded / obs-off / export, indices 1..4) so
-    // the median settles — bounded at `MAX_PASSES` so a genuine
-    // regression still fails instead of refining forever.
-    const GATED: std::ops::Range<usize> = 1..4;
+    // that line. While any gated overhead estimate sits above 2%,
+    // run extra interleaved reps of every configuration behind a
+    // gated pair (sharded / obs-off / export / obs-on / prov-on,
+    // indices 1..6) so the medians settle — bounded at `MAX_PASSES`
+    // so a genuine regression still fails instead of refining forever.
+    const GATED: std::ops::Range<usize> = 1..6;
     const REFINE_ABOVE_PCT: f64 = 2.0;
     const MAX_PASSES: usize = 3;
     for pass in 1.. {
         let obs = median_paired_overhead_pct(&timed[2].rep_secs, &timed[1].rep_secs);
         let exp = median_paired_overhead_pct(&timed[3].rep_secs, &timed[2].rep_secs);
-        if obs.max(exp) <= REFINE_ABOVE_PCT || pass >= MAX_PASSES {
+        let prov = median_paired_overhead_pct(&timed[5].rep_secs, &timed[4].rep_secs);
+        if obs.max(exp).max(prov) <= REFINE_ABOVE_PCT || pass >= MAX_PASSES {
             break;
         }
         eprintln!(
-            "refining: obs-off {obs:+.2}% / export {exp:+.2}% near the 3% gate, {REPS} more reps"
+            "refining: obs-off {obs:+.2}% / export {exp:+.2}% / prov {prov:+.2}% near the 3% gate, {REPS} more reps"
         );
         time_interleaved(&mut configs[GATED], &mut timed[GATED], REPS);
     }
     drop(configs);
-    let [mutex_t, shard_t, obs_off_t, export_t, obs_on_t] = &timed[..] else {
-        unreachable!("five timed configurations");
+    let [mutex_t, shard_t, obs_off_t, export_t, obs_on_t, prov_t] = &timed[..] else {
+        unreachable!("six timed configurations");
     };
     let (mutex_secs, mutex_found) = (mutex_t.best_secs, mutex_t.found);
     let (shard_secs, shard_found) = (shard_t.best_secs, shard_t.found);
     let (obs_off_secs, obs_off_found) = (obs_off_t.best_secs, obs_off_t.found);
     let (obs_on_secs, obs_on_found) = (obs_on_t.best_secs, obs_on_t.found);
+    let (prov_secs, prov_found) = (prov_t.best_secs, prov_t.found);
     let (export_secs, export_found) = (export_t.best_secs, export_t.found);
 
     let snapshot = http_get(scrape_addr, "/metrics");
@@ -389,6 +415,10 @@ fn main() {
         "an enabled observability registry must not change results"
     );
     assert_eq!(
+        shard_found, prov_found,
+        "provenance emission must not change results"
+    );
+    assert_eq!(
         shard_found, export_found,
         "the live export pipeline must not change results"
     );
@@ -397,16 +427,21 @@ fn main() {
     let speedup = mutex_secs / shard_secs;
     let obs_off_per_sec = n as f64 / obs_off_secs;
     let obs_on_per_sec = n as f64 / obs_on_secs;
+    let prov_per_sec = n as f64 / prov_secs;
     let export_per_sec = n as f64 / export_secs;
     let obs_overhead_pct = median_paired_overhead_pct(&obs_off_t.rep_secs, &shard_t.rep_secs);
     let obs_enabled_overhead_pct =
         median_paired_overhead_pct(&obs_on_t.rep_secs, &shard_t.rep_secs);
+    // Provenance overhead vs the tracing-only configuration: the
+    // marginal cost of emitting causal edges on a deployment already
+    // paying for full tracing.
+    let obs_prov_overhead_pct = median_paired_overhead_pct(&prov_t.rep_secs, &obs_on_t.rep_secs);
     // Export overhead vs the obs-disabled configuration: what turning
     // the live endpoint on costs a deployment already wired for obs.
     let obs_export_overhead_pct =
         median_paired_overhead_pct(&export_t.rep_secs, &obs_off_t.rep_secs);
     eprintln!(
-        "mutex: {:.1} ctx/s | sharded({shards}): {:.1} ctx/s | speedup {:.2}x | obs-off: {:.1} ctx/s ({:+.2}%) | obs-on: {:.1} ctx/s ({:+.2}%) | export: {:.1} ctx/s ({:+.2}%, {scrapes} scrapes) | {} inconsistencies",
+        "mutex: {:.1} ctx/s | sharded({shards}): {:.1} ctx/s | speedup {:.2}x | obs-off: {:.1} ctx/s ({:+.2}%) | obs-on: {:.1} ctx/s ({:+.2}%) | prov-on: {:.1} ctx/s ({:+.2}%) | export: {:.1} ctx/s ({:+.2}%, {scrapes} scrapes) | {} inconsistencies",
         n as f64 / mutex_secs,
         contexts_per_sec,
         speedup,
@@ -414,6 +449,8 @@ fn main() {
         obs_overhead_pct,
         obs_on_per_sec,
         obs_enabled_overhead_pct,
+        prov_per_sec,
+        obs_prov_overhead_pct,
         export_per_sec,
         obs_export_overhead_pct,
         shard_found,
@@ -470,6 +507,8 @@ fn main() {
         obs_overhead_pct: round2(obs_overhead_pct),
         obs_enabled_contexts_per_sec: round1(obs_on_per_sec),
         obs_enabled_overhead_pct: round2(obs_enabled_overhead_pct),
+        obs_prov_contexts_per_sec: round1(prov_per_sec),
+        obs_prov_overhead_pct: round2(obs_prov_overhead_pct),
         obs_export_contexts_per_sec: round1(export_per_sec),
         obs_export_overhead_pct: round2(obs_export_overhead_pct),
         commit: commit.clone(),
@@ -498,6 +537,7 @@ fn main() {
         obs_overhead_pct: round2(obs_overhead_pct),
         obs_enabled_overhead_pct: round2(obs_enabled_overhead_pct),
         obs_export_overhead_pct: round2(obs_export_overhead_pct),
+        obs_prov_overhead_pct: Some(round2(obs_prov_overhead_pct)),
         per_shard,
     };
     let history = history_path_from_env();

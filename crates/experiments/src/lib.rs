@@ -18,8 +18,10 @@
 //! | constraint coverage devtool | [`coverage`] | `coverage` |
 //!
 //! Everything at once: `all`; combined markdown: `report`. Utilities:
-//! `trace_tool` (generate/inspect/stats/replay recorded traces) and
-//! `check_dsl` (stand-alone constraint checking, CI-friendly).
+//! `trace_tool` (generate/inspect/stats/replay recorded traces),
+//! `explain` (causal provenance chains and cross-strategy divergence
+//! diffs, module [`explain`]) and `check_dsl` (stand-alone constraint
+//! checking, CI-friendly).
 //!
 //! Each binary prints the regenerated table(s) and writes a JSON record
 //! under `results/`. Absolute numbers differ from the paper (their
@@ -34,6 +36,7 @@ pub mod ablation;
 pub mod bench_history;
 pub mod case_study;
 pub mod coverage;
+pub mod explain;
 pub mod extended;
 pub mod figures;
 pub mod landmarc_knn;

@@ -9,8 +9,8 @@ use ctxres_context::{
     Context, ContextId, ContextKind, ContextPool, ContextState, LogicalTime, Ticks, TruthTag,
 };
 use ctxres_core::{Inconsistency, ResolutionStrategy};
-use ctxres_obs::{CounterKind, MetricKind, ShardObs, TraceEvent};
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use ctxres_obs::{CauseKind, CounterKind, MetricKind, ShardObs, TraceEvent};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// Tunables of a middleware instance.
@@ -108,6 +108,10 @@ pub struct Middleware {
     gt_expiry_queue: BTreeMap<LogicalTime, Vec<ContextKind>>,
     /// Checker compiled-eval count already forwarded to `obs`.
     reported_compiled_evals: u64,
+    /// Violations seen per still-undecided context, for the chain-depth
+    /// histogram (submission + violations + verdict). Populated only
+    /// when provenance tracing is on; entries leave at verdict time.
+    prov_violations: HashMap<ContextId, u64>,
     matched: u64,
     covered: Vec<bool>,
     epoch_started: Vec<Option<LogicalTime>>,
@@ -248,6 +252,22 @@ impl Middleware {
                 },
             );
         }
+        if self.obs.provenance_enabled() {
+            // The root of every causal chain: the submission itself.
+            self.obs.record(
+                now,
+                TraceEvent::Caused {
+                    ctx: id,
+                    cause: CauseKind::SubmissionOf,
+                    constraint: None,
+                    partners: Vec::new(),
+                    count: None,
+                    verdict: None,
+                },
+            );
+            self.obs.count(CounterKind::ProvEdges, 1);
+            self.obs.count(CounterKind::ProvNodes, 1);
+        }
         if let Some(clone) = gt_clone {
             // The ground-truth shadow view: an expected context joins it
             // when its use window elapses — the instant a *perfect*
@@ -277,6 +297,23 @@ impl Middleware {
                     to: ContextState::Consistent,
                 },
             );
+            if self.obs.provenance_enabled() {
+                // The middleware itself decides the irrelevant fast
+                // path, so it owns the verdict edge regardless of the
+                // plugged-in strategy's own instrumentation.
+                self.obs.record(
+                    now,
+                    TraceEvent::Caused {
+                        ctx: id,
+                        cause: CauseKind::ResolvedBecause,
+                        constraint: None,
+                        partners: Vec::new(),
+                        count: None,
+                        verdict: Some(ContextState::Consistent),
+                    },
+                );
+                self.obs.count(CounterKind::ProvEdges, 1);
+            }
             self.buffer.push_back((now + self.config.window, id));
             self.obs
                 .observe(MetricKind::QueueDepth, self.buffer.len() as u64);
@@ -330,6 +367,33 @@ impl Middleware {
                 );
             }
             self.obs.count(CounterKind::Detections, fresh.len() as u64);
+            if self.obs.provenance_enabled() {
+                // Every member of a fresh inconsistency gains a
+                // violation edge citing the constraint and the bound
+                // partners — the evidence later verdicts build on.
+                let mut edges = 0u64;
+                for inc in &fresh {
+                    let members: Vec<ContextId> = inc.contexts().iter().copied().collect();
+                    for &c in &members {
+                        let partners: Vec<ContextId> =
+                            members.iter().copied().filter(|p| *p != c).collect();
+                        self.obs.record(
+                            now,
+                            TraceEvent::Caused {
+                                ctx: c,
+                                cause: CauseKind::ViolatedBy,
+                                constraint: Some(inc.constraint().to_string()),
+                                partners,
+                                count: None,
+                                verdict: None,
+                            },
+                        );
+                        *self.prov_violations.entry(c).or_insert(0) += 1;
+                        edges += 1;
+                    }
+                }
+                self.obs.count(CounterKind::ProvEdges, edges);
+            }
         }
         self.detections.extend(fresh.iter().cloned());
 
@@ -338,8 +402,13 @@ impl Middleware {
         resolve_span.finish();
         for did in &outcome.discarded {
             // Addition-path discards (eager strategies) always take a
-            // still-undecided context out.
-            self.count_discard(*did, now, ContextState::Undecided);
+            // still-undecided context out; the verdict edge cites the
+            // fresh inconsistency that implicated the casualty.
+            let cause = fresh
+                .iter()
+                .find(|inc| inc.contexts().iter().any(|c| c == did))
+                .cloned();
+            self.count_discard(*did, now, ContextState::Undecided, cause.as_ref());
         }
         if outcome.accepted {
             self.buffer.push_back((now + self.config.window, id));
@@ -487,6 +556,23 @@ impl Middleware {
                 }
                 self.obs.record(now, TraceEvent::Delivered { ctx: id });
                 self.obs.count(CounterKind::Deliveries, 1);
+                if self.obs.provenance_enabled() && prev_state == ContextState::Undecided {
+                    if !self.strategy.emits_provenance() {
+                        self.obs.record(
+                            now,
+                            TraceEvent::Caused {
+                                ctx: id,
+                                cause: CauseKind::ResolvedBecause,
+                                constraint: None,
+                                partners: Vec::new(),
+                                count: None,
+                                verdict: Some(ContextState::Consistent),
+                            },
+                        );
+                        self.obs.count(CounterKind::ProvEdges, 1);
+                    }
+                    self.observe_chain_depth(id);
+                }
             }
             if !self.subscriptions.is_empty() {
                 if let Some(ctx) = self.pool.get(id) {
@@ -496,6 +582,7 @@ impl Middleware {
         } else if !outcome.discarded.contains(&id) && !was_live {
             self.stats.expired_on_use += 1;
             self.obs.record(now, TraceEvent::Expired { ctx: id });
+            self.prov_violations.remove(&id);
         }
         for did in &outcome.discarded {
             // The used context may have been `Bad` before its discard;
@@ -505,7 +592,7 @@ impl Middleware {
             } else {
                 ContextState::Undecided
             };
-            self.count_discard(*did, now, from);
+            self.count_discard(*did, now, from, None);
         }
         self.stats.marked_bad += outcome.marked_bad.len() as u64;
         if self.obs.is_enabled() {
@@ -518,6 +605,26 @@ impl Middleware {
                         to: ContextState::Bad,
                     },
                 );
+            }
+            if self.obs.provenance_enabled()
+                && !self.strategy.emits_provenance()
+                && !outcome.marked_bad.is_empty()
+            {
+                for bid in &outcome.marked_bad {
+                    self.obs.record(
+                        now,
+                        TraceEvent::Caused {
+                            ctx: *bid,
+                            cause: CauseKind::SupersededBy,
+                            constraint: None,
+                            partners: vec![id],
+                            count: None,
+                            verdict: Some(ContextState::Bad),
+                        },
+                    );
+                }
+                self.obs
+                    .count(CounterKind::ProvEdges, outcome.marked_bad.len() as u64);
             }
         }
         let rec = UseRecord {
@@ -543,7 +650,13 @@ impl Middleware {
         self.observers = observers;
     }
 
-    fn count_discard(&mut self, id: ContextId, now: LogicalTime, from: ContextState) {
+    fn count_discard(
+        &mut self,
+        id: ContextId,
+        now: LogicalTime,
+        from: ContextState,
+        cause: Option<&Inconsistency>,
+    ) {
         if let Some(kind) = self.pool.get(id).map(|c| c.kind().clone()) {
             self.mark_dirty_kind(&kind);
         }
@@ -563,7 +676,42 @@ impl Middleware {
             );
             self.obs.record(now, TraceEvent::Discarded { ctx: id });
             self.obs.count(CounterKind::Discards, 1);
+            if self.obs.provenance_enabled() {
+                if !self.strategy.emits_provenance() {
+                    // Generic verdict edge for strategies without their
+                    // own provenance instrumentation.
+                    self.obs.record(
+                        now,
+                        TraceEvent::Caused {
+                            ctx: id,
+                            cause: CauseKind::ResolvedBecause,
+                            constraint: cause.map(|inc| inc.constraint().to_string()),
+                            partners: cause
+                                .map(|inc| {
+                                    inc.contexts()
+                                        .iter()
+                                        .copied()
+                                        .filter(|c| *c != id)
+                                        .collect()
+                                })
+                                .unwrap_or_default(),
+                            count: None,
+                            verdict: Some(ContextState::Inconsistent),
+                        },
+                    );
+                    self.obs.count(CounterKind::ProvEdges, 1);
+                }
+                self.observe_chain_depth(id);
+            }
         }
+    }
+
+    /// Emits the decided context's causal-chain depth — its submission
+    /// root, every violation it participated in, and the verdict — then
+    /// drops the per-context violation tally.
+    fn observe_chain_depth(&mut self, id: ContextId) {
+        let violations = self.prov_violations.remove(&id).unwrap_or(0);
+        self.obs.observe(MetricKind::ChainDepth, 2 + violations);
     }
 
     /// Whether dirty-kind bookkeeping is worth recording: situations are
@@ -821,6 +969,7 @@ impl MiddlewareBuilder {
             expiry_queue: BTreeMap::new(),
             gt_expiry_queue: BTreeMap::new(),
             reported_compiled_evals: 0,
+            prov_violations: HashMap::new(),
             matched: 0,
             covered,
             epoch_started: epoch_started_init,

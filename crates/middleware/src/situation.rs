@@ -36,6 +36,11 @@ pub struct SituationStatus {
     /// Whether this round turned it from inactive to active (a
     /// rising-edge *activation*, the unit the paper counts).
     pub activated: bool,
+    /// When the verdict was actually computed: the current round for a
+    /// fresh evaluation, the memoized round's instant for a dirty-cache
+    /// replay. Provenance consumers rely on this — a cache hit carries
+    /// the original decision stamp instead of fabricating a fresh one.
+    pub decided_at: LogicalTime,
 }
 
 /// Counters from one evaluation round.
@@ -69,6 +74,8 @@ pub struct SituationEngine {
     /// Whether the situation has been evaluated at least once — memoized
     /// replay is only sound after a first evaluation.
     evaluated: Vec<bool>,
+    /// When each situation's memoized verdict was last computed.
+    decided_at: Vec<LogicalTime>,
     activations: u64,
     scratch: EvalScratch,
 }
@@ -88,6 +95,7 @@ impl SituationEngine {
             names,
             active: vec![false; n],
             evaluated: vec![false; n],
+            decided_at: vec![LogicalTime::ZERO; n],
             activations: 0,
             scratch: EvalScratch::new(),
         }
@@ -182,6 +190,7 @@ impl SituationEngine {
                     name: Arc::clone(&self.names[i]),
                     active: self.active[i],
                     activated: false,
+                    decided_at: self.decided_at[i],
                 });
                 continue;
             }
@@ -204,10 +213,12 @@ impl SituationEngine {
             }
             self.active[i] = active;
             self.evaluated[i] = true;
+            self.decided_at[i] = now;
             out.push(SituationStatus {
                 name: Arc::clone(&self.names[i]),
                 active,
                 activated,
+                decided_at: now,
             });
         }
         (out, counters)
@@ -217,6 +228,9 @@ impl SituationEngine {
     pub fn reset(&mut self) {
         self.active.iter_mut().for_each(|a| *a = false);
         self.evaluated.iter_mut().for_each(|e| *e = false);
+        self.decided_at
+            .iter_mut()
+            .for_each(|d| *d = LogicalTime::ZERO);
         self.activations = 0;
     }
 }
@@ -356,6 +370,39 @@ mod tests {
         assert!(s[0].active && !s[0].activated);
         assert_eq!((c.evals, c.skips), (0, 1));
         assert_eq!(eng.activations(), 1);
+    }
+
+    #[test]
+    fn replayed_statuses_carry_the_original_decision_stamp() {
+        let mut eng = engine();
+        let reg = PredicateRegistry::with_builtins();
+        let mut pool = ContextPool::new();
+        let badge_kind = ContextKind::new("badge");
+        let id = pool.insert(badge("office"));
+        pool.set_state(id, ContextState::Consistent).unwrap();
+
+        let (s, _) = eng.evaluate_dirty(
+            &reg,
+            &pool,
+            LogicalTime::new(5),
+            &HashSet::from([badge_kind.clone()]),
+        );
+        assert_eq!(s[0].decided_at, LogicalTime::new(5));
+
+        // Cache hit: the memoized verdict's stamp is replayed, not the
+        // current round's clock.
+        let (s, c) = eng.evaluate_dirty(&reg, &pool, LogicalTime::new(9), &HashSet::new());
+        assert_eq!(c.skips, 1);
+        assert_eq!(s[0].decided_at, LogicalTime::new(5));
+
+        // A re-evaluation refreshes it.
+        let (s, _) = eng.evaluate_dirty(
+            &reg,
+            &pool,
+            LogicalTime::new(9),
+            &HashSet::from([badge_kind]),
+        );
+        assert_eq!(s[0].decided_at, LogicalTime::new(9));
     }
 
     #[test]

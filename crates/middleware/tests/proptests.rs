@@ -3,7 +3,7 @@
 //! invariants and determinism.
 
 use ctxres_constraint::parse_constraints;
-use ctxres_context::{Context, ContextKind, LogicalTime, Point, Ticks, TruthTag};
+use ctxres_context::{Context, ContextKind, Lifespan, LogicalTime, Point, Ticks, TruthTag};
 use ctxres_core::strategies::by_name;
 use ctxres_middleware::{Middleware, MiddlewareConfig, MiddlewareStats};
 use proptest::prelude::*;
@@ -176,6 +176,97 @@ proptest! {
         prop_assert_eq!(bad.delivered, lat.delivered);
         prop_assert_eq!(bad.discarded, lat.discarded);
         prop_assert_eq!(bad.delivered_expected, lat.delivered_expected);
+    }
+}
+
+/// A near-door location fix for subject `p`, expiring `ttl` ticks
+/// after `at` (the `near_door` situation holds while one is live).
+fn door_fix(at: u64, ttl: u64, seq: i64) -> Context {
+    Context::builder(ContextKind::new("location"), "p")
+        .attr("pos", Point::new(0.0, 0.0))
+        .attr("seq", seq)
+        .stamp(LogicalTime::new(at))
+        .lifespan(Lifespan::with_ttl(LogicalTime::new(at), Ticks::new(ttl)))
+        .build()
+}
+
+/// An unrelated-kind submission: advances the clock to `at` and forces
+/// an evaluation round without touching the `location` view.
+fn round_trigger(at: u64) -> Context {
+    Context::builder(ContextKind::new("temperature"), "room")
+        .attr("celsius", 21.0)
+        .stamp(LogicalTime::new(at))
+        .build()
+}
+
+/// Runs a time-ordered stream through a middleware with the `near_door`
+/// situation, dirty-kind cache on or off.
+fn run_near_door(cache: bool, contexts: &[Context]) -> (MiddlewareStats, usize) {
+    let situations = parse_constraints(
+        "constraint near_door: exists a: location . within(a, -1.0, -1.0, 1.0, 1.0)",
+    )
+    .unwrap();
+    let mut m = Middleware::builder()
+        .constraints(parse_constraints(SPEED).unwrap())
+        .situations(situations)
+        .strategy(by_name("d-bad", 5).unwrap())
+        .situation_cache(cache)
+        .config(MiddlewareConfig {
+            window: Ticks::new(0),
+            track_ground_truth: false,
+            retention: None,
+        })
+        .build();
+    for ctx in contexts {
+        m.submit(ctx.clone());
+    }
+    m.drain();
+    (*m.stats(), m.use_log().len())
+}
+
+#[test]
+fn expiry_exactly_on_a_round_boundary_deactivates_the_situation() {
+    // The PR-4 cache edge case: a fix expires at exactly t5, and the
+    // round at t5 is triggered by an *unrelated* kind — nothing else
+    // dirties `location`, so only the queued expiry can. If the cache
+    // replayed the memoized verdict, `near_door` would stay active and
+    // the t8 fix's rising edge would be lost (1 activation, not 2).
+    let stream = [
+        door_fix(0, 5, 0), // active from t0, expires at exactly t5
+        round_trigger(5),  // round lands on the expiry instant
+        door_fix(8, 5, 1), // must re-activate: a second rising edge
+        round_trigger(20), // drain the second expiry too
+    ];
+    let (cached, cached_uses) = run_near_door(true, &stream);
+    let (plain, plain_uses) = run_near_door(false, &stream);
+    assert_eq!(cached.situation_activations, 2);
+    assert_eq!((cached, cached_uses), (plain, plain_uses));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lifespans expiring exactly on a round boundary dirty their kind
+    /// before that round evaluates: every fix gets a round trigger
+    /// pinned to its exact expiry instant, and the dirty-kind cache
+    /// must stay indistinguishable from evaluating everything.
+    #[test]
+    fn boundary_expiries_keep_the_situation_cache_equivalent(
+        fixes in proptest::collection::vec((0u64..20, 1u64..8), 1..6),
+        extra_triggers in proptest::collection::vec(0u64..30, 0..6),
+    ) {
+        let mut plan: Vec<(u64, Context)> = Vec::new();
+        for (seq, &(at, ttl)) in fixes.iter().enumerate() {
+            plan.push((at, door_fix(at, ttl, seq as i64)));
+            // A round exactly on this fix's expiry boundary.
+            plan.push((at + ttl, round_trigger(at + ttl)));
+        }
+        for &t in &extra_triggers {
+            plan.push((t, round_trigger(t)));
+        }
+        plan.sort_by_key(|(t, _)| *t);
+        let stream: Vec<Context> = plan.into_iter().map(|(_, c)| c).collect();
+        prop_assert_eq!(run_near_door(true, &stream), run_near_door(false, &stream));
     }
 }
 

@@ -4,6 +4,64 @@ use ctxres_context::{ContextId, ContextState};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// The typed relation behind a [`TraceEvent::Caused`] edge — why a
+/// context's life was affected. Together these six relations span the
+/// full drop-bad decision chain: submission → violations → Δ
+/// membership → count evolution → verdict (and the deferred
+/// mark-bad supersession).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CauseKind {
+    /// The context entered the middleware — the root of its chain.
+    SubmissionOf,
+    /// The context participates in a detected violation of the cited
+    /// constraint (partners are the other bound contexts).
+    ViolatedBy,
+    /// That violation entered the tracked set Δ (deferred resolution
+    /// begins for the cited constraint instance).
+    JoinedDelta,
+    /// The context's count value rose because the cited violation
+    /// joined Δ while the context was already a member of another.
+    CountBumpedBy,
+    /// The final verdict: the context was delivered or discarded, and —
+    /// when a tracked inconsistency decided it — which one.
+    ResolvedBecause,
+    /// The context was marked `Bad` so the cited partner (the context
+    /// actually used) could be resolved instead — drop-bad's deferred
+    /// discard (Fig. 7 Part 2).
+    SupersededBy,
+}
+
+/// Every [`CauseKind`], in a stable order (used by exporters and the
+/// provenance graph).
+pub const CAUSE_KINDS: [CauseKind; 6] = [
+    CauseKind::SubmissionOf,
+    CauseKind::ViolatedBy,
+    CauseKind::JoinedDelta,
+    CauseKind::CountBumpedBy,
+    CauseKind::ResolvedBecause,
+    CauseKind::SupersededBy,
+];
+
+impl CauseKind {
+    /// Snake-case edge name (stable; used in exports and dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            CauseKind::SubmissionOf => "submission_of",
+            CauseKind::ViolatedBy => "violated_by",
+            CauseKind::JoinedDelta => "joined_delta",
+            CauseKind::CountBumpedBy => "count_bumped_by",
+            CauseKind::ResolvedBecause => "resolved_because",
+            CauseKind::SupersededBy => "superseded_by",
+        }
+    }
+}
+
+impl fmt::Display for CauseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One thing that happened inside the middleware.
 ///
 /// Context ids are shard-local (each shard engine numbers its own
@@ -79,6 +137,30 @@ pub enum TraceEvent {
         /// The expired context.
         ctx: ContextId,
     },
+    /// A typed cause edge: `ctx`'s life was affected for the stated
+    /// reason. Emitted alongside the flat life-cycle events when
+    /// provenance is on; [`crate::ProvenanceGraph`] folds these into
+    /// per-context causal chains. The `(shard, ctx)` pair identifies
+    /// the effect node; `(at, seq)` of the carrying [`TraceRecord`]
+    /// gives the edge its stable causal ID.
+    Caused {
+        /// The effect: the context whose chain this edge extends.
+        ctx: ContextId,
+        /// The typed relation.
+        cause: CauseKind,
+        /// The constraint implicated in the cause, when one is.
+        constraint: Option<String>,
+        /// The other contexts bound in the causing violation — or, for
+        /// [`CauseKind::SupersededBy`], the used partner resolved by
+        /// the supersession.
+        partners: Vec<ContextId>,
+        /// The deciding count value, when counts are implicated.
+        count: Option<u64>,
+        /// For [`CauseKind::ResolvedBecause`] /
+        /// [`CauseKind::SupersededBy`]: the state the verdict put the
+        /// context in.
+        verdict: Option<ContextState>,
+    },
 }
 
 impl TraceEvent {
@@ -95,6 +177,7 @@ impl TraceEvent {
             TraceEvent::Discarded { .. } => "discard",
             TraceEvent::Delivered { .. } => "deliver",
             TraceEvent::Expired { .. } => "expired",
+            TraceEvent::Caused { .. } => "cause",
         }
     }
 
@@ -109,7 +192,8 @@ impl TraceEvent {
             | TraceEvent::MarkedBad { ctx }
             | TraceEvent::Discarded { ctx }
             | TraceEvent::Delivered { ctx }
-            | TraceEvent::Expired { ctx } => Some(*ctx),
+            | TraceEvent::Expired { ctx }
+            | TraceEvent::Caused { ctx, .. } => Some(*ctx),
             TraceEvent::Detected { .. }
             | TraceEvent::DeltaInserted { .. }
             | TraceEvent::DeltaRemoved { .. } => None,
@@ -122,6 +206,11 @@ impl TraceEvent {
             TraceEvent::Detected { contexts, .. }
             | TraceEvent::DeltaInserted { contexts, .. }
             | TraceEvent::DeltaRemoved { contexts, .. } => contexts.clone(),
+            TraceEvent::Caused { ctx, partners, .. } => {
+                let mut all = vec![*ctx];
+                all.extend(partners.iter().copied());
+                all
+            }
             other => other.primary_ctx().into_iter().collect(),
         }
     }
@@ -163,6 +252,29 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Discarded { ctx } => write!(f, "{ctx} discarded"),
             TraceEvent::Delivered { ctx } => write!(f, "{ctx} delivered"),
             TraceEvent::Expired { ctx } => write!(f, "{ctx} expired on use"),
+            TraceEvent::Caused {
+                ctx,
+                cause,
+                constraint,
+                partners,
+                count,
+                verdict,
+            } => {
+                write!(f, "{ctx} <- {cause}")?;
+                if let Some(c) = constraint {
+                    write!(f, " {c}")?;
+                }
+                if !partners.is_empty() {
+                    write!(f, " with [{}]", join_ids(partners))?;
+                }
+                if let Some(n) = count {
+                    write!(f, " count={n}")?;
+                }
+                if let Some(v) = verdict {
+                    write!(f, " => {v}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -212,6 +324,44 @@ mod tests {
         let d = TraceEvent::Discarded { ctx: id(7) };
         assert_eq!(d.primary_ctx(), Some(id(7)));
         assert_eq!(d.contexts(), vec![id(7)]);
+    }
+
+    #[test]
+    fn cause_edges_involve_effect_and_partners() {
+        let e = TraceEvent::Caused {
+            ctx: id(4),
+            cause: CauseKind::ViolatedBy,
+            constraint: Some("speed".into()),
+            partners: vec![id(2)],
+            count: None,
+            verdict: None,
+        };
+        assert_eq!(e.tag(), "cause");
+        assert_eq!(e.primary_ctx(), Some(id(4)));
+        assert_eq!(e.contexts(), vec![id(4), id(2)]);
+        let s = e.to_string();
+        assert!(s.contains("violated_by"), "{s}");
+        assert!(s.contains("speed"), "{s}");
+        // Edges round-trip through the JSONL dump format.
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn cause_kind_names_are_stable() {
+        let names: Vec<&str> = CAUSE_KINDS.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "submission_of",
+                "violated_by",
+                "joined_delta",
+                "count_bumped_by",
+                "resolved_because",
+                "superseded_by",
+            ]
+        );
     }
 
     #[test]

@@ -237,6 +237,18 @@ ctxres_compiled_evals_total{shard=\"1\"} 0
 # TYPE ctxres_compiled_evals_per_sec gauge
 ctxres_compiled_evals_per_sec{shard=\"0\"} 0
 ctxres_compiled_evals_per_sec{shard=\"1\"} 0
+# TYPE ctxres_prov_edges_total counter
+ctxres_prov_edges_total{shard=\"0\"} 0
+ctxres_prov_edges_total{shard=\"1\"} 0
+# TYPE ctxres_prov_edges_per_sec gauge
+ctxres_prov_edges_per_sec{shard=\"0\"} 0
+ctxres_prov_edges_per_sec{shard=\"1\"} 0
+# TYPE ctxres_prov_nodes_total counter
+ctxres_prov_nodes_total{shard=\"0\"} 0
+ctxres_prov_nodes_total{shard=\"1\"} 0
+# TYPE ctxres_prov_nodes_per_sec gauge
+ctxres_prov_nodes_per_sec{shard=\"0\"} 0
+ctxres_prov_nodes_per_sec{shard=\"1\"} 0
 # TYPE ctxres_trace_events_dropped_total counter
 ctxres_trace_events_dropped_total{shard=\"0\"} 0
 ctxres_trace_events_dropped_total{shard=\"1\"} 0

@@ -15,6 +15,12 @@
 //!   bounded per-shard ring buffer ([`EventRing`]). Overflow never
 //!   stalls the hot path and is never silent — each evicted record bumps
 //!   an explicit dropped-events counter;
+//! * **provenance** ([`CauseKind`], [`TraceEvent::Caused`],
+//!   [`ProvenanceGraph`]): typed cause edges — submission, violation,
+//!   Δ membership, count bump, verdict, supersession — ride the same
+//!   rings when [`ObsConfig::provenance`] is on, and fold into a
+//!   queryable per-context causal DAG explaining every resolution
+//!   decision end-to-end;
 //! * **metrics registry** ([`ObsRegistry`]): per-shard counters and
 //!   fixed-bucket [`Histogram`]s (check latency, batch ingest latency,
 //!   use-window residual delay, Δ-set size, queue depth), recorded with
@@ -64,13 +70,14 @@
 mod event;
 mod export;
 mod metrics;
+mod provenance;
 mod registry;
 mod ring;
 mod serve;
 mod snapshot;
 mod span;
 
-pub use event::{TraceEvent, TraceRecord};
+pub use event::{CauseKind, TraceEvent, TraceRecord, CAUSE_KINDS};
 pub use export::{
     counter_metric_name, histogram_metric_name, render_prometheus, PROMETHEUS_CONTENT_TYPE,
 };
@@ -78,6 +85,7 @@ pub use metrics::{
     bucket_bound, CounterKind, Histogram, HistogramSnapshot, MetricKind, BUCKETS, COUNTER_KINDS,
     METRIC_KINDS,
 };
+pub use provenance::{CauseEdge, NodeId, ProvNode, ProvStats, ProvenanceGraph};
 pub use registry::{ObsConfig, ObsRegistry, ObsSnapshot, ShardObs, ShardSnapshot};
 pub use ring::EventRing;
 pub use serve::{MetricsServer, METRICS_ADDR_ENV};

@@ -44,10 +44,15 @@ pub enum MetricKind {
     /// Buffered contexts awaiting use, sampled after each submit
     /// (count).
     QueueDepth,
+    /// Causal-chain depth of each resolution decision: submission plus
+    /// the violations, count bumps, and supersessions that led to the
+    /// verdict (count; recorded once per delivered/discarded context
+    /// when provenance is on).
+    ChainDepth,
 }
 
 /// Every [`MetricKind`], in index order.
-pub const METRIC_KINDS: [MetricKind; 7] = [
+pub const METRIC_KINDS: [MetricKind; 8] = [
     MetricKind::CheckLatency,
     MetricKind::IngestLatency,
     MetricKind::ResolveLatency,
@@ -55,6 +60,7 @@ pub const METRIC_KINDS: [MetricKind; 7] = [
     MetricKind::UseResidualDelay,
     MetricKind::DeltaSize,
     MetricKind::QueueDepth,
+    MetricKind::ChainDepth,
 ];
 
 impl MetricKind {
@@ -76,6 +82,7 @@ impl MetricKind {
             MetricKind::UseResidualDelay => "use_residual_delay",
             MetricKind::DeltaSize => "delta_size",
             MetricKind::QueueDepth => "queue_depth",
+            MetricKind::ChainDepth => "chain_depth",
         }
     }
 
@@ -87,7 +94,7 @@ impl MetricKind {
             | MetricKind::ResolveLatency
             | MetricKind::RouteLatency => "ns",
             MetricKind::UseResidualDelay => "ticks",
-            MetricKind::DeltaSize | MetricKind::QueueDepth => "count",
+            MetricKind::DeltaSize | MetricKind::QueueDepth | MetricKind::ChainDepth => "count",
         }
     }
 }
@@ -115,10 +122,15 @@ pub enum CounterKind {
     SituationCacheSkips,
     /// Constraint evaluations served by a compiled program.
     CompiledEvals,
+    /// Typed cause edges emitted into the trace (provenance).
+    ProvEdges,
+    /// Provenance graph nodes implied by the trace: one per context
+    /// whose causal chain opened with a submission edge.
+    ProvNodes,
 }
 
 /// Every [`CounterKind`], in index order.
-pub const COUNTER_KINDS: [CounterKind; 9] = [
+pub const COUNTER_KINDS: [CounterKind; 11] = [
     CounterKind::EventsRecorded,
     CounterKind::EventsDropped,
     CounterKind::Detections,
@@ -128,6 +140,8 @@ pub const COUNTER_KINDS: [CounterKind; 9] = [
     CounterKind::SituationEvals,
     CounterKind::SituationCacheSkips,
     CounterKind::CompiledEvals,
+    CounterKind::ProvEdges,
+    CounterKind::ProvNodes,
 ];
 
 impl CounterKind {
@@ -151,6 +165,8 @@ impl CounterKind {
             CounterKind::SituationEvals => "situation_evals",
             CounterKind::SituationCacheSkips => "situation_cache_skips",
             CounterKind::CompiledEvals => "compiled_evals",
+            CounterKind::ProvEdges => "prov_edges",
+            CounterKind::ProvNodes => "prov_nodes",
         }
     }
 }

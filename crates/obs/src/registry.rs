@@ -20,6 +20,10 @@ pub struct ObsConfig {
     /// Whether per-event tracing (ring-buffer pushes) happens; counters
     /// and histograms record regardless when `enabled`.
     pub trace_events: bool,
+    /// Whether typed cause edges ([`TraceEvent::Caused`]) are emitted
+    /// alongside the flat life-cycle events. Only meaningful with
+    /// `trace_events`: edges ride the same rings.
+    pub provenance: bool,
     /// Capacity of each shard's event ring buffer.
     pub ring_capacity: usize,
 }
@@ -29,11 +33,12 @@ impl ObsConfig {
     /// experiment workloads, small enough to stay cache-friendly.
     pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
 
-    /// Full tracing and metrics.
+    /// Full tracing and metrics, provenance edges included.
     pub fn enabled() -> Self {
         ObsConfig {
             enabled: true,
             trace_events: true,
+            provenance: true,
             ring_capacity: Self::DEFAULT_RING_CAPACITY,
         }
     }
@@ -46,6 +51,7 @@ impl ObsConfig {
         ObsConfig {
             enabled: true,
             trace_events: false,
+            provenance: false,
             ring_capacity: 1,
         }
     }
@@ -56,6 +62,7 @@ impl ObsConfig {
         ObsConfig {
             enabled: false,
             trace_events: false,
+            provenance: false,
             ring_capacity: 0,
         }
     }
@@ -63,6 +70,13 @@ impl ObsConfig {
     /// Overrides the per-shard ring capacity.
     pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
         self.ring_capacity = capacity;
+        self
+    }
+
+    /// Turns cause-edge emission on or off (tracing itself untouched) —
+    /// the lever `shard_bench` uses to isolate the provenance cost.
+    pub fn with_provenance(mut self, on: bool) -> Self {
+        self.provenance = on;
         self
     }
 }
@@ -238,6 +252,17 @@ impl ShardObs {
     /// The shard this handle records for, when enabled.
     pub fn shard(&self) -> Option<usize> {
         self.inner.as_ref().map(|i| i.shard)
+    }
+
+    /// Whether cause-edge (provenance) emission is on for this handle —
+    /// true only when the registry traces events *and* was configured
+    /// with [`ObsConfig::provenance`]. Emitters check this before
+    /// building a [`TraceEvent::Caused`], so provenance-off runs pay
+    /// nothing for the edges.
+    pub fn provenance_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.registry.config.trace_events && i.registry.config.provenance)
     }
 
     /// Records a trace event stamped `at`.
@@ -444,6 +469,23 @@ mod tests {
         assert_eq!(agg.counter(CounterKind::EventsRecorded), 0);
         assert_eq!(agg.counter(CounterKind::Ingested), 3);
         assert_eq!(agg.histogram(MetricKind::QueueDepth).count, 1);
+    }
+
+    #[test]
+    fn provenance_gate_follows_config() {
+        let full = ObsRegistry::shared(ObsConfig::enabled(), 1);
+        assert!(full.handle(0).provenance_enabled());
+
+        let traced_only = ObsRegistry::shared(ObsConfig::enabled().with_provenance(false), 1);
+        assert!(traced_only.handle(0).is_enabled());
+        assert!(!traced_only.handle(0).provenance_enabled());
+
+        // Provenance edges need rings: a metrics-only registry never
+        // claims provenance even if the flag is forced on.
+        let metrics = ObsRegistry::shared(ObsConfig::metrics_only().with_provenance(true), 1);
+        assert!(!metrics.handle(0).provenance_enabled());
+
+        assert!(!ShardObs::disabled().provenance_enabled());
     }
 
     #[test]

@@ -112,10 +112,27 @@ impl MetricsServer {
     fn stop_and_join(&mut self) {
         if let Some(handle) = self.handle.take() {
             self.stop.store(true, Ordering::Relaxed);
-            // Unblock the accept loop with one last connection.
-            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            // Unblock the accept loop with one last connection. A bind
+            // to an unspecified address (0.0.0.0 / ::) is not
+            // connectable everywhere, so aim the wake-up at loopback on
+            // the bound port — otherwise the join below can hang in
+            // `accept` until a real scrape happens to arrive.
+            let _ = TcpStream::connect_timeout(&self.wake_addr(), Duration::from_secs(1));
             let _ = handle.join();
         }
+    }
+
+    /// The address the shutdown wake-up connects to: the bound address,
+    /// with unspecified IPs replaced by the matching loopback.
+    fn wake_addr(&self) -> SocketAddr {
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match addr {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        addr
     }
 }
 
@@ -236,6 +253,46 @@ mod tests {
             sample.total.delta(crate::metrics::CounterKind::Deliveries),
             4
         );
+    }
+
+    #[test]
+    fn shutdown_joins_the_accept_loop() {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        let server = MetricsServer::spawn(Arc::clone(&registry), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // The port is released once the thread is joined: connecting
+        // must now fail (nothing is listening).
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+            "listener thread still alive after shutdown"
+        );
+    }
+
+    #[test]
+    fn drop_joins_the_accept_loop() {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        let addr = {
+            let server = MetricsServer::spawn(Arc::clone(&registry), "127.0.0.1:0").unwrap();
+            server.local_addr()
+            // Drop here must stop and join, not leak the thread.
+        };
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+            "listener thread leaked past drop"
+        );
+    }
+
+    #[test]
+    fn shutdown_works_for_unspecified_bind_addresses() {
+        // Binding 0.0.0.0 yields an unspecified local IP; the shutdown
+        // wake-up must still reach the accept loop (via loopback) or
+        // this test hangs in join.
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        let server = MetricsServer::spawn(Arc::clone(&registry), "0.0.0.0:0").unwrap();
+        assert!(server.local_addr().ip().is_unspecified());
+        assert!(!server.wake_addr().ip().is_unspecified());
+        server.shutdown();
     }
 
     #[test]
