@@ -36,7 +36,8 @@ use crate::eval::{
     Evidence, Link, Need, Pin,
 };
 use crate::predicate::{PredicateRegistry, Resolved};
-use ctxres_context::{ContextId, ContextKind, ContextPool, ContextValue, LogicalTime};
+use crate::schema::{constraint_scope, ConstraintScope};
+use ctxres_context::{Context, ContextId, ContextKind, ContextPool, ContextValue, LogicalTime};
 
 /// A term lowered to slot-addressed form. Variable names are kept only
 /// for error reporting (`UnboundVariable` / `MissingAttr` parity with
@@ -91,6 +92,12 @@ pub struct CompiledConstraint {
     kinds: Vec<ContextKind>,
     slot_count: usize,
     universal_positive: bool,
+    /// Deploy-time sharding-scope verdict: `true` when
+    /// [`constraint_scope`] proves every violating binding draws all its
+    /// contexts from one subject. Pinned checks on such constraints
+    /// quantify over the pool's per-subject index instead of the whole
+    /// kind list.
+    per_subject: bool,
 }
 
 impl CompiledConstraint {
@@ -113,6 +120,7 @@ impl CompiledConstraint {
             kind_table,
             slot_count: constraint.quantifier_count(),
             universal_positive: constraint.is_universal_positive(),
+            per_subject: constraint_scope(constraint) == ConstraintScope::PerSubject,
         })
     }
 
@@ -136,6 +144,14 @@ impl CompiledConstraint {
     /// Whether the formula lies in the incremental-checkable fragment.
     pub fn is_universal_positive(&self) -> bool {
         self.universal_positive
+    }
+
+    /// Whether every violating binding is provably same-subject (see
+    /// [`constraint_scope`]). When true, a pinned check restricts every
+    /// unpinned quantifier to the pinned context's subject bucket —
+    /// O(subject track) instead of O(kind).
+    pub fn is_per_subject(&self) -> bool {
+        self.per_subject
     }
 
     /// Number of env slots (= quantifiers) the program uses.
@@ -325,6 +341,7 @@ impl<'r> CompiledEvaluator<'r> {
             pool,
             now,
             pin: None,
+            pin_subject: None,
             scratch,
         };
         run.eval_bool(&constraint.program)
@@ -357,6 +374,14 @@ impl<'r> CompiledEvaluator<'r> {
         scratch: &mut EvalScratch,
     ) -> Result<CheckOutcome, EvalError> {
         scratch.prepare(constraint.slot_count);
+        // A per-subject constraint's violating bindings all share the
+        // pinned context's subject, so the unpinned quantifiers only
+        // need that subject's bucket of the kind index. Global
+        // constraints (or unpinned checks) keep the full kind domain.
+        let pin_subject = match pin {
+            Some(p) if constraint.per_subject => pool.get(p.ctx).map(Context::subject),
+            _ => None,
+        };
         let mut run = Run {
             registry: self.registry,
             domain: self.domain,
@@ -364,6 +389,7 @@ impl<'r> CompiledEvaluator<'r> {
             pool,
             now,
             pin,
+            pin_subject,
             scratch,
         };
         let ev = run.eval(&constraint.program, Need::ROOT)?;
@@ -378,6 +404,9 @@ struct Run<'a, 'r> {
     pool: &'a ContextPool,
     now: LogicalTime,
     pin: Option<Pin>,
+    /// `Some(subject)` when the pinned constraint is per-subject: every
+    /// unpinned quantifier's domain narrows to this subject's bucket.
+    pin_subject: Option<&'a str>,
     scratch: &'a mut EvalScratch,
 }
 
@@ -433,8 +462,16 @@ impl Run<'_, '_> {
                 // it is put back (error or not) before returning.
                 let mut domain = std::mem::take(&mut self.scratch.domains[*slot]);
                 domain.clear();
-                match self.pin {
-                    Some(p) if p.qid == *slot => domain.push(p.ctx),
+                match (self.pin, self.pin_subject) {
+                    (Some(p), _) if p.qid == *slot => domain.push(p.ctx),
+                    (_, Some(subject)) => domain.extend(
+                        self.pool
+                            .of_subject_live_at(&self.kind_table[*kind_sym], subject, self.now)
+                            .filter(|(_, c)| {
+                                self.domain == DomainMode::AllLive || c.state().is_available()
+                            })
+                            .map(|(id, _)| id),
+                    ),
                     _ => domain.extend(
                         self.pool
                             .of_kind_live_at(&self.kind_table[*kind_sym], self.now)
@@ -513,19 +550,41 @@ impl Run<'_, '_> {
                 let deciding = matches!(q, Quantifier::Exists);
                 let pool = self.pool;
                 let kind = &self.kind_table[*kind_sym];
-                let available_only = self.domain == DomainMode::AvailableOnly;
-                for (id, ctx) in pool.of_kind_live_at(kind, self.now) {
-                    if available_only && !ctx.state().is_available() {
-                        continue;
+                match self.pin_subject {
+                    Some(subject) => {
+                        let domain = pool.of_subject_live_at(kind, subject, self.now);
+                        self.scan_quant(domain, *slot, body, deciding)
                     }
-                    self.scratch.env[*slot] = id;
-                    if self.eval_bool(body)? == deciding {
-                        return Ok(deciding);
+                    None => {
+                        let domain = pool.of_kind_live_at(kind, self.now);
+                        self.scan_quant(domain, *slot, body, deciding)
                     }
                 }
-                Ok(!deciding)
             }
         }
+    }
+
+    /// Short-circuit scan of one quantifier's `domain` for
+    /// [`Run::eval_bool`]: returns `deciding` at the first binding whose
+    /// body evaluates to it, `!deciding` when the domain is exhausted.
+    fn scan_quant<'p>(
+        &mut self,
+        domain: impl Iterator<Item = (ContextId, &'p Context)>,
+        slot: usize,
+        body: &CFormula,
+        deciding: bool,
+    ) -> Result<bool, EvalError> {
+        let available_only = self.domain == DomainMode::AvailableOnly;
+        for (id, ctx) in domain {
+            if available_only && !ctx.state().is_available() {
+                continue;
+            }
+            self.scratch.env[slot] = id;
+            if self.eval_bool(body)? == deciding {
+                return Ok(deciding);
+            }
+        }
+        Ok(!deciding)
     }
 }
 
@@ -671,6 +730,96 @@ mod tests {
         pool.set_state(ContextId::from_raw(0), ContextState::Consistent)
             .unwrap();
         assert_matches_naive(SPEED, &pool, LogicalTime::new(10));
+    }
+
+    /// Two interleaved subject tracks: `peter` teleports between his
+    /// 2nd and 3rd reading, `mary` stays clean. Ids 0..=2 are peter's,
+    /// 3..=5 mary's; stamps interleave the tracks.
+    fn two_subject_pool() -> ContextPool {
+        let mut pool = ContextPool::new();
+        let tracks: [(&str, [(f64, f64); 3]); 2] = [
+            ("peter", [(0.0, 0.0), (0.5, 0.0), (9.0, 9.0)]),
+            ("mary", [(0.0, 1.0), (0.4, 1.0), (0.8, 1.0)]),
+        ];
+        for (s, (subject, points)) in tracks.iter().enumerate() {
+            for (i, (x, y)) in points.iter().enumerate() {
+                pool.insert(
+                    Context::builder(ContextKind::new("location"), *subject)
+                        .attr("pos", Point::new(*x, *y))
+                        .attr("seq", i as i64)
+                        .stamp(LogicalTime::new((2 * i + s) as u64))
+                        .build(),
+                );
+            }
+        }
+        pool
+    }
+
+    /// A per-subject constraint's pinned check narrows every unpinned
+    /// quantifier to the pinned subject's bucket; the outcome must still
+    /// be byte-identical to the naive evaluator's full-domain scan, for
+    /// every pin point on a mixed-subject pool.
+    #[test]
+    fn subject_scoped_pinned_check_matches_naive_on_mixed_subjects() {
+        let pool = two_subject_pool();
+        let c = parse_constraint(SPEED).unwrap();
+        let cc = CompiledConstraint::compile(&c).unwrap();
+        assert!(
+            cc.is_per_subject(),
+            "a same_subject-guarded forall pair must classify per-subject"
+        );
+        let reg = registry();
+        let naive = Evaluator::new(&reg);
+        let compiled = CompiledEvaluator::new(&reg);
+        let mut scratch = EvalScratch::new();
+        let now = LogicalTime::new(10);
+        let mut saw_violation = false;
+        for qid in 0..2 {
+            for raw in 0..6 {
+                let id = ContextId::from_raw(raw);
+                let outcome = compiled.check_pinned(&cc, &pool, now, qid, id, &mut scratch);
+                saw_violation |= outcome.as_ref().is_ok_and(|o| !o.satisfied);
+                assert_eq!(
+                    naive.check_pinned(&c, &pool, now, qid, id),
+                    outcome,
+                    "pin qid={qid} ctx={raw}"
+                );
+            }
+        }
+        assert!(saw_violation, "peter's teleport must surface under pinning");
+    }
+
+    /// A constraint whose violations span subjects (`same_subject` only
+    /// in the consequent) must stay `Global`: pinned checks keep the
+    /// full kind domain, or the cross-subject violation would be missed.
+    #[test]
+    fn global_constraints_never_subject_restrict() {
+        let pool = two_subject_pool();
+        let src = "constraint cross: forall a: location, b: location . \
+                   seq_gap(a, b, 1) implies same_subject(a, b)";
+        let c = parse_constraint(src).unwrap();
+        let cc = CompiledConstraint::compile(&c).unwrap();
+        assert!(
+            !cc.is_per_subject(),
+            "same_subject in the consequent guarantees nothing about violations"
+        );
+        let reg = registry();
+        let naive = Evaluator::new(&reg);
+        let compiled = CompiledEvaluator::new(&reg);
+        let mut scratch = EvalScratch::new();
+        let now = LogicalTime::new(10);
+        let full = compiled.check(&cc, &pool, now, &mut scratch).unwrap();
+        assert!(!full.satisfied, "cross-subject seq gaps must violate");
+        for qid in 0..2 {
+            for raw in 0..6 {
+                let id = ContextId::from_raw(raw);
+                assert_eq!(
+                    naive.check_pinned(&c, &pool, now, qid, id),
+                    compiled.check_pinned(&cc, &pool, now, qid, id, &mut scratch),
+                    "pin qid={qid} ctx={raw}"
+                );
+            }
+        }
     }
 
     #[test]

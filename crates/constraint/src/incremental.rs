@@ -39,6 +39,33 @@ pub struct CheckerStats {
     pub detections: u64,
 }
 
+/// A precomputed checking plan for one context kind: which constraints a
+/// context of the kind can newly violate, and how each one is checked.
+/// [`IncrementalChecker::plan_for`] builds it once per distinct kind in a
+/// batch, so [`IncrementalChecker::on_added_planned`] skips the
+/// per-context relevance scan and quantifier-position allocation that
+/// [`IncrementalChecker::on_added`] repeats for every submission.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KindPlan {
+    steps: Vec<PlanStep>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PlanStep {
+    /// Index into the checker's constraint set.
+    constraint: usize,
+    /// Quantifier ids to pin for a universal-positive constraint;
+    /// `None` selects the full-check-and-diff fallback.
+    pinned_qids: Option<Vec<usize>>,
+}
+
+impl KindPlan {
+    /// Whether contexts of the planned kind can affect any constraint.
+    pub fn is_relevant(&self) -> bool {
+        !self.steps.is_empty()
+    }
+}
+
 /// Stateful incremental checker over a deployed [`ConstraintSet`].
 ///
 /// ```
@@ -125,7 +152,47 @@ impl IncrementalChecker {
         let Some(ctx) = pool.get(id) else {
             return Ok(Vec::new());
         };
-        let kind = ctx.kind().clone();
+        let plan = self.plan_for(&ctx.kind().clone());
+        self.on_added_planned(&plan, registry, pool, now, id)
+    }
+
+    /// Builds the checking plan for contexts of `kind`: one step per
+    /// relevant constraint, with the quantifier positions to pin
+    /// resolved once. Batch submission builds this once per distinct
+    /// kind instead of re-deriving it for every context.
+    pub fn plan_for(&self, kind: &ContextKind) -> KindPlan {
+        let steps = self
+            .constraints
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_relevant_to(kind))
+            .map(|(i, c)| PlanStep {
+                constraint: i,
+                pinned_qids: c.is_universal_positive().then(|| c.quantifiers_over(kind)),
+            })
+            .collect();
+        KindPlan { steps }
+    }
+
+    /// [`IncrementalChecker::on_added`] with the per-kind plan already
+    /// built. `plan` must come from [`IncrementalChecker::plan_for`] on
+    /// this checker with the kind of context `id` — the verdict stream
+    /// is then identical to `on_added`'s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from predicate evaluation.
+    pub fn on_added_planned(
+        &mut self,
+        plan: &KindPlan,
+        registry: &PredicateRegistry,
+        pool: &ContextPool,
+        now: LogicalTime,
+        id: ContextId,
+    ) -> Result<Vec<Detection>, EvalError> {
+        if !pool.contains(id) {
+            return Ok(Vec::new());
+        }
         let evaluator = CompiledEvaluator::new(registry);
         let mut out = Vec::new();
         let IncrementalChecker {
@@ -135,13 +202,13 @@ impl IncrementalChecker {
             known,
             stats,
         } = self;
-        for (constraint, program) in constraints.iter().zip(compiled.iter()) {
-            if !constraint.is_relevant_to(&kind) {
-                continue;
-            }
-            if constraint.is_universal_positive() {
+        let constraints = constraints.iter().as_slice();
+        for step in &plan.steps {
+            let constraint = &constraints[step.constraint];
+            let program = &compiled[step.constraint];
+            if let Some(qids) = &step.pinned_qids {
                 let mut links: BTreeSet<Link> = BTreeSet::new();
-                for qid in constraint.quantifiers_over(&kind) {
+                for &qid in qids {
                     stats.pinned_evals += 1;
                     let outcome = match program {
                         Some(cc) => {
@@ -366,6 +433,42 @@ mod tests {
         let found = ch.on_added(&reg, &pool, LogicalTime::new(2), c).unwrap();
         // (b,c) would violate but b is discarded; (a,c) is gap 2, not 1.
         assert!(found.is_empty());
+    }
+
+    #[test]
+    fn planned_path_matches_on_added() {
+        let reg = PredicateRegistry::with_builtins();
+        let points = [(0.0, 0.0), (9.0, 9.0), (0.5, 0.0), (1.0, 0.0)];
+
+        let mut plain = checker(SPEED);
+        let mut pool_a = ContextPool::new();
+        let mut via_on_added = Vec::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            let id = add_loc(&mut pool_a, "p", i as i64, *x, *y);
+            via_on_added.extend(
+                plain
+                    .on_added(&reg, &pool_a, LogicalTime::new(i as u64), id)
+                    .unwrap(),
+            );
+        }
+
+        let mut planned = checker(SPEED);
+        let plan = planned.plan_for(&ContextKind::new("location"));
+        assert!(plan.is_relevant());
+        assert!(!planned.plan_for(&ContextKind::new("rfid")).is_relevant());
+        let mut pool_b = ContextPool::new();
+        let mut via_plan = Vec::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            let id = add_loc(&mut pool_b, "p", i as i64, *x, *y);
+            via_plan.extend(
+                planned
+                    .on_added_planned(&plan, &reg, &pool_b, LogicalTime::new(i as u64), id)
+                    .unwrap(),
+            );
+        }
+
+        assert_eq!(via_on_added, via_plan);
+        assert_eq!(plain.stats(), planned.stats());
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use compile::{CompiledConstraint, CompiledEvaluator, EvalScratch};
 pub use constraint::{Constraint, ConstraintSet};
 pub use error::{EvalError, ParseError};
 pub use eval::{CheckOutcome, DomainMode, Evaluator, Link, MAX_LINKS};
-pub use incremental::{CheckerStats, Detection, IncrementalChecker};
+pub use incremental::{CheckerStats, Detection, IncrementalChecker, KindPlan};
 pub use parser::{parse_constraint, parse_constraints, parse_formula};
 pub use predicate::{PredicateRegistry, Resolved};
 pub use schema::{

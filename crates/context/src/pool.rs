@@ -1,4 +1,4 @@
-//! The context pool: indexed storage of managed contexts.
+//! The context pool: arena-backed, indexed storage of managed contexts.
 
 use crate::context::{Context, ContextId, ContextKind};
 use crate::error::ContextError;
@@ -24,10 +24,42 @@ pub struct PoolStats {
     pub inconsistent: usize,
 }
 
+/// Sentinel in the id → slot table for a removed context.
+const NO_SLOT: u32 = u32::MAX;
+
+/// A generational reference into the slot arena. A handle is live only
+/// while the slot's generation still matches: removing a context bumps
+/// its slot's generation, instantly invalidating every outstanding
+/// handle to it, and slot reuse hands the new occupant a fresh
+/// generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlotHandle {
+    slot: u32,
+    generation: u32,
+}
+
+/// Secondary index for one context kind: every stored context of the
+/// kind, plus a per-subject sub-index. Both vectors hold generational
+/// slot handles ordered by `(stamp, id)` — for in-order arrivals that
+/// is plain append, out-of-order stamps pay one binary-searched insert.
+#[derive(Debug, Default, Clone)]
+struct KindBucket {
+    all: Vec<SlotHandle>,
+    /// Keyed by the contexts' shared subject `Arc` so lookups can borrow
+    /// the caller's `&str` — a flat `(ContextKind, String)` key would
+    /// force a key clone per lookup.
+    by_subject: HashMap<Arc<str>, Vec<SlotHandle>>,
+}
+
 /// Indexed storage for the contexts a middleware manages.
 ///
-/// The pool assigns [`ContextId`]s in arrival order and maintains
-/// secondary indexes by kind and by `(kind, subject)`. Discarded
+/// The pool assigns [`ContextId`]s in arrival order and stores contexts
+/// in a slot **arena** with parallel columns (payload, id, stamp,
+/// generation) — a struct-of-arrays layout in which an id lookup is one
+/// dense-table index instead of a tree walk, and the kind /
+/// `(kind, subject)` secondary indexes hold generational slot handles,
+/// so `of_kind` / `of_subject` iteration touches exactly the bucket, in
+/// deterministic `(stamp, id)` order, with zero allocation. Discarded
 /// (`Inconsistent`) contexts stay stored for post-mortem metrics but are
 /// excluded from the live views that constraints quantify over.
 ///
@@ -42,13 +74,44 @@ pub struct PoolStats {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct ContextPool {
-    entries: BTreeMap<ContextId, Context>,
-    by_kind: HashMap<ContextKind, Vec<ContextId>>,
-    /// Nested so lookups can borrow the caller's `&str` subject — a flat
-    /// `(ContextKind, String)` key would force a key clone per lookup.
-    by_kind_subject: HashMap<ContextKind, HashMap<Arc<str>, Vec<ContextId>>>,
+    /// Payload column; `None` marks a free slot awaiting reuse.
+    payloads: Vec<Option<Context>>,
+    /// Id column, parallel to `payloads` (stale for free slots).
+    slot_ids: Vec<ContextId>,
+    /// Stamp column, parallel to `payloads` — index ordering reads it
+    /// without touching the payload (stale for free slots).
+    slot_stamps: Vec<LogicalTime>,
+    /// Generation column, parallel to `payloads`; bumped on removal.
+    generations: Vec<u32>,
+    /// Free slots available for reuse.
+    free: Vec<u32>,
+    /// Dense id → slot table, indexed by raw id ([`NO_SLOT`] once
+    /// removed). Ids are pool-assigned and never reused, so the table
+    /// only grows with `next_id`.
+    id_slots: Vec<u32>,
+    by_kind: HashMap<ContextKind, KindBucket>,
     next_id: u64,
     inserted: u64,
+    stored: usize,
+}
+
+/// Inserts `handle` into `index`, keeping it ordered by `(stamp, id)`.
+/// In-order arrivals (the overwhelmingly common case) append; an
+/// out-of-order stamp binary-searches its position.
+fn index_insert(
+    index: &mut Vec<SlotHandle>,
+    stamps: &[LogicalTime],
+    ids: &[ContextId],
+    handle: SlotHandle,
+) {
+    let key = |h: SlotHandle| (stamps[h.slot as usize], ids[h.slot as usize]);
+    match index.last() {
+        Some(&last) if key(last) > key(handle) => {
+            let at = index.partition_point(|&h| key(h) <= key(handle));
+            index.insert(at, handle);
+        }
+        _ => index.push(handle),
+    }
 }
 
 impl ContextPool {
@@ -62,48 +125,110 @@ impl ContextPool {
         let id = ContextId::from_raw(self.next_id);
         self.next_id += 1;
         self.inserted += 1;
-        self.by_kind.entry(ctx.kind().clone()).or_default().push(id);
-        self.by_kind_subject
-            .entry(ctx.kind().clone())
-            .or_default()
-            .entry(Arc::clone(ctx.subject_shared()))
-            .or_default()
-            .push(id);
-        self.entries.insert(id, ctx);
+        self.stored += 1;
+        let kind = ctx.kind().clone();
+        let subject = Arc::clone(ctx.subject_shared());
+        let stamp = ctx.stamp();
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let i = slot as usize;
+                self.payloads[i] = Some(ctx);
+                self.slot_ids[i] = id;
+                self.slot_stamps[i] = stamp;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.payloads.len()).expect("pool slot count overflow");
+                self.payloads.push(Some(ctx));
+                self.slot_ids.push(id);
+                self.slot_stamps.push(stamp);
+                self.generations.push(0);
+                slot
+            }
+        };
+        self.id_slots.push(slot);
+        let handle = SlotHandle {
+            slot,
+            generation: self.generations[slot as usize],
+        };
+        let bucket = self.by_kind.entry(kind).or_default();
+        index_insert(&mut bucket.all, &self.slot_stamps, &self.slot_ids, handle);
+        index_insert(
+            bucket.by_subject.entry(subject).or_default(),
+            &self.slot_stamps,
+            &self.slot_ids,
+            handle,
+        );
         id
+    }
+
+    fn slot_of(&self, id: ContextId) -> Option<usize> {
+        let raw = usize::try_from(id.raw()).ok()?;
+        let slot = *self.id_slots.get(raw)?;
+        (slot != NO_SLOT).then_some(slot as usize)
+    }
+
+    /// Resolves a handle to its slot index if the generation still
+    /// matches (i.e. the context it was issued for is still stored).
+    fn resolve(&self, handle: SlotHandle) -> Option<usize> {
+        let i = handle.slot as usize;
+        (self.generations[i] == handle.generation).then_some(i)
     }
 
     /// Looks up a context by id.
     pub fn get(&self, id: ContextId) -> Option<&Context> {
-        self.entries.get(&id)
+        self.payloads[self.slot_of(id)?].as_ref()
     }
 
     /// Looks up a context mutably by id.
     pub fn get_mut(&mut self, id: ContextId) -> Option<&mut Context> {
-        self.entries.get_mut(&id)
+        let slot = self.slot_of(id)?;
+        self.payloads[slot].as_mut()
     }
 
     /// Whether `id` refers to a stored context.
     pub fn contains(&self, id: ContextId) -> bool {
-        self.entries.contains_key(&id)
+        self.slot_of(id).is_some()
     }
 
     /// Number of stored contexts (any state).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.stored
     }
 
     /// Whether the pool stores no contexts.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.stored == 0
     }
 
     /// Iterates over all stored contexts in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = (ContextId, &Context)> {
-        self.entries.iter().map(|(id, c)| (*id, c))
+        self.id_slots
+            .iter()
+            .filter(|&&slot| slot != NO_SLOT)
+            .map(move |&slot| {
+                let i = slot as usize;
+                (
+                    self.slot_ids[i],
+                    self.payloads[i].as_ref().expect("occupied slot"),
+                )
+            })
     }
 
-    /// Iterates over *live* contexts of `kind` in arrival order.
+    /// Iterates a handle index, yielding live (not `Inconsistent`)
+    /// contexts in the index's `(stamp, id)` order.
+    fn iter_index<'a>(
+        &'a self,
+        index: Option<&'a [SlotHandle]>,
+    ) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
+        index.into_iter().flatten().filter_map(move |&h| {
+            let i = self.resolve(h)?;
+            let c = self.payloads[i].as_ref()?;
+            (c.state() != ContextState::Inconsistent).then_some((self.slot_ids[i], c))
+        })
+    }
+
+    /// Iterates over *live* contexts of `kind` in `(stamp, id)` order.
     ///
     /// Live means: not discarded (`Inconsistent`). Constraints quantify
     /// over this view. Expired contexts are skipped by
@@ -112,14 +237,7 @@ impl ContextPool {
         &'a self,
         kind: &ContextKind,
     ) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
-        self.by_kind
-            .get(kind)
-            .into_iter()
-            .flatten()
-            .filter_map(move |id| {
-                let c = &self.entries[id];
-                (c.state() != ContextState::Inconsistent).then_some((*id, c))
-            })
+        self.iter_index(self.by_kind.get(kind).map(|b| b.all.as_slice()))
     }
 
     /// Iterates over live, unexpired contexts of `kind` at instant `now`.
@@ -131,34 +249,64 @@ impl ContextPool {
         self.of_kind(kind).filter(move |(_, c)| c.is_live(now))
     }
 
-    /// Iterates over live contexts of `kind` about `subject`, in arrival
-    /// order.
+    /// Iterates over live contexts of `kind` about `subject`, in
+    /// `(stamp, id)` order.
     pub fn of_subject<'a>(
         &'a self,
         kind: &ContextKind,
         subject: &str,
     ) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
-        self.by_kind_subject
-            .get(kind)
-            .and_then(|subjects| subjects.get(subject))
-            .into_iter()
-            .flatten()
-            .filter_map(move |id| {
-                let c = &self.entries[id];
-                (c.state() != ContextState::Inconsistent).then_some((*id, c))
-            })
+        self.iter_index(
+            self.by_kind
+                .get(kind)
+                .and_then(|b| b.by_subject.get(subject))
+                .map(Vec::as_slice),
+        )
+    }
+
+    /// Iterates over live, unexpired contexts of `kind` about `subject`
+    /// at instant `now` — the domain a subject-scoped constraint check
+    /// quantifies over instead of the whole kind.
+    pub fn of_subject_live_at<'a>(
+        &'a self,
+        kind: &ContextKind,
+        subject: &str,
+        now: LogicalTime,
+    ) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
+        self.of_subject(kind, subject)
+            .filter(move |(_, c)| c.is_live(now))
+    }
+
+    /// Live (non-discarded) context count per subject, across all kinds
+    /// — the per-shard load histogram hot-shard rebalancing consumes.
+    pub fn subject_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for bucket in self.by_kind.values() {
+            for (subject, handles) in &bucket.by_subject {
+                let live = handles
+                    .iter()
+                    .filter(|&&h| {
+                        self.resolve(h)
+                            .and_then(|i| self.payloads[i].as_ref())
+                            .is_some_and(|c| c.state() != ContextState::Inconsistent)
+                    })
+                    .count();
+                if live > 0 {
+                    *counts.entry(subject.to_string()).or_default() += live;
+                }
+            }
+        }
+        counts
     }
 
     /// Iterates over the contexts currently *available* to applications
-    /// (`Consistent` and unexpired).
+    /// (`Consistent` and unexpired), in arrival order.
     pub fn available_at<'a>(
         &'a self,
         now: LogicalTime,
     ) -> impl Iterator<Item = (ContextId, &'a Context)> + 'a {
-        self.entries
-            .iter()
+        self.iter()
             .filter(move |(_, c)| c.state().is_available() && c.is_live(now))
-            .map(|(id, c)| (*id, c))
     }
 
     /// The most recent available context of `kind` about `subject`.
@@ -180,11 +328,9 @@ impl ContextPool {
     /// [`ContextError::UnknownContext`] when `id` is absent;
     /// [`ContextError::IllegalTransition`] when the life cycle forbids it.
     pub fn set_state(&mut self, id: ContextId, next: ContextState) -> Result<(), ContextError> {
-        let ctx = self
-            .entries
-            .get_mut(&id)
-            .ok_or(ContextError::UnknownContext(id))?;
-        ctx.set_state(next)
+        self.get_mut(id)
+            .ok_or(ContextError::UnknownContext(id))?
+            .set_state(next)
     }
 
     /// Discards a context unconditionally, setting it `Inconsistent`
@@ -201,12 +347,73 @@ impl ContextPool {
     ///
     /// [`ContextError::UnknownContext`] when `id` is absent.
     pub fn discard(&mut self, id: ContextId) -> Result<(), ContextError> {
-        let ctx = self
-            .entries
-            .get_mut(&id)
-            .ok_or(ContextError::UnknownContext(id))?;
-        ctx.force_state(ContextState::Inconsistent);
+        self.get_mut(id)
+            .ok_or(ContextError::UnknownContext(id))?
+            .force_state(ContextState::Inconsistent);
         Ok(())
+    }
+
+    /// Frees a context's arena slot without touching the kind indexes;
+    /// the caller purges the affected buckets afterwards (individually
+    /// for one-off removals, once per bucket for bulk sweeps).
+    fn release_slot(&mut self, id: ContextId) -> Option<Context> {
+        let slot = self.slot_of(id)?;
+        let ctx = self.payloads[slot].take()?;
+        self.id_slots[id.raw() as usize] = NO_SLOT;
+        self.generations[slot] = self.generations[slot].wrapping_add(1);
+        self.free.push(slot as u32);
+        self.stored -= 1;
+        Some(ctx)
+    }
+
+    /// Drops every dead handle from the kind/subject indexes of `kind`,
+    /// and the bucket entries that become empty with them.
+    fn purge_kind_index(&mut self, kind: &ContextKind) {
+        let Some(bucket) = self.by_kind.get_mut(kind) else {
+            return;
+        };
+        let generations = &self.generations;
+        bucket
+            .all
+            .retain(|h| generations[h.slot as usize] == h.generation);
+        bucket.by_subject.retain(|_, handles| {
+            handles.retain(|h| generations[h.slot as usize] == h.generation);
+            !handles.is_empty()
+        });
+        if bucket.all.is_empty() {
+            self.by_kind.remove(kind);
+        }
+    }
+
+    /// Physically removes the contexts selected by `doom`, purging each
+    /// affected kind index once rather than per removal.
+    ///
+    /// Scans occupied slots directly rather than going through
+    /// [`Self::iter`]: the id table grows monotonically with every
+    /// insertion ever made, so an id-ordered walk would make each
+    /// sweep O(total inserts) — ruinous for the per-submit retention
+    /// compaction on long runs — while the slot arrays stay sized to
+    /// the stored population. Removal needs no particular order.
+    fn remove_where(&mut self, doom: impl Fn(&Context) -> bool) -> usize {
+        let doomed: Vec<(ContextId, ContextKind)> = self
+            .payloads
+            .iter()
+            .zip(&self.slot_ids)
+            .filter_map(|(payload, &id)| payload.as_ref().map(|c| (id, c)))
+            .filter(|(_, c)| doom(c))
+            .map(|(id, c)| (id, c.kind().clone()))
+            .collect();
+        let mut kinds: Vec<ContextKind> = Vec::new();
+        for (id, kind) in &doomed {
+            self.release_slot(*id);
+            if !kinds.contains(kind) {
+                kinds.push(kind.clone());
+            }
+        }
+        for kind in &kinds {
+            self.purge_kind_index(kind);
+        }
+        doomed.len()
     }
 
     /// Compacts the pool for long-running deployments: physically
@@ -215,50 +422,32 @@ impl ContextPool {
     /// and undecided recent contexts are untouched. Returns how many
     /// were removed.
     pub fn compact(&mut self, horizon: LogicalTime) -> usize {
-        let doomed: Vec<ContextId> = self
-            .entries
-            .iter()
-            .filter(|(_, c)| {
-                c.stamp() < horizon
-                    && (c.state() == ContextState::Inconsistent || !c.is_live(horizon))
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        for id in &doomed {
-            self.remove(*id);
-        }
-        doomed.len()
+        self.remove_where(|c| {
+            c.stamp() < horizon && (c.state() == ContextState::Inconsistent || !c.is_live(horizon))
+        })
     }
 
     /// Removes expired contexts from the pool and returns how many were
     /// dropped. Discarded contexts are kept regardless (for metrics).
     pub fn sweep_expired(&mut self, now: LogicalTime) -> usize {
-        let doomed: Vec<ContextId> = self
-            .entries
-            .iter()
-            .filter(|(_, c)| !c.is_live(now) && c.state() != ContextState::Inconsistent)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in &doomed {
-            self.remove(*id);
-        }
-        doomed.len()
+        self.remove_where(|c| !c.is_live(now) && c.state() != ContextState::Inconsistent)
     }
 
     /// Physically removes a context and its index entries.
     pub fn remove(&mut self, id: ContextId) -> Option<Context> {
-        let ctx = self.entries.remove(&id)?;
-        if let Some(v) = self.by_kind.get_mut(ctx.kind()) {
-            v.retain(|i| *i != id);
-        }
-        if let Some(v) = self
-            .by_kind_subject
-            .get_mut(ctx.kind())
-            .and_then(|subjects| subjects.get_mut(ctx.subject()))
-        {
-            v.retain(|i| *i != id);
-        }
+        let ctx = self.release_slot(id)?;
+        let kind = ctx.kind().clone();
+        self.purge_kind_index(&kind);
         Some(ctx)
+    }
+
+    /// Consumes the pool, yielding its contexts in arrival order.
+    fn drain_arrival_order(mut self) -> impl Iterator<Item = Context> {
+        let id_slots = std::mem::take(&mut self.id_slots);
+        id_slots
+            .into_iter()
+            .filter(|&slot| slot != NO_SLOT)
+            .map(move |slot| self.payloads[slot as usize].take().expect("occupied slot"))
     }
 
     /// Splits the pool into `n` pools by a routing function over the
@@ -274,14 +463,9 @@ impl ContextPool {
     pub fn split_by(self, n: usize, mut route: impl FnMut(&Context) -> usize) -> Vec<ContextPool> {
         assert!(n > 0, "cannot split into zero pools");
         let mut out: Vec<ContextPool> = (0..n).map(|_| ContextPool::new()).collect();
-        for (_, ctx) in self.entries {
+        for ctx in self.drain_arrival_order() {
             let slot = route(&ctx) % n;
-            let state = ctx.state();
-            let id = out[slot].insert(ctx);
-            out[slot]
-                .get_mut(id)
-                .expect("just inserted")
-                .force_state(state);
+            out[slot].insert(ctx);
         }
         out
     }
@@ -290,10 +474,8 @@ impl ContextPool {
     /// their arrival order (their ids are reassigned; states are kept).
     /// The inverse of [`ContextPool::split_by`] up to id renumbering.
     pub fn absorb(&mut self, other: ContextPool) {
-        for (_, ctx) in other.entries {
-            let state = ctx.state();
-            let id = self.insert(ctx);
-            self.get_mut(id).expect("just inserted").force_state(state);
+        for ctx in other.drain_arrival_order() {
+            self.insert(ctx);
         }
     }
 
@@ -304,8 +486,9 @@ impl ContextPool {
     /// sharded-middleware tests compare against a single-threaded run.
     pub fn signature(&self) -> Vec<(ContextKind, String, LogicalTime, ContextState)> {
         let mut sig: Vec<_> = self
-            .entries
-            .values()
+            .payloads
+            .iter()
+            .flatten()
             .map(|c| {
                 (
                     c.kind().clone(),
@@ -323,10 +506,10 @@ impl ContextPool {
     pub fn stats(&self) -> PoolStats {
         let mut s = PoolStats {
             inserted: self.inserted,
-            stored: self.entries.len(),
+            stored: self.stored,
             ..PoolStats::default()
         };
-        for c in self.entries.values() {
+        for c in self.payloads.iter().flatten() {
             match c.state() {
                 ContextState::Undecided => s.undecided += 1,
                 ContextState::Consistent => s.consistent += 1,
@@ -583,5 +766,98 @@ mod tests {
         let kind = ContextKind::new("location");
         assert_eq!(pool.of_kind_live_at(&kind, LogicalTime::new(1)).count(), 2);
         assert_eq!(pool.of_kind_live_at(&kind, LogicalTime::new(5)).count(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_invalidates_stale_ids_and_reorders_nothing() {
+        let mut pool = ContextPool::new();
+        let a = pool.insert(loc("p", 1));
+        let b = pool.insert(loc("p", 2));
+        pool.remove(a);
+        // The freed slot is reused, but the old id must stay dead.
+        let c = pool.insert(loc("q", 3));
+        assert!(pool.get(a).is_none());
+        assert!(!pool.contains(a));
+        assert_eq!(pool.get(c).unwrap().subject(), "q");
+        let order: Vec<ContextId> = pool.iter().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![b, c], "arrival order survives slot reuse");
+        assert_eq!(pool.of_kind(&ContextKind::new("location")).count(), 2);
+    }
+
+    #[test]
+    fn of_kind_order_is_stamp_then_id_even_for_stale_arrivals() {
+        let mut pool = ContextPool::new();
+        let late = pool.insert(loc("p", 10));
+        let early = pool.insert(loc("p", 2)); // arrives after, stamped before
+        let tie = pool.insert(loc("q", 10));
+        let kind = ContextKind::new("location");
+        let order: Vec<ContextId> = pool.of_kind(&kind).map(|(id, _)| id).collect();
+        assert_eq!(order, vec![early, late, tie], "(stamp, id) order");
+        let by_subject: Vec<ContextId> = pool.of_subject(&kind, "p").map(|(id, _)| id).collect();
+        assert_eq!(by_subject, vec![early, late]);
+    }
+
+    #[test]
+    fn of_subject_live_at_restricts_domain() {
+        let mut pool = ContextPool::new();
+        pool.insert(loc("p", 1));
+        pool.insert(loc("q", 2));
+        pool.insert(
+            Context::builder(ContextKind::new("location"), "p")
+                .stamp(LogicalTime::new(3))
+                .lifespan(Lifespan::with_ttl(LogicalTime::new(3), Ticks::new(2)))
+                .build(),
+        );
+        let kind = ContextKind::new("location");
+        assert_eq!(
+            pool.of_subject_live_at(&kind, "p", LogicalTime::new(4))
+                .count(),
+            2
+        );
+        assert_eq!(
+            pool.of_subject_live_at(&kind, "p", LogicalTime::new(9))
+                .count(),
+            1,
+            "expired drops out"
+        );
+        assert_eq!(
+            pool.of_subject_live_at(&kind, "q", LogicalTime::new(4))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn subject_counts_track_live_contexts() {
+        let mut pool = ContextPool::new();
+        pool.insert(loc("p", 1));
+        pool.insert(loc("p", 2));
+        let doomed = pool.insert(loc("q", 3));
+        pool.insert(Context::builder(ContextKind::new("rfid"), "p").build());
+        pool.discard(doomed).unwrap();
+        let counts = pool.subject_counts();
+        assert_eq!(counts.get("p"), Some(&3), "all kinds count");
+        assert_eq!(counts.get("q"), None, "discarded contexts do not");
+    }
+
+    #[test]
+    fn bulk_sweep_purges_indexes_once() {
+        let mut pool = ContextPool::new();
+        for t in 0..50 {
+            pool.insert(
+                Context::builder(ContextKind::new("location"), "p")
+                    .stamp(LogicalTime::new(t))
+                    .lifespan(Lifespan::with_ttl(LogicalTime::new(t), Ticks::new(5)))
+                    .build(),
+            );
+        }
+        pool.insert(loc("p", 100));
+        assert_eq!(pool.sweep_expired(LogicalTime::new(200)), 50);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.of_kind(&ContextKind::new("location")).count(), 1);
+        assert_eq!(
+            pool.of_subject(&ContextKind::new("location"), "p").count(),
+            1
+        );
     }
 }

@@ -9,7 +9,9 @@
 //! ```
 //!
 //! The history interleaves rows from independent series —
-//! `shard_throughput` at each shard count, `eval_bench/<deployment>` —
+//! `shard_throughput` at each shard count, `eval_bench/<deployment>`,
+//! `city` (the city-scale batch-ingestion bench, whose obs-overhead
+//! fields are recorded as zero and therefore never trip the obs gate) —
 //! distinguished by the `(bench, shards, quick, host, contexts)` key.
 //! For each distinct series, the most recent row is the run under
 //! judgment; its baseline is the median of up to 5 most recent
@@ -76,7 +78,7 @@ fn main() {
     };
     if history.is_empty() {
         eprintln!(
-            "bench_report: {} is empty — run shard_bench or eval_bench first",
+            "bench_report: {} is empty — run shard_bench, eval_bench, or city_bench first",
             history_path.display()
         );
         std::process::exit(2);

@@ -1,0 +1,326 @@
+//! City-scale ingestion benchmark: Zipf-skewed traffic from 10^5
+//! subjects with churn, streamed in amortized batches through the
+//! sharded engine with hot-shard rebalancing between batches, recorded
+//! as `BENCH_city.json` (run it from the repo root).
+//!
+//! Where `shard_bench` measures a dense 32-subject stream (every
+//! incremental check quantifies over everyone), this bench measures the
+//! regime the arena/SoA pool and the per-subject indexes were built
+//! for: a huge sparse population where each reading only ever has to be
+//! checked against its own subject's track. The workload comes from
+//! [`ctxres_experiments::city`] — deterministic Zipf traffic, subject
+//! churn, and a teleport rate that plants genuine speed-constraint
+//! violations throughout the trace.
+//!
+//! Two configurations are timed: the global-mutex engine submitting
+//! contexts one at a time (the paper's deployment model) and the
+//! sharded engine ingesting via `batch_add` with a periodic
+//! rebalancing cycle — every few batches the engine drains, reads
+//! per-shard subject loads, asks [`ShardPlan::rebalance`] for a better
+//! placement, and applies it before continuing. Both must report the
+//! identical inconsistency count.
+//!
+//! Every run appends one [`BenchRecord`] row with `bench: "city"` to
+//! `results/bench_history.jsonl` (override with `CTXRES_BENCH_HISTORY`)
+//! — a separate series from `shard_throughput`, judged by the same
+//! `bench_report` gate. The observability-overhead fields are recorded
+//! as zero: this bench does not measure obs configurations (that is
+//! `shard_bench`'s job) and zero keeps the 3% obs gate inert for the
+//! city series. `CTXRES_BENCH_QUICK=1` shrinks the workload for CI
+//! smoke runs; the shard count comes from the first CLI argument, then
+//! `CTXRES_SHARDS`, then a default of 4.
+
+use ctxres_constraint::parse_constraints;
+use ctxres_context::{Context, Ticks};
+use ctxres_core::strategies::DropBad;
+use ctxres_experiments::bench_history::{
+    append_history, commit_stamp, history_path_from_env, host_stamp, BenchRecord, ShardThroughput,
+};
+use ctxres_experiments::city::{CityConfig, CityWorkload};
+use ctxres_middleware::{
+    Middleware, MiddlewareConfig, ShardPlan, ShardedMiddleware, SharedMiddleware,
+};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+const SPEED: &str = "constraint speed:
+    forall a: location, b: location .
+      (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+
+const DEFAULT_SHARDS: usize = 4;
+/// Contexts per `batch_add` call.
+const BATCH: usize = 4096;
+/// A rebalancing cycle runs every this many batches.
+const REBALANCE_EVERY: usize = 8;
+/// Shards hotter than this factor × mean load trigger a rebalance.
+const HOT_FACTOR: f64 = 1.2;
+/// Sliding retention window, in ticks. A city stream never keeps the
+/// full history: readings older than this are compacted away, which
+/// also bounds the per-subject track each incremental check scans.
+const RETENTION: u64 = 512;
+/// Timed repetitions of the sharded configuration (best-of).
+const REPS: usize = 3;
+
+/// Shard count: first CLI argument, then `CTXRES_SHARDS`, then 4.
+fn shard_count() -> usize {
+    let parse = |s: String| s.trim().parse::<usize>().ok().filter(|n| *n >= 1);
+    std::env::args()
+        .nth(1)
+        .and_then(parse)
+        .or_else(|| std::env::var("CTXRES_SHARDS").ok().and_then(parse))
+        .unwrap_or(DEFAULT_SHARDS)
+}
+
+fn engine() -> Middleware {
+    Middleware::builder()
+        .constraints(parse_constraints(SPEED).unwrap())
+        .strategy(Box::new(DropBad::new()))
+        .config(MiddlewareConfig {
+            window: Ticks::new(0),
+            track_ground_truth: false,
+            retention: Some(Ticks::new(RETENTION)),
+        })
+        .build()
+}
+
+/// One sharded ingestion pass over the trace: amortized batches with a
+/// rebalancing cycle every [`REBALANCE_EVERY`] batches. Returns the
+/// inconsistency count and how many rebalances actually applied.
+fn run_sharded(trace: &[Context], shards: usize) -> (u64, usize, ShardedMiddleware) {
+    let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), shards);
+    let mut sharded = ShardedMiddleware::new(plan, |_| engine());
+    let mut rebalances = 0usize;
+    for (i, chunk) in trace.chunks(BATCH).enumerate() {
+        sharded.batch_add(chunk);
+        if (i + 1) % REBALANCE_EVERY == 0 {
+            // apply_plan requires drained shards, and rebalancing off
+            // stale loads would chase last cycle's traffic anyway.
+            sharded.drain();
+            let loads = sharded.subject_loads();
+            if let Some(new_plan) = sharded.plan().rebalance(&loads, HOT_FACTOR) {
+                sharded.apply_plan(new_plan);
+                rebalances += 1;
+            }
+        }
+    }
+    sharded.drain();
+    let found = sharded.stats().inconsistencies;
+    (found, rebalances, sharded)
+}
+
+/// Days-since-epoch to civil date (Howard Hinnant's algorithm); avoids
+/// pulling in a date crate for one timestamp.
+fn today_utc() -> String {
+    let days = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() / 86_400)
+        .unwrap_or(0) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Everything one run writes to `BENCH_city.json`.
+#[derive(serde::Serialize)]
+struct BenchFile {
+    bench: String,
+    contexts_per_sec: f64,
+    shards: usize,
+    speedup_vs_mutex: f64,
+    subjects: usize,
+    zipf_exponent: f64,
+    churned_subjects: u64,
+    teleports: u64,
+    inconsistencies: u64,
+    rebalances: usize,
+    batch_size: usize,
+    commit: String,
+    host: String,
+    quick: bool,
+    contexts: usize,
+    date: String,
+    per_shard: Vec<ShardThroughput>,
+}
+
+fn main() {
+    let quick = std::env::var("CTXRES_BENCH_QUICK").is_ok();
+    let shards = shard_count();
+    let (subjects, total) = if quick {
+        (20_000, 80_000)
+    } else {
+        (100_000, 400_000)
+    };
+    let cfg = CityConfig {
+        subjects,
+        ..CityConfig::default()
+    };
+    let mut city = CityWorkload::new(cfg.clone());
+    let trace = city.batch(total);
+    let n = trace.len();
+    eprintln!(
+        "city bench: {n} contexts, {subjects} subjects (zipf {:.1}), {} churned, {} teleports, {shards} shards, best of {REPS}",
+        cfg.zipf_exponent,
+        city.churned(),
+        city.teleports(),
+    );
+
+    // Mutex baseline: one rep of one-at-a-time submission under a
+    // global lock — the deployment model the paper assumes. One rep
+    // suffices; the headline number is the sharded batch rate, and a
+    // second baseline rep would double the bench's wall time for a
+    // denominator that only feeds `speedup_vs_mutex`.
+    let mutex_start = Instant::now();
+    let shared = SharedMiddleware::new(engine());
+    for ctx in &trace {
+        shared.lock().submit(ctx.clone());
+    }
+    shared.lock().drain();
+    let mutex_secs = mutex_start.elapsed().as_secs_f64();
+    let mutex_found = shared.lock().stats().inconsistencies;
+    drop(shared);
+    eprintln!("  mutex: {:.1} ctx/s", n as f64 / mutex_secs);
+
+    let mut best_secs = f64::INFINITY;
+    let mut shard_found = 0u64;
+    let mut rebalances = 0usize;
+    let mut last_run: Option<ShardedMiddleware> = None;
+    for rep in 0..REPS {
+        let start = Instant::now();
+        let (found, rebs, sharded) = run_sharded(&trace, shards);
+        let secs = start.elapsed().as_secs_f64();
+        eprintln!(
+            "  sharded rep {}: {:.1} ctx/s, {rebs} rebalance(s)",
+            rep + 1,
+            n as f64 / secs,
+        );
+        best_secs = best_secs.min(secs);
+        shard_found = found;
+        rebalances = rebs;
+        last_run = Some(sharded);
+    }
+
+    assert_eq!(
+        mutex_found, shard_found,
+        "sharded batch ingestion must find the same inconsistencies as the mutex baseline"
+    );
+    assert!(
+        shard_found > 0,
+        "the city trace plants teleports; a zero count means detection broke"
+    );
+
+    let contexts_per_sec = n as f64 / best_secs;
+    let speedup = mutex_secs / best_secs;
+    eprintln!(
+        "mutex: {:.1} ctx/s | sharded({shards}): {:.1} ctx/s | speedup {:.2}x | {} inconsistencies | {} rebalances",
+        n as f64 / mutex_secs,
+        contexts_per_sec,
+        speedup,
+        shard_found,
+        rebalances,
+    );
+
+    // Per-shard breakdown from the last timed run: which shards carried
+    // the city after rebalancing settled.
+    let per_shard: Vec<ShardThroughput> = {
+        let sharded = last_run.expect("at least one sharded rep ran");
+        let stats = sharded.shard_stats();
+        let total_ingested: u64 = stats.iter().map(|s| s.ingested).sum::<u64>().max(1);
+        stats
+            .iter()
+            .map(|s| {
+                let share = s.ingested as f64 / total_ingested as f64;
+                ShardThroughput {
+                    shard: s.shard,
+                    shared_scope: s.shared_scope,
+                    ingested: s.ingested,
+                    share_pct: round2(share * 100.0),
+                    contexts_per_sec: round1(contexts_per_sec * share),
+                }
+            })
+            .collect()
+    };
+    for s in &per_shard {
+        eprintln!(
+            "  shard {:>2}{}: {:>7} ingested ({:>5.2}%) ≈ {:.1} ctx/s",
+            s.shard,
+            if s.shared_scope {
+                " (shared-scope)"
+            } else {
+                ""
+            },
+            s.ingested,
+            s.share_pct,
+            s.contexts_per_sec,
+        );
+    }
+
+    let commit = commit_stamp();
+    let host = host_stamp();
+    let date = today_utc();
+
+    let file = BenchFile {
+        bench: "city".to_owned(),
+        contexts_per_sec: round1(contexts_per_sec),
+        shards,
+        speedup_vs_mutex: round2(speedup),
+        subjects,
+        zipf_exponent: cfg.zipf_exponent,
+        churned_subjects: city.churned(),
+        teleports: city.teleports(),
+        inconsistencies: shard_found,
+        rebalances,
+        batch_size: BATCH,
+        commit: commit.clone(),
+        host: host.clone(),
+        quick,
+        contexts: n,
+        date: date.clone(),
+        per_shard: per_shard.clone(),
+    };
+    let json = serde_json::to_string_pretty(&file).expect("serialize bench file");
+    match std::fs::write("BENCH_city.json", format!("{json}\n")) {
+        Ok(()) => eprintln!("wrote BENCH_city.json"),
+        Err(e) => eprintln!("could not write BENCH_city.json: {e}"),
+    }
+
+    let record = BenchRecord {
+        bench: "city".to_owned(),
+        commit,
+        host,
+        date,
+        quick,
+        shards,
+        contexts: n,
+        contexts_per_sec: round1(contexts_per_sec),
+        speedup_vs_mutex: round2(speedup),
+        // Not measured here — zero keeps the obs gate inert for this
+        // series (shard_bench owns the obs-overhead measurements).
+        obs_overhead_pct: 0.0,
+        obs_enabled_overhead_pct: 0.0,
+        obs_export_overhead_pct: 0.0,
+        obs_prov_overhead_pct: None,
+        per_shard,
+    };
+    let history = history_path_from_env();
+    match append_history(&history, &record) {
+        Ok(()) => eprintln!("appended run to {}", history.display()),
+        Err(e) => eprintln!("could not append bench history: {e}"),
+    }
+
+    println!("{json}");
+}

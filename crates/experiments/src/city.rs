@@ -1,0 +1,293 @@
+//! City-scale workload generation: 10^5–10^6 subjects with
+//! Zipf-distributed traffic and subject churn.
+//!
+//! The paper evaluates its heuristics on tens of subjects; the ROADMAP
+//! north star is a city. This module synthesizes that load
+//! deterministically: a fixed population of subjects emits location
+//! readings with Zipf-skewed frequency (a few commuters dominate, a
+//! long tail appears rarely), subjects churn in and out of the
+//! population, and a tunable fraction of readings "teleport" —
+//! violating the §2.2 speed constraint so the resolution pipeline has
+//! real work. Everything is driven by a hand-rolled [`SplitMix64`]
+//! so the same seed always yields the same byte-identical trace (no
+//! dependency on an external RNG crate).
+
+use ctxres_context::{Context, ContextKind, Lifespan, LogicalTime, Point, Ticks};
+
+/// SplitMix64: a tiny, high-quality deterministic PRNG (Steele et al.,
+/// "Fast splittable pseudorandom number generators", OOPSLA'14). Four
+/// arithmetic ops per draw, full 2^64 period, and — unlike `RandomState`
+/// — identical output on every platform and run, which the
+/// batch-equivalence tests and bench reproducibility rely on.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits, the standard conversion.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform draw in `[0, bound)`.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        (self.next_f64() * bound as f64) as usize % bound.max(1)
+    }
+}
+
+/// Parameters of a [`CityWorkload`].
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Population size (the paper's experiments use tens; a city uses
+    /// 10^5–10^6).
+    pub subjects: usize,
+    /// Zipf exponent `s` of the traffic skew: rank-`r` subjects emit
+    /// with weight `1/r^s`. `0.0` is uniform; `1.0` is classic Zipf.
+    pub zipf_exponent: f64,
+    /// Probability per emitted reading that its subject churns out of
+    /// the population and a fresh subject takes over the rank slot.
+    pub churn_per_event: f64,
+    /// Probability per reading of a teleport — an implied speed above
+    /// the §2.2 bound, i.e. a context inconsistency to resolve.
+    pub teleport_rate: f64,
+    /// Freshness of each reading, in ticks: readings expire this long
+    /// after their stamp, as location fixes do. `None` means readings
+    /// never expire — only suitable for small traces, since live
+    /// per-subject tracks (and every check over them) then grow without
+    /// bound.
+    pub ttl_ticks: Option<u64>,
+    /// RNG seed; equal seeds yield byte-identical traces.
+    pub seed: u64,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        CityConfig {
+            subjects: 100_000,
+            zipf_exponent: 1.0,
+            churn_per_event: 0.001,
+            teleport_rate: 0.02,
+            ttl_ticks: Some(512),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Deterministic city-traffic generator. Produces location contexts in
+/// globally nondecreasing stamp order (one logical tick per reading),
+/// with per-subject monotonically increasing `seq` attributes — the
+/// shape the speed constraint and the middleware's ordering invariants
+/// expect.
+#[derive(Debug)]
+pub struct CityWorkload {
+    cfg: CityConfig,
+    rng: SplitMix64,
+    kind: ContextKind,
+    /// Cumulative Zipf weights over rank slots; sampled by binary search.
+    cdf: Vec<f64>,
+    /// Current occupant of each rank slot.
+    names: Vec<String>,
+    /// Per-slot reading counter (the `seq` attribute).
+    seqs: Vec<i64>,
+    /// Per-slot position and the tick of the last reading.
+    xs: Vec<f64>,
+    last_tick: Vec<u64>,
+    tick: u64,
+    emitted: u64,
+    churned: u64,
+    teleports: u64,
+}
+
+impl CityWorkload {
+    /// Builds the generator, precomputing the Zipf CDF (O(subjects)).
+    pub fn new(cfg: CityConfig) -> Self {
+        assert!(cfg.subjects > 0, "a city needs at least one subject");
+        let mut cdf = Vec::with_capacity(cfg.subjects);
+        let mut acc = 0.0f64;
+        for rank in 1..=cfg.subjects {
+            acc += 1.0 / (rank as f64).powf(cfg.zipf_exponent);
+            cdf.push(acc);
+        }
+        let mut rng = SplitMix64::new(cfg.seed);
+        let names = (0..cfg.subjects).map(|i| format!("cit-{i}")).collect();
+        let xs = (0..cfg.subjects).map(|_| rng.next_f64() * 1000.0).collect();
+        CityWorkload {
+            seqs: vec![0; cfg.subjects],
+            last_tick: vec![0; cfg.subjects],
+            names,
+            xs,
+            cdf,
+            rng,
+            kind: ContextKind::new("location"),
+            cfg,
+            tick: 0,
+            emitted: 0,
+            churned: 0,
+            teleports: 0,
+        }
+    }
+
+    /// Samples a rank slot from the Zipf CDF.
+    fn sample_slot(&mut self) -> usize {
+        let total = *self.cdf.last().expect("non-empty cdf");
+        let u = self.rng.next_f64() * total;
+        self.cdf
+            .partition_point(|&c| c < u)
+            .min(self.cfg.subjects - 1)
+    }
+
+    /// Emits the next reading.
+    pub fn next_context(&mut self) -> Context {
+        self.tick += 1;
+        self.emitted += 1;
+        let slot = self.sample_slot();
+        if self.seqs[slot] > 0 && self.rng.next_f64() < self.cfg.churn_per_event {
+            // The occupant leaves the city; a fresh subject inherits the
+            // rank slot (same traffic weight, new identity and track).
+            self.churned += 1;
+            self.names[slot] = format!("cit-{}-{}", slot, self.churned);
+            self.seqs[slot] = 0;
+            self.xs[slot] = self.rng.next_f64() * 1000.0;
+        }
+        // Movement scales with the subject's stamp gap so the implied
+        // speed stays well under the 1.5/tick bound — except for a
+        // teleport, which jumps at 3×/tick regardless of gap.
+        let dt = (self.tick - self.last_tick[slot]).max(1) as f64;
+        if self.rng.next_f64() < self.cfg.teleport_rate && self.seqs[slot] > 0 {
+            self.teleports += 1;
+            self.xs[slot] += 3.0 * dt;
+        } else {
+            self.xs[slot] += 0.5 * dt * self.rng.next_f64();
+        }
+        self.last_tick[slot] = self.tick;
+        let seq = self.seqs[slot];
+        self.seqs[slot] += 1;
+        let stamp = LogicalTime::new(self.tick);
+        let mut builder = Context::builder(self.kind.clone(), self.names[slot].as_str())
+            .attr("pos", Point::new(self.xs[slot], 0.0))
+            .attr("seq", seq)
+            .stamp(stamp);
+        if let Some(ttl) = self.cfg.ttl_ticks {
+            builder = builder.lifespan(Lifespan::with_ttl(stamp, Ticks::new(ttl)));
+        }
+        builder.build()
+    }
+
+    /// Emits the next `size` readings as one batch.
+    pub fn batch(&mut self, size: usize) -> Vec<Context> {
+        (0..size).map(|_| self.next_context()).collect()
+    }
+
+    /// Total readings emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Subjects that churned out of the population so far.
+    pub fn churned(&self) -> u64 {
+        self.churned
+    }
+
+    /// Teleporting (speed-violating) readings emitted so far.
+    pub fn teleports(&self) -> u64 {
+        self.teleports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn small() -> CityConfig {
+        CityConfig {
+            subjects: 500,
+            churn_per_event: 0.01,
+            teleport_rate: 0.05,
+            ..CityConfig::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_yields_identical_traces() {
+        let a: Vec<Context> = CityWorkload::new(small()).batch(2_000);
+        let b: Vec<Context> = CityWorkload::new(small()).batch(2_000);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.subject(), y.subject());
+            assert_eq!(x.stamp(), y.stamp());
+            assert_eq!(x.attr("seq"), y.attr("seq"));
+            assert_eq!(x.attr("pos"), y.attr("pos"));
+        }
+    }
+
+    #[test]
+    fn traffic_is_zipf_skewed() {
+        let mut city = CityWorkload::new(CityConfig {
+            churn_per_event: 0.0,
+            ..small()
+        });
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for ctx in city.batch(10_000) {
+            *counts.entry(ctx.subject().to_owned()).or_default() += 1;
+        }
+        let head = counts.get("cit-0").copied().unwrap_or(0);
+        let mut tail: Vec<usize> = (400..500)
+            .map(|i| counts.get(&format!("cit-{i}")).copied().unwrap_or(0))
+            .collect();
+        tail.sort_unstable();
+        // Rank 1 must dwarf the rank 400+ tail.
+        assert!(
+            head > 10 * tail[tail.len() / 2].max(1),
+            "head {head} vs tail median {}",
+            tail[tail.len() / 2]
+        );
+    }
+
+    #[test]
+    fn churn_replaces_subjects_and_resets_their_tracks() {
+        let mut city = CityWorkload::new(CityConfig {
+            churn_per_event: 0.2,
+            ..small()
+        });
+        let batch = city.batch(5_000);
+        assert!(city.churned() > 0, "churn must occur at this rate");
+        // Fresh occupants restart their seq counters at 0.
+        let replacement = batch
+            .iter()
+            .find(|c| c.subject().matches('-').count() == 2)
+            .expect("a churned-in subject appears");
+        assert!(replacement.subject().starts_with("cit-"));
+    }
+
+    #[test]
+    fn stamps_are_strictly_increasing_and_seqs_monotonic_per_subject() {
+        let mut city = CityWorkload::new(small());
+        let batch = city.batch(3_000);
+        let mut last_stamp = LogicalTime::ZERO;
+        let mut seqs: BTreeMap<String, i64> = BTreeMap::new();
+        for c in &batch {
+            assert!(c.stamp() > last_stamp, "global stamps strictly increase");
+            last_stamp = c.stamp();
+            let seq = c.number("seq").expect("seq attr present") as i64;
+            if let Some(prev) = seqs.insert(c.subject().to_owned(), seq) {
+                assert_eq!(seq, prev + 1, "per-subject seq increments by one");
+            }
+        }
+        assert!(city.teleports() > 0, "violations exist in the trace");
+    }
+}

@@ -35,6 +35,7 @@
 pub mod ablation;
 pub mod bench_history;
 pub mod case_study;
+pub mod city;
 pub mod coverage;
 pub mod explain;
 pub mod extended;

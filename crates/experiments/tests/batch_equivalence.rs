@@ -1,0 +1,219 @@
+//! Property-based equivalence of amortized batch ingestion.
+//!
+//! `Middleware::batch_add` amortizes per-kind planning and
+//! `ShardedMiddleware::batch_add_owned` partitions a batch across shard
+//! threads — both are optimizations with a hard contract: the verdict
+//! stream must be **bit-identical** to submitting the same contexts one
+//! at a time. These tests drive randomized city-workload batches
+//! through all four paper strategies on both engines and require the
+//! complete observable record to match — per-context submit reports,
+//! middleware stats, use log, detections, observer event stream, and
+//! the causal provenance chain of every discarded context.
+
+use ctxres_constraint::parse_constraints;
+use ctxres_context::{Context, Ticks};
+use ctxres_core::strategies::by_name;
+use ctxres_experiments::city::{CityConfig, CityWorkload};
+use ctxres_experiments::explain::render_chain;
+use ctxres_middleware::{
+    Event, EventLog, Middleware, MiddlewareConfig, ShardPlan, ShardedMiddleware, SubmitReport,
+    UseRecord,
+};
+use ctxres_obs::{ObsConfig, ProvenanceGraph};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const SPEED: &str = "constraint speed:
+    forall a: location, b: location .
+      (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+
+const STRATEGIES: [&str; 4] = ["d-bad", "d-lat", "d-all", "opt-r"];
+
+/// A small randomized city trace; tight subject counts keep per-subject
+/// tracks long enough that consecutive-pair checks really fire.
+fn city_trace(subjects: usize, len: usize, teleport_pct: u32, seed: u64) -> Vec<Context> {
+    CityWorkload::new(CityConfig {
+        subjects,
+        churn_per_event: 0.01,
+        teleport_rate: f64::from(teleport_pct) / 100.0,
+        ttl_ticks: None,
+        seed,
+        ..CityConfig::default()
+    })
+    .batch(len)
+}
+
+fn engine(strategy: &str, seed: u64, window: u64) -> (Middleware, Arc<Mutex<EventLog>>) {
+    let log = Arc::new(Mutex::new(EventLog::new()));
+    let mw = Middleware::builder()
+        .constraints(parse_constraints(SPEED).unwrap())
+        .strategy(by_name(strategy, seed).expect("known strategy"))
+        .config(MiddlewareConfig {
+            window: Ticks::new(window),
+            track_ground_truth: false,
+            retention: None,
+        })
+        .observer(Box::new(Arc::clone(&log)))
+        .build();
+    (mw, log)
+}
+
+/// Everything a sequential run observably produces.
+#[derive(Debug, PartialEq)]
+struct RunRecord {
+    reports: Vec<SubmitReport>,
+    stats: ctxres_middleware::MiddlewareStats,
+    uses: Vec<UseRecord>,
+    detections: Vec<String>,
+    events: Vec<Event>,
+}
+
+fn record(
+    mw: &mut Middleware,
+    log: &Arc<Mutex<EventLog>>,
+    reports: Vec<SubmitReport>,
+) -> RunRecord {
+    mw.drain();
+    RunRecord {
+        reports,
+        stats: *mw.stats(),
+        uses: mw.use_log().to_vec(),
+        detections: mw.detections().iter().map(|d| d.to_string()).collect(),
+        events: log.lock().events().to_vec(),
+    }
+}
+
+/// The sorted causal chains of every discarded context in a sharded
+/// run's trace. Sorted because shard threads interleave ring writes;
+/// each chain itself is per-context and must match exactly.
+fn discarded_chains(registry: &ctxres_obs::ObsRegistry) -> Vec<String> {
+    assert_eq!(registry.dropped(), 0, "ring must hold the whole run");
+    let trace = registry.drain();
+    let graph = ProvenanceGraph::from_records(&trace);
+    let mut chains: Vec<String> = graph.discarded().iter().map(|n| render_chain(n)).collect();
+    chains.sort();
+    chains
+}
+
+/// One sharded run; `ingest` performs the actual submission.
+fn sharded_run(
+    strategy: &str,
+    seed: u64,
+    ingest: impl FnOnce(&ShardedMiddleware),
+) -> (
+    ctxres_middleware::MiddlewareStats,
+    Vec<(
+        ctxres_context::ContextKind,
+        String,
+        ctxres_context::LogicalTime,
+        ctxres_context::ContextState,
+    )>,
+    Vec<String>,
+) {
+    let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), 4);
+    let registry = ShardedMiddleware::obs_registry(&plan, ObsConfig::enabled());
+    let sharded = ShardedMiddleware::new_observed(plan, &registry, |_, obs| {
+        Middleware::builder()
+            .constraints(parse_constraints(SPEED).unwrap())
+            .strategy(by_name(strategy, seed).expect("known strategy"))
+            .config(MiddlewareConfig {
+                window: Ticks::new(0),
+                track_ground_truth: false,
+                retention: None,
+            })
+            .obs(obs)
+            .build()
+    });
+    ingest(&sharded);
+    sharded.drain();
+    (
+        sharded.stats(),
+        sharded.signature(),
+        discarded_chains(&registry),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// `Middleware::batch_add` produces the identical verdict stream to
+    /// one-at-a-time submission: same per-context reports, stats, use
+    /// log, detections, and observer events, across randomized city
+    /// batches, all four strategies.
+    #[test]
+    fn sequential_batch_add_matches_one_at_a_time(
+        subjects in 6usize..40,
+        len in 60usize..220,
+        teleport_pct in 5u32..30,
+        seed in 0u64..1000,
+        window in 0u64..3,
+    ) {
+        let trace = city_trace(subjects, len, teleport_pct, seed);
+        for strategy in STRATEGIES {
+            let (mut one, one_log) = engine(strategy, seed, window);
+            let one_reports: Vec<SubmitReport> =
+                trace.iter().cloned().map(|c| one.submit(c)).collect();
+            let one_rec = record(&mut one, &one_log, one_reports);
+
+            let (mut batched, batch_log) = engine(strategy, seed, window);
+            let batch_reports = batched.batch_add(trace.clone());
+            let batch_rec = record(&mut batched, &batch_log, batch_reports);
+
+            prop_assert_eq!(
+                &one_rec, &batch_rec,
+                "batch_add diverged from sequential submission for {}", strategy
+            );
+        }
+    }
+
+    /// `ShardedMiddleware::batch_add_owned` agrees with per-context
+    /// `submit` on stats, the pool signature, and the causal provenance
+    /// chain of every discarded context.
+    #[test]
+    fn sharded_batch_add_matches_sequential_submission(
+        subjects in 6usize..30,
+        len in 60usize..180,
+        teleport_pct in 5u32..30,
+        seed in 0u64..1000,
+    ) {
+        let trace = city_trace(subjects, len, teleport_pct, seed);
+        for strategy in STRATEGIES {
+            let (seq_stats, seq_sig, seq_chains) = sharded_run(strategy, seed, |s| {
+                for ctx in &trace {
+                    s.submit(ctx.clone());
+                }
+            });
+            let (bat_stats, bat_sig, bat_chains) = sharded_run(strategy, seed, |s| {
+                s.batch_add_owned(trace.clone());
+            });
+            prop_assert_eq!(seq_stats, bat_stats, "stats diverged for {}", strategy);
+            prop_assert_eq!(seq_sig, bat_sig, "pool signature diverged for {}", strategy);
+            prop_assert_eq!(
+                seq_chains, bat_chains,
+                "provenance chains diverged for {}", strategy
+            );
+        }
+    }
+}
+
+/// A fixed high-teleport cell as a plain test, so the contract is also
+/// exercised on every `cargo test` without the proptest feature dance.
+#[test]
+fn batch_equivalence_smoke() {
+    let trace = city_trace(12, 240, 20, 42);
+    for strategy in STRATEGIES {
+        let (mut one, one_log) = engine(strategy, 42, 0);
+        let one_reports: Vec<SubmitReport> = trace.iter().cloned().map(|c| one.submit(c)).collect();
+        let one_rec = record(&mut one, &one_log, one_reports);
+        assert!(
+            one_rec.stats.inconsistencies > 0,
+            "{strategy}: the cell must detect something to be a real test"
+        );
+
+        let (mut batched, batch_log) = engine(strategy, 42, 0);
+        let batch_reports = batched.batch_add(trace.clone());
+        let batch_rec = record(&mut batched, &batch_log, batch_reports);
+        assert_eq!(one_rec, batch_rec, "{strategy}");
+    }
+}

@@ -65,7 +65,7 @@ mod subscription;
 pub use concurrent::{PumpHandle, SharedMiddleware};
 pub use middleware::{Middleware, MiddlewareBuilder, MiddlewareConfig, SubmitReport, UseRecord};
 pub use observer::{Event, EventLog, MiddlewareObserver};
-pub use shard::{ShardPlan, ShardedMiddleware};
+pub use shard::{ShardLoad, ShardPlan, ShardedMiddleware};
 pub use situation::{SituationEngine, SituationStatus};
 pub use stats::{MiddlewareStats, ShardStats};
 pub use subscription::{SubscriptionFilter, SubscriptionId};

@@ -4,7 +4,9 @@ use crate::observer::MiddlewareObserver;
 use crate::situation::{RoundCounters, SituationEngine};
 use crate::stats::MiddlewareStats;
 use crate::subscription::{SubscriptionFilter, SubscriptionId, SubscriptionTable};
-use ctxres_constraint::{Constraint, ConstraintSet, IncrementalChecker, PredicateRegistry};
+use ctxres_constraint::{
+    Constraint, ConstraintSet, IncrementalChecker, KindPlan, PredicateRegistry,
+};
 use ctxres_context::{
     Context, ContextId, ContextKind, ContextPool, ContextState, LogicalTime, Ticks, TruthTag,
 };
@@ -222,6 +224,34 @@ impl Middleware {
     /// stamp advances the logical clock; buffered contexts whose window
     /// elapsed are used first.
     pub fn submit(&mut self, ctx: Context) -> SubmitReport {
+        self.submit_with_plan(ctx, None)
+    }
+
+    /// Submits a whole batch in arrival order, amortizing the per-kind
+    /// checking work: the batch is grouped by kind up front, each
+    /// distinct kind's [`KindPlan`] (relevance + pinned-quantifier
+    /// positions) is built once, and every context of the kind is
+    /// checked through that plan. The verdict stream — reports,
+    /// discards, provenance, situation rounds — is identical to
+    /// submitting the contexts one at a time (enforced by the
+    /// batch-equivalence proptests).
+    pub fn batch_add(&mut self, batch: Vec<Context>) -> Vec<SubmitReport> {
+        let mut plans: HashMap<ContextKind, KindPlan> = HashMap::new();
+        for ctx in &batch {
+            if !plans.contains_key(ctx.kind()) {
+                plans.insert(ctx.kind().clone(), self.checker.plan_for(ctx.kind()));
+            }
+        }
+        batch
+            .into_iter()
+            .map(|ctx| {
+                let plan = plans.get(ctx.kind());
+                self.submit_with_plan(ctx, plan)
+            })
+            .collect()
+    }
+
+    fn submit_with_plan(&mut self, ctx: Context, plan: Option<&KindPlan>) -> SubmitReport {
         let stamp = ctx.stamp();
         if stamp > self.clock {
             self.clock = stamp;
@@ -283,7 +313,11 @@ impl Middleware {
             }
         }
 
-        if !self.checker.is_relevant(&kind) {
+        let relevant = match plan {
+            Some(p) => p.is_relevant(),
+            None => self.checker.is_relevant(&kind),
+        };
+        if !relevant {
             // Fig. 7 Part 1: irrelevant contexts become consistent and
             // available immediately; applications use them on their
             // normal cadence.
@@ -335,20 +369,25 @@ impl Middleware {
         }
 
         let check_span = self.obs.span(MetricKind::CheckLatency);
-        let fresh: Vec<Inconsistency> =
-            match self.checker.on_added(&self.registry, &self.pool, now, id) {
-                Ok(ds) => ds
-                    .into_iter()
-                    .map(|d| Inconsistency::new(&d.constraint, d.link, now))
-                    .collect(),
-                Err(_) => {
-                    // A constraint referenced a predicate/attribute this
-                    // context lacks: detection is skipped for this addition
-                    // but the middleware keeps running (and counts it).
-                    self.stats.eval_errors += 1;
-                    Vec::new()
-                }
-            };
+        let checked = match plan {
+            Some(p) => self
+                .checker
+                .on_added_planned(p, &self.registry, &self.pool, now, id),
+            None => self.checker.on_added(&self.registry, &self.pool, now, id),
+        };
+        let fresh: Vec<Inconsistency> = match checked {
+            Ok(ds) => ds
+                .into_iter()
+                .map(|d| Inconsistency::new(&d.constraint, d.link, now))
+                .collect(),
+            Err(_) => {
+                // A constraint referenced a predicate/attribute this
+                // context lacks: detection is skipped for this addition
+                // but the middleware keeps running (and counts it).
+                self.stats.eval_errors += 1;
+                Vec::new()
+            }
+        };
         check_span.finish();
         let compiled_delta = self.checker.stats().compiled_evals - self.reported_compiled_evals;
         if compiled_delta > 0 {
@@ -433,6 +472,38 @@ impl Middleware {
             }
         });
         report
+    }
+
+    /// Removes and returns every stored context `select` matches, in
+    /// arrival order. Used by shard rebalancing to migrate subjects
+    /// between shard engines; callers must ensure nothing in flight
+    /// (buffered uses, strategy decisions) refers to the departing ids.
+    pub(crate) fn extract_where(&mut self, select: impl Fn(&Context) -> bool) -> Vec<Context> {
+        let ids: Vec<ContextId> = self
+            .pool
+            .iter()
+            .filter(|(_, c)| select(c))
+            .map(|(id, _)| id)
+            .collect();
+        ids.into_iter()
+            .filter_map(|id| self.pool.remove(id))
+            .collect()
+    }
+
+    /// Inserts contexts migrated from another shard, assigning fresh
+    /// ids and rescheduling their expiries. States travel with the
+    /// contexts; stats are untouched — the contexts were already
+    /// counted where they were first received.
+    pub(crate) fn adopt_contexts(&mut self, ctxs: Vec<Context>) {
+        for ctx in ctxs {
+            let kind = ctx.kind().clone();
+            let expires = ctx.lifespan().expires_at();
+            self.pool.insert(ctx);
+            self.mark_dirty_kind(&kind);
+            if let Some(at) = expires {
+                self.schedule_expiry(at, &kind);
+            }
+        }
     }
 
     /// Advances the logical clock, using every buffered context whose
@@ -846,7 +917,10 @@ pub struct MiddlewareBuilder {
     config: MiddlewareConfig,
     observers: Vec<Box<dyn MiddlewareObserver>>,
     obs: ShardObs,
-    disable_situation_cache: bool,
+    /// `None` until [`MiddlewareBuilder::situation_cache`] is called; the
+    /// unset default then falls back to the `CTXRES_SITUATION_CACHE`
+    /// environment variable (see [`MiddlewareBuilder::build`]).
+    situation_cache: Option<bool>,
 }
 
 impl fmt::Debug for MiddlewareBuilder {
@@ -911,8 +985,13 @@ impl MiddlewareBuilder {
     /// **on**). Disabling makes every dirty round re-evaluate every
     /// situation — the reference behaviour the cache must match
     /// bit-for-bit, kept switchable for A/B verification and benchmarks.
+    ///
+    /// When this method is never called, the `CTXRES_SITUATION_CACHE`
+    /// environment variable decides (`0`/`false`/`off` disable; anything
+    /// else, or unset, enables) — this is how CI runs the whole tier-1
+    /// suite with the cache escape hatch engaged without touching code.
     pub fn situation_cache(mut self, enabled: bool) -> Self {
-        self.disable_situation_cache = !enabled;
+        self.situation_cache = Some(enabled);
         self
     }
 
@@ -963,7 +1042,12 @@ impl MiddlewareBuilder {
             detections: Vec::new(),
             use_log: Vec::new(),
             dirty: false,
-            situation_cache: !self.disable_situation_cache,
+            situation_cache: self.situation_cache.unwrap_or_else(|| {
+                !matches!(
+                    std::env::var("CTXRES_SITUATION_CACHE").as_deref(),
+                    Ok("0") | Ok("false") | Ok("off")
+                )
+            }),
             dirty_kinds: HashSet::new(),
             gt_dirty_kinds: HashSet::new(),
             expiry_queue: BTreeMap::new(),

@@ -38,7 +38,7 @@ use ctxres_constraint::{global_kinds, Constraint};
 use ctxres_context::{Context, ContextKind, ContextState, LogicalTime};
 use ctxres_obs::{MetricKind, ObsConfig, ObsRegistry, ShardObs};
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// FNV-1a, for a stable subject → shard assignment (independent of the
@@ -58,6 +58,28 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 pub struct ShardPlan {
     subject_shards: usize,
     global_kinds: BTreeSet<ContextKind>,
+    /// Subjects pinned to a specific shard by rebalancing, overriding
+    /// the hash route. Empty until [`ShardPlan::rebalance`] produces a
+    /// successor plan.
+    overrides: BTreeMap<String, usize>,
+}
+
+/// The live-context load of one subject shard, as harvested by
+/// [`ShardedMiddleware::subject_loads`] — the input to hot-shard
+/// detection and [`ShardPlan::rebalance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Subject-shard index.
+    pub shard: usize,
+    /// Live contexts per subject (sorted by subject).
+    pub subjects: Vec<(String, usize)>,
+}
+
+impl ShardLoad {
+    /// Total live contexts on the shard.
+    pub fn total(&self) -> usize {
+        self.subjects.iter().map(|(_, n)| n).sum()
+    }
 }
 
 impl ShardPlan {
@@ -74,6 +96,7 @@ impl ShardPlan {
         ShardPlan {
             subject_shards,
             global_kinds: global_kinds(constraints),
+            overrides: BTreeMap::new(),
         }
     }
 
@@ -109,7 +132,91 @@ impl ShardPlan {
         } else {
             ctx.subject()
         };
+        if let Some(&pinned) = self.overrides.get(key) {
+            return pinned;
+        }
         (fnv1a64(key.as_bytes()) % self.subject_shards as u64) as usize
+    }
+
+    /// The rebalancing overrides currently pinning subjects to shards.
+    pub fn overrides(&self) -> &BTreeMap<String, usize> {
+        &self.overrides
+    }
+
+    /// Subject shards carrying more than `factor`× the mean
+    /// subject-shard load, hottest first (ties broken by index). The
+    /// shared-scope shard never counts: its load is fixed by constraint
+    /// scope, not subject placement.
+    pub fn hot_shards(&self, loads: &[ShardLoad], factor: f64) -> Vec<usize> {
+        let totals = self.load_totals(loads);
+        let mean = totals.iter().sum::<usize>() as f64 / self.subject_shards as f64;
+        let mut hot: Vec<usize> = (0..self.subject_shards)
+            .filter(|&i| totals[i] as f64 > factor * mean && totals[i] > 0)
+            .collect();
+        hot.sort_by_key(|&i| (std::cmp::Reverse(totals[i]), i));
+        hot
+    }
+
+    /// Plans a deterministic rebalancing pass: every shard hotter than
+    /// `factor`× the mean subject-shard load sheds its heaviest subjects
+    /// (ties broken by subject name) to the least-loaded shard until it
+    /// reaches the mean. Returns the successor plan carrying the updated
+    /// overrides, or `None` when no shard is hot — routing, and thus the
+    /// engine, is untouched in that case.
+    ///
+    /// The plan is pure: feeding the same loads always yields the same
+    /// plan, so a sharded engine applying it between batches stays
+    /// deterministic.
+    pub fn rebalance(&self, loads: &[ShardLoad], factor: f64) -> Option<ShardPlan> {
+        let hot = self.hot_shards(loads, factor);
+        if hot.is_empty() {
+            return None;
+        }
+        let mut totals = self.load_totals(loads);
+        let mean = (totals.iter().sum::<usize>() as f64 / self.subject_shards as f64).ceil();
+        let mut overrides = self.overrides.clone();
+        for h in hot {
+            let mut subjects: Vec<(String, usize)> = loads
+                .iter()
+                .filter(|l| l.shard == h)
+                .flat_map(|l| l.subjects.iter().cloned())
+                .collect();
+            subjects.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for (subject, count) in subjects {
+                if (totals[h] as f64) <= mean {
+                    break;
+                }
+                let target = (0..self.subject_shards)
+                    .min_by_key(|&i| (totals[i], i))
+                    .expect("at least one subject shard");
+                if target == h || totals[target] + count > totals[h] - count {
+                    // Moving would not reduce the imbalance.
+                    continue;
+                }
+                totals[h] -= count;
+                totals[target] += count;
+                overrides.insert(subject, target);
+            }
+        }
+        if overrides == self.overrides {
+            return None;
+        }
+        Some(ShardPlan {
+            subject_shards: self.subject_shards,
+            global_kinds: self.global_kinds.clone(),
+            overrides,
+        })
+    }
+
+    /// Per-subject-shard totals from `loads` (missing shards count 0).
+    fn load_totals(&self, loads: &[ShardLoad]) -> Vec<usize> {
+        let mut totals = vec![0usize; self.subject_shards];
+        for l in loads {
+            if l.shard < self.subject_shards {
+                totals[l.shard] += l.total();
+            }
+        }
+        totals
     }
 }
 
@@ -243,10 +350,21 @@ impl ShardedMiddleware {
     /// order — the order detection semantics care about — matches a
     /// serial submission of the same batch.
     pub fn batch_add(&self, batch: &[Context]) -> usize {
+        self.batch_add_owned(batch.to_vec())
+    }
+
+    /// [`ShardedMiddleware::batch_add`] taking ownership: partitioning
+    /// moves each context into its shard's chunk instead of cloning it —
+    /// the path the city-scale benchmarks drive, where a per-context
+    /// clone of attribute maps would dominate routing. Each shard then
+    /// ingests its whole chunk through the amortized
+    /// [`Middleware::batch_add`].
+    pub fn batch_add_owned(&self, batch: Vec<Context>) -> usize {
+        let total = batch.len();
         let route_span = self.obs.span(MetricKind::RouteLatency);
         let mut per_shard: Vec<Vec<Context>> = vec![Vec::new(); self.shards.len()];
         for ctx in batch {
-            per_shard[self.plan.route(ctx)].push(ctx.clone());
+            per_shard[self.plan.route(&ctx)].push(ctx);
         }
         route_span.finish();
         std::thread::scope(|scope| {
@@ -262,9 +380,7 @@ impl ShardedMiddleware {
                     // the ingest span can outlive `mw`'s borrows.
                     let obs = mw.obs().clone();
                     let span = obs.span(MetricKind::IngestLatency);
-                    for ctx in chunk {
-                        mw.submit(ctx);
-                    }
+                    mw.batch_add(chunk);
                     span.finish();
                 });
                 handles.push((i, handle));
@@ -278,7 +394,80 @@ impl ShardedMiddleware {
                 }
             }
         });
-        batch.len()
+        total
+    }
+
+    /// The per-subject live-context load of every subject shard,
+    /// harvested shard by shard under each shard's own lock — the input
+    /// [`ShardPlan::rebalance`] consumes.
+    pub fn subject_loads(&self) -> Vec<ShardLoad> {
+        (0..self.plan.subject_shards())
+            .map(|i| ShardLoad {
+                shard: i,
+                subjects: self.shards[i]
+                    .lock()
+                    .pool()
+                    .subject_counts()
+                    .into_iter()
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Adopts a rebalanced routing plan between batches: every stored
+    /// context whose shard changes under `new_plan` migrates pool to
+    /// pool (its state travels with it), and subsequent submissions
+    /// route by the new plan. Migration is deterministic: sources are
+    /// visited in shard order and each yields its contexts in arrival
+    /// order.
+    ///
+    /// Detections already reported are unaffected — per-subject
+    /// constraint checking sees the same subject-complete bucket on the
+    /// new shard. For the rare subject-routed constraint on the
+    /// full-check fallback path, a violation involving migrated
+    /// contexts may be re-reported once on the new shard (the diff
+    /// baseline does not migrate).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `new_plan` changes the shard count or global kinds
+    /// (only subject overrides may differ), or when any shard still has
+    /// buffered contexts — call [`ShardedMiddleware::drain`] first, so
+    /// no in-flight use or strategy decision can refer to a migrating
+    /// context.
+    pub fn apply_plan(&mut self, new_plan: ShardPlan) {
+        assert_eq!(
+            new_plan.subject_shards(),
+            self.plan.subject_shards(),
+            "apply_plan cannot change the shard count"
+        );
+        assert_eq!(
+            new_plan.global_kinds(),
+            self.plan.global_kinds(),
+            "apply_plan cannot change the global-kind set"
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            assert_eq!(
+                shard.lock().buffered(),
+                0,
+                "apply_plan requires drained shards; shard {i} still buffers contexts"
+            );
+        }
+        let mut moves: Vec<Vec<Context>> = vec![Vec::new(); self.shards.len()];
+        for i in 0..self.plan.subject_shards() {
+            let migrated = self.shards[i]
+                .lock()
+                .extract_where(|c| new_plan.route(c) != i);
+            for ctx in migrated {
+                moves[new_plan.route(&ctx)].push(ctx);
+            }
+        }
+        for (target, ctxs) in moves.into_iter().enumerate() {
+            if !ctxs.is_empty() {
+                self.shards[target].lock().adopt_contexts(ctxs);
+            }
+        }
+        self.plan = new_plan;
     }
 
     /// Consumes a context channel to exhaustion, routing each context
@@ -571,6 +760,169 @@ mod tests {
         sharded.batch_add(&[loc("alice", 0, 0.0)]);
         sharded.drain();
         assert!(registry.drain().is_empty());
+    }
+
+    #[test]
+    fn batch_add_owned_matches_borrowed_batch_add() {
+        let trace: Vec<Context> = (0..30)
+            .flat_map(|t| {
+                ["alice", "bob", "carol"].into_iter().map(move |s| {
+                    let x = if t % 10 == 9 { 500.0 } else { t as f64 * 0.5 };
+                    loc(s, t, x)
+                })
+            })
+            .collect();
+        let borrowed = engine(SPEED, 3);
+        borrowed.batch_add(&trace);
+        borrowed.drain();
+        let owned = engine(SPEED, 3);
+        owned.batch_add_owned(trace);
+        owned.drain();
+        assert_eq!(borrowed.signature(), owned.signature());
+        assert_eq!(
+            borrowed.stats().inconsistencies,
+            owned.stats().inconsistencies
+        );
+    }
+
+    #[test]
+    fn hot_shard_detection_flags_overloaded_shards() {
+        let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), 4);
+        let loads = vec![
+            ShardLoad {
+                shard: 0,
+                subjects: vec![("a".into(), 90), ("b".into(), 10)],
+            },
+            ShardLoad {
+                shard: 1,
+                subjects: vec![("c".into(), 10)],
+            },
+            ShardLoad {
+                shard: 2,
+                subjects: vec![("d".into(), 12)],
+            },
+            ShardLoad {
+                shard: 3,
+                subjects: vec![],
+            },
+        ];
+        // Mean load is (100+10+12)/4 = 30.5; only shard 0 exceeds 1.5×.
+        assert_eq!(plan.hot_shards(&loads, 1.5), vec![0]);
+        assert!(plan.hot_shards(&loads, 4.0).is_empty());
+    }
+
+    #[test]
+    fn rebalance_pins_heavy_subjects_to_cold_shards() {
+        let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), 2);
+        let loads = vec![
+            ShardLoad {
+                shard: 0,
+                subjects: vec![("whale".into(), 80), ("minnow".into(), 20)],
+            },
+            ShardLoad {
+                shard: 1,
+                subjects: vec![("shrimp".into(), 10)],
+            },
+        ];
+        let balanced = plan.rebalance(&loads, 1.2).expect("shard 0 is hot");
+        // Deterministic: same input, same plan.
+        assert_eq!(plan.rebalance(&loads, 1.2), Some(balanced.clone()));
+        // The heaviest movable subject lands on the cold shard, and
+        // routing follows the override.
+        assert_eq!(balanced.overrides().get("minnow"), Some(&1));
+        assert_eq!(balanced.route(&loc("minnow", 0, 0.0)), 1);
+        // A balanced cluster yields no successor plan at all.
+        let even = vec![
+            ShardLoad {
+                shard: 0,
+                subjects: vec![("a".into(), 50)],
+            },
+            ShardLoad {
+                shard: 1,
+                subjects: vec![("b".into(), 50)],
+            },
+        ];
+        assert_eq!(plan.rebalance(&even, 1.2), None);
+    }
+
+    #[test]
+    fn apply_plan_migrates_contexts_and_detection_continues() {
+        let mut sharded = engine(SPEED, 2);
+        // Subjects that all hash-route to one shard: a synthetic hot shard.
+        let home = sharded.plan().route(&loc("s0", 0, 0.0));
+        let colocated: Vec<String> = (0..50)
+            .map(|i| format!("s{i}"))
+            .filter(|s| {
+                sharded
+                    .plan()
+                    .route(&Context::builder(ContextKind::new("location"), s.as_str()).build())
+                    == home
+            })
+            .take(3)
+            .collect();
+        assert_eq!(colocated.len(), 3, "need three colocated subjects");
+        let mut batch = Vec::new();
+        for t in 0..8 {
+            for s in &colocated {
+                batch.push(loc(s, t, t as f64 * 0.5));
+            }
+        }
+        sharded.batch_add_owned(batch);
+        sharded.drain();
+        let before = sharded.signature();
+
+        let loads = sharded.subject_loads();
+        let plan = sharded
+            .plan()
+            .rebalance(&loads, 1.2)
+            .expect("one shard holds everything");
+        sharded.apply_plan(plan);
+
+        // Contents survive the migration bit-for-bit...
+        assert_eq!(sharded.signature(), before);
+        // ...the load actually spread...
+        let totals: Vec<usize> = sharded
+            .subject_loads()
+            .iter()
+            .map(ShardLoad::total)
+            .collect();
+        assert!(
+            totals.iter().all(|&t| t > 0),
+            "both shards now loaded: {totals:?}"
+        );
+        // ...and detection still sees the migrated subject's history: a
+        // teleport right after its last fix is caught on the new shard.
+        let moved = sharded
+            .plan()
+            .overrides()
+            .keys()
+            .next()
+            .expect("rebalance pinned a subject")
+            .clone();
+        let inc_before = sharded.stats().inconsistencies;
+        sharded.submit(loc(&moved, 8, 500.0));
+        assert!(sharded.stats().inconsistencies > inc_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires drained shards")]
+    fn apply_plan_rejects_undrained_shards() {
+        let constraints = parse_constraints(SPEED).unwrap();
+        let plan = ShardPlan::analyze(&constraints, 2);
+        let mut sharded = ShardedMiddleware::new(plan.clone(), |_| {
+            Middleware::builder()
+                .constraints(parse_constraints(SPEED).unwrap())
+                .strategy(Box::new(DropBad::new()))
+                .config(MiddlewareConfig {
+                    window: Ticks::new(10),
+                    track_ground_truth: false,
+                    retention: None,
+                })
+                .build()
+        });
+        sharded.submit(loc("alice", 0, 0.0));
+        // alice is still buffered (window 10): migration must refuse.
+        sharded.apply_plan(plan);
     }
 
     #[test]
