@@ -48,7 +48,7 @@ mod value;
 
 pub use context::{Context, ContextBuilder, ContextId, ContextKind, SourceId, TruthTag};
 pub use error::ContextError;
-pub use pool::{ContextPool, PoolStats};
+pub use pool::{ContextPool, KindWatermark, PoolStats};
 pub use state::ContextState;
 pub use time::{Lifespan, LogicalTime, Ticks};
 pub use value::{ContextValue, Point};

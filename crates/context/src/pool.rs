@@ -24,6 +24,22 @@ pub struct PoolStats {
     pub inconsistent: usize,
 }
 
+/// Per-kind occupancy watermark: how many live contexts a kind bucket
+/// holds and how old the oldest of them is — the raw material for the
+/// staleness estimators in the observability layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindWatermark {
+    /// The kind the watermark describes.
+    pub kind: ContextKind,
+    /// Live (not `Inconsistent`) contexts of the kind.
+    pub live: usize,
+    /// Stamp of the oldest live context, when one exists.
+    pub oldest_stamp: Option<LogicalTime>,
+    /// Time-to-live of the oldest live context, in ticks
+    /// (`expires_at - stamp`); `None` when it never expires.
+    pub oldest_ttl: Option<u64>,
+}
+
 /// Sentinel in the id → slot table for a removed context.
 const NO_SLOT: u32 = u32::MAX;
 
@@ -93,6 +109,9 @@ pub struct ContextPool {
     next_id: u64,
     inserted: u64,
     stored: usize,
+    /// Lifetime count of slot generation bumps (slot recycles): every
+    /// removal invalidates a slot and returns it to the free list.
+    recycles: u64,
 }
 
 /// Inserts `handle` into `index`, keeping it ordered by `(stamp, id)`.
@@ -363,6 +382,7 @@ impl ContextPool {
         self.generations[slot] = self.generations[slot].wrapping_add(1);
         self.free.push(slot as u32);
         self.stored -= 1;
+        self.recycles += 1;
         Some(ctx)
     }
 
@@ -518,6 +538,66 @@ impl ContextPool {
             }
         }
         s
+    }
+
+    /// Occupied arena slots (== [`ContextPool::len`]): contexts
+    /// currently stored, whatever their state.
+    pub fn live_slots(&self) -> usize {
+        self.stored
+    }
+
+    /// Arena slots on the free list, ready for reuse. `live + free`
+    /// is the arena's high-water footprint.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Lifetime count of slot recycles (generation bumps). A recycle
+    /// happens on every removal; a count that grows while `live_slots`
+    /// stays flat means the arena is turning slots over rather than
+    /// growing — the healthy steady state.
+    pub fn slot_recycles(&self) -> u64 {
+        self.recycles
+    }
+
+    /// Per-kind occupancy watermarks: for each kind with a bucket, the
+    /// live context count plus the stamp and TTL of the oldest live
+    /// context (the bucket is `(stamp, id)`-sorted, so the first live
+    /// handle is the oldest). Feeds the staleness estimators in the
+    /// observability layer.
+    pub fn kind_watermarks(&self) -> Vec<KindWatermark> {
+        let mut marks: Vec<KindWatermark> = self
+            .by_kind
+            .iter()
+            .map(|(kind, bucket)| {
+                let mut live = 0usize;
+                let mut oldest: Option<&Context> = None;
+                for &h in &bucket.all {
+                    let Some(i) = self.resolve(h) else { continue };
+                    let Some(c) = self.payloads[i].as_ref() else {
+                        continue;
+                    };
+                    if c.state() == ContextState::Inconsistent {
+                        continue;
+                    }
+                    live += 1;
+                    if oldest.is_none() {
+                        oldest = Some(c);
+                    }
+                }
+                KindWatermark {
+                    kind: kind.clone(),
+                    live,
+                    oldest_stamp: oldest.map(|c| c.stamp()),
+                    oldest_ttl: oldest.and_then(|c| {
+                        let exp = c.lifespan().expires_at()?;
+                        Some((exp - c.stamp()).count())
+                    }),
+                }
+            })
+            .collect();
+        marks.sort_by(|a, b| a.kind.cmp(&b.kind));
+        marks
     }
 }
 
@@ -675,6 +755,60 @@ mod tests {
     fn from_iterator_collects() {
         let pool: ContextPool = (0..4).map(|t| loc("p", t)).collect();
         assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn arena_gauges_track_occupancy_and_recycles() {
+        let mut pool = ContextPool::new();
+        let a = pool.insert(loc("p", 1));
+        let b = pool.insert(loc("p", 2));
+        assert_eq!(pool.live_slots(), 2);
+        assert_eq!(pool.free_slots(), 0);
+        assert_eq!(pool.slot_recycles(), 0);
+        pool.remove(a).unwrap();
+        assert_eq!(pool.live_slots(), 1);
+        assert_eq!(pool.free_slots(), 1);
+        assert_eq!(pool.slot_recycles(), 1);
+        // Reuse the freed slot: occupancy recovers, the recycle count
+        // keeps its history.
+        let c = pool.insert(loc("p", 3));
+        assert_eq!(pool.live_slots(), 2);
+        assert_eq!(pool.free_slots(), 0);
+        assert_eq!(pool.slot_recycles(), 1);
+        pool.remove(b).unwrap();
+        pool.remove(c).unwrap();
+        assert_eq!(pool.slot_recycles(), 3);
+    }
+
+    #[test]
+    fn kind_watermarks_report_oldest_live_context() {
+        let mut pool = ContextPool::new();
+        let oldest = pool.insert(
+            Context::builder(ContextKind::new("location"), "p")
+                .stamp(LogicalTime::new(2))
+                .lifespan(Lifespan::with_ttl(LogicalTime::new(2), Ticks::new(10)))
+                .build(),
+        );
+        pool.insert(loc("p", 7));
+        pool.insert(Context::builder(ContextKind::new("rfid"), "tag").build());
+
+        let marks = pool.kind_watermarks();
+        assert_eq!(marks.len(), 2);
+        let loc_mark = &marks[0];
+        assert_eq!(loc_mark.kind, ContextKind::new("location"));
+        assert_eq!(loc_mark.live, 2);
+        assert_eq!(loc_mark.oldest_stamp, Some(LogicalTime::new(2)));
+        assert_eq!(loc_mark.oldest_ttl, Some(10));
+        let rfid_mark = &marks[1];
+        assert_eq!(rfid_mark.live, 1);
+        assert_eq!(rfid_mark.oldest_ttl, None, "forever contexts have no ttl");
+
+        // Discarding the oldest moves the watermark to the next live one.
+        pool.discard(oldest).unwrap();
+        let marks = pool.kind_watermarks();
+        assert_eq!(marks[0].live, 1);
+        assert_eq!(marks[0].oldest_stamp, Some(LogicalTime::new(7)));
+        assert_eq!(marks[0].oldest_ttl, None);
     }
 
     #[test]

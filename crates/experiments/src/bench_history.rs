@@ -86,6 +86,12 @@ pub struct BenchRecord {
     /// that do not measure it (a missing field deserializes as `None`,
     /// so old histories keep loading).
     pub obs_prov_overhead_pct: Option<f64>,
+    /// Cost of live health telemetry (metrics-only registry with
+    /// per-kind quality counters and batch-boundary pool/watermark
+    /// publishing), percent vs unobserved, as a median of paired
+    /// obs-on/obs-off reps. `None` for rows written before health
+    /// telemetry existed and for benches that do not measure it.
+    pub obs_health_overhead_pct: Option<f64>,
     /// Per-shard ingest breakdown of the sharded configuration.
     pub per_shard: Vec<ShardThroughput>,
 }
@@ -284,7 +290,8 @@ pub fn evaluate(current: &BenchRecord, prior: &[BenchRecord], thresholds: &Thres
     let worst_pct = current
         .obs_overhead_pct
         .max(current.obs_export_overhead_pct)
-        .max(current.obs_prov_overhead_pct.unwrap_or(0.0));
+        .max(current.obs_prov_overhead_pct.unwrap_or(0.0))
+        .max(current.obs_health_overhead_pct.unwrap_or(0.0));
     let overhead = if worst_pct > thresholds.obs_overhead_pct {
         OverheadVerdict::Exceeded { worst_pct }
     } else {
@@ -294,6 +301,27 @@ pub fn evaluate(current: &BenchRecord, prior: &[BenchRecord], thresholds: &Thres
         throughput,
         overhead,
     }
+}
+
+/// Overhead of `num` over `den` as the **median of per-rep paired
+/// ratios**, in percent. Rep *i* of the two configurations ran
+/// back-to-back (interleaving), so each ratio sees the same machine
+/// conditions and the median shrugs off the odd rep where a scrape,
+/// page fault, or noisy neighbor landed — far more stable than the
+/// ratio of two independently-chosen bests.
+///
+/// # Panics
+///
+/// Panics when either slice is empty or a timing is not finite.
+pub fn median_paired_overhead_pct(num: &[f64], den: &[f64]) -> f64 {
+    let mut ratios: Vec<f64> = num
+        .iter()
+        .zip(den)
+        .map(|(n, d)| (n / d - 1.0) * 100.0)
+        .collect();
+    assert!(!ratios.is_empty(), "paired overhead needs at least one rep");
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    ratios[ratios.len() / 2]
 }
 
 /// Short commit hash for stamping records: `git rev-parse --short
@@ -358,6 +386,7 @@ mod tests {
             obs_enabled_overhead_pct: 8.0,
             obs_export_overhead_pct: 1.0,
             obs_prov_overhead_pct: Some(0.8),
+            obs_health_overhead_pct: Some(0.6),
             per_shard: vec![ShardThroughput {
                 shard: 0,
                 shared_scope: false,
@@ -474,6 +503,28 @@ mod tests {
         let v = evaluate(&r, &[], &Thresholds::default());
         assert_eq!(v.overhead, OverheadVerdict::Exceeded { worst_pct: 3.2 });
         assert!(v.is_failure());
+    }
+
+    #[test]
+    fn health_overhead_gate_is_absolute() {
+        let mut r = record(1000.0);
+        r.obs_health_overhead_pct = Some(3.7);
+        let v = evaluate(&r, &[], &Thresholds::default());
+        assert_eq!(v.overhead, OverheadVerdict::Exceeded { worst_pct: 3.7 });
+        assert!(v.is_failure());
+    }
+
+    #[test]
+    fn rows_predating_health_telemetry_still_load() {
+        // Same back-compat contract as the provenance field below: rows
+        // appended before the health series existed must parse with no
+        // margin and pass the gate.
+        let line = serde_json::to_string(&record(1000.0)).unwrap();
+        let stripped = line.replace(",\"obs_health_overhead_pct\":0.6", "");
+        assert_ne!(line, stripped, "fixture must actually drop the field");
+        let row: BenchRecord = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(row.obs_health_overhead_pct, None);
+        assert!(!evaluate(&row, &[], &Thresholds::default()).is_failure());
     }
 
     #[test]

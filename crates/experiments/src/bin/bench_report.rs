@@ -10,8 +10,9 @@
 //!
 //! The history interleaves rows from independent series —
 //! `shard_throughput` at each shard count, `eval_bench/<deployment>`,
-//! `city` (the city-scale batch-ingestion bench, whose obs-overhead
-//! fields are recorded as zero and therefore never trip the obs gate) —
+//! `city` (the city-scale batch-ingestion bench, which measures the
+//! live health-telemetry overhead as `obs_health_overhead_pct`; its
+//! other obs-overhead fields are zero/`None` and never trip the gate) —
 //! distinguished by the `(bench, shards, quick, host, contexts)` key.
 //! For each distinct series, the most recent row is the run under
 //! judgment; its baseline is the median of up to 5 most recent
@@ -52,9 +53,10 @@ fn parse_args() -> Result<(PathBuf, Thresholds), String> {
     Ok((history, thresholds))
 }
 
-/// Provenance margin for display: `+1.20%`, or `n/a` when the row
-/// predates the provenance series or the bench does not measure it.
-fn prov_label(pct: Option<f64>) -> String {
+/// Optional overhead margin (provenance, health) for display:
+/// `+1.20%`, or `n/a` when the row predates the series or the bench
+/// does not measure it.
+fn opt_pct_label(pct: Option<f64>) -> String {
     match pct {
         Some(p) => format!("{p:+.2}%"),
         None => "n/a".to_owned(),
@@ -137,18 +139,20 @@ fn main() {
         }
         match &verdict.overhead {
             OverheadVerdict::Pass { worst_pct } => println!(
-                "  obs overhead: PASS — disabled {:+.2}%, export {:+.2}%, provenance {} (worst {:+.2}%, threshold {:.1}%)",
+                "  obs overhead: PASS — disabled {:+.2}%, export {:+.2}%, provenance {}, health {} (worst {:+.2}%, threshold {:.1}%)",
                 current.obs_overhead_pct,
                 current.obs_export_overhead_pct,
-                prov_label(current.obs_prov_overhead_pct),
+                opt_pct_label(current.obs_prov_overhead_pct),
+                opt_pct_label(current.obs_health_overhead_pct),
                 worst_pct,
                 thresholds.obs_overhead_pct,
             ),
             OverheadVerdict::Exceeded { worst_pct } => println!(
-                "  obs overhead: EXCEEDED — disabled {:+.2}%, export {:+.2}%, provenance {} (worst {:+.2}%, threshold {:.1}%)",
+                "  obs overhead: EXCEEDED — disabled {:+.2}%, export {:+.2}%, provenance {}, health {} (worst {:+.2}%, threshold {:.1}%)",
                 current.obs_overhead_pct,
                 current.obs_export_overhead_pct,
-                prov_label(current.obs_prov_overhead_pct),
+                opt_pct_label(current.obs_prov_overhead_pct),
+                opt_pct_label(current.obs_health_overhead_pct),
                 worst_pct,
                 thresholds.obs_overhead_pct,
             ),

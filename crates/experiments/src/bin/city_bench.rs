@@ -20,26 +20,40 @@
 //! placement, and applies it before continuing. Both must report the
 //! identical inconsistency count.
 //!
+//! Two further configurations measure **live health telemetry** on the
+//! city series, mirroring how `shard_bench` isolates the provenance
+//! margin: a metrics-only registry with the health layer switched off
+//! (`ObsConfig::metrics_only().with_health(false)` — counters,
+//! histograms, and a [`Sampler`] tick per rebalance cycle, but no
+//! kind-quality cells or arena/watermark gauges), and the same
+//! registry with health on — the exact always-on monitoring
+//! configuration the soak harness runs. All three configurations are
+//! interleaved within each rep and `obs_health_overhead_pct` is the
+//! **median of paired per-rep ratios** of health-on vs metrics-only —
+//! the *marginal* cost of the quality layer, not the price of metrics
+//! as a whole — which CI gates under 3% via `bench_report`.
+//!
 //! Every run appends one [`BenchRecord`] row with `bench: "city"` to
 //! `results/bench_history.jsonl` (override with `CTXRES_BENCH_HISTORY`)
 //! — a separate series from `shard_throughput`, judged by the same
-//! `bench_report` gate. The observability-overhead fields are recorded
-//! as zero: this bench does not measure obs configurations (that is
-//! `shard_bench`'s job) and zero keeps the 3% obs gate inert for the
-//! city series. `CTXRES_BENCH_QUICK=1` shrinks the workload for CI
-//! smoke runs; the shard count comes from the first CLI argument, then
-//! `CTXRES_SHARDS`, then a default of 4.
+//! `bench_report` gate. The remaining observability-overhead fields
+//! (disabled registry, export, provenance) stay zero/`None`: those
+//! configurations are `shard_bench`'s job. `CTXRES_BENCH_QUICK=1`
+//! shrinks the workload for CI smoke runs; the shard count comes from
+//! the first CLI argument, then `CTXRES_SHARDS`, then a default of 4.
 
 use ctxres_constraint::parse_constraints;
 use ctxres_context::{Context, Ticks};
 use ctxres_core::strategies::DropBad;
 use ctxres_experiments::bench_history::{
-    append_history, commit_stamp, history_path_from_env, host_stamp, BenchRecord, ShardThroughput,
+    append_history, commit_stamp, history_path_from_env, host_stamp, median_paired_overhead_pct,
+    BenchRecord, ShardThroughput,
 };
 use ctxres_experiments::city::{CityConfig, CityWorkload};
 use ctxres_middleware::{
     Middleware, MiddlewareConfig, ShardPlan, ShardedMiddleware, SharedMiddleware,
 };
+use ctxres_obs::{ObsConfig, Sampler};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 const SPEED: &str = "constraint speed:
@@ -70,7 +84,7 @@ fn shard_count() -> usize {
         .unwrap_or(DEFAULT_SHARDS)
 }
 
-fn engine() -> Middleware {
+fn engine_builder() -> ctxres_middleware::MiddlewareBuilder {
     Middleware::builder()
         .constraints(parse_constraints(SPEED).unwrap())
         .strategy(Box::new(DropBad::new()))
@@ -79,15 +93,32 @@ fn engine() -> Middleware {
             track_ground_truth: false,
             retention: Some(Ticks::new(RETENTION)),
         })
-        .build()
 }
 
 /// One sharded ingestion pass over the trace: amortized batches with a
-/// rebalancing cycle every [`REBALANCE_EVERY`] batches. Returns the
-/// inconsistency count and how many rebalances actually applied.
-fn run_sharded(trace: &[Context], shards: usize) -> (u64, usize, ShardedMiddleware) {
+/// rebalancing cycle every [`REBALANCE_EVERY`] batches. With an
+/// [`ObsConfig`] the engines run observed — a registry attached to
+/// every shard and a [`Sampler`] tick per rebalance cycle, the cadence
+/// a live monitor scrapes at; whether the per-kind quality counters
+/// and arena/watermark gauges also record is the config's
+/// `with_health` lever. Returns the inconsistency count and how many
+/// rebalances applied.
+fn run_sharded(
+    trace: &[Context],
+    shards: usize,
+    obs: Option<ObsConfig>,
+) -> (u64, usize, ShardedMiddleware) {
     let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), shards);
-    let mut sharded = ShardedMiddleware::new(plan, |_| engine());
+    let (mut sharded, mut sampler) = if let Some(config) = obs {
+        let registry = ShardedMiddleware::obs_registry(&plan, config);
+        let sharded = ShardedMiddleware::new_observed(plan, &registry, |_, obs| {
+            engine_builder().obs(obs).build()
+        });
+        (sharded, Some(Sampler::new(registry)))
+    } else {
+        let sharded = ShardedMiddleware::new(plan, |_| engine_builder().build());
+        (sharded, None)
+    };
     let mut rebalances = 0usize;
     for (i, chunk) in trace.chunks(BATCH).enumerate() {
         sharded.batch_add(chunk);
@@ -100,9 +131,15 @@ fn run_sharded(trace: &[Context], shards: usize) -> (u64, usize, ShardedMiddlewa
                 sharded.apply_plan(new_plan);
                 rebalances += 1;
             }
+            if let Some(sampler) = &mut sampler {
+                let _ = sampler.sample();
+            }
         }
     }
     sharded.drain();
+    if let Some(sampler) = &mut sampler {
+        let _ = sampler.sample();
+    }
     let found = sharded.stats().inconsistencies;
     (found, rebalances, sharded)
 }
@@ -148,6 +185,7 @@ struct BenchFile {
     teleports: u64,
     inconsistencies: u64,
     rebalances: usize,
+    obs_health_overhead_pct: f64,
     batch_size: usize,
     commit: String,
     host: String,
@@ -185,7 +223,7 @@ fn main() {
     // second baseline rep would double the bench's wall time for a
     // denominator that only feeds `speedup_vs_mutex`.
     let mutex_start = Instant::now();
-    let shared = SharedMiddleware::new(engine());
+    let shared = SharedMiddleware::new(engine_builder().build());
     for ctx in &trace {
         shared.lock().submit(ctx.clone());
     }
@@ -197,39 +235,75 @@ fn main() {
 
     let mut best_secs = f64::INFINITY;
     let mut shard_found = 0u64;
+    let mut metrics_found = 0u64;
+    let mut health_found = 0u64;
     let mut rebalances = 0usize;
     let mut last_run: Option<ShardedMiddleware> = None;
+    let mut metrics_secs = Vec::with_capacity(REPS);
+    let mut health_secs = Vec::with_capacity(REPS);
     for rep in 0..REPS {
+        // All three configurations run back-to-back within each rep, so
+        // each paired ratio sees the same machine conditions — the same
+        // interleaving discipline `shard_bench` uses for provenance.
         let start = Instant::now();
-        let (found, rebs, sharded) = run_sharded(&trace, shards);
+        let (found, rebs, sharded) = run_sharded(&trace, shards, None);
         let secs = start.elapsed().as_secs_f64();
-        eprintln!(
-            "  sharded rep {}: {:.1} ctx/s, {rebs} rebalance(s)",
-            rep + 1,
-            n as f64 / secs,
-        );
         best_secs = best_secs.min(secs);
         shard_found = found;
         rebalances = rebs;
         last_run = Some(sharded);
+
+        let start = Instant::now();
+        let (found, _, _) = run_sharded(
+            &trace,
+            shards,
+            Some(ObsConfig::metrics_only().with_health(false)),
+        );
+        let m_secs = start.elapsed().as_secs_f64();
+        metrics_found = found;
+        metrics_secs.push(m_secs);
+
+        let start = Instant::now();
+        let (found, _, _) = run_sharded(&trace, shards, Some(ObsConfig::metrics_only()));
+        let h_secs = start.elapsed().as_secs_f64();
+        health_found = found;
+        health_secs.push(h_secs);
+        eprintln!(
+            "  sharded rep {}: {:.1} ctx/s, {rebs} rebalance(s) | metrics: {:.1} ctx/s | +health: {:.1} ctx/s ({:+.2}%)",
+            rep + 1,
+            n as f64 / secs,
+            n as f64 / m_secs,
+            n as f64 / h_secs,
+            (h_secs / m_secs - 1.0) * 100.0,
+        );
     }
 
     assert_eq!(
         mutex_found, shard_found,
         "sharded batch ingestion must find the same inconsistencies as the mutex baseline"
     );
+    assert_eq!(
+        shard_found, metrics_found,
+        "the metrics registry must not change results"
+    );
+    assert_eq!(
+        shard_found, health_found,
+        "health telemetry must not change results"
+    );
     assert!(
         shard_found > 0,
         "the city trace plants teleports; a zero count means detection broke"
     );
+    let obs_health_overhead_pct = median_paired_overhead_pct(&health_secs, &metrics_secs);
 
     let contexts_per_sec = n as f64 / best_secs;
     let speedup = mutex_secs / best_secs;
     eprintln!(
-        "mutex: {:.1} ctx/s | sharded({shards}): {:.1} ctx/s | speedup {:.2}x | {} inconsistencies | {} rebalances",
+        "mutex: {:.1} ctx/s | sharded({shards}): {:.1} ctx/s | speedup {:.2}x | health overhead {:+.2}% | {} inconsistencies | {} rebalances",
         n as f64 / mutex_secs,
         contexts_per_sec,
         speedup,
+        obs_health_overhead_pct,
         shard_found,
         rebalances,
     );
@@ -284,6 +358,7 @@ fn main() {
         teleports: city.teleports(),
         inconsistencies: shard_found,
         rebalances,
+        obs_health_overhead_pct: round2(obs_health_overhead_pct),
         batch_size: BATCH,
         commit: commit.clone(),
         host: host.clone(),
@@ -308,12 +383,17 @@ fn main() {
         contexts: n,
         contexts_per_sec: round1(contexts_per_sec),
         speedup_vs_mutex: round2(speedup),
-        // Not measured here — zero keeps the obs gate inert for this
-        // series (shard_bench owns the obs-overhead measurements).
+        // Not measured here — zero/None keeps those gates inert for
+        // this series (shard_bench owns the disabled/export/provenance
+        // overhead measurements).
         obs_overhead_pct: 0.0,
         obs_enabled_overhead_pct: 0.0,
         obs_export_overhead_pct: 0.0,
         obs_prov_overhead_pct: None,
+        // Measured above: the marginal cost of the health layer over
+        // the metrics-only registry, gated under 3% by bench_report
+        // like the other obs overheads.
+        obs_health_overhead_pct: Some(round2(obs_health_overhead_pct)),
         per_shard,
     };
     let history = history_path_from_env();

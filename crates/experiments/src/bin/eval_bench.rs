@@ -413,6 +413,7 @@ fn main() {
             obs_enabled_overhead_pct: 0.0,
             obs_export_overhead_pct: 0.0,
             obs_prov_overhead_pct: None,
+            obs_health_overhead_pct: None,
             per_shard: Vec::new(),
         };
         match append_history(&history, &record) {

@@ -171,6 +171,74 @@ fn render(sample: &Sample, frame: u64, source: &str) -> String {
         agg.counter(CounterKind::SituationCacheSkips),
         agg.counter(CounterKind::CompiledEvals),
     ));
+    if let Some(health) = &sample.health {
+        out.push_str(&render_health(health));
+    }
+    out
+}
+
+/// Windowed ratio for the heatmap: percent with one decimal, `-` when
+/// the window defined no value.
+fn ratio_pct(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{:.1}", x * 100.0),
+        None => "-".to_owned(),
+    }
+}
+
+/// The health panel: arena occupancy, the per-kind quality heatmap
+/// (windowed rates from the streaming estimators), and firing SLOs.
+fn render_health(health: &ctxres_obs::HealthSample) -> String {
+    let mut out = String::new();
+    if let Some(pool) = &health.pool {
+        out.push_str(&format!(
+            "\npool: {} live / {} free slots ({} occupied), {} recycles (+{} this window), tick {}\n",
+            pool.live_slots,
+            pool.free_slots,
+            match pool.occupancy {
+                Some(o) => format!("{:.0}%", o * 100.0),
+                None => "-".to_owned(),
+            },
+            pool.recycles,
+            pool.recycles_delta,
+            pool.now_tick,
+        ));
+    }
+    if !health.kinds.is_empty() {
+        out.push_str(
+            "\nkind            disc%    viol%     use%    ewma%    stale     live   oldest\n",
+        );
+        for k in &health.kinds {
+            out.push_str(&format!(
+                "{:<14} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                k.kind,
+                ratio_pct(k.discard_rate),
+                ratio_pct(k.violation_rate),
+                ratio_pct(k.use_rate),
+                ratio_pct(k.use_rate_ewma),
+                match k.staleness {
+                    Some(s) => format!("{s:.2}"),
+                    None => "-".to_owned(),
+                },
+                k.live,
+                match k.oldest_age_ticks {
+                    Some(t) => t.to_string(),
+                    None => "-".to_owned(),
+                },
+            ));
+        }
+    }
+    if health.active_alerts.is_empty() {
+        out.push_str("\nslo: all clear\n");
+    } else {
+        out.push_str(&format!("\nslo: {} FIRING\n", health.active_alerts.len()));
+        for rule in &health.active_alerts {
+            out.push_str(&format!("  ! {rule}\n"));
+        }
+    }
+    for alert in &health.alerts {
+        out.push_str(&format!("  {alert}\n"));
+    }
     out
 }
 

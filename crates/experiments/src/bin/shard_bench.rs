@@ -34,7 +34,8 @@ use ctxres_constraint::parse_constraints;
 use ctxres_context::{Context, ContextKind, LogicalTime, Point, Ticks};
 use ctxres_core::strategies::DropBad;
 use ctxres_experiments::bench_history::{
-    append_history, commit_stamp, history_path_from_env, host_stamp, BenchRecord, ShardThroughput,
+    append_history, commit_stamp, history_path_from_env, host_stamp, median_paired_overhead_pct,
+    BenchRecord, ShardThroughput,
 };
 use ctxres_middleware::{
     Middleware, MiddlewareConfig, ShardPlan, ShardedMiddleware, SharedMiddleware,
@@ -144,22 +145,6 @@ fn time_interleaved(
             r.rep_secs.push(secs);
         }
     }
-}
-
-/// Overhead of `num` over `den` as the **median of per-rep paired
-/// ratios**, in percent. Rep *i* of the two configurations ran
-/// back-to-back (interleaving), so each ratio sees the same machine
-/// conditions and the median shrugs off the odd rep where a scrape,
-/// page fault, or noisy neighbor landed — far more stable than the
-/// ratio of two independently-chosen bests.
-fn median_paired_overhead_pct(num: &[f64], den: &[f64]) -> f64 {
-    let mut ratios: Vec<f64> = num
-        .iter()
-        .zip(den)
-        .map(|(n, d)| (n / d - 1.0) * 100.0)
-        .collect();
-    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    ratios[ratios.len() / 2]
 }
 
 /// Days-since-epoch to civil date (Howard Hinnant's algorithm); avoids
@@ -538,6 +523,11 @@ fn main() {
         obs_enabled_overhead_pct: round2(obs_enabled_overhead_pct),
         obs_export_overhead_pct: round2(obs_export_overhead_pct),
         obs_prov_overhead_pct: Some(round2(obs_prov_overhead_pct)),
+        // Not measured separately here: the obs-on configurations above
+        // already pay the per-kind health counters, so their gated
+        // overheads subsume it. `city_bench` owns the dedicated
+        // health-telemetry measurement.
+        obs_health_overhead_pct: None,
         per_shard,
     };
     let history = history_path_from_env();

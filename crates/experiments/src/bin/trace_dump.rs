@@ -12,8 +12,8 @@
 //! `out.jsonl` (default `results/demo_trace.jsonl`), then dumps it —
 //! the smoke artifact CI archives. `--json` replaces the human
 //! rendering with one machine-readable document (full timeline,
-//! transition rows, discarded-context life cycles) on stdout; it
-//! combines with `--demo`.
+//! transition rows, SLO alert timeline, discarded-context life cycles)
+//! on stdout; it combines with `--demo`.
 
 use ctxres_apps::call_forwarding::CallForwarding;
 use ctxres_apps::PervasiveApp;
@@ -24,7 +24,7 @@ use ctxres_experiments::telemetry::{
     render_transition_table, transition_counts,
 };
 use ctxres_experiments::trace_io::{load_events, save_events};
-use ctxres_obs::{ObsConfig, ObsSnapshot, TraceRecord};
+use ctxres_obs::{ObsConfig, ObsSnapshot, TraceEvent, TraceRecord};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -146,6 +146,19 @@ fn dump(trace: &[TraceRecord], label: &str) {
         "{}",
         render_transition_table(&[(label.to_owned(), transition_counts(trace))])
     );
+
+    println!();
+    println!("== slo alerts ==");
+    let mut alerts = 0;
+    for record in trace {
+        if matches!(record.event, TraceEvent::Alert { .. }) {
+            alerts += 1;
+            println!("{record}");
+        }
+    }
+    if alerts == 0 {
+        println!("(none)");
+    }
 
     println!();
     println!("== discarded-context life cycles ==");

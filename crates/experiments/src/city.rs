@@ -206,6 +206,14 @@ impl CityWorkload {
     pub fn teleports(&self) -> u64 {
         self.teleports
     }
+
+    /// Retunes the per-reading teleport probability mid-stream. The
+    /// soak harness uses this to inject error-rate regressions (and
+    /// recoveries) into an otherwise steady workload without resetting
+    /// subject state or the RNG.
+    pub fn set_teleport_rate(&mut self, rate: f64) {
+        self.cfg.teleport_rate = rate;
+    }
 }
 
 #[cfg(test)]

@@ -251,9 +251,9 @@ pub struct LifecycleDump {
 }
 
 /// Everything `trace_dump --json` emits: the full timeline, the
-/// transition tallies, and the reconstructed life cycle of every
-/// discarded context — the same three views the human renderer prints,
-/// as one JSON document.
+/// transition tallies, the SLO alert timeline, and the reconstructed
+/// life cycle of every discarded context — the same views the human
+/// renderer prints, as one JSON document.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TraceDumpJson {
     /// Strategy label the dump was rendered under.
@@ -275,6 +275,11 @@ pub struct TraceDumpJson {
     /// situation-cache counters. Empty when the dumper had no metrics
     /// snapshot alongside the trace (a bare JSONL file).
     pub counters: BTreeMap<String, u64>,
+    /// Every SLO alert transition (`TraceEvent::Alert`) in the trace,
+    /// in trace order — the firing/clearing timeline of the health SLO
+    /// engine, pre-filtered so dashboards don't have to scan the full
+    /// timeline for the `alert` tag.
+    pub alerts: Vec<TraceRecord>,
 }
 
 /// Builds the machine-readable dump of a trace — the `--json` face of
@@ -298,6 +303,11 @@ pub fn json_dump(trace: &[TraceRecord], label: &str) -> TraceDumpJson {
             events: l.events.clone(),
         })
         .collect();
+    let alerts = trace
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::Alert { .. }))
+        .cloned()
+        .collect();
     TraceDumpJson {
         label: label.to_owned(),
         events: trace.len(),
@@ -307,6 +317,7 @@ pub fn json_dump(trace: &[TraceRecord], label: &str) -> TraceDumpJson {
         discarded_lifecycles,
         contexts_traced: lifecycles.len(),
         counters: BTreeMap::new(),
+        alerts,
     }
 }
 
@@ -479,6 +490,37 @@ mod tests {
         let text = serde_json::to_string_pretty(&dump).unwrap();
         assert!(text.contains("\"discarded_lifecycles\""), "{text}");
         assert!(text.contains("\"timeline\""));
+    }
+
+    #[test]
+    fn json_dump_surfaces_slo_alerts() {
+        let cell = observed_cell();
+        // A plain run raises no alerts — the pre-filtered view is empty.
+        assert!(json_dump(&cell.trace, &cell.strategy).alerts.is_empty());
+
+        // Splice an SLO transition into the trace the way the sampler
+        // records it, and the dump surfaces it without a timeline scan.
+        let mut trace = cell.trace.clone();
+        let alert = TraceRecord {
+            shard: 0,
+            seq: trace.last().map(|r| r.seq + 1).unwrap_or(0),
+            at: 99,
+            event: TraceEvent::Alert {
+                rule: "discard_rate > 0.3 for 2".to_owned(),
+                metric: "discard_rate".to_owned(),
+                kind: Some("rfid".to_owned()),
+                value: 0.41,
+                threshold: 0.3,
+                firing: true,
+            },
+        };
+        trace.push(alert.clone());
+        let dump = json_dump(&trace, &cell.strategy);
+        assert_eq!(dump.alerts, vec![alert]);
+        assert_eq!(dump.events, trace.len(), "alerts stay in the timeline");
+        let text = serde_json::to_string(&dump).unwrap();
+        assert!(text.contains("\"alerts\""), "{text}");
+        assert!(text.contains("discard_rate"), "{text}");
     }
 
     #[test]

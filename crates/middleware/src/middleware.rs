@@ -11,7 +11,7 @@ use ctxres_context::{
     Context, ContextId, ContextKind, ContextPool, ContextState, LogicalTime, Ticks, TruthTag,
 };
 use ctxres_core::{Inconsistency, ResolutionStrategy};
-use ctxres_obs::{CauseKind, CounterKind, MetricKind, ShardObs, TraceEvent};
+use ctxres_obs::{CauseKind, CounterKind, KindHandle, MetricKind, ShardObs, TraceEvent};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 
@@ -121,6 +121,11 @@ pub struct Middleware {
     observers: Vec<Box<dyn MiddlewareObserver>>,
     subscriptions: SubscriptionTable,
     obs: ShardObs,
+    /// Cached per-kind health handles: each handle wraps the shard's
+    /// interned [`ctxres_obs`] kind cell, so the per-event quality
+    /// counters (ingested / delivered / discarded / expired /
+    /// violations) are plain atomic bumps after the first lookup.
+    kind_cells: HashMap<ContextKind, KindHandle>,
 }
 
 impl fmt::Debug for Middleware {
@@ -193,6 +198,20 @@ impl Middleware {
         self.strategy.name()
     }
 
+    /// Hot-swaps the resolution strategy, returning the previous one.
+    /// The incoming strategy is attached to the engine's observability
+    /// handle (as [`MiddlewareBuilder::build`] does). Pool state,
+    /// buffered uses and stats carry over — the swap only changes how
+    /// *future* additions and uses are resolved, which is exactly the
+    /// mid-run policy change the soak harness exercises.
+    pub fn swap_strategy(
+        &mut self,
+        mut strategy: Box<dyn ResolutionStrategy + Send>,
+    ) -> Box<dyn ResolutionStrategy + Send> {
+        strategy.attach_obs(self.obs.clone());
+        std::mem::replace(&mut self.strategy, strategy)
+    }
+
     /// Number of contexts awaiting use in the buffer.
     pub fn buffered(&self) -> usize {
         self.buffer.len()
@@ -242,13 +261,15 @@ impl Middleware {
                 plans.insert(ctx.kind().clone(), self.checker.plan_for(ctx.kind()));
             }
         }
-        batch
+        let reports: Vec<SubmitReport> = batch
             .into_iter()
             .map(|ctx| {
                 let plan = plans.get(ctx.kind());
                 self.submit_with_plan(ctx, plan)
             })
-            .collect()
+            .collect();
+        self.publish_health();
+        reports
     }
 
     fn submit_with_plan(&mut self, ctx: Context, plan: Option<&KindPlan>) -> SubmitReport {
@@ -272,6 +293,9 @@ impl Middleware {
         }
         self.stats.received += 1;
         self.obs.count(CounterKind::Ingested, 1);
+        if self.obs.health_enabled() {
+            self.kind_cell(&kind).ingested(1);
+        }
         if let Some(subject) = subject {
             self.obs.record(
                 now,
@@ -406,6 +430,11 @@ impl Middleware {
                 );
             }
             self.obs.count(CounterKind::Detections, fresh.len() as u64);
+            if !fresh.is_empty() && self.obs.health_enabled() {
+                // Violations are attributed to the submitted kind: the
+                // arriving context is the change that surfaced them.
+                self.kind_cell(&kind).violations(fresh.len() as u64);
+            }
             if self.obs.provenance_enabled() {
                 // Every member of a fresh inconsistency gains a
                 // violation edge citing the constraint and the bound
@@ -515,6 +544,7 @@ impl Middleware {
         let now = self.clock;
         self.process_due(now);
         self.evaluate_situations_if_dirty(now);
+        self.publish_health();
         self.notify(|obs, _| obs.on_advanced(now));
     }
 
@@ -627,6 +657,11 @@ impl Middleware {
                 }
                 self.obs.record(now, TraceEvent::Delivered { ctx: id });
                 self.obs.count(CounterKind::Deliveries, 1);
+                if self.obs.health_enabled() {
+                    if let Some(kind) = &kind {
+                        self.kind_cell(kind).delivered(1);
+                    }
+                }
                 if self.obs.provenance_enabled() && prev_state == ContextState::Undecided {
                     if !self.strategy.emits_provenance() {
                         self.obs.record(
@@ -653,6 +688,11 @@ impl Middleware {
         } else if !outcome.discarded.contains(&id) && !was_live {
             self.stats.expired_on_use += 1;
             self.obs.record(now, TraceEvent::Expired { ctx: id });
+            if self.obs.health_enabled() {
+                if let Some(kind) = &kind {
+                    self.kind_cell(kind).expired(1);
+                }
+            }
             self.prov_violations.remove(&id);
         }
         for did in &outcome.discarded {
@@ -730,6 +770,9 @@ impl Middleware {
     ) {
         if let Some(kind) = self.pool.get(id).map(|c| c.kind().clone()) {
             self.mark_dirty_kind(&kind);
+            if self.obs.health_enabled() {
+                self.kind_cell(&kind).discarded(1);
+            }
         }
         self.stats.discarded += 1;
         match self.pool.get(id).map(|c| c.truth()).unwrap_or_default() {
@@ -774,6 +817,42 @@ impl Middleware {
                 }
                 self.observe_chain_depth(id);
             }
+        }
+    }
+
+    /// The cached health handle for `kind`. Only called on
+    /// health-enabled paths; after the first lookup per kind this is a
+    /// `HashMap` hit plus an `Arc` clone.
+    fn kind_cell(&mut self, kind: &ContextKind) -> KindHandle {
+        if let Some(h) = self.kind_cells.get(kind) {
+            return h.clone();
+        }
+        let h = self.obs.kind_handle(kind.name());
+        self.kind_cells.insert(kind.clone(), h.clone());
+        h
+    }
+
+    /// Publishes arena-occupancy gauges and per-kind staleness
+    /// watermarks to the attached observability handle. A single branch
+    /// when obs is disabled. Runs at batch boundaries ([`Middleware::batch_add`],
+    /// [`Middleware::advance_to`], and therefore [`Middleware::drain`]) rather
+    /// than per submission, so the hot path stays counter bumps only;
+    /// call it directly to refresh gauges on a custom cadence.
+    pub fn publish_health(&mut self) {
+        if !self.obs.health_enabled() {
+            return;
+        }
+        let now = self.clock;
+        self.obs.publish_pool(
+            self.pool.live_slots() as u64,
+            self.pool.free_slots() as u64,
+            self.pool.slot_recycles(),
+            now.tick(),
+        );
+        for wm in self.pool.kind_watermarks() {
+            let oldest_age = wm.oldest_stamp.map(|s| (now - s).count());
+            self.kind_cell(&wm.kind)
+                .set_watermark(wm.live as u64, oldest_age, wm.oldest_ttl);
         }
     }
 
@@ -1061,6 +1140,7 @@ impl MiddlewareBuilder {
             observers: self.observers,
             subscriptions: SubscriptionTable::new(),
             obs: self.obs,
+            kind_cells: HashMap::new(),
         }
     }
 }
@@ -1163,6 +1243,101 @@ mod tests {
         assert_eq!(m.stats().discarded_corrupted, 1);
         assert_eq!(m.stats().delivered, 4);
         assert_eq!(m.stats().delivered_expected, 4);
+    }
+
+    #[test]
+    fn health_counters_and_pool_gauges_ride_the_obs_handle() {
+        let registry = ctxres_obs::ObsRegistry::shared(ctxres_obs::ObsConfig::metrics_only(), 1);
+        let mut m = Middleware::builder()
+            .constraints(parse_constraints(SPEED).unwrap())
+            .strategy(Box::new(DropBad::new()))
+            .config(MiddlewareConfig {
+                window: Ticks::new(10),
+                track_ground_truth: false,
+                retention: None,
+            })
+            .obs(registry.handle(0))
+            .build();
+        m.batch_add(vec![
+            loc("p", 0, 0.0, 0.0),
+            loc("p", 1, 1.0, 0.0),
+            corrupted("p", 2, 30.0, 30.0),
+            loc("p", 3, 3.0, 0.0),
+        ]);
+        m.drain();
+
+        let health = registry.health_snapshot();
+        assert_eq!(health.shards.len(), 1);
+        let shard = &health.shards[0];
+        let kind = shard
+            .kinds
+            .iter()
+            .find(|k| k.kind == "location")
+            .expect("location kind cell");
+        assert_eq!(kind.ingested, 4);
+        assert_eq!(kind.discarded, 1, "outlier discarded");
+        assert_eq!(kind.delivered, 3);
+        assert!(kind.violations >= 1, "speed violations attributed");
+        let pool = shard.pool.expect("pool gauges published at drain");
+        assert_eq!(pool.live_slots, m.pool().live_slots() as u64);
+        assert_eq!(pool.recycles, m.pool().slot_recycles());
+        assert_eq!(kind.live, 3, "watermark live count tracks the pool");
+
+        // A swap keeps the handle attached: post-swap traffic still
+        // lands in the same kind cell.
+        let before = m.strategy_name();
+        let old = m.swap_strategy(Box::new(DropLatest::new()));
+        assert_eq!(old.name(), before);
+        assert_ne!(m.strategy_name(), before);
+        m.submit(loc("p", 20, 4.0, 0.0));
+        m.drain();
+        let health = registry.health_snapshot();
+        assert_eq!(health.shards[0].kinds[0].ingested, 5);
+        assert_eq!(health.shards[0].kinds[0].delivered, 4);
+    }
+
+    #[test]
+    fn disabled_obs_keeps_the_health_path_inert() {
+        let mut m = mw(Box::new(DropBad::new()), 3);
+        m.submit(loc("p", 0, 0.0, 0.0));
+        m.publish_health();
+        m.drain();
+        assert!(m.kind_cells.is_empty(), "no cells cached when disabled");
+    }
+
+    #[test]
+    fn metrics_without_health_skips_the_quality_layer() {
+        // `with_health(false)` is the lever city_bench uses to isolate
+        // the health layer's marginal cost: counters and trace metrics
+        // still record, but no kind cells are interned and no gauges
+        // are published.
+        let registry = ctxres_obs::ObsRegistry::shared(
+            ctxres_obs::ObsConfig::metrics_only().with_health(false),
+            1,
+        );
+        let mut m = Middleware::builder()
+            .constraints(parse_constraints(SPEED).unwrap())
+            .strategy(Box::new(DropBad::new()))
+            .config(MiddlewareConfig {
+                window: Ticks::new(10),
+                track_ground_truth: false,
+                retention: None,
+            })
+            .obs(registry.handle(0))
+            .build();
+        m.batch_add(vec![
+            loc("p", 0, 0.0, 0.0),
+            corrupted("p", 1, 30.0, 30.0),
+            loc("p", 2, 2.0, 0.0),
+        ]);
+        m.drain();
+        assert!(m.kind_cells.is_empty(), "no cells cached when health off");
+        let health = registry.health_snapshot();
+        assert!(health.shards[0].kinds.is_empty(), "no kind rows published");
+        assert!(health.shards[0].pool.is_none(), "no pool gauges published");
+        // The ordinary metrics layer is unaffected.
+        let snap = registry.snapshot();
+        assert!(snap.shards[0].counter(CounterKind::Ingested) >= 3);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::stats::{MiddlewareStats, ShardStats};
 use crossbeam::channel::Receiver;
 use ctxres_constraint::{global_kinds, Constraint};
 use ctxres_context::{Context, ContextKind, ContextState, LogicalTime};
+use ctxres_core::ResolutionStrategy;
 use ctxres_obs::{MetricKind, ObsConfig, ObsRegistry, ShardObs};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
@@ -487,6 +488,18 @@ impl ShardedMiddleware {
     pub fn drain(&self) {
         for shard in &self.shards {
             shard.lock().drain();
+        }
+    }
+
+    /// Hot-swaps the resolution strategy on every shard (see
+    /// [`Middleware::swap_strategy`]): `make` builds one fresh strategy
+    /// per shard, each attached to its shard's observability handle.
+    /// Shards are swapped one at a time under their own locks, so
+    /// concurrent submitters see either the old or the new policy per
+    /// context, never a torn state.
+    pub fn swap_strategy(&self, mut make: impl FnMut(usize) -> Box<dyn ResolutionStrategy + Send>) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.lock().swap_strategy(make(i));
         }
     }
 

@@ -161,6 +161,24 @@ pub enum TraceEvent {
         /// context in.
         verdict: Option<ContextState>,
     },
+    /// An SLO rule transitioned — fired or cleared. Emitted by the
+    /// sampler's [`crate::SloEngine`] into shard 0's ring so alerts
+    /// land in the same drained, time-ordered trace as the life-cycle
+    /// events they explain.
+    Alert {
+        /// The transitioning rule's name.
+        rule: String,
+        /// The watched health metric's name.
+        metric: String,
+        /// The rule's kind selector, when it has one.
+        kind: Option<String>,
+        /// The metric's value in the transitioning window.
+        value: f64,
+        /// The rule's threshold.
+        threshold: f64,
+        /// `true` = fired, `false` = cleared.
+        firing: bool,
+    },
 }
 
 impl TraceEvent {
@@ -178,6 +196,7 @@ impl TraceEvent {
             TraceEvent::Delivered { .. } => "deliver",
             TraceEvent::Expired { .. } => "expired",
             TraceEvent::Caused { .. } => "cause",
+            TraceEvent::Alert { .. } => "alert",
         }
     }
 
@@ -196,7 +215,8 @@ impl TraceEvent {
             | TraceEvent::Caused { ctx, .. } => Some(*ctx),
             TraceEvent::Detected { .. }
             | TraceEvent::DeltaInserted { .. }
-            | TraceEvent::DeltaRemoved { .. } => None,
+            | TraceEvent::DeltaRemoved { .. }
+            | TraceEvent::Alert { .. } => None,
         }
     }
 
@@ -274,6 +294,24 @@ impl fmt::Display for TraceEvent {
                     write!(f, " => {v}")?;
                 }
                 Ok(())
+            }
+            TraceEvent::Alert {
+                rule,
+                metric,
+                kind,
+                value,
+                threshold,
+                firing,
+            } => {
+                write!(
+                    f,
+                    "slo {} {rule}: {metric}",
+                    if *firing { "FIRING" } else { "cleared" }
+                )?;
+                if let Some(k) = kind {
+                    write!(f, "{{kind={k:?}}}")?;
+                }
+                write!(f, " = {value:.4} vs {threshold}")
             }
         }
     }
@@ -362,6 +400,27 @@ mod tests {
                 "superseded_by",
             ]
         );
+    }
+
+    #[test]
+    fn alerts_have_no_contexts_and_round_trip() {
+        let e = TraceEvent::Alert {
+            rule: "discard_rate{kind=\"rfid\"} > 0.3 for 5".into(),
+            metric: "discard_rate".into(),
+            kind: Some("rfid".into()),
+            value: 0.4167,
+            threshold: 0.3,
+            firing: true,
+        };
+        assert_eq!(e.tag(), "alert");
+        assert_eq!(e.primary_ctx(), None);
+        assert!(e.contexts().is_empty());
+        let s = e.to_string();
+        assert!(s.contains("FIRING"), "{s}");
+        assert!(s.contains("discard_rate"), "{s}");
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!   `..._quantile_bound{q="…"}` gauges. Kinds nothing has recorded are
 //!   omitted to keep the exposition proportional to what actually ran.
 
+use crate::health::HealthSample;
 use crate::metrics::{bucket_bound, CounterKind, MetricKind, COUNTER_KINDS, METRIC_KINDS};
 use crate::snapshot::{Sample, QUANTILES};
 use std::fmt::Write as _;
@@ -140,7 +141,138 @@ pub fn render_prometheus(sample: &Sample) -> String {
         }
     }
 
+    // Health telemetry is rendered only when something published it, so
+    // runs without the health hooks export byte-identical text (the
+    // golden test above never sees these sections).
+    if let Some(health) = &sample.health {
+        render_health(w, health);
+    }
+
     out
+}
+
+/// Renders the health sections: arena gauges per shard, cumulative
+/// per-(shard, kind) quality counters, windowed cross-shard estimators,
+/// and the currently firing SLO rules.
+fn render_health(w: &mut String, health: &HealthSample) {
+    let shards_with_pool: Vec<_> = health
+        .snapshot
+        .shards
+        .iter()
+        .filter_map(|s| s.pool.map(|p| (s.shard, p)))
+        .collect();
+    if !shards_with_pool.is_empty() {
+        let _ = writeln!(w, "# TYPE ctxres_pool_live_slots gauge");
+        for (i, p) in &shards_with_pool {
+            let _ = writeln!(
+                w,
+                "ctxres_pool_live_slots{{shard=\"{i}\"}} {}",
+                p.live_slots
+            );
+        }
+        let _ = writeln!(w, "# TYPE ctxres_pool_free_slots gauge");
+        for (i, p) in &shards_with_pool {
+            let _ = writeln!(
+                w,
+                "ctxres_pool_free_slots{{shard=\"{i}\"}} {}",
+                p.free_slots
+            );
+        }
+        let _ = writeln!(w, "# TYPE ctxres_pool_generation_recycles_total counter");
+        for (i, p) in &shards_with_pool {
+            let _ = writeln!(
+                w,
+                "ctxres_pool_generation_recycles_total{{shard=\"{i}\"}} {}",
+                p.recycles
+            );
+        }
+    }
+
+    let kind_rows: Vec<_> = health
+        .snapshot
+        .shards
+        .iter()
+        .flat_map(|s| s.kinds.iter().map(move |k| (s.shard, k)))
+        .collect();
+    if !kind_rows.is_empty() {
+        for (field, get) in [
+            (
+                "ingested",
+                &(|k: &crate::health::KindHealth| k.ingested) as &dyn Fn(_) -> u64,
+            ),
+            ("delivered", &|k: &crate::health::KindHealth| k.delivered),
+            ("discarded", &|k: &crate::health::KindHealth| k.discarded),
+            ("expired", &|k: &crate::health::KindHealth| k.expired),
+            ("violations", &|k: &crate::health::KindHealth| k.violations),
+        ] {
+            let _ = writeln!(w, "# TYPE ctxres_health_{field}_total counter");
+            for (i, k) in &kind_rows {
+                let _ = writeln!(
+                    w,
+                    "ctxres_health_{field}_total{{shard=\"{i}\",kind=\"{}\"}} {}",
+                    k.kind,
+                    get(k)
+                );
+            }
+        }
+        let _ = writeln!(w, "# TYPE ctxres_health_kind_live gauge");
+        for (i, k) in &kind_rows {
+            let _ = writeln!(
+                w,
+                "ctxres_health_kind_live{{shard=\"{i}\",kind=\"{}\"}} {}",
+                k.kind, k.live
+            );
+        }
+    }
+
+    // Windowed cross-shard estimators: one row per kind, rendered only
+    // when the window defined them (no traffic, no line).
+    for (metric, get) in [
+        (
+            "discard_rate",
+            &(|k: &crate::health::KindQuality| k.discard_rate) as &dyn Fn(_) -> Option<f64>,
+        ),
+        ("violation_rate", &|k: &crate::health::KindQuality| {
+            k.violation_rate
+        }),
+        ("use_rate", &|k: &crate::health::KindQuality| k.use_rate),
+        ("use_rate_ewma", &|k: &crate::health::KindQuality| {
+            k.use_rate_ewma
+        }),
+        ("staleness", &|k: &crate::health::KindQuality| k.staleness),
+    ] {
+        let rows: Vec<_> = health
+            .kinds
+            .iter()
+            .filter_map(|k| get(k).map(|v| (&k.kind, v)))
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let _ = writeln!(w, "# TYPE ctxres_health_{metric} gauge");
+        for (kind, v) in rows {
+            let _ = writeln!(w, "ctxres_health_{metric}{{kind=\"{kind}\"}} {v}");
+        }
+    }
+    let ages: Vec<_> = health
+        .kinds
+        .iter()
+        .filter_map(|k| k.oldest_age_ticks.map(|v| (&k.kind, v)))
+        .collect();
+    if !ages.is_empty() {
+        let _ = writeln!(w, "# TYPE ctxres_health_oldest_age_ticks gauge");
+        for (kind, v) in ages {
+            let _ = writeln!(w, "ctxres_health_oldest_age_ticks{{kind=\"{kind}\"}} {v}");
+        }
+    }
+
+    if !health.active_alerts.is_empty() {
+        let _ = writeln!(w, "# TYPE ctxres_slo_firing gauge");
+        for rule in &health.active_alerts {
+            let escaped = rule.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = writeln!(w, "ctxres_slo_firing{{rule=\"{escaped}\"}} 1");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -293,11 +425,76 @@ ctxres_queue_depth_quantile_bound{shard=\"1\",q=\"0.99\"} 8
         assert_eq!(text, expected, "exposition drifted from the golden copy");
     }
 
+    /// Like [`seeded_sample`] but with health telemetry published and a
+    /// breaching SLO rule attached, so every health section renders.
+    fn seeded_health_sample() -> Sample {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 2);
+        let engine = crate::slo::SloEngine::from_spec("discard_rate > 0.3 for 1").unwrap();
+        let mut sampler = Sampler::new(Arc::clone(&registry)).with_slo(engine);
+        let a = registry.handle(0);
+        let b = registry.handle(1);
+        let rfid = a.kind_handle("rfid");
+        rfid.ingested(10);
+        rfid.delivered(4);
+        rfid.discarded(6);
+        rfid.violations(2);
+        rfid.set_watermark(3, Some(40), Some(64));
+        let loc = b.kind_handle("location");
+        loc.ingested(8);
+        loc.delivered(8);
+        a.publish_pool(12, 4, 5, 100);
+        b.publish_pool(9, 7, 2, 100);
+        sampler.sample_after(0.0);
+        rfid.ingested(10);
+        rfid.discarded(6);
+        rfid.delivered(4);
+        sampler.sample_after(2.0)
+    }
+
+    /// The health sections only appear once something published health
+    /// telemetry, and then carry the arena gauges, per-kind quality
+    /// counters, windowed estimators, and firing SLO rules.
+    #[test]
+    fn health_sections_render_only_when_published() {
+        let plain = render_prometheus(&seeded_sample());
+        assert!(
+            !plain.contains("ctxres_pool_live_slots"),
+            "unpublished health must not render"
+        );
+
+        let text = render_prometheus(&seeded_health_sample());
+        for needle in [
+            "ctxres_pool_live_slots{shard=\"0\"} 12",
+            "ctxres_pool_free_slots{shard=\"1\"} 7",
+            "ctxres_pool_generation_recycles_total{shard=\"0\"} 5",
+            "ctxres_health_ingested_total{shard=\"0\",kind=\"rfid\"} 20",
+            "ctxres_health_delivered_total{shard=\"1\",kind=\"location\"} 8",
+            "ctxres_health_kind_live{shard=\"0\",kind=\"rfid\"} 3",
+            "ctxres_health_discard_rate{kind=\"rfid\"} 0.6",
+            "ctxres_health_use_rate{kind=\"rfid\"} 0.4",
+            "ctxres_health_use_rate_ewma{kind=\"location\"} 1",
+            "ctxres_health_staleness{kind=\"rfid\"} 0.625",
+            "ctxres_health_oldest_age_ticks{kind=\"rfid\"} 40",
+            "ctxres_slo_firing{rule=\"discard_rate > 0.3 for 1\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    /// Health lines obey the same exposition rules as the core metrics.
+    #[test]
+    fn health_lines_are_valid_exposition() {
+        assert_valid_exposition(&render_prometheus(&seeded_health_sample()));
+    }
+
     /// Every non-comment line must parse as `name{labels} value` (or a
     /// bare `name value`), with a numeric (or ±Inf) value.
     #[test]
     fn every_line_is_valid_exposition() {
-        let text = render_prometheus(&seeded_sample());
+        assert_valid_exposition(&render_prometheus(&seeded_sample()));
+    }
+
+    fn assert_valid_exposition(text: &str) {
         for line in text.lines() {
             if line.starts_with('#') {
                 continue;

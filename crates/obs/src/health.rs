@@ -1,0 +1,843 @@
+//! Streaming quality-of-context ("health") telemetry.
+//!
+//! The metrics registry (PRs 2–3) watches *mechanics* — throughput,
+//! latencies, ring pressure — but says nothing about the *quality*
+//! trade the paper is actually about: how much of each kind's traffic
+//! the active strategy is discarding, how often constraints fire, and
+//! whether the surviving contexts are fresh enough to matter. This
+//! module adds that layer:
+//!
+//! * **per-(shard, kind) cells** ([`KindCell`] behind a cloneable
+//!   [`KindHandle`]): lock-free cumulative counters — ingested,
+//!   delivered, discarded, expired-on-use, violations — plus gauge
+//!   watermarks (live count, age of the oldest live context, its
+//!   lifespan) the engine publishes from
+//!   `ContextPool::kind_watermarks`. Handles from a disabled registry
+//!   are `None` inside, so every hook is a branch-and-return, exactly
+//!   like [`crate::ShardObs`];
+//! * **pool gauges** ([`PoolHealth`]): the PR 6 arena's occupancy
+//!   (`live_slots`/`free_slots`) and lifetime slot-recycle count, per
+//!   shard;
+//! * **windowed estimators** ([`HealthSample::between`]): consecutive
+//!   [`HealthSnapshot`]s difference into per-kind windowed
+//!   `discard_rate` (discards / ingested), `violation_rate`
+//!   (violations / ingested) and the paper's `ctxUseRate`
+//!   (deliveries / (deliveries + discards)) — each in a windowed-exact
+//!   variant and, for the use rate, an EWMA smoothing
+//!   ([`DEFAULT_EWMA_ALPHA`]) seeded with the first non-empty window
+//!   so a steady workload makes the two variants agree exactly
+//!   (asserted by a proptest below). Staleness is the oldest live
+//!   context's age over its lifespan: ≥ 1.0 means the freshest data a
+//!   constraint can see has already expired.
+//!
+//! Everything rides the existing sampler: `Sampler::sample` attaches a
+//! [`HealthSample`] to its [`crate::Sample`] whenever any engine has
+//! published health state, and the `/metrics`, `/snapshot`, `obs_top`
+//! and `trace_dump --json` surfaces render it. Runs without health
+//! publishing (or with observability disabled) carry `None` and are
+//! byte-identical to pre-health output.
+
+use crate::slo::HealthAlert;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Smoothing factor of the EWMA `ctxUseRate` variant: each non-empty
+/// window contributes 30%, the history 70%. High enough to follow a
+/// regression within a few windows, low enough to ignore one noisy one.
+pub const DEFAULT_EWMA_ALPHA: f64 = 0.3;
+
+/// Sentinel for "no value" in the optional gauge atomics.
+const NONE: u64 = u64::MAX;
+
+/// One (shard, kind) quality cell: lock-free cumulative counters plus
+/// gauge watermarks. Lives in the registry's shard slot; engines reach
+/// it through a cached [`KindHandle`].
+#[derive(Debug)]
+pub struct KindCell {
+    ingested: AtomicU64,
+    delivered: AtomicU64,
+    discarded: AtomicU64,
+    expired: AtomicU64,
+    violations: AtomicU64,
+    live: AtomicU64,
+    oldest_age: AtomicU64,
+    lifespan: AtomicU64,
+}
+
+impl KindCell {
+    fn new() -> Self {
+        KindCell {
+            ingested: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            violations: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            oldest_age: AtomicU64::new(NONE),
+            lifespan: AtomicU64::new(NONE),
+        }
+    }
+
+    fn snapshot(&self, kind: &str) -> KindHealth {
+        let opt = |v: u64| (v != NONE).then_some(v);
+        KindHealth {
+            kind: kind.to_owned(),
+            ingested: self.ingested.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            violations: self.violations.load(Ordering::Relaxed),
+            live: self.live.load(Ordering::Relaxed),
+            oldest_age_ticks: opt(self.oldest_age.load(Ordering::Relaxed)),
+            lifespan_ticks: opt(self.lifespan.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A cheap, cloneable handle to one (shard, kind) cell. Handles from a
+/// disabled registry hold `None` and make every bump a
+/// branch-and-return; engines cache one handle per kind so the hot
+/// path never touches the interning lock.
+#[derive(Debug, Clone, Default)]
+pub struct KindHandle {
+    cell: Option<Arc<KindCell>>,
+}
+
+impl KindHandle {
+    /// A handle that records nothing (the default everywhere).
+    pub fn disabled() -> Self {
+        KindHandle { cell: None }
+    }
+
+    pub(crate) fn new(cell: Arc<KindCell>) -> Self {
+        KindHandle { cell: Some(cell) }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Bumps the kind's ingested-context counter.
+    pub fn ingested(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.ingested.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Bumps the kind's delivered-to-application counter.
+    pub fn delivered(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.delivered.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Bumps the kind's discarded-context counter.
+    pub fn discarded(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.discarded.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Bumps the kind's expired-on-use counter.
+    pub fn expired(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.expired.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Bumps the kind's constraint-violation counter.
+    pub fn violations(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.violations.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Publishes the kind's occupancy watermark: live context count,
+    /// age of the oldest live context in ticks, and that context's
+    /// lifespan (`None` when it never expires).
+    pub fn set_watermark(&self, live: u64, oldest_age: Option<u64>, lifespan: Option<u64>) {
+        if let Some(c) = &self.cell {
+            c.live.store(live, Ordering::Relaxed);
+            c.oldest_age
+                .store(oldest_age.unwrap_or(NONE), Ordering::Relaxed);
+            c.lifespan
+                .store(lifespan.unwrap_or(NONE), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-shard arena gauges, published by the engine after each batch.
+#[derive(Debug, Default)]
+pub(crate) struct PoolGauges {
+    published: AtomicU64,
+    live_slots: AtomicU64,
+    free_slots: AtomicU64,
+    recycles: AtomicU64,
+    now_tick: AtomicU64,
+}
+
+impl PoolGauges {
+    pub(crate) fn publish(&self, live: u64, free: u64, recycles: u64, now_tick: u64) {
+        self.live_slots.store(live, Ordering::Relaxed);
+        self.free_slots.store(free, Ordering::Relaxed);
+        self.recycles.store(recycles, Ordering::Relaxed);
+        self.now_tick.store(now_tick, Ordering::Relaxed);
+        self.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Option<PoolHealth> {
+        if self.published.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        Some(PoolHealth {
+            live_slots: self.live_slots.load(Ordering::Relaxed),
+            free_slots: self.free_slots.load(Ordering::Relaxed),
+            recycles: self.recycles.load(Ordering::Relaxed),
+            now_tick: self.now_tick.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// One shard's health state inside the registry: arena gauges plus the
+/// interned kind cells. The interning lock is touched once per new
+/// kind per shard; every recording after that is pure atomics through
+/// the cached [`KindHandle`].
+#[derive(Debug, Default)]
+pub(crate) struct ShardHealthSlot {
+    pool: PoolGauges,
+    kinds: Mutex<Vec<(Arc<str>, Arc<KindCell>)>>,
+}
+
+impl ShardHealthSlot {
+    pub(crate) fn kind_handle(&self, kind: &str) -> KindHandle {
+        let mut kinds = self.kinds.lock();
+        if let Some((_, cell)) = kinds.iter().find(|(name, _)| name.as_ref() == kind) {
+            return KindHandle::new(Arc::clone(cell));
+        }
+        let cell = Arc::new(KindCell::new());
+        kinds.push((Arc::from(kind), Arc::clone(&cell)));
+        KindHandle::new(cell)
+    }
+
+    pub(crate) fn publish_pool(&self, live: u64, free: u64, recycles: u64, now_tick: u64) {
+        self.pool.publish(live, free, recycles, now_tick);
+    }
+
+    pub(crate) fn snapshot(&self, shard: usize) -> ShardHealth {
+        let mut kinds: Vec<KindHealth> = self
+            .kinds
+            .lock()
+            .iter()
+            .map(|(name, cell)| cell.snapshot(name))
+            .collect();
+        kinds.sort_by(|a, b| a.kind.cmp(&b.kind));
+        ShardHealth {
+            shard,
+            pool: self.pool.snapshot(),
+            kinds,
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's arena gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolHealth {
+    /// Occupied arena slots (stored contexts, any state).
+    pub live_slots: u64,
+    /// Slots on the arena's free list.
+    pub free_slots: u64,
+    /// Lifetime slot recycles (generation bumps).
+    pub recycles: u64,
+    /// The engine's logical clock when the gauges were published.
+    pub now_tick: u64,
+}
+
+/// A point-in-time copy of one (shard, kind) cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindHealth {
+    /// The kind's name.
+    pub kind: String,
+    /// Contexts of the kind ingested (lifetime).
+    pub ingested: u64,
+    /// Contexts of the kind delivered to applications (lifetime).
+    pub delivered: u64,
+    /// Contexts of the kind discarded (lifetime).
+    pub discarded: u64,
+    /// Use requests that found the kind's context expired (lifetime).
+    pub expired: u64,
+    /// Constraint violations attributed to the kind (lifetime).
+    pub violations: u64,
+    /// Live (not discarded) contexts of the kind in the pool (gauge).
+    pub live: u64,
+    /// Age of the oldest live context, in ticks (gauge).
+    pub oldest_age_ticks: Option<u64>,
+    /// Lifespan of that oldest context; `None` when it never expires.
+    pub lifespan_ticks: Option<u64>,
+}
+
+/// One shard's cumulative health state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// The shard index.
+    pub shard: usize,
+    /// Arena gauges; `None` until the engine publishes them.
+    pub pool: Option<PoolHealth>,
+    /// Per-kind cells, sorted by kind name.
+    pub kinds: Vec<KindHealth>,
+}
+
+/// A whole registry's cumulative health state: one record per shard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Per-shard health in shard order.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl HealthSnapshot {
+    /// Whether nothing has published any health state yet — the
+    /// condition under which `Sampler` leaves `Sample::health` as
+    /// `None` and every export surface stays byte-identical to its
+    /// pre-health output.
+    pub fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.pool.is_none() && s.kinds.is_empty())
+    }
+
+    /// The most recent logical tick any shard published, or 0.
+    pub fn max_now_tick(&self) -> u64 {
+        self.shards
+            .iter()
+            .filter_map(|s| s.pool.map(|p| p.now_tick))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One windowed per-kind quality row — a line of the heatmap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KindQuality {
+    /// The shard the row describes, or `None` for a cross-shard total.
+    pub shard: Option<usize>,
+    /// The kind's name.
+    pub kind: String,
+    /// Contexts ingested during this window.
+    pub ingested: u64,
+    /// Contexts delivered during this window.
+    pub delivered: u64,
+    /// Contexts discarded during this window.
+    pub discarded: u64,
+    /// Expired-on-use events during this window.
+    pub expired: u64,
+    /// Constraint violations during this window.
+    pub violations: u64,
+    /// Windowed discard rate: discarded / ingested. `None` when the
+    /// window ingested nothing.
+    pub discard_rate: Option<f64>,
+    /// Windowed violation rate: violations / ingested.
+    pub violation_rate: Option<f64>,
+    /// Windowed-exact `ctxUseRate`: delivered / (delivered +
+    /// discarded). `None` when the window settled nothing.
+    pub use_rate: Option<f64>,
+    /// EWMA-smoothed `ctxUseRate` (cross-shard totals only): seeded
+    /// with the first non-empty window, then
+    /// `α·window + (1−α)·previous`. Empty windows leave it unchanged.
+    pub use_rate_ewma: Option<f64>,
+    /// Live contexts of the kind (gauge; summed across shards in a
+    /// total row).
+    pub live: u64,
+    /// Age of the oldest live context in ticks (gauge; max across
+    /// shards in a total row).
+    pub oldest_age_ticks: Option<u64>,
+    /// Lifespan of that oldest context (`None` = never expires).
+    pub lifespan_ticks: Option<u64>,
+    /// Staleness watermark: `oldest_age / lifespan`. ≥ 1.0 means the
+    /// oldest live context has outlived its lifespan; `None` when the
+    /// kind has no live expiring contexts.
+    pub staleness: Option<f64>,
+}
+
+/// Aggregate windowed arena view.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolQuality {
+    /// Occupied slots, summed across shards.
+    pub live_slots: u64,
+    /// Free-list slots, summed across shards.
+    pub free_slots: u64,
+    /// Lifetime recycles, summed across shards.
+    pub recycles: u64,
+    /// Slots recycled during this window.
+    pub recycles_delta: u64,
+    /// The most recent logical tick any shard published.
+    pub now_tick: u64,
+    /// `live / (live + free)`: 1.0 means the arena is at its
+    /// high-water mark, lower means churn is reusing slots. `None`
+    /// before any slot exists.
+    pub occupancy: Option<f64>,
+}
+
+/// The windowed health view attached to a [`crate::Sample`]: the
+/// cumulative snapshot it ends at, per-kind quality rows (cross-shard
+/// totals and per-shard), aggregate arena gauges, and the SLO engine's
+/// output for the window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthSample {
+    /// The cumulative health snapshot this window ends at.
+    pub snapshot: HealthSnapshot,
+    /// Cross-shard per-kind quality rows (`shard: None`), sorted by
+    /// kind — the heatmap.
+    pub kinds: Vec<KindQuality>,
+    /// Per-(shard, kind) quality rows, in (shard, kind) order.
+    pub shard_kinds: Vec<KindQuality>,
+    /// Aggregate arena gauges; `None` until an engine publishes them.
+    pub pool: Option<PoolQuality>,
+    /// SLO transitions (fired / cleared) during this window.
+    pub alerts: Vec<HealthAlert>,
+    /// Names of the SLO rules currently firing.
+    pub active_alerts: Vec<String>,
+}
+
+fn ratio(num: u64, den: u64) -> Option<f64> {
+    (den > 0).then(|| num as f64 / den as f64)
+}
+
+fn quality_row(shard: Option<usize>, prev: Option<&KindHealth>, cur: &KindHealth) -> KindQuality {
+    let d = |get: fn(&KindHealth) -> u64| get(cur).saturating_sub(prev.map(get).unwrap_or(0));
+    let (ingested, delivered, discarded, expired, violations) = (
+        d(|k| k.ingested),
+        d(|k| k.delivered),
+        d(|k| k.discarded),
+        d(|k| k.expired),
+        d(|k| k.violations),
+    );
+    KindQuality {
+        shard,
+        kind: cur.kind.clone(),
+        ingested,
+        delivered,
+        discarded,
+        expired,
+        violations,
+        discard_rate: ratio(discarded, ingested),
+        violation_rate: ratio(violations, ingested),
+        use_rate: ratio(delivered, delivered + discarded),
+        use_rate_ewma: None,
+        live: cur.live,
+        oldest_age_ticks: cur.oldest_age_ticks,
+        lifespan_ticks: cur.lifespan_ticks,
+        staleness: match (cur.oldest_age_ticks, cur.lifespan_ticks) {
+            (Some(age), Some(life)) if life > 0 => Some(age as f64 / life as f64),
+            _ => None,
+        },
+    }
+}
+
+impl HealthSample {
+    /// Differences two consecutive health snapshots into the windowed
+    /// quality view, updating the caller's per-kind EWMA state. With
+    /// `prev = None` (the baseline sample) the window is the full
+    /// cumulative history, mirroring the counter sampler's baseline.
+    /// SLO fields start empty; the sampler fills them when an engine
+    /// is attached.
+    pub fn between(
+        prev: Option<&HealthSnapshot>,
+        cur: &HealthSnapshot,
+        ewma: &mut std::collections::HashMap<String, f64>,
+        alpha: f64,
+    ) -> HealthSample {
+        let prev_kind = |shard: usize, kind: &str| -> Option<&KindHealth> {
+            prev?
+                .shards
+                .iter()
+                .find(|s| s.shard == shard)?
+                .kinds
+                .iter()
+                .find(|k| k.kind == kind)
+        };
+
+        let mut shard_kinds = Vec::new();
+        for sh in &cur.shards {
+            for k in &sh.kinds {
+                shard_kinds.push(quality_row(Some(sh.shard), prev_kind(sh.shard, &k.kind), k));
+            }
+        }
+
+        // Cross-shard totals: sum window deltas and live gauges, take
+        // the *worst* (oldest) staleness watermark across shards.
+        let mut by_kind: BTreeMap<String, Vec<&KindQuality>> = BTreeMap::new();
+        for row in &shard_kinds {
+            by_kind.entry(row.kind.clone()).or_default().push(row);
+        }
+        let kinds: Vec<KindQuality> = by_kind
+            .into_iter()
+            .map(|(kind, rows)| {
+                let sum = |get: fn(&KindQuality) -> u64| rows.iter().map(|r| get(r)).sum::<u64>();
+                let (ingested, delivered, discarded, expired, violations) = (
+                    sum(|r| r.ingested),
+                    sum(|r| r.delivered),
+                    sum(|r| r.discarded),
+                    sum(|r| r.expired),
+                    sum(|r| r.violations),
+                );
+                let oldest = rows
+                    .iter()
+                    .filter_map(|r| r.oldest_age_ticks.map(|age| (age, r.lifespan_ticks)))
+                    .max_by_key(|(age, _)| *age);
+                let use_rate = ratio(delivered, delivered + discarded);
+                let use_rate_ewma = match (use_rate, ewma.get(&kind).copied()) {
+                    (Some(x), Some(prev_e)) => {
+                        let e = alpha * x + (1.0 - alpha) * prev_e;
+                        ewma.insert(kind.clone(), e);
+                        Some(e)
+                    }
+                    (Some(x), None) => {
+                        ewma.insert(kind.clone(), x);
+                        Some(x)
+                    }
+                    (None, kept) => kept,
+                };
+                KindQuality {
+                    shard: None,
+                    kind,
+                    ingested,
+                    delivered,
+                    discarded,
+                    expired,
+                    violations,
+                    discard_rate: ratio(discarded, ingested),
+                    violation_rate: ratio(violations, ingested),
+                    use_rate,
+                    use_rate_ewma,
+                    live: sum(|r| r.live),
+                    oldest_age_ticks: oldest.map(|(age, _)| age),
+                    lifespan_ticks: oldest.and_then(|(_, life)| life),
+                    staleness: rows
+                        .iter()
+                        .filter_map(|r| r.staleness)
+                        .max_by(|a, b| a.total_cmp(b)),
+                }
+            })
+            .collect();
+
+        let pools: Vec<PoolHealth> = cur.shards.iter().filter_map(|s| s.pool).collect();
+        let pool = (!pools.is_empty()).then(|| {
+            let live: u64 = pools.iter().map(|p| p.live_slots).sum();
+            let free: u64 = pools.iter().map(|p| p.free_slots).sum();
+            let recycles: u64 = pools.iter().map(|p| p.recycles).sum();
+            let prev_recycles: u64 = prev
+                .map(|p| {
+                    p.shards
+                        .iter()
+                        .filter_map(|s| s.pool.map(|g| g.recycles))
+                        .sum()
+                })
+                .unwrap_or(0);
+            PoolQuality {
+                live_slots: live,
+                free_slots: free,
+                recycles,
+                recycles_delta: recycles.saturating_sub(prev_recycles),
+                now_tick: cur.max_now_tick(),
+                occupancy: ratio(live, live + free),
+            }
+        });
+
+        HealthSample {
+            snapshot: cur.clone(),
+            kinds,
+            shard_kinds,
+            pool,
+            alerts: Vec::new(),
+            active_alerts: Vec::new(),
+        }
+    }
+
+    /// The cross-shard total row for `kind`, when the window has one.
+    pub fn kind(&self, kind: &str) -> Option<&KindQuality> {
+        self.kinds.iter().find(|k| k.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ObsConfig, ObsRegistry};
+    use std::collections::HashMap;
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let registry = ObsRegistry::shared(ObsConfig::disabled(), 2);
+        let h = registry.handle(0).kind_handle("location");
+        assert!(!h.is_enabled());
+        h.ingested(5);
+        h.set_watermark(3, Some(2), Some(10));
+        registry.handle(0).publish_pool(1, 2, 3, 4);
+        assert!(registry.health_snapshot().is_empty());
+    }
+
+    #[test]
+    fn kind_handles_intern_per_shard_and_accumulate() {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 2);
+        let a = registry.handle(0).kind_handle("location");
+        let a2 = registry.handle(0).kind_handle("location");
+        let b = registry.handle(1).kind_handle("location");
+        a.ingested(3);
+        a2.ingested(2); // same cell as `a`
+        a.delivered(4);
+        a.discarded(1);
+        a.violations(2);
+        a.expired(1);
+        b.ingested(7);
+        a.set_watermark(5, Some(9), Some(12));
+
+        let snap = registry.health_snapshot();
+        assert!(!snap.is_empty());
+        let s0 = &snap.shards[0].kinds[0];
+        assert_eq!(
+            (s0.ingested, s0.delivered, s0.discarded, s0.violations),
+            (5, 4, 1, 2)
+        );
+        assert_eq!(s0.expired, 1);
+        assert_eq!(s0.live, 5);
+        assert_eq!(s0.oldest_age_ticks, Some(9));
+        assert_eq!(s0.lifespan_ticks, Some(12));
+        assert_eq!(snap.shards[1].kinds[0].ingested, 7);
+        assert!(snap.shards[0].pool.is_none(), "pool not yet published");
+    }
+
+    #[test]
+    fn pool_gauges_publish_per_shard() {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 2);
+        registry.handle(0).publish_pool(10, 4, 7, 99);
+        let snap = registry.health_snapshot();
+        let p = snap.shards[0].pool.expect("published");
+        assert_eq!((p.live_slots, p.free_slots, p.recycles), (10, 4, 7));
+        assert_eq!(p.now_tick, 99);
+        assert_eq!(snap.max_now_tick(), 99);
+        assert!(snap.shards[1].pool.is_none());
+    }
+
+    fn kh(kind: &str, ingested: u64, delivered: u64, discarded: u64) -> KindHealth {
+        KindHealth {
+            kind: kind.into(),
+            ingested,
+            delivered,
+            discarded,
+            expired: 0,
+            violations: 0,
+            live: 0,
+            oldest_age_ticks: None,
+            lifespan_ticks: None,
+        }
+    }
+
+    fn snap_one(kinds: Vec<KindHealth>) -> HealthSnapshot {
+        HealthSnapshot {
+            shards: vec![ShardHealth {
+                shard: 0,
+                pool: None,
+                kinds,
+            }],
+        }
+    }
+
+    #[test]
+    fn windowed_rates_difference_consecutive_snapshots() {
+        let mut ewma = HashMap::new();
+        let a = snap_one(vec![kh("location", 40, 30, 10)]);
+        let b = snap_one(vec![kh("location", 100, 60, 30)]);
+        let base = HealthSample::between(None, &a, &mut ewma, DEFAULT_EWMA_ALPHA);
+        let row = base.kind("location").unwrap();
+        assert_eq!(row.discard_rate, Some(0.25));
+        assert_eq!(row.use_rate, Some(0.75));
+        assert_eq!(row.use_rate_ewma, Some(0.75), "EWMA seeds at first window");
+
+        let w = HealthSample::between(Some(&a), &b, &mut ewma, DEFAULT_EWMA_ALPHA);
+        let row = w.kind("location").unwrap();
+        assert_eq!((row.ingested, row.delivered, row.discarded), (60, 30, 20));
+        assert_eq!(row.use_rate, Some(0.6));
+        let e = row.use_rate_ewma.unwrap();
+        assert!((e - (0.3 * 0.6 + 0.7 * 0.75)).abs() < 1e-12, "{e}");
+    }
+
+    #[test]
+    fn empty_windows_keep_the_ewma_and_yield_no_rates() {
+        let mut ewma = HashMap::new();
+        let a = snap_one(vec![kh("location", 40, 30, 10)]);
+        HealthSample::between(None, &a, &mut ewma, DEFAULT_EWMA_ALPHA);
+        let w = HealthSample::between(Some(&a), &a, &mut ewma, DEFAULT_EWMA_ALPHA);
+        let row = w.kind("location").unwrap();
+        assert_eq!(row.use_rate, None);
+        assert_eq!(row.discard_rate, None);
+        assert_eq!(
+            row.use_rate_ewma,
+            Some(0.75),
+            "held through the idle window"
+        );
+    }
+
+    #[test]
+    fn totals_sum_shards_and_take_the_worst_staleness() {
+        let mut ewma = HashMap::new();
+        let cur = HealthSnapshot {
+            shards: vec![
+                ShardHealth {
+                    shard: 0,
+                    pool: Some(PoolHealth {
+                        live_slots: 10,
+                        free_slots: 10,
+                        recycles: 5,
+                        now_tick: 50,
+                    }),
+                    kinds: vec![KindHealth {
+                        live: 3,
+                        oldest_age_ticks: Some(8),
+                        lifespan_ticks: Some(16),
+                        ..kh("location", 10, 6, 4)
+                    }],
+                },
+                ShardHealth {
+                    shard: 1,
+                    pool: Some(PoolHealth {
+                        live_slots: 20,
+                        free_slots: 0,
+                        recycles: 2,
+                        now_tick: 60,
+                    }),
+                    kinds: vec![KindHealth {
+                        live: 4,
+                        oldest_age_ticks: Some(12),
+                        lifespan_ticks: Some(16),
+                        ..kh("location", 10, 8, 2)
+                    }],
+                },
+            ],
+        };
+        let w = HealthSample::between(None, &cur, &mut ewma, DEFAULT_EWMA_ALPHA);
+        let row = w.kind("location").unwrap();
+        assert_eq!(row.live, 7);
+        assert_eq!(row.ingested, 20);
+        assert_eq!(row.use_rate, Some(0.7));
+        assert_eq!(row.oldest_age_ticks, Some(12), "worst across shards");
+        assert_eq!(row.staleness, Some(0.75));
+        assert_eq!(w.shard_kinds.len(), 2);
+        let p = w.pool.unwrap();
+        assert_eq!((p.live_slots, p.free_slots, p.recycles), (30, 10, 7));
+        assert_eq!(p.now_tick, 60);
+        assert_eq!(p.occupancy, Some(0.75));
+    }
+
+    #[test]
+    fn health_sample_round_trips_through_serde() {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        let h = registry.handle(0).kind_handle("rfid");
+        h.ingested(4);
+        h.discarded(1);
+        h.delivered(3);
+        registry.handle(0).publish_pool(4, 0, 0, 9);
+        let mut ewma = HashMap::new();
+        let s = HealthSample::between(
+            None,
+            &registry.health_snapshot(),
+            &mut ewma,
+            DEFAULT_EWMA_ALPHA,
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HealthSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}
+
+#[cfg(test)]
+mod estimator_proptests {
+    //! The satellite properties:
+    //!
+    //! * per-kind window deltas telescope — summing each window's
+    //!   delta reproduces the raw cumulative counters, mirroring the
+    //!   PR 3 sampler proptest;
+    //! * EWMA agrees with windowed-exact in steady state — when every
+    //!   window carries the same exact `ctxUseRate`, the EWMA equals
+    //!   it from the very first window (seed = first value, and
+    //!   `α·x + (1−α)·x = x` inductively).
+
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        #[test]
+        fn kind_deltas_telescope_to_the_raw_counters(
+            steps in proptest::collection::vec((0u64..50, 0u64..50, 0u64..50), 1..20),
+        ) {
+            let mut ewma = HashMap::new();
+            let mut cum = KindHealth {
+                kind: "location".into(),
+                ingested: 0, delivered: 0, discarded: 0,
+                expired: 0, violations: 0, live: 0,
+                oldest_age_ticks: None, lifespan_ticks: None,
+            };
+            let wrap = |k: &KindHealth| HealthSnapshot {
+                shards: vec![ShardHealth { shard: 0, pool: None, kinds: vec![k.clone()] }],
+            };
+            let mut prev = wrap(&cum);
+            // The baseline window covers the (zero) history.
+            let base = HealthSample::between(None, &prev, &mut ewma, DEFAULT_EWMA_ALPHA);
+            let mut summed = (base.kinds[0].ingested, base.kinds[0].delivered, base.kinds[0].discarded);
+            for (i, d, x) in steps {
+                cum.ingested += i;
+                cum.delivered += d;
+                cum.discarded += x;
+                let cur = wrap(&cum);
+                let w = HealthSample::between(Some(&prev), &cur, &mut ewma, DEFAULT_EWMA_ALPHA);
+                let row = &w.kinds[0];
+                summed.0 += row.ingested;
+                summed.1 += row.delivered;
+                summed.2 += row.discarded;
+                prev = cur;
+            }
+            prop_assert_eq!(summed, (cum.ingested, cum.delivered, cum.discarded));
+        }
+
+        #[test]
+        fn ewma_equals_exact_use_rate_in_steady_state(
+            delivered in 1u64..1000,
+            discarded in 0u64..1000,
+            windows in 1usize..20,
+            alpha in 0.01f64..1.0,
+        ) {
+            let mut ewma = HashMap::new();
+            let exact = delivered as f64 / (delivered + discarded) as f64;
+            let mut cum = (0u64, 0u64);
+            let mut prev: Option<HealthSnapshot> = None;
+            for _ in 0..windows {
+                cum.0 += delivered;
+                cum.1 += discarded;
+                let cur = HealthSnapshot {
+                    shards: vec![ShardHealth {
+                        shard: 0,
+                        pool: None,
+                        kinds: vec![KindHealth {
+                            kind: "location".into(),
+                            ingested: cum.0 + cum.1,
+                            delivered: cum.0,
+                            discarded: cum.1,
+                            expired: 0, violations: 0, live: 0,
+                            oldest_age_ticks: None, lifespan_ticks: None,
+                        }],
+                    }],
+                };
+                let w = HealthSample::between(prev.as_ref(), &cur, &mut ewma, alpha);
+                let row = &w.kinds[0];
+                prop_assert_eq!(row.use_rate, Some(exact));
+                let e = row.use_rate_ewma.unwrap();
+                prop_assert!((e - exact).abs() < 1e-9,
+                    "steady-state EWMA {} must equal exact {}", e, exact);
+                prev = Some(cur);
+            }
+        }
+    }
+}

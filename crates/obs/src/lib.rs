@@ -69,17 +69,23 @@
 
 mod event;
 mod export;
+mod health;
 mod metrics;
 mod provenance;
 mod registry;
 mod ring;
 mod serve;
+mod slo;
 mod snapshot;
 mod span;
 
 pub use event::{CauseKind, TraceEvent, TraceRecord, CAUSE_KINDS};
 pub use export::{
     counter_metric_name, histogram_metric_name, render_prometheus, PROMETHEUS_CONTENT_TYPE,
+};
+pub use health::{
+    HealthSample, HealthSnapshot, KindHandle, KindHealth, KindQuality, PoolHealth, PoolQuality,
+    ShardHealth, DEFAULT_EWMA_ALPHA,
 };
 pub use metrics::{
     bucket_bound, CounterKind, Histogram, HistogramSnapshot, MetricKind, BUCKETS, COUNTER_KINDS,
@@ -89,5 +95,9 @@ pub use provenance::{CauseEdge, NodeId, ProvNode, ProvStats, ProvenanceGraph};
 pub use registry::{ObsConfig, ObsRegistry, ObsSnapshot, ShardObs, ShardSnapshot};
 pub use ring::EventRing;
 pub use serve::{MetricsServer, METRICS_ADDR_ENV};
+pub use slo::{
+    HealthAlert, SloEngine, SloMetric, SloOp, SloRule, DEFAULT_CLEAR_MARGIN, SLO_METRICS,
+    SLO_RULES_ENV,
+};
 pub use snapshot::{Sample, Sampler, ShardRates, QUANTILES};
 pub use span::ObsSpan;

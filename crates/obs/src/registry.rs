@@ -1,6 +1,7 @@
 //! The per-shard observation registry and its cheap handles.
 
 use crate::event::{TraceEvent, TraceRecord};
+use crate::health::{HealthSnapshot, KindHandle, ShardHealthSlot};
 use crate::metrics::{
     CounterKind, Histogram, HistogramSnapshot, MetricKind, COUNTER_KINDS, METRIC_KINDS,
 };
@@ -24,6 +25,10 @@ pub struct ObsConfig {
     /// alongside the flat life-cycle events. Only meaningful with
     /// `trace_events`: edges ride the same rings.
     pub provenance: bool,
+    /// Whether per-kind quality telemetry (health counters, staleness
+    /// watermarks, arena gauges) is recorded and published. Counters
+    /// and histograms record regardless when `enabled`.
+    pub health: bool,
     /// Capacity of each shard's event ring buffer.
     pub ring_capacity: usize,
 }
@@ -39,6 +44,7 @@ impl ObsConfig {
             enabled: true,
             trace_events: true,
             provenance: true,
+            health: true,
             ring_capacity: Self::DEFAULT_RING_CAPACITY,
         }
     }
@@ -52,6 +58,7 @@ impl ObsConfig {
             enabled: true,
             trace_events: false,
             provenance: false,
+            health: true,
             ring_capacity: 1,
         }
     }
@@ -63,6 +70,7 @@ impl ObsConfig {
             enabled: false,
             trace_events: false,
             provenance: false,
+            health: false,
             ring_capacity: 0,
         }
     }
@@ -79,6 +87,14 @@ impl ObsConfig {
         self.provenance = on;
         self
     }
+
+    /// Turns health telemetry on or off (counters and histograms
+    /// untouched) — the lever `city_bench` uses to isolate the health
+    /// layer's marginal cost over the plain metrics configuration.
+    pub fn with_health(mut self, on: bool) -> Self {
+        self.health = on;
+        self
+    }
 }
 
 /// One shard's instrumentation state: a locked event ring plus
@@ -89,6 +105,7 @@ struct ShardSlot {
     seq: AtomicU64,
     counters: [AtomicU64; COUNTER_KINDS.len()],
     histograms: [Histogram; METRIC_KINDS.len()],
+    health: ShardHealthSlot,
 }
 
 impl ShardSlot {
@@ -98,6 +115,7 @@ impl ShardSlot {
             seq: AtomicU64::new(0),
             counters: Default::default(),
             histograms: Default::default(),
+            health: ShardHealthSlot::default(),
         }
     }
 }
@@ -208,6 +226,19 @@ impl ObsRegistry {
         }
     }
 
+    /// A point-in-time copy of every shard's health state (kind cells
+    /// and arena gauges); empty until an engine publishes some.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            shards: self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, slot)| slot.health.snapshot(i))
+                .collect(),
+        }
+    }
+
     fn record(&self, shard: usize, at: LogicalTime, event: TraceEvent) {
         if !self.config.trace_events {
             return;
@@ -290,6 +321,43 @@ impl ShardObs {
     /// Opens a timing span ending (and recording) when dropped.
     pub fn span(&self, kind: MetricKind) -> ObsSpan<'_> {
         ObsSpan::new(self, kind)
+    }
+
+    /// Whether health telemetry is on for this handle — true only when
+    /// the registry records at all *and* was configured with
+    /// [`ObsConfig::health`]. Engines check this before bumping kind
+    /// cells or publishing watermarks, so health-off runs pay nothing
+    /// for the quality layer.
+    pub fn health_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.registry.config.health)
+    }
+
+    /// A per-kind quality-telemetry handle for this shard, interned on
+    /// first use. Engines cache one handle per kind so the hot path is
+    /// pure atomics; handles from a disabled (or health-off) registry
+    /// record nothing.
+    pub fn kind_handle(&self, kind: &str) -> KindHandle {
+        match &self.inner {
+            Some(inner) if inner.registry.config.health => {
+                inner.registry.slots[inner.shard].health.kind_handle(kind)
+            }
+            _ => KindHandle::disabled(),
+        }
+    }
+
+    /// Publishes this shard's arena gauges (occupied slots, free-list
+    /// slots, lifetime slot recycles) stamped with the engine's
+    /// logical clock.
+    pub fn publish_pool(&self, live: u64, free: u64, recycles: u64, now_tick: u64) {
+        if let Some(inner) = &self.inner {
+            if inner.registry.config.health {
+                inner.registry.slots[inner.shard]
+                    .health
+                    .publish_pool(live, free, recycles, now_tick);
+            }
+        }
     }
 }
 

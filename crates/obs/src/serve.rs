@@ -18,6 +18,7 @@
 
 use crate::export::{render_prometheus, PROMETHEUS_CONTENT_TYPE};
 use crate::registry::ObsRegistry;
+use crate::slo::{SloEngine, SLO_RULES_ENV};
 use crate::snapshot::Sampler;
 use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, Write};
@@ -52,7 +53,11 @@ impl MetricsServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let sampler = Mutex::new(Sampler::new(registry));
+        let mut sampler = Sampler::new(registry);
+        if let Some(engine) = slo_engine_from_env() {
+            sampler = sampler.with_slo(engine);
+        }
+        let sampler = Mutex::new(sampler);
         let handle = std::thread::Builder::new()
             .name("ctxres-metrics".into())
             .spawn(move || {
@@ -133,6 +138,27 @@ impl MetricsServer {
             });
         }
         addr
+    }
+}
+
+/// Parses `CTXRES_SLO_RULES` into an [`SloEngine`], or `None` when the
+/// variable is unset/empty. A malformed spec is reported on stderr and
+/// treated as opting out — same policy as a bind failure: monitoring
+/// must never take down the run it watches.
+fn slo_engine_from_env() -> Option<SloEngine> {
+    let spec = std::env::var(SLO_RULES_ENV).ok()?;
+    if spec.trim().is_empty() {
+        return None;
+    }
+    match SloEngine::from_spec(&spec) {
+        Ok(engine) => {
+            eprintln!("telemetry: {} SLO rule(s) active", engine.rules().len());
+            Some(engine)
+        }
+        Err(e) => {
+            eprintln!("telemetry: bad {SLO_RULES_ENV}: {e}; SLO evaluation disabled");
+            None
+        }
     }
 }
 

@@ -19,9 +19,14 @@
 //! scrape advances the window, so reported rates are "since the previous
 //! scrape".
 
+use crate::event::TraceEvent;
+use crate::health::{HealthSample, HealthSnapshot, DEFAULT_EWMA_ALPHA};
 use crate::metrics::{CounterKind, HistogramSnapshot, MetricKind, COUNTER_KINDS, METRIC_KINDS};
 use crate::registry::{ObsRegistry, ObsSnapshot, ShardSnapshot};
+use crate::slo::SloEngine;
+use ctxres_context::LogicalTime;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -148,6 +153,13 @@ pub struct Sample {
     /// All shards' windowed views merged (the `shard` field is
     /// meaningless and left 0).
     pub total: ShardRates,
+    /// Quality telemetry for the window — per-kind rates, staleness
+    /// and arena gauges, plus SLO alerts when an engine is attached.
+    /// `None` (serialized as `null`, and tolerated when absent —
+    /// pre-health dumps still load) until some engine publishes health
+    /// state; the Prometheus exposition renders health sections only
+    /// when present, so pre-health output is byte-identical.
+    pub health: Option<HealthSample>,
 }
 
 /// The quantiles the exporter and dashboards report.
@@ -186,6 +198,9 @@ impl Sample {
 pub struct Sampler {
     registry: Arc<ObsRegistry>,
     prev: Option<(Instant, ObsSnapshot)>,
+    prev_health: Option<HealthSnapshot>,
+    ewma: HashMap<String, f64>,
+    slo: Option<SloEngine>,
 }
 
 impl Sampler {
@@ -195,7 +210,24 @@ impl Sampler {
         Sampler {
             registry,
             prev: None,
+            prev_health: None,
+            ewma: HashMap::new(),
+            slo: None,
         }
+    }
+
+    /// Attaches an SLO engine: each sample evaluates the rules against
+    /// the window's health view, fills [`Sample::health`]'s alert
+    /// fields, and (when event tracing is on) records each transition
+    /// as a [`TraceEvent::Alert`] into shard 0's ring.
+    pub fn with_slo(mut self, engine: SloEngine) -> Self {
+        self.slo = Some(engine);
+        self
+    }
+
+    /// The attached SLO engine, when one is.
+    pub fn slo(&self) -> Option<&SloEngine> {
+        self.slo.as_ref()
     }
 
     /// The registry this sampler reads.
@@ -241,13 +273,55 @@ impl Sampler {
             total.merge(s);
         }
         self.prev = Some((Instant::now(), snapshot.clone()));
+        let health = self.sample_health();
         Sample {
             elapsed_secs,
             first,
             snapshot,
             shards,
             total,
+            health,
         }
+    }
+
+    /// Computes the window's health view, runs the SLO engine over it,
+    /// and advances the health baseline. `None` while nothing has
+    /// published health state (the pre-health-telemetry shape).
+    fn sample_health(&mut self) -> Option<HealthSample> {
+        let cur = self.registry.health_snapshot();
+        if cur.is_empty() && self.prev_health.is_none() {
+            return None;
+        }
+        let mut health = HealthSample::between(
+            self.prev_health.as_ref(),
+            &cur,
+            &mut self.ewma,
+            DEFAULT_EWMA_ALPHA,
+        );
+        if let Some(engine) = &mut self.slo {
+            let at = cur.max_now_tick();
+            let alerts = engine.evaluate(&health, at);
+            if self.registry.shards() > 0 {
+                let h = self.registry.handle(0);
+                for a in &alerts {
+                    h.record(
+                        LogicalTime::new(a.at),
+                        TraceEvent::Alert {
+                            rule: a.rule.clone(),
+                            metric: a.metric.clone(),
+                            kind: a.kind.clone(),
+                            value: a.value,
+                            threshold: a.threshold,
+                            firing: a.firing,
+                        },
+                    );
+                }
+            }
+            health.alerts = alerts;
+            health.active_alerts = engine.active();
+        }
+        self.prev_health = Some(cur);
+        Some(health)
     }
 }
 
@@ -324,6 +398,72 @@ mod tests {
         assert!(p50 <= p95 && p95 <= p99);
         assert!((50..=64).contains(&p50), "{p50}");
         assert_eq!(s.quantile_bounds(MetricKind::RouteLatency), None);
+    }
+
+    #[test]
+    fn health_rides_the_sampler_once_published() {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 2);
+        let mut sampler = Sampler::new(Arc::clone(&registry));
+        let s = sampler.sample_after(0.0);
+        assert!(s.health.is_none(), "no health published yet");
+
+        let kh = registry.handle(0).kind_handle("location");
+        kh.ingested(10);
+        kh.delivered(6);
+        kh.discarded(4);
+        registry.handle(1).publish_pool(8, 2, 3, 41);
+        let s = sampler.sample_after(1.0);
+        let h = s.health.clone().expect("health attached");
+        assert_eq!(h.kind("location").unwrap().use_rate, Some(0.6));
+        let p = h.pool.unwrap();
+        assert_eq!((p.live_slots, p.free_slots, p.now_tick), (8, 2, 41));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pre_health_samples_still_deserialize() {
+        // A Sample dumped before the health field existed has no
+        // "health" key; the field tolerates absence as None.
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        let mut sampler = Sampler::new(registry);
+        let s = sampler.sample_after(0.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let stripped = json.replacen(",\"health\":null", "", 1);
+        assert_ne!(stripped, json, "fixture actually dropped the field");
+        let back: Sample = serde_json::from_str(&stripped).unwrap();
+        assert!(back.health.is_none());
+    }
+
+    #[test]
+    fn slo_alerts_fire_through_the_sampler_and_land_in_the_trace() {
+        let registry = ObsRegistry::shared(ObsConfig::enabled(), 1);
+        let engine = SloEngine::from_spec("discard_rate > 0.3 for 2").unwrap();
+        let mut sampler = Sampler::new(Arc::clone(&registry)).with_slo(engine);
+        let kh = registry.handle(0).kind_handle("location");
+        sampler.sample_after(0.0);
+        kh.ingested(10);
+        kh.discarded(9);
+        kh.delivered(1);
+        let s = sampler.sample_after(1.0); // first breach: armed
+        assert!(s.health.unwrap().alerts.is_empty());
+        kh.ingested(10);
+        kh.discarded(9);
+        kh.delivered(1);
+        let s = sampler.sample_after(1.0); // second breach: fires
+        let h = s.health.unwrap();
+        assert_eq!(h.alerts.len(), 1);
+        assert!(h.alerts[0].firing);
+        assert_eq!(h.active_alerts.len(), 1);
+        assert!(sampler.slo().unwrap().is_firing("discard_rate > 0.3 for 2"));
+        let trace = registry.drain();
+        assert!(
+            trace
+                .iter()
+                .any(|r| matches!(&r.event, TraceEvent::Alert { firing: true, .. })),
+            "the transition rides the trace ring"
+        );
     }
 
     #[test]
