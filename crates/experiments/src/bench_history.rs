@@ -51,6 +51,18 @@ pub struct ShardThroughput {
     pub contexts_per_sec: f64,
 }
 
+/// One phase's share of a run's cross-shard profiler self time, as
+/// recorded by a profile-on bench configuration. Shares sum to ~100
+/// over the phases that ran; [`attribute_regression`] compares them
+/// against the baseline to name the phase a regression moved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseShare {
+    /// The phase's stable snake-case name (`ctxres_obs::Phase::name`).
+    pub phase: String,
+    /// The phase's share of total profiler self time, in percent.
+    pub share_pct: f64,
+}
+
 /// One `shard_bench` run: a row of `results/bench_history.jsonl`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchRecord {
@@ -92,6 +104,15 @@ pub struct BenchRecord {
     /// obs-on/obs-off reps. `None` for rows written before health
     /// telemetry existed and for benches that do not measure it.
     pub obs_health_overhead_pct: Option<f64>,
+    /// Marginal cost of the hierarchical phase profiler over the
+    /// metrics-only registry, percent, as a median of paired reps.
+    /// `None` for rows written before the profiler existed and for
+    /// benches that do not measure it.
+    pub obs_profile_overhead_pct: Option<f64>,
+    /// Per-phase self-time shares from the profile-on configuration,
+    /// the input to [`attribute_regression`]. `None` for pre-profiler
+    /// rows (they still load) and benches that do not profile.
+    pub phase_shares: Option<Vec<PhaseShare>>,
     /// Per-shard ingest breakdown of the sharded configuration.
     pub per_shard: Vec<ShardThroughput>,
 }
@@ -291,7 +312,8 @@ pub fn evaluate(current: &BenchRecord, prior: &[BenchRecord], thresholds: &Thres
         .obs_overhead_pct
         .max(current.obs_export_overhead_pct)
         .max(current.obs_prov_overhead_pct.unwrap_or(0.0))
-        .max(current.obs_health_overhead_pct.unwrap_or(0.0));
+        .max(current.obs_health_overhead_pct.unwrap_or(0.0))
+        .max(current.obs_profile_overhead_pct.unwrap_or(0.0));
     let overhead = if worst_pct > thresholds.obs_overhead_pct {
         OverheadVerdict::Exceeded { worst_pct }
     } else {
@@ -301,6 +323,66 @@ pub fn evaluate(current: &BenchRecord, prior: &[BenchRecord], thresholds: &Thres
         throughput,
         overhead,
     }
+}
+
+/// One phase's movement between a run and its series baseline, from
+/// [`attribute_regression`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhaseShift {
+    /// The phase's stable snake-case name.
+    pub phase: String,
+    /// The current run's share of profiler self time, percent.
+    pub share_pct: f64,
+    /// The baseline median share over the same window the throughput
+    /// verdict uses, percent (0 when the phase never appeared before).
+    pub baseline_share_pct: f64,
+    /// `share_pct - baseline_share_pct`, in percentage points: positive
+    /// means the phase grew — the prime regression suspect.
+    pub delta_pp: f64,
+}
+
+/// Per-phase share movement of `current` vs the median of the same
+/// [`BASELINE_WINDOW`] same-series prior runs the throughput verdict
+/// compares against, sorted by growth (largest `delta_pp` first) so a
+/// regression report can name the phase(s) that moved most. Empty when
+/// the current run carries no phase shares or no baseline row does —
+/// pre-profiler histories attribute nothing rather than failing.
+pub fn attribute_regression(current: &BenchRecord, prior: &[BenchRecord]) -> Vec<PhaseShift> {
+    let Some(cur_shares) = &current.phase_shares else {
+        return Vec::new();
+    };
+    let baselines: Vec<&Vec<PhaseShare>> = prior
+        .iter()
+        .rev()
+        .filter(|r| r.same_series(current))
+        .take(BASELINE_WINDOW)
+        .filter_map(|r| r.phase_shares.as_ref())
+        .collect();
+    if baselines.is_empty() {
+        return Vec::new();
+    }
+    let mut shifts: Vec<PhaseShift> = cur_shares
+        .iter()
+        .map(|s| {
+            let mut base: Vec<f64> = baselines
+                .iter()
+                .filter_map(|b| b.iter().find(|p| p.phase == s.phase).map(|p| p.share_pct))
+                .collect();
+            let baseline_share_pct = if base.is_empty() {
+                0.0
+            } else {
+                median(&mut base)
+            };
+            PhaseShift {
+                phase: s.phase.clone(),
+                share_pct: s.share_pct,
+                baseline_share_pct,
+                delta_pp: s.share_pct - baseline_share_pct,
+            }
+        })
+        .collect();
+    shifts.sort_by(|a, b| b.delta_pp.total_cmp(&a.delta_pp));
+    shifts
 }
 
 /// Overhead of `num` over `den` as the **median of per-rep paired
@@ -387,6 +469,21 @@ mod tests {
             obs_export_overhead_pct: 1.0,
             obs_prov_overhead_pct: Some(0.8),
             obs_health_overhead_pct: Some(0.6),
+            obs_profile_overhead_pct: Some(0.4),
+            phase_shares: Some(vec![
+                PhaseShare {
+                    phase: "ingest".to_owned(),
+                    share_pct: 40.0,
+                },
+                PhaseShare {
+                    phase: "constraint_check".to_owned(),
+                    share_pct: 35.0,
+                },
+                PhaseShare {
+                    phase: "resolution".to_owned(),
+                    share_pct: 25.0,
+                },
+            ]),
             per_shard: vec![ShardThroughput {
                 shard: 0,
                 shared_scope: false,
@@ -524,6 +621,81 @@ mod tests {
         assert_ne!(line, stripped, "fixture must actually drop the field");
         let row: BenchRecord = serde_json::from_str(&stripped).unwrap();
         assert_eq!(row.obs_health_overhead_pct, None);
+        assert!(!evaluate(&row, &[], &Thresholds::default()).is_failure());
+    }
+
+    #[test]
+    fn profile_overhead_gate_is_absolute() {
+        let mut r = record(1000.0);
+        r.obs_profile_overhead_pct = Some(3.4);
+        let v = evaluate(&r, &[], &Thresholds::default());
+        assert_eq!(v.overhead, OverheadVerdict::Exceeded { worst_pct: 3.4 });
+        assert!(v.is_failure());
+    }
+
+    #[test]
+    fn regression_is_attributed_to_the_phase_that_grew() {
+        // Healthy baselines: checking dominates. The regressed run's
+        // resolution share jumps by 20 points; attribution must rank
+        // resolution first with roughly that delta.
+        let prior = [record(1000.0), record(1020.0), record(980.0)];
+        let mut slow = record(500.0);
+        slow.phase_shares = Some(vec![
+            PhaseShare {
+                phase: "ingest".to_owned(),
+                share_pct: 30.0,
+            },
+            PhaseShare {
+                phase: "constraint_check".to_owned(),
+                share_pct: 25.0,
+            },
+            PhaseShare {
+                phase: "resolution".to_owned(),
+                share_pct: 45.0,
+            },
+        ]);
+        let shifts = attribute_regression(&slow, &prior);
+        assert_eq!(shifts[0].phase, "resolution");
+        assert!((shifts[0].delta_pp - 20.0).abs() < 1e-9);
+        assert_eq!(shifts[0].baseline_share_pct, 25.0);
+        // Shrinking phases rank last.
+        assert!(shifts.last().unwrap().delta_pp < 0.0);
+    }
+
+    #[test]
+    fn attribution_is_empty_without_phase_data() {
+        // Pre-profiler current run: nothing to attribute.
+        let prior = [record(1000.0)];
+        let mut bare = record(500.0);
+        bare.phase_shares = None;
+        assert!(attribute_regression(&bare, &prior).is_empty());
+        // Pre-profiler baselines: nothing to compare against.
+        let mut old = record(1000.0);
+        old.phase_shares = None;
+        assert!(attribute_regression(&record(500.0), &[old]).is_empty());
+        // Different series never contributes.
+        let mut other = record(1000.0);
+        other.shards = 8;
+        assert!(attribute_regression(&record(500.0), &[other]).is_empty());
+    }
+
+    #[test]
+    fn rows_predating_the_profiler_still_load() {
+        let r = record(1000.0);
+        let line = serde_json::to_string(&r).unwrap();
+        let shares_json = serde_json::to_string(&r.phase_shares).unwrap();
+        let overhead_json = serde_json::to_string(&r.obs_profile_overhead_pct).unwrap();
+        let stripped = line
+            .replace(
+                &format!(",\"obs_profile_overhead_pct\":{overhead_json}"),
+                "",
+            )
+            .replace(&format!(",\"phase_shares\":{shares_json}"), "");
+        assert_ne!(line, stripped, "fixture must actually drop the fields");
+        assert!(!stripped.contains("phase_shares"), "fixture fully stripped");
+        let row: BenchRecord = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(row.obs_profile_overhead_pct, None);
+        assert_eq!(row.phase_shares, None);
         assert!(!evaluate(&row, &[], &Thresholds::default()).is_failure());
     }
 

@@ -11,9 +11,16 @@
 //! The history interleaves rows from independent series —
 //! `shard_throughput` at each shard count, `eval_bench/<deployment>`,
 //! `city` (the city-scale batch-ingestion bench, which measures the
-//! live health-telemetry overhead as `obs_health_overhead_pct`; its
+//! live health-telemetry overhead as `obs_health_overhead_pct` and the
+//! sampled phase-profiler overhead as `obs_profile_overhead_pct`; its
 //! other obs-overhead fields are zero/`None` and never trip the gate) —
 //! distinguished by the `(bench, shards, quick, host, contexts)` key.
+//!
+//! When a series regresses and its rows carry `phase_shares` (the
+//! profiler's per-phase self-time shares), the report also prints a
+//! **phase attribution** line naming the phase(s) whose share grew the
+//! most against the baseline median — pointing at the subsystem to
+//! profile first rather than leaving a bare percentage.
 //! For each distinct series, the most recent row is the run under
 //! judgment; its baseline is the median of up to 5 most recent
 //! **prior** rows of the same series, so cross-machine, cross-scale,
@@ -25,7 +32,8 @@
 //! (default 3%) — `2` usage or unreadable/empty history.
 
 use ctxres_experiments::bench_history::{
-    evaluate, history_path_from_env, load_history, OverheadVerdict, Thresholds, ThroughputVerdict,
+    attribute_regression, evaluate, history_path_from_env, load_history, OverheadVerdict,
+    Thresholds, ThroughputVerdict,
 };
 use std::path::PathBuf;
 
@@ -132,27 +140,51 @@ fn main() {
                 baseline,
                 change_pct,
                 baseline_runs,
-            } => println!(
-                "  throughput: REGRESSION — {:.1} ctx/s vs median {:.1} of {} prior run(s) ({:+.2}%, threshold -{:.1}%)",
-                current.contexts_per_sec, baseline, baseline_runs, change_pct, thresholds.regression_pct,
-            ),
+            } => {
+                println!(
+                    "  throughput: REGRESSION — {:.1} ctx/s vs median {:.1} of {} prior run(s) ({:+.2}%, threshold -{:.1}%)",
+                    current.contexts_per_sec, baseline, baseline_runs, change_pct, thresholds.regression_pct,
+                );
+                // Phase attribution: compare this run's self-time shares
+                // against the baseline medians and name the phase(s)
+                // whose share grew the most — the first place to look.
+                let shifts = attribute_regression(current, prior);
+                let grew: Vec<String> = shifts
+                    .iter()
+                    .filter(|s| s.delta_pp > 1.0)
+                    .take(3)
+                    .map(|s| {
+                        format!(
+                            "{} ({:+.1}pp, {:.1}% vs baseline {:.1}%)",
+                            s.phase, s.delta_pp, s.share_pct, s.baseline_share_pct
+                        )
+                    })
+                    .collect();
+                if grew.is_empty() {
+                    println!("  phase attribution: no phase data on this series");
+                } else {
+                    println!("  phase attribution: likely phase(s): {}", grew.join(", "));
+                }
+            }
         }
         match &verdict.overhead {
             OverheadVerdict::Pass { worst_pct } => println!(
-                "  obs overhead: PASS — disabled {:+.2}%, export {:+.2}%, provenance {}, health {} (worst {:+.2}%, threshold {:.1}%)",
+                "  obs overhead: PASS — disabled {:+.2}%, export {:+.2}%, provenance {}, health {}, profile {} (worst {:+.2}%, threshold {:.1}%)",
                 current.obs_overhead_pct,
                 current.obs_export_overhead_pct,
                 opt_pct_label(current.obs_prov_overhead_pct),
                 opt_pct_label(current.obs_health_overhead_pct),
+                opt_pct_label(current.obs_profile_overhead_pct),
                 worst_pct,
                 thresholds.obs_overhead_pct,
             ),
             OverheadVerdict::Exceeded { worst_pct } => println!(
-                "  obs overhead: EXCEEDED — disabled {:+.2}%, export {:+.2}%, provenance {}, health {} (worst {:+.2}%, threshold {:.1}%)",
+                "  obs overhead: EXCEEDED — disabled {:+.2}%, export {:+.2}%, provenance {}, health {}, profile {} (worst {:+.2}%, threshold {:.1}%)",
                 current.obs_overhead_pct,
                 current.obs_export_overhead_pct,
                 opt_pct_label(current.obs_prov_overhead_pct),
                 opt_pct_label(current.obs_health_overhead_pct),
+                opt_pct_label(current.obs_profile_overhead_pct),
                 worst_pct,
                 thresholds.obs_overhead_pct,
             ),

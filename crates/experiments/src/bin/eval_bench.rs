@@ -414,6 +414,8 @@ fn main() {
             obs_export_overhead_pct: 0.0,
             obs_prov_overhead_pct: None,
             obs_health_overhead_pct: None,
+            obs_profile_overhead_pct: None,
+            phase_shares: None,
             per_shard: Vec::new(),
         };
         match append_history(&history, &record) {

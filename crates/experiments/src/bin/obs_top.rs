@@ -14,7 +14,10 @@
 //!
 //! Flags: `--interval-ms <n>` (default 500), `--iters <n>` (frames to
 //! render; default: run until interrupted), `--once` (single frame, no
-//! ANSI clear — CI-safe).
+//! ANSI clear — CI-safe), `--phases` (profile the demo engine and add
+//! a per-shard phase self-time panel; in watch mode the panel appears
+//! automatically whenever the remote endpoint samples with its phase
+//! profiler on).
 
 use ctxres_constraint::parse_constraints;
 use ctxres_context::{Context, ContextKind, LogicalTime, Point, Ticks};
@@ -35,6 +38,7 @@ struct Options {
     interval: Duration,
     iters: Option<u64>,
     once: bool,
+    phases: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -43,6 +47,7 @@ fn parse_args() -> Result<Options, String> {
         interval: Duration::from_millis(500),
         iters: None,
         once: false,
+        phases: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +68,7 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--once" => opts.once = true,
+            "--phases" => opts.phases = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -174,6 +180,65 @@ fn render(sample: &Sample, frame: u64, source: &str) -> String {
     if let Some(health) = &sample.health {
         out.push_str(&render_health(health));
     }
+    if let Some(phases) = &sample.phases {
+        out.push_str(&render_phases(phases));
+    }
+    out
+}
+
+/// Short column labels for the phase panel, aligned with
+/// [`ctxres_obs::PHASES`] order.
+const PHASE_SHORT: [&str; 9] = [
+    "ingest", "idxmnt", "check", "resolve", "siteval", "prov", "health", "rebal", "export",
+];
+
+/// One phase-panel cell: window self-time in milliseconds, `-` when
+/// the phase recorded nothing this window.
+fn phase_cell(stats: &[ctxres_obs::PhaseStat], phase: ctxres_obs::Phase) -> String {
+    let self_ns = stats
+        .iter()
+        .find(|s| s.phase == phase.name())
+        .map(|s| s.self_ns)
+        .unwrap_or(0);
+    if self_ns == 0 {
+        "-".to_owned()
+    } else {
+        format!("{:.2}", self_ns as f64 / 1e6)
+    }
+}
+
+/// The phase panel: per-shard self-time by phase over the sample
+/// window, plus the window totals and each phase's share of all
+/// self-time — the live view of where the engines spend their cycles.
+fn render_phases(phases: &ctxres_obs::PhaseSample) -> String {
+    let mut out = String::new();
+    out.push_str("\nphase self-time this window (ms)\n");
+    out.push_str(&format!("{:<9}", "shard"));
+    for name in PHASE_SHORT {
+        out.push_str(&format!("{name:>9}"));
+    }
+    out.push('\n');
+    for sh in &phases.shards {
+        out.push_str(&format!("{:<9}", format!("shard {}", sh.shard)));
+        for p in ctxres_obs::PHASES {
+            out.push_str(&format!("{:>9}", phase_cell(&sh.window, p)));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<9}", "total"));
+    for p in ctxres_obs::PHASES {
+        out.push_str(&format!("{:>9}", phase_cell(&phases.window_total, p)));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<9}", "share"));
+    for p in ctxres_obs::PHASES {
+        let cell = match phases.self_share(p) {
+            Some(share) => format!("{:.1}%", share * 100.0),
+            None => "-".to_owned(),
+        };
+        out.push_str(&format!("{cell:>9}"));
+    }
+    out.push('\n');
     out
 }
 
@@ -296,7 +361,9 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("obs_top: {e}");
-            eprintln!("usage: obs_top [--watch <addr>] [--interval-ms <n>] [--iters <n>] [--once]");
+            eprintln!(
+                "usage: obs_top [--watch <addr>] [--interval-ms <n>] [--iters <n>] [--once] [--phases]"
+            );
             std::process::exit(2);
         }
     };
@@ -311,7 +378,14 @@ fn main() {
     // dashboard exits.
     let constraints = parse_constraints(SPEED).unwrap();
     let plan = ShardPlan::analyze(&constraints, 4);
-    let registry = ShardedMiddleware::obs_registry(&plan, ObsConfig::metrics_only());
+    // --phases profiles every root in the demo: the stream is small
+    // enough that sampling would just make the panel jittery.
+    let config = if opts.phases {
+        ObsConfig::metrics_only().with_profile(1)
+    } else {
+        ObsConfig::metrics_only()
+    };
+    let registry = ShardedMiddleware::obs_registry(&plan, config);
     let sharded = Arc::new(ShardedMiddleware::new_observed(
         plan,
         &registry,

@@ -528,6 +528,10 @@ fn main() {
         // overheads subsume it. `city_bench` owns the dedicated
         // health-telemetry measurement.
         obs_health_overhead_pct: None,
+        // shard_bench's dense workload does not run the profiler;
+        // `city_bench` owns the profile-overhead measurement.
+        obs_profile_overhead_pct: None,
+        phase_shares: None,
         per_shard,
     };
     let history = history_path_from_env();

@@ -11,7 +11,7 @@ use ctxres_context::{
     Context, ContextId, ContextKind, ContextPool, ContextState, LogicalTime, Ticks, TruthTag,
 };
 use ctxres_core::{Inconsistency, ResolutionStrategy};
-use ctxres_obs::{CauseKind, CounterKind, KindHandle, MetricKind, ShardObs, TraceEvent};
+use ctxres_obs::{CauseKind, CounterKind, KindHandle, MetricKind, Phase, ShardObs, TraceEvent};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 
@@ -255,6 +255,11 @@ impl Middleware {
     /// submitting the contexts one at a time (enforced by the
     /// batch-equivalence proptests).
     pub fn batch_add(&mut self, batch: Vec<Context>) -> Vec<SubmitReport> {
+        // The profiler root for the whole ingest pipeline: checking,
+        // resolution, situation rounds and health publishing nest under
+        // it, so its self time is the batch bookkeeping proper.
+        let obs = self.obs.clone();
+        let _ingest_phase = obs.phase(Phase::Ingest);
         let mut plans: HashMap<ContextKind, KindPlan> = HashMap::new();
         for ctx in &batch {
             if !plans.contains_key(ctx.kind()) {
@@ -307,6 +312,8 @@ impl Middleware {
             );
         }
         if self.obs.provenance_enabled() {
+            let obs = self.obs.clone();
+            let _prov_phase = obs.phase(Phase::ProvenanceEmit);
             // The root of every causal chain: the submission itself.
             self.obs.record(
                 now,
@@ -393,6 +400,8 @@ impl Middleware {
         }
 
         let check_span = self.obs.span(MetricKind::CheckLatency);
+        let check_obs = self.obs.clone();
+        let check_phase = check_obs.phase(Phase::ConstraintCheck);
         let checked = match plan {
             Some(p) => self
                 .checker
@@ -412,6 +421,7 @@ impl Middleware {
                 Vec::new()
             }
         };
+        check_phase.finish();
         check_span.finish();
         let compiled_delta = self.checker.stats().compiled_evals - self.reported_compiled_evals;
         if compiled_delta > 0 {
@@ -436,6 +446,8 @@ impl Middleware {
                 self.kind_cell(&kind).violations(fresh.len() as u64);
             }
             if self.obs.provenance_enabled() {
+                let obs = self.obs.clone();
+                let _prov_phase = obs.phase(Phase::ProvenanceEmit);
                 // Every member of a fresh inconsistency gains a
                 // violation edge citing the constraint and the bound
                 // partners — the evidence later verdicts build on.
@@ -466,7 +478,10 @@ impl Middleware {
         self.detections.extend(fresh.iter().cloned());
 
         let resolve_span = self.obs.span(MetricKind::ResolveLatency);
+        let resolve_obs = self.obs.clone();
+        let resolve_phase = resolve_obs.phase(Phase::Resolution);
         let outcome = self.strategy.on_addition(&mut self.pool, now, id, &fresh);
+        resolve_phase.finish();
         resolve_span.finish();
         for did in &outcome.discarded {
             // Addition-path discards (eager strategies) always take a
@@ -579,6 +594,12 @@ impl Middleware {
     }
 
     fn process_due(&mut self, now: LogicalTime) {
+        // Index/arena maintenance: retention compaction and deadline
+        // queues. The use loop's resolution work nests under it as
+        // [`Phase::Resolution`], so this phase's self time is the
+        // maintenance proper.
+        let obs = self.obs.clone();
+        let _maint_phase = obs.phase(Phase::IndexMaint);
         if let Some(retention) = self.config.retention {
             if now.tick() > retention.count() {
                 let horizon = LogicalTime::new(now.tick() - retention.count());
@@ -612,6 +633,10 @@ impl Middleware {
     /// how long past its window a context lingered before a clock
     /// advance finally used it.
     fn use_one(&mut self, id: ContextId, now: LogicalTime, due: Option<LogicalTime>) -> UseRecord {
+        // A use is a resolution decision end to end: the strategy's
+        // `on_use` plus the delivery/discard bookkeeping it triggers.
+        let obs = self.obs.clone();
+        let _resolve_phase = obs.phase(Phase::Resolution);
         if let Some(due) = due {
             self.obs
                 .observe(MetricKind::UseResidualDelay, (now - due).count());
@@ -663,6 +688,8 @@ impl Middleware {
                     }
                 }
                 if self.obs.provenance_enabled() && prev_state == ContextState::Undecided {
+                    let obs = self.obs.clone();
+                    let _prov_phase = obs.phase(Phase::ProvenanceEmit);
                     if !self.strategy.emits_provenance() {
                         self.obs.record(
                             now,
@@ -791,6 +818,8 @@ impl Middleware {
             self.obs.record(now, TraceEvent::Discarded { ctx: id });
             self.obs.count(CounterKind::Discards, 1);
             if self.obs.provenance_enabled() {
+                let obs = self.obs.clone();
+                let _prov_phase = obs.phase(Phase::ProvenanceEmit);
                 if !self.strategy.emits_provenance() {
                     // Generic verdict edge for strategies without their
                     // own provenance instrumentation.
@@ -842,6 +871,8 @@ impl Middleware {
         if !self.obs.health_enabled() {
             return;
         }
+        let obs = self.obs.clone();
+        let _health_phase = obs.phase(Phase::HealthPublish);
         let now = self.clock;
         self.obs.publish_pool(
             self.pool.live_slots() as u64,
@@ -901,6 +932,8 @@ impl Middleware {
         if !self.dirty || self.situations.is_empty() {
             return;
         }
+        let obs = self.obs.clone();
+        let _sit_phase = obs.phase(Phase::SituationEval);
         self.dirty = false;
         // Expired contexts leave every live domain without a state
         // transition; fold the queued expiries into the dirty sets
@@ -1774,6 +1807,60 @@ mod retention_tests {
             500,
             "every context decided"
         );
+    }
+
+    #[test]
+    fn profiled_run_attributes_nested_phase_time() {
+        use ctxres_constraint::parse_constraints;
+        use ctxres_context::{ContextKind, Point};
+        use ctxres_core::strategies::DropBad;
+        use ctxres_obs::{ObsConfig, ObsRegistry};
+        const SPEED: &str = "constraint speed:
+            forall a: location, b: location .
+              (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+        let loc = |subject: &str, seq: i64, x: f64| {
+            Context::builder(ContextKind::new("location"), subject)
+                .attr("pos", Point::new(x, 0.0))
+                .attr("seq", seq)
+                .stamp(LogicalTime::new(seq as u64))
+                .build()
+        };
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only().with_profile(1), 1);
+        let mut m = Middleware::builder()
+            .constraints(parse_constraints(SPEED).unwrap())
+            .strategy(Box::new(DropBad::new()))
+            .obs(registry.handle(0))
+            .build();
+        m.batch_add(vec![loc("p", 0, 0.0), loc("p", 1, 50.0)]);
+        m.drain();
+        let agg = registry.profile_snapshot().aggregate();
+        let stat = |p: Phase| agg.iter().find(|s| s.phase == p.name()).cloned().unwrap();
+        assert_eq!(stat(Phase::Ingest).calls, 1, "one batch, one root");
+        assert_eq!(
+            stat(Phase::ConstraintCheck).calls,
+            2,
+            "one check per context"
+        );
+        assert!(stat(Phase::Resolution).calls >= 2, "on_addition + uses");
+        assert!(
+            stat(Phase::IndexMaint).calls >= 2,
+            "process_due each submit"
+        );
+        for s in &agg {
+            assert!(s.self_ns <= s.total_ns, "{}: self exceeds total", s.phase);
+        }
+        // Checking nests entirely inside the batch's ingest root.
+        assert!(stat(Phase::Ingest).total_ns >= stat(Phase::ConstraintCheck).total_ns);
+        // With profiling off the same run records nothing.
+        let off = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        let mut m = Middleware::builder()
+            .constraints(parse_constraints(SPEED).unwrap())
+            .strategy(Box::new(DropBad::new()))
+            .obs(off.handle(0))
+            .build();
+        m.batch_add(vec![loc("p", 0, 0.0)]);
+        m.drain();
+        assert!(off.profile_snapshot().is_empty());
     }
 }
 

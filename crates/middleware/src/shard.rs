@@ -37,7 +37,7 @@ use crossbeam::channel::Receiver;
 use ctxres_constraint::{global_kinds, Constraint};
 use ctxres_context::{Context, ContextKind, ContextState, LogicalTime};
 use ctxres_core::ResolutionStrategy;
-use ctxres_obs::{MetricKind, ObsConfig, ObsRegistry, ShardObs};
+use ctxres_obs::{MetricKind, ObsConfig, ObsRegistry, Phase, ShardObs};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -363,10 +363,14 @@ impl ShardedMiddleware {
     pub fn batch_add_owned(&self, batch: Vec<Context>) -> usize {
         let total = batch.len();
         let route_span = self.obs.span(MetricKind::RouteLatency);
+        // Routing cost lands on the engine slot as ingest self time;
+        // each shard's own ingest root opens inside its worker thread.
+        let route_phase = self.obs.phase(Phase::Ingest);
         let mut per_shard: Vec<Vec<Context>> = vec![Vec::new(); self.shards.len()];
         for ctx in batch {
             per_shard[self.plan.route(&ctx)].push(ctx);
         }
+        route_phase.finish();
         route_span.finish();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(per_shard.len());
@@ -437,6 +441,10 @@ impl ShardedMiddleware {
     /// no in-flight use or strategy decision can refer to a migrating
     /// context.
     pub fn apply_plan(&mut self, new_plan: ShardPlan) {
+        // Migration cost — extraction, re-routing, adoption — lands on
+        // the engine slot as a rebalance root.
+        let obs = self.obs.clone();
+        let _rebalance_phase = obs.phase(Phase::Rebalance);
         assert_eq!(
             new_plan.subject_shards(),
             self.plan.subject_shards(),
@@ -688,6 +696,44 @@ mod tests {
         let shard = sharded.plan().route(&anon);
         assert!(shard < 4);
         assert_eq!(shard, sharded.plan().route(&anon));
+    }
+
+    #[test]
+    fn profiled_sharded_ingest_and_rebalance_record_phases() {
+        let constraints = parse_constraints(SPEED).unwrap();
+        let plan = ShardPlan::analyze(&constraints, 2);
+        let registry =
+            ShardedMiddleware::obs_registry(&plan, ObsConfig::metrics_only().with_profile(1));
+        let mut sharded = ShardedMiddleware::new_observed(plan, &registry, |_, obs| {
+            Middleware::builder()
+                .constraints(parse_constraints(SPEED).unwrap())
+                .strategy(Box::new(DropBad::new()))
+                .config(MiddlewareConfig {
+                    window: Ticks::new(0),
+                    track_ground_truth: false,
+                    retention: None,
+                })
+                .obs(obs)
+                .build()
+        });
+        sharded.batch_add_owned(vec![loc("alice", 0, 0.0), loc("bob", 0, 1.0)]);
+        sharded.drain();
+        let plan = sharded.plan().clone();
+        sharded.apply_plan(plan);
+        let snap = registry.profile_snapshot();
+        let calls = |shard: usize, phase: &str| {
+            snap.shards[shard]
+                .phases
+                .iter()
+                .find(|p| p.phase == phase)
+                .map(|p| p.calls)
+                .unwrap_or(0)
+        };
+        let engine_slot = snap.shards.len() - 1;
+        assert_eq!(calls(engine_slot, "rebalance"), 1, "apply_plan recorded");
+        assert_eq!(calls(engine_slot, "ingest"), 1, "routing recorded");
+        let shard_ingests: u64 = (0..engine_slot).map(|i| calls(i, "ingest")).sum();
+        assert!(shard_ingests >= 1, "worker shards record their batches");
     }
 
     fn observed_engine(subject_shards: usize) -> (ShardedMiddleware, Arc<ctxres_obs::ObsRegistry>) {

@@ -22,7 +22,8 @@
 
 use crate::health::HealthSample;
 use crate::metrics::{bucket_bound, CounterKind, MetricKind, COUNTER_KINDS, METRIC_KINDS};
-use crate::snapshot::{Sample, QUANTILES};
+use crate::profile::PhaseSample;
+use crate::snapshot::{BuildInfo, Sample, QUANTILES};
 use std::fmt::Write as _;
 
 /// The exposition-format content type, for HTTP responses.
@@ -148,7 +149,113 @@ pub fn render_prometheus(sample: &Sample) -> String {
         render_health(w, health);
     }
 
+    // Phase-profiler series render only when profiling is on and ran,
+    // and the build stamp only when one was attached — both keep the
+    // golden exposition byte-identical for pre-profiler setups.
+    if let Some(phases) = &sample.phases {
+        render_phases(w, phases);
+    }
+    if let Some(build) = &sample.build {
+        render_build_info(w, build);
+    }
+
     out
+}
+
+/// Renders the phase-profiler sections: cumulative per-(shard, phase)
+/// self/total seconds and call counters (phases that never ran are
+/// omitted), per-shard root/sampling/ring counters, and the window's
+/// cross-shard self-time share per phase.
+fn render_phases(w: &mut String, phases: &PhaseSample) {
+    let rows: Vec<_> = phases
+        .shards
+        .iter()
+        .flat_map(|s| {
+            s.cumulative
+                .iter()
+                .filter(|p| p.calls > 0)
+                .map(move |p| (s.shard, p))
+        })
+        .collect();
+    if !rows.is_empty() {
+        let _ = writeln!(w, "# TYPE ctxres_phase_self_seconds_total counter");
+        for (i, p) in &rows {
+            let _ = writeln!(
+                w,
+                "ctxres_phase_self_seconds_total{{shard=\"{i}\",phase=\"{}\"}} {}",
+                p.phase,
+                p.self_ns as f64 / 1e9
+            );
+        }
+        let _ = writeln!(w, "# TYPE ctxres_phase_total_seconds_total counter");
+        for (i, p) in &rows {
+            let _ = writeln!(
+                w,
+                "ctxres_phase_total_seconds_total{{shard=\"{i}\",phase=\"{}\"}} {}",
+                p.phase,
+                p.total_ns as f64 / 1e9
+            );
+        }
+        let _ = writeln!(w, "# TYPE ctxres_phase_calls_total counter");
+        for (i, p) in &rows {
+            let _ = writeln!(
+                w,
+                "ctxres_phase_calls_total{{shard=\"{i}\",phase=\"{}\"}} {}",
+                p.phase, p.calls
+            );
+        }
+    }
+
+    let _ = writeln!(w, "# TYPE ctxres_phase_roots_total counter");
+    for s in &phases.shards {
+        let _ = writeln!(
+            w,
+            "ctxres_phase_roots_total{{shard=\"{}\"}} {}",
+            s.shard, s.roots
+        );
+    }
+    let _ = writeln!(w, "# TYPE ctxres_phase_sampled_roots_total counter");
+    for s in &phases.shards {
+        let _ = writeln!(
+            w,
+            "ctxres_phase_sampled_roots_total{{shard=\"{}\"}} {}",
+            s.shard, s.sampled_roots
+        );
+    }
+    let _ = writeln!(w, "# TYPE ctxres_phase_spans_dropped_total counter");
+    for s in &phases.shards {
+        let _ = writeln!(
+            w,
+            "ctxres_phase_spans_dropped_total{{shard=\"{}\"}} {}",
+            s.shard, s.spans_dropped
+        );
+    }
+
+    let window_self: u64 = phases.window_total.iter().map(|p| p.self_ns).sum();
+    if window_self > 0 {
+        let _ = writeln!(w, "# TYPE ctxres_phase_self_share gauge");
+        for p in phases.window_total.iter().filter(|p| p.calls > 0) {
+            let _ = writeln!(
+                w,
+                "ctxres_phase_self_share{{phase=\"{}\"}} {}",
+                p.phase,
+                p.self_ns as f64 / window_self as f64
+            );
+        }
+    }
+}
+
+/// Renders the build identity gauge (constant 1; identity rides the
+/// labels, the standard `*_build_info` convention).
+fn render_build_info(w: &mut String, build: &BuildInfo) {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let _ = writeln!(w, "# TYPE ctxres_build_info gauge");
+    let _ = writeln!(
+        w,
+        "ctxres_build_info{{commit=\"{}\",host=\"{}\"}} 1",
+        escape(&build.commit),
+        escape(&build.host)
+    );
 }
 
 /// Renders the health sections: arena gauges per shard, cumulative
@@ -485,6 +592,55 @@ ctxres_queue_depth_quantile_bound{shard=\"1\",q=\"0.99\"} 8
     #[test]
     fn health_lines_are_valid_exposition() {
         assert_valid_exposition(&render_prometheus(&seeded_health_sample()));
+    }
+
+    /// Like [`seeded_sample`] but with profiling on, phases run, and a
+    /// build stamp attached, so every new section renders.
+    fn seeded_profiled_sample() -> Sample {
+        use crate::profile::Phase;
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only().with_profile(1), 2);
+        let mut sampler = Sampler::new(Arc::clone(&registry)).with_build_info(crate::BuildInfo {
+            commit: "abc1234".into(),
+            host: "bench\"host\"".into(),
+        });
+        sampler.sample_after(0.0);
+        let h = registry.handle(0);
+        {
+            let _root = h.phase(Phase::Ingest);
+            let h2 = registry.handle(0);
+            let _child = h2.phase(Phase::ConstraintCheck);
+        }
+        sampler.sample_after(2.0)
+    }
+
+    /// The phase/build sections only appear once profiling ran / a
+    /// stamp was attached, and then carry per-(shard, phase) series,
+    /// sampling counters, windowed shares, and the identity gauge.
+    #[test]
+    fn phase_and_build_sections_render_only_when_present() {
+        let plain = render_prometheus(&seeded_sample());
+        assert!(!plain.contains("ctxres_phase_"), "no profiling, no phases");
+        assert!(!plain.contains("ctxres_build_info"), "no stamp, no gauge");
+
+        let text = render_prometheus(&seeded_profiled_sample());
+        for needle in [
+            "ctxres_phase_self_seconds_total{shard=\"0\",phase=\"ingest\"}",
+            "ctxres_phase_total_seconds_total{shard=\"0\",phase=\"constraint_check\"}",
+            "ctxres_phase_calls_total{shard=\"0\",phase=\"ingest\"} 1",
+            "ctxres_phase_roots_total{shard=\"0\"} 1",
+            "ctxres_phase_sampled_roots_total{shard=\"0\"} 1",
+            "ctxres_phase_spans_dropped_total{shard=\"1\"} 0",
+            "ctxres_phase_self_share{phase=\"ingest\"}",
+            "ctxres_build_info{commit=\"abc1234\",host=\"bench\\\"host\\\"\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    /// Phase/build lines obey the exposition rules too.
+    #[test]
+    fn phase_lines_are_valid_exposition() {
+        assert_valid_exposition(&render_prometheus(&seeded_profiled_sample()));
     }
 
     /// Every non-comment line must parse as `name{labels} value` (or a

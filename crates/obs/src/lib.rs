@@ -31,6 +31,14 @@
 //!   [`ObsConfig::disabled`] a handle is a `None` and every hook
 //!   compiles down to a branch on it — no clock reads, no allocation —
 //!   so tier-1 throughput is unaffected;
+//! * **phase profiling** ([`Phase`], [`PhaseGuard`],
+//!   [`ProfileSnapshot`]): hierarchical spans over a fixed nine-stage
+//!   pipeline taxonomy with exact self-time attribution (child time
+//!   subtracted from the parent), per-shard preallocated span stacks
+//!   and bounded span rings, and a root-level sampling divisor — opt in
+//!   with [`ObsConfig::with_profile`]; export as Chrome trace-event
+//!   JSON ([`chrome_trace_json`]) or inferno folded stacks
+//!   ([`folded_stacks`]);
 //! * **live export** ([`Sampler`], [`render_prometheus`],
 //!   [`MetricsServer`]): a sampler turns consecutive registry snapshots
 //!   into windowed deltas and per-second rates, and a hand-rolled
@@ -71,6 +79,7 @@ mod event;
 mod export;
 mod health;
 mod metrics;
+mod profile;
 mod provenance;
 mod registry;
 mod ring;
@@ -91,6 +100,11 @@ pub use metrics::{
     bucket_bound, CounterKind, Histogram, HistogramSnapshot, MetricKind, BUCKETS, COUNTER_KINDS,
     METRIC_KINDS,
 };
+pub use profile::{
+    chrome_trace_json, folded_stacks, parse_folded, validate_trace_json, Phase, PhaseGuard,
+    PhaseSample, PhaseStat, ProfileSnapshot, ShardPhaseWindow, ShardPhases, SpanRecord,
+    MAX_PHASE_DEPTH, PHASES, SPAN_RING_CAPACITY,
+};
 pub use provenance::{CauseEdge, NodeId, ProvNode, ProvStats, ProvenanceGraph};
 pub use registry::{ObsConfig, ObsRegistry, ObsSnapshot, ShardObs, ShardSnapshot};
 pub use ring::EventRing;
@@ -99,5 +113,5 @@ pub use slo::{
     HealthAlert, SloEngine, SloMetric, SloOp, SloRule, DEFAULT_CLEAR_MARGIN, SLO_METRICS,
     SLO_RULES_ENV,
 };
-pub use snapshot::{Sample, Sampler, ShardRates, QUANTILES};
+pub use snapshot::{BuildInfo, Sample, Sampler, ShardRates, QUANTILES};
 pub use span::ObsSpan;

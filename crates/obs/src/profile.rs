@@ -1,0 +1,1129 @@
+//! Hierarchical phase profiler — *where* the engine's wall-clock goes.
+//!
+//! The flat [`crate::ObsSpan`] histograms answer "how long does a check
+//! take"; they cannot answer "which phase moved" when a benchmark
+//! series regresses. This module adds exact nested attribution over a
+//! fixed phase taxonomy:
+//!
+//! * a [`Phase`] enum naming the nine pipeline stages the middleware
+//!   executes, from batch ingest down to telemetry export;
+//! * per-shard **preallocated span stacks**: opening a [`PhaseGuard`]
+//!   pushes a fixed-size frame, closing it charges the elapsed time to
+//!   the phase's *total* and the elapsed minus the time spent in nested
+//!   child guards to its *self* time. Self times therefore telescope:
+//!   the self times across a root span's subtree sum exactly to the
+//!   root's total (asserted by proptest below);
+//! * bounded per-shard **span rings** keeping the most recent
+//!   [`SPAN_RING_CAPACITY`] completed spans with their full phase path
+//!   for flamegraph / Chrome-trace export. Overflow evicts the oldest
+//!   span and bumps a dropped counter — truncation is never silent and
+//!   never stalls the hot path;
+//! * atomic per-phase cells (total ns, self ns, calls), snapshotted and
+//!   aggregated like every other registry surface;
+//! * a **sampling divisor** ([`crate::ObsConfig::profile_sample`]):
+//!   only every N-th *root* span records. A root is either fully
+//!   recorded or fully skipped — nested guards under a skipped root pay
+//!   one uncontended lock and an increment, no clock reads — so
+//!   self/total ratios stay unbiased while the amortized cost drops by
+//!   the divisor.
+//!
+//! A slot's stack assumes one thread at a time, which holds for shard
+//! engines (each lives behind its own mutex) and for the engine slot
+//! (touched only by the routing/driver thread). Interleaved use from
+//! several threads would misattribute parent/child time but is
+//! memory-safe and cannot panic.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Maximum phase-span nesting depth. Deeper guards are counted as
+/// skipped (bounded memory, no allocation, no panic).
+pub const MAX_PHASE_DEPTH: usize = 16;
+
+/// Completed spans kept per shard for trace export; the oldest span is
+/// evicted (and counted) when the ring is full.
+pub const SPAN_RING_CAPACITY: usize = 1 << 14;
+
+/// The fixed pipeline stages the profiler attributes time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Batch ingest: `Middleware::batch_add` on a shard engine, and the
+    /// batch partitioning/routing loop on the engine slot.
+    Ingest,
+    /// Index/arena maintenance: expiry processing, retention pruning,
+    /// pool compaction (`process_due`).
+    IndexMaint,
+    /// Incremental consistency checking (the compiled evaluator).
+    ConstraintCheck,
+    /// Strategy resolution (`on_addition` / `on_use`).
+    Resolution,
+    /// Situation re-evaluation rounds (`SituationEngine`).
+    SituationEval,
+    /// Typed cause-edge (provenance) emission.
+    ProvenanceEmit,
+    /// Health/quality telemetry publication (`publish_health`).
+    HealthPublish,
+    /// Shard-plan rebalancing (`apply_plan`: extract + adopt).
+    Rebalance,
+    /// Telemetry export: sampler windows, exposition rendering.
+    Export,
+}
+
+/// Every [`Phase`], in index order.
+pub const PHASES: [Phase; 9] = [
+    Phase::Ingest,
+    Phase::IndexMaint,
+    Phase::ConstraintCheck,
+    Phase::Resolution,
+    Phase::SituationEval,
+    Phase::ProvenanceEmit,
+    Phase::HealthPublish,
+    Phase::Rebalance,
+    Phase::Export,
+];
+
+impl Phase {
+    /// Index into a shard slot's phase-cell array.
+    pub fn index(self) -> usize {
+        PHASES
+            .iter()
+            .position(|p| *p == self)
+            .expect("every phase is listed")
+    }
+
+    /// The phase at `index`, when in range.
+    pub fn from_index(index: usize) -> Option<Phase> {
+        PHASES.get(index).copied()
+    }
+
+    /// Snake-case phase name (stable; used in exports and folded
+    /// stacks).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Ingest => "ingest",
+            Phase::IndexMaint => "index_maint",
+            Phase::ConstraintCheck => "constraint_check",
+            Phase::Resolution => "resolution",
+            Phase::SituationEval => "situation_eval",
+            Phase::ProvenanceEmit => "provenance_emit",
+            Phase::HealthPublish => "health_publish",
+            Phase::Rebalance => "rebalance",
+            Phase::Export => "export",
+        }
+    }
+}
+
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Lock-free per-phase accumulators.
+#[derive(Debug, Default)]
+struct PhaseCell {
+    total_ns: AtomicU64,
+    self_ns: AtomicU64,
+    calls: AtomicU64,
+}
+
+/// One open span on the stack.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    phase: Phase,
+    start: Instant,
+    child_ns: u64,
+}
+
+/// The mutable per-shard profiling state, behind one uncontended mutex.
+#[derive(Debug)]
+struct SpanStack {
+    /// Open frames, preallocated to [`MAX_PHASE_DEPTH`] when profiling
+    /// is configured on — pushes never allocate.
+    frames: Vec<Frame>,
+    /// Depth of guards currently inside a skipped (unsampled or
+    /// overflowed) subtree; nonzero means "record nothing".
+    skipping: u32,
+    /// Root spans opened (sampled or not).
+    roots: u64,
+    /// Root spans that actually recorded.
+    sampled_roots: u64,
+    /// Completed spans, preallocated to [`SPAN_RING_CAPACITY`].
+    ring: Vec<SpanRecord>,
+    /// Next overwrite position once the ring is full.
+    ring_next: usize,
+    /// Spans evicted from the full ring (lifetime).
+    ring_dropped: u64,
+}
+
+/// One shard's profiler state: atomic phase cells plus the span stack
+/// and completed-span ring.
+#[derive(Debug)]
+pub(crate) struct ShardProfileSlot {
+    sample_every: u32,
+    epoch: Instant,
+    cells: [PhaseCell; PHASES.len()],
+    stack: Mutex<SpanStack>,
+}
+
+impl ShardProfileSlot {
+    /// `preallocate` reserves the stack and ring up front (profiling
+    /// configured on); otherwise both stay empty and unused.
+    pub(crate) fn new(preallocate: bool, sample_every: u32, epoch: Instant) -> Self {
+        let (frames, ring) = if preallocate {
+            (
+                Vec::with_capacity(MAX_PHASE_DEPTH),
+                Vec::with_capacity(SPAN_RING_CAPACITY),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        ShardProfileSlot {
+            sample_every: sample_every.max(1),
+            epoch,
+            cells: Default::default(),
+            stack: Mutex::new(SpanStack {
+                frames,
+                skipping: 0,
+                roots: 0,
+                sampled_roots: 0,
+                ring,
+                ring_next: 0,
+                ring_dropped: 0,
+            }),
+        }
+    }
+
+    /// Opens a phase span. Roots are admitted by the sampling divisor;
+    /// guards under a skipped root (or past [`MAX_PHASE_DEPTH`]) only
+    /// track balance.
+    pub(crate) fn begin(&self, phase: Phase) -> PhaseGuard<'_> {
+        let mut st = self.stack.lock();
+        if st.skipping > 0 {
+            st.skipping += 1;
+            return PhaseGuard {
+                slot: Some(self),
+                recording: false,
+            };
+        }
+        if st.frames.is_empty() {
+            let seq = st.roots;
+            st.roots += 1;
+            if self.sample_every > 1 && !seq.is_multiple_of(u64::from(self.sample_every)) {
+                st.skipping = 1;
+                return PhaseGuard {
+                    slot: Some(self),
+                    recording: false,
+                };
+            }
+            st.sampled_roots += 1;
+        }
+        if st.frames.len() >= MAX_PHASE_DEPTH || st.frames.len() == st.frames.capacity() {
+            st.skipping = 1;
+            return PhaseGuard {
+                slot: Some(self),
+                recording: false,
+            };
+        }
+        st.frames.push(Frame {
+            phase,
+            start: Instant::now(),
+            child_ns: 0,
+        });
+        PhaseGuard {
+            slot: Some(self),
+            recording: true,
+        }
+    }
+
+    fn end_skipped(&self) {
+        let mut st = self.stack.lock();
+        st.skipping = st.skipping.saturating_sub(1);
+    }
+
+    fn end_recording(&self) {
+        let mut st = self.stack.lock();
+        let Some(frame) = st.frames.pop() else { return };
+        let elapsed = ns(frame.start.elapsed());
+        let self_ns = elapsed.saturating_sub(frame.child_ns);
+        let cell = &self.cells[frame.phase.index()];
+        cell.total_ns.fetch_add(elapsed, Ordering::Relaxed);
+        cell.self_ns.fetch_add(self_ns, Ordering::Relaxed);
+        cell.calls.fetch_add(1, Ordering::Relaxed);
+
+        let mut path = 0u64;
+        for (i, f) in st.frames.iter().enumerate() {
+            path |= (f.phase.index() as u64) << (4 * i);
+        }
+        let depth = st.frames.len();
+        path |= (frame.phase.index() as u64) << (4 * depth);
+        if let Some(parent) = st.frames.last_mut() {
+            parent.child_ns = parent.child_ns.saturating_add(elapsed);
+        }
+        let record = SpanRecord {
+            shard: 0,
+            path,
+            depth: depth as u8,
+            start_ns: ns(frame.start.saturating_duration_since(self.epoch)),
+            dur_ns: elapsed,
+            self_ns,
+        };
+        if st.ring.len() < st.ring.capacity() {
+            st.ring.push(record);
+        } else if st.ring.capacity() > 0 {
+            let next = st.ring_next;
+            st.ring[next] = record;
+            st.ring_next = (next + 1) % st.ring.capacity();
+            st.ring_dropped += 1;
+        }
+    }
+
+    /// Point-in-time copy of this shard's phase cells and root/ring
+    /// bookkeeping.
+    pub(crate) fn snapshot(&self, shard: usize) -> ShardPhases {
+        let st = self.stack.lock();
+        ShardPhases {
+            shard,
+            roots: st.roots,
+            sampled_roots: st.sampled_roots,
+            spans_dropped: st.ring_dropped,
+            phases: PHASES
+                .iter()
+                .map(|p| {
+                    let c = &self.cells[p.index()];
+                    PhaseStat {
+                        phase: p.name().to_owned(),
+                        total_ns: c.total_ns.load(Ordering::Relaxed),
+                        self_ns: c.self_ns.load(Ordering::Relaxed),
+                        calls: c.calls.load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Drains the completed-span ring in chronological order, stamping
+    /// each record with `shard`. The dropped counter is cumulative and
+    /// survives the drain.
+    pub(crate) fn drain_spans(&self, shard: usize) -> Vec<SpanRecord> {
+        let mut st = self.stack.lock();
+        let full = st.ring.len() == st.ring.capacity() && !st.ring.is_empty();
+        let split = if full { st.ring_next } else { 0 };
+        let mut out = Vec::with_capacity(st.ring.len());
+        out.extend_from_slice(&st.ring[split..]);
+        out.extend_from_slice(&st.ring[..split]);
+        for r in &mut out {
+            r.shard = shard as u32;
+        }
+        st.ring.clear();
+        st.ring_next = 0;
+        out
+    }
+}
+
+/// RAII guard for one phase span: records on drop (or [`finish`]).
+///
+/// [`finish`]: PhaseGuard::finish
+#[derive(Debug)]
+#[must_use = "a phase guard measures the scope it is bound to; dropping it immediately attributes nothing useful"]
+pub struct PhaseGuard<'a> {
+    slot: Option<&'a ShardProfileSlot>,
+    recording: bool,
+}
+
+impl PhaseGuard<'_> {
+    /// A guard that records nothing (profiling off).
+    pub(crate) fn disabled() -> Self {
+        PhaseGuard {
+            slot: None,
+            recording: false,
+        }
+    }
+
+    /// Ends the span early (otherwise it ends when dropped).
+    pub fn finish(self) {}
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot {
+            if self.recording {
+                slot.end_recording();
+            } else {
+                slot.end_skipped();
+            }
+        }
+    }
+}
+
+/// One completed span, kept in the per-shard ring for trace export.
+///
+/// The phase path is packed four bits per nesting level into
+/// [`SpanRecord::path`] (level 0 — the root — in the lowest nibble):
+/// [`MAX_PHASE_DEPTH`] levels of up to 16 phases fit one `u64`, which
+/// keeps the record `Copy`, allocation-free, and serde-friendly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// The shard the span ran on (stamped when drained).
+    pub shard: u32,
+    /// Packed phase indexes from the root (lowest nibble) down to this
+    /// span's own phase at nibble [`SpanRecord::depth`].
+    pub path: u64,
+    /// This span's depth: 0 for a root.
+    pub depth: u8,
+    /// Start offset from the registry's construction instant (ns).
+    pub start_ns: u64,
+    /// Wall-clock duration (ns).
+    pub dur_ns: u64,
+    /// Duration minus time spent in nested child spans (ns).
+    pub self_ns: u64,
+}
+
+impl SpanRecord {
+    fn level(&self, i: usize) -> usize {
+        ((self.path >> (4 * i)) & 0xF) as usize
+    }
+
+    /// The phases from the root down to this span.
+    pub fn stack(&self) -> impl Iterator<Item = Phase> + '_ {
+        (0..=usize::from(self.depth)).filter_map(|i| Phase::from_index(self.level(i)))
+    }
+
+    /// This span's own (leaf) phase, when the record is well-formed.
+    pub fn phase(&self) -> Option<Phase> {
+        Phase::from_index(self.level(usize::from(self.depth)))
+    }
+
+    /// The semicolon-joined folded-stack frame path, rooted at the
+    /// shard: `shard0;ingest;constraint_check`.
+    pub fn folded_key(&self) -> String {
+        let mut key = format!("shard{}", self.shard);
+        for p in self.stack() {
+            key.push(';');
+            key.push_str(p.name());
+        }
+        key
+    }
+}
+
+/// One phase's accumulated cost (cumulative or windowed, by context).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// The phase's stable snake-case name.
+    pub phase: String,
+    /// Wall-clock nanoseconds inside the phase, children included.
+    pub total_ns: u64,
+    /// Nanoseconds inside the phase minus its nested children.
+    pub self_ns: u64,
+    /// Completed spans.
+    pub calls: u64,
+}
+
+/// One shard's cumulative profile state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPhases {
+    /// The shard index.
+    pub shard: usize,
+    /// Root spans opened (sampled or not).
+    pub roots: u64,
+    /// Root spans that recorded (admitted by the sampling divisor).
+    pub sampled_roots: u64,
+    /// Spans evicted from the full span ring (lifetime).
+    pub spans_dropped: u64,
+    /// Per-phase accumulators, in [`PHASES`] order.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl ShardPhases {
+    /// This shard's stat for `phase`, when present.
+    pub fn phase(&self, phase: Phase) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.phase == phase.name())
+    }
+}
+
+/// A whole registry's profile snapshot: one record per shard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileSnapshot {
+    /// Per-shard profile states in shard order.
+    pub shards: Vec<ShardPhases>,
+}
+
+impl ProfileSnapshot {
+    /// Whether no span has recorded anywhere yet — the condition under
+    /// which `Sampler` leaves `Sample::phases` as `None` and every
+    /// export surface stays byte-identical to its pre-profiler output.
+    pub fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.roots == 0 && s.phases.iter().all(|p| p.calls == 0))
+    }
+
+    /// Cross-shard per-phase sums, in [`PHASES`] order.
+    pub fn aggregate(&self) -> Vec<PhaseStat> {
+        sum_phase_stats(self.shards.iter().map(|s| &s.phases))
+    }
+}
+
+/// Phase-wise sums of several stat vectors, in [`PHASES`] order
+/// (matched by name, so shorter/reordered inputs still sum correctly).
+fn sum_phase_stats<'a>(groups: impl Iterator<Item = &'a Vec<PhaseStat>>) -> Vec<PhaseStat> {
+    let mut out: Vec<PhaseStat> = PHASES
+        .iter()
+        .map(|p| PhaseStat {
+            phase: p.name().to_owned(),
+            total_ns: 0,
+            self_ns: 0,
+            calls: 0,
+        })
+        .collect();
+    for stats in groups {
+        for s in stats {
+            if let Some(acc) = out.iter_mut().find(|o| o.phase == s.phase) {
+                acc.total_ns += s.total_ns;
+                acc.self_ns += s.self_ns;
+                acc.calls += s.calls;
+            }
+        }
+    }
+    out
+}
+
+fn stat_delta(prev: Option<&PhaseStat>, cur: &PhaseStat) -> PhaseStat {
+    let d = |get: fn(&PhaseStat) -> u64| get(cur).saturating_sub(prev.map(get).unwrap_or(0));
+    PhaseStat {
+        phase: cur.phase.clone(),
+        total_ns: d(|s| s.total_ns),
+        self_ns: d(|s| s.self_ns),
+        calls: d(|s| s.calls),
+    }
+}
+
+/// One shard's windowed profile view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPhaseWindow {
+    /// The shard index.
+    pub shard: usize,
+    /// Cumulative root spans opened.
+    pub roots: u64,
+    /// Cumulative root spans recorded.
+    pub sampled_roots: u64,
+    /// Cumulative spans evicted from the span ring.
+    pub spans_dropped: u64,
+    /// Cumulative per-phase accumulators at the window's end.
+    pub cumulative: Vec<PhaseStat>,
+    /// Per-phase deltas over this window.
+    pub window: Vec<PhaseStat>,
+}
+
+/// The windowed profile view attached to a [`crate::Sample`]:
+/// per-shard and cross-shard phase deltas between two consecutive
+/// profile snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSample {
+    /// Per-shard windows in shard order.
+    pub shards: Vec<ShardPhaseWindow>,
+    /// Cross-shard per-phase deltas over this window.
+    pub window_total: Vec<PhaseStat>,
+    /// Cross-shard cumulative per-phase sums at the window's end.
+    pub cumulative_total: Vec<PhaseStat>,
+}
+
+impl PhaseSample {
+    /// Differences two consecutive profile snapshots into the windowed
+    /// view. With `prev = None` (the baseline sample) the window is
+    /// the full cumulative history, mirroring the counter sampler.
+    pub fn between(prev: Option<&ProfileSnapshot>, cur: &ProfileSnapshot) -> PhaseSample {
+        let shards: Vec<ShardPhaseWindow> = cur
+            .shards
+            .iter()
+            .map(|sh| {
+                let prev_sh = prev.and_then(|p| p.shards.iter().find(|s| s.shard == sh.shard));
+                let window = sh
+                    .phases
+                    .iter()
+                    .map(|p| {
+                        stat_delta(
+                            prev_sh.and_then(|ps| ps.phases.iter().find(|q| q.phase == p.phase)),
+                            p,
+                        )
+                    })
+                    .collect();
+                ShardPhaseWindow {
+                    shard: sh.shard,
+                    roots: sh.roots,
+                    sampled_roots: sh.sampled_roots,
+                    spans_dropped: sh.spans_dropped,
+                    cumulative: sh.phases.clone(),
+                    window,
+                }
+            })
+            .collect();
+        PhaseSample {
+            window_total: sum_phase_stats(shards.iter().map(|s| &s.window)),
+            cumulative_total: sum_phase_stats(shards.iter().map(|s| &s.cumulative)),
+            shards,
+        }
+    }
+
+    /// `phase`'s share of this window's cross-shard self time, or
+    /// `None` when the window recorded nothing.
+    pub fn self_share(&self, phase: Phase) -> Option<f64> {
+        let total: u64 = self.window_total.iter().map(|p| p.self_ns).sum();
+        if total == 0 {
+            return None;
+        }
+        self.window_total
+            .iter()
+            .find(|p| p.phase == phase.name())
+            .map(|p| p.self_ns as f64 / total as f64)
+    }
+}
+
+/// A prebuilt [`Value`] tree that serializes as itself — lets the
+/// trace renderer emit heterogeneous JSON (metadata + span events)
+/// without a derive. Used by the tests to parse the output back, too.
+#[derive(Debug, Clone)]
+struct RawValue(Value);
+
+impl Serialize for RawValue {
+    fn serialize<S: serde::ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.0.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for RawValue {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value().map(RawValue)
+    }
+}
+
+fn vmap(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+fn vstr(s: impl Into<String>) -> Value {
+    Value::Str(s.into())
+}
+
+/// Renders completed spans as Chrome trace-event JSON (the
+/// `{"traceEvents": [...]}` object form Perfetto and `chrome://tracing`
+/// load): one complete (`"ph": "X"`) event per span with microsecond
+/// timestamps, `tid` = shard, plus thread-name metadata per shard.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    let shards: std::collections::BTreeSet<u32> = spans.iter().map(|s| s.shard).collect();
+    for sh in &shards {
+        events.push(vmap(vec![
+            ("name", vstr("thread_name")),
+            ("ph", vstr("M")),
+            ("pid", Value::U64(0)),
+            ("tid", Value::U64(u64::from(*sh))),
+            ("args", vmap(vec![("name", vstr(format!("shard {sh}")))])),
+        ]));
+    }
+    for s in spans {
+        let Some(phase) = s.phase() else { continue };
+        events.push(vmap(vec![
+            ("name", vstr(phase.name())),
+            ("cat", vstr("phase")),
+            ("ph", vstr("X")),
+            ("ts", Value::F64(s.start_ns as f64 / 1000.0)),
+            ("dur", Value::F64(s.dur_ns as f64 / 1000.0)),
+            ("pid", Value::U64(0)),
+            ("tid", Value::U64(u64::from(s.shard))),
+            (
+                "args",
+                vmap(vec![
+                    ("self_ns", Value::U64(s.self_ns)),
+                    ("stack", vstr(s.folded_key())),
+                ]),
+            ),
+        ]));
+    }
+    let doc = RawValue(vmap(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", vstr("ms")),
+    ]));
+    serde_json::to_string(&doc).expect("trace events serialize")
+}
+
+/// Renders completed spans as inferno-compatible folded stacks: one
+/// `frame;frame;... <count>` line per distinct phase path (rooted at
+/// the shard), counts in self-time nanoseconds, sorted by path.
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for s in spans {
+        *agg.entry(s.folded_key()).or_insert(0) += s.self_ns;
+    }
+    let mut out = String::new();
+    for (key, self_ns) in agg {
+        out.push_str(&key);
+        out.push(' ');
+        out.push_str(&self_ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a Chrome trace-event document back and returns the number of
+/// events in its `traceEvents` array — the validation counterpart of
+/// [`chrome_trace_json`], used by the `profile` binary and CI to assert
+/// the written artifact is loadable before anyone opens it in Perfetto.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: unparseable
+/// JSON, a non-object top level, or a missing/non-array `traceEvents`.
+pub fn validate_trace_json(text: &str) -> Result<usize, String> {
+    let RawValue(doc) =
+        serde_json::from_str(text).map_err(|e| format!("trace JSON does not parse: {e}"))?;
+    let Value::Map(entries) = doc else {
+        return Err("trace top level is not an object".to_owned());
+    };
+    let events = entries
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or_else(|| "trace is missing the traceEvents key".to_owned())?;
+    let Value::Seq(events) = events else {
+        return Err("traceEvents is not an array".to_owned());
+    };
+    Ok(events.len())
+}
+
+/// Parses folded stacks back into `(frames, count)` rows — the
+/// round-trip counterpart of [`folded_stacks`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_folded(text: &str) -> Result<Vec<(Vec<String>, u64)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no count: {line:?}", i + 1))?;
+        let count: u64 = count
+            .parse()
+            .map_err(|e| format!("line {}: bad count: {e}", i + 1))?;
+        let frames: Vec<String> = stack.split(';').map(str::to_owned).collect();
+        if frames.iter().any(String::is_empty) {
+            return Err(format!("line {}: empty frame: {line:?}", i + 1));
+        }
+        out.push((frames, count));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ObsConfig, ObsRegistry, ShardObs};
+
+    fn profiled(shards: usize, every: u32) -> std::sync::Arc<ObsRegistry> {
+        ObsRegistry::shared(ObsConfig::metrics_only().with_profile(every), shards)
+    }
+
+    #[test]
+    fn phase_indexes_are_dense_and_names_stable() {
+        for (i, p) in PHASES.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Phase::from_index(i), Some(*p));
+            assert!(!p.name().is_empty());
+        }
+        assert_eq!(Phase::from_index(PHASES.len()), None);
+    }
+
+    #[test]
+    fn disabled_and_profile_off_guards_record_nothing() {
+        let off = ShardObs::disabled();
+        assert!(!off.profile_enabled());
+        off.phase(Phase::Ingest).finish();
+
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        let h = registry.handle(0);
+        assert!(!h.profile_enabled());
+        {
+            let _g = h.phase(Phase::Ingest);
+        }
+        assert!(registry.profile_snapshot().is_empty());
+        assert!(registry.drain_spans().is_empty());
+    }
+
+    #[test]
+    fn nested_guards_attribute_self_time_exactly() {
+        let registry = profiled(1, 1);
+        let h = registry.handle(0);
+        {
+            let _root = h.phase(Phase::Ingest);
+            {
+                let _check = h.phase(Phase::ConstraintCheck);
+                std::hint::black_box(1 + 1);
+            }
+            {
+                let _resolve = h.phase(Phase::Resolution);
+            }
+        }
+        let snap = registry.profile_snapshot();
+        assert!(!snap.is_empty());
+        let sh = &snap.shards[0];
+        assert_eq!((sh.roots, sh.sampled_roots), (1, 1));
+        let ingest = sh.phase(Phase::Ingest).unwrap();
+        let check = sh.phase(Phase::ConstraintCheck).unwrap();
+        let resolve = sh.phase(Phase::Resolution).unwrap();
+        assert_eq!((ingest.calls, check.calls, resolve.calls), (1, 1, 1));
+        // Leaves have no children: self == total, exactly.
+        assert_eq!(check.self_ns, check.total_ns);
+        assert_eq!(resolve.self_ns, resolve.total_ns);
+        // The parent's self is its total minus its children, exactly.
+        assert_eq!(
+            ingest.self_ns,
+            ingest.total_ns - check.total_ns - resolve.total_ns
+        );
+
+        let spans = registry.drain_spans();
+        assert_eq!(spans.len(), 3, "one record per completed span");
+        let root = spans.iter().find(|s| s.depth == 0).unwrap();
+        assert_eq!(root.phase(), Some(Phase::Ingest));
+        let nested = spans
+            .iter()
+            .find(|s| s.phase() == Some(Phase::ConstraintCheck))
+            .unwrap();
+        assert_eq!(nested.folded_key(), "shard0;ingest;constraint_check");
+        assert!(nested.start_ns >= root.start_ns);
+    }
+
+    #[test]
+    fn sampling_divisor_admits_every_nth_root() {
+        let registry = profiled(1, 3);
+        let h = registry.handle(0);
+        for _ in 0..7 {
+            let _root = h.phase(Phase::Ingest);
+            let _child = h.phase(Phase::Resolution);
+        }
+        let sh = &registry.profile_snapshot().shards[0];
+        assert_eq!(sh.roots, 7);
+        // Roots 0, 3, 6 record.
+        assert_eq!(sh.sampled_roots, 3);
+        assert_eq!(sh.phase(Phase::Ingest).unwrap().calls, 3);
+        assert_eq!(sh.phase(Phase::Resolution).unwrap().calls, 3);
+        assert_eq!(registry.drain_spans().len(), 6);
+    }
+
+    #[test]
+    fn depth_overflow_is_bounded_and_balanced() {
+        let registry = profiled(1, 1);
+        let h = registry.handle(0);
+        {
+            let mut guards = Vec::new();
+            for _ in 0..MAX_PHASE_DEPTH + 5 {
+                guards.push(h.phase(Phase::Ingest));
+            }
+        }
+        let sh = &registry.profile_snapshot().shards[0];
+        assert_eq!(
+            sh.phase(Phase::Ingest).unwrap().calls,
+            MAX_PHASE_DEPTH as u64
+        );
+        // The stack is balanced again: a fresh root records normally.
+        {
+            let _g = h.phase(Phase::Rebalance);
+        }
+        let sh = &registry.profile_snapshot().shards[0];
+        assert_eq!(sh.phase(Phase::Rebalance).unwrap().calls, 1);
+    }
+
+    #[test]
+    fn span_ring_eviction_is_counted_and_drain_is_chronological() {
+        let registry = profiled(1, 1);
+        let h = registry.handle(0);
+        for _ in 0..SPAN_RING_CAPACITY + 10 {
+            let _g = h.phase(Phase::Export);
+        }
+        let sh = &registry.profile_snapshot().shards[0];
+        assert_eq!(sh.spans_dropped, 10);
+        let spans = registry.drain_spans();
+        assert_eq!(spans.len(), SPAN_RING_CAPACITY);
+        assert!(spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert!(registry.drain_spans().is_empty(), "drain empties the ring");
+        let sh = &registry.profile_snapshot().shards[0];
+        assert_eq!(sh.spans_dropped, 10, "dropped count survives the drain");
+    }
+
+    #[test]
+    fn phase_sample_windows_difference_snapshots() {
+        let registry = profiled(1, 1);
+        let h = registry.handle(0);
+        {
+            let _g = h.phase(Phase::Ingest);
+        }
+        let a = registry.profile_snapshot();
+        {
+            let _g = h.phase(Phase::Ingest);
+        }
+        {
+            let _g = h.phase(Phase::SituationEval);
+        }
+        let b = registry.profile_snapshot();
+        let w = PhaseSample::between(Some(&a), &b);
+        let ingest = w.window_total.iter().find(|p| p.phase == "ingest").unwrap();
+        assert_eq!(ingest.calls, 1, "only the second ingest is in-window");
+        let sit = w
+            .window_total
+            .iter()
+            .find(|p| p.phase == "situation_eval")
+            .unwrap();
+        assert_eq!(sit.calls, 1);
+        assert!(w.self_share(Phase::Ingest).unwrap() > 0.0);
+        let baseline = PhaseSample::between(None, &b);
+        assert_eq!(
+            baseline
+                .window_total
+                .iter()
+                .find(|p| p.phase == "ingest")
+                .unwrap()
+                .calls,
+            2
+        );
+    }
+
+    #[test]
+    fn snapshots_round_trip_through_serde() {
+        let registry = profiled(2, 1);
+        {
+            let h = registry.handle(1);
+            let _g = h.phase(Phase::Rebalance);
+        }
+        let snap = registry.profile_snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ProfileSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        let sample = PhaseSample::between(None, &snap);
+        let json = serde_json::to_string(&sample).unwrap();
+        let back: PhaseSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sample);
+
+        let spans = registry.drain_spans();
+        let json = serde_json::to_string(&spans).unwrap();
+        let back: Vec<SpanRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spans);
+    }
+
+    fn field<'a>(map: &'a [(String, Value)], key: &str) -> &'a Value {
+        &map.iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("missing field {key:?}"))
+            .1
+    }
+
+    fn as_str(v: &Value) -> &str {
+        match v {
+            Value::Str(s) => s,
+            other => panic!("expected string, found {other:?}"),
+        }
+    }
+
+    fn is_number(v: &Value) -> bool {
+        matches!(v, Value::I64(_) | Value::U64(_) | Value::F64(_))
+    }
+
+    #[test]
+    fn chrome_trace_json_is_valid_and_loadable() {
+        let registry = profiled(2, 1);
+        for shard in 0..2 {
+            let h = registry.handle(shard);
+            let _root = h.phase(Phase::Ingest);
+            let _child = h.phase(Phase::ConstraintCheck);
+        }
+        let spans = registry.drain_spans();
+        let text = chrome_trace_json(&spans);
+        let RawValue(doc) = serde_json::from_str(&text).expect("valid JSON");
+        let Value::Map(doc) = doc else {
+            panic!("top level must be an object")
+        };
+        assert_eq!(as_str(field(&doc, "displayTimeUnit")), "ms");
+        let Value::Seq(events) = field(&doc, "traceEvents") else {
+            panic!("traceEvents must be an array")
+        };
+        // 2 thread-name metadata + 4 spans.
+        assert_eq!(events.len(), 6);
+        for e in events {
+            let Value::Map(e) = e else {
+                panic!("every event must be an object")
+            };
+            let ph = as_str(field(e, "ph"));
+            assert!(ph == "X" || ph == "M", "{ph:?}");
+            assert!(is_number(field(e, "pid")) && is_number(field(e, "tid")));
+            if ph == "X" {
+                assert!(is_number(field(e, "ts")) && is_number(field(e, "dur")));
+                assert!(!as_str(field(e, "name")).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn folded_stacks_round_trip_through_the_parser() {
+        let registry = profiled(2, 1);
+        for shard in 0..2 {
+            let h = registry.handle(shard);
+            let _root = h.phase(Phase::Ingest);
+            {
+                let _c = h.phase(Phase::ConstraintCheck);
+            }
+            {
+                let _r = h.phase(Phase::Resolution);
+            }
+        }
+        let spans = registry.drain_spans();
+        let text = folded_stacks(&spans);
+        assert!(!text.is_empty());
+        let rows = parse_folded(&text).expect("parses");
+        assert_eq!(rows.len(), 6, "3 distinct paths per shard");
+        // Re-rendering the parsed rows reproduces the text exactly.
+        let mut rebuilt = String::new();
+        for (frames, count) in &rows {
+            rebuilt.push_str(&frames.join(";"));
+            rebuilt.push(' ');
+            rebuilt.push_str(&count.to_string());
+            rebuilt.push('\n');
+        }
+        assert_eq!(rebuilt, text);
+        // And the parsed self-time total matches the recorded total.
+        let parsed_total: u64 = rows.iter().map(|(_, c)| *c).sum();
+        let recorded_total: u64 = spans.iter().map(|s| s.self_ns).sum();
+        assert_eq!(parsed_total, recorded_total);
+
+        assert!(parse_folded("no-count-here\n").is_err());
+        assert!(parse_folded("a;;b 3\n").is_err());
+        assert!(parse_folded("a;b notanumber\n").is_err());
+    }
+}
+
+#[cfg(test)]
+mod invariant_proptests {
+    //! The satellite properties:
+    //!
+    //! * **self times telescope**: for any nesting structure with a
+    //!   dedicated root phase, the self times of every phase sum
+    //!   exactly to the root phase's total — child time is subtracted
+    //!   from the parent, nothing is lost or double-counted;
+    //! * **windows telescope**: summing per-phase window deltas across
+    //!   any snapshot schedule reproduces the final cumulative cells;
+    //! * **sampling never skews structure**: with divisor `d`, exactly
+    //!   `ceil(roots / d)` roots record, per-phase call counts keep
+    //!   their per-root proportions, and leaf phases keep
+    //!   `self == total` exactly — a root is all-or-nothing, so
+    //!   self/total ratios are never biased by sampling.
+
+    use super::*;
+    use crate::registry::{ObsConfig, ObsRegistry};
+    use proptest::prelude::*;
+
+    /// Children drawn from the non-root phases.
+    const CHILD_PHASES: [Phase; 4] = [
+        Phase::ConstraintCheck,
+        Phase::Resolution,
+        Phase::SituationEval,
+        Phase::IndexMaint,
+    ];
+
+    fn run_root(h: &crate::registry::ShardObs, shape: &[(usize, bool)]) {
+        let _root = h.phase(Phase::Ingest);
+        for (child_ix, nest) in shape {
+            let child = h.phase(CHILD_PHASES[*child_ix % CHILD_PHASES.len()]);
+            if *nest {
+                let _grandchild = h.phase(Phase::ProvenanceEmit);
+            }
+            child.finish();
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn self_times_telescope_to_the_root_total(
+            roots in proptest::collection::vec(
+                proptest::collection::vec((0usize..4, any::<bool>()), 0..6),
+                1..8,
+            ),
+        ) {
+            let registry = ObsRegistry::shared(
+                ObsConfig::metrics_only().with_profile(1), 1);
+            let h = registry.handle(0);
+            for shape in &roots {
+                run_root(&h, shape);
+            }
+            let sh = &registry.profile_snapshot().shards[0];
+            let self_sum: u64 = sh.phases.iter().map(|p| p.self_ns).sum();
+            let root_total = sh.phase(Phase::Ingest).unwrap().total_ns;
+            prop_assert_eq!(self_sum, root_total);
+            prop_assert_eq!(sh.roots, roots.len() as u64);
+            prop_assert_eq!(sh.sampled_roots, roots.len() as u64);
+            for p in &sh.phases {
+                prop_assert!(p.self_ns <= p.total_ns, "{}: self > total", p.phase);
+            }
+        }
+
+        #[test]
+        fn window_deltas_telescope_across_snapshots(
+            batches in proptest::collection::vec(
+                proptest::collection::vec((0usize..4, any::<bool>()), 0..4),
+                1..6,
+            ),
+        ) {
+            let registry = ObsRegistry::shared(
+                ObsConfig::metrics_only().with_profile(1), 1);
+            let h = registry.handle(0);
+            let mut prev: Option<ProfileSnapshot> = None;
+            let mut summed: Vec<PhaseStat> = Vec::new();
+            for shape in &batches {
+                run_root(&h, shape);
+                let cur = registry.profile_snapshot();
+                let w = PhaseSample::between(prev.as_ref(), &cur);
+                summed = sum_phase_stats([summed, w.window_total].iter());
+                prev = Some(cur);
+            }
+            let cum = registry.profile_snapshot().aggregate();
+            prop_assert_eq!(summed, cum);
+        }
+
+        #[test]
+        fn sampling_keeps_ratios_unbiased(
+            roots in 1u64..40,
+            every in 1u32..6,
+        ) {
+            let registry = ObsRegistry::shared(
+                ObsConfig::metrics_only().with_profile(every), 1);
+            let h = registry.handle(0);
+            for _ in 0..roots {
+                // Identical structure per root: one leaf child.
+                let _root = h.phase(Phase::Ingest);
+                let _child = h.phase(Phase::Resolution);
+            }
+            let sh = &registry.profile_snapshot().shards[0];
+            prop_assert_eq!(sh.roots, roots);
+            let expected = roots.div_ceil(u64::from(every));
+            prop_assert_eq!(sh.sampled_roots, expected);
+            let root = sh.phase(Phase::Ingest).unwrap();
+            let leaf = sh.phase(Phase::Resolution).unwrap();
+            // Structure is preserved under sampling: call counts stay
+            // proportional (1:1 here) and leaves keep self == total,
+            // so self/total ratios cannot be skewed by the divisor.
+            prop_assert_eq!(root.calls, expected);
+            prop_assert_eq!(leaf.calls, expected);
+            prop_assert_eq!(leaf.self_ns, leaf.total_ns);
+            prop_assert!(root.self_ns <= root.total_ns);
+            prop_assert_eq!(root.self_ns, root.total_ns - leaf.total_ns);
+        }
+    }
+}

@@ -5,6 +5,7 @@ use crate::health::{HealthSnapshot, KindHandle, ShardHealthSlot};
 use crate::metrics::{
     CounterKind, Histogram, HistogramSnapshot, MetricKind, COUNTER_KINDS, METRIC_KINDS,
 };
+use crate::profile::{Phase, PhaseGuard, ProfileSnapshot, ShardProfileSlot, SpanRecord};
 use crate::ring::EventRing;
 use crate::span::ObsSpan;
 use ctxres_context::LogicalTime;
@@ -12,6 +13,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Run-time observability configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +31,12 @@ pub struct ObsConfig {
     /// watermarks, arena gauges) is recorded and published. Counters
     /// and histograms record regardless when `enabled`.
     pub health: bool,
+    /// Whether the hierarchical phase profiler records
+    /// ([`crate::PhaseGuard`] spans, per-phase cells, span rings).
+    pub profile: bool,
+    /// Profiler sampling divisor: only every N-th *root* phase span
+    /// records (1 = record everything). Only meaningful with `profile`.
+    pub profile_sample: u32,
     /// Capacity of each shard's event ring buffer.
     pub ring_capacity: usize,
 }
@@ -45,6 +53,8 @@ impl ObsConfig {
             trace_events: true,
             provenance: true,
             health: true,
+            profile: false,
+            profile_sample: 1,
             ring_capacity: Self::DEFAULT_RING_CAPACITY,
         }
     }
@@ -59,6 +69,8 @@ impl ObsConfig {
             trace_events: false,
             provenance: false,
             health: true,
+            profile: false,
+            profile_sample: 1,
             ring_capacity: 1,
         }
     }
@@ -71,6 +83,8 @@ impl ObsConfig {
             trace_events: false,
             provenance: false,
             health: false,
+            profile: false,
+            profile_sample: 1,
             ring_capacity: 0,
         }
     }
@@ -95,6 +109,16 @@ impl ObsConfig {
         self.health = on;
         self
     }
+
+    /// Turns the hierarchical phase profiler on with a sampling divisor
+    /// (`every = 1` records every root span, `every = 8` every eighth)
+    /// — the lever `city_bench` uses to isolate the profiler's marginal
+    /// cost over the plain metrics configuration.
+    pub fn with_profile(mut self, every: u32) -> Self {
+        self.profile = true;
+        self.profile_sample = every.max(1);
+        self
+    }
 }
 
 /// One shard's instrumentation state: a locked event ring plus
@@ -106,16 +130,22 @@ struct ShardSlot {
     counters: [AtomicU64; COUNTER_KINDS.len()],
     histograms: [Histogram; METRIC_KINDS.len()],
     health: ShardHealthSlot,
+    profile: ShardProfileSlot,
 }
 
 impl ShardSlot {
-    fn new(ring_capacity: usize) -> Self {
+    fn new(config: &ObsConfig, epoch: Instant) -> Self {
         ShardSlot {
-            ring: Mutex::new(EventRing::new(ring_capacity)),
+            ring: Mutex::new(EventRing::new(config.ring_capacity)),
             seq: AtomicU64::new(0),
             counters: Default::default(),
             histograms: Default::default(),
             health: ShardHealthSlot::default(),
+            profile: ShardProfileSlot::new(
+                config.enabled && config.profile,
+                config.profile_sample,
+                epoch,
+            ),
         }
     }
 }
@@ -135,8 +165,11 @@ pub struct ObsRegistry {
 impl ObsRegistry {
     /// A registry with `shards` slots.
     pub fn new(config: ObsConfig, shards: usize) -> Self {
+        // One epoch shared by every slot so span timestamps from
+        // different shards line up on one Chrome-trace timeline.
+        let epoch = Instant::now();
         let slots = (0..shards)
-            .map(|_| ShardSlot::new(config.ring_capacity))
+            .map(|_| ShardSlot::new(&config, epoch))
             .collect();
         ObsRegistry { config, slots }
     }
@@ -239,6 +272,32 @@ impl ObsRegistry {
         }
     }
 
+    /// A point-in-time copy of every shard's phase-profiler cells;
+    /// empty until a [`PhaseGuard`] records (i.e. always empty unless
+    /// the registry was configured with [`ObsConfig::with_profile`]).
+    pub fn profile_snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            shards: self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, slot)| slot.profile.snapshot(i))
+                .collect(),
+        }
+    }
+
+    /// Drains every shard's completed-span ring into one list ordered
+    /// by start time (ties: shard). Like [`ObsRegistry::drain`], each
+    /// shard's lock is held only for its own drain.
+    pub fn drain_spans(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            out.extend(slot.profile.drain_spans(i));
+        }
+        out.sort_by_key(|s| (s.start_ns, s.shard));
+        out
+    }
+
     fn record(&self, shard: usize, at: LogicalTime, event: TraceEvent) {
         if !self.config.trace_events {
             return;
@@ -332,6 +391,28 @@ impl ShardObs {
         self.inner
             .as_ref()
             .is_some_and(|i| i.registry.config.health)
+    }
+
+    /// Whether the hierarchical phase profiler is on for this handle —
+    /// true only when the registry records at all *and* was configured
+    /// with [`ObsConfig::with_profile`]. A [`ShardObs::phase`] guard
+    /// from a profile-off handle is a branch-and-return.
+    pub fn profile_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.registry.config.profile)
+    }
+
+    /// Opens a hierarchical phase span ending (and attributing its
+    /// elapsed time, minus nested children, to `phase`) when dropped.
+    /// Subject to the sampling divisor at root-span granularity.
+    pub fn phase(&self, phase: Phase) -> PhaseGuard<'_> {
+        match &self.inner {
+            Some(inner) if inner.registry.config.profile => {
+                inner.registry.slots[inner.shard].profile.begin(phase)
+            }
+            _ => PhaseGuard::disabled(),
+        }
     }
 
     /// A per-kind quality-telemetry handle for this shard, interned on
@@ -554,6 +635,20 @@ mod tests {
         assert!(!metrics.handle(0).provenance_enabled());
 
         assert!(!ShardObs::disabled().provenance_enabled());
+    }
+
+    #[test]
+    fn profile_gate_follows_config() {
+        let profiled = ObsRegistry::shared(ObsConfig::metrics_only().with_profile(4), 1);
+        assert!(profiled.handle(0).profile_enabled());
+        assert_eq!(profiled.config().profile_sample, 4);
+
+        let plain = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        assert!(!plain.handle(0).profile_enabled());
+
+        assert!(!ShardObs::disabled().profile_enabled());
+        // A zero divisor is clamped to "record everything".
+        assert_eq!(ObsConfig::metrics_only().with_profile(0).profile_sample, 1);
     }
 
     #[test]

@@ -53,7 +53,8 @@ impl MetricsServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let mut sampler = Sampler::new(registry);
+        let mut sampler =
+            Sampler::new(registry).with_build_info(crate::snapshot::BuildInfo::collect());
         if let Some(engine) = slo_engine_from_env() {
             sampler = sampler.with_slo(engine);
         }

@@ -22,7 +22,8 @@
 use crate::event::TraceEvent;
 use crate::health::{HealthSample, HealthSnapshot, DEFAULT_EWMA_ALPHA};
 use crate::metrics::{CounterKind, HistogramSnapshot, MetricKind, COUNTER_KINDS, METRIC_KINDS};
-use crate::registry::{ObsRegistry, ObsSnapshot, ShardSnapshot};
+use crate::profile::{Phase, PhaseSample, ProfileSnapshot};
+use crate::registry::{ObsRegistry, ObsSnapshot, ShardObs, ShardSnapshot};
 use crate::slo::SloEngine;
 use ctxres_context::LogicalTime;
 use serde::{Deserialize, Serialize};
@@ -138,6 +139,47 @@ fn histogram_delta(was: &HistogramSnapshot, now: &HistogramSnapshot) -> Histogra
     }
 }
 
+/// Build identity stamps for the process being scraped, so exported
+/// series are attributable to a specific commit and host — the same
+/// stamps `shard_bench` already writes into `bench_history.jsonl`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildInfo {
+    /// Short commit hash (`GITHUB_SHA` env, then `git rev-parse
+    /// --short HEAD`, else `"unknown"`).
+    pub commit: String,
+    /// Host name (`HOSTNAME` env, then `uname -n`, else `"unknown"`).
+    pub host: String,
+}
+
+impl BuildInfo {
+    /// Collects the stamps from the environment, falling back to git
+    /// and `uname` and finally to `"unknown"` — never fails.
+    pub fn collect() -> BuildInfo {
+        BuildInfo {
+            commit: env_or_cmd("GITHUB_SHA", "git", &["rev-parse", "--short", "HEAD"]),
+            host: env_or_cmd("HOSTNAME", "uname", &["-n"]),
+        }
+    }
+}
+
+fn env_or_cmd(env: &str, cmd: &str, args: &[&str]) -> String {
+    if let Ok(v) = std::env::var(env) {
+        let v = v.trim().to_string();
+        if !v.is_empty() {
+            return v;
+        }
+    }
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// One observation window: the cumulative registry state plus the
 /// windowed deltas/rates since the previous sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -160,6 +202,16 @@ pub struct Sample {
     /// state; the Prometheus exposition renders health sections only
     /// when present, so pre-health output is byte-identical.
     pub health: Option<HealthSample>,
+    /// Per-phase profiler view — cumulative and windowed self/total
+    /// times per shard × [`Phase`]. `None` unless the registry was
+    /// built with [`crate::ObsConfig::with_profile`] and at least one
+    /// phase has run; pre-profiler dumps (no `phases` key) still load.
+    pub phases: Option<PhaseSample>,
+    /// Build identity stamps, attached via
+    /// [`Sampler::with_build_info`] (the metrics server does this
+    /// automatically). `None` keeps older dumps and golden expositions
+    /// byte-identical.
+    pub build: Option<BuildInfo>,
 }
 
 /// The quantiles the exporter and dashboards report.
@@ -199,8 +251,10 @@ pub struct Sampler {
     registry: Arc<ObsRegistry>,
     prev: Option<(Instant, ObsSnapshot)>,
     prev_health: Option<HealthSnapshot>,
+    prev_profile: Option<ProfileSnapshot>,
     ewma: HashMap<String, f64>,
     slo: Option<SloEngine>,
+    build: Option<BuildInfo>,
 }
 
 impl Sampler {
@@ -211,9 +265,20 @@ impl Sampler {
             registry,
             prev: None,
             prev_health: None,
+            prev_profile: None,
             ewma: HashMap::new(),
             slo: None,
+            build: None,
         }
+    }
+
+    /// Attaches build identity stamps: every sample carries them in
+    /// [`Sample::build`] and the Prometheus exposition renders a
+    /// `ctxres_build_info` gauge. Opt-in because the stamps are
+    /// machine-dependent (golden outputs stay reproducible without).
+    pub fn with_build_info(mut self, build: BuildInfo) -> Self {
+        self.build = Some(build);
+        self
     }
 
     /// Attaches an SLO engine: each sample evaluates the rules against
@@ -249,6 +314,15 @@ impl Sampler {
     /// Takes a sample with an explicitly supplied window length — the
     /// deterministic entry point tests and golden exports use.
     pub fn sample_after(&mut self, elapsed_secs: f64) -> Sample {
+        // Attribute the sampler's own cost to the Export phase on the
+        // last slot (the engine slot in sharded setups) so profiled
+        // runs see what scraping costs them.
+        let export_obs = if self.registry.shards() > 0 {
+            self.registry.handle(self.registry.shards() - 1)
+        } else {
+            ShardObs::disabled()
+        };
+        let _export_phase = export_obs.phase(Phase::Export);
         let snapshot = self.registry.snapshot();
         let first = self.prev.is_none();
         let prev_snapshot = self.prev.take().map(|(_, s)| s);
@@ -274,6 +348,7 @@ impl Sampler {
         }
         self.prev = Some((Instant::now(), snapshot.clone()));
         let health = self.sample_health();
+        let phases = self.sample_phases();
         Sample {
             elapsed_secs,
             first,
@@ -281,7 +356,25 @@ impl Sampler {
             shards,
             total,
             health,
+            phases,
+            build: self.build.clone(),
         }
+    }
+
+    /// Computes the window's phase-profiler view and advances the
+    /// profile baseline. `None` while profiling is off or no phase has
+    /// run yet (the pre-profiler shape).
+    fn sample_phases(&mut self) -> Option<PhaseSample> {
+        if !self.registry.config().profile {
+            return None;
+        }
+        let cur = self.registry.profile_snapshot();
+        if cur.is_empty() && self.prev_profile.is_none() {
+            return None;
+        }
+        let sample = PhaseSample::between(self.prev_profile.as_ref(), &cur);
+        self.prev_profile = Some(cur);
+        Some(sample)
     }
 
     /// Computes the window's health view, runs the SLO engine over it,
@@ -434,6 +527,92 @@ mod tests {
         assert_ne!(stripped, json, "fixture actually dropped the field");
         let back: Sample = serde_json::from_str(&stripped).unwrap();
         assert!(back.health.is_none());
+    }
+
+    #[test]
+    fn phases_ride_the_sampler_once_profiled() {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only().with_profile(1), 2);
+        let mut sampler = Sampler::new(Arc::clone(&registry));
+        let s = sampler.sample_after(0.0);
+        // The baseline sample's own Export span is recorded *after*
+        // the profile snapshot was taken, so the first sample may or
+        // may not carry phases; what matters is that real work shows.
+        drop(s);
+        let h = registry.handle(0);
+        {
+            let _g = h.phase(Phase::Ingest);
+            let h2 = registry.handle(0);
+            let _c = h2.phase(Phase::ConstraintCheck);
+        }
+        let s = sampler.sample_after(1.0);
+        let phases = s.phases.clone().expect("phases attached");
+        let shard0 = &phases.shards[0];
+        let calls = |stats: &[crate::profile::PhaseStat], p: Phase| {
+            stats
+                .iter()
+                .find(|s| s.phase == p.name())
+                .map(|s| s.calls)
+                .unwrap_or(0)
+        };
+        assert_eq!(calls(&shard0.cumulative, Phase::Ingest), 1);
+        assert_eq!(calls(&shard0.cumulative, Phase::ConstraintCheck), 1);
+        // The sampler's own export guard landed on the last slot.
+        assert!(calls(&phases.cumulative_total, Phase::Export) >= 1);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn phases_stay_none_without_profiling() {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 2);
+        let mut sampler = Sampler::new(Arc::clone(&registry));
+        let h = registry.handle(0);
+        let _ = h.phase(Phase::Ingest);
+        let s = sampler.sample_after(1.0);
+        assert!(s.phases.is_none(), "profile off ⇒ no phases block");
+    }
+
+    #[test]
+    fn build_info_is_opt_in_and_round_trips() {
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        let mut sampler = Sampler::new(Arc::clone(&registry));
+        assert!(sampler.sample_after(0.0).build.is_none());
+
+        let build = BuildInfo {
+            commit: "abc1234".into(),
+            host: "bench-host".into(),
+        };
+        let mut sampler = Sampler::new(registry).with_build_info(build.clone());
+        let s = sampler.sample_after(0.0);
+        assert_eq!(s.build.as_ref(), Some(&build));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.build, Some(build));
+    }
+
+    #[test]
+    fn build_info_collect_never_fails() {
+        let b = BuildInfo::collect();
+        assert!(!b.commit.is_empty());
+        assert!(!b.host.is_empty());
+    }
+
+    #[test]
+    fn pre_phase_samples_still_deserialize() {
+        // A Sample dumped before the profiler/build fields existed has
+        // no "phases"/"build" keys; both tolerate absence as None.
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        let mut sampler = Sampler::new(registry);
+        let s = sampler.sample_after(0.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let stripped = json
+            .replacen(",\"phases\":null", "", 1)
+            .replacen(",\"build\":null", "", 1);
+        assert_ne!(stripped, json, "fixture actually dropped the fields");
+        let back: Sample = serde_json::from_str(&stripped).unwrap();
+        assert!(back.phases.is_none());
+        assert!(back.build.is_none());
     }
 
     #[test]

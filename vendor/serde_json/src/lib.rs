@@ -359,14 +359,21 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is valid UTF-8:
-                    // it came from &str).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                    // Consume the whole unescaped run in one go. The
+                    // delimiters (quote, backslash) are ASCII, so the
+                    // byte scan can never split a multi-byte scalar,
+                    // and validating only the run keeps parsing linear
+                    // in the document size.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error("invalid UTF-8 in string".into()))?;
-                    let c = s.chars().next().expect("non-empty checked");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(s);
                 }
             }
         }
