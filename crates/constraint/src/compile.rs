@@ -68,6 +68,14 @@ enum CFormula {
     Pred {
         name: String,
         args: Vec<CTerm>,
+        /// Per-constraint predicate-occurrence id, assigned in lowering
+        /// order. Together with the arguments' slot bindings it keys the
+        /// per-batch [`PredMemo`].
+        site: u32,
+        /// The distinct env slots the arguments read (sorted). Two or
+        /// fewer slots make the call memoizable; wider calls bypass the
+        /// memo.
+        slots: Vec<usize>,
     },
     Quant {
         q: Quantifier,
@@ -112,7 +120,13 @@ impl CompiledConstraint {
     pub fn compile(constraint: &Constraint) -> Result<Self, EvalError> {
         let mut kind_table = Vec::new();
         let mut scope: Vec<(&str, usize)> = Vec::new();
-        let program = lower(constraint.formula(), &mut kind_table, &mut scope)?;
+        let mut sites = 0u32;
+        let program = lower(
+            constraint.formula(),
+            &mut kind_table,
+            &mut scope,
+            &mut sites,
+        )?;
         Ok(CompiledConstraint {
             name: constraint.name().to_owned(),
             program,
@@ -164,22 +178,23 @@ fn lower<'f>(
     f: &'f Formula,
     kind_table: &mut Vec<ContextKind>,
     scope: &mut Vec<(&'f str, usize)>,
+    sites: &mut u32,
 ) -> Result<CFormula, EvalError> {
     match f {
         Formula::True => Ok(CFormula::True),
         Formula::False => Ok(CFormula::False),
-        Formula::Not(a) => Ok(CFormula::Not(Box::new(lower(a, kind_table, scope)?))),
+        Formula::Not(a) => Ok(CFormula::Not(Box::new(lower(a, kind_table, scope, sites)?))),
         Formula::And(a, b) => Ok(CFormula::And(
-            Box::new(lower(a, kind_table, scope)?),
-            Box::new(lower(b, kind_table, scope)?),
+            Box::new(lower(a, kind_table, scope, sites)?),
+            Box::new(lower(b, kind_table, scope, sites)?),
         )),
         Formula::Or(a, b) => Ok(CFormula::Or(
-            Box::new(lower(a, kind_table, scope)?),
-            Box::new(lower(b, kind_table, scope)?),
+            Box::new(lower(a, kind_table, scope, sites)?),
+            Box::new(lower(b, kind_table, scope, sites)?),
         )),
         Formula::Implies(a, b) => Ok(CFormula::Implies(
-            Box::new(lower(a, kind_table, scope)?),
-            Box::new(lower(b, kind_table, scope)?),
+            Box::new(lower(a, kind_table, scope, sites)?),
+            Box::new(lower(b, kind_table, scope, sites)?),
         )),
         Formula::Pred(call) => {
             let args = call
@@ -187,9 +202,22 @@ fn lower<'f>(
                 .iter()
                 .map(|t| lower_term(t, scope))
                 .collect::<Result<Vec<_>, _>>()?;
+            let mut slots: Vec<usize> = args
+                .iter()
+                .filter_map(|t| match t {
+                    CTerm::Slot { slot, .. } | CTerm::Attr { slot, .. } => Some(*slot),
+                    CTerm::Const(_) => None,
+                })
+                .collect();
+            slots.sort_unstable();
+            slots.dedup();
+            let site = *sites;
+            *sites += 1;
             Ok(CFormula::Pred {
                 name: call.name.clone(),
                 args,
+                site,
+                slots,
             })
         }
         Formula::Quant {
@@ -207,7 +235,7 @@ fn lower<'f>(
                 }
             };
             scope.push((var, *qid));
-            let body = lower(body, kind_table, scope);
+            let body = lower(body, kind_table, scope, sites);
             scope.pop();
             Ok(CFormula::Quant {
                 q: *q,
@@ -265,6 +293,102 @@ impl EvalScratch {
     }
 }
 
+/// Multiply-rotate hasher for the memo table. The key is four small
+/// integers probed millions of times per batch, where the std
+/// SipHasher's keyed setup and finalization are a measurable share of
+/// the whole check; HashDoS hardening buys nothing against our own
+/// context ids.
+#[derive(Default)]
+struct MemoHasher(u64);
+
+impl MemoHasher {
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for MemoHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+}
+
+type MemoMap = std::collections::HashMap<
+    (u32, u32, u64, u64),
+    bool,
+    std::hash::BuildHasherDefault<MemoHasher>,
+>;
+
+/// Per-batch predicate memo table for the fused truth-only pass.
+///
+/// Predicate truth depends only on the call site (constraint index ×
+/// lowering-order occurrence id) and the contexts bound to the slots its
+/// arguments read — attributes, stamps, and truth tags are immutable, and
+/// a batch never physically removes a context mid-flight — so a verdict
+/// computed once can be replayed for every other batch member that binds
+/// the same contexts. Only `Ok` verdicts are cached; errors are always
+/// re-derived so the error stream stays identical to the unfused path.
+///
+/// Two classes of call bypass the table entirely: calls reading more
+/// than two slots, and calls reading the *pinned* quantifier's slot.
+/// The latter is the important one — every check in a batch pins a
+/// distinct context, so a key that includes the pin's id can never
+/// recur within the batch, and memoizing it would pay the hash and the
+/// insert for a structurally-impossible hit on exactly the hottest
+/// sites (the binary predicates relating the new context to its
+/// subject's track).
+#[derive(Debug, Default)]
+pub struct PredMemo {
+    map: MemoMap,
+    hits: u64,
+    misses: u64,
+}
+
+impl PredMemo {
+    /// Creates an empty memo table.
+    pub fn new() -> Self {
+        PredMemo::default()
+    }
+
+    /// Lookups answered from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Memoizable lookups that had to evaluate the predicate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Folds another memo's hit/miss tallies into this one (worker
+    /// memos aggregate into the batch total).
+    pub fn absorb_counts(&mut self, other: &PredMemo) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
+    /// Merges another memo into this one: the cached verdicts union
+    /// (tables are keyed on immutable inputs, so duplicates agree) and
+    /// the hit/miss tallies add. Used to fold speculation workers'
+    /// memos into the commit-path memo of a fused batch.
+    pub fn absorb(&mut self, other: PredMemo) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.map.extend(other.map);
+    }
+}
+
 /// Evaluates [`CompiledConstraint`]s against a [`ContextPool`].
 ///
 /// Mirrors [`Evaluator`](crate::Evaluator) — same domain modes, same
@@ -305,7 +429,7 @@ impl<'r> CompiledEvaluator<'r> {
         now: LogicalTime,
         scratch: &mut EvalScratch,
     ) -> Result<CheckOutcome, EvalError> {
-        self.run(constraint, pool, now, None, scratch)
+        self.run(constraint, pool, now, None, None, scratch)
     }
 
     /// Checks only **whether** `constraint` holds — no violation
@@ -342,6 +466,9 @@ impl<'r> CompiledEvaluator<'r> {
             now,
             pin: None,
             pin_subject: None,
+            max_id: None,
+            memo: None,
+            memo_cid: 0,
             scratch,
         };
         run.eval_bool(&constraint.program)
@@ -362,7 +489,101 @@ impl<'r> CompiledEvaluator<'r> {
         ctx: ContextId,
         scratch: &mut EvalScratch,
     ) -> Result<CheckOutcome, EvalError> {
-        self.run(constraint, pool, now, Some(Pin { qid, ctx }), scratch)
+        self.run(constraint, pool, now, Some(Pin { qid, ctx }), None, scratch)
+    }
+
+    /// [`check_pinned`](CompiledEvaluator::check_pinned) with every
+    /// quantifier's domain additionally capped at `max_id`: only contexts
+    /// with `id <= max_id` participate. With a whole batch pre-inserted,
+    /// capping at the pinned context's own id reproduces exactly the
+    /// domain a sequential submission would have seen at that arrival
+    /// position (ids are allocated monotonically and never reused), so
+    /// the outcome — violations, truncation, and error positions — is
+    /// byte-identical to the unfused path.
+    ///
+    /// Batch-cap contract: callers must ensure every pooled context
+    /// stamped after `now` has `id > max_id`. This holds whenever `now`
+    /// is the prefix-max arrival clock of a monotonically-staged batch
+    /// — the only way the fused engine invokes it — because earlier
+    /// positions and the pre-batch population are all stamped at or
+    /// before their own clock. Domain fills exploit it to stop at the
+    /// first future-stamped bucket element instead of scanning the
+    /// whole staged tail.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledEvaluator::check`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_pinned_batch(
+        &self,
+        constraint: &CompiledConstraint,
+        pool: &ContextPool,
+        now: LogicalTime,
+        qid: usize,
+        ctx: ContextId,
+        max_id: ContextId,
+        scratch: &mut EvalScratch,
+    ) -> Result<CheckOutcome, EvalError> {
+        self.run(
+            constraint,
+            pool,
+            now,
+            Some(Pin { qid, ctx }),
+            Some(max_id),
+            scratch,
+        )
+    }
+
+    /// Truth-only twin of
+    /// [`check_pinned_batch`](CompiledEvaluator::check_pinned_batch) for
+    /// the fused fast path: same traversal, same materialized capped
+    /// domains, same first-error behaviour — but no violation evidence is
+    /// built, and predicate calls are served from the per-batch `memo`.
+    ///
+    /// Unlike [`holds`](CompiledEvaluator::holds) this does **not**
+    /// short-circuit: every binding the evidence path would visit is
+    /// visited here, in the same order, so `Ok(_)`/`Err(_)` outcomes
+    /// agree exactly with the evidence path. `Ok(true)` therefore proves
+    /// the evidence path would report zero violations, letting the batch
+    /// loop skip it entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledEvaluator::check`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn satisfied_pinned_batch(
+        &self,
+        constraint: &CompiledConstraint,
+        pool: &ContextPool,
+        now: LogicalTime,
+        qid: usize,
+        ctx: ContextId,
+        max_id: ContextId,
+        scratch: &mut EvalScratch,
+        memo: &mut PredMemo,
+        memo_cid: u32,
+    ) -> Result<bool, EvalError> {
+        scratch.prepare(constraint.slot_count);
+        let pin = Some(Pin { qid, ctx });
+        let pin_subject = if constraint.per_subject {
+            pool.get(ctx).map(Context::subject)
+        } else {
+            None
+        };
+        let mut run = Run {
+            registry: self.registry,
+            domain: self.domain,
+            kind_table: &constraint.kind_table,
+            pool,
+            now,
+            pin,
+            pin_subject,
+            max_id: Some(max_id),
+            memo: Some(memo),
+            memo_cid,
+            scratch,
+        };
+        run.eval_truth(&constraint.program)
     }
 
     fn run(
@@ -371,6 +592,7 @@ impl<'r> CompiledEvaluator<'r> {
         pool: &ContextPool,
         now: LogicalTime,
         pin: Option<Pin>,
+        max_id: Option<ContextId>,
         scratch: &mut EvalScratch,
     ) -> Result<CheckOutcome, EvalError> {
         scratch.prepare(constraint.slot_count);
@@ -390,6 +612,9 @@ impl<'r> CompiledEvaluator<'r> {
             now,
             pin,
             pin_subject,
+            max_id,
+            memo: None,
+            memo_cid: 0,
             scratch,
         };
         let ev = run.eval(&constraint.program, Need::ROOT)?;
@@ -407,6 +632,15 @@ struct Run<'a, 'r> {
     /// `Some(subject)` when the pinned constraint is per-subject: every
     /// unpinned quantifier's domain narrows to this subject's bucket.
     pin_subject: Option<&'a str>,
+    /// Batch cap: quantifier domains only admit contexts with
+    /// `id <= max_id`, reproducing the pool a sequential submission
+    /// would have seen at that arrival position.
+    max_id: Option<ContextId>,
+    /// Per-batch predicate memo, active only on the truth-only path.
+    memo: Option<&'a mut PredMemo>,
+    /// Constraint index disambiguating `site` ids across the deployed
+    /// constraint set in the memo key.
+    memo_cid: u32,
     scratch: &'a mut EvalScratch,
 }
 
@@ -436,15 +670,13 @@ impl Run<'_, '_> {
                 let eb = self.eval(b, need)?;
                 Ok(combine_or(ea, eb))
             }
-            CFormula::Pred { name, args } => {
+            CFormula::Pred { name, args, .. } => {
                 let mut witness = Link::new();
                 let pool = self.pool;
-                let mut resolved: Vec<Resolved<'_>> = Vec::with_capacity(args.len());
-                for term in args {
-                    resolved.push(resolve_cterm(term, pool, &self.scratch.env, &mut witness)?);
-                }
-                let truth = self.registry.eval(name, &resolved)?;
-                drop(resolved);
+                let env = &self.scratch.env;
+                let truth = eval_pred_with(self.registry, name, args, |term| {
+                    resolve_cterm(term, pool, env, &mut witness)
+                })?;
                 Ok(Evidence {
                     truth,
                     links: vec![witness],
@@ -462,25 +694,7 @@ impl Run<'_, '_> {
                 // it is put back (error or not) before returning.
                 let mut domain = std::mem::take(&mut self.scratch.domains[*slot]);
                 domain.clear();
-                match (self.pin, self.pin_subject) {
-                    (Some(p), _) if p.qid == *slot => domain.push(p.ctx),
-                    (_, Some(subject)) => domain.extend(
-                        self.pool
-                            .of_subject_live_at(&self.kind_table[*kind_sym], subject, self.now)
-                            .filter(|(_, c)| {
-                                self.domain == DomainMode::AllLive || c.state().is_available()
-                            })
-                            .map(|(id, _)| id),
-                    ),
-                    _ => domain.extend(
-                        self.pool
-                            .of_kind_live_at(&self.kind_table[*kind_sym], self.now)
-                            .filter(|(_, c)| {
-                                self.domain == DomainMode::AllLive || c.state().is_available()
-                            })
-                            .map(|(id, _)| id),
-                    ),
-                }
+                self.fill_domain(&mut domain, *kind_sym, *slot);
                 let mut per_binding: Vec<Evidence> = Vec::with_capacity(domain.len());
                 let mut failed = None;
                 for id in &domain {
@@ -510,6 +724,164 @@ impl Run<'_, '_> {
         }
     }
 
+    /// Fills one quantifier's materialized domain for the evidence and
+    /// truth-only paths: the pin's singleton, else the subject bucket or
+    /// full kind index, live at `now`, state-filtered by the domain
+    /// mode, and capped at `max_id` when batch-fused.
+    fn fill_domain(&self, domain: &mut Vec<ContextId>, kind_sym: usize, slot: usize) {
+        match (self.pin, self.pin_subject) {
+            (Some(p), _) if p.qid == slot => domain.push(p.ctx),
+            (_, Some(subject)) => self.collect_domain(
+                domain,
+                self.pool
+                    .of_subject_live_at(&self.kind_table[kind_sym], subject, self.now),
+            ),
+            _ => self.collect_domain(
+                domain,
+                self.pool
+                    .of_kind_live_at(&self.kind_table[kind_sym], self.now),
+            ),
+        }
+    }
+
+    /// The shared tail of [`Run::fill_domain`]: state-filters a bucket
+    /// iterator and applies the batch cap. Buckets iterate in
+    /// `(stamp, id)` order, and under the batch-cap contract (see
+    /// [`CompiledEvaluator::check_pinned_batch`]) every pooled context
+    /// stamped after `now` is a later batch member with `id > max_id` —
+    /// so the first such element ends the sequential prefix and the
+    /// staged tail is never scanned, keeping a capped fill the same
+    /// cost as the sequential fill it reproduces.
+    fn collect_domain<'p>(
+        &self,
+        domain: &mut Vec<ContextId>,
+        iter: impl Iterator<Item = (ContextId, &'p Context)>,
+    ) {
+        match self.max_id {
+            Some(m) => {
+                for (id, c) in iter {
+                    if c.stamp() > self.now {
+                        break;
+                    }
+                    if id <= m && (self.domain == DomainMode::AllLive || c.state().is_available()) {
+                        domain.push(id);
+                    }
+                }
+            }
+            None => domain.extend(
+                iter.filter(|(_, c)| {
+                    self.domain == DomainMode::AllLive || c.state().is_available()
+                })
+                .map(|(id, _)| id),
+            ),
+        }
+    }
+
+    /// Truth-only twin of [`Run::eval`] for
+    /// [`CompiledEvaluator::satisfied_pinned_batch`]: identical
+    /// traversal — both operands of every connective, fully materialized
+    /// domains, every binding visited, first error wins — so its
+    /// `Ok`/`Err` outcome always matches the evidence path's. The only
+    /// differences are that no [`Evidence`] links are built and that
+    /// predicate calls consult the per-batch memo.
+    fn eval_truth(&mut self, formula: &CFormula) -> Result<bool, EvalError> {
+        match formula {
+            CFormula::True => Ok(true),
+            CFormula::False => Ok(false),
+            CFormula::Not(f) => Ok(!self.eval_truth(f)?),
+            CFormula::And(a, b) => {
+                let ta = self.eval_truth(a)?;
+                let tb = self.eval_truth(b)?;
+                Ok(ta && tb)
+            }
+            CFormula::Or(a, b) => {
+                let ta = self.eval_truth(a)?;
+                let tb = self.eval_truth(b)?;
+                Ok(ta || tb)
+            }
+            CFormula::Implies(a, b) => {
+                let ta = self.eval_truth(a)?;
+                let tb = self.eval_truth(b)?;
+                Ok(!ta || tb)
+            }
+            CFormula::Pred {
+                name,
+                args,
+                site,
+                slots,
+            } => {
+                // Memo key: call site × the contexts bound to the slots
+                // the arguments read (≤ 2, padded). Wider calls bypass,
+                // and so do calls reading the pinned slot: their keys
+                // include the pin's id, which is distinct for every
+                // check of the batch, so a hit is impossible and the
+                // table would only add hash-and-insert cost to the
+                // hottest sites.
+                let memoizable =
+                    slots.len() <= 2 && self.pin.is_none_or(|p| !slots.contains(&p.qid));
+                let key = if memoizable {
+                    let a = slots
+                        .first()
+                        .map_or(u64::MAX, |s| self.scratch.env[*s].raw());
+                    let b = slots
+                        .get(1)
+                        .map_or(u64::MAX, |s| self.scratch.env[*s].raw());
+                    Some((self.memo_cid, *site, a, b))
+                } else {
+                    None
+                };
+                if let (Some(memo), Some(k)) = (self.memo.as_mut(), key) {
+                    if let Some(&truth) = memo.map.get(&k) {
+                        memo.hits += 1;
+                        return Ok(truth);
+                    }
+                }
+                let pool = self.pool;
+                let env = &self.scratch.env;
+                let truth = eval_pred_with(self.registry, name, args, |term| {
+                    resolve_cterm_value(term, pool, env)
+                })?;
+                if let (Some(memo), Some(k)) = (self.memo.as_mut(), key) {
+                    memo.misses += 1;
+                    memo.map.insert(k, truth);
+                }
+                Ok(truth)
+            }
+            CFormula::Quant {
+                q,
+                kind_sym,
+                slot,
+                body,
+            } => {
+                let mut domain = std::mem::take(&mut self.scratch.domains[*slot]);
+                domain.clear();
+                self.fill_domain(&mut domain, *kind_sym, *slot);
+                // Same fold truths as `fold_forall`/`fold_exists`, same
+                // break-at-first-error as the evidence loop.
+                let mut truth = matches!(q, Quantifier::Forall);
+                let mut failed = None;
+                for id in &domain {
+                    self.scratch.env[*slot] = *id;
+                    match self.eval_truth(body) {
+                        Ok(t) => match q {
+                            Quantifier::Forall => truth &= t,
+                            Quantifier::Exists => truth |= t,
+                        },
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                self.scratch.domains[*slot] = domain;
+                if let Some(e) = failed {
+                    return Err(e);
+                }
+                Ok(truth)
+            }
+        }
+    }
+
     /// Evidence-free evaluation for [`CompiledEvaluator::holds`]:
     /// returns the bare truth value, short-circuiting connectives and
     /// quantifiers. Quantifier domains are iterated lazily straight off
@@ -523,13 +895,12 @@ impl Run<'_, '_> {
             CFormula::And(a, b) => Ok(self.eval_bool(a)? && self.eval_bool(b)?),
             CFormula::Or(a, b) => Ok(self.eval_bool(a)? || self.eval_bool(b)?),
             CFormula::Implies(a, b) => Ok(!self.eval_bool(a)? || self.eval_bool(b)?),
-            CFormula::Pred { name, args } => {
+            CFormula::Pred { name, args, .. } => {
                 let pool = self.pool;
-                let mut resolved: Vec<Resolved<'_>> = Vec::with_capacity(args.len());
-                for term in args {
-                    resolved.push(resolve_cterm_value(term, pool, &self.scratch.env)?);
-                }
-                self.registry.eval(name, &resolved)
+                let env = &self.scratch.env;
+                eval_pred_with(self.registry, name, args, |term| {
+                    resolve_cterm_value(term, pool, env)
+                })
             }
             CFormula::Quant {
                 q,
@@ -585,6 +956,43 @@ impl Run<'_, '_> {
             }
         }
         Ok(!deciding)
+    }
+}
+
+/// Resolves predicate arguments and hands them to the evaluator,
+/// staging them in a stack array for the common arities (every
+/// built-in predicate takes at most 5 arguments). Arguments resolve
+/// left to right with `?` on each, so the first resolution error
+/// propagates exactly as the heap-`Vec` fallback would.
+fn eval_pred_with<'a>(
+    registry: &PredicateRegistry,
+    name: &str,
+    args: &'a [CTerm],
+    mut resolve: impl FnMut(&'a CTerm) -> Result<Resolved<'a>, EvalError>,
+) -> Result<bool, EvalError> {
+    match args {
+        [] => registry.eval(name, &[]),
+        [a] => registry.eval(name, &[resolve(a)?]),
+        [a, b] => registry.eval(name, &[resolve(a)?, resolve(b)?]),
+        [a, b, c] => registry.eval(name, &[resolve(a)?, resolve(b)?, resolve(c)?]),
+        [a, b, c, d] => registry.eval(name, &[resolve(a)?, resolve(b)?, resolve(c)?, resolve(d)?]),
+        [a, b, c, d, e] => registry.eval(
+            name,
+            &[
+                resolve(a)?,
+                resolve(b)?,
+                resolve(c)?,
+                resolve(d)?,
+                resolve(e)?,
+            ],
+        ),
+        _ => {
+            let mut resolved: Vec<Resolved<'a>> = Vec::with_capacity(args.len());
+            for term in args {
+                resolved.push(resolve(term)?);
+            }
+            registry.eval(name, &resolved)
+        }
     }
 }
 
@@ -744,7 +1152,7 @@ mod tests {
         for (s, (subject, points)) in tracks.iter().enumerate() {
             for (i, (x, y)) in points.iter().enumerate() {
                 pool.insert(
-                    Context::builder(ContextKind::new("location"), *subject)
+                    Context::builder(ContextKind::new("location"), subject)
                         .attr("pos", Point::new(*x, *y))
                         .attr("seq", i as i64)
                         .stamp(LogicalTime::new((2 * i + s) as u64))

@@ -8,7 +8,7 @@
 //! context. Constraints outside the fragment fall back to full
 //! re-evaluation with link diffing.
 
-use crate::compile::{CompiledConstraint, CompiledEvaluator, EvalScratch};
+use crate::compile::{CompiledConstraint, CompiledEvaluator, EvalScratch, PredMemo};
 use crate::constraint::ConstraintSet;
 use crate::error::EvalError;
 use crate::eval::Link;
@@ -63,6 +63,33 @@ impl KindPlan {
     /// Whether contexts of the planned kind can affect any constraint.
     pub fn is_relevant(&self) -> bool {
         !self.steps.is_empty()
+    }
+}
+
+/// Checker-counter deltas produced by one
+/// [`IncrementalChecker::check_with_plan`] call. The batch loop folds
+/// them back with [`IncrementalChecker::absorb_batch_counts`] so
+/// [`CheckerStats`] end up identical to a sequential run — including
+/// the partial tallies of a check that errored mid-plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCounts {
+    /// Pinned evaluations performed (one per planned quantifier, bumped
+    /// before the evaluation so an error leaves the same partial count
+    /// the sequential path would).
+    pub pinned_evals: u64,
+    /// Compiled-program evaluations (one per planned quantifier; the
+    /// internal truth-then-evidence split is not double-counted).
+    pub compiled_evals: u64,
+    /// Detections returned (zero when the check errored).
+    pub detections: u64,
+}
+
+impl PlanCounts {
+    /// Folds another call's deltas into this accumulator.
+    pub fn absorb(&mut self, other: PlanCounts) {
+        self.pinned_evals += other.pinned_evals;
+        self.compiled_evals += other.compiled_evals;
+        self.detections += other.detections;
     }
 }
 
@@ -253,6 +280,111 @@ impl IncrementalChecker {
         }
         self.stats.detections += out.len() as u64;
         Ok(out)
+    }
+
+    /// Whether the deployed set is eligible for batch-fused checking:
+    /// every constraint compiled, lies in the universal-positive
+    /// fragment (so plans pin — the stateful full-check-and-diff
+    /// fallback never runs), and carries a per-subject scope proof (so a
+    /// pinned check's footprint is exactly the pinned subject's bucket,
+    /// making disjoint-subject groups safe to check concurrently).
+    pub fn supports_batch_fusion(&self) -> bool {
+        self.compiled.iter().all(|p| {
+            p.as_ref()
+                .is_some_and(|cc| cc.is_universal_positive() && cc.is_per_subject())
+        })
+    }
+
+    /// Stateless, read-only twin of
+    /// [`on_added_planned`](IncrementalChecker::on_added_planned) for
+    /// the batch-fused path: the whole batch is already in `pool`, and
+    /// capping every quantifier domain at `max_id` (the checked
+    /// context's own id) reproduces the pool a sequential submission
+    /// would have seen at that arrival position. Detections, their
+    /// order, and error outcomes are byte-identical to the sequential
+    /// call; counter deltas are returned in [`PlanCounts`] instead of
+    /// being applied, so disjoint-subject workers can share `&self`.
+    ///
+    /// Requires [`supports_batch_fusion`]
+    /// (IncrementalChecker::supports_batch_fusion) — every plan step
+    /// pins a compiled program.
+    ///
+    /// Errors are returned in the tuple (not via `?`) so the partial
+    /// counts accompany them, exactly as a sequential error would leave
+    /// partially bumped [`CheckerStats`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_with_plan(
+        &self,
+        plan: &KindPlan,
+        registry: &PredicateRegistry,
+        pool: &ContextPool,
+        now: LogicalTime,
+        id: ContextId,
+        max_id: ContextId,
+        scratch: &mut EvalScratch,
+        memo: &mut PredMemo,
+    ) -> (Result<Vec<Detection>, EvalError>, PlanCounts) {
+        let mut counts = PlanCounts::default();
+        if !pool.contains(id) {
+            return (Ok(Vec::new()), counts);
+        }
+        let evaluator = CompiledEvaluator::new(registry);
+        let constraints = self.constraints.iter().as_slice();
+        let mut out = Vec::new();
+        for step in &plan.steps {
+            let constraint = &constraints[step.constraint];
+            let (Some(qids), Some(cc)) = (&step.pinned_qids, &self.compiled[step.constraint])
+            else {
+                unreachable!("check_with_plan requires supports_batch_fusion()");
+            };
+            let mut links: BTreeSet<Link> = BTreeSet::new();
+            for &qid in qids {
+                counts.pinned_evals += 1;
+                counts.compiled_evals += 1;
+                // Truth-only pre-pass: `Ok(true)` proves the evidence
+                // pass would find zero violations, so it is skipped.
+                // `Ok(false)` re-runs with evidence; an error is the
+                // same error the evidence pass would have raised.
+                let satisfied = match evaluator.satisfied_pinned_batch(
+                    cc,
+                    pool,
+                    now,
+                    qid,
+                    id,
+                    max_id,
+                    scratch,
+                    memo,
+                    step.constraint as u32,
+                ) {
+                    Ok(satisfied) => satisfied,
+                    Err(e) => return (Err(e), counts),
+                };
+                if satisfied {
+                    continue;
+                }
+                match evaluator.check_pinned_batch(cc, pool, now, qid, id, max_id, scratch) {
+                    Ok(outcome) => links.extend(outcome.violations),
+                    Err(e) => return (Err(e), counts),
+                }
+            }
+            for link in links {
+                out.push(Detection {
+                    constraint: constraint.name().to_owned(),
+                    link,
+                });
+            }
+        }
+        counts.detections = out.len() as u64;
+        (Ok(out), counts)
+    }
+
+    /// Applies the counter deltas of one or more
+    /// [`check_with_plan`](IncrementalChecker::check_with_plan) calls,
+    /// restoring [`CheckerStats`] parity with the sequential path.
+    pub fn absorb_batch_counts(&mut self, counts: PlanCounts) {
+        self.stats.pinned_evals += counts.pinned_evals;
+        self.stats.compiled_evals += counts.compiled_evals;
+        self.stats.detections += counts.detections;
     }
 
     /// Fully checks every constraint (the non-incremental baseline; used
@@ -469,6 +601,133 @@ mod tests {
 
         assert_eq!(via_on_added, via_plan);
         assert_eq!(plain.stats(), planned.stats());
+    }
+
+    #[test]
+    fn batch_capped_plan_matches_sequential_insertion() {
+        // Sequential oracle: insert one at a time, check on arrival.
+        let reg = PredicateRegistry::with_builtins();
+        let points = [(0.0, 0.0), (9.0, 9.0), (0.5, 0.0), (1.0, 0.0), (1.5, 0.0)];
+        let subjects = ["p", "p", "q", "p", "q"];
+
+        let mut seq = checker(SPEED);
+        let mut pool_a = ContextPool::new();
+        let mut via_seq = Vec::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            let id = add_loc(&mut pool_a, subjects[i], i as i64, *x, *y);
+            via_seq.extend(
+                seq.on_added(&reg, &pool_a, LogicalTime::new(i as u64), id)
+                    .unwrap(),
+            );
+        }
+
+        // Fused: pre-insert the whole batch, then check each position
+        // with the domain capped at its own id.
+        let mut fused = checker(SPEED);
+        assert!(fused.supports_batch_fusion());
+        let plan = fused.plan_for(&ContextKind::new("location"));
+        let mut pool_b = ContextPool::new();
+        let ids: Vec<ContextId> = points
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| add_loc(&mut pool_b, subjects[i], i as i64, *x, *y))
+            .collect();
+        let mut via_batch = Vec::new();
+        let mut scratch = EvalScratch::new();
+        let mut memo = PredMemo::new();
+        let mut total = PlanCounts::default();
+        for (i, &id) in ids.iter().enumerate() {
+            let (result, counts) = fused.check_with_plan(
+                &plan,
+                &reg,
+                &pool_b,
+                LogicalTime::new(i as u64),
+                id,
+                id,
+                &mut scratch,
+                &mut memo,
+            );
+            total.absorb(counts);
+            via_batch.extend(result.unwrap());
+        }
+        fused.absorb_batch_counts(total);
+
+        assert_eq!(via_seq, via_batch);
+        assert_eq!(seq.stats(), fused.stats());
+        assert_eq!(
+            memo.hits() + memo.misses(),
+            0,
+            "every SPEED predicate reads the pinned slot, so the memo is bypassed"
+        );
+    }
+
+    #[test]
+    fn pin_free_sites_consult_the_memo_and_hit_across_checks() {
+        // `has_attr(b, "pos")` reads only the unpinned slot when the
+        // check pins `a`, so its verdicts recur across checks of the
+        // same subject — the one class of site the memo serves. The
+        // capped run must still agree with the sequential oracle.
+        let guarded = "constraint guarded: forall a: location, b: location . \
+             (same_subject(a, b) and seq_gap(a, b, 1) and has_attr(b, \"pos\")) \
+             implies velocity_le(a, b, 1.5)";
+        let reg = PredicateRegistry::with_builtins();
+        let points = [(0.0, 0.0), (9.0, 9.0), (0.5, 0.0), (1.0, 0.0), (1.5, 0.0)];
+        let subjects = ["p", "p", "q", "p", "q"];
+
+        let mut seq = checker(guarded);
+        let mut pool_a = ContextPool::new();
+        let mut via_seq = Vec::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            let id = add_loc(&mut pool_a, subjects[i], i as i64, *x, *y);
+            via_seq.extend(
+                seq.on_added(&reg, &pool_a, LogicalTime::new(i as u64), id)
+                    .unwrap(),
+            );
+        }
+
+        let mut fused = checker(guarded);
+        assert!(fused.supports_batch_fusion());
+        let plan = fused.plan_for(&ContextKind::new("location"));
+        let mut pool_b = ContextPool::new();
+        let ids: Vec<ContextId> = points
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| add_loc(&mut pool_b, subjects[i], i as i64, *x, *y))
+            .collect();
+        let mut via_batch = Vec::new();
+        let mut scratch = EvalScratch::new();
+        let mut memo = PredMemo::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let (result, _) = fused.check_with_plan(
+                &plan,
+                &reg,
+                &pool_b,
+                LogicalTime::new(i as u64),
+                id,
+                id,
+                &mut scratch,
+                &mut memo,
+            );
+            via_batch.extend(result.unwrap());
+        }
+
+        assert_eq!(via_seq, via_batch);
+        assert!(memo.misses() > 0, "pin-free sites must populate the memo");
+        assert!(
+            memo.hits() > 0,
+            "repeat subjects must replay memoized verdicts"
+        );
+    }
+
+    #[test]
+    fn fallback_constraints_disable_batch_fusion() {
+        let ch = checker("constraint anchored: exists a: location . subject_eq(a, \"anchor\")");
+        assert!(!ch.supports_batch_fusion(), "existential forces fallback");
+        let cross = checker(
+            "constraint cross: forall a: location, b: location . \
+             seq_gap(a, b, 1) implies same_subject(a, b)",
+        );
+        assert!(!cross.supports_batch_fusion(), "global scope is ineligible");
     }
 
     #[test]

@@ -65,11 +65,11 @@ mod schema;
 mod simplify;
 
 pub use ast::{Formula, PredicateCall, Quantifier, Term};
-pub use compile::{CompiledConstraint, CompiledEvaluator, EvalScratch};
+pub use compile::{CompiledConstraint, CompiledEvaluator, EvalScratch, PredMemo};
 pub use constraint::{Constraint, ConstraintSet};
 pub use error::{EvalError, ParseError};
 pub use eval::{CheckOutcome, DomainMode, Evaluator, Link, MAX_LINKS};
-pub use incremental::{CheckerStats, Detection, IncrementalChecker, KindPlan};
+pub use incremental::{CheckerStats, Detection, IncrementalChecker, KindPlan, PlanCounts};
 pub use parser::{parse_constraint, parse_constraints, parse_formula};
 pub use predicate::{PredicateRegistry, Resolved};
 pub use schema::{

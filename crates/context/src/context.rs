@@ -53,6 +53,12 @@ impl ContextKind {
     pub fn name(&self) -> &str {
         &self.0
     }
+
+    /// Shared handle to the kind's name, so observers can intern it
+    /// into events without re-allocating per context.
+    pub fn name_arc(&self) -> &Arc<str> {
+        &self.0
+    }
 }
 
 impl fmt::Display for ContextKind {
@@ -169,9 +175,9 @@ impl Context {
         &self.subject
     }
 
-    /// Shared handle to the subject string, so indexes can key on it
-    /// without re-allocating.
-    pub(crate) fn subject_shared(&self) -> &Arc<str> {
+    /// Shared handle to the subject string, so indexes, batch grouping,
+    /// and event fields can key on it without re-allocating.
+    pub fn subject_arc(&self) -> &Arc<str> {
         &self.subject
     }
 

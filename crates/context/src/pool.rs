@@ -133,6 +133,56 @@ fn index_insert(
     }
 }
 
+/// Restores `(stamp, id)` order after a batch appended its handles
+/// unsorted past `split`: sorts the tail (keys are unique, so unstable
+/// is fine), then merges it with the sorted head — one sort-merge per
+/// touched bucket per batch instead of a binary-searched memmove per
+/// insert. In-order arrivals (the overwhelmingly common case) take the
+/// boundary-comparison fast path and touch nothing.
+fn repair_tail(
+    index: &mut Vec<SlotHandle>,
+    stamps: &[LogicalTime],
+    ids: &[ContextId],
+    split: usize,
+) {
+    let key = |h: SlotHandle| (stamps[h.slot as usize], ids[h.slot as usize]);
+    if index.len() - split > 1 {
+        let tail = &index[split..];
+        if tail.windows(2).any(|w| key(w[0]) > key(w[1])) {
+            index[split..].sort_unstable_by_key(|&h| key(h));
+        }
+    }
+    if split == 0 || index.len() == split || key(index[split - 1]) <= key(index[split]) {
+        return;
+    }
+    let tail = index.split_off(split);
+    let head = std::mem::take(index);
+    index.reserve(head.len() + tail.len());
+    let mut head = head.into_iter().peekable();
+    let mut tail = tail.into_iter().peekable();
+    loop {
+        match (head.peek(), tail.peek()) {
+            (Some(&a), Some(&b)) => {
+                if key(a) <= key(b) {
+                    index.push(a);
+                    head.next();
+                } else {
+                    index.push(b);
+                    tail.next();
+                }
+            }
+            (Some(_), None) => {
+                index.extend(head);
+                break;
+            }
+            (None, _) => {
+                index.extend(tail);
+                break;
+            }
+        }
+    }
+}
+
 impl ContextPool {
     /// Creates an empty pool.
     pub fn new() -> Self {
@@ -141,12 +191,30 @@ impl ContextPool {
 
     /// Inserts a context, assigning it the next arrival-ordered id.
     pub fn insert(&mut self, ctx: Context) -> ContextId {
+        let kind = ctx.kind().clone();
+        let subject = Arc::clone(ctx.subject_arc());
+        let (id, handle) = self.arena_insert(ctx);
+        let bucket = self.by_kind.entry(kind).or_default();
+        index_insert(&mut bucket.all, &self.slot_stamps, &self.slot_ids, handle);
+        index_insert(
+            bucket.by_subject.entry(subject).or_default(),
+            &self.slot_stamps,
+            &self.slot_ids,
+            handle,
+        );
+        id
+    }
+
+    /// The arena half of an insertion: id assignment, slot placement
+    /// (free-list reuse or growth), and the id → slot table append.
+    /// Shared by [`ContextPool::insert`] (which then orders the index
+    /// entries immediately) and [`ContextPool::insert_batch`] (which
+    /// defers ordering to one repair per touched bucket).
+    fn arena_insert(&mut self, ctx: Context) -> (ContextId, SlotHandle) {
         let id = ContextId::from_raw(self.next_id);
         self.next_id += 1;
         self.inserted += 1;
         self.stored += 1;
-        let kind = ctx.kind().clone();
-        let subject = Arc::clone(ctx.subject_shared());
         let stamp = ctx.stamp();
         let slot = match self.free.pop() {
             Some(slot) => {
@@ -170,15 +238,53 @@ impl ContextPool {
             slot,
             generation: self.generations[slot as usize],
         };
-        let bucket = self.by_kind.entry(kind).or_default();
-        index_insert(&mut bucket.all, &self.slot_stamps, &self.slot_ids, handle);
-        index_insert(
-            bucket.by_subject.entry(subject).or_default(),
-            &self.slot_stamps,
-            &self.slot_ids,
-            handle,
-        );
-        id
+        (id, handle)
+    }
+
+    /// Inserts a whole batch with deferred index maintenance: every
+    /// context takes the same arena path as [`ContextPool::insert`] (so
+    /// ids, slots, and generations come out identical), but its index
+    /// handles are appended **unsorted**, and each touched kind /
+    /// kind×subject bucket's `(stamp, id)` order is restored by one
+    /// sort-merge per bucket per batch ([`repair_tail`]) instead of a
+    /// binary-searched memmove per insert. The final pool state is
+    /// byte-identical to inserting the contexts one by one.
+    pub fn insert_batch(&mut self, batch: impl IntoIterator<Item = Context>) -> Vec<ContextId> {
+        // Each touched vector's pre-batch length is its repair split
+        // point: everything past it is this batch's unsorted tail.
+        let mut all_splits: HashMap<ContextKind, usize> = HashMap::new();
+        let mut subject_splits: HashMap<(ContextKind, Arc<str>), usize> = HashMap::new();
+        let batch = batch.into_iter();
+        let mut ids = Vec::with_capacity(batch.size_hint().0);
+        for ctx in batch {
+            let kind = ctx.kind().clone();
+            let subject = Arc::clone(ctx.subject_arc());
+            let (id, handle) = self.arena_insert(ctx);
+            ids.push(id);
+            let bucket = self.by_kind.entry(kind.clone()).or_default();
+            all_splits.entry(kind.clone()).or_insert(bucket.all.len());
+            let handles = bucket.by_subject.entry(Arc::clone(&subject)).or_default();
+            subject_splits
+                .entry((kind, subject))
+                .or_insert(handles.len());
+            handles.push(handle);
+            bucket.all.push(handle);
+        }
+        for (kind, split) in all_splits {
+            if let Some(bucket) = self.by_kind.get_mut(&kind) {
+                repair_tail(&mut bucket.all, &self.slot_stamps, &self.slot_ids, split);
+            }
+        }
+        for ((kind, subject), split) in subject_splits {
+            if let Some(handles) = self
+                .by_kind
+                .get_mut(&kind)
+                .and_then(|b| b.by_subject.get_mut(&subject))
+            {
+                repair_tail(handles, &self.slot_stamps, &self.slot_ids, split);
+            }
+        }
+        ids
     }
 
     fn slot_of(&self, id: ContextId) -> Option<usize> {
@@ -972,6 +1078,75 @@ mod tests {
         let counts = pool.subject_counts();
         assert_eq!(counts.get("p"), Some(&3), "all kinds count");
         assert_eq!(counts.get("q"), None, "discarded contexts do not");
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_inserts() {
+        // Mixed kinds, duplicate subjects, and out-of-order stamps: the
+        // deferred-repair path must produce the same ids and the same
+        // index iteration order as one-at-a-time insertion.
+        let make = |tag: &str| -> Vec<Context> {
+            vec![
+                loc("peter", 10),
+                loc("mary", 4),
+                loc("peter", 2), // out of order within the batch
+                Context::builder(ContextKind::new(tag), "peter").build(),
+                loc("mary", 7),
+                loc("peter", 10), // stamp tie, id breaks it
+            ]
+        };
+        let mut seq = ContextPool::new();
+        let seq_ids: Vec<ContextId> = make("rfid").into_iter().map(|c| seq.insert(c)).collect();
+        let mut batched = ContextPool::new();
+        let batch_ids = batched.insert_batch(make("rfid"));
+        assert_eq!(seq_ids, batch_ids);
+        assert_eq!(seq.signature(), batched.signature());
+        let kind = ContextKind::new("location");
+        let seq_order: Vec<ContextId> = seq.of_kind(&kind).map(|(id, _)| id).collect();
+        let batch_order: Vec<ContextId> = batched.of_kind(&kind).map(|(id, _)| id).collect();
+        assert_eq!(seq_order, batch_order);
+        for subject in ["peter", "mary"] {
+            let s: Vec<ContextId> = seq.of_subject(&kind, subject).map(|(id, _)| id).collect();
+            let b: Vec<ContextId> = batched
+                .of_subject(&kind, subject)
+                .map(|(id, _)| id)
+                .collect();
+            assert_eq!(s, b, "subject {subject}");
+        }
+    }
+
+    #[test]
+    fn insert_batch_merges_across_existing_entries() {
+        // A batch whose stamps interleave with pre-existing entries
+        // exercises the head/tail merge, not just the tail sort.
+        let mut seq = ContextPool::new();
+        let mut batched = ContextPool::new();
+        for c in [loc("p", 5), loc("p", 20), loc("q", 9)] {
+            seq.insert(c.clone());
+            batched.insert(c);
+        }
+        let late = vec![loc("p", 1), loc("p", 12), loc("q", 3), loc("p", 30)];
+        for c in late.clone() {
+            seq.insert(c);
+        }
+        batched.insert_batch(late);
+        let kind = ContextKind::new("location");
+        assert_eq!(
+            seq.of_kind(&kind).map(|(id, _)| id).collect::<Vec<_>>(),
+            batched.of_kind(&kind).map(|(id, _)| id).collect::<Vec<_>>()
+        );
+        for subject in ["p", "q"] {
+            assert_eq!(
+                seq.of_subject(&kind, subject)
+                    .map(|(id, _)| id)
+                    .collect::<Vec<_>>(),
+                batched
+                    .of_subject(&kind, subject)
+                    .map(|(id, _)| id)
+                    .collect::<Vec<_>>(),
+                "subject {subject}"
+            );
+        }
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub struct BenchRecord {
     pub contexts_per_sec: f64,
     /// Sharded vs global-mutex speedup.
     pub speedup_vs_mutex: f64,
+    /// Fused batch checking vs the sequential per-submit path, as a
+    /// median of paired per-rep ratios (unfused seconds / fused
+    /// seconds) on otherwise identical engines. `None` for rows
+    /// written before batch fusion existed, for benches that do not
+    /// measure it, and for the `city_unfused` control series itself.
+    pub fused_speedup: Option<f64>,
     /// Passive cost of a *disabled* registry, percent vs unobserved.
     pub obs_overhead_pct: f64,
     /// Cost of full event tracing, percent vs unobserved.
@@ -464,6 +470,7 @@ mod tests {
             contexts: 320,
             contexts_per_sec,
             speedup_vs_mutex: 2.0,
+            fused_speedup: Some(2.1),
             obs_overhead_pct: 0.5,
             obs_enabled_overhead_pct: 8.0,
             obs_export_overhead_pct: 1.0,
@@ -696,6 +703,18 @@ mod tests {
         let row: BenchRecord = serde_json::from_str(&stripped).unwrap();
         assert_eq!(row.obs_profile_overhead_pct, None);
         assert_eq!(row.phase_shares, None);
+        assert!(!evaluate(&row, &[], &Thresholds::default()).is_failure());
+    }
+
+    #[test]
+    fn rows_predating_batch_fusion_still_load() {
+        // Rows appended before fused batch checking existed carry no
+        // `fused_speedup`; they must parse as None and pass the gate.
+        let line = serde_json::to_string(&record(1000.0)).unwrap();
+        let stripped = line.replace(",\"fused_speedup\":2.1", "");
+        assert_ne!(line, stripped, "fixture must actually drop the field");
+        let row: BenchRecord = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(row.fused_speedup, None);
         assert!(!evaluate(&row, &[], &Thresholds::default()).is_failure());
     }
 

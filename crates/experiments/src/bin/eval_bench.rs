@@ -407,6 +407,7 @@ fn main() {
             // compiled+cache-vs-naive speedup (there is no mutex
             // baseline in this bench).
             speedup_vs_mutex: r.speedup_cached_vs_naive,
+            fused_speedup: None,
             // This bench runs no observability registry; zero keeps the
             // absolute overhead gate trivially satisfied for eval rows.
             obs_overhead_pct: 0.0,

@@ -129,9 +129,20 @@ fn sit_hit_pct(evals: f64, skips: f64) -> String {
     }
 }
 
+/// Predicate-memo hit rate over the sample window: the share of
+/// predicate probes the fused batch path answered from the memo table
+/// (`-` when the window ran no fused batches).
+fn memo_hit_pct(hits: f64, misses: f64) -> String {
+    if hits + misses <= 0.0 {
+        "-".to_owned()
+    } else {
+        format!("{:.0}%", hits / (hits + misses) * 100.0)
+    }
+}
+
 fn shard_row(label: &str, r: &ctxres_obs::ShardRates) -> String {
     format!(
-        "{:<9} {:>8}  {:>9}  {:>9}  {:>8}  {:>7}  {:>7}  {:>8}  {:>7}  {:>11}\n",
+        "{:<9} {:>8}  {:>9}  {:>9}  {:>8}  {:>7}  {:>8}  {:>7}  {:>8}  {:>7}  {:>11}\n",
         label,
         fmt_rate(r.rate(CounterKind::Ingested)),
         fmt_rate(r.rate(CounterKind::Deliveries)),
@@ -140,6 +151,10 @@ fn shard_row(label: &str, r: &ctxres_obs::ShardRates) -> String {
         sit_hit_pct(
             r.rate(CounterKind::SituationEvals),
             r.rate(CounterKind::SituationCacheSkips),
+        ),
+        memo_hit_pct(
+            r.rate(CounterKind::PredMemoHits),
+            r.rate(CounterKind::PredMemoMisses),
         ),
         fmt_rate(r.rate(CounterKind::CompiledEvals)),
         r.events_buffered,
@@ -156,7 +171,7 @@ fn render(sample: &Sample, frame: u64, source: &str) -> String {
         if sample.first { " (baseline)" } else { "" },
     ));
     let header =
-        "shard     ingest/s  deliver/s  discard/s  detect/s  sit-hit  ceval/s  buffered  dropped  p95 chk(µs)\n";
+        "shard     ingest/s  deliver/s  discard/s  detect/s  sit-hit  memo-hit  ceval/s  buffered  dropped  p95 chk(µs)\n";
     let divider = format!("{}\n", "-".repeat(header.len() - 1));
     out.push_str(header);
     out.push_str(&divider);
@@ -168,7 +183,8 @@ fn render(sample: &Sample, frame: u64, source: &str) -> String {
     let agg = sample.snapshot.aggregate();
     out.push_str(&format!(
         "\ncumulative: {} ingested, {} delivered, {} discarded, {} detections, \
-         {} situation evals ({} cache-skipped), {} compiled evals\n",
+         {} situation evals ({} cache-skipped), {} compiled evals, \
+         {} fused batches ({} memo hits / {} misses)\n",
         agg.counter(CounterKind::Ingested),
         agg.counter(CounterKind::Deliveries),
         agg.counter(CounterKind::Discards),
@@ -176,6 +192,9 @@ fn render(sample: &Sample, frame: u64, source: &str) -> String {
         agg.counter(CounterKind::SituationEvals),
         agg.counter(CounterKind::SituationCacheSkips),
         agg.counter(CounterKind::CompiledEvals),
+        agg.counter(CounterKind::FusedBatchEvals),
+        agg.counter(CounterKind::PredMemoHits),
+        agg.counter(CounterKind::PredMemoMisses),
     ));
     if let Some(health) = &sample.health {
         out.push_str(&render_health(health));

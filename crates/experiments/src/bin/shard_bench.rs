@@ -129,6 +129,7 @@ impl Timed {
 /// instead of biasing whichever one happened to run during the slow
 /// minute — the overhead percentages are comparisons of these numbers,
 /// so block-ordered timing turns drift straight into phantom overhead.
+#[allow(clippy::type_complexity)]
 fn time_interleaved(
     configs: &mut [(&str, Box<dyn FnMut() -> u64 + '_>)],
     results: &mut [Timed],
@@ -519,6 +520,9 @@ fn main() {
         contexts: n,
         contexts_per_sec: round1(contexts_per_sec),
         speedup_vs_mutex: round2(speedup),
+        // Batch fusion is measured by city_bench, whose workload is the
+        // regime it targets; this series leaves the field empty.
+        fused_speedup: None,
         obs_overhead_pct: round2(obs_overhead_pct),
         obs_enabled_overhead_pct: round2(obs_enabled_overhead_pct),
         obs_export_overhead_pct: round2(obs_export_overhead_pct),

@@ -97,6 +97,7 @@ fn discarded_chains(registry: &ctxres_obs::ObsRegistry) -> Vec<String> {
 }
 
 /// One sharded run; `ingest` performs the actual submission.
+#[allow(clippy::type_complexity)]
 fn sharded_run(
     strategy: &str,
     seed: u64,
@@ -135,7 +136,7 @@ fn sharded_run(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// `Middleware::batch_add` produces the identical verdict stream to
     /// one-at-a-time submission: same per-context reports, stats, use

@@ -74,7 +74,7 @@ fn apps() -> Vec<Box<dyn PervasiveApp>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Cache on and cache off agree bit-for-bit on every metric, across
     /// randomized `(err_rate, seed, len)` cells, all four strategies,

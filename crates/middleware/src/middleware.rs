@@ -5,7 +5,8 @@ use crate::situation::{RoundCounters, SituationEngine};
 use crate::stats::MiddlewareStats;
 use crate::subscription::{SubscriptionFilter, SubscriptionId, SubscriptionTable};
 use ctxres_constraint::{
-    Constraint, ConstraintSet, IncrementalChecker, KindPlan, PredicateRegistry,
+    Constraint, ConstraintSet, Detection, EvalError, EvalScratch, IncrementalChecker, KindPlan,
+    PlanCounts, PredMemo, PredicateRegistry,
 };
 use ctxres_context::{
     Context, ContextId, ContextKind, ContextPool, ContextState, LogicalTime, Ticks, TruthTag,
@@ -14,6 +15,18 @@ use ctxres_core::{Inconsistency, ResolutionStrategy};
 use ctxres_obs::{CauseKind, CounterKind, KindHandle, MetricKind, Phase, ShardObs, TraceEvent};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
+
+/// Relevant positions a fused batch needs before speculative checking
+/// fans out to worker threads; below this the scope spawn/join overhead
+/// outweighs the parallelism.
+const FUSED_PARALLEL_MIN: usize = 64;
+
+/// Upper bound on speculative-checking workers per shard engine. The
+/// sharded front-end already runs one ingest thread per shard, so a
+/// small intra-shard factor covers a hot shard without oversubscribing
+/// the host.
+const FUSED_MAX_WORKERS: usize = 4;
 
 /// Tunables of a middleware instance.
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +121,25 @@ pub struct Middleware {
     /// its kind must be re-dirtied when the clock passes that instant.
     expiry_queue: BTreeMap<LogicalTime, Vec<ContextKind>>,
     gt_expiry_queue: BTreeMap<LogicalTime, Vec<ContextKind>>,
+    /// Whether `batch_add` may take the fused path (set-pinned batch
+    /// checking, deferred index maintenance, speculative subject-group
+    /// parallelism) when the deployed constraints support it.
+    fused: bool,
+    /// Doom notes for the fused path: the first instant at which a
+    /// retention sweep *could* remove each context (its stamp and
+    /// deadline — or discard instant — aged past the horizon). The
+    /// fused path pops due notes instead of running the O(slots)
+    /// [`ContextPool::compact`] scan per position; because the compact
+    /// predicate is monotone in the horizon, popping at the note's
+    /// instant removes each context at exactly the position a
+    /// per-submit sweep would have.
+    doom_queue: BTreeMap<LogicalTime, Vec<ContextId>>,
+    gt_doom_queue: BTreeMap<LogicalTime, Vec<ContextId>>,
+    /// Live only inside a fused batch: subjects touched by a discard
+    /// since the batch's speculation pass. A position whose subject is
+    /// in here re-checks inline at commit instead of consuming its
+    /// (possibly stale) speculative verdict.
+    fused_dirty_subjects: Option<HashSet<Arc<str>>>,
     /// Checker compiled-eval count already forwarded to `obs`.
     reported_compiled_evals: u64,
     /// Violations seen per still-undecided context, for the chain-depth
@@ -250,11 +282,18 @@ impl Middleware {
     /// checking work: the batch is grouped by kind up front, each
     /// distinct kind's [`KindPlan`] (relevance + pinned-quantifier
     /// positions) is built once, and every context of the kind is
-    /// checked through that plan. The verdict stream — reports,
-    /// discards, provenance, situation rounds — is identical to
-    /// submitting the contexts one at a time (enforced by the
-    /// batch-equivalence proptests).
+    /// checked through that plan. When the deployed constraints all
+    /// compile into the per-subject universal-positive fragment (and
+    /// fusion wasn't disabled via [`MiddlewareBuilder::fused`] /
+    /// `CTXRES_FUSED`), the batch itself becomes the unit of work — see
+    /// [`Middleware::batch_add_fused`]. Either way the verdict stream —
+    /// reports, discards, provenance, situation rounds — is identical
+    /// to submitting the contexts one at a time (enforced by the
+    /// batch- and fused-equivalence proptests).
     pub fn batch_add(&mut self, batch: Vec<Context>) -> Vec<SubmitReport> {
+        if self.fused && !batch.is_empty() && self.checker.supports_batch_fusion() {
+            return self.batch_add_fused(batch);
+        }
         // The profiler root for the whole ingest pipeline: checking,
         // resolution, situation rounds and health publishing nest under
         // it, so its self time is the batch bookkeeping proper.
@@ -277,6 +316,557 @@ impl Middleware {
         reports
     }
 
+    /// The fused batch path: the batch is the unit of work.
+    ///
+    /// 1. **Staging.** Every context enters the arena up front through
+    ///    [`ContextPool::insert_batch`], which appends to each touched
+    ///    kind×subject index bucket and restores the bucket's
+    ///    `(stamp, id)` order once per batch instead of per insert.
+    /// 2. **Speculation.** Relevant positions are grouped by subject —
+    ///    the per-subject scope proof carried by every compiled
+    ///    constraint makes disjoint-subject checks independent — and
+    ///    checked against the staged pool, on worker threads when the
+    ///    batch is large enough. Capping every quantifier domain at the
+    ///    position's own id reproduces exactly the pool a sequential
+    ///    submission would have seen: ids are monotone and buckets are
+    ///    `(stamp, id)`-sorted, so the cap selects the sequential
+    ///    prefix. Workers share a per-batch predicate memo; a group
+    ///    stops speculating past its first predicted violation, since
+    ///    the strategy may then discard.
+    /// 3. **Commit.** Positions replay in arrival order with the full
+    ///    per-submit protocol (events, counters, provenance, strategy
+    ///    calls, buffer drains, situation rounds). A position consumes
+    ///    its speculative verdict unless a discard has touched its
+    ///    subject since speculation — then it re-checks inline, seeing
+    ///    the post-discard pool exactly as the sequential path would.
+    ///    Discards are the only commit effects that can change a check:
+    ///    deliveries and bad-marks keep contexts in the quantifier
+    ///    domains, and expiry is a pure function of the position clock.
+    ///
+    /// Retention compaction is driven by the doom-note queues instead
+    /// of a per-position pool scan; the notes record the first instant
+    /// the compact predicate can hold, so removals land at the same
+    /// positions. The verdict stream is identical to the sequential
+    /// path; only the arena slot-allocation order (and therefore the
+    /// free-slot/recycle *gauges*) can differ, because the whole batch
+    /// claims slots before, not between, retention sweeps.
+    fn batch_add_fused(&mut self, batch: Vec<Context>) -> Vec<SubmitReport> {
+        struct Pos {
+            id: ContextId,
+            now: LogicalTime,
+            plan: usize,
+            relevant: bool,
+            subject: Arc<str>,
+        }
+        struct Spec {
+            result: Result<Vec<Detection>, EvalError>,
+            counts: PlanCounts,
+        }
+
+        let obs = self.obs.clone();
+        let _ingest_phase = obs.phase(Phase::Ingest);
+
+        // One plan per distinct kind; positions refer to it by index so
+        // the commit loop does no per-context kind clone or map lookup.
+        let mut plan_ix: HashMap<ContextKind, usize> = HashMap::new();
+        let mut plans: Vec<KindPlan> = Vec::new();
+        let mut sim_clock = self.clock;
+        let mut meta: Vec<Pos> = Vec::with_capacity(batch.len());
+        for ctx in &batch {
+            let plan = match plan_ix.get(ctx.kind()) {
+                Some(&i) => i,
+                None => {
+                    let i = plans.len();
+                    plans.push(self.checker.plan_for(ctx.kind()));
+                    plan_ix.insert(ctx.kind().clone(), i);
+                    i
+                }
+            };
+            // The prefix-max of stamps is the logical clock each
+            // position will commit under.
+            if ctx.stamp() > sim_clock {
+                sim_clock = ctx.stamp();
+            }
+            meta.push(Pos {
+                id: ContextId::from_raw(0), // assigned by staging below
+                now: sim_clock,
+                plan,
+                relevant: plans[plan].is_relevant(),
+                subject: Arc::clone(ctx.subject_arc()),
+            });
+        }
+
+        {
+            // Deferred index maintenance: stage the whole batch, one
+            // bucket repair per touched kind×subject index.
+            let maint_obs = self.obs.clone();
+            let _maint_phase = maint_obs.phase(Phase::IndexMaint);
+            for (pos, id) in meta.iter_mut().zip(self.pool.insert_batch(batch)) {
+                pos.id = id;
+            }
+        }
+
+        // Disjoint-footprint subject groups over the relevant
+        // positions, in first-appearance order.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        {
+            let mut by_subject: HashMap<&Arc<str>, usize> = HashMap::new();
+            for (k, pos) in meta.iter().enumerate() {
+                if !pos.relevant {
+                    continue;
+                }
+                match by_subject.get(&pos.subject) {
+                    Some(&g) => groups[g].push(k),
+                    None => {
+                        by_subject.insert(&pos.subject, groups.len());
+                        groups.push(vec![k]);
+                    }
+                }
+            }
+        }
+
+        // Speculative checking. Workers share the staged pool
+        // read-only; each keeps its own scratch and predicate memo, and
+        // the memos fold into the commit memo afterwards.
+        let relevant_total: usize = groups.iter().map(Vec::len).sum();
+        let mut specs: Vec<Option<Spec>> = Vec::new();
+        specs.resize_with(meta.len(), || None);
+        let mut memo = PredMemo::new();
+        if relevant_total > 0 {
+            let check_obs = self.obs.clone();
+            let check_phase = check_obs.phase(Phase::ConstraintCheck);
+            let pool = &self.pool;
+            let registry = &self.registry;
+            let checker = &self.checker;
+            let plans_ref = &plans;
+            let meta_ref = &meta;
+            let groups_ref = &groups;
+            let run_worker = |offset: usize, step: usize| -> (Vec<(usize, Spec)>, PredMemo) {
+                let mut scratch = EvalScratch::new();
+                let mut memo = PredMemo::new();
+                let mut out = Vec::new();
+                for group in groups_ref.iter().skip(offset).step_by(step) {
+                    for &k in group {
+                        let pos = &meta_ref[k];
+                        let (result, counts) = checker.check_with_plan(
+                            &plans_ref[pos.plan],
+                            registry,
+                            pool,
+                            pos.now,
+                            pos.id,
+                            pos.id,
+                            &mut scratch,
+                            &mut memo,
+                        );
+                        let predicted_fresh = matches!(&result, Ok(ds) if !ds.is_empty());
+                        out.push((k, Spec { result, counts }));
+                        if predicted_fresh {
+                            break;
+                        }
+                    }
+                }
+                (out, memo)
+            };
+            let workers = if relevant_total >= FUSED_PARALLEL_MIN {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(FUSED_MAX_WORKERS)
+                    .min(groups.len())
+            } else {
+                1
+            };
+            let produced: Vec<(Vec<(usize, Spec)>, PredMemo)> = if workers <= 1 {
+                vec![run_worker(0, 1)]
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| scope.spawn(move || run_worker(w, workers)))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            };
+            for (partial, worker_memo) in produced {
+                memo.absorb(worker_memo);
+                for (k, spec) in partial {
+                    specs[k] = Some(spec);
+                }
+            }
+            check_phase.finish();
+        }
+
+        // Commit: replay every position in arrival order.
+        self.fused_dirty_subjects = Some(HashSet::new());
+        let mut commit_scratch = EvalScratch::new();
+        let mut reports = Vec::with_capacity(meta.len());
+        for k in 0..meta.len() {
+            let Pos {
+                id,
+                now,
+                plan,
+                relevant,
+                ref subject,
+            } = meta[k];
+            if now > self.clock {
+                self.clock = now;
+            }
+            self.process_due_fused(now);
+
+            let (stamp, kind, expires, gt_clone) = {
+                let ctx = self
+                    .pool
+                    .get(id)
+                    .expect("staged contexts stay pooled until their commit position");
+                (
+                    ctx.stamp(),
+                    ctx.kind().clone(),
+                    ctx.lifespan().expires_at(),
+                    (self.config.track_ground_truth && ctx.truth() == TruthTag::Expected)
+                        .then(|| ctx.clone()),
+                )
+            };
+            self.schedule_expiry_doom(id, stamp, expires);
+            self.mark_dirty_kind(&kind);
+            if let Some(at) = expires {
+                self.schedule_expiry(at, &kind);
+            }
+            self.stats.received += 1;
+            self.obs.count(CounterKind::Ingested, 1);
+            if self.obs.health_enabled() {
+                self.kind_cell(&kind).ingested(1);
+            }
+            if self.obs.is_enabled() {
+                self.obs.record(
+                    now,
+                    TraceEvent::Received {
+                        ctx: id,
+                        kind: Arc::clone(kind.name_arc()),
+                        subject: Arc::clone(subject),
+                    },
+                );
+            }
+            if self.obs.provenance_enabled() {
+                let obs = self.obs.clone();
+                let _prov_phase = obs.phase(Phase::ProvenanceEmit);
+                self.obs.record(
+                    now,
+                    TraceEvent::Caused {
+                        ctx: id,
+                        cause: CauseKind::SubmissionOf,
+                        constraint: None,
+                        partners: Vec::new(),
+                        count: None,
+                        verdict: None,
+                    },
+                );
+                self.obs.count(CounterKind::ProvEdges, 1);
+                self.obs.count(CounterKind::ProvNodes, 1);
+            }
+            if let Some(clone) = gt_clone {
+                let gid = self.gt_pool.insert(clone);
+                self.schedule_gt_expiry_doom(gid, stamp, expires);
+                self.gt_buffer.push_back((now + self.config.window, gid));
+                self.mark_gt_dirty_kind(&kind);
+                if let Some(at) = expires {
+                    self.schedule_gt_expiry(at, &kind);
+                }
+            }
+
+            if !relevant {
+                self.stats.irrelevant += 1;
+                let _ = self.pool.set_state(id, ContextState::Consistent);
+                self.obs.record(
+                    now,
+                    TraceEvent::StateChanged {
+                        ctx: id,
+                        from: ContextState::Undecided,
+                        to: ContextState::Consistent,
+                    },
+                );
+                if self.obs.provenance_enabled() {
+                    self.obs.record(
+                        now,
+                        TraceEvent::Caused {
+                            ctx: id,
+                            cause: CauseKind::ResolvedBecause,
+                            constraint: None,
+                            partners: Vec::new(),
+                            count: None,
+                            verdict: Some(ContextState::Consistent),
+                        },
+                    );
+                    self.obs.count(CounterKind::ProvEdges, 1);
+                }
+                self.buffer.push_back((now + self.config.window, id));
+                self.obs
+                    .observe(MetricKind::QueueDepth, self.buffer.len() as u64);
+                self.dirty = true;
+                self.process_due_fused(now);
+                self.evaluate_situations_if_dirty(now);
+                let report = SubmitReport {
+                    id,
+                    fresh: 0,
+                    discarded: Vec::new(),
+                    irrelevant: true,
+                };
+                self.notify(|obs, mw| {
+                    if let Some(ctx) = mw.pool.get(id) {
+                        obs.on_submitted(&report, ctx);
+                    }
+                });
+                reports.push(report);
+                continue;
+            }
+
+            let check_span = self.obs.span(MetricKind::CheckLatency);
+            let check_obs = self.obs.clone();
+            let check_phase = check_obs.phase(Phase::ConstraintCheck);
+            let clean = self
+                .fused_dirty_subjects
+                .as_ref()
+                .is_none_or(|d| !d.contains(subject));
+            let (checked, counts) = match specs[k].take().filter(|_| clean) {
+                Some(spec) => (spec.result, spec.counts),
+                // No (valid) speculative verdict — check inline at the
+                // commit position, where the pool differs from the
+                // sequential one only by contexts the live/state/id
+                // filters exclude anyway.
+                None => self.checker.check_with_plan(
+                    &plans[plan],
+                    &self.registry,
+                    &self.pool,
+                    now,
+                    id,
+                    id,
+                    &mut commit_scratch,
+                    &mut memo,
+                ),
+            };
+            self.checker.absorb_batch_counts(counts);
+            let fresh: Vec<Inconsistency> = match checked {
+                Ok(ds) => ds
+                    .into_iter()
+                    .map(|d| Inconsistency::new(&d.constraint, d.link, now))
+                    .collect(),
+                Err(_) => {
+                    self.stats.eval_errors += 1;
+                    Vec::new()
+                }
+            };
+            check_phase.finish();
+            check_span.finish();
+            let compiled_delta = self.checker.stats().compiled_evals - self.reported_compiled_evals;
+            if compiled_delta > 0 {
+                self.obs.count(CounterKind::CompiledEvals, compiled_delta);
+                self.reported_compiled_evals += compiled_delta;
+            }
+            self.stats.inconsistencies += fresh.len() as u64;
+            if self.obs.is_enabled() {
+                for inc in &fresh {
+                    self.obs.record(
+                        now,
+                        TraceEvent::Detected {
+                            constraint: inc.constraint().to_string(),
+                            contexts: inc.contexts().iter().copied().collect(),
+                        },
+                    );
+                }
+                self.obs.count(CounterKind::Detections, fresh.len() as u64);
+                if !fresh.is_empty() && self.obs.health_enabled() {
+                    self.kind_cell(&kind).violations(fresh.len() as u64);
+                }
+                if self.obs.provenance_enabled() {
+                    let obs = self.obs.clone();
+                    let _prov_phase = obs.phase(Phase::ProvenanceEmit);
+                    let mut edges = 0u64;
+                    for inc in &fresh {
+                        let members: Vec<ContextId> = inc.contexts().iter().copied().collect();
+                        for &c in &members {
+                            let partners: Vec<ContextId> =
+                                members.iter().copied().filter(|p| *p != c).collect();
+                            self.obs.record(
+                                now,
+                                TraceEvent::Caused {
+                                    ctx: c,
+                                    cause: CauseKind::ViolatedBy,
+                                    constraint: Some(inc.constraint().to_string()),
+                                    partners,
+                                    count: None,
+                                    verdict: None,
+                                },
+                            );
+                            *self.prov_violations.entry(c).or_insert(0) += 1;
+                            edges += 1;
+                        }
+                    }
+                    self.obs.count(CounterKind::ProvEdges, edges);
+                }
+            }
+            self.detections.extend(fresh.iter().cloned());
+
+            let resolve_span = self.obs.span(MetricKind::ResolveLatency);
+            let resolve_obs = self.obs.clone();
+            let resolve_phase = resolve_obs.phase(Phase::Resolution);
+            let outcome = self.strategy.on_addition(&mut self.pool, now, id, &fresh);
+            resolve_phase.finish();
+            resolve_span.finish();
+            for did in &outcome.discarded {
+                let cause = fresh
+                    .iter()
+                    .find(|inc| inc.contexts().iter().any(|c| c == did))
+                    .cloned();
+                self.count_discard(*did, now, ContextState::Undecided, cause.as_ref());
+            }
+            if outcome.accepted {
+                self.buffer.push_back((now + self.config.window, id));
+                self.obs
+                    .observe(MetricKind::QueueDepth, self.buffer.len() as u64);
+            }
+            self.dirty = true;
+            self.process_due_fused(now);
+            self.evaluate_situations_if_dirty(now);
+            let report = SubmitReport {
+                id,
+                fresh: fresh.len(),
+                discarded: outcome.discarded,
+                irrelevant: false,
+            };
+            self.notify(|obs, mw| {
+                if !fresh.is_empty() {
+                    obs.on_detections(&fresh);
+                }
+                if let Some(ctx) = mw.pool.get(id) {
+                    obs.on_submitted(&report, ctx);
+                }
+            });
+            reports.push(report);
+        }
+        self.fused_dirty_subjects = None;
+        if memo.hits() > 0 {
+            self.obs.count(CounterKind::PredMemoHits, memo.hits());
+        }
+        if memo.misses() > 0 {
+            self.obs.count(CounterKind::PredMemoMisses, memo.misses());
+        }
+        self.obs.count(CounterKind::FusedBatchEvals, 1);
+        self.publish_health();
+        reports
+    }
+
+    /// Notes when `id` first becomes eligible for retention compaction
+    /// through its lifespan: the first instant whose horizon is past
+    /// both the stamp and the expiry deadline. No-op without retention
+    /// or for immortal contexts — those can only doom via a discard
+    /// note from [`Middleware::count_discard`].
+    fn schedule_expiry_doom(
+        &mut self,
+        id: ContextId,
+        stamp: LogicalTime,
+        expires: Option<LogicalTime>,
+    ) {
+        if !self.fused {
+            return;
+        }
+        if let (Some(retention), Some(deadline)) = (self.config.retention, expires) {
+            let due = LogicalTime::new((stamp.tick() + 1).max(deadline.tick()) + retention.count());
+            self.doom_queue.entry(due).or_default().push(id);
+        }
+    }
+
+    /// [`Middleware::schedule_expiry_doom`] for the ground-truth shadow
+    /// pool (whose compaction is uncounted, as in the sequential path).
+    fn schedule_gt_expiry_doom(
+        &mut self,
+        gid: ContextId,
+        stamp: LogicalTime,
+        expires: Option<LogicalTime>,
+    ) {
+        if !self.fused {
+            return;
+        }
+        if let (Some(retention), Some(deadline)) = (self.config.retention, expires) {
+            let due = LogicalTime::new((stamp.tick() + 1).max(deadline.tick()) + retention.count());
+            self.gt_doom_queue.entry(due).or_default().push(gid);
+        }
+    }
+
+    /// Notes when a just-discarded context becomes compactable: its
+    /// stamp aged past the horizon (the `Inconsistent` arm of the
+    /// compact predicate, which is absorbing).
+    fn schedule_discard_doom(&mut self, id: ContextId, stamp: LogicalTime) {
+        if !self.fused {
+            return;
+        }
+        if let Some(retention) = self.config.retention {
+            let due = LogicalTime::new(stamp.tick() + 1 + retention.count());
+            self.doom_queue.entry(due).or_default().push(id);
+        }
+    }
+
+    /// [`Middleware::process_due`] for the fused path: instead of an
+    /// O(slots) [`ContextPool::compact`] scan per position, due doom
+    /// notes are popped — each context leaves the arena at exactly the
+    /// position a per-submit scan would have removed it, because a
+    /// note's instant is the first time the (monotone) compact
+    /// predicate can hold for its context.
+    fn process_due_fused(&mut self, now: LogicalTime) {
+        // Fast path: the commit loop calls this at every batch
+        // position, and almost none of them have maintenance due.
+        // When no doom note, buffered context, or ground-truth window
+        // has come due, the body below is a pure no-op — skip it
+        // before paying the registry clone and phase guard.
+        let nothing_due = self
+            .doom_queue
+            .first_key_value()
+            .is_none_or(|(due, _)| *due > now)
+            && self
+                .gt_doom_queue
+                .first_key_value()
+                .is_none_or(|(due, _)| *due > now)
+            && self.buffer.front().is_none_or(|(due, _)| *due > now)
+            && self.gt_buffer.front().is_none_or(|(due, _)| *due > now);
+        if nothing_due {
+            return;
+        }
+        let obs = self.obs.clone();
+        let _maint_phase = obs.phase(Phase::IndexMaint);
+        if let Some(retention) = self.config.retention {
+            if now.tick() > retention.count() {
+                let horizon = LogicalTime::new(now.tick() - retention.count());
+                while let Some(entry) = self.doom_queue.first_entry() {
+                    if *entry.key() > now {
+                        break;
+                    }
+                    for id in entry.remove() {
+                        let doomed = self.pool.get(id).is_some_and(|c| {
+                            c.stamp() < horizon
+                                && (c.state() == ContextState::Inconsistent || !c.is_live(horizon))
+                        });
+                        if doomed {
+                            self.pool.remove(id);
+                            self.stats.compacted += 1;
+                        }
+                    }
+                }
+                while let Some(entry) = self.gt_doom_queue.first_entry() {
+                    if *entry.key() > now {
+                        break;
+                    }
+                    for gid in entry.remove() {
+                        let doomed = self.gt_pool.get(gid).is_some_and(|c| {
+                            c.stamp() < horizon
+                                && (c.state() == ContextState::Inconsistent || !c.is_live(horizon))
+                        });
+                        if doomed {
+                            self.gt_pool.remove(gid);
+                        }
+                    }
+                }
+            }
+        }
+        self.drain_due_buffers(now);
+    }
+
     fn submit_with_plan(&mut self, ctx: Context, plan: Option<&KindPlan>) -> SubmitReport {
         let stamp = ctx.stamp();
         if stamp > self.clock {
@@ -288,10 +878,11 @@ impl Middleware {
         let truth = ctx.truth();
         let kind = ctx.kind().clone();
         let expires = ctx.lifespan().expires_at();
-        let subject = self.obs.is_enabled().then(|| ctx.subject().to_string());
+        let subject = self.obs.is_enabled().then(|| Arc::clone(ctx.subject_arc()));
         let gt_clone =
             (self.config.track_ground_truth && truth == TruthTag::Expected).then(|| ctx.clone());
         let id = self.pool.insert(ctx);
+        self.schedule_expiry_doom(id, stamp, expires);
         self.mark_dirty_kind(&kind);
         if let Some(at) = expires {
             self.schedule_expiry(at, &kind);
@@ -306,7 +897,7 @@ impl Middleware {
                 now,
                 TraceEvent::Received {
                     ctx: id,
-                    kind: kind.name().to_string(),
+                    kind: Arc::clone(kind.name_arc()),
                     subject,
                 },
             );
@@ -337,6 +928,7 @@ impl Middleware {
             // not buffering latency. The schedule is independent of what
             // the plugged-in strategy discards.
             let gid = self.gt_pool.insert(clone);
+            self.schedule_gt_expiry_doom(gid, stamp, expires);
             self.gt_buffer.push_back((now + self.config.window, gid));
             self.mark_gt_dirty_kind(&kind);
             if let Some(at) = expires {
@@ -542,7 +1134,13 @@ impl Middleware {
         for ctx in ctxs {
             let kind = ctx.kind().clone();
             let expires = ctx.lifespan().expires_at();
-            self.pool.insert(ctx);
+            let stamp = ctx.stamp();
+            let discarded = ctx.state() == ContextState::Inconsistent;
+            let id = self.pool.insert(ctx);
+            self.schedule_expiry_doom(id, stamp, expires);
+            if discarded {
+                self.schedule_discard_doom(id, stamp);
+            }
             self.mark_dirty_kind(&kind);
             if let Some(at) = expires {
                 self.schedule_expiry(at, &kind);
@@ -605,8 +1203,21 @@ impl Middleware {
                 let horizon = LogicalTime::new(now.tick() - retention.count());
                 self.stats.compacted += self.pool.compact(horizon) as u64;
                 self.gt_pool.compact(horizon);
+                // The full scan removed everything a due doom note
+                // could name; drop the stale notes so runs that mix
+                // per-context submits with fused batches stay bounded.
+                prune_doom_notes(&mut self.doom_queue, now);
+                prune_doom_notes(&mut self.gt_doom_queue, now);
             }
         }
+        self.drain_due_buffers(now);
+    }
+
+    /// The deadline-queue drains shared by [`Middleware::process_due`]
+    /// and [`Middleware::process_due_fused`]: ground-truth contexts
+    /// whose window elapsed join the shadow available view, and
+    /// buffered contexts whose window elapsed are used.
+    fn drain_due_buffers(&mut self, now: LogicalTime) {
         while let Some((due, gid)) = self.gt_buffer.front().copied() {
             if due > now {
                 break;
@@ -795,10 +1406,22 @@ impl Middleware {
         from: ContextState,
         cause: Option<&Inconsistency>,
     ) {
-        if let Some(kind) = self.pool.get(id).map(|c| c.kind().clone()) {
+        if let Some((kind, stamp, subject)) = self
+            .pool
+            .get(id)
+            .map(|c| (c.kind().clone(), c.stamp(), Arc::clone(c.subject_arc())))
+        {
             self.mark_dirty_kind(&kind);
             if self.obs.health_enabled() {
                 self.kind_cell(&kind).discarded(1);
+            }
+            // Every Inconsistent transition funnels through here, so
+            // this is both where a context's compaction instant becomes
+            // known (fused doom note) and where a fused batch learns
+            // its speculative verdicts for this subject are stale.
+            self.schedule_discard_doom(id, stamp);
+            if let Some(dirty) = self.fused_dirty_subjects.as_mut() {
+                dirty.insert(subject);
             }
         }
         self.stats.discarded += 1;
@@ -1003,6 +1626,17 @@ impl Middleware {
     }
 }
 
+/// Drops every doom note due at or before `now` — a full compaction
+/// scan already removed (or rejected) everything those notes name.
+fn prune_doom_notes(queue: &mut BTreeMap<LogicalTime, Vec<ContextId>>, now: LogicalTime) {
+    while let Some(entry) = queue.first_entry() {
+        if *entry.key() > now {
+            break;
+        }
+        entry.remove();
+    }
+}
+
 /// Moves every expiry entry due at or before `now` into the dirty set.
 fn drain_expiries(
     queue: &mut BTreeMap<LogicalTime, Vec<ContextKind>>,
@@ -1033,6 +1667,10 @@ pub struct MiddlewareBuilder {
     /// unset default then falls back to the `CTXRES_SITUATION_CACHE`
     /// environment variable (see [`MiddlewareBuilder::build`]).
     situation_cache: Option<bool>,
+    /// `None` until [`MiddlewareBuilder::fused`] is called; the unset
+    /// default then falls back to the `CTXRES_FUSED` environment
+    /// variable (see [`MiddlewareBuilder::build`]).
+    fused: Option<bool>,
 }
 
 impl fmt::Debug for MiddlewareBuilder {
@@ -1107,6 +1745,25 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// Enables or disables batch-fused checking (default **on**). When
+    /// every deployed constraint compiles into the per-subject
+    /// universal-positive fragment, [`Middleware::batch_add`] then
+    /// stages the whole batch, repairs each index bucket once, drives
+    /// retention compaction from doom notes, and speculatively checks
+    /// disjoint subject groups (in parallel for large batches) — with a
+    /// verdict stream identical to per-context submission. Ineligible
+    /// constraint sets fall back to the sequential path regardless of
+    /// this switch.
+    ///
+    /// When this method is never called, the `CTXRES_FUSED` environment
+    /// variable decides (`0`/`false`/`off` disable; anything else, or
+    /// unset, enables) — the escape hatch CI uses for whole-suite A/B
+    /// equivalence legs.
+    pub fn fused(mut self, enabled: bool) -> Self {
+        self.fused = Some(enabled);
+        self
+    }
+
     /// Builds the middleware.
     ///
     /// # Panics
@@ -1164,6 +1821,15 @@ impl MiddlewareBuilder {
             gt_dirty_kinds: HashSet::new(),
             expiry_queue: BTreeMap::new(),
             gt_expiry_queue: BTreeMap::new(),
+            fused: self.fused.unwrap_or_else(|| {
+                !matches!(
+                    std::env::var("CTXRES_FUSED").as_deref(),
+                    Ok("0") | Ok("false") | Ok("off")
+                )
+            }),
+            doom_queue: BTreeMap::new(),
+            gt_doom_queue: BTreeMap::new(),
+            fused_dirty_subjects: None,
             reported_compiled_evals: 0,
             prov_violations: HashMap::new(),
             matched: 0,
@@ -1838,8 +2504,8 @@ mod retention_tests {
         assert_eq!(stat(Phase::Ingest).calls, 1, "one batch, one root");
         assert_eq!(
             stat(Phase::ConstraintCheck).calls,
-            2,
-            "one check per context"
+            3,
+            "fused path: one speculation pass + one commit check per context"
         );
         assert!(stat(Phase::Resolution).calls >= 2, "on_addition + uses");
         assert!(

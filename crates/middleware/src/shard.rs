@@ -772,7 +772,7 @@ mod tests {
             .iter()
             .filter(|r| {
                 matches!(&r.event, ctxres_obs::TraceEvent::Received { subject, .. }
-                    if subject == "alice")
+                    if subject.as_ref() == "alice")
             })
             .map(|r| r.shard)
             .collect();

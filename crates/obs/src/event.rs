@@ -3,6 +3,7 @@
 use ctxres_context::{ContextId, ContextState};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// The typed relation behind a [`TraceEvent::Caused`] edge — why a
 /// context's life was affected. Together these six relations span the
@@ -73,10 +74,11 @@ pub enum TraceEvent {
     Received {
         /// The id the pool assigned.
         ctx: ContextId,
-        /// The context's kind name.
-        kind: String,
-        /// The context's subject.
-        subject: String,
+        /// The context's kind name. Shared with the pool's interned
+        /// kind so the hot submit path records without allocating.
+        kind: Arc<str>,
+        /// The context's subject, interned the same way.
+        subject: Arc<str>,
     },
     /// A context moved through the Fig. 8 life cycle.
     StateChanged {

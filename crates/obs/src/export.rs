@@ -488,6 +488,24 @@ ctxres_prov_nodes_total{shard=\"1\"} 0
 # TYPE ctxres_prov_nodes_per_sec gauge
 ctxres_prov_nodes_per_sec{shard=\"0\"} 0
 ctxres_prov_nodes_per_sec{shard=\"1\"} 0
+# TYPE ctxres_pred_memo_hits_total counter
+ctxres_pred_memo_hits_total{shard=\"0\"} 0
+ctxres_pred_memo_hits_total{shard=\"1\"} 0
+# TYPE ctxres_pred_memo_hits_per_sec gauge
+ctxres_pred_memo_hits_per_sec{shard=\"0\"} 0
+ctxres_pred_memo_hits_per_sec{shard=\"1\"} 0
+# TYPE ctxres_pred_memo_misses_total counter
+ctxres_pred_memo_misses_total{shard=\"0\"} 0
+ctxres_pred_memo_misses_total{shard=\"1\"} 0
+# TYPE ctxres_pred_memo_misses_per_sec gauge
+ctxres_pred_memo_misses_per_sec{shard=\"0\"} 0
+ctxres_pred_memo_misses_per_sec{shard=\"1\"} 0
+# TYPE ctxres_fused_batch_evals_total counter
+ctxres_fused_batch_evals_total{shard=\"0\"} 0
+ctxres_fused_batch_evals_total{shard=\"1\"} 0
+# TYPE ctxres_fused_batch_evals_per_sec gauge
+ctxres_fused_batch_evals_per_sec{shard=\"0\"} 0
+ctxres_fused_batch_evals_per_sec{shard=\"1\"} 0
 # TYPE ctxres_trace_events_dropped_total counter
 ctxres_trace_events_dropped_total{shard=\"0\"} 0
 ctxres_trace_events_dropped_total{shard=\"1\"} 0

@@ -127,10 +127,20 @@ pub enum CounterKind {
     /// Provenance graph nodes implied by the trace: one per context
     /// whose causal chain opened with a submission edge.
     ProvNodes,
+    /// Predicate evaluations answered from the per-batch memo table on
+    /// the fused checking path.
+    PredMemoHits,
+    /// Memoizable predicate evaluations that had to be computed (and
+    /// were then cached) on the fused checking path.
+    PredMemoMisses,
+    /// Batches ingested through the fused path: set-pinned evaluation,
+    /// deferred index maintenance, and speculative subject-group
+    /// checking.
+    FusedBatchEvals,
 }
 
 /// Every [`CounterKind`], in index order.
-pub const COUNTER_KINDS: [CounterKind; 11] = [
+pub const COUNTER_KINDS: [CounterKind; 14] = [
     CounterKind::EventsRecorded,
     CounterKind::EventsDropped,
     CounterKind::Detections,
@@ -142,6 +152,9 @@ pub const COUNTER_KINDS: [CounterKind; 11] = [
     CounterKind::CompiledEvals,
     CounterKind::ProvEdges,
     CounterKind::ProvNodes,
+    CounterKind::PredMemoHits,
+    CounterKind::PredMemoMisses,
+    CounterKind::FusedBatchEvals,
 ];
 
 impl CounterKind {
@@ -167,6 +180,9 @@ impl CounterKind {
             CounterKind::CompiledEvals => "compiled_evals",
             CounterKind::ProvEdges => "prov_edges",
             CounterKind::ProvNodes => "prov_nodes",
+            CounterKind::PredMemoHits => "pred_memo_hits",
+            CounterKind::PredMemoMisses => "pred_memo_misses",
+            CounterKind::FusedBatchEvals => "fused_batch_evals",
         }
     }
 }

@@ -246,8 +246,8 @@ impl ProvenanceGraph {
                     shard: rec.shard,
                     ctx: *ctx,
                 });
-                node.kind = Some(kind.clone());
-                node.subject = Some(subject.clone());
+                node.kind = Some(kind.to_string());
+                node.subject = Some(subject.to_string());
                 node.received_at = Some(rec.at);
                 node.timeline.push(rec.clone());
             }
