@@ -685,7 +685,7 @@ mod tests {
             );
         }
 
-        let mut fused = checker(guarded);
+        let fused = checker(guarded);
         assert!(fused.supports_batch_fusion());
         let plan = fused.plan_for(&ContextKind::new("location"));
         let mut pool_b = ContextPool::new();

@@ -115,6 +115,38 @@ pub struct BenchRecord {
     /// `None` for rows written before the profiler existed and for
     /// benches that do not measure it.
     pub obs_profile_overhead_pct: Option<f64>,
+    /// Marginal cost of end-to-end tail spans (per-context stamps,
+    /// outcome histograms, exemplar reservoirs, speculation counters)
+    /// over the metrics-only registry, percent, as a median of paired
+    /// reps. Joins the absolute overhead gate. `None` for rows written
+    /// before tail telemetry existed and benches that do not measure
+    /// it.
+    pub obs_tail_overhead_pct: Option<f64>,
+    /// End-to-end p50 latency of the tail-on configuration,
+    /// nanoseconds — reported context for the gated p99 series.
+    /// `None` for pre-tail rows and benches that do not measure it.
+    pub e2e_p50_ns: Option<f64>,
+    /// End-to-end p95 latency of the tail-on configuration,
+    /// nanoseconds — reported context for the gated p99 series.
+    /// `None` for pre-tail rows and benches that do not measure it.
+    pub e2e_p95_ns: Option<f64>,
+    /// End-to-end p99 latency of the tail-on configuration,
+    /// nanoseconds, from the run's folded per-outcome histograms.
+    /// Gated as its own regression series
+    /// ([`Thresholds::e2e_p99_regression_pct`]). `None` for pre-tail
+    /// rows and benches that do not measure it.
+    pub e2e_p99_ns: Option<f64>,
+    /// Share of speculated fused-batch groups whose verdicts were
+    /// consumed rather than wasted on dirty collisions, in `0..=1`. A
+    /// steep drop means speculation stopped paying
+    /// ([`Thresholds::spec_consumed_drop_pp`]). `None` for pre-tail
+    /// rows and benches that do not measure it.
+    pub spec_consumed_rate: Option<f64>,
+    /// Share of speculated fused-batch groups whose verdicts were
+    /// wasted on dirty collisions, in `0..=1` — the gated consumed
+    /// rate's complement, reported for context. `None` for pre-tail
+    /// rows and benches that do not measure it.
+    pub spec_wasted_rate: Option<f64>,
     /// Per-phase self-time shares from the profile-on configuration,
     /// the input to [`attribute_regression`]. `None` for pre-profiler
     /// rows (they still load) and benches that do not profile.
@@ -190,6 +222,14 @@ pub struct Thresholds {
     /// Maximum tolerated observability overhead (passive registry and
     /// live export path each), in percent.
     pub obs_overhead_pct: f64,
+    /// Maximum tolerated growth of the end-to-end p99 latency series
+    /// vs its baseline median, in percent. Looser than the throughput
+    /// gate: a tail quantile inherits both the throughput's noise and
+    /// the histogram's bucket granularity.
+    pub e2e_p99_regression_pct: f64,
+    /// Maximum tolerated drop of the speculation consumed rate vs its
+    /// baseline median, in percentage points.
+    pub spec_consumed_drop_pp: f64,
 }
 
 impl Default for Thresholds {
@@ -197,6 +237,8 @@ impl Default for Thresholds {
         Thresholds {
             regression_pct: 10.0,
             obs_overhead_pct: 3.0,
+            e2e_p99_regression_pct: 25.0,
+            spec_consumed_drop_pp: 20.0,
         }
     }
 }
@@ -243,6 +285,52 @@ pub enum OverheadVerdict {
     },
 }
 
+/// The end-to-end tail series vs its baseline: p99 latency growth and
+/// speculation-efficiency drop, judged together because both come from
+/// the same tail-on bench configuration.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TailVerdict {
+    /// The current run records no tail series (a pre-tail row or a
+    /// bench that does not measure it) — nothing to judge.
+    NotMeasured,
+    /// No prior same-series run carries tail data; this run seeds the
+    /// series and passes.
+    NoBaseline {
+        /// The seeding run's end-to-end p99, nanoseconds.
+        p99_ns: f64,
+    },
+    /// p99 within its threshold and the consumed rate within its drop
+    /// bound.
+    Pass {
+        /// Baseline median end-to-end p99, nanoseconds.
+        baseline_p99_ns: f64,
+        /// p99 change vs baseline, percent (positive = slower).
+        p99_change_pct: f64,
+        /// Consumed-rate drop vs baseline, percentage points (positive
+        /// = less speculation paying off); `None` when either side
+        /// lacks the rate.
+        consumed_drop_pp: Option<f64>,
+        /// Prior runs behind the medians.
+        baseline_runs: usize,
+    },
+    /// p99 grew past the threshold and/or the consumed rate fell past
+    /// its drop bound.
+    Regression {
+        /// Baseline median end-to-end p99, nanoseconds.
+        baseline_p99_ns: f64,
+        /// p99 change vs baseline, percent (positive = slower).
+        p99_change_pct: f64,
+        /// Whether the p99 gate tripped.
+        p99_regressed: bool,
+        /// Consumed-rate drop vs baseline, percentage points.
+        consumed_drop_pp: Option<f64>,
+        /// Whether the speculation-efficiency gate tripped.
+        spec_dropped: bool,
+        /// Prior runs behind the medians.
+        baseline_runs: usize,
+    },
+}
+
 /// The combined verdict `bench_report` prints and CI gates on.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Verdict {
@@ -250,6 +338,8 @@ pub struct Verdict {
     pub throughput: ThroughputVerdict,
     /// Observability-overhead gate.
     pub overhead: OverheadVerdict,
+    /// End-to-end tail latency / speculation-efficiency gate.
+    pub tail: TailVerdict,
 }
 
 impl Verdict {
@@ -257,6 +347,7 @@ impl Verdict {
     pub fn is_failure(&self) -> bool {
         matches!(self.throughput, ThroughputVerdict::Regression { .. })
             || matches!(self.overhead, OverheadVerdict::Exceeded { .. })
+            || matches!(self.tail, TailVerdict::Regression { .. })
     }
 }
 
@@ -319,15 +410,75 @@ pub fn evaluate(current: &BenchRecord, prior: &[BenchRecord], thresholds: &Thres
         .max(current.obs_export_overhead_pct)
         .max(current.obs_prov_overhead_pct.unwrap_or(0.0))
         .max(current.obs_health_overhead_pct.unwrap_or(0.0))
-        .max(current.obs_profile_overhead_pct.unwrap_or(0.0));
+        .max(current.obs_profile_overhead_pct.unwrap_or(0.0))
+        .max(current.obs_tail_overhead_pct.unwrap_or(0.0));
     let overhead = if worst_pct > thresholds.obs_overhead_pct {
         OverheadVerdict::Exceeded { worst_pct }
     } else {
         OverheadVerdict::Pass { worst_pct }
     };
+    let tail = evaluate_tail(current, prior, thresholds);
     Verdict {
         throughput,
         overhead,
+        tail,
+    }
+}
+
+/// The tail leg of [`evaluate`]: the current run's `e2e_p99_ns` and
+/// `spec_consumed_rate` against the medians of the most recent
+/// [`BASELINE_WINDOW`] same-series prior rows that carry them —
+/// pre-tail history rows contribute nothing instead of zeroing the
+/// baseline.
+fn evaluate_tail(
+    current: &BenchRecord,
+    prior: &[BenchRecord],
+    thresholds: &Thresholds,
+) -> TailVerdict {
+    let Some(p99) = current.e2e_p99_ns else {
+        return TailVerdict::NotMeasured;
+    };
+    let mut p99s: Vec<f64> = prior
+        .iter()
+        .rev()
+        .filter(|r| r.same_series(current))
+        .filter_map(|r| r.e2e_p99_ns)
+        .take(BASELINE_WINDOW)
+        .collect();
+    if p99s.is_empty() {
+        return TailVerdict::NoBaseline { p99_ns: p99 };
+    }
+    let baseline_runs = p99s.len();
+    let baseline_p99_ns = median(&mut p99s);
+    let p99_change_pct = (p99 / baseline_p99_ns - 1.0) * 100.0;
+    let p99_regressed = p99_change_pct > thresholds.e2e_p99_regression_pct;
+    let consumed_drop_pp = current.spec_consumed_rate.and_then(|cur| {
+        let mut rates: Vec<f64> = prior
+            .iter()
+            .rev()
+            .filter(|r| r.same_series(current))
+            .filter_map(|r| r.spec_consumed_rate)
+            .take(BASELINE_WINDOW)
+            .collect();
+        (!rates.is_empty()).then(|| (median(&mut rates) - cur) * 100.0)
+    });
+    let spec_dropped = consumed_drop_pp.is_some_and(|d| d > thresholds.spec_consumed_drop_pp);
+    if p99_regressed || spec_dropped {
+        TailVerdict::Regression {
+            baseline_p99_ns,
+            p99_change_pct,
+            p99_regressed,
+            consumed_drop_pp,
+            spec_dropped,
+            baseline_runs,
+        }
+    } else {
+        TailVerdict::Pass {
+            baseline_p99_ns,
+            p99_change_pct,
+            consumed_drop_pp,
+            baseline_runs,
+        }
     }
 }
 
@@ -477,6 +628,12 @@ mod tests {
             obs_prov_overhead_pct: Some(0.8),
             obs_health_overhead_pct: Some(0.6),
             obs_profile_overhead_pct: Some(0.4),
+            obs_tail_overhead_pct: Some(0.7),
+            e2e_p50_ns: Some(200_000.0),
+            e2e_p95_ns: Some(700_000.0),
+            e2e_p99_ns: Some(1_000_000.0),
+            spec_consumed_rate: Some(0.9),
+            spec_wasted_rate: Some(0.05),
             phase_shares: Some(vec![
                 PhaseShare {
                     phase: "ingest".to_owned(),
@@ -638,6 +795,130 @@ mod tests {
         let v = evaluate(&r, &[], &Thresholds::default());
         assert_eq!(v.overhead, OverheadVerdict::Exceeded { worst_pct: 3.4 });
         assert!(v.is_failure());
+    }
+
+    #[test]
+    fn tail_overhead_gate_is_absolute() {
+        let mut r = record(1000.0);
+        r.obs_tail_overhead_pct = Some(3.9);
+        let v = evaluate(&r, &[], &Thresholds::default());
+        assert_eq!(v.overhead, OverheadVerdict::Exceeded { worst_pct: 3.9 });
+        assert!(v.is_failure());
+    }
+
+    #[test]
+    fn synthetic_p99_regression_is_caught_and_quantified() {
+        // The fixture CI exercises: a healthy tail baseline at 1 ms,
+        // then a run whose p99 doubled while throughput stayed put.
+        // The tail gate alone must fail the build and carry the
+        // numbers a report needs to attribute the slide.
+        let prior = [record(1000.0), record(1005.0), record(995.0)];
+        let mut slow = record(1000.0);
+        slow.e2e_p99_ns = Some(2_000_000.0);
+        let v = evaluate(&slow, &prior, &Thresholds::default());
+        assert!(matches!(v.throughput, ThroughputVerdict::Pass { .. }));
+        match v.tail {
+            TailVerdict::Regression {
+                baseline_p99_ns,
+                p99_change_pct,
+                p99_regressed,
+                spec_dropped,
+                baseline_runs,
+                ..
+            } => {
+                assert_eq!(baseline_p99_ns, 1_000_000.0);
+                assert!((p99_change_pct - 100.0).abs() < 1e-9);
+                assert!(p99_regressed);
+                assert!(!spec_dropped);
+                assert_eq!(baseline_runs, 3);
+            }
+            other => panic!("expected tail regression, got {other:?}"),
+        }
+        assert!(v.is_failure());
+    }
+
+    #[test]
+    fn spec_consumed_rate_collapse_fails_the_tail_gate() {
+        // Consumed rate sliding 0.9 → 0.5 (40 points) means nearly
+        // half the speculated verdicts are being thrown away; that is
+        // a speculation regression even when p99 holds.
+        let prior = [record(1000.0), record(1010.0)];
+        let mut wasted = record(1000.0);
+        wasted.spec_consumed_rate = Some(0.5);
+        let v = evaluate(&wasted, &prior, &Thresholds::default());
+        match v.tail {
+            TailVerdict::Regression {
+                p99_regressed,
+                consumed_drop_pp,
+                spec_dropped,
+                ..
+            } => {
+                assert!(!p99_regressed);
+                assert!(spec_dropped);
+                assert!((consumed_drop_pp.unwrap() - 40.0).abs() < 1e-9);
+            }
+            other => panic!("expected spec-efficiency regression, got {other:?}"),
+        }
+        assert!(v.is_failure());
+    }
+
+    #[test]
+    fn tail_series_seeds_and_passes_within_thresholds() {
+        // No tail data at all: nothing to judge.
+        let mut bare = record(1000.0);
+        bare.e2e_p99_ns = None;
+        bare.spec_consumed_rate = None;
+        bare.obs_tail_overhead_pct = None;
+        let v = evaluate(&bare, &[], &Thresholds::default());
+        assert_eq!(v.tail, TailVerdict::NotMeasured);
+        // First row with tail data seeds the series, even against
+        // priors that predate it.
+        let v = evaluate(&record(1000.0), &[bare.clone()], &Thresholds::default());
+        assert_eq!(
+            v.tail,
+            TailVerdict::NoBaseline {
+                p99_ns: 1_000_000.0
+            }
+        );
+        // Ordinary noise passes with the margins reported.
+        let prior = [record(1000.0), record(1002.0)];
+        let mut noisy = record(1000.0);
+        noisy.e2e_p99_ns = Some(1_100_000.0);
+        noisy.spec_consumed_rate = Some(0.85);
+        let v = evaluate(&noisy, &prior, &Thresholds::default());
+        match v.tail {
+            TailVerdict::Pass {
+                p99_change_pct,
+                consumed_drop_pp,
+                baseline_runs,
+                ..
+            } => {
+                assert!((p99_change_pct - 10.0).abs() < 1e-9);
+                assert!((consumed_drop_pp.unwrap() - 5.0).abs() < 1e-6);
+                assert_eq!(baseline_runs, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(!v.is_failure());
+    }
+
+    #[test]
+    fn rows_predating_tail_telemetry_still_load() {
+        let line = serde_json::to_string(&record(1000.0)).unwrap();
+        let stripped = line
+            .replace(",\"obs_tail_overhead_pct\":0.7", "")
+            .replace(",\"e2e_p50_ns\":200000.0", "")
+            .replace(",\"e2e_p95_ns\":700000.0", "")
+            .replace(",\"e2e_p99_ns\":1000000.0", "")
+            .replace(",\"spec_consumed_rate\":0.9", "")
+            .replace(",\"spec_wasted_rate\":0.05", "");
+        assert_ne!(line, stripped, "fixture must actually drop the fields");
+        assert!(!stripped.contains("e2e_p99_ns"), "fixture fully stripped");
+        let row: BenchRecord = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(row.obs_tail_overhead_pct, None);
+        assert_eq!(row.e2e_p99_ns, None);
+        assert_eq!(row.spec_consumed_rate, None);
+        assert!(!evaluate(&row, &[], &Thresholds::default()).is_failure());
     }
 
     #[test]

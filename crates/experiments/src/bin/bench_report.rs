@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! bench_report [--history <path>] [--threshold-pct <pct>] [--obs-threshold-pct <pct>]
+//!              [--p99-threshold-pct <pct>] [--spec-drop-pp <pp>]
 //! ```
 //!
 //! The history interleaves rows from independent series —
@@ -30,13 +31,18 @@
 //! and cross-bench rows never skew a verdict. Exit codes: `0` all
 //! series pass (a first run on a fresh series passes with a
 //! `no baseline` warning), `1` any series regressed — throughput more
-//! than `--threshold-pct` (default 10%) below baseline, or
-//! observability/export/provenance overhead above `--obs-threshold-pct`
-//! (default 3%) — `2` usage or unreadable/empty history.
+//! than `--threshold-pct` (default 10%) below baseline,
+//! observability/export/provenance/tail overhead above
+//! `--obs-threshold-pct` (default 3%), end-to-end p99 latency more
+//! than `--p99-threshold-pct` (default 25%) above its baseline median,
+//! or the speculation consumed rate more than `--spec-drop-pp`
+//! (default 20 percentage points) below its baseline median — `2`
+//! usage or unreadable/empty history. Rows that predate tail telemetry
+//! contribute nothing to the tail baselines and are judged `n/a`.
 
 use ctxres_experiments::bench_history::{
     attribute_regression, evaluate, history_path_from_env, load_history, OverheadVerdict,
-    Thresholds, ThroughputVerdict,
+    TailVerdict, Thresholds, ThroughputVerdict,
 };
 use std::path::PathBuf;
 
@@ -57,6 +63,16 @@ fn parse_args() -> Result<(PathBuf, Thresholds), String> {
                 thresholds.obs_overhead_pct = value("--obs-threshold-pct")?
                     .parse()
                     .map_err(|e| format!("--obs-threshold-pct: {e}"))?;
+            }
+            "--p99-threshold-pct" => {
+                thresholds.e2e_p99_regression_pct = value("--p99-threshold-pct")?
+                    .parse()
+                    .map_err(|e| format!("--p99-threshold-pct: {e}"))?;
+            }
+            "--spec-drop-pp" => {
+                thresholds.spec_consumed_drop_pp = value("--spec-drop-pp")?
+                    .parse()
+                    .map_err(|e| format!("--spec-drop-pp: {e}"))?;
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -172,25 +188,107 @@ fn main() {
         }
         match &verdict.overhead {
             OverheadVerdict::Pass { worst_pct } => println!(
-                "  obs overhead: PASS — disabled {:+.2}%, export {:+.2}%, provenance {}, health {}, profile {} (worst {:+.2}%, threshold {:.1}%)",
+                "  obs overhead: PASS — disabled {:+.2}%, export {:+.2}%, provenance {}, health {}, profile {}, tail {} (worst {:+.2}%, threshold {:.1}%)",
                 current.obs_overhead_pct,
                 current.obs_export_overhead_pct,
                 opt_pct_label(current.obs_prov_overhead_pct),
                 opt_pct_label(current.obs_health_overhead_pct),
                 opt_pct_label(current.obs_profile_overhead_pct),
+                opt_pct_label(current.obs_tail_overhead_pct),
                 worst_pct,
                 thresholds.obs_overhead_pct,
             ),
             OverheadVerdict::Exceeded { worst_pct } => println!(
-                "  obs overhead: EXCEEDED — disabled {:+.2}%, export {:+.2}%, provenance {}, health {}, profile {} (worst {:+.2}%, threshold {:.1}%)",
+                "  obs overhead: EXCEEDED — disabled {:+.2}%, export {:+.2}%, provenance {}, health {}, profile {}, tail {} (worst {:+.2}%, threshold {:.1}%)",
                 current.obs_overhead_pct,
                 current.obs_export_overhead_pct,
                 opt_pct_label(current.obs_prov_overhead_pct),
                 opt_pct_label(current.obs_health_overhead_pct),
                 opt_pct_label(current.obs_profile_overhead_pct),
+                opt_pct_label(current.obs_tail_overhead_pct),
                 worst_pct,
                 thresholds.obs_overhead_pct,
             ),
+        }
+        let drop_label = |drop: &Option<f64>| match drop {
+            Some(pp) => format!("{pp:+.1}pp drop"),
+            None => "n/a".to_owned(),
+        };
+        match &verdict.tail {
+            TailVerdict::NotMeasured => {}
+            TailVerdict::NoBaseline { p99_ns } => println!(
+                "  e2e tail: PASS (no baseline) — p99 {:.0} µs seeds the tail series",
+                p99_ns / 1000.0,
+            ),
+            TailVerdict::Pass {
+                baseline_p99_ns,
+                p99_change_pct,
+                consumed_drop_pp,
+                baseline_runs,
+            } => println!(
+                "  e2e tail: PASS — p99 {} µs vs median {:.0} of {} prior run(s) ({:+.2}%, threshold +{:.1}%); spec consumed {} (threshold {:.1}pp)",
+                current
+                    .e2e_p99_ns
+                    .map(|ns| format!("{:.0}", ns / 1000.0))
+                    .unwrap_or_else(|| "?".into()),
+                baseline_p99_ns / 1000.0,
+                baseline_runs,
+                p99_change_pct,
+                thresholds.e2e_p99_regression_pct,
+                drop_label(consumed_drop_pp),
+                thresholds.spec_consumed_drop_pp,
+            ),
+            TailVerdict::Regression {
+                baseline_p99_ns,
+                p99_change_pct,
+                p99_regressed,
+                consumed_drop_pp,
+                spec_dropped,
+                baseline_runs,
+            } => {
+                let mut gates = Vec::new();
+                if *p99_regressed {
+                    gates.push(format!(
+                        "p99 {} µs vs median {:.0} of {} prior run(s) ({:+.2}%, threshold +{:.1}%)",
+                        current
+                            .e2e_p99_ns
+                            .map(|ns| format!("{:.0}", ns / 1000.0))
+                            .unwrap_or_else(|| "?".into()),
+                        baseline_p99_ns / 1000.0,
+                        baseline_runs,
+                        p99_change_pct,
+                        thresholds.e2e_p99_regression_pct,
+                    ));
+                }
+                if *spec_dropped {
+                    gates.push(format!(
+                        "spec consumed rate {} vs baseline median (threshold {:.1}pp)",
+                        drop_label(consumed_drop_pp),
+                        thresholds.spec_consumed_drop_pp,
+                    ));
+                }
+                println!("  e2e tail: REGRESSION — {}", gates.join("; "));
+                // The tail gate reuses the same phase attribution as
+                // throughput: a p99 that moved without throughput
+                // moving still names the phase whose share grew.
+                let shifts = attribute_regression(current, prior);
+                let grew: Vec<String> = shifts
+                    .iter()
+                    .filter(|s| s.delta_pp > 1.0)
+                    .take(3)
+                    .map(|s| {
+                        format!(
+                            "{} ({:+.1}pp, {:.1}% vs baseline {:.1}%)",
+                            s.phase, s.delta_pp, s.share_pct, s.baseline_share_pct
+                        )
+                    })
+                    .collect();
+                if grew.is_empty() {
+                    println!("  phase attribution: no phase data on this series");
+                } else {
+                    println!("  phase attribution: likely phase(s): {}", grew.join(", "));
+                }
+            }
         }
         failed |= verdict.is_failure();
     }

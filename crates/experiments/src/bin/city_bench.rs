@@ -43,6 +43,17 @@
 //! that layer, not the price of metrics as a whole — which CI gates
 //! under 3% via `bench_report`.
 //!
+//! A sixth configuration turns on **end-to-end tail telemetry**
+//! (`ObsConfig::metrics_only().with_tail(true)`): per-context
+//! monotonic span stamps, per-(shard, outcome) log-bucketed
+//! histograms, bounded exemplar reservoirs, and the fused-path
+//! speculation counters. Its marginal cost over metrics-only is
+//! `obs_tail_overhead_pct` (same paired-median discipline, same <3%
+//! gate), and the run's folded histograms yield the gated
+//! `e2e_p99_ns` regression series plus reported p50/p95 context and
+//! the speculation consumed/wasted rates `bench_report` watches for
+//! collapse.
+//!
 //! Every run appends one [`BenchRecord`] row with `bench: "city"` to
 //! `results/bench_history.jsonl` (override with `CTXRES_BENCH_HISTORY`)
 //! — a separate series from `shard_throughput`, judged by the same
@@ -63,7 +74,7 @@ use ctxres_experiments::city::{CityConfig, CityWorkload};
 use ctxres_middleware::{
     Middleware, MiddlewareConfig, ShardPlan, ShardedMiddleware, SharedMiddleware,
 };
-use ctxres_obs::{ObsConfig, Sampler};
+use ctxres_obs::{ObsConfig, Sampler, TailSample};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 const SPEED: &str = "constraint speed:
@@ -197,6 +208,13 @@ fn round2(x: f64) -> f64 {
     (x * 100.0).round() / 100.0
 }
 
+/// Four decimals — enough for speculation rates in `0..=1`, where two
+/// decimals would quantize the gated consumed-drop comparison to whole
+/// percentage points.
+fn round4(x: f64) -> f64 {
+    (x * 10_000.0).round() / 10_000.0
+}
+
 /// Everything one run writes to `BENCH_city.json`.
 #[derive(serde::Serialize)]
 struct BenchFile {
@@ -217,6 +235,18 @@ struct BenchFile {
     rebalances: usize,
     obs_health_overhead_pct: f64,
     obs_profile_overhead_pct: f64,
+    /// Marginal cost of end-to-end tail telemetry over metrics-only.
+    obs_tail_overhead_pct: f64,
+    /// End-to-end p50 from the tail-on run's folded histograms, ns.
+    e2e_p50_ns: Option<f64>,
+    /// End-to-end p95 from the tail-on run's folded histograms, ns.
+    e2e_p95_ns: Option<f64>,
+    /// End-to-end p99 from the tail-on run's folded histograms, ns.
+    e2e_p99_ns: Option<f64>,
+    /// Consumed share of speculated fused-batch groups, `0..=1`.
+    spec_consumed_rate: Option<f64>,
+    /// Wasted (dirty-collision) share of speculated groups, `0..=1`.
+    spec_wasted_rate: Option<f64>,
     phase_shares: Vec<PhaseShare>,
     batch_size: usize,
     commit: String,
@@ -272,17 +302,20 @@ fn main() {
     let mut metrics_found = 0u64;
     let mut health_found = 0u64;
     let mut profile_found = 0u64;
+    let mut tail_found = 0u64;
     let mut rebalances = 0usize;
     let mut last_run: Option<ShardedMiddleware> = None;
     let mut last_unfused: Option<ShardedMiddleware> = None;
     let mut last_profiled: Option<ShardedMiddleware> = None;
+    let mut last_tail: Option<ShardedMiddleware> = None;
     let mut fused_secs = Vec::with_capacity(REPS);
     let mut unfused_secs = Vec::with_capacity(REPS);
     let mut metrics_secs = Vec::with_capacity(REPS);
     let mut health_secs = Vec::with_capacity(REPS);
     let mut profile_secs = Vec::with_capacity(REPS);
+    let mut tail_secs = Vec::with_capacity(REPS);
     for rep in 0..REPS {
-        // All five configurations run back-to-back within each rep, so
+        // All six configurations run back-to-back within each rep, so
         // each paired ratio sees the same machine conditions — the same
         // interleaving discipline `shard_bench` uses for provenance.
         let start = Instant::now();
@@ -333,8 +366,20 @@ fn main() {
         profile_found = found;
         profile_secs.push(p_secs);
         last_profiled = Some(sharded);
+
+        let start = Instant::now();
+        let (found, _, sharded) = run_sharded(
+            &trace,
+            shards,
+            Some(ObsConfig::metrics_only().with_tail(true)),
+            true,
+        );
+        let t_secs = start.elapsed().as_secs_f64();
+        tail_found = found;
+        tail_secs.push(t_secs);
+        last_tail = Some(sharded);
         eprintln!(
-            "  sharded rep {}: {:.1} ctx/s, {rebs} rebalance(s) | unfused: {:.1} ctx/s ({:.2}x) | metrics: {:.1} ctx/s | +health: {:.1} ctx/s ({:+.2}%) | +profile: {:.1} ctx/s ({:+.2}%)",
+            "  sharded rep {}: {:.1} ctx/s, {rebs} rebalance(s) | unfused: {:.1} ctx/s ({:.2}x) | metrics: {:.1} ctx/s | +health: {:.1} ctx/s ({:+.2}%) | +profile: {:.1} ctx/s ({:+.2}%) | +tail: {:.1} ctx/s ({:+.2}%)",
             rep + 1,
             n as f64 / secs,
             n as f64 / u_secs,
@@ -344,6 +389,8 @@ fn main() {
             (h_secs / m_secs - 1.0) * 100.0,
             n as f64 / p_secs,
             (p_secs / m_secs - 1.0) * 100.0,
+            n as f64 / t_secs,
+            (t_secs / m_secs - 1.0) * 100.0,
         );
     }
 
@@ -367,12 +414,17 @@ fn main() {
         shard_found, profile_found,
         "the phase profiler must not change results"
     );
+    assert_eq!(
+        shard_found, tail_found,
+        "tail telemetry must not change results"
+    );
     assert!(
         shard_found > 0,
         "the city trace plants teleports; a zero count means detection broke"
     );
     let obs_health_overhead_pct = median_paired_overhead_pct(&health_secs, &metrics_secs);
     let obs_profile_overhead_pct = median_paired_overhead_pct(&profile_secs, &metrics_secs);
+    let obs_tail_overhead_pct = median_paired_overhead_pct(&tail_secs, &metrics_secs);
     // Fused-over-sequential speedup as a median of paired within-rep
     // ratios, the same noise discipline as the overhead columns:
     // `median_paired_overhead_pct` returns (unfused/fused - 1) × 100.
@@ -399,19 +451,54 @@ fn main() {
             .collect()
     };
 
+    // End-to-end tail figures from the last tail-on rep: the whole
+    // run's folded per-outcome histograms ("since the beginning"), so
+    // the quantiles summarize every context the rep ingested, and the
+    // cumulative speculation counters as consumed/wasted rates.
+    let tail_sample = {
+        let sharded = last_tail.expect("at least one tail-on rep ran");
+        let registry = sharded
+            .registry()
+            .expect("the tail-on configuration builds an obs registry");
+        TailSample::between(None, registry.tail_snapshot())
+    };
+    let e2e_p50_ns = tail_sample.all.p50_ns.map(round1);
+    let e2e_p95_ns = tail_sample.all.p95_ns.map(round1);
+    let e2e_p99_ns = tail_sample.all.p99_ns.map(round1);
+    let spec_consumed_rate = tail_sample.spec.consumed_rate.map(round4);
+    let spec_wasted_rate = tail_sample.spec.wasted_rate.map(round4);
+
     let contexts_per_sec = n as f64 / best_secs;
     let unfused_contexts_per_sec = n as f64 / best_unfused_secs;
     let speedup = mutex_secs / best_secs;
     eprintln!(
-        "mutex: {:.1} ctx/s | sharded({shards}): {:.1} ctx/s | speedup {:.2}x | fused {fused_speedup:.2}x over sequential ({:.1} ctx/s) | health overhead {:+.2}% | profile overhead {:+.2}% | {} inconsistencies | {} rebalances",
+        "mutex: {:.1} ctx/s | sharded({shards}): {:.1} ctx/s | speedup {:.2}x | fused {fused_speedup:.2}x over sequential ({:.1} ctx/s) | health overhead {:+.2}% | profile overhead {:+.2}% | tail overhead {:+.2}% | {} inconsistencies | {} rebalances",
         n as f64 / mutex_secs,
         contexts_per_sec,
         speedup,
         unfused_contexts_per_sec,
         obs_health_overhead_pct,
         obs_profile_overhead_pct,
+        obs_tail_overhead_pct,
         shard_found,
         rebalances,
+    );
+    let us = |v: Option<f64>| match v {
+        Some(ns) => format!("{:.0}", ns / 1000.0),
+        None => "-".to_owned(),
+    };
+    let pct = |v: Option<f64>| match v {
+        Some(r) => format!("{:.1}%", r * 100.0),
+        None => "-".to_owned(),
+    };
+    eprintln!(
+        "  e2e tail (µs): p50 {} | p95 {} | p99 {} | spec consumed {} wasted {} over {} speculated groups",
+        us(e2e_p50_ns),
+        us(e2e_p95_ns),
+        us(e2e_p99_ns),
+        pct(spec_consumed_rate),
+        pct(spec_wasted_rate),
+        tail_sample.spec.groups_speculated,
     );
     for s in &phase_shares {
         eprintln!(
@@ -481,6 +568,12 @@ fn main() {
         rebalances,
         obs_health_overhead_pct: round2(obs_health_overhead_pct),
         obs_profile_overhead_pct: round2(obs_profile_overhead_pct),
+        obs_tail_overhead_pct: round2(obs_tail_overhead_pct),
+        e2e_p50_ns,
+        e2e_p95_ns,
+        e2e_p99_ns,
+        spec_consumed_rate,
+        spec_wasted_rate,
         phase_shares: phase_shares.clone(),
         batch_size: BATCH,
         commit: commit.clone(),
@@ -523,6 +616,17 @@ fn main() {
         // attributed — bench_report uses the shares to name the phase
         // that moved when a regression fires.
         obs_profile_overhead_pct: Some(round2(obs_profile_overhead_pct)),
+        // Measured above: the marginal cost of end-to-end tail spans
+        // over the same metrics-only registry (absolute <3% gate), the
+        // gated p99 regression series with its p50/p95 context, and the
+        // speculation-efficiency rates bench_report watches for
+        // collapse.
+        obs_tail_overhead_pct: Some(round2(obs_tail_overhead_pct)),
+        e2e_p50_ns,
+        e2e_p95_ns,
+        e2e_p99_ns,
+        spec_consumed_rate,
+        spec_wasted_rate,
         phase_shares: Some(phase_shares),
         per_shard,
     };
@@ -547,6 +651,12 @@ fn main() {
         obs_prov_overhead_pct: None,
         obs_health_overhead_pct: None,
         obs_profile_overhead_pct: None,
+        obs_tail_overhead_pct: None,
+        e2e_p50_ns: None,
+        e2e_p95_ns: None,
+        e2e_p99_ns: None,
+        spec_consumed_rate: None,
+        spec_wasted_rate: None,
         phase_shares: None,
         per_shard: unfused_per_shard,
     };

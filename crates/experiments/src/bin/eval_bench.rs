@@ -416,6 +416,12 @@ fn main() {
             obs_prov_overhead_pct: None,
             obs_health_overhead_pct: None,
             obs_profile_overhead_pct: None,
+            obs_tail_overhead_pct: None,
+            e2e_p50_ns: None,
+            e2e_p95_ns: None,
+            e2e_p99_ns: None,
+            spec_consumed_rate: None,
+            spec_wasted_rate: None,
             phase_shares: None,
             per_shard: Vec::new(),
         };

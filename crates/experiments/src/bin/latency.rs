@@ -2,6 +2,15 @@
 //! trade-off): drop-bad across use windows, reporting total activation
 //! latency next to the accuracy metrics, on both subject applications.
 //!
+//! Terminology: *activation latency* here is the paper's §3.3 notion —
+//! how many **logical ticks** a context sits in the use window before
+//! the application may act on it, a property of the resolution policy,
+//! not of the machine. It is unrelated to the engine's **wall-clock
+//! end-to-end latency** telemetry (nanosecond span stamps, p99
+//! histograms, exemplars), which lives in `ctxres_obs::tail` and
+//! surfaces through `/snapshot`, `obs_top`, `soak`, and the
+//! `city_bench` `e2e_p99_ns` series. This bin never touches a clock.
+//!
 //! Usage: `latency [--quick]`.
 
 use ctxres_apps::call_forwarding::CallForwarding;

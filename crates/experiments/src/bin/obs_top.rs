@@ -14,16 +14,23 @@
 //!
 //! Flags: `--interval-ms <n>` (default 500), `--iters <n>` (frames to
 //! render; default: run until interrupted), `--once` (single frame, no
-//! ANSI clear — CI-safe), `--phases` (profile the demo engine and add
+//! ANSI clear — CI-safe), `--serve <addr>` (demo mode only: expose the
+//! demo registry's `/metrics` and `/snapshot` on a background thread,
+//! so a second `obs_top --watch` — or a CI curl — can scrape the same
+//! engine live; port `0` picks an ephemeral port and the bound address
+//! is printed to stderr), `--phases` (profile the demo engine and add
 //! a per-shard phase self-time panel; in watch mode the panel appears
 //! automatically whenever the remote endpoint samples with its phase
-//! profiler on).
+//! profiler on). The end-to-end tail panel (wall-clock delivery
+//! quantiles, speculation efficiency, queue wait share, exemplar
+//! reservoir fill) renders whenever the sampled registry has tail
+//! spans enabled — always true for the demo engine.
 
 use ctxres_constraint::parse_constraints;
 use ctxres_context::{Context, ContextKind, LogicalTime, Point, Ticks};
 use ctxres_core::strategies::DropBad;
 use ctxres_middleware::{Middleware, MiddlewareConfig, ShardPlan, ShardedMiddleware};
-use ctxres_obs::{CounterKind, MetricKind, ObsConfig, Sample, Sampler};
+use ctxres_obs::{CounterKind, MetricKind, MetricsServer, ObsConfig, Sample, Sampler};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -35,6 +42,7 @@ const SPEED: &str = "constraint speed:
 
 struct Options {
     watch: Option<String>,
+    serve: Option<String>,
     interval: Duration,
     iters: Option<u64>,
     once: bool,
@@ -44,6 +52,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         watch: None,
+        serve: None,
         interval: Duration::from_millis(500),
         iters: None,
         once: false,
@@ -54,6 +63,7 @@ fn parse_args() -> Result<Options, String> {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
         match arg.as_str() {
             "--watch" => opts.watch = Some(value("--watch")?),
+            "--serve" => opts.serve = Some(value("--serve")?),
             "--interval-ms" => {
                 let ms: u64 = value("--interval-ms")?
                     .parse()
@@ -109,11 +119,12 @@ fn fmt_rate(v: f64) -> String {
 }
 
 /// p95 of a windowed latency histogram, as microseconds (`-` when the
-/// window recorded nothing).
+/// window recorded nothing). Uses the interpolated estimate rather than
+/// the raw bucket upper bound so the column moves smoothly instead of
+/// snapping between power-of-two bucket edges.
 fn p95_us(rates: &ctxres_obs::ShardRates, kind: MetricKind) -> String {
-    match rates.window(kind).quantile_bound(0.95) {
-        Some(ns) if ns != u64::MAX => format!("{:.0}", ns as f64 / 1000.0),
-        Some(_) => ">max".to_owned(),
+    match rates.window(kind).quantile_est(0.95) {
+        Some(ns) => format!("{:.0}", ns / 1000.0),
         None => "-".to_owned(),
     }
 }
@@ -202,6 +213,83 @@ fn render(sample: &Sample, frame: u64, source: &str) -> String {
     if let Some(phases) = &sample.phases {
         out.push_str(&render_phases(phases));
     }
+    if let Some(tail) = &sample.tail {
+        out.push_str(&render_tail(tail));
+    }
+    out
+}
+
+/// One quantile cell of the tail panel: interpolated nanosecond figure
+/// rendered as microseconds, `-` when the window has no estimate.
+fn tail_q_us(q: Option<f64>) -> String {
+    match q {
+        Some(ns) => format!("{:.0}", ns / 1000.0),
+        None => "-".to_owned(),
+    }
+}
+
+/// The end-to-end tail panel: windowed wall-clock quantiles per terminal
+/// outcome, speculation efficiency for the fused batch path, the
+/// engine-queue wait/service decomposition, and the exemplar reservoir
+/// fill — rendered only when the sampled registry has tail spans on.
+fn render_tail(tail: &ctxres_obs::TailSample) -> String {
+    let mut out = String::new();
+    out.push_str("\ne2e tail this window (µs)\n");
+    out.push_str("outcome        count      p50      p95      p99     p999\n");
+    for ow in &tail.outcomes {
+        if ow.window.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>8} {:>8} {:>8} {:>8}\n",
+            ow.outcome.name(),
+            ow.window.count,
+            tail_q_us(ow.window.p50_ns),
+            tail_q_us(ow.window.p95_ns),
+            tail_q_us(ow.window.p99_ns),
+            tail_q_us(ow.window.p999_ns),
+        ));
+    }
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>8} {:>8} {:>8} {:>8}\n",
+        "all",
+        tail.all.count,
+        tail_q_us(tail.all.p50_ns),
+        tail_q_us(tail.all.p95_ns),
+        tail_q_us(tail.all.p99_ns),
+        tail_q_us(tail.all.p999_ns),
+    ));
+    if tail.spec.batches > 0 {
+        out.push_str(&format!(
+            "spec: {} batches, {} groups speculated ({} consumed / {} wasted / {} inline), \
+             consumed {} wasted {}, avg workers {}\n",
+            tail.spec.batches,
+            tail.spec.groups_speculated,
+            tail.spec.consumed,
+            tail.spec.wasted_dirty,
+            tail.spec.inline_checks,
+            ratio_pct(tail.spec.consumed_rate),
+            ratio_pct(tail.spec.wasted_rate),
+            match tail.spec.avg_workers {
+                Some(w) => format!("{w:.1}"),
+                None => "-".to_owned(),
+            },
+        ));
+    }
+    if tail.queue.wait_count > 0 || tail.queue.service_count > 0 {
+        out.push_str(&format!(
+            "queue: avg wait {} µs, avg service {} µs, wait share {}\n",
+            tail_q_us(tail.queue.avg_wait_ns),
+            tail_q_us(tail.queue.avg_service_ns),
+            ratio_pct(tail.queue.wait_share),
+        ));
+    }
+    let captured: u64 = tail.snapshot.shards.iter().map(|s| s.captured).sum();
+    let held = tail.snapshot.exemplars().len();
+    out.push_str(&format!(
+        "exemplars: {held} held / {captured} captured total (capacity {} per shard)\n",
+        ctxres_obs::EXEMPLAR_CAPACITY,
+    ));
     out
 }
 
@@ -381,13 +469,17 @@ fn main() {
         Err(e) => {
             eprintln!("obs_top: {e}");
             eprintln!(
-                "usage: obs_top [--watch <addr>] [--interval-ms <n>] [--iters <n>] [--once] [--phases]"
+                "usage: obs_top [--watch <addr>] [--serve <addr>] [--interval-ms <n>] [--iters <n>] [--once] [--phases]"
             );
             std::process::exit(2);
         }
     };
 
     if let Some(raw) = &opts.watch {
+        if opts.serve.is_some() {
+            eprintln!("obs_top: --serve only applies to the in-process demo");
+            std::process::exit(2);
+        }
         let addr = watch_addr(raw);
         run_loop(&opts, &format!("watching {addr}"), || fetch_sample(&addr));
         return;
@@ -399,10 +491,12 @@ fn main() {
     let plan = ShardPlan::analyze(&constraints, 4);
     // --phases profiles every root in the demo: the stream is small
     // enough that sampling would just make the panel jittery.
+    // Tail spans stay on in the demo so the e2e panel has data; watch
+    // mode simply renders whatever the remote endpoint samples.
     let config = if opts.phases {
-        ObsConfig::metrics_only().with_profile(1)
+        ObsConfig::metrics_only().with_profile(1).with_tail(true)
     } else {
-        ObsConfig::metrics_only()
+        ObsConfig::metrics_only().with_tail(true)
     };
     let registry = ShardedMiddleware::obs_registry(&plan, config);
     let sharded = Arc::new(ShardedMiddleware::new_observed(
@@ -439,6 +533,21 @@ fn main() {
             }
         })
     };
+
+    // --serve exposes the demo registry's /metrics and /snapshot on a
+    // background thread — a self-contained live endpoint to point a
+    // second `obs_top --watch` (or the CI latency smoke's curl) at.
+    let _server = opts.serve.as_deref().map(|addr| {
+        let server = MetricsServer::spawn(Arc::clone(&registry), addr).unwrap_or_else(|e| {
+            eprintln!("obs_top: could not bind {addr}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "obs_top: serving /metrics and /snapshot on http://{}",
+            server.local_addr()
+        );
+        server
+    });
 
     let mut sampler = Sampler::new(Arc::clone(&registry));
     // Let the producer put something on the board before the first

@@ -254,7 +254,8 @@ fn main() {
         })
     };
 
-    let mut configs: Vec<(&str, Box<dyn FnMut() -> u64 + '_>)> = vec![
+    type TimedConfig<'a> = (&'a str, Box<dyn FnMut() -> u64 + 'a>);
+    let mut configs: Vec<TimedConfig<'_>> = vec![
         (
             "mutex",
             Box::new(|| {
@@ -535,6 +536,12 @@ fn main() {
         // shard_bench's dense workload does not run the profiler;
         // `city_bench` owns the profile-overhead measurement.
         obs_profile_overhead_pct: None,
+        obs_tail_overhead_pct: None,
+        e2e_p50_ns: None,
+        e2e_p95_ns: None,
+        e2e_p99_ns: None,
+        spec_consumed_rate: None,
+        spec_wasted_rate: None,
         phase_shares: None,
         per_shard,
     };

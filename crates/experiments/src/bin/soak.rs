@@ -21,6 +21,17 @@
 //!   [`HealthAlert`] within 2 sampler windows of the injection;
 //! - **recovery_clears** — every recovery phase emits a cleared
 //!   transition and ends with no rule active;
+//! - **clean_p99_bounded** — every clean-phase window's end-to-end
+//!   p99 (wall clock, from the tail-span layer) stays under an
+//!   absolute ceiling;
+//! - **latency_fires / latency_clears** — an `e2e_p99_ms` SLO rule,
+//!   its threshold calibrated off the first clean phase's steady-state
+//!   p99, fires during each injected teleport regression and clears
+//!   again in the following recovery. A teleport storm arrives with
+//!   proportionate sensor chatter (an implausible jump makes the
+//!   reader re-sample), so regression phases carry
+//!   [`STORM_CHATTER`]× the reading volume — that extra per-window
+//!   work is what genuinely stretches the batches' wall-clock tail;
 //! - **detections_present** — the workload genuinely planted
 //!   inconsistencies (a zero count means detection broke, not health);
 //! - **ring_bounded** — no trace events were dropped;
@@ -75,11 +86,32 @@ const HOT_RATE: f64 = 0.45;
 /// baseline (plus a small absolute slack for tiny pools).
 const POOL_GROWTH_FACTOR: f64 = 3.0;
 const POOL_GROWTH_SLACK: u64 = 64;
+/// Absolute ceiling on any clean-phase window's end-to-end p99, in
+/// milliseconds. Generous on purpose: it catches pathological stalls
+/// (lock convoys, runaway pools), not ordinary scheduler jitter.
+const CLEAN_P99_BOUND_MS: f64 = 400.0;
+/// Reading-volume multiplier of a regression phase: the teleport
+/// storm's sensor chatter. Sized so a storm window's batch takes
+/// roughly `STORM_CHATTER`× the clean wall clock — comfortably past
+/// the latency threshold — while recovery windows drop straight back.
+const STORM_CHATTER: usize = 3;
+/// The latency SLO threshold as a multiple of the first clean phase's
+/// steady-state windowed p99 — regressions must slow batches past
+/// this, recoveries must come back under the 10% hysteresis deadband.
+/// Sits between the clean ceiling (1×) and the storm floor
+/// (~[`STORM_CHATTER`]×) with wide margins on both sides.
+const LATENCY_FIRE_FACTOR: f64 = 1.75;
+/// Absolute floor (ms) added to the calibrated latency threshold so a
+/// sub-millisecond clean baseline doesn't arm a hair-trigger rule.
+const LATENCY_FLOOR_MS: f64 = 0.5;
 
 /// One phase of the soak cycle.
 struct PhaseSpec {
     name: &'static str,
     teleport_rate: f64,
+    /// Reading-volume multiplier (1 = clean traffic,
+    /// [`STORM_CHATTER`] = a teleport storm's re-sampling chatter).
+    chatter: usize,
     /// Hot-swap the resolution strategy at the phase boundary.
     swap: bool,
     /// What the phase must demonstrate.
@@ -99,30 +131,35 @@ const PHASES: [PhaseSpec; 5] = [
     PhaseSpec {
         name: "clean",
         teleport_rate: CLEAN_RATE,
+        chatter: 1,
         swap: false,
         expect: Expect::Quiet,
     },
     PhaseSpec {
         name: "regression",
         teleport_rate: HOT_RATE,
+        chatter: STORM_CHATTER,
         swap: false,
         expect: Expect::Fires,
     },
     PhaseSpec {
         name: "recovery",
         teleport_rate: CLEAN_RATE,
+        chatter: 1,
         swap: false,
         expect: Expect::Clears,
     },
     PhaseSpec {
         name: "regression-swap",
         teleport_rate: HOT_RATE,
+        chatter: STORM_CHATTER,
         swap: true,
         expect: Expect::Fires,
     },
     PhaseSpec {
         name: "recovery-final",
         teleport_rate: CLEAN_RATE,
+        chatter: 1,
         swap: false,
         expect: Expect::Clears,
     },
@@ -187,6 +224,24 @@ struct Watermarks {
     rss_max_bytes: Option<u64>,
 }
 
+/// The end-to-end latency leg of the run: the calibrated SLO rule and
+/// the phase-level p99 extremes it was judged against.
+#[derive(Debug, Clone, Serialize)]
+struct LatencySummary {
+    /// The calibrated `e2e_p99_ms` rule line (`None` when the first
+    /// clean phase recorded no tail windows).
+    rule: Option<String>,
+    /// Steady-state (worst-window) p99 of the first clean phase,
+    /// milliseconds — the calibration base.
+    baseline_p99_ms: Option<f64>,
+    /// Worst clean-phase window p99 seen anywhere in the run.
+    clean_p99_ms_max: Option<f64>,
+    /// Worst regression-phase window p99 seen anywhere in the run.
+    regression_p99_ms_max: Option<f64>,
+    /// The absolute clean-phase ceiling the bound check used.
+    clean_p99_bound_ms: f64,
+}
+
 /// The JSON document the harness prints.
 #[derive(Debug, Clone, Serialize)]
 struct SoakSummary {
@@ -202,7 +257,13 @@ struct SoakSummary {
     alerts: Vec<AlertRow>,
     checks: Vec<Check>,
     watermarks: Watermarks,
+    latency: LatencySummary,
     passed: bool,
+}
+
+/// Folds a window's p99 into a running per-phase-kind maximum.
+fn fold_max(slot: &mut Option<f64>, p99: f64) {
+    *slot = Some(slot.map_or(p99, |m: f64| m.max(p99)));
 }
 
 struct Args {
@@ -257,7 +318,10 @@ fn main() -> ExitCode {
         ..CityConfig::default()
     });
     let plan = ShardPlan::analyze(&parse_constraints(SPEED).unwrap(), SHARDS);
-    let registry = ShardedMiddleware::obs_registry(&plan, ObsConfig::metrics_only());
+    // Tail spans stay on for the whole soak: the latency leg reads the
+    // windowed end-to-end p99 off the sampler's tail view.
+    let registry =
+        ShardedMiddleware::obs_registry(&plan, ObsConfig::metrics_only().with_tail(true));
     let sharded = ShardedMiddleware::new_observed(plan, &registry, |_, obs| {
         engine_builder(leak, retention).obs(obs).build()
     });
@@ -291,6 +355,16 @@ fn main() -> ExitCode {
     let mut swaps = 0usize;
     let mut cycles = 0usize;
     let mut final_active: Vec<String> = Vec::new();
+    // The latency leg: a second SLO engine carrying one `e2e_p99_ms`
+    // rule, armed once the first clean phase has calibrated a baseline.
+    let mut latency_engine: Option<SloEngine> = None;
+    let mut latency = LatencySummary {
+        rule: None,
+        baseline_p99_ms: None,
+        clean_p99_ms_max: None,
+        regression_p99_ms_max: None,
+        clean_p99_bound_ms: CLEAN_P99_BOUND_MS,
+    };
 
     loop {
         for phase in &PHASES {
@@ -316,12 +390,44 @@ fn main() -> ExitCode {
             }
             let mut phase_alerts: Vec<(usize, HealthAlert)> = Vec::new();
             let mut active_at_end: Vec<String> = Vec::new();
+            let mut phase_p99s: Vec<f64> = Vec::new();
+            let mut phase_latency: Vec<HealthAlert> = Vec::new();
             for w in 0..windows_per_phase {
-                let batch = city.batch(window_contexts);
+                let batch = city.batch(window_contexts * phase.chatter);
                 sharded.batch_add(&batch);
                 sharded.drain();
                 let sample = sampler.sample_after(1.0);
                 windows += 1;
+                let p99_ms = sample
+                    .tail
+                    .as_ref()
+                    .and_then(|t| t.all.p99_ns)
+                    .map(|ns| ns / 1e6);
+                if let Some(p99) = p99_ms {
+                    eprintln!("  [{} w{w}] e2e p99 {p99:.2} ms", phase.name);
+                    phase_p99s.push(p99);
+                    match phase.expect {
+                        Expect::Fires => fold_max(&mut latency.regression_p99_ms_max, p99),
+                        Expect::Quiet | Expect::Clears => {
+                            fold_max(&mut latency.clean_p99_ms_max, p99);
+                        }
+                    }
+                }
+                if let (Some(engine), Some(health)) = (latency_engine.as_mut(), &sample.health) {
+                    for alert in
+                        engine.evaluate_with_tail(health, sample.tail.as_ref(), windows as u64)
+                    {
+                        eprintln!("  [{} w{w}] {alert}", phase.name);
+                        alerts.push(AlertRow {
+                            cycle: cycles,
+                            phase: phase.name.to_owned(),
+                            window: w,
+                            firing: alert.firing,
+                            alert: alert.to_string(),
+                        });
+                        phase_latency.push(alert);
+                    }
+                }
                 if let Some(health) = &sample.health {
                     if let Some(pool) = &health.pool {
                         marks.pool_live_max = marks.pool_live_max.max(pool.live_slots);
@@ -359,15 +465,43 @@ fn main() -> ExitCode {
             }
             if cycles == 0 && phase.name == "clean" {
                 marks.pool_live_baseline = marks.pool_live_final;
+                // Calibrate the latency rule off this phase's worst
+                // windowed p99 — early clean windows ramp up while the
+                // pool fills, so the maximum is the steady state.
+                // Machine-independent, yet the storm phases (running
+                // STORM_CHATTER× the per-window work) must breach it.
+                let baseline = phase_p99s.iter().copied().fold(f64::NAN, f64::max);
+                if baseline.is_finite() {
+                    let threshold =
+                        (baseline * LATENCY_FIRE_FACTOR).max(baseline + LATENCY_FLOOR_MS);
+                    let rule = format!("e2e_p99_ms > {threshold:.3} for 2");
+                    eprintln!("  [clean] latency baseline p99 {baseline:.3} ms -> rule {rule:?}");
+                    latency_engine =
+                        Some(SloEngine::from_spec(&rule).expect("calibrated latency rule parses"));
+                    latency.baseline_p99_ms = Some(baseline);
+                    latency.rule = Some(rule);
+                }
             }
             final_active = active_at_end.clone();
             let tag = |name: &str| format!("cycle{cycles}/{}/{name}", phase.name);
             match phase.expect {
-                Expect::Quiet => checks.push(Check {
-                    name: tag("clean_quiet"),
-                    pass: phase_alerts.is_empty(),
-                    detail: format!("{} transition(s) in a clean phase", phase_alerts.len()),
-                }),
+                Expect::Quiet => {
+                    checks.push(Check {
+                        name: tag("clean_quiet"),
+                        pass: phase_alerts.is_empty(),
+                        detail: format!("{} transition(s) in a clean phase", phase_alerts.len()),
+                    });
+                    let worst = phase_p99s.iter().copied().fold(0.0f64, f64::max);
+                    checks.push(Check {
+                        name: tag("clean_p99_bounded"),
+                        pass: !phase_p99s.is_empty() && worst <= CLEAN_P99_BOUND_MS,
+                        detail: format!(
+                            "worst clean window p99 {worst:.3} ms vs bound {CLEAN_P99_BOUND_MS} ms \
+                             ({} tail window(s))",
+                            phase_p99s.len(),
+                        ),
+                    });
+                }
                 Expect::Fires => {
                     let fired_at = phase_alerts.iter().find(|(_, a)| a.firing).map(|(w, _)| *w);
                     checks.push(Check {
@@ -378,6 +512,19 @@ fn main() -> ExitCode {
                             None => "no FIRING alert in the regression phase".to_owned(),
                         },
                     });
+                    let fired = phase_latency.iter().any(|a| a.firing);
+                    checks.push(Check {
+                        name: tag("latency_fires"),
+                        pass: latency_engine.is_some() && fired,
+                        detail: match &latency.rule {
+                            Some(rule) => format!(
+                                "latency rule {rule:?} {} during the regression",
+                                if fired { "fired" } else { "did not fire" },
+                            ),
+                            None => "no calibrated latency rule (clean phase had no tail windows)"
+                                .to_owned(),
+                        },
+                    });
                 }
                 Expect::Clears => {
                     let cleared = phase_alerts.iter().any(|(_, a)| !a.firing);
@@ -386,6 +533,18 @@ fn main() -> ExitCode {
                         pass: cleared && active_at_end.is_empty(),
                         detail: format!(
                             "cleared transition: {cleared}; still firing at phase end: {active_at_end:?}",
+                        ),
+                    });
+                    let lat_cleared = phase_latency.iter().any(|a| !a.firing);
+                    let lat_active = latency_engine
+                        .as_ref()
+                        .map(|e| e.active())
+                        .unwrap_or_default();
+                    checks.push(Check {
+                        name: tag("latency_clears"),
+                        pass: lat_cleared && lat_active.is_empty(),
+                        detail: format!(
+                            "latency cleared transition: {lat_cleared}; still firing at phase end: {lat_active:?}",
                         ),
                     });
                 }
@@ -440,6 +599,7 @@ fn main() -> ExitCode {
         alerts,
         checks,
         watermarks: marks,
+        latency,
         passed,
     };
     for c in &summary.checks {

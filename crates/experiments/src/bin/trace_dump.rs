@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! trace_dump [--json] <events.jsonl> [strategy-label]
-//! trace_dump [--json] --demo [out.jsonl]
+//! trace_dump [--json] [--slow] --demo [out.jsonl]
 //! ```
 //!
 //! `--demo` runs a seeded drop-bad Call Forwarding cell (err 0.3,
@@ -12,13 +12,16 @@
 //! `out.jsonl` (default `results/demo_trace.jsonl`), then dumps it —
 //! the smoke artifact CI archives. `--json` replaces the human
 //! rendering with one machine-readable document (full timeline,
-//! transition rows, SLO alert timeline, discarded-context life cycles)
-//! on stdout; it combines with `--demo`.
+//! transition rows, SLO alert timeline, slow-batch postmortems,
+//! discarded-context life cycles) on stdout; it combines with `--demo`.
+//! `--slow` makes the demo ingest through the fused batch path under a
+//! 1 ns slow-batch bound, so every batch breaches and the trace carries
+//! `slow_batch` postmortem events — the latency-smoke artifact.
 
 use ctxres_apps::call_forwarding::CallForwarding;
 use ctxres_apps::PervasiveApp;
 use ctxres_context::ContextState;
-use ctxres_experiments::runner::run_named_observed;
+use ctxres_experiments::runner::{run_named_observed, run_named_observed_batched};
 use ctxres_experiments::telemetry::{
     json_dump, json_dump_with_snapshot, reconstruct_lifecycles, render_timeline,
     render_transition_table, transition_counts,
@@ -35,28 +38,29 @@ const TIMELINE_LIMIT: usize = 60;
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    args.retain(|a| a != "--json");
-    match run(&args, json) {
+    let slow = args.iter().any(|a| a == "--slow");
+    args.retain(|a| a != "--json" && a != "--slow");
+    match run(&args, json, slow) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage:\n  trace_dump [--json] <events.jsonl> [strategy-label]\n  \
-                 trace_dump [--json] --demo [out.jsonl]"
+                 trace_dump [--json] [--slow] --demo [out.jsonl]"
             );
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: &[String], json: bool) -> Result<(), String> {
+fn run(args: &[String], json: bool, slow: bool) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("--demo") => {
             let out = args
                 .get(1)
                 .map(String::as_str)
                 .unwrap_or("results/demo_trace.jsonl");
-            demo(Path::new(out), json)
+            demo(Path::new(out), json, slow)
         }
         Some(path) => {
             let label = args.get(1).map(String::as_str).unwrap_or("trace");
@@ -92,17 +96,32 @@ fn render(
 }
 
 /// Runs the seeded demo cell, saves its event trace, and dumps it.
-fn demo(out: &Path, json: bool) -> Result<(), String> {
+/// With `slow`, ingestion goes through the fused batch path under a
+/// 1 ns slow-batch bound so the trace carries postmortems.
+fn demo(out: &Path, json: bool, slow: bool) -> Result<(), String> {
     let app = CallForwarding::new();
-    let (metrics, telemetry) = run_named_observed(
-        &app,
-        "d-bad",
-        0.3,
-        3,
-        200,
-        app.recommended_window(),
-        ObsConfig::enabled(),
-    );
+    let (metrics, telemetry) = if slow {
+        run_named_observed_batched(
+            &app,
+            "d-bad",
+            0.3,
+            3,
+            200,
+            app.recommended_window(),
+            50,
+            ObsConfig::enabled().with_slow_batch_bound(1),
+        )
+    } else {
+        run_named_observed(
+            &app,
+            "d-bad",
+            0.3,
+            3,
+            200,
+            app.recommended_window(),
+            ObsConfig::enabled(),
+        )
+    };
     if let Some(dir) = out.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).map_err(|e| format!("create {dir:?}: {e}"))?;
@@ -157,6 +176,19 @@ fn dump(trace: &[TraceRecord], label: &str) {
         }
     }
     if alerts == 0 {
+        println!("(none)");
+    }
+
+    println!();
+    println!("== slow-batch postmortems ==");
+    let mut postmortems = 0;
+    for record in trace {
+        if matches!(record.event, TraceEvent::SlowBatch { .. }) {
+            postmortems += 1;
+            println!("{record}");
+        }
+    }
+    if postmortems == 0 {
         println!("(none)");
     }
 

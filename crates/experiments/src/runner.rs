@@ -64,6 +64,49 @@ pub fn run_with_observed(
     (metrics, telemetry)
 }
 
+/// [`run_with_observed`] ingesting through the fused batch path in
+/// `chunk`-sized batches instead of per-context submits. Single submits
+/// never fuse, so this is the variant that exercises batch speculation
+/// telemetry — and, with
+/// [`ctxres_obs::ObsConfig::with_slow_batch_bound`] set, slow-batch
+/// postmortems.
+///
+/// # Panics
+///
+/// Panics when `chunk` is zero or the strategy name is unknown.
+#[allow(clippy::too_many_arguments)]
+pub fn run_named_observed_batched(
+    app: &dyn PervasiveApp,
+    strategy: &str,
+    err_rate: f64,
+    seed: u64,
+    len: usize,
+    window: u64,
+    chunk: usize,
+    config: ObsConfig,
+) -> (RunMetrics, CellTelemetry) {
+    assert!(chunk > 0, "batched ingestion needs a chunk size");
+    let strategy =
+        by_name(strategy, seed).unwrap_or_else(|| panic!("unknown strategy {strategy:?}"));
+    let registry = ObsRegistry::shared(config, 1);
+    let name = strategy.name().to_owned();
+    let mut mw = build_middleware(app, strategy, window, registry.handle(0));
+    let mut batch = Vec::with_capacity(chunk);
+    for ctx in app.generate(err_rate, seed, len) {
+        batch.push(ctx);
+        if batch.len() == chunk {
+            mw.batch_add(std::mem::take(&mut batch));
+        }
+    }
+    if !batch.is_empty() {
+        mw.batch_add(batch);
+    }
+    mw.drain();
+    let metrics = harvest_metrics(&mut mw, name, err_rate, seed);
+    let telemetry = CellTelemetry::collect(&metrics.strategy, err_rate, seed, &registry);
+    (metrics, telemetry)
+}
+
 fn run_instrumented(
     app: &dyn PervasiveApp,
     strategy: Box<dyn ResolutionStrategy + Send>,
@@ -74,7 +117,23 @@ fn run_instrumented(
     obs: ShardObs,
 ) -> RunMetrics {
     let name = strategy.name().to_owned();
-    let mut mw = Middleware::builder()
+    let mut mw = build_middleware(app, strategy, window, obs);
+    for ctx in app.generate(err_rate, seed, len) {
+        mw.submit(ctx);
+    }
+    mw.drain();
+    harvest_metrics(&mut mw, name, err_rate, seed)
+}
+
+/// The middleware every runner variant deploys: the app's constraints,
+/// situations and registry, ground-truth tracking on.
+fn build_middleware(
+    app: &dyn PervasiveApp,
+    strategy: Box<dyn ResolutionStrategy + Send>,
+    window: u64,
+    obs: ShardObs,
+) -> Middleware {
+    Middleware::builder()
         .constraints(app.constraints())
         .situations(app.situations())
         .registry(app.registry())
@@ -85,11 +144,11 @@ fn run_instrumented(
             retention: None,
         })
         .obs(obs)
-        .build();
-    for ctx in app.generate(err_rate, seed, len) {
-        mw.submit(ctx);
-    }
-    mw.drain();
+        .build()
+}
+
+/// Folds a drained middleware's counters into the cell's [`RunMetrics`].
+fn harvest_metrics(mw: &mut Middleware, name: String, err_rate: f64, seed: u64) -> RunMetrics {
     let stats = *mw.stats();
     RunMetrics {
         strategy: name,

@@ -12,7 +12,7 @@
 //! context's life cycle is reconstructable" is implemented.
 
 use ctxres_context::{ContextId, ContextState};
-use ctxres_obs::{ObsRegistry, ObsSnapshot, TraceEvent, TraceRecord, COUNTER_KINDS};
+use ctxres_obs::{ObsRegistry, ObsSnapshot, TailSnapshot, TraceEvent, TraceRecord, COUNTER_KINDS};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -34,12 +34,18 @@ pub struct CellTelemetry {
     /// Events evicted from full rings during the run (0 means the trace
     /// is complete).
     pub dropped: u64,
+    /// The end-to-end tail-latency view (per-outcome histograms,
+    /// over-p99 exemplars, speculation and queue stats), when the cell
+    /// ran with [`ctxres_obs::ObsConfig::with_tail`]. `None` for
+    /// tail-off runs and for records written before the field existed.
+    pub tail: Option<TailSnapshot>,
 }
 
 impl CellTelemetry {
     /// Drains `registry` into a telemetry record tagged with its cell.
     pub fn collect(strategy: &str, err_rate: f64, seed: u64, registry: &ObsRegistry) -> Self {
         let snapshot = registry.snapshot();
+        let tail = registry.tail_snapshot();
         CellTelemetry {
             strategy: strategy.to_owned(),
             err_rate,
@@ -47,6 +53,7 @@ impl CellTelemetry {
             snapshot,
             trace: registry.drain(),
             dropped: registry.dropped(),
+            tail: (!tail.is_empty()).then_some(tail),
         }
     }
 
@@ -280,6 +287,10 @@ pub struct TraceDumpJson {
     /// engine, pre-filtered so dashboards don't have to scan the full
     /// timeline for the `alert` tag.
     pub alerts: Vec<TraceRecord>,
+    /// Every slow-batch postmortem (`TraceEvent::SlowBatch`) in the
+    /// trace, in trace order — each bundles the breaching batch's wall
+    /// segments, over-p99 exemplar ids, and speculation accounting.
+    pub postmortems: Vec<TraceRecord>,
 }
 
 /// Builds the machine-readable dump of a trace — the `--json` face of
@@ -308,6 +319,11 @@ pub fn json_dump(trace: &[TraceRecord], label: &str) -> TraceDumpJson {
         .filter(|r| matches!(r.event, TraceEvent::Alert { .. }))
         .cloned()
         .collect();
+    let postmortems = trace
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::SlowBatch { .. }))
+        .cloned()
+        .collect();
     TraceDumpJson {
         label: label.to_owned(),
         events: trace.len(),
@@ -318,6 +334,7 @@ pub fn json_dump(trace: &[TraceRecord], label: &str) -> TraceDumpJson {
         contexts_traced: lifecycles.len(),
         counters: BTreeMap::new(),
         alerts,
+        postmortems,
     }
 }
 
@@ -521,6 +538,81 @@ mod tests {
         let text = serde_json::to_string(&dump).unwrap();
         assert!(text.contains("\"alerts\""), "{text}");
         assert!(text.contains("discard_rate"), "{text}");
+    }
+
+    #[test]
+    fn json_dump_surfaces_slow_batch_postmortems() {
+        let cell = observed_cell();
+        assert!(json_dump(&cell.trace, &cell.strategy)
+            .postmortems
+            .is_empty());
+
+        // Splice a postmortem the way the fused ingest path records it.
+        let mut trace = cell.trace.clone();
+        let post = TraceRecord {
+            shard: 0,
+            seq: trace.last().map(|r| r.seq + 1).unwrap_or(0),
+            at: 42,
+            event: TraceEvent::SlowBatch {
+                batch: 3,
+                contexts: 128,
+                elapsed_ns: 9_000_000,
+                bound_ns: 5_000_000,
+                phase_self_ns: vec![
+                    ("index_maint".to_owned(), 1_000_000),
+                    ("constraint_check".to_owned(), 6_000_000),
+                    ("resolution".to_owned(), 2_000_000),
+                ],
+                exemplars: vec![ContextId::from_raw(7)],
+                spec: ctxres_obs::SpecBatch::default(),
+            },
+        };
+        trace.push(post.clone());
+        let dump = json_dump(&trace, &cell.strategy);
+        assert_eq!(dump.postmortems, vec![post]);
+        assert_eq!(dump.events, trace.len(), "postmortems stay in the timeline");
+        let text = serde_json::to_string(&dump).unwrap();
+        assert!(text.contains("\"postmortems\""), "{text}");
+        assert!(text.contains("constraint_check"), "{text}");
+    }
+
+    #[test]
+    fn tail_view_rides_the_cell_when_enabled() {
+        let app = CallForwarding::new();
+        let (_, cell) = run_named_observed(
+            &app,
+            "d-bad",
+            0.3,
+            3,
+            200,
+            app.recommended_window(),
+            ObsConfig::enabled(),
+        );
+        let tail = cell.tail.as_ref().expect("enabled preset turns tail on");
+        let folded: u64 = tail
+            .shards
+            .iter()
+            .flat_map(|s| s.outcomes.iter())
+            .map(|o| o.hist.count)
+            .sum();
+        assert_eq!(folded, 200, "every context folds a terminal span");
+        // Records written before the field existed still load
+        // (`Option` deserializes a missing field as `None`).
+        let (_, plain) = run_named_observed(
+            &app,
+            "d-bad",
+            0.3,
+            3,
+            200,
+            app.recommended_window(),
+            ObsConfig::metrics_only(),
+        );
+        assert!(plain.tail.is_none(), "metrics_only leaves tail off");
+        let json = serde_json::to_string(&plain).unwrap();
+        let stripped = json.replace(",\"tail\":null", "");
+        assert_ne!(stripped, json, "the field was present and removed");
+        let back: CellTelemetry = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, plain, "pre-tail records still load");
     }
 
     #[test]

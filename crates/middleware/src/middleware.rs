@@ -12,7 +12,10 @@ use ctxres_context::{
     Context, ContextId, ContextKind, ContextPool, ContextState, LogicalTime, Ticks, TruthTag,
 };
 use ctxres_core::{Inconsistency, ResolutionStrategy};
-use ctxres_obs::{CauseKind, CounterKind, KindHandle, MetricKind, Phase, ShardObs, TraceEvent};
+use ctxres_obs::{
+    CauseKind, ContextSpan, CounterKind, KindHandle, MetricKind, Phase, ShardObs, SpecBatch,
+    SpecOutcome, TailOutcome, TraceEvent,
+};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -27,6 +30,23 @@ const FUSED_PARALLEL_MIN: usize = 64;
 /// small intra-shard factor covers a hot shard without oversubscribing
 /// the host.
 const FUSED_MAX_WORKERS: usize = 4;
+
+/// Safety valve on the pending end-to-end span map: contexts that
+/// never reach a terminal outcome (e.g. removed by retention while
+/// still buffered) would otherwise accumulate stamps forever. Crossing
+/// this bound drops the whole map — tail telemetry is advisory, the
+/// engine must stay bounded.
+const TAIL_PENDING_MAX: usize = 1 << 20;
+
+/// The in-flight end-to-end stamps of one context, held from ingress
+/// until its terminal outcome folds them into the tail histograms.
+struct PendingTail {
+    ingress_ns: u64,
+    verdict_ns: u64,
+    decision_ns: u64,
+    batch_index: u64,
+    spec: SpecOutcome,
+}
 
 /// Tunables of a middleware instance.
 #[derive(Debug, Clone, Copy)]
@@ -158,6 +178,18 @@ pub struct Middleware {
     /// counters (ingested / delivered / discarded / expired /
     /// violations) are plain atomic bumps after the first lookup.
     kind_cells: HashMap<ContextKind, KindHandle>,
+    /// In-flight end-to-end spans, keyed by context: stamped at
+    /// ingress/verdict/decision, folded into the tail histograms at the
+    /// terminal delivery/discard/expiry. Empty unless
+    /// [`ctxres_obs::ObsConfig::with_tail`] is on.
+    tail_pending: HashMap<ContextId, PendingTail>,
+    /// Engine-local fused-batch counter; postmortems and exemplars cite
+    /// it.
+    next_batch: u64,
+    /// Live only inside a fused batch with tail telemetry on: contexts
+    /// captured as tail exemplars while the batch committed, for the
+    /// slow-batch postmortem.
+    tail_batch_exemplars: Option<Vec<ContextId>>,
 }
 
 impl fmt::Debug for Middleware {
@@ -362,9 +394,25 @@ impl Middleware {
             result: Result<Vec<Detection>, EvalError>,
             counts: PlanCounts,
         }
+        /// What one speculation worker hands back: its (position, verdict)
+        /// pairs, its private predicate memo, and its busy-ns occupancy.
+        type FusedWorkerYield = (Vec<(usize, Spec)>, PredMemo, u64);
 
         let obs = self.obs.clone();
         let _ingest_phase = obs.phase(Phase::Ingest);
+
+        // Tail telemetry stamps: one monotonic ingress stamp covers the
+        // whole batch (contexts "arrive" together), and per-batch
+        // speculation accounting folds into the shard's tail slot at
+        // the end. All of it is branch-gated so the tail-off path reads
+        // no clocks.
+        let tail_on = self.obs.tail_enabled();
+        let batch_index = self.next_batch;
+        let batch_start_ns = if tail_on { self.obs.now_ns() } else { 0 };
+        if tail_on {
+            self.tail_batch_exemplars = Some(Vec::new());
+        }
+        let mut spec_batch = SpecBatch::default();
 
         // One plan per distinct kind; positions refer to it by index so
         // the commit loop does no per-context kind clone or map lookup.
@@ -405,6 +453,7 @@ impl Middleware {
                 pos.id = id;
             }
         }
+        let stage_end_ns = if tail_on { self.obs.now_ns() } else { 0 };
 
         // Disjoint-footprint subject groups over the relevant
         // positions, in first-appearance order.
@@ -441,7 +490,11 @@ impl Middleware {
             let plans_ref = &plans;
             let meta_ref = &meta;
             let groups_ref = &groups;
-            let run_worker = |offset: usize, step: usize| -> (Vec<(usize, Spec)>, PredMemo) {
+            let run_worker = |offset: usize, step: usize| -> FusedWorkerYield {
+                // Busy-ns occupancy for the speculation-efficiency
+                // telemetry; the clock is only read when the tail layer
+                // is on.
+                let started = tail_on.then(std::time::Instant::now);
                 let mut scratch = EvalScratch::new();
                 let mut memo = PredMemo::new();
                 let mut out = Vec::new();
@@ -465,7 +518,10 @@ impl Middleware {
                         }
                     }
                 }
-                (out, memo)
+                let busy_ns = started.map_or(0, |t| {
+                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                });
+                (out, memo, busy_ns)
             };
             let workers = if relevant_total >= FUSED_PARALLEL_MIN {
                 std::thread::available_parallelism()
@@ -476,7 +532,7 @@ impl Middleware {
             } else {
                 1
             };
-            let produced: Vec<(Vec<(usize, Spec)>, PredMemo)> = if workers <= 1 {
+            let produced: Vec<FusedWorkerYield> = if workers <= 1 {
                 vec![run_worker(0, 1)]
             } else {
                 std::thread::scope(|scope| {
@@ -486,14 +542,22 @@ impl Middleware {
                     handles.into_iter().map(|h| h.join().unwrap()).collect()
                 })
             };
-            for (partial, worker_memo) in produced {
+            if tail_on {
+                spec_batch.workers_used = workers as u64;
+            }
+            for (partial, worker_memo, busy_ns) in produced {
                 memo.absorb(worker_memo);
+                if tail_on {
+                    spec_batch.groups_speculated += partial.len() as u64;
+                    spec_batch.worker_busy_ns.push(busy_ns);
+                }
                 for (k, spec) in partial {
                     specs[k] = Some(spec);
                 }
             }
             check_phase.finish();
         }
+        let spec_end_ns = if tail_on { self.obs.now_ns() } else { 0 };
 
         // Commit: replay every position in arrival order.
         self.fused_dirty_subjects = Some(HashSet::new());
@@ -597,6 +661,19 @@ impl Middleware {
                     );
                     self.obs.count(CounterKind::ProvEdges, 1);
                 }
+                if tail_on {
+                    // Irrelevant contexts get no constraint verdict or
+                    // resolution decision; both stamps collapse onto
+                    // the moment the fast path classified them.
+                    let classified_ns = self.obs.now_ns();
+                    self.stamp_tail(
+                        id,
+                        batch_start_ns,
+                        classified_ns,
+                        classified_ns,
+                        SpecOutcome::NotSpeculated,
+                    );
+                }
                 self.buffer.push_back((now + self.config.window, id));
                 self.obs
                     .observe(MetricKind::QueueDepth, self.buffer.len() as u64);
@@ -625,7 +702,9 @@ impl Middleware {
                 .fused_dirty_subjects
                 .as_ref()
                 .is_none_or(|d| !d.contains(subject));
-            let (checked, counts) = match specs[k].take().filter(|_| clean) {
+            let spec_taken = specs[k].take();
+            let had_spec = spec_taken.is_some();
+            let (checked, counts) = match spec_taken.filter(|_| clean) {
                 Some(spec) => (spec.result, spec.counts),
                 // No (valid) speculative verdict — check inline at the
                 // commit position, where the pool differs from the
@@ -655,6 +734,7 @@ impl Middleware {
             };
             check_phase.finish();
             check_span.finish();
+            let verdict_ns = if tail_on { self.obs.now_ns() } else { 0 };
             let compiled_delta = self.checker.stats().compiled_evals - self.reported_compiled_evals;
             if compiled_delta > 0 {
                 self.obs.count(CounterKind::CompiledEvals, compiled_delta);
@@ -710,6 +790,23 @@ impl Middleware {
             let outcome = self.strategy.on_addition(&mut self.pool, now, id, &fresh);
             resolve_phase.finish();
             resolve_span.finish();
+            if tail_on {
+                // Stamp before the discard loop: the strategy may have
+                // discarded this very context, and `count_discard`
+                // needs the pending span to fold it as `Discarded`.
+                let decision_ns = self.obs.now_ns();
+                let spec = if had_spec && clean {
+                    spec_batch.consumed += 1;
+                    SpecOutcome::Consumed
+                } else if had_spec {
+                    spec_batch.wasted_dirty += 1;
+                    SpecOutcome::WastedDirty
+                } else {
+                    spec_batch.inline_checks += 1;
+                    SpecOutcome::Inline
+                };
+                self.stamp_tail(id, batch_start_ns, verdict_ns, decision_ns, spec);
+            }
             for did in &outcome.discarded {
                 let cause = fresh
                     .iter()
@@ -749,6 +846,41 @@ impl Middleware {
             self.obs.count(CounterKind::PredMemoMisses, memo.misses());
         }
         self.obs.count(CounterKind::FusedBatchEvals, 1);
+        self.next_batch = self.next_batch.wrapping_add(1);
+        if tail_on {
+            self.obs.record_spec_batch(&spec_batch);
+            let end_ns = self.obs.now_ns();
+            let elapsed_ns = end_ns.saturating_sub(batch_start_ns);
+            let exemplars = self.tail_batch_exemplars.take().unwrap_or_default();
+            let bound_ns = self.obs.slow_batch_bound_ns();
+            if bound_ns > 0 && elapsed_ns > bound_ns {
+                // Postmortem: bundle the batch's measured wall segments
+                // (staging, speculation, commit) with the over-p99
+                // exemplars it produced and its speculation accounting.
+                self.obs.record(
+                    self.clock,
+                    TraceEvent::SlowBatch {
+                        batch: batch_index,
+                        contexts: meta.len() as u64,
+                        elapsed_ns,
+                        bound_ns,
+                        phase_self_ns: vec![
+                            (
+                                "index_maint".to_string(),
+                                stage_end_ns.saturating_sub(batch_start_ns),
+                            ),
+                            (
+                                "constraint_check".to_string(),
+                                spec_end_ns.saturating_sub(stage_end_ns),
+                            ),
+                            ("resolution".to_string(), end_ns.saturating_sub(spec_end_ns)),
+                        ],
+                        exemplars,
+                        spec: spec_batch,
+                    },
+                );
+            }
+        }
         self.publish_health();
         reports
     }
@@ -873,6 +1005,8 @@ impl Middleware {
             self.clock = stamp;
         }
         let now = self.clock;
+        let tail_on = self.obs.tail_enabled();
+        let ingress_ns = if tail_on { self.obs.now_ns() } else { 0 };
         self.process_due(now);
 
         let truth = ctx.truth();
@@ -971,6 +1105,16 @@ impl Middleware {
                 );
                 self.obs.count(CounterKind::ProvEdges, 1);
             }
+            if tail_on {
+                let classified_ns = self.obs.now_ns();
+                self.stamp_tail(
+                    id,
+                    ingress_ns,
+                    classified_ns,
+                    classified_ns,
+                    SpecOutcome::NotSpeculated,
+                );
+            }
             self.buffer.push_back((now + self.config.window, id));
             self.obs
                 .observe(MetricKind::QueueDepth, self.buffer.len() as u64);
@@ -1015,6 +1159,7 @@ impl Middleware {
         };
         check_phase.finish();
         check_span.finish();
+        let verdict_ns = if tail_on { self.obs.now_ns() } else { 0 };
         let compiled_delta = self.checker.stats().compiled_evals - self.reported_compiled_evals;
         if compiled_delta > 0 {
             self.obs.count(CounterKind::CompiledEvals, compiled_delta);
@@ -1075,6 +1220,18 @@ impl Middleware {
         let outcome = self.strategy.on_addition(&mut self.pool, now, id, &fresh);
         resolve_phase.finish();
         resolve_span.finish();
+        if tail_on {
+            // Single submits never speculate; stamp before the discard
+            // loop so an eager self-discard still folds as `Discarded`.
+            let decision_ns = self.obs.now_ns();
+            self.stamp_tail(
+                id,
+                ingress_ns,
+                verdict_ns,
+                decision_ns,
+                SpecOutcome::NotSpeculated,
+            );
+        }
         for did in &outcome.discarded {
             // Addition-path discards (eager strategies) always take a
             // still-undecided context out; the verdict edge cites the
@@ -1376,6 +1533,13 @@ impl Middleware {
                     .count(CounterKind::ProvEdges, outcome.marked_bad.len() as u64);
             }
         }
+        if self.obs.tail_enabled() {
+            if outcome.delivered {
+                self.finish_tail(id, TailOutcome::Delivered, now);
+            } else if !outcome.discarded.contains(&id) && !was_live {
+                self.finish_tail(id, TailOutcome::Expired, now);
+            }
+        }
         let rec = UseRecord {
             id,
             delivered: outcome.delivered,
@@ -1468,6 +1632,60 @@ impl Middleware {
                     self.obs.count(CounterKind::ProvEdges, 1);
                 }
                 self.observe_chain_depth(id);
+            }
+        }
+        if self.obs.tail_enabled() {
+            self.finish_tail(id, TailOutcome::Discarded, now);
+        }
+    }
+
+    /// Stamps a context's in-flight end-to-end span (ingress → verdict
+    /// → decision, nanoseconds on the obs epoch clock). Only called on
+    /// tail-enabled paths; the pending map is bounded by
+    /// [`TAIL_PENDING_MAX`].
+    fn stamp_tail(
+        &mut self,
+        id: ContextId,
+        ingress_ns: u64,
+        verdict_ns: u64,
+        decision_ns: u64,
+        spec: SpecOutcome,
+    ) {
+        if self.tail_pending.len() >= TAIL_PENDING_MAX {
+            self.tail_pending.clear();
+        }
+        self.tail_pending.insert(
+            id,
+            PendingTail {
+                ingress_ns,
+                verdict_ns,
+                decision_ns,
+                batch_index: self.next_batch,
+                spec,
+            },
+        );
+    }
+
+    /// Folds a context's terminal outcome into the tail histograms,
+    /// capturing it as an exemplar (and noting it for a running batch's
+    /// postmortem) when it lands past the shard's rolling p99
+    /// threshold. No-op for contexts without pending stamps.
+    fn finish_tail(&mut self, id: ContextId, outcome: TailOutcome, at: LogicalTime) {
+        let Some(p) = self.tail_pending.remove(&id) else {
+            return;
+        };
+        let span = ContextSpan {
+            ingress_ns: p.ingress_ns,
+            verdict_ns: p.verdict_ns,
+            decision_ns: p.decision_ns,
+            end_ns: self.obs.now_ns(),
+        };
+        if self
+            .obs
+            .record_e2e(id, outcome, span, p.batch_index, p.spec, at)
+        {
+            if let Some(captured) = self.tail_batch_exemplars.as_mut() {
+                captured.push(id);
             }
         }
     }
@@ -1840,6 +2058,9 @@ impl MiddlewareBuilder {
             subscriptions: SubscriptionTable::new(),
             obs: self.obs,
             kind_cells: HashMap::new(),
+            tail_pending: HashMap::new(),
+            next_batch: 0,
+            tail_batch_exemplars: None,
         }
     }
 }
@@ -2527,6 +2748,180 @@ mod retention_tests {
         m.batch_add(vec![loc("p", 0, 0.0)]);
         m.drain();
         assert!(off.profile_snapshot().is_empty());
+    }
+
+    #[test]
+    fn tail_spans_fold_through_a_fused_batch() {
+        use ctxres_constraint::parse_constraints;
+        use ctxres_context::{ContextKind, Point};
+        use ctxres_core::strategies::DropBad;
+        use ctxres_obs::{ObsConfig, ObsRegistry, TailOutcome};
+        const SPEED: &str = "constraint speed:
+            forall a: location, b: location .
+              (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+        let loc = |subject: &str, seq: i64, x: f64| {
+            Context::builder(ContextKind::new("location"), subject)
+                .attr("pos", Point::new(x, 0.0))
+                .attr("seq", seq)
+                .stamp(LogicalTime::new(seq as u64))
+                .build()
+        };
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only().with_tail(true), 1);
+        let mut m = Middleware::builder()
+            .constraints(parse_constraints(SPEED).unwrap())
+            .strategy(Box::new(DropBad::new()))
+            .obs(registry.handle(0))
+            .build();
+        m.batch_add(vec![loc("p", 0, 0.0), loc("p", 1, 50.0), loc("q", 0, 0.0)]);
+        m.drain();
+        assert!(
+            m.tail_pending.is_empty(),
+            "every span reached a terminal outcome"
+        );
+        let snap = registry.tail_snapshot();
+        let shard = &snap.shards[0];
+        let by = |o: TailOutcome| {
+            shard
+                .outcomes
+                .iter()
+                .find(|t| t.outcome == o)
+                .map_or(0, |t| t.hist.count)
+        };
+        let total: u64 = shard.outcomes.iter().map(|o| o.hist.count).sum();
+        assert_eq!(total, 3, "one terminal fold per context");
+        assert!(by(TailOutcome::Delivered) >= 1, "the clean track delivers");
+        assert!(by(TailOutcome::Discarded) >= 1, "the violator is dropped");
+        // Speculation accounting: one fused batch, sequential (small),
+        // and every relevant commit position classified exactly once.
+        assert_eq!(shard.spec.batches, 1);
+        assert_eq!(shard.spec.workers_used, 1, "small batch stays sequential");
+        assert_eq!(
+            shard.spec.consumed + shard.spec.wasted_dirty + shard.spec.inline_checks,
+            3,
+            "three relevant commits"
+        );
+        assert_eq!(
+            shard.spec.groups_speculated,
+            shard.spec.consumed + shard.spec.wasted_dirty,
+            "all produced verdicts are consumed or invalidated at commit"
+        );
+        assert!(
+            shard.spec.worker_busy_ns.iter().skip(1).all(|&b| b == 0),
+            "only worker slot 0 accrues occupancy"
+        );
+        // Early records land under the warm-up threshold, so the
+        // reservoir holds exemplars; each carries a resolvable causal
+        // ID and a telescoping span.
+        let exemplars = snap.exemplars();
+        assert!(!exemplars.is_empty());
+        for ex in exemplars {
+            assert!(ex.causal_id().starts_with("s0/ctx#"), "{}", ex.causal_id());
+            let seg_sum: u64 = ex.span.segments().iter().sum();
+            assert_eq!(seg_sum, ex.span.total_ns());
+        }
+    }
+
+    #[test]
+    fn single_submits_record_tail_spans_too() {
+        use ctxres_constraint::parse_constraints;
+        use ctxres_context::{ContextKind, Point};
+        use ctxres_core::strategies::DropBad;
+        use ctxres_obs::{ObsConfig, ObsRegistry, TailOutcome};
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only().with_tail(true), 1);
+        let mut m = Middleware::builder()
+            .constraints(
+                parse_constraints(
+                    "constraint region: forall a: location . within(a, -1.0, -1.0, 1.0, 1.0)",
+                )
+                .unwrap(),
+            )
+            .strategy(Box::new(DropBad::new()))
+            .obs(registry.handle(0))
+            .build();
+        m.submit(
+            Context::builder(ContextKind::new("location"), "p")
+                .attr("pos", Point::new(0.0, 0.0))
+                .stamp(LogicalTime::new(0))
+                .build(),
+        );
+        m.drain();
+        assert!(m.tail_pending.is_empty());
+        let snap = registry.tail_snapshot();
+        let delivered = snap.shards[0]
+            .outcomes
+            .iter()
+            .find(|t| t.outcome == TailOutcome::Delivered)
+            .map_or(0, |t| t.hist.count);
+        assert_eq!(delivered, 1, "the sequential path stamps spans as well");
+        assert_eq!(snap.shards[0].spec.batches, 0, "no fused batch ran");
+    }
+
+    #[test]
+    fn slow_batches_emit_postmortems_when_bounded() {
+        use ctxres_constraint::parse_constraints;
+        use ctxres_context::{ContextKind, Point};
+        use ctxres_core::strategies::DropBad;
+        use ctxres_obs::{ObsConfig, ObsRegistry, TraceEvent};
+        const SPEED: &str = "constraint speed:
+            forall a: location, b: location .
+              (same_subject(a, b) and seq_gap(a, b, 1)) implies velocity_le(a, b, 1.5)";
+        let loc = |subject: &str, seq: i64, x: f64| {
+            Context::builder(ContextKind::new("location"), subject)
+                .attr("pos", Point::new(x, 0.0))
+                .attr("seq", seq)
+                .stamp(LogicalTime::new(seq as u64))
+                .build()
+        };
+        let build = |registry: &std::sync::Arc<ObsRegistry>| {
+            Middleware::builder()
+                .constraints(parse_constraints(SPEED).unwrap())
+                .strategy(Box::new(DropBad::new()))
+                .obs(registry.handle(0))
+                .build()
+        };
+        // A 1ns bound: every fused batch breaches and owes a postmortem.
+        let bounded = ObsRegistry::shared(ObsConfig::enabled().with_slow_batch_bound(1), 1);
+        let mut m = build(&bounded);
+        m.batch_add(vec![loc("p", 0, 0.0), loc("p", 1, 50.0)]);
+        let posts: Vec<_> = bounded
+            .drain()
+            .into_iter()
+            .filter(|r| matches!(r.event, TraceEvent::SlowBatch { .. }))
+            .collect();
+        assert_eq!(posts.len(), 1, "one breaching batch, one postmortem");
+        let TraceEvent::SlowBatch {
+            batch,
+            contexts,
+            elapsed_ns,
+            bound_ns,
+            ref phase_self_ns,
+            ref spec,
+            ..
+        } = posts[0].event
+        else {
+            unreachable!()
+        };
+        assert_eq!(batch, 0);
+        assert_eq!(contexts, 2);
+        assert_eq!(bound_ns, 1);
+        assert!(elapsed_ns > bound_ns);
+        let names: Vec<&str> = phase_self_ns.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["index_maint", "constraint_check", "resolution"]);
+        let segments: u64 = phase_self_ns.iter().map(|(_, ns)| *ns).sum();
+        assert_eq!(segments, elapsed_ns, "wall segments telescope");
+        assert_eq!(spec.groups_speculated, 2);
+        assert_eq!(spec.workers_used, 1);
+        // Without a bound the same run stays quiet.
+        let unbounded = ObsRegistry::shared(ObsConfig::enabled(), 1);
+        let mut m = build(&unbounded);
+        m.batch_add(vec![loc("p", 0, 0.0), loc("p", 1, 50.0)]);
+        assert!(
+            unbounded
+                .drain()
+                .iter()
+                .all(|r| !matches!(r.event, TraceEvent::SlowBatch { .. })),
+            "no postmortem without a bound"
+        );
     }
 }
 

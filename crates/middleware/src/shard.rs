@@ -337,9 +337,25 @@ impl ShardedMiddleware {
 
     /// Submits one context to its shard, locking only that shard.
     /// Returns the shard index and the shard's report.
+    ///
+    /// With [`ObsConfig::with_tail`] on, the time spent waiting for the
+    /// shard lock and the time spent inside it are recorded separately
+    /// (the wait-versus-service decomposition of the shard queues).
     pub fn submit(&self, ctx: Context) -> (usize, SubmitReport) {
         let shard = self.plan.route(&ctx);
-        let report = self.shards[shard].lock().submit(ctx);
+        let tail_on = self.obs.tail_enabled();
+        let waited = tail_on.then(std::time::Instant::now);
+        let mut mw = self.shards[shard].lock();
+        if let Some(t) = waited {
+            mw.obs()
+                .record_queue_wait(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        let served = tail_on.then(std::time::Instant::now);
+        let report = mw.submit(ctx);
+        if let Some(t) = served {
+            mw.obs()
+                .record_queue_service(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
         (shard, report)
     }
 
@@ -379,13 +395,29 @@ impl ShardedMiddleware {
                     continue;
                 }
                 let shard = &self.shards[i];
+                let tail_on = self.obs.tail_enabled();
                 let handle = scope.spawn(move || {
+                    // Wait-versus-service decomposition: how long the
+                    // chunk queued on the shard lock versus how long the
+                    // shard engine actually worked on it.
+                    let waited = tail_on.then(std::time::Instant::now);
                     let mut mw = shard.lock();
                     // The shard's own handle, cloned out of the guard so
                     // the ingest span can outlive `mw`'s borrows.
                     let obs = mw.obs().clone();
+                    if let Some(t) = waited {
+                        obs.record_queue_wait(
+                            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                    }
                     let span = obs.span(MetricKind::IngestLatency);
+                    let served = tail_on.then(std::time::Instant::now);
                     mw.batch_add(chunk);
+                    if let Some(t) = served {
+                        obs.record_queue_service(
+                            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                    }
                     span.finish();
                 });
                 handles.push((i, handle));
@@ -795,6 +827,45 @@ mod tests {
         );
         let held = sharded.registry().expect("observed engine keeps registry");
         assert!(Arc::ptr_eq(held, &registry));
+    }
+
+    #[test]
+    fn tail_engine_decomposes_queue_wait_and_service() {
+        let constraints = parse_constraints(SPEED).unwrap();
+        let plan = ShardPlan::analyze(&constraints, 2);
+        let registry =
+            ShardedMiddleware::obs_registry(&plan, ObsConfig::metrics_only().with_tail(true));
+        let sharded = ShardedMiddleware::new_observed(plan, &registry, |_, obs| {
+            Middleware::builder()
+                .constraints(parse_constraints(SPEED).unwrap())
+                .strategy(Box::new(DropBad::new()))
+                .config(MiddlewareConfig {
+                    window: Ticks::new(0),
+                    track_ground_truth: false,
+                    retention: None,
+                })
+                .obs(obs)
+                .build()
+        });
+        let batch: Vec<Context> = (0..6)
+            .flat_map(|t| ["alice", "bob"].map(|s| loc(s, t, t as f64 * 0.1)))
+            .collect();
+        sharded.batch_add_owned(batch);
+        sharded.submit(loc("alice", 6, 0.6));
+        sharded.drain();
+        let tail = registry.tail_snapshot();
+        let waits: u64 = tail.shards.iter().map(|s| s.queue.wait_count).sum();
+        let services: u64 = tail.shards.iter().map(|s| s.queue.service_count).sum();
+        assert!(waits >= 2, "each ingested chunk and submit queues once");
+        assert_eq!(waits, services, "every wait is followed by service");
+        // The delivered spans flowed through too.
+        let folded: u64 = tail
+            .shards
+            .iter()
+            .flat_map(|s| s.outcomes.iter())
+            .map(|o| o.hist.count)
+            .sum();
+        assert_eq!(folded, 13, "one terminal outcome per context");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Typed life-cycle trace events.
 
+use crate::tail::SpecBatch;
 use ctxres_context::{ContextId, ContextState};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -181,6 +182,30 @@ pub enum TraceEvent {
         /// `true` = fired, `false` = cleared.
         firing: bool,
     },
+    /// A slow-batch postmortem: an ingestion batch breached the
+    /// configured wall-clock bound
+    /// ([`crate::ObsConfig::slow_batch_bound_ns`]). The event bundles
+    /// everything needed to chase the regression without re-running:
+    /// the batch's per-phase self-times, the contexts captured as tail
+    /// exemplars while it committed, and its speculation accounting.
+    SlowBatch {
+        /// The engine-local batch index that breached.
+        batch: u64,
+        /// Contexts in the batch.
+        contexts: u64,
+        /// Wall-clock nanoseconds the batch ingest took.
+        elapsed_ns: u64,
+        /// The configured bound it breached, nanoseconds.
+        bound_ns: u64,
+        /// Per-phase self-time attribution for the batch, `(phase
+        /// name, self ns)`, phases that ran only.
+        phase_self_ns: Vec<(String, u64)>,
+        /// Contexts captured as tail exemplars during the batch (their
+        /// causal IDs resolve via `explain`).
+        exemplars: Vec<ContextId>,
+        /// The batch's speculation-efficiency accounting.
+        spec: SpecBatch,
+    },
 }
 
 impl TraceEvent {
@@ -199,6 +224,7 @@ impl TraceEvent {
             TraceEvent::Expired { .. } => "expired",
             TraceEvent::Caused { .. } => "cause",
             TraceEvent::Alert { .. } => "alert",
+            TraceEvent::SlowBatch { .. } => "slow_batch",
         }
     }
 
@@ -218,7 +244,8 @@ impl TraceEvent {
             TraceEvent::Detected { .. }
             | TraceEvent::DeltaInserted { .. }
             | TraceEvent::DeltaRemoved { .. }
-            | TraceEvent::Alert { .. } => None,
+            | TraceEvent::Alert { .. }
+            | TraceEvent::SlowBatch { .. } => None,
         }
     }
 
@@ -233,6 +260,7 @@ impl TraceEvent {
                 all.extend(partners.iter().copied());
                 all
             }
+            TraceEvent::SlowBatch { exemplars, .. } => exemplars.clone(),
             other => other.primary_ctx().into_iter().collect(),
         }
     }
@@ -314,6 +342,37 @@ impl fmt::Display for TraceEvent {
                     write!(f, "{{kind={k:?}}}")?;
                 }
                 write!(f, " = {value:.4} vs {threshold}")
+            }
+            TraceEvent::SlowBatch {
+                batch,
+                contexts,
+                elapsed_ns,
+                bound_ns,
+                phase_self_ns,
+                exemplars,
+                spec,
+            } => {
+                write!(
+                    f,
+                    "slow batch #{batch} ({contexts} ctxs) {:.3}ms > bound {:.3}ms",
+                    *elapsed_ns as f64 / 1e6,
+                    *bound_ns as f64 / 1e6
+                )?;
+                if !phase_self_ns.is_empty() {
+                    write!(f, "; phases")?;
+                    for (phase, ns) in phase_self_ns {
+                        write!(f, " {phase}={:.3}ms", *ns as f64 / 1e6)?;
+                    }
+                }
+                write!(
+                    f,
+                    "; spec {}/{} consumed, {} wasted, {} inline",
+                    spec.consumed, spec.groups_speculated, spec.wasted_dirty, spec.inline_checks
+                )?;
+                if !exemplars.is_empty() {
+                    write!(f, "; exemplars [{}]", join_ids(exemplars))?;
+                }
+                Ok(())
             }
         }
     }
@@ -420,6 +479,40 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("FIRING"), "{s}");
         assert!(s.contains("discard_rate"), "{s}");
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn slow_batch_postmortems_round_trip() {
+        let e = TraceEvent::SlowBatch {
+            batch: 7,
+            contexts: 4096,
+            elapsed_ns: 12_300_000,
+            bound_ns: 5_000_000,
+            phase_self_ns: vec![
+                ("constraint_check".into(), 9_000_000),
+                ("ingest".into(), 2_000_000),
+            ],
+            exemplars: vec![id(3), id(9)],
+            spec: SpecBatch {
+                groups_speculated: 10,
+                consumed: 6,
+                wasted_dirty: 2,
+                inline_checks: 4,
+                workers_used: 4,
+                worker_busy_ns: vec![100, 200],
+            },
+        };
+        assert_eq!(e.tag(), "slow_batch");
+        assert_eq!(e.primary_ctx(), None);
+        assert_eq!(e.contexts(), vec![id(3), id(9)]);
+        let s = e.to_string();
+        assert!(s.contains("slow batch #7"), "{s}");
+        assert!(s.contains("constraint_check"), "{s}");
+        assert!(s.contains("6/10 consumed"), "{s}");
+        assert!(s.contains("ctx#3"), "{s}");
         let json = serde_json::to_string(&e).unwrap();
         let back: TraceEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);

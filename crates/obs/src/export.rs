@@ -24,6 +24,7 @@ use crate::health::HealthSample;
 use crate::metrics::{bucket_bound, CounterKind, MetricKind, COUNTER_KINDS, METRIC_KINDS};
 use crate::profile::PhaseSample;
 use crate::snapshot::{BuildInfo, Sample, QUANTILES};
+use crate::tail::{TailSample, TailWindow, TAIL_QUANTILES};
 use std::fmt::Write as _;
 
 /// The exposition-format content type, for HTTP responses.
@@ -50,6 +51,16 @@ fn quantile_value(bound: u64) -> String {
         "+Inf".to_owned()
     } else {
         bound.to_string()
+    }
+}
+
+/// An interpolated quantile estimate as an exposition value: ranks in
+/// the overflow bucket estimate to infinity, exported as `+Inf`.
+fn quantile_est_value(est: f64) -> String {
+    if est.is_infinite() {
+        "+Inf".to_owned()
+    } else {
+        est.to_string()
     }
 }
 
@@ -140,6 +151,19 @@ pub fn render_prometheus(sample: &Sample) -> String {
                 }
             }
         }
+        let _ = writeln!(w, "# TYPE {name}_quantile_est gauge");
+        for (i, shard) in sample.snapshot.shards.iter().enumerate() {
+            let h = shard.histogram(kind);
+            for q in QUANTILES {
+                if let Some(est) = h.quantile_est(q) {
+                    let _ = writeln!(
+                        w,
+                        "{name}_quantile_est{{shard=\"{i}\",q=\"{q}\"}} {}",
+                        quantile_est_value(est)
+                    );
+                }
+            }
+        }
     }
 
     // Health telemetry is rendered only when something published it, so
@@ -147,6 +171,12 @@ pub fn render_prometheus(sample: &Sample) -> String {
     // golden test above never sees these sections).
     if let Some(health) = &sample.health {
         render_health(w, health);
+    }
+
+    // End-to-end tail series render only when the tail layer is on and
+    // recorded — pre-tail setups export byte-identical text.
+    if let Some(tail) = &sample.tail {
+        render_tail(w, tail);
     }
 
     // Phase-profiler series render only when profiling is on and ran,
@@ -241,6 +271,190 @@ fn render_phases(w: &mut String, phases: &PhaseSample) {
                 p.phase,
                 p.self_ns as f64 / window_self as f64
             );
+        }
+    }
+}
+
+/// Renders the end-to-end tail sections: cumulative per-(shard,
+/// outcome) latency summaries (microsecond-bucketed), windowed
+/// interpolated quantiles per outcome, exemplar-capture counters and
+/// thresholds, and the speculation/queue efficiency series.
+fn render_tail(w: &mut String, tail: &TailSample) {
+    let rows: Vec<_> = tail
+        .snapshot
+        .shards
+        .iter()
+        .flat_map(|s| {
+            s.outcomes
+                .iter()
+                .filter(|o| o.hist.count > 0)
+                .map(move |o| (s.shard, o))
+        })
+        .collect();
+    if !rows.is_empty() {
+        let _ = writeln!(w, "# TYPE ctxres_e2e_latency_us histogram");
+        for (i, o) in &rows {
+            let name = o.outcome.name();
+            let _ = writeln!(
+                w,
+                "ctxres_e2e_latency_us_bucket{{shard=\"{i}\",outcome=\"{name}\",le=\"+Inf\"}} {}",
+                o.hist.count
+            );
+            let _ = writeln!(
+                w,
+                "ctxres_e2e_latency_us_sum{{shard=\"{i}\",outcome=\"{name}\"}} {}",
+                o.hist.sum
+            );
+            let _ = writeln!(
+                w,
+                "ctxres_e2e_latency_us_count{{shard=\"{i}\",outcome=\"{name}\"}} {}",
+                o.hist.count
+            );
+        }
+    }
+
+    // Windowed interpolated quantiles, per outcome and across all.
+    let quantiles = |win: &TailWindow| {
+        [
+            (TAIL_QUANTILES[0], win.p50_ns),
+            (TAIL_QUANTILES[1], win.p95_ns),
+            (TAIL_QUANTILES[2], win.p99_ns),
+            (TAIL_QUANTILES[3], win.p999_ns),
+        ]
+    };
+    let windows: Vec<(&str, &TailWindow)> = tail
+        .outcomes
+        .iter()
+        .filter(|o| o.window.count > 0)
+        .map(|o| (o.outcome.name(), &o.window))
+        .chain((tail.all.count > 0).then_some(("all", &tail.all)))
+        .collect();
+    if !windows.is_empty() {
+        let _ = writeln!(w, "# TYPE ctxres_e2e_window_quantile_ns gauge");
+        for (name, win) in &windows {
+            for (q, v) in quantiles(win) {
+                if let Some(v) = v {
+                    let _ = writeln!(
+                        w,
+                        "ctxres_e2e_window_quantile_ns{{outcome=\"{name}\",q=\"{q}\"}} {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    let capturing: Vec<_> = tail
+        .snapshot
+        .shards
+        .iter()
+        .filter(|s| s.captured > 0)
+        .collect();
+    if !capturing.is_empty() {
+        let _ = writeln!(w, "# TYPE ctxres_e2e_exemplars_captured_total counter");
+        for s in &capturing {
+            let _ = writeln!(
+                w,
+                "ctxres_e2e_exemplars_captured_total{{shard=\"{}\"}} {}",
+                s.shard, s.captured
+            );
+        }
+        let _ = writeln!(w, "# TYPE ctxres_e2e_capture_threshold_ns gauge");
+        for s in &capturing {
+            let v = if s.threshold_ns == u64::MAX {
+                "+Inf".to_owned()
+            } else {
+                s.threshold_ns.to_string()
+            };
+            let _ = writeln!(
+                w,
+                "ctxres_e2e_capture_threshold_ns{{shard=\"{}\"}} {v}",
+                s.shard
+            );
+        }
+    }
+
+    let speculating: Vec<_> = tail
+        .snapshot
+        .shards
+        .iter()
+        .filter(|s| !s.spec.is_empty())
+        .collect();
+    if !speculating.is_empty() {
+        for (field, get) in [
+            (
+                "batches",
+                &(|s: &crate::tail::SpecStats| s.batches) as &dyn Fn(_) -> u64,
+            ),
+            ("groups_speculated", &|s: &crate::tail::SpecStats| {
+                s.groups_speculated
+            }),
+            ("consumed", &|s: &crate::tail::SpecStats| s.consumed),
+            ("wasted_dirty", &|s: &crate::tail::SpecStats| s.wasted_dirty),
+            ("inline_checks", &|s: &crate::tail::SpecStats| {
+                s.inline_checks
+            }),
+        ] {
+            let _ = writeln!(w, "# TYPE ctxres_spec_{field}_total counter");
+            for s in &speculating {
+                let _ = writeln!(
+                    w,
+                    "ctxres_spec_{field}_total{{shard=\"{}\"}} {}",
+                    s.shard,
+                    get(&s.spec)
+                );
+            }
+        }
+        let _ = writeln!(w, "# TYPE ctxres_spec_worker_busy_seconds_total counter");
+        for s in &speculating {
+            for (worker, ns) in s.spec.worker_busy_ns.iter().enumerate() {
+                if *ns > 0 {
+                    let _ = writeln!(
+                        w,
+                        "ctxres_spec_worker_busy_seconds_total{{shard=\"{}\",worker=\"{worker}\"}} {}",
+                        s.shard,
+                        *ns as f64 / 1e9
+                    );
+                }
+            }
+        }
+        if let Some(rate) = tail.spec.consumed_rate {
+            let _ = writeln!(w, "# TYPE ctxres_spec_consumed_rate gauge");
+            let _ = writeln!(w, "ctxres_spec_consumed_rate {rate}");
+        }
+        if let Some(rate) = tail.spec.wasted_rate {
+            let _ = writeln!(w, "# TYPE ctxres_spec_wasted_rate gauge");
+            let _ = writeln!(w, "ctxres_spec_wasted_rate {rate}");
+        }
+    }
+
+    let queued: Vec<_> = tail
+        .snapshot
+        .shards
+        .iter()
+        .filter(|s| !s.queue.is_empty())
+        .collect();
+    if !queued.is_empty() {
+        let _ = writeln!(w, "# TYPE ctxres_queue_wait_seconds_total counter");
+        for s in &queued {
+            let _ = writeln!(
+                w,
+                "ctxres_queue_wait_seconds_total{{shard=\"{}\"}} {}",
+                s.shard,
+                s.queue.wait_ns as f64 / 1e9
+            );
+        }
+        let _ = writeln!(w, "# TYPE ctxres_queue_service_seconds_total counter");
+        for s in &queued {
+            let _ = writeln!(
+                w,
+                "ctxres_queue_service_seconds_total{{shard=\"{}\"}} {}",
+                s.shard,
+                s.queue.service_ns as f64 / 1e9
+            );
+        }
+        if let Some(share) = tail.queue.wait_share {
+            let _ = writeln!(w, "# TYPE ctxres_queue_wait_share gauge");
+            let _ = writeln!(w, "ctxres_queue_wait_share {share}");
         }
     }
 }
@@ -531,6 +745,10 @@ ctxres_delta_size_count{shard=\"1\"} 0
 ctxres_delta_size_quantile_bound{shard=\"0\",q=\"0.5\"} 4
 ctxres_delta_size_quantile_bound{shard=\"0\",q=\"0.95\"} 128
 ctxres_delta_size_quantile_bound{shard=\"0\",q=\"0.99\"} 128
+# TYPE ctxres_delta_size_quantile_est gauge
+ctxres_delta_size_quantile_est{shard=\"0\",q=\"0.5\"} 4
+ctxres_delta_size_quantile_est{shard=\"0\",q=\"0.95\"} 128
+ctxres_delta_size_quantile_est{shard=\"0\",q=\"0.99\"} 128
 # TYPE ctxres_queue_depth histogram
 ctxres_queue_depth_bucket{shard=\"0\",le=\"+Inf\"} 0
 ctxres_queue_depth_sum{shard=\"0\"} 0
@@ -546,6 +764,10 @@ ctxres_queue_depth_count{shard=\"1\"} 1
 ctxres_queue_depth_quantile_bound{shard=\"1\",q=\"0.5\"} 8
 ctxres_queue_depth_quantile_bound{shard=\"1\",q=\"0.95\"} 8
 ctxres_queue_depth_quantile_bound{shard=\"1\",q=\"0.99\"} 8
+# TYPE ctxres_queue_depth_quantile_est gauge
+ctxres_queue_depth_quantile_est{shard=\"1\",q=\"0.5\"} 8
+ctxres_queue_depth_quantile_est{shard=\"1\",q=\"0.95\"} 8
+ctxres_queue_depth_quantile_est{shard=\"1\",q=\"0.99\"} 8
 ";
         assert_eq!(text, expected, "exposition drifted from the golden copy");
     }
@@ -659,6 +881,81 @@ ctxres_queue_depth_quantile_bound{shard=\"1\",q=\"0.99\"} 8
     #[test]
     fn phase_lines_are_valid_exposition() {
         assert_valid_exposition(&render_prometheus(&seeded_profiled_sample()));
+    }
+
+    /// Like [`seeded_sample`] but with the tail layer on and spans,
+    /// speculation accounting, and queue timings recorded, so every
+    /// tail section renders.
+    fn seeded_tail_sample() -> Sample {
+        use crate::tail::{ContextSpan, SpecBatch, SpecOutcome, TailOutcome};
+        use ctxres_context::{ContextId, LogicalTime};
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only().with_tail(true), 2);
+        let mut sampler = Sampler::new(Arc::clone(&registry));
+        sampler.sample_after(0.0);
+        let a = registry.handle(0);
+        for (i, total_us) in [(1u64, 50u64), (2, 100), (3, 4000)] {
+            a.record_e2e(
+                ContextId::from_raw(i),
+                TailOutcome::Delivered,
+                ContextSpan {
+                    ingress_ns: 0,
+                    verdict_ns: total_us * 400,
+                    decision_ns: total_us * 600,
+                    end_ns: total_us * 1000,
+                },
+                0,
+                SpecOutcome::Consumed,
+                LogicalTime::new(i),
+            );
+        }
+        a.record_spec_batch(&SpecBatch {
+            groups_speculated: 10,
+            consumed: 6,
+            wasted_dirty: 2,
+            inline_checks: 2,
+            workers_used: 3,
+            worker_busy_ns: vec![2_000_000, 1_000_000, 500_000],
+        });
+        let b = registry.handle(1);
+        b.record_queue_wait(3_000_000);
+        b.record_queue_service(9_000_000);
+        sampler.sample_after(2.0)
+    }
+
+    /// The tail sections only appear once the tail layer recorded, and
+    /// then carry the per-outcome latency series, windowed quantiles,
+    /// exemplar counters, and speculation/queue efficiency.
+    #[test]
+    fn tail_sections_render_only_when_recorded() {
+        let plain = render_prometheus(&seeded_sample());
+        assert!(!plain.contains("ctxres_e2e_"), "tail off, no e2e series");
+        assert!(!plain.contains("ctxres_spec_"), "tail off, no spec series");
+
+        let text = render_prometheus(&seeded_tail_sample());
+        for needle in [
+            "ctxres_e2e_latency_us_count{shard=\"0\",outcome=\"delivered\"} 3",
+            "ctxres_e2e_latency_us_sum{shard=\"0\",outcome=\"delivered\"} 4150",
+            "ctxres_e2e_window_quantile_ns{outcome=\"delivered\",q=\"0.5\"}",
+            "ctxres_e2e_window_quantile_ns{outcome=\"all\",q=\"0.99\"}",
+            "ctxres_e2e_exemplars_captured_total{shard=\"0\"} 3",
+            "ctxres_e2e_capture_threshold_ns{shard=\"0\"}",
+            "ctxres_spec_groups_speculated_total{shard=\"0\"} 10",
+            "ctxres_spec_consumed_total{shard=\"0\"} 6",
+            "ctxres_spec_worker_busy_seconds_total{shard=\"0\",worker=\"0\"} 0.002",
+            "ctxres_spec_consumed_rate 0.6",
+            "ctxres_spec_wasted_rate 0.2",
+            "ctxres_queue_wait_seconds_total{shard=\"1\"} 0.003",
+            "ctxres_queue_service_seconds_total{shard=\"1\"} 0.009",
+            "ctxres_queue_wait_share 0.25",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    /// Tail lines obey the exposition rules too.
+    #[test]
+    fn tail_lines_are_valid_exposition() {
+        assert_valid_exposition(&render_prometheus(&seeded_tail_sample()));
     }
 
     /// Every non-comment line must parse as `name{labels} value` (or a

@@ -39,6 +39,18 @@
 //!   with [`ObsConfig::with_profile`]; export as Chrome trace-event
 //!   JSON ([`chrome_trace_json`]) or inferno folded stacks
 //!   ([`folded_stacks`]);
+//! * **end-to-end tail telemetry** ([`ContextSpan`], [`TailSample`],
+//!   [`Exemplar`]): monotonic wall-clock stamps at batch ingress,
+//!   constraint verdict, resolution decision and delivery/discard fold
+//!   into per-(shard, outcome) histograms with windowed interpolated
+//!   p50/p95/p99/p999, a bounded per-shard reservoir of over-p99
+//!   exemplars (each carrying its causal ID, packed profiler phase
+//!   path, and speculation outcome), speculation-efficiency counters
+//!   for the fused batch path, and a wait-versus-service decomposition
+//!   of the sharded engine queues — opt in with
+//!   [`ObsConfig::with_tail`]; slow batches emit a
+//!   [`TraceEvent::SlowBatch`] postmortem when
+//!   [`ObsConfig::with_slow_batch_bound`] is set;
 //! * **live export** ([`Sampler`], [`render_prometheus`],
 //!   [`MetricsServer`]): a sampler turns consecutive registry snapshots
 //!   into windowed deltas and per-second rates, and a hand-rolled
@@ -87,6 +99,7 @@ mod serve;
 mod slo;
 mod snapshot;
 mod span;
+mod tail;
 
 pub use event::{CauseKind, TraceEvent, TraceRecord, CAUSE_KINDS};
 pub use export::{
@@ -115,3 +128,9 @@ pub use slo::{
 };
 pub use snapshot::{BuildInfo, Sample, Sampler, ShardRates, QUANTILES};
 pub use span::ObsSpan;
+pub use tail::{
+    ContextSpan, Exemplar, OutcomeTail, OutcomeWindow, QueueStats, QueueWindow, ShardTail,
+    SpecBatch, SpecOutcome, SpecStats, SpecWindow, TailOutcome, TailSample, TailSnapshot,
+    TailWindow, EXEMPLAR_CAPACITY, MAX_TRACKED_WORKERS, SEGMENT_NAMES, TAIL_OUTCOMES,
+    TAIL_QUANTILES,
+};

@@ -285,6 +285,35 @@ impl HistogramSnapshot {
         }
         Some(u64::MAX)
     }
+
+    /// A linearly interpolated estimate of the `q`-quantile
+    /// (`0.0..=1.0`). Where [`Self::quantile_bound`] always reports the
+    /// winning bucket's upper bound — up to 2x over on power-of-two
+    /// buckets — this interpolates the target rank's position between
+    /// the bucket's lower and upper bound, assuming observations spread
+    /// uniformly within it. Returns `None` for an empty histogram and
+    /// `f64::INFINITY` when the rank lands in the unbounded overflow
+    /// bucket.
+    pub fn quantile_est(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                if i == self.buckets.len() - 1 {
+                    return Some(f64::INFINITY);
+                }
+                let lower = if i == 0 { 0 } else { bucket_bound(i - 1) };
+                let upper = bucket_bound(i);
+                let pos = (target - (cum - n)) as f64 / *n as f64;
+                return Some(lower as f64 + (upper - lower) as f64 * pos);
+            }
+        }
+        Some(f64::INFINITY)
+    }
 }
 
 #[cfg(test)]
@@ -343,9 +372,42 @@ mod tests {
         let s = h.snapshot();
         let p50 = s.quantile_bound(0.5).unwrap();
         let p100 = s.quantile_bound(1.0).unwrap();
-        assert!(p50 >= 50 && p50 <= 64, "{p50}");
-        assert!(p100 >= 100 && p100 <= 128, "{p100}");
+        assert!((50..=64).contains(&p50), "{p50}");
+        assert!((100..=128).contains(&p100), "{p100}");
         assert_eq!(HistogramSnapshot::empty().quantile_bound(0.5), None);
+    }
+
+    /// The interpolated estimator never exceeds the bucket bound and is
+    /// strictly tighter whenever the rank falls inside a bucket: for a
+    /// uniform 1..=100 load the p50 estimate is exact (50.0) where the
+    /// bound over-reports at 64.
+    #[test]
+    fn quantile_est_interpolates_within_the_bucket() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let est = s.quantile_est(0.5).unwrap();
+        assert!((est - 50.0).abs() < 1e-9, "{est}");
+        assert!(est <= s.quantile_bound(0.5).unwrap() as f64);
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let est = s.quantile_est(q).unwrap();
+            let bound = s.quantile_bound(q).unwrap();
+            assert!(est <= bound as f64, "q={q}: est {est} > bound {bound}");
+        }
+        assert_eq!(HistogramSnapshot::empty().quantile_est(0.5), None);
+    }
+
+    /// Overflow-bucket ranks have no finite upper bound: the estimate
+    /// is infinite there, matching `quantile_bound`'s `u64::MAX`.
+    #[test]
+    fn quantile_est_overflow_is_infinite() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_est(0.5), Some(f64::INFINITY));
+        assert_eq!(s.quantile_bound(0.5), Some(u64::MAX));
     }
 
     #[test]

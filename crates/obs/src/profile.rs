@@ -242,6 +242,21 @@ impl ShardProfileSlot {
         st.skipping = st.skipping.saturating_sub(1);
     }
 
+    /// The packed phase path of the currently open frames (4 bits per
+    /// level, root in the lowest nibble — the same packing as
+    /// [`SpanRecord::path`]) and its depth. `(0, 0)` when nothing is
+    /// open or profiling is off. The tail layer stamps exemplars with
+    /// this so a slow context points straight at the phase it finished
+    /// under.
+    pub(crate) fn current_path(&self) -> (u64, u8) {
+        let st = self.stack.lock();
+        let mut path = 0u64;
+        for (i, f) in st.frames.iter().enumerate().take(MAX_PHASE_DEPTH) {
+            path |= (f.phase.index() as u64) << (4 * i);
+        }
+        (path, st.frames.len() as u8)
+    }
+
     fn end_recording(&self) {
         let mut st = self.stack.lock();
         let Some(frame) = st.frames.pop() else { return };

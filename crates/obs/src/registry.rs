@@ -8,6 +8,9 @@ use crate::metrics::{
 use crate::profile::{Phase, PhaseGuard, ProfileSnapshot, ShardProfileSlot, SpanRecord};
 use crate::ring::EventRing;
 use crate::span::ObsSpan;
+use crate::tail::{
+    ContextSpan, Exemplar, ShardTailSlot, SpecBatch, SpecOutcome, TailOutcome, TailSnapshot,
+};
 use ctxres_context::LogicalTime;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -37,6 +40,15 @@ pub struct ObsConfig {
     /// Profiler sampling divisor: only every N-th *root* phase span
     /// records (1 = record everything). Only meaningful with `profile`.
     pub profile_sample: u32,
+    /// Whether end-to-end tail-latency telemetry (context spans,
+    /// exemplar capture, speculation-efficiency counters) is recorded.
+    pub tail: bool,
+    /// Slow-batch postmortem bound, nanoseconds: a fused batch whose
+    /// wall-clock ingest exceeds it emits a [`TraceEvent::SlowBatch`]
+    /// trace event. `0` disables postmortems. Only meaningful with
+    /// `tail` (the postmortem bundles tail exemplars) and
+    /// `trace_events` (it rides the trace rings).
+    pub slow_batch_bound_ns: u64,
     /// Capacity of each shard's event ring buffer.
     pub ring_capacity: usize,
 }
@@ -46,7 +58,8 @@ impl ObsConfig {
     /// experiment workloads, small enough to stay cache-friendly.
     pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
 
-    /// Full tracing and metrics, provenance edges included.
+    /// Full tracing and metrics, provenance edges and tail spans
+    /// included.
     pub fn enabled() -> Self {
         ObsConfig {
             enabled: true,
@@ -55,6 +68,8 @@ impl ObsConfig {
             health: true,
             profile: false,
             profile_sample: 1,
+            tail: true,
+            slow_batch_bound_ns: 0,
             ring_capacity: Self::DEFAULT_RING_CAPACITY,
         }
     }
@@ -71,6 +86,8 @@ impl ObsConfig {
             health: true,
             profile: false,
             profile_sample: 1,
+            tail: false,
+            slow_batch_bound_ns: 0,
             ring_capacity: 1,
         }
     }
@@ -85,6 +102,8 @@ impl ObsConfig {
             health: false,
             profile: false,
             profile_sample: 1,
+            tail: false,
+            slow_batch_bound_ns: 0,
             ring_capacity: 0,
         }
     }
@@ -119,6 +138,23 @@ impl ObsConfig {
         self.profile_sample = every.max(1);
         self
     }
+
+    /// Turns end-to-end tail telemetry on or off (counters and
+    /// histograms untouched) — the lever `city_bench` uses to isolate
+    /// the tail layer's marginal cost over the plain metrics
+    /// configuration.
+    pub fn with_tail(mut self, on: bool) -> Self {
+        self.tail = on;
+        self
+    }
+
+    /// Sets the slow-batch postmortem bound in nanoseconds (`0` turns
+    /// postmortems off). Implies nothing else: postmortems also need
+    /// `tail` and `trace_events` to be on.
+    pub fn with_slow_batch_bound(mut self, bound_ns: u64) -> Self {
+        self.slow_batch_bound_ns = bound_ns;
+        self
+    }
 }
 
 /// One shard's instrumentation state: a locked event ring plus
@@ -131,6 +167,7 @@ struct ShardSlot {
     histograms: [Histogram; METRIC_KINDS.len()],
     health: ShardHealthSlot,
     profile: ShardProfileSlot,
+    tail: ShardTailSlot,
 }
 
 impl ShardSlot {
@@ -146,6 +183,7 @@ impl ShardSlot {
                 config.profile_sample,
                 epoch,
             ),
+            tail: ShardTailSlot::new(config.enabled && config.tail),
         }
     }
 }
@@ -159,6 +197,7 @@ impl ShardSlot {
 #[derive(Debug)]
 pub struct ObsRegistry {
     config: ObsConfig,
+    epoch: Instant,
     slots: Vec<ShardSlot>,
 }
 
@@ -166,12 +205,16 @@ impl ObsRegistry {
     /// A registry with `shards` slots.
     pub fn new(config: ObsConfig, shards: usize) -> Self {
         // One epoch shared by every slot so span timestamps from
-        // different shards line up on one Chrome-trace timeline.
+        // different shards (and tail stamps) line up on one timeline.
         let epoch = Instant::now();
         let slots = (0..shards)
             .map(|_| ShardSlot::new(&config, epoch))
             .collect();
-        ObsRegistry { config, slots }
+        ObsRegistry {
+            config,
+            epoch,
+            slots,
+        }
     }
 
     /// [`ObsRegistry::new`] wrapped in the `Arc` the handles need.
@@ -282,6 +325,20 @@ impl ObsRegistry {
                 .iter()
                 .enumerate()
                 .map(|(i, slot)| slot.profile.snapshot(i))
+                .collect(),
+        }
+    }
+
+    /// A point-in-time copy of every shard's tail telemetry (end-to-end
+    /// histograms, exemplar reservoirs, speculation/queue counters);
+    /// empty until something records with [`ObsConfig::tail`] on.
+    pub fn tail_snapshot(&self) -> TailSnapshot {
+        TailSnapshot {
+            shards: self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, slot)| slot.tail.snapshot(i))
                 .collect(),
         }
     }
@@ -438,6 +495,91 @@ impl ShardObs {
                     .health
                     .publish_pool(live, free, recycles, now_tick);
             }
+        }
+    }
+
+    /// Whether end-to-end tail telemetry is on for this handle — true
+    /// only when the registry records at all *and* was configured with
+    /// [`ObsConfig::with_tail`]. Engines check this before stamping
+    /// context spans, so tail-off runs pay no clock reads.
+    pub fn tail_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.registry.config.tail)
+    }
+
+    /// The configured slow-batch postmortem bound in nanoseconds; 0
+    /// when postmortems are off or the handle is disabled.
+    pub fn slow_batch_bound_ns(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.registry.config.slow_batch_bound_ns)
+    }
+
+    /// Nanoseconds since the registry epoch — the clock context-span
+    /// stamps are taken on (shared across shards so cross-shard spans
+    /// line up). Returns 0 from a disabled handle.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            u64::try_from(i.registry.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+    }
+
+    /// Folds one context's finished end-to-end span into the tail
+    /// layer. Returns `true` when the span crossed the rolling p99
+    /// threshold and was captured as an [`Exemplar`] (stamped with the
+    /// profiler phase path open at this instant).
+    pub fn record_e2e(
+        &self,
+        ctx: ctxres_context::ContextId,
+        outcome: TailOutcome,
+        span: ContextSpan,
+        batch_index: u64,
+        spec: SpecOutcome,
+        at: LogicalTime,
+    ) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let slot = &inner.registry.slots[inner.shard];
+        if !slot.tail.enabled() || !slot.tail.observe(outcome, span.total_ns()) {
+            return false;
+        }
+        let (phase_path, phase_depth) = slot.profile.current_path();
+        slot.tail.capture(Exemplar {
+            shard: inner.shard,
+            ctx,
+            outcome,
+            span,
+            batch_index,
+            phase_path,
+            phase_depth,
+            spec,
+            at: at.tick(),
+        });
+        true
+    }
+
+    /// Adds one fused batch's speculation accounting to the tail layer.
+    pub fn record_spec_batch(&self, batch: &SpecBatch) {
+        if let Some(inner) = &self.inner {
+            inner.registry.slots[inner.shard]
+                .tail
+                .record_spec_batch(batch);
+        }
+    }
+
+    /// Records one shard-lock wait interval (queue wait component).
+    pub fn record_queue_wait(&self, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.slots[inner.shard].tail.record_queue_wait(ns);
+        }
+    }
+
+    /// Records one chunk service interval (queue service component).
+    pub fn record_queue_service(&self, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.slots[inner.shard]
+                .tail
+                .record_queue_service(ns);
         }
     }
 }

@@ -283,6 +283,33 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_serves_tail_fields_when_enabled() {
+        use crate::tail::{ContextSpan, SpecOutcome, TailOutcome};
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only().with_tail(true), 1);
+        registry.handle(0).record_e2e(
+            ctxres_context::ContextId::from_raw(3),
+            TailOutcome::Delivered,
+            ContextSpan {
+                ingress_ns: 0,
+                verdict_ns: 10_000,
+                decision_ns: 20_000,
+                end_ns: 50_000,
+            },
+            0,
+            SpecOutcome::Consumed,
+            7.into(),
+        );
+        let server = MetricsServer::spawn(Arc::clone(&registry), "127.0.0.1:0").unwrap();
+        let (_, body) = get(server.local_addr(), "/snapshot");
+        let sample: crate::snapshot::Sample = serde_json::from_str(&body).unwrap();
+        let tail = sample.tail.expect("tail view rides /snapshot");
+        assert_eq!(tail.all.count, 1);
+        assert!(tail.all.p99_ns.is_some());
+        assert_eq!(tail.snapshot.exemplars().len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
     fn shutdown_joins_the_accept_loop() {
         let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
         let server = MetricsServer::spawn(Arc::clone(&registry), "127.0.0.1:0").unwrap();

@@ -9,6 +9,7 @@
 //! use_rate < 0.5 for 3
 //! staleness > 1.0 for 2
 //! pool_occupancy > 0.95 for 10
+//! e2e_p99_ms > 5 for 2
 //! ```
 //!
 //! The [`SloEngine`] is evaluated once per sampler window (each
@@ -37,6 +38,7 @@
 //! windowed rate consumes the budget `factor` times too fast.
 
 use crate::health::HealthSample;
+use crate::tail::TailSample;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -63,15 +65,21 @@ pub enum SloMetric {
     Staleness,
     /// Aggregate arena occupancy `live / (live + free)`.
     PoolOccupancy,
+    /// Windowed end-to-end p99 latency across all outcomes, in
+    /// milliseconds — read from the sampler's tail view
+    /// ([`crate::TailSample`]); undefined when the tail layer is off or
+    /// the window recorded nothing.
+    E2eP99Ms,
 }
 
 /// Every [`SloMetric`], in a stable order.
-pub const SLO_METRICS: [SloMetric; 5] = [
+pub const SLO_METRICS: [SloMetric; 6] = [
     SloMetric::DiscardRate,
     SloMetric::ViolationRate,
     SloMetric::UseRate,
     SloMetric::Staleness,
     SloMetric::PoolOccupancy,
+    SloMetric::E2eP99Ms,
 ];
 
 impl SloMetric {
@@ -83,6 +91,7 @@ impl SloMetric {
             SloMetric::UseRate => "use_rate",
             SloMetric::Staleness => "staleness",
             SloMetric::PoolOccupancy => "pool_occupancy",
+            SloMetric::E2eP99Ms => "e2e_p99_ms",
         }
     }
 
@@ -212,17 +221,21 @@ impl SloRule {
     }
 
     /// The metric's value in this window, or `None` when undefined
-    /// (no traffic / no such kind): the worst matching cross-shard row.
-    fn value_in(&self, sample: &HealthSample) -> Option<f64> {
+    /// (no traffic / no such kind / tail layer off): the worst matching
+    /// cross-shard row, the pool gauge, or the tail p99.
+    fn value_in(&self, sample: &HealthSample, tail: Option<&TailSample>) -> Option<f64> {
         if self.metric == SloMetric::PoolOccupancy {
             return sample.pool.as_ref().and_then(|p| p.occupancy);
+        }
+        if self.metric == SloMetric::E2eP99Ms {
+            return tail.and_then(|t| t.all.p99_ns).map(|ns| ns / 1e6);
         }
         let pick = |row: &crate::health::KindQuality| match self.metric {
             SloMetric::DiscardRate => row.discard_rate,
             SloMetric::ViolationRate => row.violation_rate,
             SloMetric::UseRate => row.use_rate,
             SloMetric::Staleness => row.staleness,
-            SloMetric::PoolOccupancy => unreachable!(),
+            SloMetric::PoolOccupancy | SloMetric::E2eP99Ms => unreachable!(),
         };
         let rows = sample
             .kinds
@@ -345,11 +358,26 @@ impl SloEngine {
 
     /// Evaluates every rule against one window's health view, stamping
     /// transitions with the logical clock `at`. Returns only the
-    /// transitions (an empty vec on a quiet window).
+    /// transitions (an empty vec on a quiet window). Latency rules
+    /// ([`SloMetric::E2eP99Ms`]) see an undefined value here — use
+    /// [`SloEngine::evaluate_with_tail`] to feed them.
     pub fn evaluate(&mut self, sample: &HealthSample, at: u64) -> Vec<HealthAlert> {
+        self.evaluate_with_tail(sample, None, at)
+    }
+
+    /// [`SloEngine::evaluate`] with the window's end-to-end tail view
+    /// attached, so latency rules ([`SloMetric::E2eP99Ms`]) get a value.
+    /// `tail: None` (or a window that recorded nothing) leaves those
+    /// rules' streaks frozen, exactly like a no-traffic health window.
+    pub fn evaluate_with_tail(
+        &mut self,
+        sample: &HealthSample,
+        tail: Option<&TailSample>,
+        at: u64,
+    ) -> Vec<HealthAlert> {
         let mut alerts = Vec::new();
         for (rule, state) in self.rules.iter().zip(self.states.iter_mut()) {
-            let Some(value) = rule.value_in(sample) else {
+            let Some(value) = rule.value_in(sample, tail) else {
                 // Undefined this window: freeze the streaks.
                 continue;
             };
@@ -538,6 +566,54 @@ mod tests {
         // Clearing needs use_rate ≥ 0.6 · 1.1 = 0.66 ⇒ discard ≤ 0.34.
         assert!(engine.evaluate(&sample_with(Some(0.38)), 8).is_empty());
         assert_eq!(engine.evaluate(&sample_with(Some(0.3)), 9).len(), 1);
+    }
+
+    /// A tail view whose all-outcomes p99 is the given milliseconds.
+    fn tail_with(p99_ms: f64) -> TailSample {
+        use crate::tail::{QueueWindow, SpecWindow, TailSnapshot, TailWindow};
+        TailSample {
+            snapshot: TailSnapshot { shards: Vec::new() },
+            outcomes: Vec::new(),
+            all: TailWindow {
+                count: 10,
+                mean_ns: None,
+                p50_ns: None,
+                p95_ns: None,
+                p99_ns: Some(p99_ms * 1e6),
+                p999_ns: None,
+            },
+            spec: SpecWindow::default(),
+            queue: QueueWindow::default(),
+        }
+    }
+
+    #[test]
+    fn latency_rules_read_the_tail_view() {
+        let r = SloRule::parse("e2e_p99_ms > 5 for 2").unwrap();
+        assert_eq!(r.metric, SloMetric::E2eP99Ms);
+        let mut engine = SloEngine::new(vec![r]);
+        // Plain evaluate (no tail view): undefined, streaks freeze.
+        assert!(engine.evaluate(&sample_with(Some(0.1)), 1).is_empty());
+        let slow = tail_with(12.0);
+        let healthy = sample_with(Some(0.1));
+        assert!(engine
+            .evaluate_with_tail(&healthy, Some(&slow), 2)
+            .is_empty());
+        let alerts = engine.evaluate_with_tail(&healthy, Some(&slow), 3);
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0].firing);
+        assert_eq!(alerts[0].metric, "e2e_p99_ms");
+        assert!((alerts[0].value - 12.0).abs() < 1e-9, "{}", alerts[0].value);
+        // Clearing needs windows past the deadband (p99 ≤ 4.5 ms),
+        // sustained for the rule's two windows.
+        let fast = tail_with(1.0);
+        assert!(engine
+            .evaluate_with_tail(&healthy, Some(&fast), 4)
+            .is_empty());
+        let alerts = engine.evaluate_with_tail(&healthy, Some(&fast), 5);
+        assert_eq!(alerts.len(), 1);
+        assert!(!alerts[0].firing);
+        assert!(engine.active().is_empty());
     }
 
     #[test]

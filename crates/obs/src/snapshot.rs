@@ -25,6 +25,7 @@ use crate::metrics::{CounterKind, HistogramSnapshot, MetricKind, COUNTER_KINDS, 
 use crate::profile::{Phase, PhaseSample, ProfileSnapshot};
 use crate::registry::{ObsRegistry, ObsSnapshot, ShardObs, ShardSnapshot};
 use crate::slo::SloEngine;
+use crate::tail::{TailSample, TailSnapshot};
 use ctxres_context::LogicalTime;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -212,6 +213,12 @@ pub struct Sample {
     /// automatically). `None` keeps older dumps and golden expositions
     /// byte-identical.
     pub build: Option<BuildInfo>,
+    /// End-to-end tail-latency view for the window — per-outcome
+    /// p50/p95/p99/p999, exemplar reservoirs, speculation-efficiency
+    /// rates, and queue wait/service decomposition. `None` unless the
+    /// registry was built with [`crate::ObsConfig::with_tail`] and
+    /// something recorded; pre-tail dumps (no `tail` key) still load.
+    pub tail: Option<TailSample>,
 }
 
 /// The quantiles the exporter and dashboards report.
@@ -252,6 +259,7 @@ pub struct Sampler {
     prev: Option<(Instant, ObsSnapshot)>,
     prev_health: Option<HealthSnapshot>,
     prev_profile: Option<ProfileSnapshot>,
+    prev_tail: Option<TailSnapshot>,
     ewma: HashMap<String, f64>,
     slo: Option<SloEngine>,
     build: Option<BuildInfo>,
@@ -266,6 +274,7 @@ impl Sampler {
             prev: None,
             prev_health: None,
             prev_profile: None,
+            prev_tail: None,
             ewma: HashMap::new(),
             slo: None,
             build: None,
@@ -347,7 +356,8 @@ impl Sampler {
             total.merge(s);
         }
         self.prev = Some((Instant::now(), snapshot.clone()));
-        let health = self.sample_health();
+        let tail = self.sample_tail();
+        let health = self.sample_health(tail.as_ref());
         let phases = self.sample_phases();
         Sample {
             elapsed_secs,
@@ -358,7 +368,24 @@ impl Sampler {
             health,
             phases,
             build: self.build.clone(),
+            tail,
         }
+    }
+
+    /// Computes the window's end-to-end tail view and advances the tail
+    /// baseline. `None` while the tail layer is off or nothing has been
+    /// recorded yet (the pre-tail shape).
+    fn sample_tail(&mut self) -> Option<TailSample> {
+        if !self.registry.config().tail {
+            return None;
+        }
+        let cur = self.registry.tail_snapshot();
+        if cur.is_empty() && self.prev_tail.is_none() {
+            return None;
+        }
+        let sample = TailSample::between(self.prev_tail.as_ref(), cur.clone());
+        self.prev_tail = Some(cur);
+        Some(sample)
     }
 
     /// Computes the window's phase-profiler view and advances the
@@ -377,10 +404,11 @@ impl Sampler {
         Some(sample)
     }
 
-    /// Computes the window's health view, runs the SLO engine over it,
-    /// and advances the health baseline. `None` while nothing has
-    /// published health state (the pre-health-telemetry shape).
-    fn sample_health(&mut self) -> Option<HealthSample> {
+    /// Computes the window's health view, runs the SLO engine over it
+    /// (with the window's tail view, so latency rules like `e2e_p99_ms`
+    /// can fire), and advances the health baseline. `None` while nothing
+    /// has published health state (the pre-health-telemetry shape).
+    fn sample_health(&mut self, tail: Option<&TailSample>) -> Option<HealthSample> {
         let cur = self.registry.health_snapshot();
         if cur.is_empty() && self.prev_health.is_none() {
             return None;
@@ -393,7 +421,7 @@ impl Sampler {
         );
         if let Some(engine) = &mut self.slo {
             let at = cur.max_now_tick();
-            let alerts = engine.evaluate(&health, at);
+            let alerts = engine.evaluate_with_tail(&health, tail, at);
             if self.registry.shards() > 0 {
                 let h = self.registry.handle(0);
                 for a in &alerts {
@@ -613,6 +641,79 @@ mod tests {
         let back: Sample = serde_json::from_str(&stripped).unwrap();
         assert!(back.phases.is_none());
         assert!(back.build.is_none());
+    }
+
+    #[test]
+    fn tail_rides_the_sampler_once_recorded() {
+        use crate::tail::{ContextSpan, SpecOutcome, TailOutcome};
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only().with_tail(true), 2);
+        let mut sampler = Sampler::new(Arc::clone(&registry));
+        let s = sampler.sample_after(0.0);
+        assert!(s.tail.is_none(), "nothing recorded yet");
+
+        let span = ContextSpan {
+            ingress_ns: 0,
+            verdict_ns: 40_000,
+            decision_ns: 60_000,
+            end_ns: 100_000,
+        };
+        registry.handle(0).record_e2e(
+            ctxres_context::ContextId::from_raw(7),
+            TailOutcome::Delivered,
+            span,
+            3,
+            SpecOutcome::Consumed,
+            LogicalTime::new(9),
+        );
+        let s = sampler.sample_after(1.0);
+        let tail = s.tail.clone().expect("tail attached");
+        assert_eq!(tail.all.count, 1);
+        assert!(tail.all.p99_ns.is_some());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // The next window starts empty but the cumulative snapshot and
+        // its exemplars stay visible.
+        let s2 = sampler.sample_after(1.0);
+        let tail2 = s2.tail.expect("tail stays attached");
+        assert_eq!(tail2.all.count, 0);
+        assert_eq!(tail2.snapshot.exemplars().len(), 1);
+    }
+
+    #[test]
+    fn tail_stays_none_without_the_lever() {
+        use crate::tail::{ContextSpan, SpecOutcome, TailOutcome};
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        registry.handle(0).record_e2e(
+            ctxres_context::ContextId::from_raw(1),
+            TailOutcome::Discarded,
+            ContextSpan {
+                ingress_ns: 0,
+                verdict_ns: 1,
+                decision_ns: 2,
+                end_ns: 3,
+            },
+            0,
+            SpecOutcome::NotSpeculated,
+            LogicalTime::new(1),
+        );
+        let mut sampler = Sampler::new(registry);
+        let s = sampler.sample_after(1.0);
+        assert!(s.tail.is_none(), "tail off ⇒ no tail block");
+    }
+
+    #[test]
+    fn pre_tail_samples_still_deserialize() {
+        // A Sample dumped before the tail field existed has no "tail"
+        // key; the field tolerates absence as None.
+        let registry = ObsRegistry::shared(ObsConfig::metrics_only(), 1);
+        let mut sampler = Sampler::new(registry);
+        let s = sampler.sample_after(0.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let stripped = json.replacen(",\"tail\":null", "", 1);
+        assert_ne!(stripped, json, "fixture actually dropped the field");
+        let back: Sample = serde_json::from_str(&stripped).unwrap();
+        assert!(back.tail.is_none());
     }
 
     #[test]
